@@ -1,0 +1,155 @@
+package compass_test
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// regenerates the corresponding experiment (measured host-scale runs of
+// the functional simulator plus paper-scale projections through the
+// calibrated Blue Gene machine model) and reports domain-specific
+// metrics alongside wall-clock. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The same tables print via `go run ./cmd/benchsuite`.
+
+import (
+	"strconv"
+	"testing"
+
+	compass "github.com/cognitive-sim/compass"
+	"github.com/cognitive-sim/compass/internal/experiments"
+)
+
+// runExperiment executes an experiment driver b.N times.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tabs, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tabs) == 0 || len(tabs[0].Rows) == 0 {
+			b.Fatal("experiment produced no data")
+		}
+	}
+}
+
+// BenchmarkFig3RegionAllocations regenerates the Figure 3 macaque region
+// allocation table (Paxinos vs balanced core counts for 77 regions).
+func BenchmarkFig3RegionAllocations(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4aWeakScaling regenerates Figure 4(a): weak scaling with
+// total and per-phase times, projected on 1–16 Blue Gene/Q racks plus
+// measured host-scale runs.
+func BenchmarkFig4aWeakScaling(b *testing.B) { runExperiment(b, "fig4a") }
+
+// BenchmarkFig4bMessaging regenerates Figure 4(b): MPI message count and
+// white-matter spike count per tick versus CPU count.
+func BenchmarkFig4bMessaging(b *testing.B) { runExperiment(b, "fig4b") }
+
+// BenchmarkFig5StrongScaling regenerates Figure 5: a fixed 32M-core
+// model over 1–16 racks (paper: 324 s → 47 s → 37 s for 500 ticks).
+func BenchmarkFig5StrongScaling(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6ThreadScaling regenerates Figure 6: OpenMP thread scaling
+// at 1 MPI process per node.
+func BenchmarkFig6ThreadScaling(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7PGASRealTime regenerates Figure 7: PGAS vs MPI real-time
+// simulation on Blue Gene/P (paper: 81K cores real-time under PGAS, MPI
+// 2.1× slower), including functional runs of both transports.
+func BenchmarkFig7PGASRealTime(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkHeadlineScale regenerates the §I/§VI-B headline table
+// (256M cores, 65B neurons, 16T synapses, 388× real time).
+func BenchmarkHeadlineScale(b *testing.B) { runExperiment(b, "headline") }
+
+// BenchmarkPCCSetupTime regenerates the §IV set-up comparison: parallel
+// in-situ compilation vs writing and reading the explicit model.
+func BenchmarkPCCSetupTime(b *testing.B) { runExperiment(b, "pcc") }
+
+// BenchmarkTradeoffProcsThreads regenerates the §VI-D processes-versus-
+// threads tradeoff table.
+func BenchmarkTradeoffProcsThreads(b *testing.B) { runExperiment(b, "tradeoff") }
+
+// BenchmarkAblations regenerates the communication design-choice
+// ablation table (spike aggregation, reduce-scatter overlap).
+func BenchmarkAblations(b *testing.B) { runExperiment(b, "ablation") }
+
+// BenchmarkSimulatorThroughput measures the functional simulator's
+// core-ticks per second on the CoCoMac workload at several rank counts —
+// the host-scale analogue of the paper's time-to-solution metric.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for _, ranks := range []int{1, 2, 4, 8} {
+		b.Run("ranks="+strconv.Itoa(ranks), func(b *testing.B) {
+			net := compass.GenerateCoCoMac(2012)
+			spec, err := net.ToSpec(154, 1<<16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := compass.Compile(spec, ranks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			const ticks = 50
+			b.ResetTimer()
+			totalSpikes := uint64(0)
+			for i := 0; i < b.N; i++ {
+				stats, err := compass.Run(res.Model, compass.Config{
+					Ranks:          res.Ranks,
+					ThreadsPerRank: 2,
+					RankOf:         res.RankOf,
+				}, ticks)
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalSpikes += stats.TotalSpikes
+			}
+			b.ReportMetric(float64(res.Model.NumCores())*ticks*float64(b.N)/b.Elapsed().Seconds(), "core-ticks/s")
+			b.ReportMetric(float64(totalSpikes)/float64(b.N)/ticks, "spikes/tick")
+		})
+	}
+}
+
+// BenchmarkTransports compares the MPI and PGAS transports of the
+// functional simulator on the §VII synthetic workload.
+func BenchmarkTransports(b *testing.B) {
+	model, err := experiments.SyntheticModel(8, 8, 0.75, 10, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tr := range []compass.Transport{compass.TransportMPI, compass.TransportPGAS} {
+		b.Run(tr.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := compass.Run(model, compass.Config{
+					Ranks: 8, ThreadsPerRank: 2, Transport: tr,
+				}, 50); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompileCoCoMac measures Parallel Compass Compiler throughput
+// on the macaque network.
+func BenchmarkCompileCoCoMac(b *testing.B) {
+	net := compass.GenerateCoCoMac(2012)
+	spec, err := net.ToSpec(308, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := compass.Compile(spec, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Model.NumCores() != 308 {
+			b.Fatal("wrong model size")
+		}
+	}
+	b.ReportMetric(308*float64(b.N)/b.Elapsed().Seconds(), "cores-compiled/s")
+}

@@ -1,0 +1,71 @@
+// Command benchsuite regenerates every table and figure of the paper's
+// evaluation and prints them as aligned text (default) or markdown.
+//
+// Examples:
+//
+//	benchsuite                  # all experiments
+//	benchsuite -fig fig5        # one experiment
+//	benchsuite -markdown        # markdown output (EXPERIMENTS.md body)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/cognitive-sim/compass/internal/experiments"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "", "run a single experiment by ID (see -list)")
+		markdown = flag.Bool("markdown", false, "emit markdown tables")
+		csvOut   = flag.Bool("csv", false, "emit CSV tables for plotting")
+		list     = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+	if err := run(*fig, *markdown, *csvOut, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, markdown, csvOut, list bool) error {
+	if list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Name)
+		}
+		return nil
+	}
+	var todo []experiments.Experiment
+	if fig != "" {
+		e, ok := experiments.Lookup(fig)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", fig)
+		}
+		todo = append(todo, e)
+	} else {
+		todo = experiments.All()
+	}
+	for _, e := range todo {
+		tabs, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for _, t := range tabs {
+			var err error
+			switch {
+			case markdown:
+				err = t.Markdown(os.Stdout)
+			case csvOut:
+				err = t.CSV(os.Stdout)
+			default:
+				err = t.Render(os.Stdout)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+// Command cocomac generates and inspects the synthetic CoCoMac macaque
+// network of §V of the paper: 102 reduced regions (77 reporting
+// connections), Paxinos-style volumes with median imputation, and the
+// balanced connection matrix. With -fig3 it prints the Figure 3 region
+// allocation table; with -spec it emits a CoreObject description ready
+// for the compiler.
+//
+// Examples:
+//
+//	cocomac -fig3 -cores 4096
+//	cocomac -spec -cores 512 -ticks 100 > cocomac512.json
+//	cocomac -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/cognitive-sim/compass/internal/cocomac"
+	"github.com/cognitive-sim/compass/internal/experiments"
+)
+
+func main() {
+	var (
+		seed    = flag.Uint64("seed", 2012, "connectome seed")
+		cores   = flag.Int("cores", 4096, "total TrueNorth cores for allocations / specs")
+		ticks   = flag.Uint64("ticks", 100, "stimulus window for emitted specs")
+		fig3    = flag.Bool("fig3", false, "print the Figure 3 region allocation table")
+		spec    = flag.Bool("spec", false, "emit a CoreObject JSON description on stdout")
+		stats   = flag.Bool("stats", false, "print network statistics")
+		balance = flag.Bool("balance", false, "print matrix balancing diagnostics")
+	)
+	flag.Parse()
+	if err := run(*seed, *cores, *ticks, *fig3, *spec, *stats, *balance); err != nil {
+		fmt.Fprintln(os.Stderr, "cocomac:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed uint64, cores int, ticks uint64, fig3, spec, stats, balanceFlag bool) error {
+	net := cocomac.Generate(seed)
+	if !fig3 && !spec && !stats && !balanceFlag {
+		stats = true
+	}
+
+	if stats {
+		fmt.Printf("synthetic CoCoMac network (seed %d)\n", seed)
+		fmt.Printf("  full network: %d regions, %d directed edges\n", cocomac.FullRegions, net.FullEdgeCount())
+		fmt.Printf("  reduced network: %d regions, %d reporting connections\n", len(net.Regions), cocomac.ConnectedRegions)
+		fmt.Printf("  reduced edges among connected regions: %d\n", net.ReducedEdgeCount())
+		imputed := 0
+		byClass := map[cocomac.Class]int{}
+		for _, r := range net.Regions {
+			byClass[r.Class]++
+			if r.VolumeImputed {
+				imputed++
+			}
+		}
+		fmt.Printf("  classes: %d cortical, %d thalamic, %d basal ganglia\n",
+			byClass[cocomac.Cortical], byClass[cocomac.Thalamic], byClass[cocomac.BasalGanglia])
+		fmt.Printf("  volumes imputed with class medians: %d (paper: 5 cortical + 8 thalamic)\n", imputed)
+	}
+
+	if balanceFlag {
+		res, err := net.BalancedMatrix()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("balancing: converged in %d IPFP sweeps, residual %.2g\n", res.Iterations, res.Residual)
+	}
+
+	if fig3 {
+		tabs, err := experiments.Fig3()
+		if err != nil {
+			return err
+		}
+		// Re-run at the requested core budget when it differs from the
+		// experiment default.
+		if cores != 4096 {
+			rows, err := net.CoreAllocations(cores)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("region allocations for a %d-core model:\n", cores)
+			fmt.Printf("%-6s  %-13s  %8s  %8s  %4s\n", "region", "class", "paxinos", "balanced", "deg")
+			for _, r := range rows {
+				fmt.Printf("%-6s  %-13s  %8d  %8d  %4d\n", r.Name, r.Class.String(), r.PaxinosCores, r.BalancedCores, r.OutDegree)
+			}
+			return nil
+		}
+		for _, t := range tabs {
+			if err := t.Render(os.Stdout); err != nil {
+				return err
+			}
+		}
+	}
+
+	if spec {
+		s, err := net.ToSpec(cores, ticks)
+		if err != nil {
+			return err
+		}
+		return s.Encode(os.Stdout)
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+// Command compass runs the Compass simulator on a model.
+//
+// The model comes from one of three sources: a CoreObject network
+// description (compiled in situ with the Parallel Compass Compiler, the
+// normal path), an explicit binary model file, or the built-in CoCoMac
+// macaque network at a chosen scale.
+//
+// Examples:
+//
+//	compass -cocomac-cores 512 -ranks 8 -threads 2 -ticks 200
+//	compass -spec network.json -ranks 4 -ticks 100 -transport pgas
+//	compass -model model.bin -ranks 2 -ticks 50 -per-tick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/cognitive-sim/compass/internal/cocomac"
+	"github.com/cognitive-sim/compass/internal/compass"
+	"github.com/cognitive-sim/compass/internal/coreobject"
+	"github.com/cognitive-sim/compass/internal/pcc"
+	"github.com/cognitive-sim/compass/internal/power"
+	"github.com/cognitive-sim/compass/internal/spikeio"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+func main() {
+	var (
+		specPath     = flag.String("spec", "", "CoreObject network description (JSON) to compile and simulate")
+		modelPath    = flag.String("model", "", "explicit binary model file to simulate")
+		cocomacCores = flag.Int("cocomac-cores", 0, "build the CoCoMac macaque network with this many cores")
+		seed         = flag.Uint64("seed", 2012, "model seed for the built-in CoCoMac network")
+		ranks        = flag.Int("ranks", 4, "simulated MPI processes")
+		threads      = flag.Int("threads", 2, "worker threads per rank")
+		ticks        = flag.Int("ticks", 100, "ticks to simulate (1 ms each)")
+		transport    = flag.String("transport", "mpi", "communication transport: mpi or pgas")
+		perTick      = flag.Bool("per-tick", false, "print per-tick statistics")
+		recordPath   = flag.String("record", "", "write the spike trace to this file (CSPK format)")
+		raster       = flag.Bool("raster", false, "print an ASCII spike raster after the run")
+		powerFlag    = flag.Bool("power", false, "estimate TrueNorth hardware power for the workload")
+		checkpoint   = flag.String("checkpoint", "", "write the final simulation state to this file")
+		resume       = flag.String("resume", "", "resume the simulation from this checkpoint file")
+	)
+	flag.Parse()
+	if err := run(runArgs{
+		specPath: *specPath, modelPath: *modelPath, cocomacCores: *cocomacCores,
+		seed: *seed, ranks: *ranks, threads: *threads, ticks: *ticks,
+		transport: *transport, perTick: *perTick, recordPath: *recordPath,
+		raster: *raster, powerEst: *powerFlag,
+		checkpointPath: *checkpoint, resumePath: *resume,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "compass:", err)
+		os.Exit(1)
+	}
+}
+
+// runArgs bundles the command's flags.
+type runArgs struct {
+	specPath, modelPath        string
+	cocomacCores               int
+	seed                       uint64
+	ranks, threads, ticks      int
+	transport                  string
+	perTick, raster, powerEst  bool
+	recordPath                 string
+	checkpointPath, resumePath string
+}
+
+func run(a runArgs) error {
+	specPath, modelPath, cocomacCores := a.specPath, a.modelPath, a.cocomacCores
+	seed, ranks, threads, ticks := a.seed, a.ranks, a.threads, a.ticks
+	transport, perTick := a.transport, a.perTick
+	recordPath, raster, powerEst := a.recordPath, a.raster, a.powerEst
+	var tr compass.Transport
+	switch transport {
+	case "mpi":
+		tr = compass.TransportMPI
+	case "pgas":
+		tr = compass.TransportPGAS
+	default:
+		return fmt.Errorf("unknown transport %q (want mpi or pgas)", transport)
+	}
+
+	model, placement, err := loadModel(specPath, modelPath, cocomacCores, seed, ranks, ticks)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model: %d cores, %d neurons, %d synapses, %d input spikes\n",
+		model.NumCores(), model.NumNeurons(), model.NumSynapses(), len(model.Inputs))
+
+	cfg := compass.Config{
+		Ranks:          ranks,
+		ThreadsPerRank: threads,
+		Transport:      tr,
+		RankOf:         placement,
+		RecordPerTick:  perTick,
+		RecordTrace:    recordPath != "" || raster,
+		ReturnState:    a.checkpointPath != "",
+	}
+	if a.resumePath != "" {
+		f, err := os.Open(a.resumePath)
+		if err != nil {
+			return err
+		}
+		cp, err := coreobject.ReadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cfg.StartFrom = cp
+		fmt.Printf("resuming from tick %d (%s)\n", cp.Tick, a.resumePath)
+	}
+	start := time.Now()
+	stats, err := compass.Run(model, cfg, ticks)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	if recordPath != "" {
+		f, err := os.Create(recordPath)
+		if err != nil {
+			return err
+		}
+		w, err := spikeio.NewWriter(f)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		for _, ev := range stats.Trace {
+			w.Record(ev.FireTick, ev.Target.Core, ev.Target.Axon)
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %d spikes to %s\n", w.Count(), recordPath)
+	}
+
+	fmt.Printf("simulated %d ticks on %d ranks x %d threads (%s) in %v\n",
+		stats.Ticks, stats.Ranks, stats.Threads, tr, elapsed.Round(time.Millisecond))
+	fmt.Printf("spikes: %d total (%.1f Hz mean), %d local, %d remote\n",
+		stats.TotalSpikes, stats.AvgFiringRateHz(), stats.LocalSpikes, stats.RemoteSpikes)
+	fmt.Printf("network: %d messages (%.1f/tick), %.1f remote spikes/tick, %.3f MB modelled payload\n",
+		stats.Messages, stats.MessagesPerTick(), stats.SpikesPerTick(), float64(stats.WireBytes)/1e6)
+	if ticks > 0 {
+		slowdown := elapsed.Seconds() / (float64(ticks) * 0.001)
+		fmt.Printf("host wall-clock: %.1fx real time (%.2f ms/tick)\n", slowdown, elapsed.Seconds()*1000/float64(ticks))
+	}
+	if perTick {
+		fmt.Println("tick  firings  local  remote  msgs")
+		for i, ts := range stats.PerTick {
+			fmt.Printf("%4d  %7d  %5d  %6d  %4d\n", i, ts.Firings, ts.LocalSpikes, ts.RemoteSpikes, ts.Messages)
+		}
+	}
+	if raster {
+		events := make([]spikeio.Event, len(stats.Trace))
+		for i, ev := range stats.Trace {
+			events[i] = spikeio.Event{Tick: ev.FireTick, Core: ev.Target.Core, Axon: ev.Target.Axon}
+		}
+		bin := ticks / 64
+		if bin < 1 {
+			bin = 1
+		}
+		art, err := spikeio.Raster(events, model.NumCores(), ticks, bin, 24)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nspike raster (rows: first cores; columns: %d-tick bins):\n%s", bin, art)
+	}
+	if powerEst {
+		est, err := power.FromStats(power.TrueNorth45nm(), stats)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("hardware power estimate (45 nm TrueNorth profile, real-time): %s\n", est)
+	}
+	if a.checkpointPath != "" {
+		f, err := os.Create(a.checkpointPath)
+		if err != nil {
+			return err
+		}
+		if err := coreobject.WriteCheckpoint(f, stats.Final); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint at tick %d written to %s\n", stats.Final.Tick, a.checkpointPath)
+	}
+	return nil
+}
+
+// loadModel builds the model from whichever source was selected.
+func loadModel(specPath, modelPath string, cocomacCores int, seed uint64, ranks, ticks int) (*truenorth.Model, []int, error) {
+	selected := 0
+	for _, on := range []bool{specPath != "", modelPath != "", cocomacCores > 0} {
+		if on {
+			selected++
+		}
+	}
+	if selected != 1 {
+		return nil, nil, fmt.Errorf("select exactly one of -spec, -model, -cocomac-cores")
+	}
+	switch {
+	case specPath != "":
+		f, err := os.Open(specPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		spec, err := coreobject.DecodeSpec(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := pcc.Compile(spec, ranks)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Model, res.RankOf, nil
+	case modelPath != "":
+		f, err := os.Open(modelPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		model, err := coreobject.ReadModel(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		return model, nil, nil
+	default:
+		net := cocomac.Generate(seed)
+		spec, err := net.ToSpec(cocomacCores, uint64(ticks))
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := pcc.Compile(spec, ranks)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Model, res.RankOf, nil
+	}
+}

@@ -1,0 +1,144 @@
+// Command pcc runs the Parallel Compass Compiler standalone: it expands
+// a CoreObject network description into an explicit model, reports
+// compilation statistics, and optionally writes the explicit binary
+// model for the set-up time comparison of §IV of the paper.
+//
+// Examples:
+//
+//	pcc -spec network.json -ranks 8
+//	pcc -cocomac-cores 512 -ranks 8 -out model.bin -compare-io
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/cognitive-sim/compass/internal/cocomac"
+	"github.com/cognitive-sim/compass/internal/coreobject"
+	"github.com/cognitive-sim/compass/internal/pcc"
+)
+
+func main() {
+	var (
+		specPath     = flag.String("spec", "", "CoreObject network description (JSON)")
+		cocomacCores = flag.Int("cocomac-cores", 0, "compile the built-in CoCoMac network at this scale")
+		seed         = flag.Uint64("seed", 2012, "CoCoMac network seed")
+		ranks        = flag.Int("ranks", 8, "compiler ranks")
+		ticks        = flag.Int("ticks", 100, "stimulus window for the built-in network")
+		outPath      = flag.String("out", "", "write the explicit binary model here")
+		compareIO    = flag.Bool("compare-io", false, "time the write+read of the explicit model against compilation")
+	)
+	flag.Parse()
+	if err := run(*specPath, *cocomacCores, *seed, *ranks, *ticks, *outPath, *compareIO); err != nil {
+		fmt.Fprintln(os.Stderr, "pcc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(specPath string, cocomacCores int, seed uint64, ranks, ticks int, outPath string, compareIO bool) error {
+	var spec *coreobject.NetworkSpec
+	switch {
+	case specPath != "" && cocomacCores > 0:
+		return fmt.Errorf("select only one of -spec and -cocomac-cores")
+	case specPath != "":
+		f, err := os.Open(specPath)
+		if err != nil {
+			return err
+		}
+		s, err := coreobject.DecodeSpec(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		spec = s
+	case cocomacCores > 0:
+		net := cocomac.Generate(seed)
+		s, err := net.ToSpec(cocomacCores, uint64(ticks))
+		if err != nil {
+			return err
+		}
+		spec = s
+	default:
+		return fmt.Errorf("select one of -spec or -cocomac-cores")
+	}
+
+	start := time.Now()
+	res, err := pcc.Compile(spec, ranks)
+	if err != nil {
+		return err
+	}
+	compileTime := time.Since(start)
+	m := res.Model
+	fmt.Printf("compiled %q: %d cores, %d neurons, %d synapses on %d ranks in %v\n",
+		spec.Name, m.NumCores(), m.NumNeurons(), m.NumSynapses(), res.Ranks, compileTime.Round(time.Millisecond))
+	fmt.Printf("balancing: %d IPFP sweeps; negotiation: %d grant messages, %.2f MB\n",
+		res.BalanceIterations, res.GrantMessages, float64(res.GrantBytes)/1e6)
+
+	wired, enabled := 0, 0
+	for _, cfg := range m.Cores {
+		for j := range cfg.Neurons {
+			if cfg.Neurons[j].Enabled {
+				enabled++
+				wired++
+			}
+		}
+	}
+	fmt.Printf("wired neurons: %d of %d (%.1f%%); %d input spikes generated\n",
+		enabled, m.NumNeurons(), 100*float64(enabled)/float64(m.NumNeurons()), len(m.Inputs))
+
+	if outPath != "" || compareIO {
+		path := outPath
+		if path == "" {
+			f, err := os.CreateTemp("", "compass-model-*.bin")
+			if err != nil {
+				return err
+			}
+			path = f.Name()
+			f.Close()
+			defer os.Remove(path)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		if err := coreobject.WriteModel(f, m); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		writeTime := time.Since(t0)
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("explicit model: %.2f MB written to %s in %v\n", float64(fi.Size())/1e6, path, writeTime.Round(time.Millisecond))
+		if compareIO {
+			g, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			t1 := time.Now()
+			if _, err := coreobject.ReadModel(g); err != nil {
+				g.Close()
+				return err
+			}
+			readTime := time.Since(t1)
+			g.Close()
+			explicit := writeTime + readTime
+			fmt.Printf("set-up comparison: compile %v vs explicit write+read %v (%.1fx)\n",
+				compileTime.Round(time.Millisecond), explicit.Round(time.Millisecond),
+				float64(explicit)/float64(compileTime))
+		}
+	}
+	return nil
+}

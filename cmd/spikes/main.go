@@ -1,0 +1,121 @@
+// Command spikes analyzes recorded spike traces (CSPK files written by
+// `compass -record` or the spikeio package): summary statistics, rate
+// time series, per-core rates, ASCII rasters, and inter-spike-interval
+// statistics for a chosen target.
+//
+// Examples:
+//
+//	compass -cocomac-cores 154 -ranks 4 -ticks 200 -record run.cspk
+//	spikes -in run.cspk -summary -rates -bin 10
+//	spikes -in run.cspk -raster -cores 154 -ticks 200
+//	spikes -in run.cspk -isi-core 3 -isi-axon 17
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/cognitive-sim/compass/internal/spikeio"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "CSPK spike trace to analyze")
+		summary = flag.Bool("summary", true, "print summary statistics")
+		rates   = flag.Bool("rates", false, "print the rate time series")
+		raster  = flag.Bool("raster", false, "print an ASCII raster")
+		bin     = flag.Int("bin", 10, "ticks per bin for -rates and -raster")
+		cores   = flag.Int("cores", 0, "core count (0 = infer from trace)")
+		ticks   = flag.Int("ticks", 0, "tick count (0 = infer from trace)")
+		maxRows = flag.Int("max-rows", 24, "raster rows")
+		isiCore = flag.Int("isi-core", -1, "report ISI statistics for this target core")
+		isiAxon = flag.Int("isi-axon", 0, "target axon for -isi-core")
+	)
+	flag.Parse()
+	if err := run(*in, *summary, *rates, *raster, *bin, *cores, *ticks, *maxRows, *isiCore, *isiAxon); err != nil {
+		fmt.Fprintln(os.Stderr, "spikes:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, summary, rates, raster bool, bin, cores, ticks, maxRows, isiCore, isiAxon int) error {
+	if in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := spikeio.ReadAll(f)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		fmt.Println("trace is empty")
+		return nil
+	}
+
+	maxTick, maxCore := uint64(0), truenorth.CoreID(0)
+	for _, ev := range events {
+		if ev.Tick > maxTick {
+			maxTick = ev.Tick
+		}
+		if ev.Core > maxCore {
+			maxCore = ev.Core
+		}
+	}
+	if ticks == 0 {
+		ticks = int(maxTick) + 1
+	}
+	if cores == 0 {
+		cores = int(maxCore) + 1
+	}
+
+	if summary {
+		fmt.Printf("trace: %d spikes over %d ticks, %d cores addressed\n", len(events), ticks, cores)
+		hz := float64(len(events)) / float64(cores) / truenorth.CoreSize / float64(ticks) * 1000
+		fmt.Printf("mean rate: %.2f Hz per neuron (1 ms ticks)\n", hz)
+		perCore, err := spikeio.PerCoreRates(events, cores, ticks)
+		if err != nil {
+			return err
+		}
+		sorted := append([]float64(nil), perCore...)
+		sort.Float64s(sorted)
+		fmt.Printf("per-core rate: min %.2f, median %.2f, max %.2f Hz\n",
+			sorted[0], sorted[len(sorted)/2], sorted[len(sorted)-1])
+	}
+
+	if rates {
+		series, err := spikeio.RateSeries(events, ticks, bin)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nspikes per %d-tick bin:\n", bin)
+		for i, c := range series {
+			fmt.Printf("%6d..%-6d %d\n", i*bin, (i+1)*bin-1, c)
+		}
+	}
+
+	if raster {
+		art, err := spikeio.Raster(events, cores, ticks, bin, maxRows)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nraster (%d-tick bins):\n%s", bin, art)
+	}
+
+	if isiCore >= 0 {
+		st := spikeio.ISI(events, truenorth.CoreID(isiCore), uint16(isiAxon))
+		if st.Intervals == 0 {
+			fmt.Printf("\nISI (%d,%d): fewer than two spikes\n", isiCore, isiAxon)
+		} else {
+			fmt.Printf("\nISI (%d,%d): %d intervals, mean %.2f ticks, CV %.3f\n",
+				isiCore, isiAxon, st.Intervals, st.Mean, st.CV)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+// Package compass is a Go reproduction of Compass, IBM's scalable
+// simulator for the TrueNorth cognitive-computing architecture
+// (Preissl et al., "Compass: A scalable simulator for an architecture
+// for Cognitive Computing", SC 2012).
+//
+// The package is a facade over the implementation packages:
+//
+//   - the TrueNorth architecture model (256-axon × 256-neuron cores with
+//     binary synaptic crossbars, axonal delay buffers, and digital
+//     integrate-leak-and-fire neurons),
+//   - the Compass parallel simulator (ranks × threads with the paper's
+//     Synapse/Neuron/Network phases over simulated MPI or PGAS
+//     transports),
+//   - the Parallel Compass Compiler (CoreObject descriptions expanded to
+//     explicit models with IPFP-balanced, negotiated wiring),
+//   - the CoCoMac macaque network generator, the corelet library of
+//     functional primitives, and the calibrated Blue Gene performance
+//     model used to regenerate the paper's figures.
+//
+// Quick start:
+//
+//	net := compass.GenerateCoCoMac(2012)
+//	spec, _ := net.ToSpec(512, 200)
+//	res, _ := compass.Compile(spec, 8)
+//	stats, _ := compass.Run(res.Model, compass.Config{
+//	    Ranks: res.Ranks, ThreadsPerRank: 2, RankOf: res.RankOf,
+//	}, 200)
+//	fmt.Println(stats.TotalSpikes, stats.AvgFiringRateHz())
+package compass
+
+import (
+	"io"
+
+	"github.com/cognitive-sim/compass/internal/cocomac"
+	sim "github.com/cognitive-sim/compass/internal/compass"
+	"github.com/cognitive-sim/compass/internal/corelets"
+	"github.com/cognitive-sim/compass/internal/coreobject"
+	"github.com/cognitive-sim/compass/internal/pcc"
+	"github.com/cognitive-sim/compass/internal/power"
+	"github.com/cognitive-sim/compass/internal/spikeio"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// Architecture types (TrueNorth cores, neurons, models).
+type (
+	// CoreID identifies a core globally within a model.
+	CoreID = truenorth.CoreID
+	// CoreConfig is the pure-data configuration of one neurosynaptic core.
+	CoreConfig = truenorth.CoreConfig
+	// NeuronParams configures one integrate-leak-and-fire neuron.
+	NeuronParams = truenorth.NeuronParams
+	// SpikeTarget addresses a neuron's output axon.
+	SpikeTarget = truenorth.SpikeTarget
+	// Spike is a spike in flight on the inter-core network.
+	Spike = truenorth.Spike
+	// SpikeEvent is one delivered spike in a simulation trace.
+	SpikeEvent = truenorth.SpikeEvent
+	// InputSpike is an external stimulus spike.
+	InputSpike = truenorth.InputSpike
+	// Model is a fully instantiated network of TrueNorth cores.
+	Model = truenorth.Model
+	// SerialSim is the single-threaded reference simulator.
+	SerialSim = truenorth.SerialSim
+	// Checkpoint is a decomposition-portable simulation state snapshot.
+	Checkpoint = truenorth.Checkpoint
+	// CoreState is the dynamic state of one core at a tick boundary.
+	CoreState = truenorth.CoreState
+)
+
+// Architecture constants.
+const (
+	// CoreSize is the number of axons and neurons per core (256).
+	CoreSize = truenorth.CoreSize
+	// NumAxonTypes is the number of axon types (4).
+	NumAxonTypes = truenorth.NumAxonTypes
+	// MaxDelay is the largest axonal delay in ticks (15).
+	MaxDelay = truenorth.MaxDelay
+	// SpikeWireBytes is the modelled wire size of one spike (20 B, §VI-B).
+	SpikeWireBytes = truenorth.SpikeWireBytes
+)
+
+// NewSerialSim builds the serial reference simulator for a model.
+func NewSerialSim(m *Model) (*SerialSim, error) { return truenorth.NewSerialSim(m) }
+
+// Parallel simulator types.
+type (
+	// Config describes a parallel simulation run (ranks, threads,
+	// transport, placement).
+	Config = sim.Config
+	// Transport selects MPI or PGAS communication.
+	Transport = sim.Transport
+	// RunStats summarizes a parallel run.
+	RunStats = sim.RunStats
+	// TickStats aggregates one tick.
+	TickStats = sim.TickStats
+	// RankStats aggregates one rank.
+	RankStats = sim.RankStats
+)
+
+// Transports.
+const (
+	// TransportMPI is the two-sided implementation with per-destination
+	// aggregation and a reduce-scatter per tick (§III).
+	TransportMPI = sim.TransportMPI
+	// TransportPGAS is the one-sided implementation with direct puts and
+	// a single global barrier per tick (§VII).
+	TransportPGAS = sim.TransportPGAS
+)
+
+// Run simulates ticks ticks of model m under cfg. The spike output is
+// identical for every (ranks, threads, transport) decomposition.
+func Run(m *Model, cfg Config, ticks int) (*RunStats, error) { return sim.Run(m, cfg, ticks) }
+
+// Compiler and description types.
+type (
+	// NetworkSpec is the compact CoreObject network description.
+	NetworkSpec = coreobject.NetworkSpec
+	// RegionSpec declares one functional region.
+	RegionSpec = coreobject.RegionSpec
+	// NeuronProto is a per-region neuron prototype.
+	NeuronProto = coreobject.NeuronProto
+	// Connection is a directed white-matter edge between regions.
+	Connection = coreobject.Connection
+	// InputSpec attaches an external stimulus to a region.
+	InputSpec = coreobject.InputSpec
+	// CompileResult is the output of the Parallel Compass Compiler.
+	CompileResult = pcc.Result
+)
+
+// Compile expands a CoreObject description into an explicit model using
+// the Parallel Compass Compiler on the given number of ranks.
+func Compile(spec *NetworkSpec, ranks int) (*CompileResult, error) { return pcc.Compile(spec, ranks) }
+
+// DefaultProto returns a reasonable neuron prototype for new regions.
+func DefaultProto() NeuronProto { return coreobject.DefaultProto() }
+
+// DecodeSpec reads and validates a CoreObject JSON document.
+func DecodeSpec(r io.Reader) (*NetworkSpec, error) { return coreobject.DecodeSpec(r) }
+
+// WriteModel serializes an explicit model in the binary format.
+func WriteModel(w io.Writer, m *Model) error { return coreobject.WriteModel(w, m) }
+
+// ReadModel deserializes an explicit binary model.
+func ReadModel(r io.Reader) (*Model, error) { return coreobject.ReadModel(r) }
+
+// WriteCheckpoint serializes a simulation checkpoint.
+func WriteCheckpoint(w io.Writer, cp *Checkpoint) error { return coreobject.WriteCheckpoint(w, cp) }
+
+// ReadCheckpoint deserializes a simulation checkpoint.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) { return coreobject.ReadCheckpoint(r) }
+
+// NewSerialSimAt builds a serial simulator resuming from a checkpoint.
+func NewSerialSimAt(m *Model, cp *Checkpoint) (*SerialSim, error) {
+	return truenorth.NewSerialSimAt(m, cp)
+}
+
+// CoCoMac macaque network types.
+type (
+	// CoCoMacNetwork is the generated macaque model network of §V.
+	CoCoMacNetwork = cocomac.Network
+	// CoCoMacRegion is one region of the reduced network.
+	CoCoMacRegion = cocomac.Region
+)
+
+// GenerateCoCoMac builds the synthetic CoCoMac-statistics macaque
+// network from a seed: 102 reduced regions, 77 reporting connections,
+// Paxinos-style volumes, and a balanced connection matrix.
+func GenerateCoCoMac(seed uint64) *CoCoMacNetwork { return cocomac.Generate(seed) }
+
+// Corelet library types.
+type (
+	// CoreletBuilder constructs models from functional primitives.
+	CoreletBuilder = corelets.Builder
+	// InPort is a corelet's input axon set.
+	InPort = corelets.InPort
+	// OutPort is a corelet's output neuron set.
+	OutPort = corelets.OutPort
+	// Probe decodes probed corelet outputs from spike traces.
+	Probe = corelets.Probe
+	// WTAStage is an n-channel winner-take-all corelet.
+	WTAStage = corelets.WTA
+)
+
+// NewCoreletBuilder returns an empty corelet builder.
+func NewCoreletBuilder(seed uint64) *CoreletBuilder { return corelets.NewBuilder(seed) }
+
+// Spike recording and analysis types.
+type (
+	// SpikeWriter streams spike records to a writer (CSPK format).
+	SpikeWriter = spikeio.Writer
+	// RecordedSpike is one recorded spike delivery.
+	RecordedSpike = spikeio.Event
+)
+
+// NewSpikeWriter opens a spike stream on w.
+func NewSpikeWriter(w io.Writer) (*SpikeWriter, error) { return spikeio.NewWriter(w) }
+
+// ReadSpikes parses a recorded spike stream.
+func ReadSpikes(r io.Reader) ([]RecordedSpike, error) { return spikeio.ReadAll(r) }
+
+// Power estimation types.
+type (
+	// PowerProfile holds per-operation hardware energy constants.
+	PowerProfile = power.Profile
+	// PowerEstimate is an energy/power breakdown for a workload.
+	PowerEstimate = power.Estimate
+)
+
+// TrueNorthPowerProfile returns the 45 nm neurosynaptic-core energy
+// profile derived from the paper's cited hardware.
+func TrueNorthPowerProfile() PowerProfile { return power.TrueNorth45nm() }
+
+// EstimatePower estimates TrueNorth hardware power for the workload a
+// simulation measured, assuming real-time (1 ms tick) operation.
+func EstimatePower(p PowerProfile, stats *RunStats) (PowerEstimate, error) {
+	return power.FromStats(p, stats)
+}

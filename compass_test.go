@@ -1,0 +1,166 @@
+package compass_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	compass "github.com/cognitive-sim/compass"
+)
+
+// TestFacadeEndToEnd drives the whole public API: generate the macaque
+// network, compile it, simulate it in parallel, check against the serial
+// reference, and round-trip the explicit model format.
+func TestFacadeEndToEnd(t *testing.T) {
+	net := compass.GenerateCoCoMac(2012)
+	spec, err := net.ToSpec(154, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := compass.Compile(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := compass.NewSerialSim(res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(60); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := compass.Run(res.Model, compass.Config{
+		Ranks:          res.Ranks,
+		ThreadsPerRank: 2,
+		RankOf:         res.RankOf,
+	}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalSpikes != ref.TotalSpikes() {
+		t.Fatalf("parallel %d spikes, serial %d", stats.TotalSpikes, ref.TotalSpikes())
+	}
+	if stats.TotalSpikes == 0 {
+		t.Fatal("macaque model silent")
+	}
+
+	var buf bytes.Buffer
+	if err := compass.WriteModel(&buf, res.Model); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := compass.ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats2, err := compass.Run(m2, compass.Config{Ranks: 2, ThreadsPerRank: 1}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.TotalSpikes != stats.TotalSpikes {
+		t.Fatalf("round-tripped model produced %d spikes, want %d", stats2.TotalSpikes, stats.TotalSpikes)
+	}
+}
+
+func TestFacadeSpecJSON(t *testing.T) {
+	spec := &compass.NetworkSpec{
+		Name: "facade",
+		Seed: 3,
+		Regions: []compass.RegionSpec{
+			{Name: "A", Cores: 2, GrayFraction: 0.4, Proto: compass.DefaultProto()},
+			{Name: "B", Cores: 2, GrayFraction: 0.4, Proto: compass.DefaultProto()},
+		},
+		Connections: []compass.Connection{
+			{Src: "A", Dst: "B", Weight: 1},
+			{Src: "B", Dst: "A", Weight: 1},
+		},
+	}
+	var buf bytes.Buffer
+	if err := spec.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := compass.DecodeSpec(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "facade" || len(got.Regions) != 2 {
+		t.Fatalf("decoded spec: %+v", got)
+	}
+	if _, err := compass.Compile(got, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeCorelets(t *testing.T) {
+	b := compass.NewCoreletBuilder(5)
+	in, out := b.Relay(4)
+	probe, err := b.Probe(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Stimulate(in, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := probe.Counts(m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[3] != 1 {
+		t.Fatalf("relay counts %v", counts)
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	if compass.CoreSize != 256 || compass.NumAxonTypes != 4 || compass.MaxDelay != 15 || compass.SpikeWireBytes != 20 {
+		t.Fatal("architecture constants drifted from the paper")
+	}
+	if compass.TransportMPI.String() != "mpi" || compass.TransportPGAS.String() != "pgas" {
+		t.Fatal("transport names wrong")
+	}
+}
+
+func TestFacadeSpikeAndPower(t *testing.T) {
+	model, err := compass.GenerateCoCoMac(2012).ToSpec(154, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := compass.Compile(model, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := compass.Run(res.Model, compass.Config{
+		Ranks: res.Ranks, ThreadsPerRank: 1, RankOf: res.RankOf, RecordTrace: true,
+	}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := compass.NewSpikeWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range stats.Trace {
+		w.Record(ev.FireTick, ev.Target.Core, ev.Target.Axon)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := compass.ReadSpikes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(events)) != stats.TotalSpikes {
+		t.Fatalf("recorded %d events, stats say %d", len(events), stats.TotalSpikes)
+	}
+	est, err := compass.EstimatePower(compass.TrueNorthPowerProfile(), stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.TotalW <= 0 {
+		t.Fatalf("power estimate %+v", est)
+	}
+}

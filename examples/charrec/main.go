@@ -1,0 +1,181 @@
+// Charrec: character recognition on TrueNorth cores — one of the
+// applications the paper demonstrates with Compass ("character
+// recognition", §I).
+//
+// A single neurosynaptic core holds ten digit templates on a 5×7 pixel
+// grid. Each digit's neuron integrates +1 per matching active pixel and
+// −1 per non-matching active pixel through the binary crossbar, firing
+// when its margin clears a per-template threshold (the template's pixel
+// count minus a noise allowance). Digits are presented as one-tick spike
+// volleys — clean first, then with increasing numbers of flipped pixels —
+// and the spikes coming out of the classifier are the predictions.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/cognitive-sim/compass/internal/corelets"
+	"github.com/cognitive-sim/compass/internal/prng"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// font5x7 is a standard 5×7 dot-matrix digit font, one string per row.
+var font5x7 = map[rune][]string{
+	'0': {" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "},
+	'1': {"  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "},
+	'2': {" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"},
+	'3': {" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "},
+	'4': {"   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "},
+	'5': {"#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "},
+	'6': {" ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### "},
+	'7': {"#####", "    #", "   # ", "  #  ", " #   ", " #   ", " #   "},
+	'8': {" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "},
+	'9': {" ### ", "#   #", "#   #", " ####", "    #", "    #", " ### "},
+}
+
+const (
+	gridW, gridH = 5, 7
+	bits         = gridW * gridH
+	// noiseAllowance is how many flipped pixels a template tolerates.
+	noiseAllowance = 3
+)
+
+func glyphBits(r rune) []bool {
+	rows := font5x7[r]
+	out := make([]bool, bits)
+	for y, row := range rows {
+		for x, c := range row {
+			out[y*gridW+x] = c == '#'
+		}
+	}
+	return out
+}
+
+func popcount(p []bool) int {
+	n := 0
+	for _, b := range p {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+func flipPixels(p []bool, n int, r *prng.Stream) []bool {
+	out := append([]bool(nil), p...)
+	for i := 0; i < n; i++ {
+		idx := r.Intn(len(out))
+		out[idx] = !out[idx]
+	}
+	return out
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	digits := []rune("0123456789")
+	templates := make([][]bool, len(digits))
+	thresholds := make([]int32, len(digits))
+	for i, d := range digits {
+		templates[i] = glyphBits(d)
+		// Demand all template pixels minus the noise allowance, so a
+		// template only fires on patterns close to itself: margin =
+		// matches − mismatches ≥ |template| − noiseAllowance.
+		thresholds[i] = int32(popcount(templates[i]) - noiseAllowance)
+	}
+
+	b := corelets.NewBuilder(7)
+	in, out, err := b.TemplateMatcherThresholds(bits, templates, thresholds)
+	if err != nil {
+		return err
+	}
+	probe, err := b.Probe(out)
+	if err != nil {
+		return err
+	}
+
+	// Schedule presentations: every digit clean, then with 1 and 2
+	// pixels flipped. One presentation per tick-pair keeps volleys apart.
+	type presentation struct {
+		label int
+		tick  uint64
+	}
+	var schedule []presentation
+	r := prng.New(99)
+	tick := uint64(0)
+	for _, flips := range []int{0, 1, 2} {
+		for i := range digits {
+			pattern := templates[i]
+			if flips > 0 {
+				pattern = flipPixels(pattern, flips, r)
+			}
+			if err := b.Volley(in, pattern, tick); err != nil {
+				return err
+			}
+			schedule = append(schedule, presentation{label: i, tick: tick})
+			tick += 2
+		}
+	}
+
+	m, err := b.Build()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("classifier: %d digit templates on %d TrueNorth core(s), %d input lines\n",
+		len(templates), b.NumCores(), bits)
+
+	// Run and collect which template fired at which tick.
+	sim, err := truenorth.NewSerialSim(m)
+	if err != nil {
+		return err
+	}
+	fired := map[uint64][]int{}
+	sim.OnSpike = func(tk uint64, s truenorth.Spike) {
+		if idx, ok := probe.Index(s.Target); ok {
+			fired[tk] = append(fired[tk], idx)
+		}
+	}
+	if err := sim.Run(int(tick) + 4); err != nil {
+		return err
+	}
+
+	correct, total := 0, 0
+	fmt.Println("\npresentation results (prediction = templates that fired):")
+	for bi, p := range schedule {
+		flips := bi / len(digits)
+		preds := fired[p.tick]
+		hit := false
+		unique := len(preds) == 1
+		for _, pr := range preds {
+			if pr == p.label {
+				hit = true
+			}
+		}
+		total++
+		if hit && unique {
+			correct++
+		}
+		var buf strings.Builder
+		for _, pr := range preds {
+			fmt.Fprintf(&buf, "%c ", digits[pr])
+		}
+		status := "MISS"
+		if hit && unique {
+			status = "ok"
+		} else if hit {
+			status = "ambiguous"
+		}
+		fmt.Printf("  digit %c (%d flipped): fired [%s] %s\n", digits[p.label], flips, strings.TrimSpace(buf.String()), status)
+	}
+	fmt.Printf("\naccuracy: %d/%d unique correct classifications\n", correct, total)
+	if correct < total*2/3 {
+		return fmt.Errorf("accuracy too low: %d/%d", correct, total)
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+// Motion: direction-selective motion detection on TrueNorth cores — the
+// corelet composition behind the paper's optic-flow and spatio-temporal
+// feature extraction applications (§I).
+//
+// The circuit is a spiking Reichardt detector array over a 1-D strip of
+// photoreceptor inputs. For every adjacent pixel pair (i, i+1) there are
+// two coincidence (AND) gates:
+//
+//	rightward: delay(pixel i) AND pixel i+1
+//	leftward:  pixel i AND delay(pixel i+1)
+//
+// A stimulus sweeping rightward at one pixel per Δ ticks makes the
+// delayed left-pixel signal coincide with the fresh right-pixel signal,
+// so the rightward detectors fire and the leftward ones stay silent —
+// and vice versa. Splitters fan each pixel out to its detector pairs,
+// and delays ride on the neuron-to-axon connections.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/cognitive-sim/compass/internal/corelets"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+const (
+	pixels = 16
+	// sweepDelta is the stimulus speed: one pixel per sweepDelta ticks.
+	// The detector delay is matched to it.
+	sweepDelta = 3
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// buildDetector wires the full array and returns the pixel input port
+// and probes for the right- and left-selective outputs.
+func buildDetector(b *corelets.Builder) (corelets.InPort, *corelets.Probe, *corelets.Probe, error) {
+	// Each pixel fans out to 4 branches: (as delayed left input,
+	// as fresh right input) × (rightward, leftward detectors).
+	pixelIn, pixelOut, err := b.Splitter(pixels, 4)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	branch := func(br, i int) corelets.OutPort {
+		return corelets.OutPort{pixelOut[br*pixels+i]}
+	}
+
+	pairs := pixels - 1
+	rightIn, rightOut, err := b.Gate(pairs, 2, 2) // AND gates
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	leftIn, leftOut, err := b.Gate(pairs, 2, 2)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// Gate g's inputs are port indices 2g (first) and 2g+1 (second).
+	for g := 0; g < pairs; g++ {
+		// Rightward: pixel g delayed by sweepDelta+1, pixel g+1 fresh.
+		if err := b.Connect(branch(0, g), corelets.InPort{rightIn[2*g]}, sweepDelta+1); err != nil {
+			return nil, nil, nil, err
+		}
+		if err := b.Connect(branch(1, g+1), corelets.InPort{rightIn[2*g+1]}, 1); err != nil {
+			return nil, nil, nil, err
+		}
+		// Leftward: pixel g+1 delayed, pixel g fresh.
+		if err := b.Connect(branch(2, g+1), corelets.InPort{leftIn[2*g]}, sweepDelta+1); err != nil {
+			return nil, nil, nil, err
+		}
+		if err := b.Connect(branch(3, g), corelets.InPort{leftIn[2*g+1]}, 1); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	rightProbe, err := b.Probe(rightOut)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	leftProbe, err := b.Probe(leftOut)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return pixelIn, rightProbe, leftProbe, nil
+}
+
+// sweep injects a bar sweeping across the strip; dir is +1 (rightward)
+// or -1 (leftward). Returns the tick after the sweep finishes.
+func sweep(b *corelets.Builder, in corelets.InPort, start uint64, dir int) (uint64, error) {
+	pos := 0
+	if dir < 0 {
+		pos = pixels - 1
+	}
+	t := start
+	for k := 0; k < pixels; k++ {
+		if err := b.Stimulate(in, pos, t); err != nil {
+			return 0, err
+		}
+		pos += dir
+		t += sweepDelta
+	}
+	return t + 8, nil
+}
+
+func run() error {
+	b := corelets.NewBuilder(11)
+	in, rightProbe, leftProbe, err := buildDetector(b)
+	if err != nil {
+		return err
+	}
+
+	// One rightward sweep, a gap, then one leftward sweep.
+	afterRight, err := sweep(b, in, 0, +1)
+	if err != nil {
+		return err
+	}
+	afterLeft, err := sweep(b, in, afterRight, -1)
+	if err != nil {
+		return err
+	}
+
+	m, err := b.Build()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Reichardt array: %d pixels, %d detector pairs on %d TrueNorth cores\n",
+		pixels, pixels-1, b.NumCores())
+
+	sim, err := truenorth.NewSerialSim(m)
+	if err != nil {
+		return err
+	}
+	// Count detector responses per phase of the experiment.
+	type phase struct{ right, left int }
+	var during [2]phase // [0] = rightward sweep window, [1] = leftward
+	sim.OnSpike = func(tick uint64, s truenorth.Spike) {
+		idx := 0
+		if tick >= afterRight {
+			idx = 1
+		}
+		if _, ok := rightProbe.Index(s.Target); ok {
+			during[idx].right++
+		}
+		if _, ok := leftProbe.Index(s.Target); ok {
+			during[idx].left++
+		}
+	}
+	if err := sim.Run(int(afterLeft) + 8); err != nil {
+		return err
+	}
+
+	fmt.Printf("\nrightward sweep: %2d rightward detections, %2d leftward\n", during[0].right, during[0].left)
+	fmt.Printf("leftward  sweep: %2d rightward detections, %2d leftward\n", during[1].right, during[1].left)
+
+	if during[0].right <= during[0].left {
+		return fmt.Errorf("rightward sweep not detected as rightward")
+	}
+	if during[1].left <= during[1].right {
+		return fmt.Errorf("leftward sweep not detected as leftward")
+	}
+	fmt.Println("\ndirection selectivity confirmed: the array distinguishes motion direction from spike timing alone.")
+	return nil
+}

@@ -1,0 +1,81 @@
+// Realtime: the §VII experiment at host scale — the synthetic benchmark
+// network (75% of connections node-local, neurons firing at ~10 Hz) run
+// under both the MPI and the PGAS transports, plus the calibrated Blue
+// Gene/P projection that reproduces Figure 7's conclusion: one-sided
+// PGAS communication sustains soft real time at core counts where
+// two-sided MPI does not.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/cognitive-sim/compass/internal/compass"
+	"github.com/cognitive-sim/compass/internal/experiments"
+	"github.com/cognitive-sim/compass/internal/perfmodel"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		ranks        = 8
+		coresPerRank = 16
+		ticks        = 500
+	)
+	model, err := experiments.SyntheticModel(ranks, coresPerRank, 0.75, 10, 2024)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("synthetic network: %d cores on %d ranks, 75%% rank-local connectivity, ~10 Hz\n\n",
+		model.NumCores(), ranks)
+
+	// Functional runs under both transports: identical spikes, different
+	// communication structure.
+	for _, tr := range []compass.Transport{compass.TransportMPI, compass.TransportPGAS} {
+		t0 := time.Now()
+		stats, err := compass.Run(model, compass.Config{
+			Ranks: ranks, ThreadsPerRank: 2, Transport: tr,
+		}, ticks)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(t0)
+		fmt.Printf("%-4s: %6d spikes (%.1f Hz), %5.1f remote spikes/tick, %5.1f msgs|puts/tick, wall %v (%.2f ms/tick)\n",
+			tr, stats.TotalSpikes, stats.AvgFiringRateHz(), stats.SpikesPerTick(),
+			stats.MessagesPerTick(), elapsed.Round(time.Millisecond),
+			elapsed.Seconds()*1000/float64(ticks))
+	}
+
+	// Projection at paper scale: 81K cores over four Blue Gene/P racks.
+	fmt.Println("\nprojected on Blue Gene/P (81,920 cores, 1000 ticks):")
+	machine := perfmodel.BlueGeneP()
+	for _, racks := range []int{1, 2, 4} {
+		nodes := racks * 1024
+		w, err := perfmodel.SyntheticUniform(nodes, 81920/nodes, 10, 0.75, 0.10)
+		if err != nil {
+			return err
+		}
+		pgasT, err := perfmodel.Project(machine, w, 4, compass.TransportPGAS)
+		if err != nil {
+			return err
+		}
+		mpiT, err := perfmodel.Project(machine, w, 4, compass.TransportMPI)
+		if err != nil {
+			return err
+		}
+		rt := ""
+		if pgasT.Total() <= 0.00125 {
+			rt = "  <- soft real time"
+		}
+		fmt.Printf("  %d rack(s): PGAS %.2f s, MPI %.2f s (%.1fx)%s\n",
+			racks, pgasT.Total()*1000, mpiT.Total()*1000, mpiT.Total()/pgasT.Total(), rt)
+	}
+	fmt.Println("\npaper: PGAS simulated 81K cores in 1 s per 1000 ticks on 4 racks; MPI took 2.1x as long.")
+	return nil
+}

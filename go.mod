@@ -1,0 +1,3 @@
+module github.com/cognitive-sim/compass
+
+go 1.23

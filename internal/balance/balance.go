@@ -1,0 +1,329 @@
+// Package balance implements matrix balancing by the iterative
+// proportional fitting procedure (IPFP), known in linear algebra as the
+// Sinkhorn–Knopp algorithm.
+//
+// The Parallel Compass Compiler needs a realizability guarantee: every
+// white-matter connection request from a source region must be satisfied
+// by an available axon in the target region, and every gray-matter
+// request by local axons. The paper (§IV–V) obtains this by normalizing
+// the region-to-region connection matrix so that each row sum and column
+// sum equals the region's (volume-derived) capacity — a generalization of
+// doubly stochastic scaling. IPFP achieves that by alternately scaling
+// rows and columns; for a nonnegative matrix whose zero pattern admits a
+// solution, the iteration converges and, crucially, never introduces a
+// connection where the anatomical matrix had none (multiplicative scaling
+// preserves zeros).
+package balance
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotConverged is returned when the iteration fails to reach the
+// tolerance within the iteration budget; the matrix's zero pattern may
+// not support the prescribed marginals.
+var ErrNotConverged = errors.New("balance: IPFP did not converge")
+
+// Result carries the balanced matrix and convergence diagnostics.
+type Result struct {
+	// Matrix is the balanced matrix (a fresh allocation; the input is not
+	// modified).
+	Matrix [][]float64
+	// Iterations is the number of row+column sweeps performed.
+	Iterations int
+	// Residual is the final maximum relative marginal deviation.
+	Residual float64
+}
+
+// Options tunes the iteration.
+type Options struct {
+	// Tol is the maximum relative deviation of any row or column sum from
+	// its target at convergence. Zero means 1e-9.
+	Tol float64
+	// MaxIter bounds the number of sweeps. Zero means 10000.
+	MaxIter int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tol == 0 {
+		o.Tol = 1e-9
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 10000
+	}
+	return o
+}
+
+// clone copies a rectangular matrix.
+func clone(a [][]float64) [][]float64 {
+	out := make([][]float64, len(a))
+	for i := range a {
+		out[i] = make([]float64, len(a[i]))
+		copy(out[i], a[i])
+	}
+	return out
+}
+
+// validate checks shape and sign constraints and the marginal consistency
+// condition sum(rowSums) == sum(colSums).
+func validate(a [][]float64, rowSums, colSums []float64) error {
+	n := len(a)
+	if n == 0 {
+		return errors.New("balance: empty matrix")
+	}
+	m := len(a[0])
+	for i := range a {
+		if len(a[i]) != m {
+			return fmt.Errorf("balance: ragged matrix: row %d has %d columns, want %d", i, len(a[i]), m)
+		}
+		for j, v := range a[i] {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("balance: entry (%d,%d) = %v is not finite nonnegative", i, j, v)
+			}
+		}
+	}
+	if len(rowSums) != n || len(colSums) != m {
+		return fmt.Errorf("balance: marginal lengths (%d,%d) do not match matrix (%d,%d)", len(rowSums), len(colSums), n, m)
+	}
+	var rt, ct float64
+	for i, v := range rowSums {
+		if v < 0 {
+			return fmt.Errorf("balance: row target %d is negative", i)
+		}
+		rt += v
+	}
+	for j, v := range colSums {
+		if v < 0 {
+			return fmt.Errorf("balance: column target %d is negative", j)
+		}
+		ct += v
+	}
+	if rt == 0 && ct == 0 {
+		return errors.New("balance: all marginal targets are zero")
+	}
+	if math.Abs(rt-ct) > 1e-6*math.Max(rt, ct) {
+		return fmt.Errorf("balance: row targets sum to %g but column targets sum to %g", rt, ct)
+	}
+	// A row with a positive target must have at least one positive entry.
+	for i, target := range rowSums {
+		if target == 0 {
+			continue
+		}
+		ok := false
+		for _, v := range a[i] {
+			if v > 0 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("balance: row %d has target %g but no positive entries", i, target)
+		}
+	}
+	for j, target := range colSums {
+		if target == 0 {
+			continue
+		}
+		ok := false
+		for i := range a {
+			if a[i][j] > 0 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("balance: column %d has target %g but no positive entries", j, target)
+		}
+	}
+	return nil
+}
+
+// IPFP balances a nonnegative matrix so that row i sums to rowSums[i] and
+// column j sums to colSums[j]. The zero pattern of a is preserved. It
+// returns ErrNotConverged (wrapped with the final residual) if the
+// iteration budget is exhausted, which typically indicates that the zero
+// pattern cannot support the prescribed marginals.
+func IPFP(a [][]float64, rowSums, colSums []float64, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := validate(a, rowSums, colSums); err != nil {
+		return nil, err
+	}
+	m := clone(a)
+	n, cols := len(m), len(m[0])
+
+	colAcc := make([]float64, cols)
+	var res *Result
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		// Row scaling.
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for _, v := range m[i] {
+				sum += v
+			}
+			switch {
+			case sum > 0:
+				f := rowSums[i] / sum
+				for j := range m[i] {
+					m[i][j] *= f
+				}
+			case rowSums[i] == 0:
+				for j := range m[i] {
+					m[i][j] = 0
+				}
+			}
+		}
+		// Column scaling.
+		for j := range colAcc {
+			colAcc[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			for j, v := range m[i] {
+				colAcc[j] += v
+			}
+		}
+		for j := 0; j < cols; j++ {
+			switch {
+			case colAcc[j] > 0:
+				f := colSums[j] / colAcc[j]
+				for i := 0; i < n; i++ {
+					m[i][j] *= f
+				}
+			case colSums[j] == 0:
+				for i := 0; i < n; i++ {
+					m[i][j] = 0
+				}
+			}
+		}
+		r := Residual(m, rowSums, colSums)
+		if r <= opts.Tol {
+			res = &Result{Matrix: m, Iterations: iter, Residual: r}
+			return res, nil
+		}
+	}
+	r := Residual(m, rowSums, colSums)
+	return &Result{Matrix: m, Iterations: opts.MaxIter, Residual: r},
+		fmt.Errorf("%w: residual %g after %d iterations", ErrNotConverged, r, opts.MaxIter)
+}
+
+// DoublyStochastic balances a square nonnegative matrix to unit row and
+// column sums (the Sinkhorn theorem setting).
+func DoublyStochastic(a [][]float64, opts Options) (*Result, error) {
+	n := len(a)
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	return IPFP(a, ones, ones, opts)
+}
+
+// Residual returns the maximum relative deviation of any row or column
+// sum of m from its target. Deviations on zero targets are measured
+// absolutely.
+func Residual(m [][]float64, rowSums, colSums []float64) float64 {
+	worst := 0.0
+	rel := func(sum, target float64) float64 {
+		d := math.Abs(sum - target)
+		if target > 0 {
+			d /= target
+		}
+		return d
+	}
+	colAcc := make([]float64, len(colSums))
+	for i := range m {
+		sum := 0.0
+		for j, v := range m[i] {
+			sum += v
+			colAcc[j] += v
+		}
+		if d := rel(sum, rowSums[i]); d > worst {
+			worst = d
+		}
+	}
+	for j, sum := range colAcc {
+		if d := rel(sum, colSums[j]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// RoundToInteger converts a balanced real matrix into an integer matrix
+// whose row sums equal round(rowSums) exactly, using largest-remainder
+// apportionment per row. Column sums are approximated (they differ from
+// their targets by at most the rounding slack), which is the tolerance
+// the compiler accepts when converting balanced connection weights into
+// whole neuron-to-axon bundle counts.
+func RoundToInteger(m [][]float64, rowSums []float64) [][]int {
+	out := make([][]int, len(m))
+	for i := range m {
+		row := m[i]
+		target := int(math.Round(rowSums[i]))
+		out[i] = apportionRow(row, target)
+	}
+	return out
+}
+
+// apportionRow distributes target units over a row proportionally to the
+// row's weights using the largest-remainder method.
+func apportionRow(weights []float64, target int) []int {
+	out := make([]int, len(weights))
+	if target <= 0 {
+		return out
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		return out
+	}
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, 0, len(weights))
+	assigned := 0
+	for j, w := range weights {
+		exact := float64(target) * w / total
+		fl := math.Floor(exact)
+		out[j] = int(fl)
+		assigned += int(fl)
+		if w > 0 {
+			rems = append(rems, rem{j, exact - fl})
+		}
+	}
+	// Hand out the remaining units to the largest fractional parts;
+	// stable tie-break on index keeps the result deterministic.
+	for assigned < target {
+		best := -1
+		for k := range rems {
+			if best == -1 || rems[k].frac > rems[best].frac {
+				best = k
+			}
+		}
+		if best == -1 {
+			break
+		}
+		out[rems[best].idx]++
+		rems[best].frac = -1
+		assigned++
+		if assigned < target {
+			alive := false
+			for k := range rems {
+				if rems[k].frac >= 0 {
+					alive = true
+					break
+				}
+			}
+			if !alive {
+				// All remainders consumed; start another round.
+				for k := range rems {
+					rems[k].frac = 0.5
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+package balance
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/cognitive-sim/compass/internal/prng"
+)
+
+func randomPositiveMatrix(n int, seed uint64) [][]float64 {
+	r := prng.New(seed)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = 0.05 + r.Float64()
+		}
+	}
+	return m
+}
+
+func TestDoublyStochasticConvergence(t *testing.T) {
+	for _, n := range []int{2, 5, 20, 77} {
+		m := randomPositiveMatrix(n, uint64(n))
+		res, err := DoublyStochastic(m, Options{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Residual > 1e-9 {
+			t.Fatalf("n=%d: residual %g", n, res.Residual)
+		}
+		ones := make([]float64, n)
+		for i := range ones {
+			ones[i] = 1
+		}
+		if r := Residual(res.Matrix, ones, ones); r > 1e-8 {
+			t.Fatalf("n=%d: recomputed residual %g", n, r)
+		}
+	}
+}
+
+func TestIPFPPrescribedMarginals(t *testing.T) {
+	// Paper setting: row and column sums both equal the region "volume".
+	vol := []float64{5, 1, 3, 8, 2.5}
+	m := randomPositiveMatrix(len(vol), 99)
+	res, err := IPFP(m, vol, vol, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range res.Matrix {
+		sum := 0.0
+		for _, v := range row {
+			sum += v
+		}
+		if math.Abs(sum-vol[i]) > 1e-6*vol[i] {
+			t.Fatalf("row %d sums to %g, want %g", i, sum, vol[i])
+		}
+	}
+	for j := range vol {
+		sum := 0.0
+		for i := range res.Matrix {
+			sum += res.Matrix[i][j]
+		}
+		if math.Abs(sum-vol[j]) > 1e-6*vol[j] {
+			t.Fatalf("column %d sums to %g, want %g", j, sum, vol[j])
+		}
+	}
+}
+
+func TestIPFPPreservesZeroPattern(t *testing.T) {
+	m := [][]float64{
+		{1, 1, 0},
+		{0, 1, 1},
+		{1, 0, 1},
+	}
+	vol := []float64{2, 3, 4}
+	res, err := IPFP(m, vol, vol, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] == 0 && res.Matrix[i][j] != 0 {
+				t.Fatalf("zero entry (%d,%d) became %g", i, j, res.Matrix[i][j])
+			}
+			if m[i][j] > 0 && res.Matrix[i][j] <= 0 {
+				t.Fatalf("positive entry (%d,%d) became %g", i, j, res.Matrix[i][j])
+			}
+		}
+	}
+}
+
+func TestIPFPInputNotModified(t *testing.T) {
+	m := [][]float64{{1, 2}, {3, 4}}
+	orig := [][]float64{{1, 2}, {3, 4}}
+	if _, err := DoublyStochastic(m, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] != orig[i][j] {
+				t.Fatal("IPFP modified its input")
+			}
+		}
+	}
+}
+
+func TestIPFPZeroTargetZeroesRow(t *testing.T) {
+	m := [][]float64{
+		{1, 1},
+		{1, 1},
+	}
+	res, err := IPFP(m, []float64{0, 2}, []float64{1, 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matrix[0][0] != 0 || res.Matrix[0][1] != 0 {
+		t.Fatalf("zero-target row not zeroed: %v", res.Matrix[0])
+	}
+}
+
+func TestIPFPValidation(t *testing.T) {
+	good := [][]float64{{1, 1}, {1, 1}}
+	vol := []float64{1, 1}
+	cases := []struct {
+		name string
+		m    [][]float64
+		r, c []float64
+	}{
+		{"empty", [][]float64{}, nil, nil},
+		{"ragged", [][]float64{{1, 2}, {3}}, vol, vol},
+		{"negative entry", [][]float64{{1, -1}, {1, 1}}, vol, vol},
+		{"nan entry", [][]float64{{1, math.NaN()}, {1, 1}}, vol, vol},
+		{"marginal length", good, []float64{1}, vol},
+		{"negative target", good, []float64{-1, 3}, vol},
+		{"inconsistent totals", good, []float64{1, 1}, []float64{5, 5}},
+		{"all zero targets", good, []float64{0, 0}, []float64{0, 0}},
+		{"empty row with target", [][]float64{{0, 0}, {1, 1}}, vol, vol},
+		{"empty column with target", [][]float64{{0, 1}, {0, 1}}, vol, vol},
+	}
+	for _, tc := range cases {
+		if _, err := IPFP(tc.m, tc.r, tc.c, Options{}); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestIPFPInfeasiblePatternDetected(t *testing.T) {
+	// Block-diagonal pattern with block totals that disagree between rows
+	// and columns is infeasible: rows demand 10 units inside block 1 but
+	// columns only allow 1.
+	m := [][]float64{
+		{1, 0},
+		{0, 1},
+	}
+	_, err := IPFP(m, []float64{10, 1}, []float64{1, 10}, Options{MaxIter: 200})
+	if !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("infeasible balancing returned %v, want ErrNotConverged", err)
+	}
+}
+
+func TestQuickIPFPConvergesOnPositiveMatrices(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%10) + 2
+		m := randomPositiveMatrix(n, seed)
+		r := prng.New(seed ^ 0xabcdef)
+		vol := make([]float64, n)
+		for i := range vol {
+			vol[i] = 1 + 9*r.Float64()
+		}
+		res, err := IPFP(m, vol, vol, Options{Tol: 1e-8})
+		return err == nil && res.Residual <= 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundToIntegerRowSumsExact(t *testing.T) {
+	m := [][]float64{
+		{2.4, 2.6, 0},
+		{1.1, 1.1, 7.8},
+	}
+	out := RoundToInteger(m, []float64{5, 10})
+	for i, want := range []int{5, 10} {
+		sum := 0
+		for _, v := range out[i] {
+			sum += v
+		}
+		if sum != want {
+			t.Fatalf("row %d integer sum = %d, want %d", i, sum, want)
+		}
+	}
+	// Zero weights must receive zero units.
+	if out[0][2] != 0 {
+		t.Fatalf("zero weight received %d units", out[0][2])
+	}
+}
+
+func TestQuickRoundToIntegerProperties(t *testing.T) {
+	f := func(seed uint64, nRaw, targetRaw uint8) bool {
+		n := int(nRaw%12) + 1
+		target := int(targetRaw % 100)
+		r := prng.New(seed)
+		w := make([]float64, n)
+		anyPositive := false
+		for i := range w {
+			if r.Bernoulli(0.7) {
+				w[i] = r.Float64() + 0.01
+				anyPositive = true
+			}
+		}
+		if !anyPositive {
+			w[0] = 1
+		}
+		out := RoundToInteger([][]float64{w}, []float64{float64(target)})
+		sum := 0
+		for j, v := range out[0] {
+			if v < 0 {
+				return false
+			}
+			if w[j] == 0 && v != 0 {
+				return false
+			}
+			sum += v
+		}
+		return sum == target
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIPFP77(b *testing.B) {
+	// The CoCoMac reduced network is 77 regions; this is the compiler's
+	// balancing workload.
+	m := randomPositiveMatrix(77, 1)
+	vol := make([]float64, 77)
+	r := prng.New(2)
+	for i := range vol {
+		vol[i] = 1 + 9*r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := IPFP(m, vol, vol, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package c2
+
+import (
+	"testing"
+
+	"github.com/cognitive-sim/compass/internal/cocomac"
+	"github.com/cognitive-sim/compass/internal/pcc"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// collisionFreeModel builds a deterministic model in which every axon
+// has exactly one source (neuron j of core c targets axon j of core
+// (c+1)%n), so the synapse-centric expansion is exactly equivalent.
+func collisionFreeModel(nCores int) *truenorth.Model {
+	m := &truenorth.Model{Seed: 4}
+	for c := 0; c < nCores; c++ {
+		cfg := &truenorth.CoreConfig{ID: truenorth.CoreID(c)}
+		for a := 0; a < truenorth.CoreSize; a++ {
+			cfg.AxonTypes[a] = uint8(a % truenorth.NumAxonTypes)
+			// Sparse deterministic crossbar.
+			for s := 0; s < 5; s++ {
+				cfg.SetSynapse(a, (a*11+s*31+c)%truenorth.CoreSize, true)
+			}
+		}
+		for j := 0; j < truenorth.CoreSize; j++ {
+			cfg.Neurons[j] = truenorth.NeuronParams{
+				Weights:   [truenorth.NumAxonTypes]int16{2, 1, 3, -1},
+				Leak:      -1,
+				Threshold: int32(3 + (j % 5)),
+				Reset:     0,
+				Floor:     -8,
+				Target: truenorth.SpikeTarget{
+					Core:  truenorth.CoreID((c + 1) % nCores),
+					Axon:  uint16(j),
+					Delay: uint8(1 + j%3),
+				},
+				Enabled: true,
+			}
+		}
+		m.Cores = append(m.Cores, cfg)
+	}
+	for t := uint64(0); t < 20; t++ {
+		for a := 0; a < 48; a++ {
+			m.Inputs = append(m.Inputs, truenorth.InputSpike{
+				Tick: t, Core: truenorth.CoreID(int(t) % nCores), Axon: uint16((a*5 + int(t)) % truenorth.CoreSize),
+			})
+		}
+	}
+	return m
+}
+
+func TestEquivalenceWithReferenceHandBuilt(t *testing.T) {
+	m := collisionFreeModel(4)
+	ref, err := truenorth.NewSerialSim(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ticks = 40
+	refPerTick := make([]int, ticks)
+	ref.OnSpike = func(tick uint64, _ truenorth.Spike) { refPerTick[tick]++ }
+	if err := ref.Run(ticks); err != nil {
+		t.Fatal(err)
+	}
+	if ref.TotalSpikes() == 0 {
+		t.Fatal("reference silent; test vacuous")
+	}
+
+	sim, err := FromModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2PerTick := make([]int, ticks)
+	sim.OnSpike = func(tick uint64, _ uint32) { c2PerTick[tick]++ }
+	sim.Run(ticks)
+
+	if sim.TotalSpikes() != ref.TotalSpikes() {
+		t.Fatalf("C2 baseline fired %d spikes, reference %d", sim.TotalSpikes(), ref.TotalSpikes())
+	}
+	for tk := 0; tk < ticks; tk++ {
+		if c2PerTick[tk] != refPerTick[tk] {
+			t.Fatalf("tick %d: C2 fired %d, reference %d", tk, c2PerTick[tk], refPerTick[tk])
+		}
+	}
+}
+
+func TestEquivalenceWithPCCCompiledModel(t *testing.T) {
+	// PCC grants each axon to exactly one source neuron, which is the
+	// collision-free condition; the synthetic CoCoMac prototypes use
+	// deterministic weights and leaks, so the expansion is exact.
+	net := cocomac.Generate(2012)
+	spec, err := net.ToSpec(128, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pcc.Compile(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := truenorth.NewSerialSim(res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := FromModel(res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(50)
+	if sim.TotalSpikes() != ref.TotalSpikes() {
+		t.Fatalf("C2 baseline fired %d, reference %d on compiled CoCoMac model", sim.TotalSpikes(), ref.TotalSpikes())
+	}
+	if sim.TotalSpikes() == 0 {
+		t.Fatal("compiled model silent")
+	}
+}
+
+func TestRejectsStochasticModels(t *testing.T) {
+	m := collisionFreeModel(2)
+	m.Cores[0].Neurons[3].StochasticLeak = true
+	if _, err := FromModel(m); err == nil {
+		t.Fatal("stochastic leak accepted")
+	}
+	m = collisionFreeModel(2)
+	m.Cores[1].Neurons[7].StochasticWeight[2] = true
+	if _, err := FromModel(m); err == nil {
+		t.Fatal("stochastic weight accepted")
+	}
+	bad := collisionFreeModel(2)
+	bad.Cores[0].Neurons[0].Threshold = 0
+	if _, err := FromModel(bad); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	m := collisionFreeModel(4)
+	sim, err := FromModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	impl, hist := sim.MemoryBytes()
+	if impl != int64(sim.NumSynapses())*SynapseRecordBytes {
+		t.Fatalf("impl memory %d for %d synapses", impl, sim.NumSynapses())
+	}
+	if hist != int64(sim.NumSynapses())*C2SynapseBytes {
+		t.Fatalf("historical memory %d", hist)
+	}
+	// Compass stores the full crossbar bitmap regardless of density.
+	if got := CompassMemoryBytes(m); got != 4*8192 {
+		t.Fatalf("compass memory %d, want 32768", got)
+	}
+	// The §I claim: at full crossbar density the historical synapse
+	// records need 32x the crossbar bitmap.
+	full := &truenorth.Model{Seed: 1}
+	cfg := &truenorth.CoreConfig{ID: 0}
+	for a := 0; a < truenorth.CoreSize; a++ {
+		for k := 0; k < truenorth.CoreSize; k++ {
+			cfg.SetSynapse(a, k, true)
+		}
+	}
+	for j := 0; j < truenorth.CoreSize; j++ {
+		cfg.Neurons[j] = truenorth.NeuronParams{
+			Weights:   [truenorth.NumAxonTypes]int16{1, 1, 1, 1},
+			Threshold: 1 << 30,
+			Target:    truenorth.SpikeTarget{Core: 0, Axon: uint16(j), Delay: 1},
+			Enabled:   true,
+		}
+	}
+	full.Cores = append(full.Cores, cfg)
+	fsim, err := FromModel(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fhist := fsim.MemoryBytes()
+	ratio := float64(fhist) / float64(CompassMemoryBytes(full))
+	if ratio != 32 {
+		t.Fatalf("full-density storage ratio %.1f, want 32 (the paper's claim)", ratio)
+	}
+}
+
+func TestDelayWheelTiming(t *testing.T) {
+	// One neuron fires at tick 0 (threshold 1 via input) into a target
+	// with delay 7; the target must fire exactly at tick 7.
+	m := &truenorth.Model{Seed: 2}
+	cfg := &truenorth.CoreConfig{ID: 0}
+	cfg.SetSynapse(0, 0, true) // input axon 0 -> neuron 0
+	cfg.SetSynapse(1, 1, true) // axon 1 -> neuron 1
+	cfg.Neurons[0] = truenorth.NeuronParams{
+		Weights: [truenorth.NumAxonTypes]int16{1, 1, 1, 1}, Threshold: 1, Floor: 0,
+		Target: truenorth.SpikeTarget{Core: 0, Axon: 1, Delay: 7}, Enabled: true,
+	}
+	cfg.Neurons[1] = truenorth.NeuronParams{
+		Weights: [truenorth.NumAxonTypes]int16{1, 1, 1, 1}, Threshold: 1, Floor: 0,
+		Target: truenorth.SpikeTarget{Core: 0, Axon: 200, Delay: 1}, Enabled: true,
+	}
+	m.Cores = append(m.Cores, cfg)
+	m.Inputs = []truenorth.InputSpike{{Tick: 0, Core: 0, Axon: 0}}
+
+	sim, err := FromModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fires := map[uint32]uint64{}
+	sim.OnSpike = func(tick uint64, n uint32) { fires[n] = tick }
+	sim.Run(12)
+	if fires[0] != 0 {
+		t.Fatalf("neuron 0 fired at %d, want 0", fires[0])
+	}
+	if got, ok := fires[1]; !ok || got != 7 {
+		t.Fatalf("neuron 1 fired at %v (ok=%v), want 7", got, ok)
+	}
+}
+
+func BenchmarkC2StepCoCoMac(b *testing.B) {
+	net := cocomac.Generate(2012)
+	spec, err := net.ToSpec(128, 1<<16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := pcc.Compile(spec, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := FromModel(res.Model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step()
+	}
+}

@@ -1,0 +1,477 @@
+package cocomac
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/cognitive-sim/compass/internal/balance"
+	"github.com/cognitive-sim/compass/internal/coreobject"
+	"github.com/cognitive-sim/compass/internal/prng"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// Region is one region of the reduced network.
+type Region struct {
+	// Name is the region acronym (e.g. "V1", "LGN").
+	Name string
+	// Class is the anatomical division.
+	Class Class
+	// Children is the number of full-network subregions merged into this
+	// region.
+	Children int
+	// Volume is the relative Paxinos-derived volume; it sets the region's
+	// share of neurons/cores.
+	Volume float64
+	// VolumeImputed records that Volume is the class median rather than an
+	// atlas measurement.
+	VolumeImputed bool
+	// Connected records whether the region reports connections.
+	Connected bool
+}
+
+// Network is the generated macaque model network.
+type Network struct {
+	// Seed reproduces the network exactly.
+	Seed uint64
+	// Regions holds the 102 reduced regions; the first ConnectedRegions
+	// entries are the connected ones, in canonical order.
+	Regions []Region
+	// Adj is the ConnectedRegions×ConnectedRegions binary white-matter
+	// adjacency (Adj[i][j] reports a pathway from region i to region j).
+	Adj [][]bool
+	// fullEdges is the number of directed edges in the underlying full
+	// 383-region network.
+	fullEdges int
+}
+
+// FullEdgeCount returns the directed edge count of the underlying full
+// hierarchical network (6,602).
+func (n *Network) FullEdgeCount() int { return n.fullEdges }
+
+// ReducedEdgeCount returns the directed edge count among connected
+// regions after the merge.
+func (n *Network) ReducedEdgeCount() int {
+	c := 0
+	for i := range n.Adj {
+		for j := range n.Adj[i] {
+			if n.Adj[i][j] {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// RegionIndex returns the index of the named region, or -1.
+func (n *Network) RegionIndex(name string) int {
+	for i := range n.Regions {
+		if n.Regions[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Generate builds the synthetic CoCoMac-statistics network from a seed.
+func Generate(seed uint64) *Network {
+	r := prng.New(seed)
+	n := &Network{Seed: seed}
+
+	// Assemble the 102 reduced regions: 77 connected then 25 isolated.
+	for _, e := range connectedRegionNames {
+		n.Regions = append(n.Regions, Region{Name: e.name, Class: e.class, Connected: true})
+	}
+	for _, e := range isolatedRegionNames {
+		n.Regions = append(n.Regions, Region{Name: e.name, Class: e.class})
+	}
+
+	// Distribute the 383 full-network regions over the 102 parents: every
+	// parent owns at least one child; the remaining children are spread
+	// with a mild bias toward large visual and prefrontal areas, which is
+	// where the anatomical literature subdivides most finely.
+	extra := FullRegions - ReducedRegions
+	for i := range n.Regions {
+		n.Regions[i].Children = 1
+	}
+	for k := 0; k < extra; k++ {
+		// Preferential attachment over current child counts.
+		total := 0
+		for i := range n.Regions {
+			total += n.Regions[i].Children
+		}
+		pick := r.Intn(total)
+		for i := range n.Regions {
+			pick -= n.Regions[i].Children
+			if pick < 0 {
+				n.Regions[i].Children++
+				break
+			}
+		}
+	}
+
+	// Volumes: log-normal per class, then impute the 13 missing volumes
+	// with the class median.
+	for i := range n.Regions {
+		reg := &n.Regions[i]
+		var mu, sigma float64
+		switch reg.Class {
+		case Cortical:
+			mu, sigma = 0.0, 0.8
+		case Thalamic:
+			// Thalamic nuclei span a much wider size range than cortical
+			// areas; the small tail is what the Figure 3 realizability
+			// floor lifts above its raw atlas share.
+			mu, sigma = -2.0, 1.2
+		default:
+			mu, sigma = -1.6, 1.1
+		}
+		reg.Volume = math.Exp(mu + sigma*r.NormFloat64())
+	}
+	imputeMedian(n.Regions, Cortical, imputedCortical)
+	imputeMedian(n.Regions, Thalamic, imputedThalamic)
+
+	// Generate exactly FullEdges directed child-level edges among children
+	// of connected parents, then OR them up to parent level. Child edges
+	// are drawn with preferential weights proportional to parent volume ×
+	// child count, which yields the heavy-tailed degree distribution of
+	// real connectomes. Intra-parent child edges are excluded: local
+	// connectivity is modelled by the gray-matter fraction instead.
+	n.Adj = make([][]bool, ConnectedRegions)
+	for i := range n.Adj {
+		n.Adj[i] = make([]bool, ConnectedRegions)
+	}
+	weights := make([]float64, ConnectedRegions)
+	for i := 0; i < ConnectedRegions; i++ {
+		weights[i] = n.Regions[i].Volume * float64(n.Regions[i].Children)
+	}
+	cum := make([]float64, ConnectedRegions)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		cum[i] = acc
+	}
+	drawRegion := func() int {
+		x := r.Float64() * acc
+		lo := sort.SearchFloat64s(cum, x)
+		if lo >= ConnectedRegions {
+			lo = ConnectedRegions - 1
+		}
+		return lo
+	}
+	type childEdge struct{ sp, sc, tp, tc int }
+	seen := make(map[childEdge]bool, FullEdges)
+	for len(seen) < FullEdges {
+		sp := drawRegion()
+		tp := drawRegion()
+		if sp == tp {
+			continue
+		}
+		e := childEdge{
+			sp: sp, sc: r.Intn(n.Regions[sp].Children),
+			tp: tp, tc: r.Intn(n.Regions[tp].Children),
+		}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		n.Adj[sp][tp] = true
+	}
+	n.fullEdges = len(seen)
+
+	// Guarantee every connected region has at least one outgoing and one
+	// incoming pathway (the 77 regions all "report connections").
+	for i := 0; i < ConnectedRegions; i++ {
+		hasOut, hasIn := false, false
+		for j := 0; j < ConnectedRegions; j++ {
+			hasOut = hasOut || n.Adj[i][j]
+			hasIn = hasIn || n.Adj[j][i]
+		}
+		if !hasOut {
+			j := drawRegion()
+			for j == i {
+				j = drawRegion()
+			}
+			n.Adj[i][j] = true
+		}
+		if !hasIn {
+			j := drawRegion()
+			for j == i {
+				j = drawRegion()
+			}
+			n.Adj[j][i] = true
+		}
+	}
+	return n
+}
+
+// imputeMedian sets the volume of the named regions of a class to the
+// median volume of that class's measured regions.
+func imputeMedian(regions []Region, class Class, names map[string]bool) {
+	var measured []float64
+	for i := range regions {
+		if regions[i].Class == class && !names[regions[i].Name] {
+			measured = append(measured, regions[i].Volume)
+		}
+	}
+	sort.Float64s(measured)
+	med := measured[len(measured)/2]
+	if len(measured)%2 == 0 {
+		med = (measured[len(measured)/2-1] + measured[len(measured)/2]) / 2
+	}
+	for i := range regions {
+		if regions[i].Class == class && names[regions[i].Name] {
+			regions[i].Volume = med
+			regions[i].VolumeImputed = true
+		}
+	}
+}
+
+// StochasticMatrix builds the §V-C connection matrix over the connected
+// regions: the diagonal carries the gray-matter fraction (0.40 cortical,
+// 0.20 otherwise) and each white-matter edge carries weight proportional
+// to the source region's volume share, scaled so every row sums to 1.
+func (n *Network) StochasticMatrix() [][]float64 {
+	k := ConnectedRegions
+	m := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		m[i] = make([]float64, k)
+		gray := n.Regions[i].Class.GrayFraction()
+		m[i][i] = gray
+		deg := 0
+		for j := 0; j < k; j++ {
+			if n.Adj[i][j] {
+				deg++
+			}
+		}
+		if deg == 0 {
+			m[i][i] = 1
+			continue
+		}
+		// Distribute the white-matter budget over outgoing edges in
+		// proportion to target volume (diffuse, volume-weighted targeting).
+		var tv float64
+		for j := 0; j < k; j++ {
+			if n.Adj[i][j] {
+				tv += n.Regions[j].Volume
+			}
+		}
+		for j := 0; j < k; j++ {
+			if n.Adj[i][j] {
+				m[i][j] = (1 - gray) * n.Regions[j].Volume / tv
+			}
+		}
+	}
+	return m
+}
+
+// Volumes returns the volume vector of the connected regions.
+func (n *Network) Volumes() []float64 {
+	v := make([]float64, ConnectedRegions)
+	for i := range v {
+		v[i] = n.Regions[i].Volume
+	}
+	return v
+}
+
+// BalancedMatrix balances the stochastic matrix to row and column sums
+// equal to the region volumes (the IPFP step of §IV–V), guaranteeing that
+// all axon and neuron requests can be fulfilled in all regions.
+func (n *Network) BalancedMatrix() (*balance.Result, error) {
+	return balance.IPFP(n.StochasticMatrix(), n.Volumes(), n.Volumes(), balance.Options{Tol: 1e-9})
+}
+
+// AllocationRow is one row of the Figure 3 table: the raw Paxinos-derived
+// core allocation of a region versus its allocation after balancing.
+type AllocationRow struct {
+	Name          string
+	Class         Class
+	PaxinosCores  int
+	BalancedCores int
+	OutDegree     int
+	Imputed       bool
+}
+
+// CoreAllocations computes the Figure 3 comparison for a model with
+// totalCores TrueNorth cores: "Paxinos" cores proportional to raw volume,
+// "balanced" cores proportional to the balanced matrix row sums (which
+// equal the volumes after IPFP normalization of the volume vector itself
+// to the total). Every connected region receives at least one core.
+func (n *Network) CoreAllocations(totalCores int) ([]AllocationRow, error) {
+	if totalCores < ConnectedRegions {
+		return nil, fmt.Errorf("cocomac: %d cores cannot cover %d regions", totalCores, ConnectedRegions)
+	}
+	res, err := n.BalancedMatrix()
+	if err != nil {
+		return nil, err
+	}
+	raw := n.Volumes()
+	balancedRow := make([]float64, ConnectedRegions)
+	for i, row := range res.Matrix {
+		s := 0.0
+		for _, v := range row {
+			s += v
+		}
+		balancedRow[i] = s
+	}
+	// The Paxinos column is the raw proportional share (tiny regions can
+	// round to zero cores); the balanced column is the realizable
+	// allocation: balanced-matrix marginals with a floor of one core per
+	// region so every region's axon and neuron requests can be satisfied.
+	// In log space (as Figure 3 plots), the difference concentrates in
+	// the smallest regions, which the floor lifts.
+	pax := apportionCoresFloor(raw, totalCores, 0)
+	bal := apportionCoresFloor(balancedRow, totalCores, 1)
+	rows := make([]AllocationRow, ConnectedRegions)
+	for i := range rows {
+		deg := 0
+		for j := range n.Adj[i] {
+			if n.Adj[i][j] {
+				deg++
+			}
+		}
+		rows[i] = AllocationRow{
+			Name:          n.Regions[i].Name,
+			Class:         n.Regions[i].Class,
+			PaxinosCores:  pax[i],
+			BalancedCores: bal[i],
+			OutDegree:     deg,
+			Imputed:       n.Regions[i].VolumeImputed,
+		}
+	}
+	return rows, nil
+}
+
+// apportionCoresFloor distributes total cores proportionally to weights
+// with a per-region floor, using largest-remainder rounding.
+func apportionCoresFloor(weights []float64, total, floor int) []int {
+	k := len(weights)
+	out := make([]int, k)
+	sum := 0.0
+	for _, w := range weights {
+		sum += w
+	}
+	assigned := 0
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, 0, k)
+	for i, w := range weights {
+		exact := float64(total) * w / sum
+		if exact < float64(floor) {
+			exact = float64(floor)
+		}
+		fl := math.Floor(exact)
+		out[i] = int(fl)
+		assigned += int(fl)
+		rems = append(rems, rem{i, exact - fl})
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		return rems[a].idx < rems[b].idx
+	})
+	for i := 0; assigned < total && i < len(rems); i++ {
+		out[rems[i].idx]++
+		assigned++
+	}
+	// Over-assignment from the one-core floor: trim the largest regions.
+	for assigned > total {
+		big := 0
+		for i := range out {
+			if out[i] > out[big] {
+				big = i
+			}
+		}
+		if out[big] <= 1 {
+			break
+		}
+		out[big]--
+		assigned--
+	}
+	return out
+}
+
+// ToSpec converts the network into a CoreObject description with
+// totalCores cores distributed over the connected regions in proportion
+// to balanced volume, per-class neuron prototypes, and a stimulus driving
+// the LGN (the first stage of the thalamocortical visual stream, as in
+// Figure 3 of the paper).
+func (n *Network) ToSpec(totalCores int, ticks uint64) (*coreobject.NetworkSpec, error) {
+	rows, err := n.CoreAllocations(totalCores)
+	if err != nil {
+		return nil, err
+	}
+	spec := &coreobject.NetworkSpec{
+		Name: fmt.Sprintf("cocomac-%d", totalCores),
+		Seed: n.Seed,
+	}
+	for i, row := range rows {
+		proto := classProto(n.Regions[i].Class)
+		spec.Regions = append(spec.Regions, coreobject.RegionSpec{
+			Name:         row.Name,
+			Cores:        row.BalancedCores,
+			GrayFraction: n.Regions[i].Class.GrayFraction(),
+			Proto:        proto,
+		})
+	}
+	for i := 0; i < ConnectedRegions; i++ {
+		for j := 0; j < ConnectedRegions; j++ {
+			if n.Adj[i][j] {
+				spec.Connections = append(spec.Connections, coreobject.Connection{
+					Src: n.Regions[i].Name,
+					Dst: n.Regions[j].Name,
+					// Diffuse targeting proportional to target volume.
+					Weight: n.Regions[j].Volume,
+				})
+			}
+		}
+	}
+	lgn := "LGN"
+	li := spec.Region(lgn)
+	if li < 0 {
+		return nil, fmt.Errorf("cocomac: network has no LGN region")
+	}
+	spec.Inputs = []coreobject.InputSpec{{
+		Region:    lgn,
+		Cores:     spec.Regions[li].Cores,
+		Axons:     64,
+		Rate:      0.05,
+		StartTick: 0,
+		EndTick:   ticks,
+	}}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// classProto returns the neuron prototype for a region class, tuned so
+// the network settles near the paper's ~8 Hz average firing rate under
+// LGN drive.
+func classProto(c Class) coreobject.NeuronProto {
+	p := coreobject.DefaultProto()
+	switch c {
+	case Cortical:
+		p.Weights = [truenorth.NumAxonTypes]int16{2, 2, 3, -6}
+		p.ThresholdMin, p.ThresholdMax = 6, 16
+		p.SynapseDensity = 0.10
+		p.InhibitoryFraction = 0.25
+	case Thalamic:
+		p.Weights = [truenorth.NumAxonTypes]int16{3, 2, 3, -4}
+		p.ThresholdMin, p.ThresholdMax = 4, 10
+		p.SynapseDensity = 0.12
+		p.InhibitoryFraction = 0.15
+	case BasalGanglia:
+		p.Weights = [truenorth.NumAxonTypes]int16{2, 2, 2, -5}
+		p.ThresholdMin, p.ThresholdMax = 6, 14
+		p.SynapseDensity = 0.08
+		p.InhibitoryFraction = 0.25
+	}
+	p.Leak = -1
+	p.Floor = -128
+	p.DelayMin, p.DelayMax = 1, 3
+	return p
+}

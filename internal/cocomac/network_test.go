@@ -1,0 +1,309 @@
+package cocomac
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cognitive-sim/compass/internal/balance"
+)
+
+func TestRegionTablesMatchPublishedCounts(t *testing.T) {
+	if got := len(connectedRegionNames); got != ConnectedRegions {
+		t.Fatalf("connected region table has %d entries, want %d", got, ConnectedRegions)
+	}
+	if got := len(connectedRegionNames) + len(isolatedRegionNames); got != ReducedRegions {
+		t.Fatalf("reduced region tables have %d entries, want %d", got, ReducedRegions)
+	}
+	if got := len(imputedCortical) + len(imputedThalamic); got != ImputedVolumes {
+		t.Fatalf("imputed name tables have %d entries, want %d", got, ImputedVolumes)
+	}
+	// No duplicate names across both tables.
+	seen := make(map[string]bool)
+	for _, e := range connectedRegionNames {
+		if seen[e.name] {
+			t.Fatalf("duplicate region name %q", e.name)
+		}
+		seen[e.name] = true
+	}
+	for _, e := range isolatedRegionNames {
+		if seen[e.name] {
+			t.Fatalf("duplicate region name %q", e.name)
+		}
+		seen[e.name] = true
+	}
+	// Every imputed name must exist and have the right class.
+	byName := make(map[string]Class)
+	for _, e := range connectedRegionNames {
+		byName[e.name] = e.class
+	}
+	for name := range imputedCortical {
+		if c, ok := byName[name]; !ok || c != Cortical {
+			t.Fatalf("imputed cortical region %q missing or misclassed", name)
+		}
+	}
+	for name := range imputedThalamic {
+		if c, ok := byName[name]; !ok || c != Thalamic {
+			t.Fatalf("imputed thalamic region %q missing or misclassed", name)
+		}
+	}
+}
+
+func TestGenerateReproducesPublishedStatistics(t *testing.T) {
+	n := Generate(2012)
+	if len(n.Regions) != ReducedRegions {
+		t.Fatalf("generated %d regions, want %d", len(n.Regions), ReducedRegions)
+	}
+	if n.FullEdgeCount() != FullEdges {
+		t.Fatalf("full network has %d edges, want %d", n.FullEdgeCount(), FullEdges)
+	}
+	children := 0
+	for _, r := range n.Regions {
+		if r.Children < 1 {
+			t.Fatalf("region %q has %d children", r.Name, r.Children)
+		}
+		children += r.Children
+	}
+	if children != FullRegions {
+		t.Fatalf("children sum to %d, want %d", children, FullRegions)
+	}
+	connected := 0
+	imputed := 0
+	for _, r := range n.Regions {
+		if r.Connected {
+			connected++
+		}
+		if r.VolumeImputed {
+			imputed++
+		}
+		if r.Volume <= 0 || math.IsNaN(r.Volume) {
+			t.Fatalf("region %q has volume %v", r.Name, r.Volume)
+		}
+	}
+	if connected != ConnectedRegions {
+		t.Fatalf("%d connected regions, want %d", connected, ConnectedRegions)
+	}
+	if imputed != ImputedVolumes {
+		t.Fatalf("%d imputed volumes, want %d", imputed, ImputedVolumes)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, b := Generate(7), Generate(7)
+	if a.ReducedEdgeCount() != b.ReducedEdgeCount() {
+		t.Fatal("same seed produced different edge counts")
+	}
+	for i := range a.Regions {
+		if a.Regions[i] != b.Regions[i] {
+			t.Fatalf("region %d differs across identical seeds", i)
+		}
+	}
+	for i := range a.Adj {
+		for j := range a.Adj[i] {
+			if a.Adj[i][j] != b.Adj[i][j] {
+				t.Fatalf("adjacency (%d,%d) differs across identical seeds", i, j)
+			}
+		}
+	}
+	c := Generate(8)
+	diff := false
+	for i := range a.Adj {
+		for j := range a.Adj[i] {
+			if a.Adj[i][j] != c.Adj[i][j] {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical adjacency")
+	}
+}
+
+func TestEveryConnectedRegionHasInAndOutEdges(t *testing.T) {
+	n := Generate(3)
+	for i := 0; i < ConnectedRegions; i++ {
+		hasOut, hasIn := false, false
+		for j := 0; j < ConnectedRegions; j++ {
+			hasOut = hasOut || n.Adj[i][j]
+			hasIn = hasIn || n.Adj[j][i]
+		}
+		if !hasOut || !hasIn {
+			t.Fatalf("region %q lacks edges (out=%v in=%v)", n.Regions[i].Name, hasOut, hasIn)
+		}
+		if n.Adj[i][i] {
+			t.Fatalf("region %q has a self-edge; local connectivity is gray matter", n.Regions[i].Name)
+		}
+	}
+}
+
+func TestImputedVolumesAreClassMedian(t *testing.T) {
+	n := Generate(11)
+	// All imputed thalamic volumes must be identical (the class median).
+	var val float64
+	first := true
+	for _, r := range n.Regions {
+		if r.Class == Thalamic && r.VolumeImputed {
+			if first {
+				val = r.Volume
+				first = false
+			} else if r.Volume != val {
+				t.Fatalf("imputed thalamic volumes differ: %v vs %v", r.Volume, val)
+			}
+		}
+	}
+	if first {
+		t.Fatal("no imputed thalamic volumes found")
+	}
+}
+
+func TestStochasticMatrixRowsSumToOne(t *testing.T) {
+	n := Generate(5)
+	m := n.StochasticMatrix()
+	for i, row := range m {
+		sum := 0.0
+		for _, v := range row {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+		wantGray := n.Regions[i].Class.GrayFraction()
+		if math.Abs(row[i]-wantGray) > 1e-9 {
+			t.Fatalf("region %q diagonal %v, want gray fraction %v", n.Regions[i].Name, row[i], wantGray)
+		}
+	}
+}
+
+func TestBalancedMatrixAchievesVolumeMarginals(t *testing.T) {
+	n := Generate(6)
+	res, err := n.BalancedMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol := n.Volumes()
+	if r := balance.Residual(res.Matrix, vol, vol); r > 1e-8 {
+		t.Fatalf("balanced residual %g", r)
+	}
+	// Zero pattern: balanced matrix must not create pathways absent from
+	// the adjacency (diagonal aside).
+	for i := range res.Matrix {
+		for j := range res.Matrix[i] {
+			if i != j && !n.Adj[i][j] && res.Matrix[i][j] != 0 {
+				t.Fatalf("balancing created pathway %q->%q", n.Regions[i].Name, n.Regions[j].Name)
+			}
+		}
+	}
+}
+
+func TestCoreAllocations(t *testing.T) {
+	n := Generate(9)
+	const total = 4096
+	rows, err := n.CoreAllocations(total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != ConnectedRegions {
+		t.Fatalf("%d allocation rows", len(rows))
+	}
+	pax, bal := 0, 0
+	lifted := 0
+	for _, row := range rows {
+		if row.BalancedCores < 1 {
+			t.Fatalf("region %q allocated %d balanced cores; realizability needs >= 1", row.Name, row.BalancedCores)
+		}
+		if row.PaxinosCores < 0 {
+			t.Fatalf("region %q allocated %d Paxinos cores", row.Name, row.PaxinosCores)
+		}
+		if row.BalancedCores > row.PaxinosCores {
+			lifted++
+		}
+		pax += row.PaxinosCores
+		bal += row.BalancedCores
+	}
+	if pax != total || bal != total {
+		t.Fatalf("allocations sum to (%d, %d), want %d", pax, bal, total)
+	}
+	_ = lifted
+
+	// At a tight core budget the realizability floor must lift small
+	// regions above their raw atlas share (the red-vs-green gap of
+	// Figure 3).
+	tight, err := n.CoreAllocations(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifted = 0
+	for _, row := range tight {
+		if row.BalancedCores < 1 {
+			t.Fatalf("region %q allocated %d balanced cores at tight budget", row.Name, row.BalancedCores)
+		}
+		if row.BalancedCores > row.PaxinosCores {
+			lifted++
+		}
+	}
+	if lifted == 0 {
+		t.Fatal("balanced allocation identical to raw shares at tight budget; floor had no effect")
+	}
+}
+
+func TestCoreAllocationsTooFewCores(t *testing.T) {
+	n := Generate(9)
+	if _, err := n.CoreAllocations(10); err == nil {
+		t.Fatal("10 cores for 77 regions accepted")
+	}
+}
+
+func TestGrayFractions(t *testing.T) {
+	if Cortical.GrayFraction() != 0.40 {
+		t.Fatalf("cortical gray fraction %v", Cortical.GrayFraction())
+	}
+	if Thalamic.GrayFraction() != 0.20 || BasalGanglia.GrayFraction() != 0.20 {
+		t.Fatal("subcortical gray fraction must be 0.20")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Cortical.String() != "cortical" || Thalamic.String() != "thalamic" ||
+		BasalGanglia.String() != "basal-ganglia" || Class(9).String() != "unknown" {
+		t.Fatal("class names wrong")
+	}
+}
+
+func TestToSpec(t *testing.T) {
+	n := Generate(13)
+	spec, err := n.ToSpec(512, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.TotalCores() != 512 {
+		t.Fatalf("spec has %d cores, want 512", spec.TotalCores())
+	}
+	if len(spec.Regions) != ConnectedRegions {
+		t.Fatalf("spec has %d regions", len(spec.Regions))
+	}
+	if len(spec.Connections) != n.ReducedEdgeCount() {
+		t.Fatalf("spec has %d connections, network has %d edges", len(spec.Connections), n.ReducedEdgeCount())
+	}
+	if len(spec.Inputs) != 1 || spec.Inputs[0].Region != "LGN" {
+		t.Fatalf("spec inputs: %+v", spec.Inputs)
+	}
+	// Validate was already called inside ToSpec; double-check.
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Generate(uint64(i))
+	}
+}
+
+func BenchmarkBalancedMatrix(b *testing.B) {
+	n := Generate(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.BalancedMatrix(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

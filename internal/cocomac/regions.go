@@ -1,0 +1,140 @@
+// Package cocomac builds the macaque brain model network of §V of the
+// paper: a network of functional regions derived from the CoCoMac
+// connectivity database and the Paxinos atlas, reduced to 102 regions of
+// which 77 report connections, with volume-derived relative sizes,
+// 60/40 (cortical) and 80/20 (subcortical) white/gray connection splits,
+// and a connection matrix balanced by iterative proportional fitting so
+// that every axon and neuron request is realizable.
+//
+// The CoCoMac database and the Paxinos atlas are external curated
+// datasets that are not redistributable here, so this package generates a
+// synthetic connectome that reproduces the published statistics exactly
+// where the paper states them — 383 regions in the full network, 6,602
+// directed edges, 102 regions after merging child subregions into
+// parents, 77 regions reporting connections, 13 regions (5 cortical, 8
+// thalamic) with volumes imputed as the median of their class — and
+// plausibly elsewhere (log-normal volumes, heavy-tailed degree
+// distribution, real macaque region acronyms). Compass is exercised by
+// this statistical structure, not by the identity of individual edges.
+package cocomac
+
+// Class labels the anatomical division a region belongs to; the paper
+// distinguishes cortical regions (40% gray matter connectivity) from
+// subcortical ones (20%).
+type Class uint8
+
+const (
+	// Cortical regions span the cerebral cortex.
+	Cortical Class = iota
+	// Thalamic regions form the thalamus.
+	Thalamic
+	// BasalGanglia regions form the basal ganglia.
+	BasalGanglia
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case Cortical:
+		return "cortical"
+	case Thalamic:
+		return "thalamic"
+	case BasalGanglia:
+		return "basal-ganglia"
+	default:
+		return "unknown"
+	}
+}
+
+// GrayFraction returns the fraction of a region's connectivity that is
+// local gray matter: the paper's 60/40 white/gray split for cortex and
+// 80/20 for non-cortical regions (§V-C).
+func (c Class) GrayFraction() float64 {
+	if c == Cortical {
+		return 0.40
+	}
+	return 0.20
+}
+
+// connectedRegionNames are the 77 regions of the reduced CoCoMac network
+// that report connections: 60 cortical areas (Felleman–Van Essen style
+// parcellation), 9 thalamic nuclei, and 8 basal ganglia structures.
+var connectedRegionNames = []struct {
+	name  string
+	class Class
+}{
+	// Visual cortex and ventral/dorsal streams.
+	{"V1", Cortical}, {"V2", Cortical}, {"V3", Cortical}, {"V3A", Cortical},
+	{"V4", Cortical}, {"V4t", Cortical}, {"VOT", Cortical}, {"VP", Cortical},
+	{"MT", Cortical}, {"MST", Cortical}, {"FST", Cortical}, {"PITd", Cortical},
+	{"PITv", Cortical}, {"CITd", Cortical}, {"CITv", Cortical}, {"AITd", Cortical},
+	{"AITv", Cortical}, {"STPp", Cortical}, {"STPa", Cortical}, {"TF", Cortical},
+	{"TH", Cortical}, {"PO", Cortical}, {"PIP", Cortical}, {"LIP", Cortical},
+	{"VIP", Cortical}, {"MIP", Cortical}, {"MDP", Cortical}, {"DP", Cortical},
+	{"7a", Cortical}, {"7b", Cortical},
+	// Somatosensory and motor.
+	{"1", Cortical}, {"2", Cortical}, {"3a", Cortical}, {"3b", Cortical},
+	{"5", Cortical}, {"SII", Cortical}, {"4", Cortical}, {"6", Cortical},
+	{"SMA", Cortical}, {"FEF", Cortical},
+	// Prefrontal and limbic.
+	{"46", Cortical}, {"45", Cortical}, {"12", Cortical}, {"11", Cortical},
+	{"13", Cortical}, {"10", Cortical}, {"9", Cortical}, {"14", Cortical},
+	{"32", Cortical}, {"25", Cortical}, {"24", Cortical}, {"23", Cortical},
+	{"30", Cortical}, {"35", Cortical}, {"36", Cortical}, {"ER", Cortical},
+	{"Ig", Cortical}, {"Id", Cortical},
+	// Auditory.
+	{"A1", Cortical}, {"STGc", Cortical},
+	// Thalamus.
+	{"LGN", Thalamic}, {"MGN", Thalamic}, {"PUL", Thalamic}, {"VA", Thalamic},
+	{"VL", Thalamic}, {"VPL", Thalamic}, {"MD", Thalamic}, {"CMn", Thalamic},
+	{"LD", Thalamic},
+	// Basal ganglia.
+	{"CD", BasalGanglia}, {"PUT", BasalGanglia}, {"GPe", BasalGanglia},
+	{"GPi", BasalGanglia}, {"SNr", BasalGanglia}, {"SNc", BasalGanglia},
+	{"STN", BasalGanglia}, {"NAcc", BasalGanglia},
+}
+
+// isolatedRegionNames are the remaining 25 regions of the 102-region
+// reduced network for which no connection reports survive the merge.
+var isolatedRegionNames = []struct {
+	name  string
+	class Class
+}{
+	{"V6", Cortical}, {"V6A", Cortical}, {"PrCO", Cortical}, {"PaI", Cortical},
+	{"29", Cortical}, {"31", Cortical}, {"TGd", Cortical}, {"TGv", Cortical},
+	{"PGm", Cortical}, {"8B", Cortical}, {"44", Cortical}, {"ProM", Cortical},
+	{"OFap", Cortical}, {"Pir", Cortical}, {"AON", Cortical}, {"Sub", Cortical},
+	{"Pros", Cortical}, {"AM", Thalamic}, {"AV", Thalamic}, {"VM", Thalamic},
+	{"VPM", Thalamic}, {"Reu", Thalamic}, {"Pf", Thalamic}, {"Cl", BasalGanglia},
+	{"BNST", BasalGanglia},
+}
+
+// imputedCortical names the 5 cortical regions whose Paxinos volume is
+// unavailable and is imputed as the median cortical volume (§V-A).
+var imputedCortical = map[string]bool{
+	"VOT": true, "MDP": true, "STGc": true, "Ig": true, "Id": true,
+}
+
+// imputedThalamic names the 8 thalamic regions with imputed volumes.
+var imputedThalamic = map[string]bool{
+	"MGN": true, "VA": true, "VL": true, "VPL": true,
+	"MD": true, "CMn": true, "LD": true, "PUL": true,
+}
+
+// Published statistics of the CoCoMac-derived network (§V-B) that the
+// synthetic generator reproduces exactly.
+const (
+	// FullRegions is the region count of the full hierarchical network.
+	FullRegions = 383
+	// FullEdges is the directed edge count of the full network.
+	FullEdges = 6602
+	// ReducedRegions is the region count after merging reporting children
+	// into reporting parents.
+	ReducedRegions = 102
+	// ConnectedRegions is the number of reduced regions that report
+	// connections.
+	ConnectedRegions = 77
+	// ImputedVolumes is the number of regions with median-imputed volumes
+	// (5 cortical + 8 thalamic).
+	ImputedVolumes = 13
+)

@@ -1,0 +1,142 @@
+// Package compass implements the Compass parallel simulator for networks
+// of TrueNorth neurosynaptic cores — the paper's primary contribution.
+//
+// Compass partitions the cores of a model across ranks (the paper's MPI
+// processes, one per Blue Gene/Q node) and, within each rank, across
+// threads (the paper's OpenMP threads). Each simulated tick executes
+// three phases (Listing 1 of the paper):
+//
+//   - Synapse phase: threads propagate every pending axon spike across
+//     the crossbars of their cores.
+//   - Neuron phase: threads integrate, leak, and fire every neuron,
+//     aggregating spikes bound for remote ranks into per-destination
+//     buffers so each pair of ranks exchanges at most one message per
+//     tick.
+//   - Network phase: with the MPI transport, the master thread issues a
+//     Reduce-scatter to learn how many messages to expect while the other
+//     threads deliver process-local spikes (overlapping communication
+//     with computation, §III), then all threads take turns receiving
+//     messages inside a critical section and deliver the contained spikes
+//     outside it. With the PGAS transport, spikes are instead deposited
+//     directly into globally addressable buffers with one-sided puts and
+//     a single global barrier replaces the Reduce-scatter (§VII).
+//
+// The simulator is bit-faithful to the serial reference in
+// internal/truenorth for every decomposition: the multiset of spikes
+// produced is identical across rank counts, thread counts, and the MPI
+// and PGAS transports. That invariance is what lets Compass serve as
+// "the key contract between hardware architects and software designers".
+package compass
+
+import (
+	"fmt"
+
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// Transport selects the Network-phase communication model.
+type Transport int
+
+const (
+	// TransportMPI is the two-sided message-passing implementation with
+	// per-destination aggregation and a Reduce-scatter per tick (§III).
+	TransportMPI Transport = iota
+	// TransportPGAS is the one-sided implementation with direct puts into
+	// remote spike windows and a single global barrier per tick (§VII).
+	TransportPGAS
+)
+
+// String names the transport.
+func (t Transport) String() string {
+	switch t {
+	case TransportMPI:
+		return "mpi"
+	case TransportPGAS:
+		return "pgas"
+	default:
+		return "unknown"
+	}
+}
+
+// Config describes a parallel simulation run.
+type Config struct {
+	// Ranks is the number of simulated MPI processes (Blue Gene nodes).
+	Ranks int
+	// ThreadsPerRank is the number of worker threads per rank; the paper
+	// runs 32 OpenMP threads per process on Blue Gene/Q.
+	ThreadsPerRank int
+	// Transport selects MPI or PGAS communication.
+	Transport Transport
+	// RankOf optionally places core i on rank RankOf[i]; when nil, cores
+	// are partitioned into contiguous uniform blocks. The Parallel
+	// Compass Compiler supplies region-aware placements.
+	RankOf []int
+	// RecordTrace collects every spike into RunStats.Trace (tick, target);
+	// used by equivalence tests. Expensive on large runs.
+	RecordTrace bool
+	// RecordPerTick collects per-tick statistics into RunStats.PerTick.
+	RecordPerTick bool
+	// StartFrom resumes the simulation from a checkpoint instead of the
+	// initial state. Checkpoints are decomposition-portable: one taken
+	// under any (ranks, threads, transport) restores under any other.
+	StartFrom *truenorth.Checkpoint
+	// ReturnState captures the final state into RunStats.Final.
+	ReturnState bool
+	// MeasurePhases accumulates wall-clock per main-loop phase into
+	// RunStats.PhaseSeconds (the host-measured analogue of Figure 4(a)'s
+	// per-phase breakdown).
+	MeasurePhases bool
+}
+
+// Validate checks the configuration against a model.
+func (c *Config) Validate(m *truenorth.Model) error {
+	if c.Ranks < 1 {
+		return fmt.Errorf("compass: %d ranks", c.Ranks)
+	}
+	if c.ThreadsPerRank < 1 {
+		return fmt.Errorf("compass: %d threads per rank", c.ThreadsPerRank)
+	}
+	if c.Transport != TransportMPI && c.Transport != TransportPGAS {
+		return fmt.Errorf("compass: unknown transport %d", c.Transport)
+	}
+	if len(m.Cores) == 0 {
+		return fmt.Errorf("compass: model has no cores")
+	}
+	if c.Ranks > len(m.Cores) {
+		return fmt.Errorf("compass: %d ranks for %d cores", c.Ranks, len(m.Cores))
+	}
+	if c.RankOf != nil {
+		if len(c.RankOf) != len(m.Cores) {
+			return fmt.Errorf("compass: placement covers %d of %d cores", len(c.RankOf), len(m.Cores))
+		}
+		for i, r := range c.RankOf {
+			if r < 0 || r >= c.Ranks {
+				return fmt.Errorf("compass: core %d placed on rank %d of %d", i, r, c.Ranks)
+			}
+		}
+	}
+	return nil
+}
+
+// placement returns the rank of every core, materializing the default
+// contiguous block partition when no explicit placement is given.
+func (c *Config) placement(numCores int) []int {
+	if c.RankOf != nil {
+		return c.RankOf
+	}
+	out := make([]int, numCores)
+	per := numCores / c.Ranks
+	rem := numCores % c.Ranks
+	idx := 0
+	for r := 0; r < c.Ranks; r++ {
+		n := per
+		if r < rem {
+			n++
+		}
+		for k := 0; k < n; k++ {
+			out[idx] = r
+			idx++
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package compass
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"testing"
+
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// traceHash produces a canonical 64-bit digest of a spike trace.
+func traceHash(trace []truenorth.SpikeEvent) uint64 {
+	h := fnv.New64a()
+	var rec [16]byte
+	for _, ev := range trace {
+		binary.LittleEndian.PutUint64(rec[0:], ev.FireTick)
+		binary.LittleEndian.PutUint32(rec[8:], uint32(ev.Target.Core))
+		binary.LittleEndian.PutUint16(rec[12:], ev.Target.Axon)
+		rec[14] = ev.Target.Delay
+		rec[15] = 0
+		h.Write(rec[:])
+	}
+	return h.Sum64()
+}
+
+// goldenTrace runs the pinned regression model and returns its digest
+// and spike count.
+func goldenTrace(t *testing.T, cfg Config) (uint64, uint64) {
+	t.Helper()
+	m := randomModel(8, 0xC0FFEE)
+	cfg.RecordTrace = true
+	stats, err := Run(m, cfg, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traceHash(stats.Trace), stats.TotalSpikes
+}
+
+// Pinned golden values for the regression model. The paper lists
+// regression testing as Compass's first purpose: the simulator is the
+// executable contract, so its output for a fixed seed must never change
+// silently. If an intentional semantic change lands (neuron dynamics,
+// PRNG, wiring), rerun the tests: the failure message prints the
+// observed hash and spike count to re-pin here.
+const (
+	goldenHash   = 0x38cb26a90d9f9847
+	goldenSpikes = 82
+)
+
+func TestGoldenTraceSerialReference(t *testing.T) {
+	m := randomModel(8, 0xC0FFEE)
+	sim, err := truenorth.NewSerialSim(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []truenorth.SpikeEvent
+	sim.OnSpike = func(tick uint64, s truenorth.Spike) {
+		trace = append(trace, truenorth.SpikeEvent{FireTick: tick, Target: s.Target})
+	}
+	if err := sim.Run(48); err != nil {
+		t.Fatal(err)
+	}
+	truenorth.SortSpikeEvents(trace)
+	if got := traceHash(trace); got != goldenHash {
+		t.Fatalf("serial golden trace hash = %#x (%d spikes), want %#x (%d spikes)",
+			got, len(trace), goldenHash, goldenSpikes)
+	}
+}
+
+func TestGoldenTraceParallelMPI(t *testing.T) {
+	hash, spikes := goldenTrace(t, Config{Ranks: 4, ThreadsPerRank: 2, Transport: TransportMPI})
+	if hash != goldenHash || spikes != goldenSpikes {
+		t.Fatalf("MPI golden trace = %#x / %d spikes, want %#x / %d", hash, spikes, goldenHash, goldenSpikes)
+	}
+}
+
+func TestGoldenTraceParallelPGAS(t *testing.T) {
+	hash, spikes := goldenTrace(t, Config{Ranks: 3, ThreadsPerRank: 3, Transport: TransportPGAS})
+	if hash != goldenHash || spikes != goldenSpikes {
+		t.Fatalf("PGAS golden trace = %#x / %d spikes, want %#x / %d", hash, spikes, goldenHash, goldenSpikes)
+	}
+}

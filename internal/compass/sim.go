@@ -1,0 +1,584 @@
+package compass
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/cognitive-sim/compass/internal/mpi"
+	"github.com/cognitive-sim/compass/internal/pgas"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// Run simulates ticks ticks of model m under cfg and returns aggregated
+// statistics. The spike output is identical for every (ranks, threads,
+// transport) choice; only the communication behaviour differs.
+func Run(m *truenorth.Model, cfg Config, ticks int) (*RunStats, error) {
+	if err := cfg.Validate(m); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if ticks < 0 {
+		return nil, fmt.Errorf("compass: negative tick count %d", ticks)
+	}
+
+	placement := cfg.placement(len(m.Cores))
+	states := make([]*rankState, cfg.Ranks)
+	for r := range states {
+		states[r] = newRankState(r, m, cfg, placement)
+	}
+
+	start := uint64(0)
+	if cfg.StartFrom != nil {
+		if err := cfg.StartFrom.Validate(m); err != nil {
+			return nil, err
+		}
+		start = cfg.StartFrom.Tick
+		for _, st := range states {
+			for _, core := range st.cores {
+				if err := core.SetState(cfg.StartFrom.States[core.ID()]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	var runErr error
+	switch cfg.Transport {
+	case TransportMPI:
+		runErr = mpi.Run(cfg.Ranks, func(c *mpi.Comm) error {
+			st := states[c.Rank()]
+			st.comm = c
+			return st.loop(start, ticks)
+		})
+	case TransportPGAS:
+		runErr = pgas.Run(cfg.Ranks, func(h *pgas.Handle) error {
+			st := states[h.Rank()]
+			st.pgas = h
+			return st.loop(start, ticks)
+		})
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	out := gather(m, cfg, ticks, states)
+	if cfg.MeasurePhases {
+		for _, st := range states {
+			if st.computeSec > out.PhaseSeconds.SynapseNeuron {
+				out.PhaseSeconds.SynapseNeuron = st.computeSec
+			}
+			if st.networkSec > out.PhaseSeconds.Network {
+				out.PhaseSeconds.Network = st.networkSec
+			}
+		}
+	}
+	if cfg.ReturnState {
+		cp := &truenorth.Checkpoint{
+			Tick:   start + uint64(ticks),
+			States: make([]truenorth.CoreState, len(m.Cores)),
+		}
+		for _, st := range states {
+			for _, core := range st.cores {
+				cp.States[core.ID()] = core.State()
+			}
+		}
+		out.Final = cp
+	}
+	return out, nil
+}
+
+// gather merges per-rank results into the run summary.
+func gather(m *truenorth.Model, cfg Config, ticks int, states []*rankState) *RunStats {
+	out := &RunStats{
+		Ticks:    ticks,
+		Ranks:    cfg.Ranks,
+		Threads:  cfg.ThreadsPerRank,
+		NumCores: len(m.Cores),
+	}
+	if cfg.RecordPerTick {
+		out.PerTick = make([]TickStats, ticks)
+	}
+	for _, st := range states {
+		rs := st.finalRankStats()
+		out.PerRank = append(out.PerRank, rs)
+		out.TotalSpikes += rs.Firings
+		out.LocalSpikes += rs.LocalSpikes
+		out.RemoteSpikes += rs.RemoteSpikes
+		out.Messages += rs.MessagesSent
+		out.AxonEvents += rs.AxonEvents
+		out.SynapticEvents += rs.SynapticEvents
+		out.NeuronUpdates += rs.NeuronUpdates
+		if cfg.RecordPerTick {
+			for t := range st.perTick {
+				out.PerTick[t].add(st.perTick[t])
+			}
+		}
+		if cfg.RecordTrace {
+			for _, tr := range st.traces {
+				out.Trace = append(out.Trace, tr...)
+			}
+		}
+	}
+	out.WireBytes = out.RemoteSpikes * truenorth.SpikeWireBytes
+	if cfg.RecordTrace {
+		truenorth.SortSpikeEvents(out.Trace)
+	}
+	return out
+}
+
+// rankState is the per-rank simulation state.
+type rankState struct {
+	rank    int
+	cfg     Config
+	ranks   int
+	threads int
+
+	// comm is set for the MPI transport; pgas for the PGAS transport.
+	comm *mpi.Comm
+	pgas *pgas.Handle
+
+	// cores owned by this rank, ascending ID; threadCores partitions them
+	// round-robin over threads.
+	cores       []*truenorth.Core
+	threadCores [][]*truenorth.Core
+
+	// coreByID resolves spike targets owned by this rank.
+	coreByID map[truenorth.CoreID]*truenorth.Core
+
+	// placement maps every core in the model to its rank.
+	placement []int
+
+	inputsByTick map[uint64][]truenorth.InputSpike
+
+	// threadRemote[thread][dest] accumulates encoded spikes bound for
+	// remote ranks during the Neuron phase; sendBuf[dest] is the
+	// aggregated per-destination message (remoteBufAgg in Listing 1).
+	threadRemote [][][]byte
+	sendBuf      [][]byte
+	sendCounts   []int64
+
+	// threadLocal[thread] accumulates spikes bound for this rank.
+	threadLocal [][]truenorth.SpikeTarget
+
+	// traces[thread] accumulates spike events when tracing.
+	traces [][]truenorth.SpikeEvent
+
+	// per-thread firing counters for the current tick.
+	threadFirings []uint64
+
+	// cumulative statistics.
+	localSpikes  uint64
+	remoteSpikes uint64
+	msgsSent     uint64
+	peers        map[int]bool
+	perTick      []TickStats
+
+	// snapshots of core counters for per-tick deltas.
+	prevAxonEvents uint64
+	prevSynEvents  uint64
+
+	// recvMu is the Network-phase critical section around message
+	// receipt, reproducing the thread-unsafe-MPI structure of §III.
+	recvMu    sync.Mutex
+	remaining atomic.Int64
+
+	// drained holds the PGAS segments pending parallel delivery.
+	drained [][]byte
+	nextSeg atomic.Int64
+
+	ticksRun  int
+	startTick uint64
+
+	// measured per-phase wall-clock (seconds) when MeasurePhases is set.
+	computeSec float64
+	networkSec float64
+}
+
+// newRankState instantiates the cores placed on rank r.
+func newRankState(r int, m *truenorth.Model, cfg Config, placement []int) *rankState {
+	st := &rankState{
+		rank:         r,
+		cfg:          cfg,
+		ranks:        cfg.Ranks,
+		threads:      cfg.ThreadsPerRank,
+		placement:    placement,
+		coreByID:     make(map[truenorth.CoreID]*truenorth.Core),
+		inputsByTick: make(map[uint64][]truenorth.InputSpike),
+		peers:        make(map[int]bool),
+	}
+	for i, cfgCore := range m.Cores {
+		if placement[i] != r {
+			continue
+		}
+		core := truenorth.NewCore(cfgCore, m.Seed)
+		st.cores = append(st.cores, core)
+		st.coreByID[cfgCore.ID] = core
+	}
+	st.threadCores = make([][]*truenorth.Core, cfg.ThreadsPerRank)
+	for i, core := range st.cores {
+		tid := i % cfg.ThreadsPerRank
+		st.threadCores[tid] = append(st.threadCores[tid], core)
+	}
+	for _, in := range m.Inputs {
+		if placement[in.Core] == r {
+			st.inputsByTick[in.Tick] = append(st.inputsByTick[in.Tick], in)
+		}
+	}
+	st.threadRemote = make([][][]byte, cfg.ThreadsPerRank)
+	for tid := range st.threadRemote {
+		st.threadRemote[tid] = make([][]byte, cfg.Ranks)
+	}
+	st.threadLocal = make([][]truenorth.SpikeTarget, cfg.ThreadsPerRank)
+	st.threadFirings = make([]uint64, cfg.ThreadsPerRank)
+	st.sendBuf = make([][]byte, cfg.Ranks)
+	st.sendCounts = make([]int64, cfg.Ranks)
+	if cfg.RecordTrace {
+		st.traces = make([][]truenorth.SpikeEvent, cfg.ThreadsPerRank)
+	}
+	return st
+}
+
+// parallel runs fn on every thread ID concurrently and waits.
+func (st *rankState) parallel(fn func(tid int)) {
+	if st.threads == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(st.threads)
+	for tid := 0; tid < st.threads; tid++ {
+		go func(id int) {
+			defer wg.Done()
+			fn(id)
+		}(tid)
+	}
+	wg.Wait()
+}
+
+// loop runs the rank's main simulation loop for ticks ticks starting at
+// absolute tick start.
+func (st *rankState) loop(start uint64, ticks int) error {
+	st.ticksRun = ticks
+	st.startTick = start
+	for t := start; t < start+uint64(ticks); t++ {
+		if err := st.tick(t); err != nil {
+			return fmt.Errorf("compass: rank %d tick %d: %w", st.rank, t, err)
+		}
+	}
+	return nil
+}
+
+// tick executes one tick: inputs, Synapse and Neuron phases in parallel
+// across threads, then the transport-specific Network phase.
+func (st *rankState) tick(t uint64) error {
+	for _, in := range st.inputsByTick[t] {
+		st.coreByID[in.Core].InjectRaw(int(in.Axon), t)
+	}
+	delete(st.inputsByTick, t)
+
+	var phaseStart time.Time
+	if st.cfg.MeasurePhases {
+		phaseStart = time.Now()
+	}
+
+	// Synapse + Neuron phases. Cores are independent within a tick, so
+	// each thread runs both phases back to back over its cores.
+	st.parallel(func(tid int) {
+		fired := uint64(0)
+		for _, core := range st.threadCores[tid] {
+			core.SynapsePhase(t)
+			core.NeuronPhase(func(s truenorth.Spike) {
+				fired++
+				dest := st.placement[s.Target.Core]
+				if dest == st.rank {
+					st.threadLocal[tid] = append(st.threadLocal[tid], s.Target)
+				} else {
+					st.threadRemote[tid][dest] = appendSpike(st.threadRemote[tid][dest], s.Target)
+				}
+				if st.cfg.RecordTrace {
+					st.traces[tid] = append(st.traces[tid], truenorth.SpikeEvent{FireTick: t, Target: s.Target})
+				}
+			})
+		}
+		st.threadFirings[tid] = fired
+	})
+
+	// Thread-aggregate remote buffers into one message per destination
+	// (threadAggregate in Listing 1).
+	tickRemote := uint64(0)
+	tickMsgs := uint64(0)
+	for dest := 0; dest < st.ranks; dest++ {
+		st.sendBuf[dest] = st.sendBuf[dest][:0]
+		st.sendCounts[dest] = 0
+		for tid := 0; tid < st.threads; tid++ {
+			st.sendBuf[dest] = append(st.sendBuf[dest], st.threadRemote[tid][dest]...)
+			st.threadRemote[tid][dest] = st.threadRemote[tid][dest][:0]
+		}
+		if n := len(st.sendBuf[dest]); n > 0 {
+			st.sendCounts[dest] = 1
+			tickRemote += uint64(n / spikeRecordBytes)
+			tickMsgs++
+			st.peers[dest] = true
+		}
+	}
+	st.remoteSpikes += tickRemote
+	st.msgsSent += tickMsgs
+	tickLocal := uint64(0)
+	for tid := range st.threadLocal {
+		tickLocal += uint64(len(st.threadLocal[tid]))
+	}
+	st.localSpikes += tickLocal
+
+	if st.cfg.MeasurePhases {
+		now := time.Now()
+		st.computeSec += now.Sub(phaseStart).Seconds()
+		phaseStart = now
+	}
+
+	var err error
+	switch st.cfg.Transport {
+	case TransportMPI:
+		err = st.networkMPI(t)
+	case TransportPGAS:
+		err = st.networkPGAS(t)
+	}
+	if err != nil {
+		return err
+	}
+	if st.cfg.MeasurePhases {
+		st.networkSec += time.Since(phaseStart).Seconds()
+	}
+
+	for tid := range st.threadLocal {
+		st.threadLocal[tid] = st.threadLocal[tid][:0]
+	}
+
+	if st.cfg.RecordPerTick {
+		st.recordTick(t, tickLocal, tickRemote, tickMsgs)
+	}
+	return nil
+}
+
+// networkMPI is the two-sided Network phase of Listing 1: send one
+// aggregated message per destination, learn the incoming message count
+// with a Reduce-scatter overlapped with local spike delivery, then
+// receive messages in a critical section and deliver their spikes.
+func (st *rankState) networkMPI(t uint64) error {
+	tag := int(t)
+	var expect int64
+	errs := make([]error, st.threads)
+	st.parallel(func(tid int) {
+		if tid == 0 {
+			for dest := 0; dest < st.ranks; dest++ {
+				if st.sendCounts[dest] != 0 {
+					if err := st.comm.Isend(dest, tag, st.sendBuf[dest]); err != nil {
+						errs[tid] = err
+						return
+					}
+				}
+			}
+			n, err := st.comm.ReduceScatterSum(st.sendCounts)
+			if err != nil {
+				errs[tid] = err
+				return
+			}
+			expect = n
+			if st.threads == 1 {
+				errs[tid] = st.deliverLocalSlice(t, 0, 1)
+			}
+		} else {
+			// Non-master threads overlap local delivery with the
+			// master's collective.
+			errs[tid] = st.deliverLocalSlice(t, tid-1, st.threads-1)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// All threads take turns receiving inside the critical section and
+	// deliver the received spikes outside it.
+	st.remaining.Store(expect)
+	st.parallel(func(tid int) {
+		for {
+			if st.remaining.Add(-1) < 0 {
+				return
+			}
+			st.recvMu.Lock()
+			data, _, err := st.comm.Recv(mpi.AnySource, tag)
+			st.recvMu.Unlock()
+			if err != nil {
+				errs[tid] = err
+				return
+			}
+			if err := st.deliverEncoded(t, data); err != nil {
+				errs[tid] = err
+				return
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// networkPGAS is the one-sided Network phase of §VII: deposit each
+// aggregated spike buffer directly into the destination rank's window,
+// deliver local spikes in parallel, synchronize with a single global
+// barrier, then drain and deliver the window contents.
+func (st *rankState) networkPGAS(t uint64) error {
+	errs := make([]error, st.threads)
+	st.parallel(func(tid int) {
+		if tid == 0 {
+			for dest := 0; dest < st.ranks; dest++ {
+				if st.sendCounts[dest] != 0 {
+					if err := st.pgas.Put(dest, st.sendBuf[dest]); err != nil {
+						errs[tid] = err
+						return
+					}
+				}
+			}
+			if st.threads == 1 {
+				errs[tid] = st.deliverLocalSlice(t, 0, 1)
+			}
+		} else {
+			errs[tid] = st.deliverLocalSlice(t, tid-1, st.threads-1)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	st.pgas.Barrier()
+
+	st.drained = st.drained[:0]
+	st.pgas.Drain(func(src int, data []byte) {
+		seg := make([]byte, len(data))
+		copy(seg, data)
+		st.drained = append(st.drained, seg)
+	})
+	st.nextSeg.Store(0)
+	st.parallel(func(tid int) {
+		for {
+			i := int(st.nextSeg.Add(1)) - 1
+			if i >= len(st.drained) {
+				return
+			}
+			if err := st.deliverEncoded(t, st.drained[i]); err != nil {
+				errs[tid] = err
+				return
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliverLocalSlice delivers the local spike buffers of source threads
+// whose index ≡ part (mod parts). Delivery uses the atomic schedule, so
+// partitions may overlap in target cores.
+func (st *rankState) deliverLocalSlice(t uint64, part, parts int) error {
+	for tid := part; tid < st.threads; tid += parts {
+		for _, target := range st.threadLocal[tid] {
+			core := st.coreByID[target.Core]
+			if core == nil {
+				return fmt.Errorf("compass: local spike for core %d not owned by rank %d", target.Core, st.rank)
+			}
+			if err := core.ScheduleSpikeShared(int(target.Axon), t+uint64(target.Delay), t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// deliverEncoded delivers every spike in an encoded payload to this
+// rank's cores.
+func (st *rankState) deliverEncoded(t uint64, data []byte) error {
+	return decodeSpikes(data, func(target truenorth.SpikeTarget) error {
+		core := st.coreByID[target.Core]
+		if core == nil {
+			return fmt.Errorf("compass: received spike for core %d not owned by rank %d", target.Core, st.rank)
+		}
+		return core.ScheduleSpikeShared(int(target.Axon), t+uint64(target.Delay), t)
+	})
+}
+
+// recordTick captures this tick's aggregates.
+func (st *rankState) recordTick(t uint64, local, remote, msgs uint64) {
+	var axon, syn, fired uint64
+	for _, core := range st.cores {
+		a, s, _ := core.Stats()
+		axon += a
+		syn += s
+	}
+	for _, f := range st.threadFirings {
+		fired += f
+	}
+	ts := TickStats{
+		AxonEvents:     axon - st.prevAxonEvents,
+		SynapticEvents: syn - st.prevSynEvents,
+		Firings:        fired,
+		LocalSpikes:    local,
+		RemoteSpikes:   remote,
+		Messages:       msgs,
+		WireBytes:      remote * truenorth.SpikeWireBytes,
+	}
+	st.prevAxonEvents = axon
+	st.prevSynEvents = syn
+	rel := t - st.startTick
+	for len(st.perTick) <= int(rel) {
+		st.perTick = append(st.perTick, TickStats{})
+	}
+	st.perTick[rel] = ts
+}
+
+// finalRankStats summarizes the rank after the run.
+func (st *rankState) finalRankStats() RankStats {
+	rs := RankStats{
+		Rank:         st.rank,
+		CoresOwned:   len(st.cores),
+		LocalSpikes:  st.localSpikes,
+		RemoteSpikes: st.remoteSpikes,
+		MessagesSent: st.msgsSent,
+		PeerRanks:    len(st.peers),
+	}
+	for _, core := range st.cores {
+		a, s, f := core.Stats()
+		rs.AxonEvents += a
+		rs.SynapticEvents += s
+		rs.Firings += f
+	}
+	// Every enabled neuron is updated once per tick.
+	enabled := uint64(0)
+	for _, core := range st.cores {
+		cfg := core.Config()
+		for j := range cfg.Neurons {
+			if cfg.Neurons[j].Enabled {
+				enabled++
+			}
+		}
+	}
+	rs.NeuronUpdates = enabled * uint64(st.ticksRun)
+	return rs
+}
+
+// sortRanksByCores is a small helper used by diagnostics and tests.
+func sortRanksByCores(stats []RankStats) {
+	sort.Slice(stats, func(a, b int) bool { return stats[a].CoresOwned > stats[b].CoresOwned })
+}

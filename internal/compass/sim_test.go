@@ -1,0 +1,426 @@
+package compass
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/cognitive-sim/compass/internal/prng"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// randomModel builds a deterministic pseudo-random model with nCores
+// cores, stochastic-free dynamics (so every run is bit-identical), random
+// inter-core wiring, and input drive on core 0.
+func randomModel(nCores int, seed uint64) *truenorth.Model {
+	r := prng.New(seed)
+	m := &truenorth.Model{Seed: seed}
+	for k := 0; k < nCores; k++ {
+		cfg := &truenorth.CoreConfig{ID: truenorth.CoreID(k)}
+		for a := 0; a < truenorth.CoreSize; a++ {
+			cfg.AxonTypes[a] = uint8(r.Intn(truenorth.NumAxonTypes))
+			// ~8 synapses per axon row.
+			for s := 0; s < 8; s++ {
+				cfg.SetSynapse(a, r.Intn(truenorth.CoreSize), true)
+			}
+		}
+		for j := 0; j < truenorth.CoreSize; j++ {
+			cfg.Neurons[j] = truenorth.NeuronParams{
+				Weights:   [truenorth.NumAxonTypes]int16{2, 1, 3, -1},
+				Leak:      -1,
+				Threshold: int32(3 + r.Intn(6)),
+				Reset:     0,
+				Floor:     -32,
+				Target: truenorth.SpikeTarget{
+					Core:  truenorth.CoreID(r.Intn(nCores)),
+					Axon:  uint16(r.Intn(truenorth.CoreSize)),
+					Delay: uint8(1 + r.Intn(3)),
+				},
+				Enabled: true,
+			}
+		}
+		m.Cores = append(m.Cores, cfg)
+	}
+	// Sustained external drive so activity persists.
+	for tick := uint64(0); tick < 30; tick++ {
+		for a := 0; a < 64; a++ {
+			m.Inputs = append(m.Inputs, truenorth.InputSpike{
+				Tick: tick,
+				Core: truenorth.CoreID(int(tick) % nCores),
+				Axon: uint16(r.Intn(truenorth.CoreSize)),
+			})
+		}
+	}
+	return m
+}
+
+// serialTrace runs the reference simulator and returns its sorted trace.
+func serialTrace(t *testing.T, m *truenorth.Model, ticks int) ([]truenorth.SpikeEvent, uint64) {
+	t.Helper()
+	sim, err := truenorth.NewSerialSim(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []truenorth.SpikeEvent
+	sim.OnSpike = func(tick uint64, s truenorth.Spike) {
+		trace = append(trace, truenorth.SpikeEvent{FireTick: tick, Target: s.Target})
+	}
+	if err := sim.Run(ticks); err != nil {
+		t.Fatal(err)
+	}
+	truenorth.SortSpikeEvents(trace)
+	return trace, sim.TotalSpikes()
+}
+
+func TestConfigValidate(t *testing.T) {
+	m := randomModel(4, 1)
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"ok", Config{Ranks: 2, ThreadsPerRank: 2}, true},
+		{"zero ranks", Config{Ranks: 0, ThreadsPerRank: 1}, false},
+		{"zero threads", Config{Ranks: 1, ThreadsPerRank: 0}, false},
+		{"more ranks than cores", Config{Ranks: 9, ThreadsPerRank: 1}, false},
+		{"bad transport", Config{Ranks: 1, ThreadsPerRank: 1, Transport: Transport(7)}, false},
+		{"short placement", Config{Ranks: 2, ThreadsPerRank: 1, RankOf: []int{0}}, false},
+		{"placement out of range", Config{Ranks: 2, ThreadsPerRank: 1, RankOf: []int{0, 1, 2, 0}}, false},
+		{"valid placement", Config{Ranks: 2, ThreadsPerRank: 1, RankOf: []int{1, 0, 1, 0}}, true},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate(m)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestDefaultPlacementBalanced(t *testing.T) {
+	cfg := Config{Ranks: 3, ThreadsPerRank: 1}
+	p := cfg.placement(10)
+	counts := make([]int, 3)
+	for _, r := range p {
+		counts[r]++
+	}
+	if counts[0] != 4 || counts[1] != 3 || counts[2] != 3 {
+		t.Fatalf("placement counts %v", counts)
+	}
+	// Blocks must be contiguous.
+	for i := 1; i < len(p); i++ {
+		if p[i] < p[i-1] {
+			t.Fatalf("placement not contiguous: %v", p)
+		}
+	}
+}
+
+func TestParallelMatchesSerialSingleRank(t *testing.T) {
+	m := randomModel(6, 42)
+	const ticks = 50
+	want, wantSpikes := serialTrace(t, m, ticks)
+
+	stats, err := Run(m, Config{Ranks: 1, ThreadsPerRank: 1, RecordTrace: true}, ticks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalSpikes != wantSpikes {
+		t.Fatalf("parallel spikes %d, serial %d", stats.TotalSpikes, wantSpikes)
+	}
+	if !reflect.DeepEqual(stats.Trace, want) {
+		t.Fatalf("trace mismatch: parallel %d events, serial %d", len(stats.Trace), len(want))
+	}
+}
+
+// TestDecompositionInvariance is the repository's core correctness
+// property: the spike trace is identical for every rank count, thread
+// count, transport, and placement.
+func TestDecompositionInvariance(t *testing.T) {
+	m := randomModel(8, 7)
+	const ticks = 40
+	want, wantSpikes := serialTrace(t, m, ticks)
+	if wantSpikes == 0 {
+		t.Fatal("test model produced no spikes; test is vacuous")
+	}
+
+	r := prng.New(99)
+	scattered := make([]int, 8)
+	for i := range scattered {
+		scattered[i] = r.Intn(3)
+	}
+	// Ensure every rank owns at least one core.
+	scattered[0], scattered[1], scattered[2] = 0, 1, 2
+
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"1r1t-mpi", Config{Ranks: 1, ThreadsPerRank: 1, Transport: TransportMPI}},
+		{"1r4t-mpi", Config{Ranks: 1, ThreadsPerRank: 4, Transport: TransportMPI}},
+		{"2r1t-mpi", Config{Ranks: 2, ThreadsPerRank: 1, Transport: TransportMPI}},
+		{"4r2t-mpi", Config{Ranks: 4, ThreadsPerRank: 2, Transport: TransportMPI}},
+		{"8r3t-mpi", Config{Ranks: 8, ThreadsPerRank: 3, Transport: TransportMPI}},
+		{"1r1t-pgas", Config{Ranks: 1, ThreadsPerRank: 1, Transport: TransportPGAS}},
+		{"3r2t-pgas", Config{Ranks: 3, ThreadsPerRank: 2, Transport: TransportPGAS}},
+		{"8r2t-pgas", Config{Ranks: 8, ThreadsPerRank: 2, Transport: TransportPGAS}},
+		{"scattered-mpi", Config{Ranks: 3, ThreadsPerRank: 2, Transport: TransportMPI, RankOf: scattered}},
+		{"scattered-pgas", Config{Ranks: 3, ThreadsPerRank: 2, Transport: TransportPGAS, RankOf: scattered}},
+	}
+	for _, tc := range cases {
+		tc.cfg.RecordTrace = true
+		stats, err := Run(m, tc.cfg, ticks)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if stats.TotalSpikes != wantSpikes {
+			t.Errorf("%s: %d spikes, want %d", tc.name, stats.TotalSpikes, wantSpikes)
+			continue
+		}
+		if !reflect.DeepEqual(stats.Trace, want) {
+			t.Errorf("%s: trace differs from serial reference", tc.name)
+		}
+	}
+}
+
+func TestQuickDecompositionInvariance(t *testing.T) {
+	// Property form over random models, decompositions, and transports.
+	f := func(seed uint64, ranksRaw, threadsRaw, transportRaw uint8) bool {
+		nCores := 6
+		ranks := int(ranksRaw%4) + 1
+		threads := int(threadsRaw%3) + 1
+		transport := TransportMPI
+		if transportRaw%2 == 1 {
+			transport = TransportPGAS
+		}
+		m := randomModel(nCores, seed)
+		const ticks = 15
+		ref, err := truenorth.NewSerialSim(m)
+		if err != nil {
+			return false
+		}
+		var want []truenorth.SpikeEvent
+		ref.OnSpike = func(tick uint64, s truenorth.Spike) {
+			want = append(want, truenorth.SpikeEvent{FireTick: tick, Target: s.Target})
+		}
+		if err := ref.Run(ticks); err != nil {
+			return false
+		}
+		truenorth.SortSpikeEvents(want)
+		stats, err := Run(m, Config{
+			Ranks: ranks, ThreadsPerRank: threads,
+			Transport: transport, RecordTrace: true,
+		}, ticks)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(stats.Trace, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	m := randomModel(6, 5)
+	const ticks = 30
+	stats, err := Run(m, Config{Ranks: 3, ThreadsPerRank: 2, RecordPerTick: true}, ticks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalSpikes != stats.LocalSpikes+stats.RemoteSpikes {
+		t.Fatalf("spikes %d != local %d + remote %d", stats.TotalSpikes, stats.LocalSpikes, stats.RemoteSpikes)
+	}
+	if len(stats.PerTick) != ticks {
+		t.Fatalf("PerTick has %d entries", len(stats.PerTick))
+	}
+	var tickFire, tickMsgs, tickRemote uint64
+	for _, ts := range stats.PerTick {
+		tickFire += ts.Firings
+		tickMsgs += ts.Messages
+		tickRemote += ts.RemoteSpikes
+	}
+	if tickFire != stats.TotalSpikes {
+		t.Fatalf("per-tick firings %d != total %d", tickFire, stats.TotalSpikes)
+	}
+	if tickMsgs != stats.Messages {
+		t.Fatalf("per-tick messages %d != total %d", tickMsgs, stats.Messages)
+	}
+	if tickRemote != stats.RemoteSpikes {
+		t.Fatalf("per-tick remote %d != total %d", tickRemote, stats.RemoteSpikes)
+	}
+	if stats.WireBytes != stats.RemoteSpikes*truenorth.SpikeWireBytes {
+		t.Fatalf("wire bytes %d for %d remote spikes", stats.WireBytes, stats.RemoteSpikes)
+	}
+	// Per-rank totals must agree with global totals.
+	var rankFire, rankMsgs uint64
+	cores := 0
+	for _, rs := range stats.PerRank {
+		rankFire += rs.Firings
+		rankMsgs += rs.MessagesSent
+		cores += rs.CoresOwned
+	}
+	if rankFire != stats.TotalSpikes || rankMsgs != stats.Messages || cores != stats.NumCores {
+		t.Fatalf("per-rank totals disagree: fire %d msgs %d cores %d", rankFire, rankMsgs, cores)
+	}
+	// Message cap: at most ranks×(ranks-1) per tick.
+	maxMsgs := uint64(ticks * 3 * 2)
+	if stats.Messages > maxMsgs {
+		t.Fatalf("messages %d exceed cap %d", stats.Messages, maxMsgs)
+	}
+}
+
+func TestSingleRankHasNoRemoteTraffic(t *testing.T) {
+	m := randomModel(4, 9)
+	stats, err := Run(m, Config{Ranks: 1, ThreadsPerRank: 2}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RemoteSpikes != 0 || stats.Messages != 0 {
+		t.Fatalf("single-rank run produced remote traffic: %d spikes, %d messages", stats.RemoteSpikes, stats.Messages)
+	}
+	if stats.LocalSpikes != stats.TotalSpikes {
+		t.Fatal("local spikes must equal total on one rank")
+	}
+}
+
+func TestDerivedMetrics(t *testing.T) {
+	m := randomModel(4, 11)
+	const ticks = 25
+	stats, err := Run(m, Config{Ranks: 2, ThreadsPerRank: 1}, ticks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHz := float64(stats.TotalSpikes) / float64(4*truenorth.CoreSize) / ticks * 1000
+	if got := stats.AvgFiringRateHz(); got != wantHz {
+		t.Fatalf("AvgFiringRateHz = %v, want %v", got, wantHz)
+	}
+	if got := stats.MessagesPerTick(); got != float64(stats.Messages)/ticks {
+		t.Fatalf("MessagesPerTick = %v", got)
+	}
+	if got := stats.SpikesPerTick(); got != float64(stats.RemoteSpikes)/ticks {
+		t.Fatalf("SpikesPerTick = %v", got)
+	}
+	if got := stats.WireBytesPerTick(); got != float64(stats.WireBytes)/ticks {
+		t.Fatalf("WireBytesPerTick = %v", got)
+	}
+}
+
+func TestRunRejectsInvalid(t *testing.T) {
+	m := randomModel(4, 1)
+	if _, err := Run(m, Config{Ranks: 0, ThreadsPerRank: 1}, 5); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := Run(m, Config{Ranks: 1, ThreadsPerRank: 1}, -1); err == nil {
+		t.Fatal("negative ticks accepted")
+	}
+	bad := randomModel(4, 1)
+	bad.Cores[0].Neurons[0].Threshold = 0
+	if _, err := Run(bad, Config{Ranks: 1, ThreadsPerRank: 1}, 5); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+func TestZeroTicksRun(t *testing.T) {
+	m := randomModel(4, 1)
+	stats, err := Run(m, Config{Ranks: 2, ThreadsPerRank: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalSpikes != 0 || stats.Ticks != 0 {
+		t.Fatalf("zero-tick run: %+v", stats)
+	}
+}
+
+func TestTransportString(t *testing.T) {
+	if TransportMPI.String() != "mpi" || TransportPGAS.String() != "pgas" || Transport(9).String() != "unknown" {
+		t.Fatal("transport names wrong")
+	}
+}
+
+func TestSortRanksByCores(t *testing.T) {
+	stats := []RankStats{{Rank: 0, CoresOwned: 1}, {Rank: 1, CoresOwned: 5}, {Rank: 2, CoresOwned: 3}}
+	sortRanksByCores(stats)
+	if stats[0].Rank != 1 || stats[2].Rank != 0 {
+		t.Fatalf("sorted order: %+v", stats)
+	}
+}
+
+func BenchmarkSimMPI4Ranks(b *testing.B) {
+	m := randomModel(16, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(m, Config{Ranks: 4, ThreadsPerRank: 2, Transport: TransportMPI}, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimPGAS4Ranks(b *testing.B) {
+	m := randomModel(16, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(m, Config{Ranks: 4, ThreadsPerRank: 2, Transport: TransportPGAS}, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestLoadImbalance(t *testing.T) {
+	m := randomModel(6, 5)
+	stats, err := Run(m, Config{Ranks: 3, ThreadsPerRank: 1}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imb := stats.LoadImbalance()
+	// 6 cores over 3 ranks is perfectly balanced.
+	if imb.Cores != 1 {
+		t.Fatalf("core imbalance %v, want 1", imb.Cores)
+	}
+	// Ratios are max/mean: always >= 1 and <= ranks.
+	for name, v := range map[string]float64{
+		"compute": imb.Compute, "firings": imb.Firings, "sends": imb.Sends,
+	} {
+		if v < 1 || v > 3 {
+			t.Fatalf("%s imbalance %v outside [1, ranks]", name, v)
+		}
+	}
+	// Skewed placement: one rank owns 4 of 6 cores.
+	skew, err := Run(m, Config{
+		Ranks: 2, ThreadsPerRank: 1,
+		RankOf: []int{0, 0, 0, 0, 1, 1},
+	}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := skew.LoadImbalance().Cores; got <= 1.3 {
+		t.Fatalf("skewed placement imbalance %v, want > 1.3", got)
+	}
+	// Empty stats degrade gracefully.
+	if (&RunStats{}).LoadImbalance() != (Imbalance{}) {
+		t.Fatal("empty stats imbalance not zero")
+	}
+}
+
+func TestMeasurePhases(t *testing.T) {
+	m := randomModel(6, 13)
+	stats, err := Run(m, Config{Ranks: 2, ThreadsPerRank: 1, MeasurePhases: true}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PhaseSeconds.SynapseNeuron <= 0 {
+		t.Fatalf("compute phase time %v", stats.PhaseSeconds.SynapseNeuron)
+	}
+	if stats.PhaseSeconds.Network <= 0 {
+		t.Fatalf("network phase time %v", stats.PhaseSeconds.Network)
+	}
+	// Without the flag, phase times stay zero.
+	plain, err := Run(m, Config{Ranks: 2, ThreadsPerRank: 1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.PhaseSeconds != (PhaseSeconds{}) {
+		t.Fatalf("unmeasured run has phase times: %+v", plain.PhaseSeconds)
+	}
+}

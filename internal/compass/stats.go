@@ -1,0 +1,176 @@
+package compass
+
+import "github.com/cognitive-sim/compass/internal/truenorth"
+
+// TickStats aggregates one simulated tick over all ranks. These are the
+// quantities Figure 4(b) of the paper plots (messages and spikes per
+// tick) and the workload inputs to the Blue Gene performance model.
+type TickStats struct {
+	// AxonEvents is the number of axons that had a pending spike.
+	AxonEvents uint64
+	// SynapticEvents is the number of crossbar deliveries into neurons.
+	SynapticEvents uint64
+	// Firings is the number of neurons that fired.
+	Firings uint64
+	// LocalSpikes is the number of spikes delivered within their source
+	// rank; RemoteSpikes crossed ranks (white matter over the wire).
+	LocalSpikes  uint64
+	RemoteSpikes uint64
+	// Messages is the number of point-to-point messages (or one-sided
+	// puts) issued; at most one per ordered rank pair per tick under MPI.
+	Messages uint64
+	// WireBytes is the modelled network payload: RemoteSpikes ×
+	// truenorth.SpikeWireBytes, matching the paper's 20 B/spike accounting.
+	WireBytes uint64
+}
+
+// add accumulates o into s.
+func (s *TickStats) add(o TickStats) {
+	s.AxonEvents += o.AxonEvents
+	s.SynapticEvents += o.SynapticEvents
+	s.Firings += o.Firings
+	s.LocalSpikes += o.LocalSpikes
+	s.RemoteSpikes += o.RemoteSpikes
+	s.Messages += o.Messages
+	s.WireBytes += o.WireBytes
+}
+
+// RankStats aggregates a whole run for one rank; the performance model
+// uses per-rank maxima to find the critical path of each phase.
+type RankStats struct {
+	Rank int
+	// CoresOwned is the number of cores placed on the rank.
+	CoresOwned int
+	// Totals over the run.
+	AxonEvents     uint64
+	SynapticEvents uint64
+	NeuronUpdates  uint64
+	Firings        uint64
+	LocalSpikes    uint64
+	RemoteSpikes   uint64
+	MessagesSent   uint64
+	// PeerRanks is the number of distinct ranks this rank sent at least
+	// one message to over the run (the process's white-matter fan-out).
+	PeerRanks int
+}
+
+// RunStats summarizes a parallel simulation.
+type RunStats struct {
+	// Ticks simulated and model shape.
+	Ticks    int
+	Ranks    int
+	Threads  int
+	NumCores int
+
+	// Totals over all ranks and ticks.
+	TotalSpikes    uint64
+	LocalSpikes    uint64
+	RemoteSpikes   uint64
+	Messages       uint64
+	WireBytes      uint64
+	AxonEvents     uint64
+	SynapticEvents uint64
+	NeuronUpdates  uint64
+
+	// PerTick holds per-tick aggregates when Config.RecordPerTick is set.
+	PerTick []TickStats
+	// PerRank always holds one entry per rank.
+	PerRank []RankStats
+	// Trace holds every spike when Config.RecordTrace is set, in
+	// canonical order.
+	Trace []truenorth.SpikeEvent
+	// Final holds the end-of-run checkpoint when Config.ReturnState is
+	// set.
+	Final *truenorth.Checkpoint
+	// PhaseSeconds holds the maximum per-rank wall-clock spent in each
+	// main-loop phase when Config.MeasurePhases is set. On a single-CPU
+	// host the ranks time-share, so these are work measurements, not
+	// parallel wall-clock.
+	PhaseSeconds PhaseSeconds
+}
+
+// PhaseSeconds is measured wall-clock per main-loop phase.
+type PhaseSeconds struct {
+	SynapseNeuron float64
+	Network       float64
+}
+
+// AvgFiringRateHz returns the mean neuron firing rate in hertz, assuming
+// the architecture's 1 ms tick: spikes / (neurons × ticks) × 1000.
+func (s *RunStats) AvgFiringRateHz() float64 {
+	neurons := float64(s.NumCores) * truenorth.CoreSize
+	if neurons == 0 || s.Ticks == 0 {
+		return 0
+	}
+	return float64(s.TotalSpikes) / neurons / float64(s.Ticks) * 1000
+}
+
+// MessagesPerTick returns the mean message count per simulated tick.
+func (s *RunStats) MessagesPerTick() float64 {
+	if s.Ticks == 0 {
+		return 0
+	}
+	return float64(s.Messages) / float64(s.Ticks)
+}
+
+// SpikesPerTick returns the mean remote (white matter, wire-crossing)
+// spike count per simulated tick — the quantity Figure 4(b) reports.
+func (s *RunStats) SpikesPerTick() float64 {
+	if s.Ticks == 0 {
+		return 0
+	}
+	return float64(s.RemoteSpikes) / float64(s.Ticks)
+}
+
+// WireBytesPerTick returns the mean modelled network payload per tick.
+func (s *RunStats) WireBytesPerTick() float64 {
+	if s.Ticks == 0 {
+		return 0
+	}
+	return float64(s.WireBytes) / float64(s.Ticks)
+}
+
+// Imbalance summarizes load imbalance across ranks as max/mean ratios
+// (1.0 = perfectly balanced). The paper attributes part of the
+// weak-scaling time growth to "computation and communication imbalances
+// in the functional regions of the CoCoMac model" (§VI-B); these ratios
+// quantify it.
+type Imbalance struct {
+	// Cores is the max/mean ratio of cores per rank.
+	Cores float64
+	// Compute is the max/mean ratio of synaptic events per rank (the
+	// Synapse-phase critical path).
+	Compute float64
+	// Firings is the max/mean ratio of firings per rank.
+	Firings float64
+	// Sends is the max/mean ratio of messages sent per rank.
+	Sends float64
+}
+
+// LoadImbalance computes the per-rank imbalance ratios for the run.
+func (s *RunStats) LoadImbalance() Imbalance {
+	if len(s.PerRank) == 0 {
+		return Imbalance{}
+	}
+	ratio := func(get func(RankStats) float64) float64 {
+		var max, sum float64
+		for _, rs := range s.PerRank {
+			v := get(rs)
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+		mean := sum / float64(len(s.PerRank))
+		if mean == 0 {
+			return 1
+		}
+		return max / mean
+	}
+	return Imbalance{
+		Cores:   ratio(func(r RankStats) float64 { return float64(r.CoresOwned) }),
+		Compute: ratio(func(r RankStats) float64 { return float64(r.SynapticEvents) }),
+		Firings: ratio(func(r RankStats) float64 { return float64(r.Firings) }),
+		Sends:   ratio(func(r RankStats) float64 { return float64(r.MessagesSent) }),
+	}
+}

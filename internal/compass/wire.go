@@ -1,0 +1,42 @@
+package compass
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// spikeRecordBytes is the encoded size of one spike on the simulated
+// wire: target core (4), axon (2), delay (1), reserved (1). The paper's
+// bandwidth accounting uses truenorth.SpikeWireBytes (20 B) per spike,
+// which includes the headers of the real Blue Gene messaging stack; the
+// compact record here is only the in-memory representation.
+const spikeRecordBytes = 8
+
+// appendSpike encodes one spike onto buf.
+func appendSpike(buf []byte, t truenorth.SpikeTarget) []byte {
+	var rec [spikeRecordBytes]byte
+	binary.LittleEndian.PutUint32(rec[0:], uint32(t.Core))
+	binary.LittleEndian.PutUint16(rec[4:], t.Axon)
+	rec[6] = t.Delay
+	return append(buf, rec[:]...)
+}
+
+// decodeSpikes iterates the spikes encoded in data.
+func decodeSpikes(data []byte, fn func(truenorth.SpikeTarget) error) error {
+	if len(data)%spikeRecordBytes != 0 {
+		return fmt.Errorf("compass: spike payload of %d bytes is not a record multiple", len(data))
+	}
+	for off := 0; off < len(data); off += spikeRecordBytes {
+		t := truenorth.SpikeTarget{
+			Core:  truenorth.CoreID(binary.LittleEndian.Uint32(data[off:])),
+			Axon:  binary.LittleEndian.Uint16(data[off+4:]),
+			Delay: data[off+6],
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

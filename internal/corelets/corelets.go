@@ -1,0 +1,560 @@
+// Package corelets provides a library of functional primitives built
+// from TrueNorth neurosynaptic cores, in the spirit of §IV of the paper:
+// "we envisage first implementing libraries of functional primitives
+// that run on one or more interconnected TrueNorth cores. We can then
+// build richer applications by instantiating and connecting regions of
+// functional primitives."
+//
+// A Builder allocates cores and wires corelets together through typed
+// ports: an InPort is a set of axons awaiting spikes, an OutPort a set
+// of neurons emitting them. Corelets included here: relays and delay
+// lines, splitters (fan-out), logic/threshold gates (OR, AND, majority),
+// spike stream sources, and a template matcher — the building block of
+// the paper's character recognition and pattern classification
+// applications.
+package corelets
+
+import (
+	"fmt"
+
+	"github.com/cognitive-sim/compass/internal/prng"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// AxonRef addresses one axon in the network under construction.
+type AxonRef struct {
+	Core truenorth.CoreID
+	Axon uint16
+}
+
+// NeuronRef addresses one neuron.
+type NeuronRef struct {
+	Core   truenorth.CoreID
+	Neuron uint16
+}
+
+// InPort is an ordered set of axons forming a corelet's input.
+type InPort []AxonRef
+
+// OutPort is an ordered set of neurons forming a corelet's output.
+type OutPort []NeuronRef
+
+// Builder incrementally constructs a TrueNorth model out of corelets.
+type Builder struct {
+	seed  uint64
+	cores []*truenorth.CoreConfig
+	// nextAxon and nextNeuron track per-core allocation cursors.
+	nextAxon   []int
+	nextNeuron []int
+	inputs     []truenorth.InputSpike
+	rng        *prng.Stream
+
+	// wired records neurons whose targets Connect or Probe assigned;
+	// Build routes every other enabled neuron to the sink.
+	wired map[NeuronRef]bool
+
+	// sink state: spikes routed to sink axons land on cores with no
+	// enabled neurons and empty crossbar rows, so they are observable in
+	// traces but have no effect.
+	sinkCore truenorth.CoreID
+	sinkNext int
+	hasSink  bool
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder(seed uint64) *Builder {
+	return &Builder{
+		seed:  seed,
+		rng:   prng.New(seed ^ 0x636f72656c657473),
+		wired: make(map[NeuronRef]bool),
+	}
+}
+
+// sinkAxon allocates a fresh sink axon (creating sink cores on demand).
+func (b *Builder) sinkAxon() AxonRef {
+	if !b.hasSink || b.sinkNext >= truenorth.CoreSize {
+		cfg := b.newCore()
+		// Mark the whole core as consumed so corelets never allocate it.
+		b.nextAxon[cfg.ID] = truenorth.CoreSize
+		b.nextNeuron[cfg.ID] = truenorth.CoreSize
+		b.sinkCore = cfg.ID
+		b.sinkNext = 0
+		b.hasSink = true
+	}
+	ref := AxonRef{b.sinkCore, uint16(b.sinkNext)}
+	b.sinkNext++
+	return ref
+}
+
+// NumCores returns the cores allocated so far.
+func (b *Builder) NumCores() int { return len(b.cores) }
+
+// newCore allocates a fresh core.
+func (b *Builder) newCore() *truenorth.CoreConfig {
+	cfg := &truenorth.CoreConfig{ID: truenorth.CoreID(len(b.cores))}
+	b.cores = append(b.cores, cfg)
+	b.nextAxon = append(b.nextAxon, 0)
+	b.nextNeuron = append(b.nextNeuron, 0)
+	return cfg
+}
+
+// allocSlots reserves n (axon, neuron) pairs, spilling onto fresh cores
+// as needed, and returns the cores and base indices per chunk via fn.
+func (b *Builder) allocPairs(n int, fn func(cfg *truenorth.CoreConfig, axon, neuron int)) {
+	for i := 0; i < n; i++ {
+		ci := -1
+		for k := range b.cores {
+			if b.nextAxon[k] < truenorth.CoreSize && b.nextNeuron[k] < truenorth.CoreSize {
+				ci = k
+				break
+			}
+		}
+		if ci == -1 {
+			b.newCore()
+			ci = len(b.cores) - 1
+		}
+		axon := b.nextAxon[ci]
+		neuron := b.nextNeuron[ci]
+		b.nextAxon[ci]++
+		b.nextNeuron[ci]++
+		fn(b.cores[ci], axon, neuron)
+	}
+}
+
+// Build validates and returns the constructed model. Enabled neurons
+// whose outputs were never connected or probed are routed to a sink
+// axon, where their spikes are harmless.
+func (b *Builder) Build() (*truenorth.Model, error) {
+	if len(b.cores) == 0 {
+		return nil, fmt.Errorf("corelets: empty builder")
+	}
+	var shared AxonRef
+	haveShared := false
+	for _, cfg := range b.cores {
+		for j := range cfg.Neurons {
+			n := &cfg.Neurons[j]
+			if !n.Enabled || b.wired[NeuronRef{cfg.ID, uint16(j)}] {
+				continue
+			}
+			if !haveShared {
+				shared = b.sinkAxon()
+				haveShared = true
+			}
+			n.Target = truenorth.SpikeTarget{Core: shared.Core, Axon: shared.Axon, Delay: 1}
+		}
+	}
+	m := &truenorth.Model{Seed: b.seed, Cores: b.cores, Inputs: b.inputs}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Probe routes each output of a port to its own sink axon and returns a
+// Probe that recognizes those spikes in simulation traces, so corelet
+// outputs can be counted without affecting the network.
+func (b *Builder) Probe(out OutPort) (*Probe, error) {
+	p := &Probe{byAxon: make(map[AxonRef]int, len(out))}
+	for i, ref := range out {
+		cfg := b.cores[ref.Core]
+		n := &cfg.Neurons[ref.Neuron]
+		if !n.Enabled {
+			return nil, fmt.Errorf("corelets: probing unconfigured neuron (%d,%d)", ref.Core, ref.Neuron)
+		}
+		sink := b.sinkAxon()
+		n.Target = truenorth.SpikeTarget{Core: sink.Core, Axon: sink.Axon, Delay: 1}
+		b.wired[ref] = true
+		p.byAxon[sink] = i
+	}
+	return p, nil
+}
+
+// Probe decodes probed corelet outputs from spike events.
+type Probe struct {
+	byAxon map[AxonRef]int
+}
+
+// Index returns the output line a spike target corresponds to.
+func (p *Probe) Index(target truenorth.SpikeTarget) (int, bool) {
+	i, ok := p.byAxon[AxonRef{target.Core, target.Axon}]
+	return i, ok
+}
+
+// Counts runs the model serially for ticks and returns, per probed
+// output line, the number of spikes it emitted.
+func (p *Probe) Counts(m *truenorth.Model, ticks int) ([]int, error) {
+	sim, err := truenorth.NewSerialSim(m)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int, len(p.byAxon))
+	sim.OnSpike = func(_ uint64, s truenorth.Spike) {
+		if i, ok := p.Index(s.Target); ok {
+			counts[i]++
+		}
+	}
+	if err := sim.Run(ticks); err != nil {
+		return nil, err
+	}
+	return counts, nil
+}
+
+// Connect wires an output port to an input port one-to-one with the
+// given axonal delay. Each TrueNorth neuron targets exactly one axon;
+// use a Splitter for fan-out.
+func (b *Builder) Connect(out OutPort, in InPort, delay uint8) error {
+	if len(out) != len(in) {
+		return fmt.Errorf("corelets: connecting %d outputs to %d inputs", len(out), len(in))
+	}
+	if delay < 1 || delay > truenorth.MaxDelay {
+		return fmt.Errorf("corelets: delay %d outside [1,%d]", delay, truenorth.MaxDelay)
+	}
+	for i := range out {
+		cfg := b.cores[out[i].Core]
+		n := &cfg.Neurons[out[i].Neuron]
+		if !n.Enabled {
+			return fmt.Errorf("corelets: output neuron (%d,%d) not configured", out[i].Core, out[i].Neuron)
+		}
+		n.Target = truenorth.SpikeTarget{Core: in[i].Core, Axon: in[i].Axon, Delay: delay}
+		b.wired[out[i]] = true
+	}
+	return nil
+}
+
+// relayNeuron configures a unit-gain neuron: one input spike of weight w
+// crosses threshold th exactly when the gate condition holds.
+func relayNeuron(w int16, th int32) truenorth.NeuronParams {
+	return truenorth.NeuronParams{
+		Weights:   [truenorth.NumAxonTypes]int16{w, w, w, w},
+		Leak:      0,
+		Threshold: th,
+		Reset:     0,
+		Floor:     0,
+		// Targets are filled in by Connect; default self-loop keeps the
+		// model valid if an output is left dangling.
+		Target:  truenorth.SpikeTarget{Core: 0, Axon: 0, Delay: truenorth.MaxDelay},
+		Enabled: true,
+	}
+}
+
+// Relay builds an n-wide relay: output i fires one tick of processing
+// after input i. It is also the identity corelet used to route streams.
+func (b *Builder) Relay(n int) (InPort, OutPort) {
+	in := make(InPort, 0, n)
+	out := make(OutPort, 0, n)
+	b.allocPairs(n, func(cfg *truenorth.CoreConfig, axon, neuron int) {
+		cfg.SetSynapse(axon, neuron, true)
+		cfg.Neurons[neuron] = relayNeuron(1, 1)
+		in = append(in, AxonRef{cfg.ID, uint16(axon)})
+		out = append(out, NeuronRef{cfg.ID, uint16(neuron)})
+	})
+	return in, out
+}
+
+// DelayLine builds an n-wide relay whose outputs are pre-wired to fire
+// into nothing; connect them onward with the extra delay to realize long
+// latencies beyond the 15-tick axon buffer by chaining stages.
+func (b *Builder) DelayLine(n int, stages int) (InPort, OutPort, error) {
+	if stages < 1 {
+		return nil, nil, fmt.Errorf("corelets: delay line needs >= 1 stage")
+	}
+	in, out := b.Relay(n)
+	for s := 1; s < stages; s++ {
+		nin, nout := b.Relay(n)
+		if err := b.Connect(out, nin, truenorth.MaxDelay); err != nil {
+			return nil, nil, err
+		}
+		out = nout
+	}
+	return in, out, nil
+}
+
+// Splitter builds an n-wide, k-way fan-out: input i drives k output
+// neurons (branch b of input i is output index b*n+i). One axon feeds k
+// neurons through its crossbar row — fan-out is free inside a core.
+func (b *Builder) Splitter(n, k int) (InPort, OutPort, error) {
+	if k < 1 || k > truenorth.CoreSize {
+		return nil, nil, fmt.Errorf("corelets: fan-out %d outside [1,%d]", k, truenorth.CoreSize)
+	}
+	in := make(InPort, n)
+	out := make(OutPort, n*k)
+	// Each input needs one axon and k neurons on the same core; allocate
+	// cores directly to keep branches together.
+	perCore := truenorth.CoreSize / k
+	if perCore == 0 {
+		perCore = 1
+	}
+	for base := 0; base < n; base += perCore {
+		cfg := b.newCore()
+		cnt := perCore
+		if base+cnt > n {
+			cnt = n - base
+		}
+		for i := 0; i < cnt; i++ {
+			axon := i
+			in[base+i] = AxonRef{cfg.ID, uint16(axon)}
+			for br := 0; br < k; br++ {
+				neuron := i*k + br
+				cfg.SetSynapse(axon, neuron, true)
+				cfg.Neurons[neuron] = relayNeuron(1, 1)
+				out[br*n+base+i] = NeuronRef{cfg.ID, uint16(neuron)}
+			}
+		}
+		b.nextAxon[cfg.ID] = cnt
+		b.nextNeuron[cfg.ID] = cnt * k
+	}
+	return in, out, nil
+}
+
+// Gate builds n independent k-input threshold gates: gate g fires when
+// at least threshold of its k inputs spike in the same tick. Input axon
+// order is gate-major: input j of gate g is port index g*k+j.
+// threshold=1 is OR, threshold=k is AND, threshold=(k/2)+1 is majority.
+func (b *Builder) Gate(n, k int, threshold int) (InPort, OutPort, error) {
+	if k < 1 || threshold < 1 || threshold > k {
+		return nil, nil, fmt.Errorf("corelets: gate with k=%d threshold=%d", k, threshold)
+	}
+	in := make(InPort, 0, n*k)
+	out := make(OutPort, 0, n)
+	perCore := truenorth.CoreSize / k
+	if perCore == 0 {
+		return nil, nil, fmt.Errorf("corelets: gate fan-in %d exceeds core axons", k)
+	}
+	for base := 0; base < n; base += perCore {
+		cfg := b.newCore()
+		cnt := perCore
+		if base+cnt > n {
+			cnt = n - base
+		}
+		for g := 0; g < cnt; g++ {
+			neuron := g
+			// The tick order is integrate, leak, threshold: with leak
+			// −(T−1) and configured threshold 1, a gate fires exactly
+			// when ≥ T inputs coincide, and any partial coincidence is
+			// cleared to the floor in the same tick (no cross-tick
+			// accumulation).
+			cfg.Neurons[neuron] = relayNeuron(1, 1)
+			cfg.Neurons[neuron].Leak = -int16(threshold - 1)
+			cfg.Neurons[neuron].Floor = 0
+			for j := 0; j < k; j++ {
+				axon := g*k + j
+				cfg.SetSynapse(axon, neuron, true)
+				in = append(in, AxonRef{cfg.ID, uint16(axon)})
+			}
+			out = append(out, NeuronRef{cfg.ID, uint16(neuron)})
+		}
+		b.nextAxon[cfg.ID] = cnt * k
+		b.nextNeuron[cfg.ID] = cnt
+	}
+	return in, out, nil
+}
+
+// TemplateMatcher builds a pattern classifier on a single core: each
+// template is a binary pattern over `bits` input lines; template t's
+// neuron integrates +1 for every active input matching the template and
+// -1 for every active input outside it, and fires when the margin
+// reaches threshold. Inputs are presented as one-tick spike volleys.
+func (b *Builder) TemplateMatcher(bits int, templates [][]bool, threshold int32) (InPort, OutPort, error) {
+	th := make([]int32, len(templates))
+	for i := range th {
+		th[i] = threshold
+	}
+	return b.TemplateMatcherThresholds(bits, templates, th)
+}
+
+// TemplateMatcherThresholds is TemplateMatcher with a separate firing
+// threshold per template — useful when templates differ in active-bit
+// count, so each can demand a margin proportional to its own size (the
+// usual winner-take-all surrogate on TrueNorth).
+func (b *Builder) TemplateMatcherThresholds(bits int, templates [][]bool, thresholds []int32) (InPort, OutPort, error) {
+	if bits < 1 || bits > truenorth.CoreSize {
+		return nil, nil, fmt.Errorf("corelets: %d input bits outside [1,%d]", bits, truenorth.CoreSize)
+	}
+	if len(templates) == 0 || len(templates) > truenorth.CoreSize {
+		return nil, nil, fmt.Errorf("corelets: %d templates outside [1,%d]", len(templates), truenorth.CoreSize)
+	}
+	if len(thresholds) != len(templates) {
+		return nil, nil, fmt.Errorf("corelets: %d thresholds for %d templates", len(thresholds), len(templates))
+	}
+	for t, threshold := range thresholds {
+		if threshold < 1 {
+			return nil, nil, fmt.Errorf("corelets: template %d threshold %d < 1", t, threshold)
+		}
+	}
+	for t, tpl := range templates {
+		if len(tpl) != bits {
+			return nil, nil, fmt.Errorf("corelets: template %d has %d bits, want %d", t, len(tpl), bits)
+		}
+	}
+	cfg := b.newCore()
+	in := make(InPort, bits)
+	out := make(OutPort, len(templates))
+	// Two axons per input line would allow separate on/off channels; the
+	// TrueNorth trick used here instead gives every neuron weight +1 on
+	// axon type 0 and -1 on axon type 1, and assigns each input line one
+	// axon of type 0 and a paired axon of type 1. The type-0 axon
+	// connects to templates containing the bit; the type-1 axon to the
+	// rest. A spike on line i therefore adds +1 to matching templates
+	// and -1 to the others.
+	if 2*bits > truenorth.CoreSize {
+		return nil, nil, fmt.Errorf("corelets: %d input bits need %d axons, core has %d", bits, 2*bits, truenorth.CoreSize)
+	}
+	for t := range templates {
+		// As with Gate: leak −(threshold−1) against a configured
+		// threshold of 1 makes the neuron fire exactly when the match
+		// margin reaches the requested threshold, clearing sub-threshold
+		// evidence within the tick.
+		n := truenorth.NeuronParams{
+			Weights:   [truenorth.NumAxonTypes]int16{1, -1, 0, 0},
+			Leak:      -int16(thresholds[t] - 1),
+			Threshold: 1,
+			Reset:     0,
+			Floor:     0,
+			Target:    truenorth.SpikeTarget{Core: cfg.ID, Axon: 0, Delay: truenorth.MaxDelay},
+			Enabled:   true,
+		}
+		cfg.Neurons[t] = n
+		out[t] = NeuronRef{cfg.ID, uint16(t)}
+	}
+	for i := 0; i < bits; i++ {
+		onAxon, offAxon := 2*i, 2*i+1
+		cfg.AxonTypes[onAxon] = 0
+		cfg.AxonTypes[offAxon] = 1
+		in[i] = AxonRef{cfg.ID, uint16(onAxon)}
+		for t, tpl := range templates {
+			if tpl[i] {
+				cfg.SetSynapse(onAxon, t, true)
+			} else {
+				cfg.SetSynapse(offAxon, t, true)
+			}
+		}
+	}
+	b.nextAxon[cfg.ID] = 2 * bits
+	b.nextNeuron[cfg.ID] = len(templates)
+	// The off axons must mirror the on axons: route each input spike to
+	// both. Callers use StimulateLine / Volley below, which handle the
+	// pairing, so record the pairing convention in the port.
+	return in, out, nil
+}
+
+// WTA is an n-channel winner-take-all stage on one core. Each channel
+// has `evidence` input lanes; lane spikes within a tick add +1 to the
+// channel's own neuron (type-0 axons) and −1 to every rival (paired
+// type-3 axons). A channel fires exactly when its evidence exceeds the
+// combined rival evidence by at least the margin, which makes
+// classifier outputs mutually exclusive when evidence differs; channels
+// with tied evidence all stay silent (no winner).
+type WTA struct {
+	b        *Builder
+	core     truenorth.CoreID
+	n        int
+	evidence int
+	out      OutPort
+}
+
+// WinnerTakeAll builds a WTA stage with n channels of the given
+// evidence width (maximum units of evidence per tick per channel) and
+// winning margin.
+func (b *Builder) WinnerTakeAll(n, evidence int, margin int32) (*WTA, error) {
+	if n < 2 || evidence < 1 || 2*n*evidence > truenorth.CoreSize {
+		return nil, fmt.Errorf("corelets: WTA n=%d evidence=%d needs %d axons, core has %d",
+			n, evidence, 2*n*evidence, truenorth.CoreSize)
+	}
+	if margin < 1 {
+		return nil, fmt.Errorf("corelets: WTA margin %d < 1", margin)
+	}
+	cfg := b.newCore()
+	w := &WTA{b: b, core: cfg.ID, n: n, evidence: evidence}
+	for ch := 0; ch < n; ch++ {
+		for e := 0; e < evidence; e++ {
+			exc := 2 * (ch*evidence + e)
+			inh := exc + 1
+			cfg.AxonTypes[exc] = 0
+			cfg.AxonTypes[inh] = 3
+			cfg.SetSynapse(exc, ch, true)
+			for rival := 0; rival < n; rival++ {
+				if rival != ch {
+					cfg.SetSynapse(inh, rival, true)
+				}
+			}
+		}
+		// Fires iff own − rivals − (margin−1) ≥ 1, i.e. own ≥ rivals+margin.
+		cfg.Neurons[ch] = truenorth.NeuronParams{
+			Weights:   [truenorth.NumAxonTypes]int16{1, 0, 0, -1},
+			Leak:      -int16(margin - 1),
+			Threshold: 1,
+			Reset:     0,
+			Floor:     0,
+			Target:    truenorth.SpikeTarget{Core: cfg.ID, Axon: 0, Delay: truenorth.MaxDelay},
+			Enabled:   true,
+		}
+		w.out = append(w.out, NeuronRef{cfg.ID, uint16(ch)})
+	}
+	b.nextAxon[cfg.ID] = 2 * n * evidence
+	b.nextNeuron[cfg.ID] = n
+	return w, nil
+}
+
+// Out returns the WTA's output port (one neuron per channel).
+func (w *WTA) Out() OutPort { return w.out }
+
+// Excite injects amount units of evidence into a channel at a tick.
+func (w *WTA) Excite(channel, amount int, tick uint64) error {
+	if channel < 0 || channel >= w.n {
+		return fmt.Errorf("corelets: channel %d outside [0,%d)", channel, w.n)
+	}
+	if amount < 0 || amount > w.evidence {
+		return fmt.Errorf("corelets: evidence %d outside [0,%d]", amount, w.evidence)
+	}
+	for e := 0; e < amount; e++ {
+		exc := uint16(2 * (channel*w.evidence + e))
+		w.b.inputs = append(w.b.inputs,
+			truenorth.InputSpike{Tick: tick, Core: w.core, Axon: exc},
+			truenorth.InputSpike{Tick: tick, Core: w.core, Axon: exc + 1},
+		)
+	}
+	return nil
+}
+
+// Volley injects a one-tick input pattern into a TemplateMatcher port at
+// the given tick: active bits spike the type-0 axon, and — to implement
+// the mismatch penalty — also the paired type-1 axon (the crossbar
+// restricts each to the right templates).
+func (b *Builder) Volley(in InPort, pattern []bool, tick uint64) error {
+	if len(pattern) != len(in) {
+		return fmt.Errorf("corelets: pattern has %d bits, port has %d", len(pattern), len(in))
+	}
+	for i, on := range pattern {
+		if !on {
+			continue
+		}
+		b.inputs = append(b.inputs, truenorth.InputSpike{Tick: tick, Core: in[i].Core, Axon: in[i].Axon})
+		b.inputs = append(b.inputs, truenorth.InputSpike{Tick: tick, Core: in[i].Core, Axon: in[i].Axon + 1})
+	}
+	return nil
+}
+
+// Stimulate injects one spike into an input port line at a tick.
+func (b *Builder) Stimulate(in InPort, line int, tick uint64) error {
+	if line < 0 || line >= len(in) {
+		return fmt.Errorf("corelets: line %d outside port of width %d", line, len(in))
+	}
+	b.inputs = append(b.inputs, truenorth.InputSpike{Tick: tick, Core: in[line].Core, Axon: in[line].Axon})
+	return nil
+}
+
+// PoissonStimulus injects independent Bernoulli(rate) spikes on every
+// line of a port for ticks in [start, end).
+func (b *Builder) PoissonStimulus(in InPort, rate float64, start, end uint64) error {
+	if rate < 0 || rate > 1 {
+		return fmt.Errorf("corelets: rate %v outside [0,1]", rate)
+	}
+	for t := start; t < end; t++ {
+		for i := range in {
+			if b.rng.Bernoulli(rate) {
+				b.inputs = append(b.inputs, truenorth.InputSpike{Tick: t, Core: in[i].Core, Axon: in[i].Axon})
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,597 @@
+package corelets
+
+import (
+	"testing"
+
+	"github.com/cognitive-sim/compass/internal/compass"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+func TestEmptyBuilderRejected(t *testing.T) {
+	if _, err := NewBuilder(1).Build(); err == nil {
+		t.Fatal("empty builder accepted")
+	}
+}
+
+func TestRelayPassesSpikes(t *testing.T) {
+	b := NewBuilder(1)
+	in, out := b.Relay(4)
+	probe, err := b.Probe(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Stimulate(in, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Stimulate(in, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Stimulate(in, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := probe.Counts(m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 0, 2, 0}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("relay output counts %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestStimulateValidation(t *testing.T) {
+	b := NewBuilder(1)
+	in, _ := b.Relay(2)
+	if err := b.Stimulate(in, 5, 0); err == nil {
+		t.Fatal("out-of-range line accepted")
+	}
+	if err := b.Stimulate(in, -1, 0); err == nil {
+		t.Fatal("negative line accepted")
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	b := NewBuilder(1)
+	_, out := b.Relay(2)
+	in2, _ := b.Relay(3)
+	if err := b.Connect(out, in2, 1); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+	in3, _ := b.Relay(2)
+	if err := b.Connect(out, in3, 0); err == nil {
+		t.Fatal("zero delay accepted")
+	}
+	if err := b.Connect(out, in3, truenorth.MaxDelay+1); err == nil {
+		t.Fatal("excessive delay accepted")
+	}
+	if err := b.Connect(out, in3, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelayChainLatency(t *testing.T) {
+	// Two chained relays with delay d between them: a spike at tick 0 on
+	// stage 1 fires stage 1 at tick 0 and stage 2 at tick d.
+	b := NewBuilder(2)
+	in1, out1 := b.Relay(1)
+	in2, out2 := b.Relay(1)
+	if err := b.Connect(out1, in2, 5); err != nil {
+		t.Fatal(err)
+	}
+	probe, err := b.Probe(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Stimulate(in1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := truenorth.NewSerialSim(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fireTicks []uint64
+	sim.OnSpike = func(tick uint64, s truenorth.Spike) {
+		if _, ok := probe.Index(s.Target); ok {
+			fireTicks = append(fireTicks, tick)
+		}
+	}
+	if err := sim.Run(12); err != nil {
+		t.Fatal(err)
+	}
+	if len(fireTicks) != 1 || fireTicks[0] != 5 {
+		t.Fatalf("stage-2 fire ticks %v, want [5]", fireTicks)
+	}
+}
+
+func TestDelayLineStages(t *testing.T) {
+	b := NewBuilder(3)
+	in, out, err := b.DelayLine(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := b.Probe(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Stimulate(in, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := truenorth.NewSerialSim(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tick uint64
+	hits := 0
+	sim.OnSpike = func(tk uint64, s truenorth.Spike) {
+		if i, ok := probe.Index(s.Target); ok {
+			if i != 1 {
+				t.Errorf("wrong line %d fired", i)
+			}
+			tick = tk
+			hits++
+		}
+	}
+	if err := sim.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	// 3 stages chained by MaxDelay hops: output fires at 2*MaxDelay.
+	if hits != 1 || tick != 2*truenorth.MaxDelay {
+		t.Fatalf("delay line output at tick %d (hits %d), want %d", tick, hits, 2*truenorth.MaxDelay)
+	}
+	if _, _, err := b.DelayLine(1, 0); err == nil {
+		t.Fatal("zero stages accepted")
+	}
+}
+
+func TestSplitterFanout(t *testing.T) {
+	b := NewBuilder(4)
+	in, out, err := b.Splitter(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 12 {
+		t.Fatalf("splitter output width %d, want 12", len(out))
+	}
+	probe, err := b.Probe(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Stimulate(in, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := probe.Counts(m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Branch br of input i is output br*n+i: outputs 1, 4, 7, 10 fire.
+	for i, c := range counts {
+		want := 0
+		if i%3 == 1 {
+			want = 1
+		}
+		if c != want {
+			t.Fatalf("splitter counts %v", counts)
+		}
+	}
+	if _, _, err := b.Splitter(1, 0); err == nil {
+		t.Fatal("zero fanout accepted")
+	}
+	if _, _, err := b.Splitter(1, truenorth.CoreSize+1); err == nil {
+		t.Fatal("excess fanout accepted")
+	}
+}
+
+func TestGateThresholds(t *testing.T) {
+	// One 3-input gate per logic type; feed 2 simultaneous spikes.
+	for _, tc := range []struct {
+		threshold int
+		fires     bool
+	}{
+		{1, true},  // OR
+		{2, true},  // majority
+		{3, false}, // AND needs all three
+	} {
+		b := NewBuilder(5)
+		in, out, err := b.Gate(1, 3, tc.threshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe, err := b.Probe(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Stimulate(in, 0, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Stimulate(in, 1, 2); err != nil {
+			t.Fatal(err)
+		}
+		m, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts, err := probe.Counts(m, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fired := counts[0] > 0
+		if fired != tc.fires {
+			t.Fatalf("threshold %d: fired=%v, want %v", tc.threshold, fired, tc.fires)
+		}
+	}
+}
+
+func TestGateNoCrossTickAccumulation(t *testing.T) {
+	// An AND gate receiving its inputs on different ticks must not fire:
+	// the leak clears partial coincidences.
+	b := NewBuilder(6)
+	in, out, err := b.Gate(1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := b.Probe(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Stimulate(in, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Stimulate(in, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := probe.Counts(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 0 {
+		t.Fatalf("AND gate fired on staggered inputs: %v", counts)
+	}
+}
+
+func TestGateValidation(t *testing.T) {
+	b := NewBuilder(1)
+	if _, _, err := b.Gate(1, 0, 1); err == nil {
+		t.Fatal("zero fan-in accepted")
+	}
+	if _, _, err := b.Gate(1, 3, 0); err == nil {
+		t.Fatal("zero threshold accepted")
+	}
+	if _, _, err := b.Gate(1, 3, 4); err == nil {
+		t.Fatal("threshold above fan-in accepted")
+	}
+	if _, _, err := b.Gate(1, truenorth.CoreSize+1, 1); err == nil {
+		t.Fatal("fan-in above core width accepted")
+	}
+}
+
+func TestTemplateMatcherClassifies(t *testing.T) {
+	// Three 8-bit templates; present each pattern and a noisy variant.
+	templates := [][]bool{
+		{true, true, true, true, false, false, false, false},
+		{false, false, false, false, true, true, true, true},
+		{true, false, true, false, true, false, true, false},
+	}
+	b := NewBuilder(7)
+	in, out, err := b.TemplateMatcher(8, templates, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := b.Probe(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Present template 0 at tick 0, template 2 at tick 4, and a one-bit
+	// corruption of template 1 at tick 8.
+	if err := b.Volley(in, templates[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Volley(in, templates[2], 4); err != nil {
+		t.Fatal(err)
+	}
+	noisy := append([]bool(nil), templates[1]...)
+	noisy[0] = true
+	if err := b.Volley(in, noisy, 8); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := truenorth.NewSerialSim(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := map[uint64][]int{}
+	sim.OnSpike = func(tick uint64, s truenorth.Spike) {
+		if i, ok := probe.Index(s.Target); ok {
+			fired[tick] = append(fired[tick], i)
+		}
+	}
+	if err := sim.Run(12); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired[0]) != 1 || fired[0][0] != 0 {
+		t.Fatalf("tick 0 winners %v, want [0]", fired[0])
+	}
+	if len(fired[4]) != 1 || fired[4][0] != 2 {
+		t.Fatalf("tick 4 winners %v, want [2]", fired[4])
+	}
+	if len(fired[8]) != 1 || fired[8][0] != 1 {
+		t.Fatalf("tick 8 winners %v, want [1] (noise-tolerant match)", fired[8])
+	}
+}
+
+func TestTemplateMatcherValidation(t *testing.T) {
+	b := NewBuilder(1)
+	tpl := [][]bool{{true, false}}
+	if _, _, err := b.TemplateMatcher(0, tpl, 1); err == nil {
+		t.Fatal("zero bits accepted")
+	}
+	if _, _, err := b.TemplateMatcher(2, nil, 1); err == nil {
+		t.Fatal("no templates accepted")
+	}
+	if _, _, err := b.TemplateMatcher(2, tpl, 0); err == nil {
+		t.Fatal("zero threshold accepted")
+	}
+	if _, _, err := b.TemplateMatcher(3, tpl, 1); err == nil {
+		t.Fatal("bit-width mismatch accepted")
+	}
+	if _, _, err := b.TemplateMatcher(200, [][]bool{make([]bool, 200)}, 1); err == nil {
+		t.Fatal("2x bits exceeding core accepted")
+	}
+}
+
+func TestVolleyValidation(t *testing.T) {
+	b := NewBuilder(1)
+	in, _, err := b.TemplateMatcher(4, [][]bool{{true, false, true, false}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Volley(in, []bool{true}, 0); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}
+
+func TestPoissonStimulusRate(t *testing.T) {
+	b := NewBuilder(8)
+	in, out := b.Relay(16)
+	probe, err := b.Probe(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PoissonStimulus(in, 0.25, 0, 200); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := probe.Counts(m, 210)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	rate := float64(total) / (16 * 200)
+	if rate < 0.20 || rate > 0.30 {
+		t.Fatalf("relay output rate %.3f under Poisson(0.25) drive", rate)
+	}
+	if err := b.PoissonStimulus(in, 1.5, 0, 1); err == nil {
+		t.Fatal("bad rate accepted")
+	}
+}
+
+func TestDanglingOutputsRoutedToSink(t *testing.T) {
+	b := NewBuilder(9)
+	in, _ := b.Relay(2) // outputs never connected or probed
+	if err := b.Stimulate(in, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := truenorth.NewSerialSim(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	// The relay fires once; its spike lands in the sink and nothing else
+	// happens (no runaway loops through live axons).
+	if sim.TotalSpikes() != 1 {
+		t.Fatalf("dangling relay produced %d spikes, want 1", sim.TotalSpikes())
+	}
+}
+
+// TestCoreletModelRunsInParallelSimulator: corelet-built models are
+// ordinary Compass models.
+func TestCoreletModelRunsInParallelSimulator(t *testing.T) {
+	b := NewBuilder(10)
+	in, out := b.Relay(64)
+	in2, out2 := b.Relay(64)
+	if err := b.Connect(out, in2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Probe(out2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PoissonStimulus(in, 0.2, 0, 30); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := truenorth.NewSerialSim(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := compass.Run(m, compass.Config{Ranks: 2, ThreadsPerRank: 2}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalSpikes != ref.TotalSpikes() {
+		t.Fatalf("parallel %d spikes, serial %d", stats.TotalSpikes, ref.TotalSpikes())
+	}
+	if stats.TotalSpikes == 0 {
+		t.Fatal("corelet pipeline silent")
+	}
+}
+
+func BenchmarkTemplateMatcherVolley(b *testing.B) {
+	templates := make([][]bool, 64)
+	for t := range templates {
+		templates[t] = make([]bool, 64)
+		for i := range templates[t] {
+			templates[t][i] = (i+t)%3 == 0
+		}
+	}
+	bld := NewBuilder(1)
+	in, out, err := bld.TemplateMatcher(64, templates, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := bld.Probe(out); err != nil {
+		b.Fatal(err)
+	}
+	for tick := uint64(0); tick < 64; tick += 2 {
+		if err := bld.Volley(in, templates[int(tick/2)%len(templates)], tick); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := truenorth.NewSerialSim(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.Run(66); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestWinnerTakeAll(t *testing.T) {
+	b := NewBuilder(12)
+	w, err := b.WinnerTakeAll(3, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := b.Probe(w.Out())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tick 0: channel 1 wins clearly (5 vs 2 vs 0; margin 2 met: 5-2=3).
+	if err := w.Excite(0, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Excite(1, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	// tick 2: tie (3 vs 3) -> nobody fires.
+	if err := w.Excite(0, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Excite(2, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	// tick 4: channel 2 ahead by only 1 < margin 2 -> nobody fires.
+	if err := w.Excite(2, 4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Excite(1, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	// tick 6: sole evidence on channel 0 -> wins.
+	if err := w.Excite(0, 2, 6); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := truenorth.NewSerialSim(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := map[uint64][]int{}
+	sim.OnSpike = func(tick uint64, s truenorth.Spike) {
+		if ch, ok := probe.Index(s.Target); ok {
+			fired[tick] = append(fired[tick], ch)
+		}
+	}
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired[0]) != 1 || fired[0][0] != 1 {
+		t.Fatalf("tick 0 winners %v, want [1]", fired[0])
+	}
+	if len(fired[2]) != 0 {
+		t.Fatalf("tie produced winners %v", fired[2])
+	}
+	if len(fired[4]) != 0 {
+		t.Fatalf("sub-margin lead produced winners %v", fired[4])
+	}
+	if len(fired[6]) != 1 || fired[6][0] != 0 {
+		t.Fatalf("tick 6 winners %v, want [0]", fired[6])
+	}
+}
+
+func TestWinnerTakeAllValidation(t *testing.T) {
+	b := NewBuilder(1)
+	if _, err := b.WinnerTakeAll(1, 4, 1); err == nil {
+		t.Fatal("single channel accepted")
+	}
+	if _, err := b.WinnerTakeAll(4, 0, 1); err == nil {
+		t.Fatal("zero evidence accepted")
+	}
+	if _, err := b.WinnerTakeAll(16, 16, 1); err == nil {
+		t.Fatal("axon overflow accepted")
+	}
+	if _, err := b.WinnerTakeAll(2, 4, 0); err == nil {
+		t.Fatal("zero margin accepted")
+	}
+	w, err := b.WinnerTakeAll(2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Excite(5, 1, 0); err == nil {
+		t.Fatal("bad channel accepted")
+	}
+	if err := w.Excite(0, 9, 0); err == nil {
+		t.Fatal("excess evidence accepted")
+	}
+}

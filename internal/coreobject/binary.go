@@ -1,0 +1,226 @@
+package coreobject
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// The explicit binary model format. Everything is little-endian.
+//
+//	header:  magic "CMPM" | uint32 version | uint64 seed |
+//	         uint64 numCores | uint64 numInputs
+//	core:    uint32 id | 256 axon-type bytes | 256×4 crossbar words |
+//	         256 neuron records
+//	neuron:  4×int16 weights | uint8 stochastic-weight bits |
+//	         int16 leak | uint8 flags (bit0 stochastic leak, bit1 enabled) |
+//	         int32 threshold | int32 reset | int32 floor |
+//	         uint32 target core | uint16 target axon | uint8 target delay
+//	input:   uint64 tick | uint32 core | uint16 axon
+const (
+	binaryMagic   = "CMPM"
+	binaryVersion = 1
+)
+
+// neuronRecordBytes is the wire size of one neuron record.
+const neuronRecordBytes = 8 + 1 + 2 + 1 + 4 + 4 + 4 + 4 + 2 + 1
+
+// CoreRecordBytes is the wire size of one full core record; the explicit
+// model is ~16.5 KB per core, which is what makes terabyte-scale model
+// files impractical at paper scale (§IV).
+const CoreRecordBytes = 4 + truenorth.CoreSize + truenorth.CoreSize*4*8 +
+	truenorth.CoreSize*neuronRecordBytes
+
+// WriteModel serializes the explicit model.
+func WriteModel(w io.Writer, m *truenorth.Model) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	hdr := make([]byte, 4+8+8+8)
+	binary.LittleEndian.PutUint32(hdr[0:], binaryVersion)
+	binary.LittleEndian.PutUint64(hdr[4:], m.Seed)
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(len(m.Cores)))
+	binary.LittleEndian.PutUint64(hdr[20:], uint64(len(m.Inputs)))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, CoreRecordBytes)
+	for _, c := range m.Cores {
+		encodeCore(buf, c)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	in := make([]byte, 14)
+	for _, s := range m.Inputs {
+		binary.LittleEndian.PutUint64(in[0:], s.Tick)
+		binary.LittleEndian.PutUint32(in[8:], uint32(s.Core))
+		binary.LittleEndian.PutUint16(in[12:], s.Axon)
+		if _, err := bw.Write(in); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func encodeCore(buf []byte, c *truenorth.CoreConfig) {
+	off := 0
+	binary.LittleEndian.PutUint32(buf[off:], uint32(c.ID))
+	off += 4
+	copy(buf[off:], c.AxonTypes[:])
+	off += truenorth.CoreSize
+	for i := range c.Crossbar {
+		for _, w := range c.Crossbar[i] {
+			binary.LittleEndian.PutUint64(buf[off:], w)
+			off += 8
+		}
+	}
+	for j := range c.Neurons {
+		off += encodeNeuron(buf[off:], &c.Neurons[j])
+	}
+}
+
+func encodeNeuron(buf []byte, p *truenorth.NeuronParams) int {
+	off := 0
+	for _, w := range p.Weights {
+		binary.LittleEndian.PutUint16(buf[off:], uint16(w))
+		off += 2
+	}
+	var sw uint8
+	for i, b := range p.StochasticWeight {
+		if b {
+			sw |= 1 << uint(i)
+		}
+	}
+	buf[off] = sw
+	off++
+	binary.LittleEndian.PutUint16(buf[off:], uint16(p.Leak))
+	off += 2
+	var flags uint8
+	if p.StochasticLeak {
+		flags |= 1
+	}
+	if p.Enabled {
+		flags |= 2
+	}
+	buf[off] = flags
+	off++
+	binary.LittleEndian.PutUint32(buf[off:], uint32(p.Threshold))
+	off += 4
+	binary.LittleEndian.PutUint32(buf[off:], uint32(p.Reset))
+	off += 4
+	binary.LittleEndian.PutUint32(buf[off:], uint32(p.Floor))
+	off += 4
+	binary.LittleEndian.PutUint32(buf[off:], uint32(p.Target.Core))
+	off += 4
+	binary.LittleEndian.PutUint16(buf[off:], p.Target.Axon)
+	off += 2
+	buf[off] = p.Target.Delay
+	off++
+	return off
+}
+
+// ReadModel deserializes an explicit model written by WriteModel.
+func ReadModel(r io.Reader) (*truenorth.Model, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("coreobject: read magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("coreobject: bad magic %q", magic)
+	}
+	hdr := make([]byte, 4+8+8+8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("coreobject: read header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:]); v != binaryVersion {
+		return nil, fmt.Errorf("coreobject: unsupported version %d", v)
+	}
+	m := &truenorth.Model{Seed: binary.LittleEndian.Uint64(hdr[4:])}
+	numCores := binary.LittleEndian.Uint64(hdr[12:])
+	numInputs := binary.LittleEndian.Uint64(hdr[20:])
+	const maxCores = 1 << 28 // sanity bound against corrupt headers
+	if numCores > maxCores {
+		return nil, fmt.Errorf("coreobject: implausible core count %d", numCores)
+	}
+	buf := make([]byte, CoreRecordBytes)
+	m.Cores = make([]*truenorth.CoreConfig, numCores)
+	for i := uint64(0); i < numCores; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("coreobject: read core %d: %w", i, err)
+		}
+		c := &truenorth.CoreConfig{}
+		decodeCore(buf, c)
+		m.Cores[i] = c
+	}
+	in := make([]byte, 14)
+	m.Inputs = make([]truenorth.InputSpike, numInputs)
+	for i := uint64(0); i < numInputs; i++ {
+		if _, err := io.ReadFull(br, in); err != nil {
+			return nil, fmt.Errorf("coreobject: read input %d: %w", i, err)
+		}
+		m.Inputs[i] = truenorth.InputSpike{
+			Tick: binary.LittleEndian.Uint64(in[0:]),
+			Core: truenorth.CoreID(binary.LittleEndian.Uint32(in[8:])),
+			Axon: binary.LittleEndian.Uint16(in[12:]),
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("coreobject: model invalid after read: %w", err)
+	}
+	return m, nil
+}
+
+func decodeCore(buf []byte, c *truenorth.CoreConfig) {
+	off := 0
+	c.ID = truenorth.CoreID(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	copy(c.AxonTypes[:], buf[off:off+truenorth.CoreSize])
+	off += truenorth.CoreSize
+	for i := range c.Crossbar {
+		for w := range c.Crossbar[i] {
+			c.Crossbar[i][w] = binary.LittleEndian.Uint64(buf[off:])
+			off += 8
+		}
+	}
+	for j := range c.Neurons {
+		off += decodeNeuron(buf[off:], &c.Neurons[j])
+	}
+}
+
+func decodeNeuron(buf []byte, p *truenorth.NeuronParams) int {
+	off := 0
+	for i := range p.Weights {
+		p.Weights[i] = int16(binary.LittleEndian.Uint16(buf[off:]))
+		off += 2
+	}
+	sw := buf[off]
+	off++
+	for i := range p.StochasticWeight {
+		p.StochasticWeight[i] = sw>>uint(i)&1 == 1
+	}
+	p.Leak = int16(binary.LittleEndian.Uint16(buf[off:]))
+	off += 2
+	flags := buf[off]
+	off++
+	p.StochasticLeak = flags&1 == 1
+	p.Enabled = flags&2 == 2
+	p.Threshold = int32(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	p.Reset = int32(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	p.Floor = int32(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	p.Target.Core = truenorth.CoreID(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	p.Target.Axon = binary.LittleEndian.Uint16(buf[off:])
+	off += 2
+	p.Target.Delay = buf[off]
+	off++
+	return off
+}

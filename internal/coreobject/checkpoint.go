@@ -1,0 +1,112 @@
+package coreobject
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// The checkpoint binary format: magic "CMPC" | uint32 version |
+// uint64 tick | uint64 numCores | per-core state records. Everything is
+// little-endian. A record is: uint32 id | 256×int32 potentials |
+// 256×uint32 axon buffers | 4×uint64 PRNG state.
+const (
+	checkpointMagic   = "CMPC"
+	checkpointVersion = 1
+)
+
+// CheckpointRecordBytes is the wire size of one core's state.
+const CheckpointRecordBytes = 4 + truenorth.CoreSize*4 + truenorth.CoreSize*4 + 4*8
+
+// WriteCheckpoint serializes a simulation checkpoint.
+func WriteCheckpoint(w io.Writer, cp *truenorth.Checkpoint) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(checkpointMagic); err != nil {
+		return err
+	}
+	hdr := make([]byte, 4+8+8)
+	binary.LittleEndian.PutUint32(hdr[0:], checkpointVersion)
+	binary.LittleEndian.PutUint64(hdr[4:], cp.Tick)
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(len(cp.States)))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, CheckpointRecordBytes)
+	for i := range cp.States {
+		s := &cp.States[i]
+		off := 0
+		binary.LittleEndian.PutUint32(buf[off:], uint32(s.ID))
+		off += 4
+		for _, v := range s.Potentials {
+			binary.LittleEndian.PutUint32(buf[off:], uint32(v))
+			off += 4
+		}
+		for _, v := range s.AxonBuf {
+			binary.LittleEndian.PutUint32(buf[off:], v)
+			off += 4
+		}
+		for _, v := range s.RNG {
+			binary.LittleEndian.PutUint64(buf[off:], v)
+			off += 8
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCheckpoint deserializes a checkpoint written by WriteCheckpoint.
+func ReadCheckpoint(r io.Reader) (*truenorth.Checkpoint, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magicBuf := make([]byte, 4)
+	if _, err := io.ReadFull(br, magicBuf); err != nil {
+		return nil, fmt.Errorf("coreobject: read checkpoint magic: %w", err)
+	}
+	if string(magicBuf) != checkpointMagic {
+		return nil, fmt.Errorf("coreobject: bad checkpoint magic %q", magicBuf)
+	}
+	hdr := make([]byte, 4+8+8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("coreobject: read checkpoint header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:]); v != checkpointVersion {
+		return nil, fmt.Errorf("coreobject: unsupported checkpoint version %d", v)
+	}
+	cp := &truenorth.Checkpoint{Tick: binary.LittleEndian.Uint64(hdr[4:])}
+	numCores := binary.LittleEndian.Uint64(hdr[12:])
+	const maxCores = 1 << 28
+	if numCores > maxCores {
+		return nil, fmt.Errorf("coreobject: implausible checkpoint core count %d", numCores)
+	}
+	cp.States = make([]truenorth.CoreState, numCores)
+	buf := make([]byte, CheckpointRecordBytes)
+	for i := uint64(0); i < numCores; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("coreobject: read checkpoint core %d: %w", i, err)
+		}
+		s := &cp.States[i]
+		off := 0
+		s.ID = truenorth.CoreID(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		for j := range s.Potentials {
+			s.Potentials[j] = int32(binary.LittleEndian.Uint32(buf[off:]))
+			off += 4
+		}
+		for j := range s.AxonBuf {
+			s.AxonBuf[j] = binary.LittleEndian.Uint32(buf[off:])
+			off += 4
+		}
+		for j := range s.RNG {
+			s.RNG[j] = binary.LittleEndian.Uint64(buf[off:])
+			off += 8
+		}
+		if int(s.ID) != int(i) {
+			return nil, fmt.Errorf("coreobject: checkpoint core %d has ID %d", i, s.ID)
+		}
+	}
+	return cp, nil
+}

@@ -1,0 +1,235 @@
+// Package coreobject defines the two model representations Compass
+// consumes: the compact CoreObject network description that the Parallel
+// Compass Compiler expands in situ, and the explicit binary model format
+// that holds every core parameter.
+//
+// The paper motivates the split (§IV): a large simulation's explicit
+// model is terabytes — "offline generation and copying such large files
+// is impractical" — while the CoreObject description of the same network
+// is small, and parallel in-situ compilation from it takes minutes
+// instead of the hours needed to read or write the explicit model,
+// reducing simulation set-up time by three orders of magnitude. This
+// repository reproduces that comparison: the compiler consumes
+// NetworkSpec (the CoreObject form, a compact JSON document) and the
+// explicit form round-trips through WriteModel/ReadModel.
+package coreobject
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// NeuronProto is the per-region neuron prototype the compiler stamps onto
+// every neuron of the region, with per-neuron threshold and delay drawn
+// uniformly from the configured ranges.
+type NeuronProto struct {
+	// Weights is the signed synaptic weight per axon type.
+	Weights [truenorth.NumAxonTypes]int16 `json:"weights"`
+	// StochasticWeight enables stochastic integration per axon type.
+	StochasticWeight [truenorth.NumAxonTypes]bool `json:"stochastic_weight,omitempty"`
+	// Leak is the per-tick membrane leak.
+	Leak int16 `json:"leak"`
+	// StochasticLeak enables stochastic leak.
+	StochasticLeak bool `json:"stochastic_leak,omitempty"`
+	// ThresholdMin and ThresholdMax bound the uniform per-neuron firing
+	// threshold draw (inclusive).
+	ThresholdMin int32 `json:"threshold_min"`
+	ThresholdMax int32 `json:"threshold_max"`
+	// Reset is the post-spike membrane potential.
+	Reset int32 `json:"reset"`
+	// Floor is the lower membrane bound.
+	Floor int32 `json:"floor"`
+	// DelayMin and DelayMax bound the uniform per-neuron axonal delay draw
+	// (inclusive).
+	DelayMin uint8 `json:"delay_min"`
+	DelayMax uint8 `json:"delay_max"`
+	// SynapseDensity is the probability that a crossbar bit is set.
+	SynapseDensity float64 `json:"synapse_density"`
+	// InhibitoryFraction is the fraction of the region's granted axons
+	// typed as inhibitory (axon type 3, whose per-neuron weight should be
+	// negative). Cortical networks need it for stable sparse firing.
+	InhibitoryFraction float64 `json:"inhibitory_fraction,omitempty"`
+}
+
+// Validate checks the prototype's ranges.
+func (p *NeuronProto) Validate() error {
+	if p.ThresholdMin < 1 || p.ThresholdMax < p.ThresholdMin {
+		return fmt.Errorf("coreobject: threshold range [%d,%d] invalid", p.ThresholdMin, p.ThresholdMax)
+	}
+	if p.DelayMin < 1 || p.DelayMax < p.DelayMin || p.DelayMax > truenorth.MaxDelay {
+		return fmt.Errorf("coreobject: delay range [%d,%d] invalid", p.DelayMin, p.DelayMax)
+	}
+	if p.Floor > p.Reset {
+		return fmt.Errorf("coreobject: floor %d above reset %d", p.Floor, p.Reset)
+	}
+	if p.SynapseDensity < 0 || p.SynapseDensity > 1 || math.IsNaN(p.SynapseDensity) {
+		return fmt.Errorf("coreobject: synapse density %v outside [0,1]", p.SynapseDensity)
+	}
+	if p.InhibitoryFraction < 0 || p.InhibitoryFraction > 1 || math.IsNaN(p.InhibitoryFraction) {
+		return fmt.Errorf("coreobject: inhibitory fraction %v outside [0,1]", p.InhibitoryFraction)
+	}
+	return nil
+}
+
+// DefaultProto returns a reasonable excitatory prototype: unit weights,
+// no leak, threshold band producing sparse activity, delays 1–3.
+func DefaultProto() NeuronProto {
+	return NeuronProto{
+		Weights:        [truenorth.NumAxonTypes]int16{1, 1, 2, -1},
+		Leak:           0,
+		ThresholdMin:   4,
+		ThresholdMax:   12,
+		Reset:          0,
+		Floor:          -64,
+		DelayMin:       1,
+		DelayMax:       3,
+		SynapseDensity: 0.10,
+	}
+}
+
+// RegionSpec declares one functional region of TrueNorth cores.
+type RegionSpec struct {
+	// Name is the region's unique identifier (e.g. "V1", "LGN").
+	Name string `json:"name"`
+	// Cores is the number of TrueNorth cores allocated to the region.
+	Cores int `json:"cores"`
+	// GrayFraction is the fraction of the region's neuron outputs that
+	// stay within the region (gray matter, process-local); the remainder
+	// is white matter distributed over the region's outgoing connections.
+	// Cortical regions in the paper use 0.40, subcortical 0.20.
+	GrayFraction float64 `json:"gray_fraction"`
+	// Proto is the neuron prototype for the region.
+	Proto NeuronProto `json:"proto"`
+}
+
+// Connection is a directed white-matter edge between regions with a
+// relative anatomical strength.
+type Connection struct {
+	Src    string  `json:"src"`
+	Dst    string  `json:"dst"`
+	Weight float64 `json:"weight"`
+}
+
+// InputSpec attaches a Poisson-like external stimulus to a region: each
+// tick in [StartTick, EndTick), each listed axon of each of the region's
+// first Cores cores receives a spike with probability Rate.
+type InputSpec struct {
+	Region    string  `json:"region"`
+	Cores     int     `json:"cores"`
+	Axons     int     `json:"axons"`
+	Rate      float64 `json:"rate"`
+	StartTick uint64  `json:"start_tick"`
+	EndTick   uint64  `json:"end_tick"`
+}
+
+// NetworkSpec is the CoreObject document: the complete compact
+// description of a functional network of TrueNorth cores.
+type NetworkSpec struct {
+	Name        string       `json:"name"`
+	Seed        uint64       `json:"seed"`
+	Regions     []RegionSpec `json:"regions"`
+	Connections []Connection `json:"connections"`
+	Inputs      []InputSpec  `json:"inputs,omitempty"`
+}
+
+// TotalCores returns the sum of the regions' core counts.
+func (s *NetworkSpec) TotalCores() int {
+	n := 0
+	for _, r := range s.Regions {
+		n += r.Cores
+	}
+	return n
+}
+
+// Region returns the index of the named region, or -1.
+func (s *NetworkSpec) Region(name string) int {
+	for i := range s.Regions {
+		if s.Regions[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks structural consistency of the description.
+func (s *NetworkSpec) Validate() error {
+	if len(s.Regions) == 0 {
+		return errors.New("coreobject: no regions")
+	}
+	seen := make(map[string]bool, len(s.Regions))
+	for i := range s.Regions {
+		r := &s.Regions[i]
+		if r.Name == "" {
+			return fmt.Errorf("coreobject: region %d has empty name", i)
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("coreobject: duplicate region %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Cores < 1 {
+			return fmt.Errorf("coreobject: region %q has %d cores", r.Name, r.Cores)
+		}
+		if r.GrayFraction < 0 || r.GrayFraction > 1 || math.IsNaN(r.GrayFraction) {
+			return fmt.Errorf("coreobject: region %q gray fraction %v outside [0,1]", r.Name, r.GrayFraction)
+		}
+		if err := r.Proto.Validate(); err != nil {
+			return fmt.Errorf("region %q: %w", r.Name, err)
+		}
+	}
+	for i, c := range s.Connections {
+		if !seen[c.Src] {
+			return fmt.Errorf("coreobject: connection %d references unknown source %q", i, c.Src)
+		}
+		if !seen[c.Dst] {
+			return fmt.Errorf("coreobject: connection %d references unknown target %q", i, c.Dst)
+		}
+		if c.Weight <= 0 || math.IsNaN(c.Weight) || math.IsInf(c.Weight, 0) {
+			return fmt.Errorf("coreobject: connection %d (%s->%s) has weight %v", i, c.Src, c.Dst, c.Weight)
+		}
+	}
+	for i, in := range s.Inputs {
+		ri := s.Region(in.Region)
+		if ri < 0 {
+			return fmt.Errorf("coreobject: input %d references unknown region %q", i, in.Region)
+		}
+		if in.Cores < 1 || in.Cores > s.Regions[ri].Cores {
+			return fmt.Errorf("coreobject: input %d core count %d outside region %q (%d cores)", i, in.Cores, in.Region, s.Regions[ri].Cores)
+		}
+		if in.Axons < 1 || in.Axons > truenorth.CoreSize {
+			return fmt.Errorf("coreobject: input %d axon count %d outside [1,%d]", i, in.Axons, truenorth.CoreSize)
+		}
+		if in.Rate < 0 || in.Rate > 1 || math.IsNaN(in.Rate) {
+			return fmt.Errorf("coreobject: input %d rate %v outside [0,1]", i, in.Rate)
+		}
+		if in.EndTick <= in.StartTick {
+			return fmt.Errorf("coreobject: input %d tick window [%d,%d) empty", i, in.StartTick, in.EndTick)
+		}
+	}
+	return nil
+}
+
+// Encode writes the CoreObject document as JSON.
+func (s *NetworkSpec) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// DecodeSpec reads a CoreObject JSON document and validates it.
+func DecodeSpec(r io.Reader) (*NetworkSpec, error) {
+	var s NetworkSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("coreobject: decode: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -1,0 +1,338 @@
+package coreobject
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// twoRegionSpec returns a minimal valid NetworkSpec.
+func twoRegionSpec() *NetworkSpec {
+	return &NetworkSpec{
+		Name: "test",
+		Seed: 1,
+		Regions: []RegionSpec{
+			{Name: "A", Cores: 2, GrayFraction: 0.4, Proto: DefaultProto()},
+			{Name: "B", Cores: 3, GrayFraction: 0.2, Proto: DefaultProto()},
+		},
+		Connections: []Connection{
+			{Src: "A", Dst: "B", Weight: 1.0},
+			{Src: "B", Dst: "A", Weight: 0.5},
+		},
+		Inputs: []InputSpec{
+			{Region: "A", Cores: 1, Axons: 16, Rate: 0.1, StartTick: 0, EndTick: 10},
+		},
+	}
+}
+
+func TestSpecValidateAccepts(t *testing.T) {
+	if err := twoRegionSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func TestSpecValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*NetworkSpec)
+	}{
+		{"no regions", func(s *NetworkSpec) { s.Regions = nil }},
+		{"empty region name", func(s *NetworkSpec) { s.Regions[0].Name = "" }},
+		{"duplicate region", func(s *NetworkSpec) { s.Regions[1].Name = "A" }},
+		{"zero cores", func(s *NetworkSpec) { s.Regions[0].Cores = 0 }},
+		{"bad gray fraction", func(s *NetworkSpec) { s.Regions[0].GrayFraction = 1.5 }},
+		{"bad threshold range", func(s *NetworkSpec) { s.Regions[0].Proto.ThresholdMax = 0 }},
+		{"zero delay", func(s *NetworkSpec) { s.Regions[0].Proto.DelayMin = 0 }},
+		{"delay beyond window", func(s *NetworkSpec) { s.Regions[0].Proto.DelayMax = truenorth.MaxDelay + 1 }},
+		{"density above one", func(s *NetworkSpec) { s.Regions[0].Proto.SynapseDensity = 1.1 }},
+		{"unknown conn src", func(s *NetworkSpec) { s.Connections[0].Src = "Z" }},
+		{"unknown conn dst", func(s *NetworkSpec) { s.Connections[0].Dst = "Z" }},
+		{"nonpositive weight", func(s *NetworkSpec) { s.Connections[0].Weight = 0 }},
+		{"unknown input region", func(s *NetworkSpec) { s.Inputs[0].Region = "Z" }},
+		{"input cores exceed region", func(s *NetworkSpec) { s.Inputs[0].Cores = 100 }},
+		{"input axons exceed core", func(s *NetworkSpec) { s.Inputs[0].Axons = truenorth.CoreSize + 1 }},
+		{"input rate above one", func(s *NetworkSpec) { s.Inputs[0].Rate = 2 }},
+		{"empty input window", func(s *NetworkSpec) { s.Inputs[0].EndTick = s.Inputs[0].StartTick }},
+	}
+	for _, tc := range cases {
+		s := twoRegionSpec()
+		tc.mod(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestSpecHelpers(t *testing.T) {
+	s := twoRegionSpec()
+	if got := s.TotalCores(); got != 5 {
+		t.Fatalf("TotalCores = %d, want 5", got)
+	}
+	if got := s.Region("B"); got != 1 {
+		t.Fatalf("Region(B) = %d, want 1", got)
+	}
+	if got := s.Region("nope"); got != -1 {
+		t.Fatalf("Region(nope) = %d, want -1", got)
+	}
+}
+
+func TestSpecJSONRoundtrip(t *testing.T) {
+	s := twoRegionSpec()
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSpec(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != s.Name || got.Seed != s.Seed {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Regions) != 2 || got.Regions[1].Cores != 3 {
+		t.Fatalf("regions mismatch: %+v", got.Regions)
+	}
+	if len(got.Connections) != 2 || got.Connections[1].Weight != 0.5 {
+		t.Fatalf("connections mismatch: %+v", got.Connections)
+	}
+	if len(got.Inputs) != 1 || got.Inputs[0].Rate != 0.1 {
+		t.Fatalf("inputs mismatch: %+v", got.Inputs)
+	}
+}
+
+func TestDecodeSpecRejectsUnknownFields(t *testing.T) {
+	doc := `{"name":"x","seed":1,"regions":[{"name":"A","cores":1,"gray_fraction":0.4,
+		"proto":{"weights":[1,1,1,1],"leak":0,"threshold_min":1,"threshold_max":2,
+		"reset":0,"floor":0,"delay_min":1,"delay_max":2,"synapse_density":0.1}}],
+		"bogus_field": true}`
+	if _, err := DecodeSpec(strings.NewReader(doc)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestDecodeSpecRejectsInvalid(t *testing.T) {
+	if _, err := DecodeSpec(strings.NewReader(`{"name":"x","regions":[]}`)); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if _, err := DecodeSpec(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// binaryTestModel builds a small model with non-trivial content in every
+// field so the roundtrip test is meaningful.
+func binaryTestModel() *truenorth.Model {
+	m := &truenorth.Model{Seed: 0xdeadbeef}
+	for k := 0; k < 3; k++ {
+		cfg := &truenorth.CoreConfig{ID: truenorth.CoreID(k)}
+		for a := 0; a < truenorth.CoreSize; a += 7 {
+			cfg.AxonTypes[a] = uint8(a % truenorth.NumAxonTypes)
+			cfg.SetSynapse(a, (a*3+k)%truenorth.CoreSize, true)
+		}
+		for j := 0; j < truenorth.CoreSize; j += 5 {
+			cfg.Neurons[j] = truenorth.NeuronParams{
+				Weights:          [truenorth.NumAxonTypes]int16{int16(j), -2, 3, -4},
+				StochasticWeight: [truenorth.NumAxonTypes]bool{j%2 == 0, false, true, false},
+				Leak:             int16(-j),
+				StochasticLeak:   j%3 == 0,
+				Threshold:        int32(j + 1),
+				Reset:            int32(-j),
+				Floor:            int32(-j - 100),
+				Target: truenorth.SpikeTarget{
+					Core:  truenorth.CoreID((k + 1) % 3),
+					Axon:  uint16(j),
+					Delay: uint8(j%truenorth.MaxDelay) + 1,
+				},
+				Enabled: true,
+			}
+		}
+		m.Cores = append(m.Cores, cfg)
+	}
+	m.Inputs = []truenorth.InputSpike{
+		{Tick: 0, Core: 0, Axon: 3},
+		{Tick: 99, Core: 2, Axon: 255},
+	}
+	return m
+}
+
+func TestBinaryRoundtrip(t *testing.T) {
+	m := binaryTestModel()
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	wantLen := 4 + 28 + 3*CoreRecordBytes + 2*14
+	if buf.Len() != wantLen {
+		t.Fatalf("encoded length %d, want %d", buf.Len(), wantLen)
+	}
+	got, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != m.Seed || len(got.Cores) != len(m.Cores) || len(got.Inputs) != len(m.Inputs) {
+		t.Fatalf("header mismatch: seed=%x cores=%d inputs=%d", got.Seed, len(got.Cores), len(got.Inputs))
+	}
+	for k := range m.Cores {
+		if *got.Cores[k] != *m.Cores[k] {
+			t.Fatalf("core %d roundtrip mismatch", k)
+		}
+	}
+	for i := range m.Inputs {
+		if got.Inputs[i] != m.Inputs[i] {
+			t.Fatalf("input %d mismatch: %+v vs %+v", i, got.Inputs[i], m.Inputs[i])
+		}
+	}
+}
+
+func TestReadModelRejectsCorruption(t *testing.T) {
+	m := binaryTestModel()
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, data...)
+	bad[0] = 'X'
+	if _, err := ReadModel(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+
+	// Bad version.
+	bad = append([]byte{}, data...)
+	bad[4] = 99
+	if _, err := ReadModel(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+
+	// Truncated stream.
+	if _, err := ReadModel(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+
+	// Implausible core count.
+	bad = append([]byte{}, data...)
+	for i := 16; i < 24; i++ {
+		bad[i] = 0xff
+	}
+	if _, err := ReadModel(bytes.NewReader(bad)); err == nil {
+		t.Fatal("implausible core count accepted")
+	}
+
+	// Empty stream.
+	if _, err := ReadModel(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestReadModelValidatesSemantics(t *testing.T) {
+	// A model whose neuron targets a nonexistent core must be rejected at
+	// read time, not crash the simulator later.
+	m := binaryTestModel()
+	m.Cores[0].Neurons[0].Target.Core = 77
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadModel(&buf); err == nil {
+		t.Fatal("semantically invalid model accepted")
+	}
+}
+
+func BenchmarkWriteModel(b *testing.B) {
+	m := binaryTestModel()
+	b.SetBytes(int64(4 + 28 + 3*CoreRecordBytes + 2*14))
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteModel(&buf, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadModel(b *testing.B) {
+	m := binaryTestModel()
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadModel(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	cp := &truenorth.Checkpoint{Tick: 1234}
+	for i := 0; i < 3; i++ {
+		var s truenorth.CoreState
+		s.ID = truenorth.CoreID(i)
+		for j := range s.Potentials {
+			s.Potentials[j] = int32(i*1000 + j - 500)
+		}
+		for j := range s.AxonBuf {
+			s.AxonBuf[j] = uint32(i + j*7)
+		}
+		s.RNG = [4]uint64{uint64(i) + 1, 2, 3, 4}
+		cp.States = append(cp.States, s)
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	wantLen := 4 + 20 + 3*CheckpointRecordBytes
+	if buf.Len() != wantLen {
+		t.Fatalf("checkpoint length %d, want %d", buf.Len(), wantLen)
+	}
+	got, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tick != cp.Tick || len(got.States) != 3 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range cp.States {
+		if got.States[i] != cp.States[i] {
+			t.Fatalf("state %d mismatch", i)
+		}
+	}
+}
+
+func TestReadCheckpointRejectsCorruption(t *testing.T) {
+	cp := &truenorth.Checkpoint{Tick: 1, States: []truenorth.CoreState{{ID: 0, RNG: [4]uint64{1, 2, 3, 4}}}}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	bad := append([]byte{}, data...)
+	bad[0] = 'X'
+	if _, err := ReadCheckpoint(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	bad = append([]byte{}, data...)
+	bad[4] = 9
+	if _, err := ReadCheckpoint(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if _, err := ReadCheckpoint(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("truncation accepted")
+	}
+	// Misnumbered core ID.
+	bad = append([]byte{}, data...)
+	bad[20] = 9 // the core ID byte
+	if _, err := ReadCheckpoint(bytes.NewReader(bad)); err == nil {
+		t.Fatal("misnumbered core accepted")
+	}
+	if _, err := ReadCheckpoint(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}

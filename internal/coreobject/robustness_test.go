@@ -1,0 +1,89 @@
+package coreobject
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/cognitive-sim/compass/internal/prng"
+)
+
+// TestReadModelNeverPanicsOnCorruption flips random bytes and truncates
+// the encoded model at random offsets: ReadModel must either return an
+// error or a valid model, never panic. Model files travel between
+// machines and versions; decoding robustness is table stakes.
+func TestReadModelNeverPanicsOnCorruption(t *testing.T) {
+	m := binaryTestModel()
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	r := prng.New(0xBADC0DE)
+
+	check := func(data []byte, what string) {
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("ReadModel panicked on %s: %v", what, p)
+			}
+		}()
+		got, err := ReadModel(bytes.NewReader(data))
+		if err == nil {
+			// Corruption that decodes must still be semantically valid.
+			if verr := got.Validate(); verr != nil {
+				t.Fatalf("ReadModel returned invalid model on %s: %v", what, verr)
+			}
+		}
+	}
+
+	for trial := 0; trial < 300; trial++ {
+		data := append([]byte{}, clean...)
+		flips := 1 + r.Intn(8)
+		for f := 0; f < flips; f++ {
+			i := r.Intn(len(data))
+			data[i] ^= byte(1 + r.Intn(255))
+		}
+		check(data, "byte flips")
+	}
+	for trial := 0; trial < 100; trial++ {
+		cut := r.Intn(len(clean) + 1)
+		check(clean[:cut], "truncation")
+	}
+	for trial := 0; trial < 100; trial++ {
+		data := make([]byte, r.Intn(512))
+		for i := range data {
+			data[i] = byte(r.Intn(256))
+		}
+		check(data, "random garbage")
+	}
+}
+
+// TestDecodeSpecNeverPanicsOnGarbage mutates a valid JSON spec document.
+func TestDecodeSpecNeverPanicsOnGarbage(t *testing.T) {
+	spec := twoRegionSpec()
+	var buf bytes.Buffer
+	if err := spec.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.String()
+	r := prng.New(0xF00D)
+	for trial := 0; trial < 200; trial++ {
+		data := []byte(clean)
+		for f := 0; f < 1+r.Intn(5); f++ {
+			data[r.Intn(len(data))] = byte(32 + r.Intn(95))
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("DecodeSpec panicked: %v", p)
+				}
+			}()
+			got, err := DecodeSpec(strings.NewReader(string(data)))
+			if err == nil {
+				if verr := got.Validate(); verr != nil {
+					t.Fatalf("DecodeSpec returned invalid spec: %v", verr)
+				}
+			}
+		}()
+	}
+}

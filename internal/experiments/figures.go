@@ -1,0 +1,691 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/cognitive-sim/compass/internal/c2"
+	"github.com/cognitive-sim/compass/internal/cocomac"
+	"github.com/cognitive-sim/compass/internal/compass"
+	"github.com/cognitive-sim/compass/internal/coreobject"
+	"github.com/cognitive-sim/compass/internal/pcc"
+	"github.com/cognitive-sim/compass/internal/perfmodel"
+	"github.com/cognitive-sim/compass/internal/power"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// Shared experiment constants.
+const (
+	// cocomacSeed fixes the synthetic connectome for all experiments.
+	cocomacSeed = 2012
+	// paperCoresPerNode is the paper's weak-scaling density (§VI-B).
+	paperCoresPerNode = 16384
+	// paperFiringHz and paperDensity set the operating point.
+	paperFiringHz = 8.1
+	paperDensity  = 0.10
+	// paperTicks is the simulated tick count of Figures 4 and 5.
+	paperTicks = 500
+	// hostTicks is the tick count for host-scale measured runs.
+	hostTicks = 80
+	// hostCoresPerRank sizes host-scale measured models.
+	hostCoresPerRank = 16
+)
+
+// hostCoCoMacRun compiles a scaled CoCoMac model with PCC and simulates
+// it functionally, returning the run statistics and timings.
+func hostCoCoMacRun(ranks, totalCores, ticks int) (*compass.RunStats, time.Duration, time.Duration, error) {
+	net := cocomac.Generate(cocomacSeed)
+	spec, err := net.ToSpec(totalCores, uint64(ticks))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	t0 := time.Now()
+	res, err := pcc.Compile(spec, ranks)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	compileTime := time.Since(t0)
+	t1 := time.Now()
+	stats, err := compass.Run(res.Model, compass.Config{
+		Ranks:          res.Ranks,
+		ThreadsPerRank: 2,
+		RankOf:         res.RankOf,
+		MeasurePhases:  true,
+	}, ticks)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return stats, compileTime, time.Since(t1), nil
+}
+
+// Fig3 reproduces the region allocation map of Figure 3: the raw
+// Paxinos-derived core allocation versus the allocation after matrix
+// balancing, for a 4096-core model, with each region's out-degree.
+func Fig3() ([]*Table, error) {
+	net := cocomac.Generate(cocomacSeed)
+	rows, err := net.CoreAllocations(4096)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig3",
+		Title:  "Macaque brain map: Paxinos vs balanced core allocation (4096-core model)",
+		Header: []string{"region", "class", "paxinos cores", "balanced cores", "out-degree", "volume"},
+	}
+	for _, r := range rows {
+		vol := "atlas"
+		if r.Imputed {
+			vol = "imputed (median)"
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Name, r.Class.String(), fmtI(r.PaxinosCores), fmtI(r.BalancedCores), fmtI(r.OutDegree), vol,
+		})
+	}
+	lgn := net.RegionIndex("LGN")
+	deg := 0
+	for j := range net.Adj[lgn] {
+		if net.Adj[lgn][j] {
+			deg++
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d regions (paper: 77); %d with median-imputed volumes (paper: 13 = 5 cortical + 8 thalamic)", len(rows), countImputed(rows)),
+		fmt.Sprintf("LGN, the first stage of the thalamocortical visual stream, has %d outgoing pathways", deg),
+		"allocations are plotted in log space in the paper; both columns sum to the 4096-core budget here")
+	return []*Table{t}, nil
+}
+
+func countImputed(rows []cocomac.AllocationRow) int {
+	n := 0
+	for _, r := range rows {
+		if r.Imputed {
+			n++
+		}
+	}
+	return n
+}
+
+// Fig4a reproduces the weak-scaling figure: fixed 16384 cores per node,
+// 1–16 Blue Gene/Q racks, total and per-phase wall-clock for 500 ticks,
+// projected from the analytic CoCoMac workload through the calibrated
+// machine model — plus a host-scale measured run of the same protocol.
+func Fig4a() ([]*Table, error) {
+	net := cocomac.Generate(cocomacSeed)
+	m := perfmodel.BlueGeneQ()
+	proj := &Table{
+		ID:    "fig4a",
+		Title: "Weak scaling on Blue Gene/Q (projected; 16384 TrueNorth cores/node, 500 ticks, 32 threads/process)",
+		Header: []string{"CPUs", "nodes", "cores (M)", "synapse ms/tick", "neuron ms/tick",
+			"network ms/tick", "total ms/tick", "total 500 ticks (s)", "x real time"},
+	}
+	for _, racks := range []int{1, 2, 4, 8, 16} {
+		nodes := racks * 1024
+		w, err := perfmodel.AnalyticCoCoMac(net, nodes, paperCoresPerNode, paperFiringHz, paperDensity)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := perfmodel.Project(m, w, 32, compass.TransportMPI)
+		if err != nil {
+			return nil, err
+		}
+		proj.Rows = append(proj.Rows, []string{
+			fmtI(nodes * 16), fmtI(nodes), fmtI(nodes * paperCoresPerNode / (1 << 20)),
+			fmtMS(pt.Synapse), fmtMS(pt.Neuron), fmtMS(pt.Network),
+			fmtMS(pt.Total()), fmtF(pt.Total() * paperTicks), fmtF(pt.Total() / 0.001),
+		})
+	}
+	proj.Notes = append(proj.Notes,
+		"paper: 256M cores on 262,144 CPUs took 194 s for 500 ticks (388x real time); total time near-constant across the sweep",
+		"network-phase growth is dominated by the reduce-scatter, which scales with communicator size, as in the paper")
+
+	meas := &Table{
+		ID:    "fig4a-measured",
+		Title: "Weak scaling, functional simulator on this host (16 cores/rank; workload statistics are scale-exact)",
+		Header: []string{"ranks", "cores", "spikes/tick", "remote spikes/tick", "msgs/tick",
+			"firing Hz", "compile (ms)", "simulate (ms)", "compute (ms)", "network (ms)"},
+	}
+	for _, ranks := range []int{8, 16, 32} {
+		stats, ct, st, err := hostCoCoMacRun(ranks, ranks*hostCoresPerRank, hostTicks)
+		if err != nil {
+			return nil, err
+		}
+		meas.Rows = append(meas.Rows, []string{
+			fmtI(ranks), fmtI(stats.NumCores),
+			fmtF(float64(stats.TotalSpikes) / float64(stats.Ticks)),
+			fmtF(stats.SpikesPerTick()), fmtF(stats.MessagesPerTick()),
+			fmtF(stats.AvgFiringRateHz()),
+			fmtI(int(ct.Milliseconds())), fmtI(int(st.Milliseconds())),
+			fmtMS(stats.PhaseSeconds.SynapseNeuron), fmtMS(stats.PhaseSeconds.Network),
+		})
+	}
+	meas.Notes = append(meas.Notes,
+		"this host has one CPU, so wall-clock grows with total model size; the per-tick workload statistics are the measured quantities that feed the projection")
+	return []*Table{proj, meas}, nil
+}
+
+// Fig4b reproduces the messaging analysis: MPI message count and total
+// (white matter) spike count per tick versus CPU count, with the
+// link-thinning mechanism visible as falling spikes-per-message.
+func Fig4b() ([]*Table, error) {
+	net := cocomac.Generate(cocomacSeed)
+	proj := &Table{
+		ID:    "fig4b",
+		Title: "Messaging and data transfer per tick (projected, weak scaling at 16384 cores/node)",
+		Header: []string{"CPUs", "messages/tick", "spikes/tick (M)", "spikes/message",
+			"payload GB/tick", "GB/s per node (1 ms ticks)"},
+	}
+	for _, racks := range []int{1, 2, 4, 8, 16} {
+		nodes := racks * 1024
+		w, err := perfmodel.AnalyticCoCoMac(net, nodes, paperCoresPerNode, paperFiringHz, paperDensity)
+		if err != nil {
+			return nil, err
+		}
+		gb := w.TotalRemoteSpikesPerTick * truenorth.SpikeWireBytes / 1e9
+		proj.Rows = append(proj.Rows, []string{
+			fmtI(nodes * 16), fmtI(int(w.TotalMessagesPerTick)),
+			fmt.Sprintf("%.2f", w.TotalRemoteSpikesPerTick/1e6),
+			fmtF(w.TotalRemoteSpikesPerTick / w.TotalMessagesPerTick),
+			fmt.Sprintf("%.3f", gb),
+			fmt.Sprintf("%.4f", w.Max.BytesSent/0.001/1e9),
+		})
+	}
+	proj.Notes = append(proj.Notes,
+		"paper: ~22M spikes/tick at 256M cores = 0.44 GB/tick at 20 B/spike, well below the 2 GB/s 5-D torus links",
+		"message growth is held below spike growth by link thinning: white-matter links carry fewer spikes each as the model grows (§VI-B)")
+
+	meas := &Table{
+		ID:     "fig4b-measured",
+		Title:  "Messaging, functional simulator on this host",
+		Header: []string{"ranks", "cores", "msgs/tick", "remote spikes/tick", "spikes/message"},
+	}
+	for _, ranks := range []int{8, 16, 32} {
+		stats, _, _, err := hostCoCoMacRun(ranks, ranks*hostCoresPerRank, hostTicks)
+		if err != nil {
+			return nil, err
+		}
+		spm := 0.0
+		if stats.Messages > 0 {
+			spm = float64(stats.RemoteSpikes) / float64(stats.Messages)
+		}
+		meas.Rows = append(meas.Rows, []string{
+			fmtI(ranks), fmtI(stats.NumCores), fmtF(stats.MessagesPerTick()),
+			fmtF(stats.SpikesPerTick()), fmtF(spm),
+		})
+	}
+	return []*Table{proj, meas}, nil
+}
+
+// Fig5 reproduces strong scaling: a fixed 32M-core CoCoMac model on 1–16
+// Blue Gene/Q racks.
+func Fig5() ([]*Table, error) {
+	net := cocomac.Generate(cocomacSeed)
+	m := perfmodel.BlueGeneQ()
+	const totalCores = 32 << 20
+	proj := &Table{
+		ID:    "fig5",
+		Title: "Strong scaling on Blue Gene/Q (projected; fixed 32M-core CoCoMac model, 500 ticks)",
+		Header: []string{"CPUs", "racks", "cores/node", "synapse ms", "neuron ms", "network ms",
+			"total 500 ticks (s)", "speedup", "paper (s)"},
+	}
+	paperTimes := map[int]string{1: "324", 2: "-", 4: "-", 8: "47", 16: "37"}
+	var base float64
+	for _, racks := range []int{1, 2, 4, 8, 16} {
+		nodes := racks * 1024
+		w, err := perfmodel.AnalyticCoCoMac(net, nodes, totalCores/nodes, paperFiringHz, paperDensity)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := perfmodel.Project(m, w, 32, compass.TransportMPI)
+		if err != nil {
+			return nil, err
+		}
+		total := pt.Total() * paperTicks
+		if racks == 1 {
+			base = total
+		}
+		proj.Rows = append(proj.Rows, []string{
+			fmtI(nodes * 16), fmtI(racks), fmtI(totalCores / nodes),
+			fmtMS(pt.Synapse), fmtMS(pt.Neuron), fmtMS(pt.Network),
+			fmtF(total), fmt.Sprintf("%.1fx", base/total), paperTimes[racks],
+		})
+	}
+	proj.Notes = append(proj.Notes,
+		"paper: 324 s on 1 rack, 47 s on 8 racks (6.9x), 37 s on 16 racks (8.8x); perfect scaling inhibited by the communication-intense phases",
+		"the model reproduces the sub-linear tail: compute shrinks 16x but the reduce-scatter grows with the communicator")
+
+	meas := &Table{
+		ID:     "fig5-measured",
+		Title:  "Strong scaling, functional simulator on this host (fixed 512-core model)",
+		Header: []string{"ranks", "remote spikes/tick", "msgs/tick", "peer ranks (max)", "simulate (ms)"},
+	}
+	for _, ranks := range []int{4, 8, 16, 32} {
+		stats, _, st, err := hostCoCoMacRun(ranks, 512, hostTicks)
+		if err != nil {
+			return nil, err
+		}
+		maxPeers := 0
+		for _, rs := range stats.PerRank {
+			if rs.PeerRanks > maxPeers {
+				maxPeers = rs.PeerRanks
+			}
+		}
+		meas.Rows = append(meas.Rows, []string{
+			fmtI(ranks), fmtF(stats.SpikesPerTick()), fmtF(stats.MessagesPerTick()),
+			fmtI(maxPeers), fmtI(int(st.Milliseconds())),
+		})
+	}
+	meas.Notes = append(meas.Notes,
+		"remote traffic grows with rank count at fixed model size — the communication pressure that bends the projected curve")
+	return []*Table{proj, meas}, nil
+}
+
+// Fig6 reproduces OpenMP thread scaling: a fixed 64M-core model on four
+// racks, threads per process swept 1–32.
+func Fig6() ([]*Table, error) {
+	net := cocomac.Generate(cocomacSeed)
+	m := perfmodel.BlueGeneQ()
+	// 64M cores on 4096 nodes = 16384 cores/node.
+	w, err := perfmodel.AnalyticCoCoMac(net, 4096, paperCoresPerNode, paperFiringHz, paperDensity)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "fig6",
+		Title: "Thread scaling (projected; 64M-core model on 4 racks, 1 MPI process/node)",
+		Header: []string{"threads/process", "synapse ms/tick", "neuron ms/tick", "network ms/tick",
+			"total ms/tick", "speedup"},
+	}
+	var base float64
+	for _, threads := range []int{1, 2, 4, 8, 16, 32} {
+		pt, err := perfmodel.Project(m, w, threads, compass.TransportMPI)
+		if err != nil {
+			return nil, err
+		}
+		if threads == 1 {
+			base = pt.Total()
+		}
+		t.Rows = append(t.Rows, []string{
+			fmtI(threads), fmtMS(pt.Synapse), fmtMS(pt.Neuron), fmtMS(pt.Network),
+			fmtMS(pt.Total()), fmt.Sprintf("%.1fx", base/pt.Total()),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper: near-linear thread speedup, imperfect because the Network phase receives messages inside a critical section (a serial bottleneck at all thread counts)",
+		"the critical-section and false-sharing terms cap the modelled 32-thread speedup below 32x, as observed")
+	return []*Table{t}, nil
+}
+
+// Fig7 reproduces the PGAS versus MPI real-time comparison on Blue
+// Gene/P: the synthetic network with 75% node-local connectivity and
+// 10 Hz firing, 1000 ticks, strong-scaled over 1–4 racks — projected at
+// paper scale and measured functionally (both transports really run).
+func Fig7() ([]*Table, error) {
+	m := perfmodel.BlueGeneP()
+	proj := &Table{
+		ID:    "fig7",
+		Title: "PGAS vs MPI real-time simulation on Blue Gene/P (projected; 81K cores, 10 Hz, 75% local, 1000 ticks)",
+		Header: []string{"CPUs", "racks", "cores/node", "PGAS s/1000 ticks", "MPI s/1000 ticks",
+			"MPI/PGAS", "real time?"},
+	}
+	const totalCores = 81920
+	for _, racks := range []int{1, 2, 4} {
+		nodes := racks * 1024
+		w, err := perfmodel.SyntheticUniform(nodes, totalCores/nodes, 10, 0.75, paperDensity)
+		if err != nil {
+			return nil, err
+		}
+		pgasT, err := perfmodel.Project(m, w, 4, compass.TransportPGAS)
+		if err != nil {
+			return nil, err
+		}
+		mpiT, err := perfmodel.Project(m, w, 4, compass.TransportMPI)
+		if err != nil {
+			return nil, err
+		}
+		rt := "no"
+		if pgasT.Total() <= 0.00125 {
+			rt = "yes (soft)"
+		}
+		proj.Rows = append(proj.Rows, []string{
+			fmtI(nodes * 4), fmtI(racks), fmtI(totalCores / nodes),
+			fmt.Sprintf("%.2f", pgasT.Total()*1000), fmt.Sprintf("%.2f", mpiT.Total()*1000),
+			fmt.Sprintf("%.2fx", mpiT.Total()/pgasT.Total()), rt,
+		})
+	}
+	proj.Notes = append(proj.Notes,
+		"paper: PGAS simulates 81K cores in real time (1000 ticks in 1 s) on 4 racks; MPI takes 2.1x as long",
+		"the PGAS win comes from one-sided puts (no buffering or tag matching) and replacing the reduce-scatter with one low-latency global barrier")
+
+	// Measured: both transports actually run on the functional simulator.
+	model, err := SyntheticModel(8, hostCoresPerRank, 0.75, 10, 77)
+	if err != nil {
+		return nil, err
+	}
+	meas := &Table{
+		ID:     "fig7-measured",
+		Title:  "PGAS vs MPI, functional simulator on this host (8 ranks x 16 cores, 200 ticks)",
+		Header: []string{"transport", "spikes/tick", "remote spikes/tick", "msgs or puts/tick", "firing Hz", "wall (ms)"},
+	}
+	for _, tr := range []compass.Transport{compass.TransportPGAS, compass.TransportMPI} {
+		t0 := time.Now()
+		stats, err := compass.Run(model, compass.Config{Ranks: 8, ThreadsPerRank: 2, Transport: tr}, 200)
+		if err != nil {
+			return nil, err
+		}
+		meas.Rows = append(meas.Rows, []string{
+			tr.String(),
+			fmtF(float64(stats.TotalSpikes) / float64(stats.Ticks)),
+			fmtF(stats.SpikesPerTick()), fmtF(stats.MessagesPerTick()),
+			fmtF(stats.AvgFiringRateHz()), fmtI(int(time.Since(t0).Milliseconds())),
+		})
+	}
+	meas.Notes = append(meas.Notes,
+		"both transports produce identical spike traffic (the simulator is transport-invariant); host wall-clock differences on one CPU reflect Go runtime behaviour, not Blue Gene/P network hardware — the projection above carries the hardware comparison")
+	return []*Table{proj, meas}, nil
+}
+
+// Headline reproduces the paper's scale claims: 256M cores, 65B neurons,
+// 16T synapses, 388x slower than real time at 8.1 Hz.
+func Headline() ([]*Table, error) {
+	net := cocomac.Generate(cocomacSeed)
+	m := perfmodel.BlueGeneQ()
+	nodes := 16384
+	w, err := perfmodel.AnalyticCoCoMac(net, nodes, paperCoresPerNode, paperFiringHz, paperDensity)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := perfmodel.Project(m, w, 32, compass.TransportMPI)
+	if err != nil {
+		return nil, err
+	}
+	cores := nodes * paperCoresPerNode
+	neurons := float64(cores) * truenorth.CoreSize
+	synapses := float64(cores) * truenorth.CoreSize * truenorth.CoreSize
+	t := &Table{
+		ID:     "headline",
+		Title:  "Headline scale: 16-rack Blue Gene/Q run",
+		Header: []string{"quantity", "paper", "this reproduction"},
+		Rows: [][]string{
+			{"CPUs", "262,144", fmtI(nodes * 16)},
+			{"TrueNorth cores", "256M", fmt.Sprintf("%dM", cores/(1<<20))},
+			{"neurons", "65B", fmt.Sprintf("%.1fB", neurons/1e9)},
+			{"synapses (crossbar capacity)", "16T", fmt.Sprintf("%.1fT", synapses/1e12)},
+			{"mean firing rate", "8.1 Hz", fmt.Sprintf("%.1f Hz", paperFiringHz)},
+			{"slower than real time", "388x", fmt.Sprintf("%.0fx", pt.Total()/0.001)},
+			{"wall clock, 500 ticks", "194 s", fmt.Sprintf("%.0f s", pt.Total()*paperTicks)},
+			{"white-matter spikes/tick", "~22M", fmt.Sprintf("%.1fM", w.TotalRemoteSpikesPerTick/1e6)},
+			{"spike payload/tick", "0.44 GB", fmt.Sprintf("%.2f GB", w.TotalRemoteSpikesPerTick*truenorth.SpikeWireBytes/1e9)},
+		},
+		Notes: []string{
+			"neurons: 3x the human cortex neuron count estimate used in the paper; synapses comparable to monkey cortex",
+			"the slowdown is projected by the calibrated machine model over the analytic CoCoMac workload",
+		},
+	}
+	return []*Table{t}, nil
+}
+
+// PCCSetup reproduces the §IV set-up time claim: parallel in-situ model
+// generation versus writing and re-reading the explicit model.
+func PCCSetup() ([]*Table, error) {
+	net := cocomac.Generate(cocomacSeed)
+	spec, err := net.ToSpec(308, hostTicks)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	res, err := pcc.Compile(spec, 8)
+	if err != nil {
+		return nil, err
+	}
+	compileTime := time.Since(t0)
+
+	f, err := os.CreateTemp("", "compass-model-*.bin")
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(f.Name())
+	t1 := time.Now()
+	if err := coreobject.WriteModel(f, res.Model); err != nil {
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		return nil, err
+	}
+	writeTime := time.Since(t1)
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	t2 := time.Now()
+	if _, err := coreobject.ReadModel(f); err != nil {
+		return nil, err
+	}
+	readTime := time.Since(t2)
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+
+	explicit := writeTime + readTime
+	ratio := float64(explicit) / float64(compileTime)
+	// Paper-scale projection: 256M cores at the explicit record size over
+	// a 1 GB/s parallel filesystem, versus the measured 107 s compile.
+	paperModelTB := 256.0 * (1 << 20) * float64(coreobject.CoreRecordBytes) / 1e12
+	paperIOHours := paperModelTB * 1e12 / 1e9 / 3600 * 2 // write + read
+
+	t := &Table{
+		ID:     "pcc",
+		Title:  "PCC in-situ compilation vs explicit model file (308-core CoCoMac model, 8 compiler ranks)",
+		Header: []string{"path", "time", "artifact"},
+		Rows: [][]string{
+			{"parallel in-situ compile", fmt.Sprintf("%d ms", compileTime.Milliseconds()), fmt.Sprintf("%d grant messages, %d IPFP sweeps", res.GrantMessages, res.BalanceIterations)},
+			{"write explicit model", fmt.Sprintf("%d ms", writeTime.Milliseconds()), fmt.Sprintf("%.1f MB file", float64(fi.Size())/1e6)},
+			{"read explicit model", fmt.Sprintf("%d ms", readTime.Milliseconds()), "full validation"},
+			{"explicit / compile ratio", fmt.Sprintf("%.1fx", ratio), ""},
+		},
+		Notes: []string{
+			fmt.Sprintf("paper scale: the 256M-core explicit model is %.1f TB; write+read at 1 GB/s is ~%.0f hours against 107 s of parallel compilation — the three-orders-of-magnitude set-up reduction of §IV", paperModelTB, paperIOHours),
+			"at host scale the file fits in page cache, so the measured ratio understates the paper-scale gap",
+		},
+	}
+	return []*Table{t}, nil
+}
+
+// Ablation isolates the contribution of Compass's two §III communication
+// design choices — per-destination spike aggregation and overlapping the
+// reduce-scatter with local delivery — by disabling each in the machine
+// model at the paper-scale weak-scaling endpoint.
+func Ablation() ([]*Table, error) {
+	net := cocomac.Generate(cocomacSeed)
+	m := perfmodel.BlueGeneQ()
+	w, err := perfmodel.AnalyticCoCoMac(net, 16384, paperCoresPerNode, paperFiringHz, paperDensity)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "ablation",
+		Title:  "Design-choice ablations (projected; 256M cores on 16 racks, MPI transport)",
+		Header: []string{"variant", "network ms/tick", "total ms/tick", "vs baseline"},
+	}
+	variants := []struct {
+		name string
+		opts perfmodel.Options
+	}{
+		{"baseline (aggregate + overlap)", perfmodel.Options{}},
+		{"no spike aggregation", perfmodel.Options{NoAggregation: true}},
+		{"no RS/delivery overlap", perfmodel.Options{NoOverlap: true}},
+		{"neither", perfmodel.Options{NoAggregation: true, NoOverlap: true}},
+	}
+	var base float64
+	for _, v := range variants {
+		pt, err := perfmodel.ProjectWithOptions(m, w, 32, compass.TransportMPI, v.opts)
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base = pt.Total()
+		}
+		t.Rows = append(t.Rows, []string{
+			v.name, fmtMS(pt.Network), fmtMS(pt.Total()),
+			fmt.Sprintf("%+.1f%%", (pt.Total()/base-1)*100),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"aggregation collapses each rank pair's spikes into one message per tick; without it every white-matter spike pays full message overhead",
+		"the overlap hides the reduce-scatter behind local spike delivery on the non-master threads")
+	return []*Table{t}, nil
+}
+
+// Power estimates TrueNorth hardware power for the simulated workloads —
+// use case (e) of §I ("estimating power consumption"). The measured row
+// feeds a real Compass run's event counts into the energy model; the
+// chip-scale rows use the analytic operating point.
+func Power() ([]*Table, error) {
+	profile := power.TrueNorth45nm()
+	t := &Table{
+		ID:     "power",
+		Title:  "TrueNorth power estimation (45 nm profile, real-time 1 ms ticks)",
+		Header: []string{"configuration", "cores", "dynamic mW", "static mW", "total mW", "pJ/spike"},
+	}
+	addEstimate := func(name string, est power.Estimate) {
+		t.Rows = append(t.Rows, []string{
+			name, fmtI(est.Cores),
+			fmt.Sprintf("%.2f", est.DynamicW*1000),
+			fmt.Sprintf("%.2f", est.StaticW*1000),
+			fmt.Sprintf("%.2f", est.TotalW*1000),
+			fmt.Sprintf("%.1f", est.EnergyPerSpikeJ*1e12),
+		})
+	}
+
+	// Measured: the host-scale CoCoMac run's exact event counts.
+	stats, _, _, err := hostCoCoMacRun(8, 512, hostTicks)
+	if err != nil {
+		return nil, err
+	}
+	est, err := power.FromStats(profile, stats)
+	if err != nil {
+		return nil, err
+	}
+	addEstimate("measured 512-core CoCoMac run", est)
+
+	// Analytic chip- and system-scale operating points at 8.1 Hz.
+	for _, cores := range []int{4096, 1 << 20, 256 << 20} {
+		est, err := power.FromRates(profile, cores, paperFiringHz, paperDensity, 0.2)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("%s cores @ 8.1 Hz", fmtI(cores))
+		if cores == 4096 {
+			name = "one TrueNorth chip (4,096 cores) @ 8.1 Hz"
+		}
+		addEstimate(name, est)
+	}
+	t.Notes = append(t.Notes,
+		"the 4096-core chip estimate lands in the tens of milliwatts, consistent with the TrueNorth programme's ultra-low-power target",
+		"energy constants derive from the cited 45 pJ/spike 45 nm neurosynaptic core (Merolla et al., CICC 2011); they are order-of-magnitude hardware estimates")
+	return []*Table{t}, nil
+}
+
+// C2Comparison reproduces the §I contrast between Compass and its
+// predecessor C2: core-centric bit synapses versus synapse-centric
+// records (32× storage at full crossbar density), and threaded versus
+// flat execution. Both simulators run the same compiled CoCoMac model
+// and are verified spike-for-spike equivalent.
+func C2Comparison() ([]*Table, error) {
+	net := cocomac.Generate(cocomacSeed)
+	spec, err := net.ToSpec(256, uint64(hostTicks))
+	if err != nil {
+		return nil, err
+	}
+	res, err := pcc.Compile(spec, 8)
+	if err != nil {
+		return nil, err
+	}
+
+	baseline, err := c2.FromModel(res.Model)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	baseline.Run(hostTicks)
+	c2Time := time.Since(t0)
+
+	t1 := time.Now()
+	stats, err := compass.Run(res.Model, compass.Config{
+		Ranks: res.Ranks, ThreadsPerRank: 2, RankOf: res.RankOf,
+	}, hostTicks)
+	if err != nil {
+		return nil, err
+	}
+	compassTime := time.Since(t1)
+	if stats.TotalSpikes != baseline.TotalSpikes() {
+		return nil, fmt.Errorf("c2 experiment: baselines disagree (%d vs %d spikes)", baseline.TotalSpikes(), stats.TotalSpikes)
+	}
+
+	implMem, histMem := baseline.MemoryBytes()
+	compassMem := c2.CompassMemoryBytes(res.Model)
+	fullDensityRatio := float64(truenorth.CoreSize*truenorth.CoreSize*c2.C2SynapseBytes) /
+		float64(truenorth.CoreSize*truenorth.CoreSize/8)
+
+	t := &Table{
+		ID:     "c2",
+		Title:  "Compass vs the C2 baseline (256-core CoCoMac model, identical spike output)",
+		Header: []string{"quantity", "C2 baseline (synapse-centric)", "Compass (core-centric)"},
+		Rows: [][]string{
+			{"synapse storage, this model", fmt.Sprintf("%.2f MB (%.2f MB at C2's 4 B/synapse)", float64(implMem)/1e6, float64(histMem)/1e6), fmt.Sprintf("%.2f MB (crossbar bitmaps)", float64(compassMem)/1e6)},
+			{"synapse storage, full density", fmt.Sprintf("%.0fx the crossbar bitmap", fullDensityRatio), "1x (8 KB/core, density-independent)"},
+			{"execution model", "flat, single-threaded per rank", fmt.Sprintf("%d ranks x %d threads", res.Ranks, 2)},
+			{"wall-clock, this host", fmt.Sprintf("%d ms", c2Time.Milliseconds()), fmt.Sprintf("%d ms", compassTime.Milliseconds())},
+			{"spikes simulated", fmtI(int(baseline.TotalSpikes())), fmtI(int(stats.TotalSpikes))},
+		},
+		Notes: []string{
+			"paper §I: Compass's bit synapses need 32x less storage than C2's synapse records, and C2's flat MPI model could not exploit Blue Gene/Q threading",
+			"the sparse-model storage gap is smaller than 32x because the bitmap pays for unset bits too; the full-density row is the paper's operating regime",
+		},
+	}
+	return []*Table{t}, nil
+}
+
+// Tradeoff reproduces the §VI-D observation: trading MPI processes per
+// node against OpenMP threads per process yields little net change —
+// fewer processes shrink the reduce-scatter, but wider shared memory
+// pays false-sharing penalties.
+func Tradeoff() ([]*Table, error) {
+	net := cocomac.Generate(cocomacSeed)
+	m := perfmodel.BlueGeneQ()
+	const nodes = 4096 // 4 racks
+	t := &Table{
+		ID:    "tradeoff",
+		Title: "Processes vs threads at fixed CPUs (projected; 64M cores on 4 racks)",
+		Header: []string{"procs/node", "threads/proc", "ranks", "reduce-scatter ms", "total ms/tick",
+			"vs 1x32"},
+	}
+	var base float64
+	for _, ppn := range []int{1, 2, 4, 8, 16} {
+		ranks := nodes * ppn
+		threads := 32 / ppn
+		w, err := perfmodel.AnalyticCoCoMac(net, ranks, paperCoresPerNode/ppn, paperFiringHz, paperDensity)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := perfmodel.Project(m, w, threads, compass.TransportMPI)
+		if err != nil {
+			return nil, err
+		}
+		if ppn == 1 {
+			base = pt.Total()
+		}
+		t.Rows = append(t.Rows, []string{
+			fmtI(ppn), fmtI(threads), fmtI(ranks),
+			fmtMS(m.ReduceScatterTime(ranks)), fmtMS(pt.Total()),
+			fmt.Sprintf("%+.1f%%", (pt.Total()/base-1)*100),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper: 1 process x 32 threads performed nearly the same as 16 processes x 2 threads — reduce-scatter savings offset by cache false sharing",
+		"the model shows the same flat tradeoff: the reduce-scatter term grows with ranks while the contention term shrinks with threads")
+	return []*Table{t}, nil
+}

@@ -1,0 +1,587 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointToPointBasic(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Isend(1, 7, []byte("hello"))
+		}
+		data, from, err := c.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if from != 0 || string(data) != "hello" {
+			return fmt.Errorf("got %q from %d", data, from)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendBufferReusableImmediately(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []byte{1, 2, 3}
+			if err := c.Isend(1, 0, buf); err != nil {
+				return err
+			}
+			buf[0] = 99 // must not corrupt the in-flight message
+			return nil
+		}
+		data, _, err := c.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if data[0] != 1 {
+			return fmt.Errorf("message corrupted by sender reuse: %v", data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairwiseFIFOOrdering(t *testing.T) {
+	const n = 100
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Isend(1, 0, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			data, _, err := c.Recv(0, 0)
+			if err != nil {
+				return err
+			}
+			if data[0] != byte(i) {
+				return fmt.Errorf("message %d arrived out of order: %d", i, data[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Isend(1, 5, []byte("five")); err != nil {
+				return err
+			}
+			return c.Isend(1, 9, []byte("nine"))
+		}
+		// Receive the tag-9 message first even though tag 5 arrived first.
+		data, _, err := c.Recv(0, 9)
+		if err != nil {
+			return err
+		}
+		if string(data) != "nine" {
+			return fmt.Errorf("tag 9 recv got %q", data)
+		}
+		data, _, err = c.Recv(0, 5)
+		if err != nil {
+			return err
+		}
+		if string(data) != "five" {
+			return fmt.Errorf("tag 5 recv got %q", data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnySourceRecv(t *testing.T) {
+	const world = 8
+	err := Run(world, func(c *Comm) error {
+		if c.Rank() != 0 {
+			return c.Isend(0, 1, []byte{byte(c.Rank())})
+		}
+		seen := make(map[int]bool)
+		for i := 0; i < world-1; i++ {
+			data, from, err := c.Recv(AnySource, 1)
+			if err != nil {
+				return err
+			}
+			if int(data[0]) != from {
+				return fmt.Errorf("payload %d from rank %d", data[0], from)
+			}
+			if seen[from] {
+				return fmt.Errorf("duplicate message from %d", from)
+			}
+			seen[from] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		if err := c.Isend(0, 3, []byte("me")); err != nil {
+			return err
+		}
+		data, from, err := c.Recv(0, 3)
+		if err != nil {
+			return err
+		}
+		if from != 0 || string(data) != "me" {
+			return fmt.Errorf("self-send got %q from %d", data, from)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendInvalidRank(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Isend(5, 0, nil); err == nil {
+				return errors.New("send to invalid rank accepted")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIprobeAndProbe(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			return c.Isend(1, 4, []byte("abcd"))
+		}
+		if ok, _, _ := c.Iprobe(AnySource, AnyTag); ok {
+			return errors.New("Iprobe true before any send")
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		from, n, err := c.Probe(0, 4)
+		if err != nil {
+			return err
+		}
+		if from != 0 || n != 4 {
+			return fmt.Errorf("Probe = (%d, %d)", from, n)
+		}
+		// Probe must not consume: the message is still receivable, and
+		// Iprobe agrees.
+		ok, from2, n2 := c.Iprobe(0, 4)
+		if !ok || from2 != 0 || n2 != 4 {
+			return fmt.Errorf("Iprobe after Probe = (%v, %d, %d)", ok, from2, n2)
+		}
+		data, _, err := c.Recv(0, 4)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(data, []byte("abcd")) {
+			return fmt.Errorf("Recv got %q", data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const world = 16
+	var before, violations atomic.Int64
+	err := Run(world, func(c *Comm) error {
+		before.Add(1)
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if before.Load() != world {
+			violations.Add(1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violations.Load() != 0 {
+		t.Fatalf("%d ranks passed the barrier before all arrived", violations.Load())
+	}
+}
+
+func TestRepeatedBarriers(t *testing.T) {
+	err := Run(7, func(c *Comm) error {
+		for i := 0; i < 200; i++ {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceScatterSum(t *testing.T) {
+	// Rank s contributes counts[d] = s*10 + d. The result at rank d must
+	// be sum over s of (s*10 + d) = 10*(0+..+size-1) + size*d.
+	const world = 6
+	err := Run(world, func(c *Comm) error {
+		counts := make([]int64, world)
+		for d := range counts {
+			counts[d] = int64(c.Rank()*10 + d)
+		}
+		got, err := c.ReduceScatterSum(counts)
+		if err != nil {
+			return err
+		}
+		want := int64(10*(world*(world-1)/2) + world*c.Rank())
+		if got != want {
+			return fmt.Errorf("rank %d: ReduceScatterSum = %d, want %d", c.Rank(), got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceScatterSumLengthCheck(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if _, err := c.ReduceScatterSum([]int64{1}); err == nil {
+				return errors.New("short vector accepted")
+			}
+		}
+		// Rank 1 must still contribute a real vector or rank 0's early
+		// error return would deadlock... but rank 0 errors before entering
+		// the collective, so both ranks return without meeting.
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceSumAndMax(t *testing.T) {
+	const world = 5
+	err := Run(world, func(c *Comm) error {
+		r := int64(c.Rank())
+		sum, err := c.AllreduceSum([]int64{r, 1})
+		if err != nil {
+			return err
+		}
+		if sum[0] != world*(world-1)/2 || sum[1] != world {
+			return fmt.Errorf("AllreduceSum = %v", sum)
+		}
+		max, err := c.AllreduceMax([]int64{r, -r})
+		if err != nil {
+			return err
+		}
+		if max[0] != world-1 || max[1] != 0 {
+			return fmt.Errorf("AllreduceMax = %v", max)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	const world = 4
+	err := Run(world, func(c *Comm) error {
+		vals := make([]int64, world)
+		for d := range vals {
+			vals[d] = int64(c.Rank()*100 + d)
+		}
+		got, err := c.Alltoall(vals)
+		if err != nil {
+			return err
+		}
+		for s := range got {
+			want := int64(s*100 + c.Rank())
+			if got[s] != want {
+				return fmt.Errorf("rank %d: Alltoall[%d] = %d, want %d", c.Rank(), s, got[s], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorAbortsBlockedRanks(t *testing.T) {
+	sentinel := errors.New("rank 0 failed")
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return sentinel
+		}
+		// These ranks block forever waiting for a message that never
+		// comes; the abort must unblock them.
+		_, _, err := c.Recv(0, 0)
+		return err
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Run returned %v, want sentinel", err)
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+		return c.Barrier()
+	})
+	if err == nil {
+		t.Fatal("panicking rank produced nil error")
+	}
+}
+
+func TestTrafficCounters(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Isend(1, 0, make([]byte, 100)); err != nil {
+				return err
+			}
+			return c.Isend(1, 0, make([]byte, 50))
+		}
+		for i := 0; i < 2; i++ {
+			if _, _, err := c.Recv(0, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, b := w.Stats()
+	if msgs != 2 || b != 150 {
+		t.Fatalf("Stats = (%d, %d), want (2, 150)", msgs, b)
+	}
+	w.ResetStats()
+	msgs, b = w.Stats()
+	if msgs != 0 || b != 0 {
+		t.Fatalf("after reset Stats = (%d, %d)", msgs, b)
+	}
+}
+
+func TestPendingMessages(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < 3; i++ {
+				if err := c.Isend(1, 0, nil); err != nil {
+					return err
+				}
+			}
+			return c.Barrier()
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if n := c.PendingMessages(); n != 3 {
+			return fmt.Errorf("PendingMessages = %d, want 3", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the reduce-scatter + point-to-point pattern Compass relies on
+// always delivers exactly the announced number of messages, for arbitrary
+// sparse communication patterns.
+func TestQuickSparseExchangePattern(t *testing.T) {
+	f := func(seed uint64, sizeRaw uint8) bool {
+		size := int(sizeRaw%6) + 2
+		// Deterministic pseudo-random sparse pattern from the seed.
+		send := make([][]bool, size)
+		s := seed
+		next := func() uint64 { s ^= s << 13; s ^= s >> 7; s ^= s << 17; return s }
+		for i := range send {
+			send[i] = make([]bool, size)
+			for j := range send[i] {
+				send[i][j] = next()%3 == 0
+			}
+		}
+		ok := true
+		err := Run(size, func(c *Comm) error {
+			counts := make([]int64, size)
+			for d := 0; d < size; d++ {
+				if send[c.Rank()][d] {
+					counts[d] = 1
+					if err := c.Isend(d, 1, []byte{byte(c.Rank())}); err != nil {
+						return err
+					}
+				}
+			}
+			expect, err := c.ReduceScatterSum(counts)
+			if err != nil {
+				return err
+			}
+			for i := int64(0); i < expect; i++ {
+				data, from, err := c.Recv(AnySource, 1)
+				if err != nil {
+					return err
+				}
+				if int(data[0]) != from || !send[from][c.Rank()] {
+					return fmt.Errorf("unexpected message from %d", from)
+				}
+			}
+			// Nothing must remain queued.
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if n := c.PendingMessages(); n != 0 {
+				return fmt.Errorf("%d stray messages", n)
+			}
+			return nil
+		})
+		if err != nil {
+			ok = false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPointToPoint(b *testing.B) {
+	w := NewWorld(2)
+	payload := make([]byte, 256)
+	done := make(chan error, 1)
+	go func() {
+		c := w.Comm(1)
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.Recv(0, 0); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	c := w.Comm(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Isend(1, 0, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkBarrier8(b *testing.B) {
+	w := NewWorld(8)
+	err := w.Run(func(c *Comm) error {
+		for i := 0; i < b.N; i++ {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	const world = 5
+	err := Run(world, func(c *Comm) error {
+		var vals []int64
+		if c.Rank() == 2 {
+			vals = []int64{7, 8, 9}
+		}
+		got, err := c.Bcast(2, vals)
+		if err != nil {
+			return err
+		}
+		if len(got) != 3 || got[0] != 7 || got[2] != 9 {
+			return fmt.Errorf("rank %d: Bcast = %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if _, err := c.Bcast(9, nil); err == nil {
+				return errors.New("bad root accepted")
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	const world = 4
+	err := Run(world, func(c *Comm) error {
+		got, err := c.Gather(1, []int64{int64(c.Rank()) * 10, int64(c.Rank())*10 + 1})
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 1 {
+			if got != nil {
+				return fmt.Errorf("non-root rank %d received %v", c.Rank(), got)
+			}
+			return nil
+		}
+		want := []int64{0, 1, 10, 11, 20, 21, 30, 31}
+		if len(got) != len(want) {
+			return fmt.Errorf("root got %v", got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("root got %v, want %v", got, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if _, err := c.Gather(-1, nil); err == nil {
+				return errors.New("bad root accepted")
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

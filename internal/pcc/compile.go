@@ -1,0 +1,387 @@
+package pcc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/cognitive-sim/compass/internal/coreobject"
+	"github.com/cognitive-sim/compass/internal/mpi"
+	"github.com/cognitive-sim/compass/internal/prng"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// compileSalt separates the compiler's random streams from the
+// simulator's runtime streams, so compiling never perturbs simulation
+// stochastics.
+const compileSalt = 0x636f6d70696c6572 // "compiler"
+
+// inputSalt separates stimulus generation streams.
+const inputSalt = 0x7374696d756c7573 // "stimulus"
+
+// grantTag is the MPI tag used for axon grant messages.
+const grantTag = 1
+
+// grantRecordBytes encodes one granted axon: core (4) + axon (2).
+const grantRecordBytes = 6
+
+// Result is the output of a compilation.
+type Result struct {
+	// Model is the fully instantiated network.
+	Model *truenorth.Model
+	// RankOf is the region-aware core placement the compiler used; pass
+	// it to compass.Config to minimize white-matter messaging, as the
+	// paper's PCC does by instantiating cores on the compiling processes.
+	RankOf []int
+	// Ranks is the number of compiler ranks actually used (trailing ranks
+	// that could not host any core are dropped).
+	Ranks int
+	// RegionOfCore maps each core to its region index in the spec.
+	RegionOfCore []int
+	// BalanceIterations is the IPFP sweep count.
+	BalanceIterations int
+	// GrantMessages is the number of white-matter negotiation messages
+	// exchanged; GrantBytes their total payload.
+	GrantMessages uint64
+	GrantBytes    uint64
+}
+
+// Compile expands a CoreObject description into an explicit model using
+// ranks parallel compiler processes.
+func Compile(spec *coreobject.NetworkSpec, ranks int) (*Result, error) {
+	p, err := newPlan(spec, ranks)
+	if err != nil {
+		return nil, err
+	}
+	total := spec.TotalCores()
+	cfgs := make([]*truenorth.CoreConfig, total)
+
+	w := mpi.NewWorld(p.ranks)
+	if err := w.Run(func(c *mpi.Comm) error {
+		return compileRank(c, p, cfgs)
+	}); err != nil {
+		return nil, err
+	}
+	msgs, bytes := w.Stats()
+
+	model := &truenorth.Model{Seed: spec.Seed, Cores: cfgs}
+	model.Inputs = generateInputs(spec, p)
+	if err := model.Validate(); err != nil {
+		return nil, fmt.Errorf("pcc: compiled model invalid: %w", err)
+	}
+	return &Result{
+		Model:             model,
+		RankOf:            p.rankOf,
+		Ranks:             p.ranks,
+		RegionOfCore:      p.coreRegion,
+		BalanceIterations: p.balanceIterations,
+		GrantMessages:     msgs,
+		GrantBytes:        bytes,
+	}, nil
+}
+
+// rankCores lists the global core IDs owned by rank r, ascending.
+func (p *plan) rankCoresOf(r int) []int {
+	var out []int
+	for id, rk := range p.rankOf {
+		if rk == r {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// compileRank executes one compiler rank: instantiate cores, negotiate
+// white matter, wire gray matter, assign neuron targets.
+func compileRank(c *mpi.Comm, p *plan, cfgs []*truenorth.CoreConfig) error {
+	rank := c.Rank()
+	myCores := p.rankCoresOf(rank)
+	if len(myCores) == 0 {
+		return fmt.Errorf("pcc: rank %d owns no cores", rank)
+	}
+
+	// Per-core compile streams (placement-independent).
+	streams := make(map[int]*prng.Stream, len(myCores))
+	for _, id := range myCores {
+		streams[id] = prng.NewCoreStream(p.spec.Seed^compileSalt, uint64(id))
+	}
+
+	// Step 1: instantiate core shells — axon types for reserved input
+	// axons, input crossbar rows, and per-neuron prototype parameters
+	// (threshold and delay drawn per neuron; targets assigned later).
+	for _, id := range myCores {
+		cfg := &truenorth.CoreConfig{ID: truenorth.CoreID(id)}
+		region := &p.spec.Regions[p.coreRegion[id]]
+		st := streams[id]
+		for a := 0; a < p.reserved[id]; a++ {
+			cfg.AxonTypes[a] = AxonTypeInput
+			fillCrossbarRow(cfg, a, region.Proto.SynapseDensity, st)
+		}
+		for j := 0; j < truenorth.CoreSize; j++ {
+			cfg.Neurons[j] = prototypeNeuron(&region.Proto, st)
+		}
+		cfgs[id] = cfg
+	}
+
+	// Step 2: exchange bundle counts (the aggregated per-process-pair
+	// negotiation of §IV). Every rank announces how many connections its
+	// neurons need toward each target rank; the Alltoall result tells
+	// each target how many axons to grant to each source.
+	want := make([]int64, p.ranks)
+	for s := 0; s < p.ranks; s++ {
+		want[s] = int64(p.bundleCount(rank, s))
+	}
+	incoming, err := c.Alltoall(want)
+	if err != nil {
+		return err
+	}
+	for src := range incoming {
+		if incoming[src] != int64(p.bundleCount(src, rank)) {
+			return fmt.Errorf("pcc: rank %d: negotiated count from %d is %d, plan says %d",
+				rank, src, incoming[src], p.bundleCount(src, rank))
+		}
+	}
+
+	// Per-region core pools on this rank: axon allocation and neuron
+	// assignment must stay within the region a bundle names, so that the
+	// compiled wiring honours the declared region topology.
+	regionCores := make(map[int][]int)
+	for _, id := range myCores {
+		ri := p.coreRegion[id]
+		regionCores[ri] = append(regionCores[ri], id)
+	}
+	allocators := make(map[int]*axonAllocator)
+	assigners := make(map[int]*neuronAssigner)
+	for ri, cores := range regionCores {
+		allocators[ri] = newAxonAllocator(p, cores)
+		assigners[ri] = newNeuronAssigner(cores, cfgs)
+	}
+
+	// Step 3: as target, allocate axons for every source rank in
+	// ascending order, segment by segment in the canonical order both
+	// sides derive from the plan; configure axon types and crossbar rows
+	// and send the grant lists. The self grant is kept local.
+	var selfGrant []byte
+	for src := 0; src < p.ranks; src++ {
+		segs := p.segments(src, rank)
+		if len(segs) == 0 {
+			continue
+		}
+		total := 0
+		for _, seg := range segs {
+			total += seg.count
+		}
+		grant := make([]byte, 0, total*grantRecordBytes)
+		for _, seg := range segs {
+			baseType := uint8(AxonTypeWhite)
+			if seg.srcRegion == seg.dstRegion {
+				baseType = AxonTypeGray
+			}
+			alloc := allocators[seg.dstRegion]
+			if alloc == nil {
+				return fmt.Errorf("pcc: rank %d has no cores of region %d to grant", rank, seg.dstRegion)
+			}
+			inhibFrac := p.spec.Regions[seg.dstRegion].Proto.InhibitoryFraction
+			for k := 0; k < seg.count; k++ {
+				coreID, axon, err := alloc.next()
+				if err != nil {
+					return fmt.Errorf("pcc: rank %d granting region %d to rank %d: %w", rank, seg.dstRegion, src, err)
+				}
+				cfg := cfgs[coreID]
+				axonType := baseType
+				// A region-configured fraction of incoming pathways is
+				// inhibitory; the draw comes from the target core's
+				// compile stream, so it is deterministic and
+				// placement-independent.
+				if inhibFrac > 0 && streams[coreID].Bernoulli(inhibFrac) {
+					axonType = AxonTypeInhibitory
+				}
+				cfg.AxonTypes[axon] = axonType
+				fillCrossbarRow(cfg, axon, p.spec.Regions[seg.dstRegion].Proto.SynapseDensity, streams[coreID])
+				var rec [grantRecordBytes]byte
+				binary.LittleEndian.PutUint32(rec[0:], uint32(coreID))
+				binary.LittleEndian.PutUint16(rec[4:], uint16(axon))
+				grant = append(grant, rec[:]...)
+			}
+		}
+		if src == rank {
+			selfGrant = grant
+		} else if err := c.Isend(src, grantTag, grant); err != nil {
+			return err
+		}
+	}
+
+	// Step 4: as source, receive grants in ascending target order and
+	// wire each segment's grants to the source region's neurons. Neuron
+	// slots are consumed sequentially within each region slice; delays
+	// were pre-drawn per neuron in step 1.
+	for dst := 0; dst < p.ranks; dst++ {
+		segs := p.segments(rank, dst)
+		if len(segs) == 0 {
+			continue
+		}
+		total := 0
+		for _, seg := range segs {
+			total += seg.count
+		}
+		var grant []byte
+		if dst == rank {
+			grant = selfGrant
+		} else {
+			data, _, err := c.Recv(dst, grantTag)
+			if err != nil {
+				return err
+			}
+			grant = data
+		}
+		if len(grant) != total*grantRecordBytes {
+			return fmt.Errorf("pcc: rank %d: grant from %d has %d bytes, want %d",
+				rank, dst, len(grant), total*grantRecordBytes)
+		}
+		off := 0
+		for _, seg := range segs {
+			assign := assigners[seg.srcRegion]
+			if assign == nil {
+				return fmt.Errorf("pcc: rank %d has no cores of region %d to wire", rank, seg.srcRegion)
+			}
+			for k := 0; k < seg.count; k++ {
+				coreID := truenorth.CoreID(binary.LittleEndian.Uint32(grant[off:]))
+				axon := binary.LittleEndian.Uint16(grant[off+4:])
+				off += grantRecordBytes
+				if err := assign.wire(coreID, axon); err != nil {
+					return fmt.Errorf("pcc: rank %d wiring region %d to rank %d: %w", rank, seg.srcRegion, dst, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// prototypeNeuron stamps a region prototype onto a neuron, drawing the
+// threshold and delay from the core's compile stream. The neuron is
+// created disabled; wiring enables it.
+func prototypeNeuron(proto *coreobject.NeuronProto, st *prng.Stream) truenorth.NeuronParams {
+	span := int(proto.ThresholdMax-proto.ThresholdMin) + 1
+	dspan := int(proto.DelayMax-proto.DelayMin) + 1
+	return truenorth.NeuronParams{
+		Weights:          proto.Weights,
+		StochasticWeight: proto.StochasticWeight,
+		Leak:             proto.Leak,
+		StochasticLeak:   proto.StochasticLeak,
+		Threshold:        proto.ThresholdMin + int32(st.Intn(span)),
+		Reset:            proto.Reset,
+		Floor:            proto.Floor,
+		Target: truenorth.SpikeTarget{
+			Delay: proto.DelayMin + uint8(st.Intn(dspan)),
+		},
+		Enabled: false,
+	}
+}
+
+// fillCrossbarRow sets ~density×CoreSize distinct bits on the axon's
+// crossbar row, at least one.
+func fillCrossbarRow(cfg *truenorth.CoreConfig, axon int, density float64, st *prng.Stream) {
+	count := int(density*truenorth.CoreSize + 0.5)
+	if count < 1 {
+		count = 1
+	}
+	if count > truenorth.CoreSize {
+		count = truenorth.CoreSize
+	}
+	// Partial Fisher–Yates sample of `count` distinct neurons.
+	var idx [truenorth.CoreSize]int
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < count; i++ {
+		j := i + st.Intn(truenorth.CoreSize-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		cfg.SetSynapse(axon, idx[i], true)
+	}
+}
+
+// axonAllocator hands out free axons round-robin across a rank's cores,
+// so incoming pathways are distributed as broadly as possible (§V-C).
+type axonAllocator struct {
+	cores    []int
+	nextAxon []int // per local core, next free axon ID
+	cursor   int
+}
+
+func newAxonAllocator(p *plan, myCores []int) *axonAllocator {
+	a := &axonAllocator{cores: myCores, nextAxon: make([]int, len(myCores))}
+	for i, id := range myCores {
+		a.nextAxon[i] = p.reserved[id]
+	}
+	return a
+}
+
+// next returns the next (core, axon) pair.
+func (a *axonAllocator) next() (coreID, axon int, err error) {
+	for probe := 0; probe < len(a.cores); probe++ {
+		i := (a.cursor + probe) % len(a.cores)
+		if a.nextAxon[i] < truenorth.CoreSize {
+			axon = a.nextAxon[i]
+			a.nextAxon[i]++
+			a.cursor = (i + 1) % len(a.cores)
+			return a.cores[i], axon, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("pcc: axon capacity exhausted across %d cores", len(a.cores))
+}
+
+// neuronAssigner consumes neuron slots sequentially across a rank's
+// cores and wires each to a granted axon.
+type neuronAssigner struct {
+	cores []int
+	cfgs  []*truenorth.CoreConfig
+	core  int // index into cores
+	slot  int // neuron index within current core
+}
+
+func newNeuronAssigner(myCores []int, cfgs []*truenorth.CoreConfig) *neuronAssigner {
+	return &neuronAssigner{cores: myCores, cfgs: cfgs}
+}
+
+// wire enables the next free neuron and points it at (coreID, axon).
+func (na *neuronAssigner) wire(coreID truenorth.CoreID, axon uint16) error {
+	for na.core < len(na.cores) {
+		if na.slot >= truenorth.CoreSize {
+			na.core++
+			na.slot = 0
+			continue
+		}
+		cfg := na.cfgs[na.cores[na.core]]
+		n := &cfg.Neurons[na.slot]
+		na.slot++
+		n.Target.Core = coreID
+		n.Target.Axon = axon
+		n.Enabled = true
+		return nil
+	}
+	return fmt.Errorf("pcc: neuron budget exhausted across %d cores", len(na.cores))
+}
+
+// generateInputs expands the spec's stimulus declarations into explicit
+// input spikes with a dedicated deterministic stream per declaration.
+func generateInputs(spec *coreobject.NetworkSpec, p *plan) []truenorth.InputSpike {
+	var out []truenorth.InputSpike
+	for idx, in := range spec.Inputs {
+		ri := spec.Region(in.Region)
+		base := p.firstCore[ri]
+		st := prng.New(prng.Mix64(spec.Seed^inputSalt) ^ prng.Mix64(uint64(idx)))
+		for t := in.StartTick; t < in.EndTick; t++ {
+			for c := 0; c < in.Cores; c++ {
+				for a := 0; a < in.Axons; a++ {
+					if st.Bernoulli(in.Rate) {
+						out = append(out, truenorth.InputSpike{
+							Tick: t,
+							Core: truenorth.CoreID(base + c),
+							Axon: uint16(a),
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,431 @@
+package pcc
+
+import (
+	"testing"
+
+	"github.com/cognitive-sim/compass/internal/compass"
+	"github.com/cognitive-sim/compass/internal/coreobject"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// threeRegionSpec is a small functional network: a sensory region driven
+// by external input feeding two downstream regions that also talk to
+// each other.
+func threeRegionSpec() *coreobject.NetworkSpec {
+	protoIn := coreobject.DefaultProto()
+	protoIn.Weights = [truenorth.NumAxonTypes]int16{2, 2, 4, 0}
+	protoIn.ThresholdMin, protoIn.ThresholdMax = 2, 6
+	proto := coreobject.DefaultProto()
+	proto.Weights = [truenorth.NumAxonTypes]int16{2, 3, 2, -1}
+	proto.Leak = -1
+	return &coreobject.NetworkSpec{
+		Name: "three-region",
+		Seed: 20120101,
+		Regions: []coreobject.RegionSpec{
+			{Name: "S", Cores: 4, GrayFraction: 0.2, Proto: protoIn},
+			{Name: "A", Cores: 6, GrayFraction: 0.4, Proto: proto},
+			{Name: "B", Cores: 3, GrayFraction: 0.4, Proto: proto},
+		},
+		Connections: []coreobject.Connection{
+			{Src: "S", Dst: "A", Weight: 2},
+			{Src: "S", Dst: "B", Weight: 1},
+			{Src: "A", Dst: "B", Weight: 1},
+			{Src: "B", Dst: "A", Weight: 1},
+			// Feedback into the sensory region, as corticothalamic
+			// pathways provide anatomically; without any incoming white
+			// matter a region's axon marginal is structurally unfillable.
+			{Src: "A", Dst: "S", Weight: 0.5},
+			{Src: "B", Dst: "S", Weight: 0.25},
+		},
+		Inputs: []coreobject.InputSpec{
+			{Region: "S", Cores: 4, Axons: 32, Rate: 0.2, StartTick: 0, EndTick: 50},
+		},
+	}
+}
+
+func TestCompileBasics(t *testing.T) {
+	spec := threeRegionSpec()
+	res, err := Compile(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Model
+	if m.NumCores() != spec.TotalCores() {
+		t.Fatalf("model has %d cores, want %d", m.NumCores(), spec.TotalCores())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RankOf) != m.NumCores() || len(res.RegionOfCore) != m.NumCores() {
+		t.Fatal("placement/region maps have wrong length")
+	}
+	if res.BalanceIterations < 1 {
+		t.Fatal("no balancing iterations recorded")
+	}
+	if len(m.Inputs) == 0 {
+		t.Fatal("no input spikes generated")
+	}
+}
+
+// TestCompileWiringInvariants verifies the §IV realizability contract:
+// every granted axon is used exactly once, no core's axons are
+// oversubscribed, gray matter never crosses ranks, and white matter only
+// follows declared region connections.
+func TestCompileWiringInvariants(t *testing.T) {
+	spec := threeRegionSpec()
+	res, err := Compile(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Model
+
+	// Axon usage: each (core, axon) pair targeted at most once, and the
+	// axon must have been configured (crossbar row non-empty).
+	type ca struct {
+		core truenorth.CoreID
+		axon uint16
+	}
+	used := make(map[ca]int)
+	for _, cfg := range m.Cores {
+		for j := range cfg.Neurons {
+			n := &cfg.Neurons[j]
+			if !n.Enabled {
+				continue
+			}
+			used[ca{n.Target.Core, n.Target.Axon}]++
+		}
+	}
+	for k, cnt := range used {
+		if cnt != 1 {
+			t.Fatalf("axon (%d,%d) granted %d times", k.core, k.axon, cnt)
+		}
+	}
+
+	// Region connectivity: an enabled neuron in region i may target
+	// region i (gray, same rank only) or a region j with a declared
+	// connection i->j.
+	allowed := make(map[[2]int]bool)
+	for _, c := range spec.Connections {
+		allowed[[2]int{spec.Region(c.Src), spec.Region(c.Dst)}] = true
+	}
+	grayCount, whiteCount := 0, 0
+	for id, cfg := range m.Cores {
+		srcRegion := res.RegionOfCore[id]
+		srcRank := res.RankOf[id]
+		for j := range cfg.Neurons {
+			n := &cfg.Neurons[j]
+			if !n.Enabled {
+				continue
+			}
+			dstRegion := res.RegionOfCore[n.Target.Core]
+			dstRank := res.RankOf[n.Target.Core]
+			if srcRank == dstRank {
+				grayCount++
+				continue
+			}
+			whiteCount++
+			if srcRegion != dstRegion && !allowed[[2]int{srcRegion, dstRegion}] {
+				t.Fatalf("white-matter edge region %d -> %d not declared", srcRegion, dstRegion)
+			}
+		}
+	}
+	if grayCount == 0 || whiteCount == 0 {
+		t.Fatalf("degenerate wiring: %d gray, %d white", grayCount, whiteCount)
+	}
+
+	// Axon typing: input axons on stimulated cores are typed AxonTypeInput.
+	for c := 0; c < 4; c++ {
+		for a := 0; a < 32; a++ {
+			if m.Cores[c].AxonTypes[a] != AxonTypeInput {
+				t.Fatalf("core %d axon %d typed %d, want input", c, a, m.Cores[c].AxonTypes[a])
+			}
+		}
+	}
+}
+
+func TestCompileGrayFractionApproximatelyHonored(t *testing.T) {
+	spec := threeRegionSpec()
+	res, err := Compile(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Region A (index 1) has gray fraction 0.4: roughly 40% of its wired
+	// neurons should stay on their own rank (with 3 ranks and the default
+	// proportional assignment each region sits on one rank, so rank-local
+	// equals region-local).
+	m := res.Model
+	local, total := 0, 0
+	for id, cfg := range m.Cores {
+		if res.RegionOfCore[id] != 1 {
+			continue
+		}
+		for j := range cfg.Neurons {
+			n := &cfg.Neurons[j]
+			if !n.Enabled {
+				continue
+			}
+			total++
+			if res.RankOf[n.Target.Core] == res.RankOf[id] {
+				local++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("region A has no wired neurons")
+	}
+	frac := float64(local) / float64(total)
+	if frac < 0.3 || frac > 0.5 {
+		t.Fatalf("region A local fraction %.3f, want ≈0.4", frac)
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	spec := threeRegionSpec()
+	a, err := Compile(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Model.Cores {
+		if *a.Model.Cores[i] != *b.Model.Cores[i] {
+			t.Fatalf("core %d differs across identical compilations", i)
+		}
+	}
+	if len(a.Model.Inputs) != len(b.Model.Inputs) {
+		t.Fatal("input counts differ across identical compilations")
+	}
+}
+
+func TestCompilePackedMode(t *testing.T) {
+	// Fewer ranks than regions: regions pack whole onto ranks.
+	spec := threeRegionSpec()
+	res, err := Compile(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranks != 2 {
+		t.Fatalf("Ranks = %d", res.Ranks)
+	}
+	// Every core of a region must sit on a single rank.
+	regionRank := make(map[int]int)
+	for id, region := range res.RegionOfCore {
+		if r, ok := regionRank[region]; ok {
+			if r != res.RankOf[id] {
+				t.Fatalf("region %d split across ranks %d and %d", region, r, res.RankOf[id])
+			}
+		} else {
+			regionRank[region] = res.RankOf[id]
+		}
+	}
+}
+
+func TestCompileSingleRank(t *testing.T) {
+	spec := threeRegionSpec()
+	res, err := Compile(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.RankOf {
+		if r != 0 {
+			t.Fatal("single-rank compile placed cores elsewhere")
+		}
+	}
+}
+
+func TestCompileMoreRanksThanUsable(t *testing.T) {
+	// 13 cores, 13 ranks: every region gets as many ranks as cores.
+	spec := threeRegionSpec()
+	res, err := Compile(spec, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranks > 13 || res.Ranks < 3 {
+		t.Fatalf("Ranks = %d", res.Ranks)
+	}
+}
+
+func TestCompileRejectsBadArgs(t *testing.T) {
+	spec := threeRegionSpec()
+	if _, err := Compile(spec, 0); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	if _, err := Compile(spec, 1000); err == nil {
+		t.Fatal("more ranks than cores accepted")
+	}
+	bad := threeRegionSpec()
+	bad.Regions[0].Cores = 0
+	if _, err := Compile(bad, 1); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+// TestCompiledModelSimulates runs the compiled model end to end through
+// both the serial reference and the parallel simulator, checking
+// equivalence and live activity.
+func TestCompiledModelSimulates(t *testing.T) {
+	spec := threeRegionSpec()
+	res, err := Compile(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ticks = 60
+	ref, err := truenorth.NewSerialSim(res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(ticks); err != nil {
+		t.Fatal(err)
+	}
+	if ref.TotalSpikes() == 0 {
+		t.Fatal("compiled model is silent under stimulus")
+	}
+	stats, err := compass.Run(res.Model, compass.Config{
+		Ranks:          res.Ranks,
+		ThreadsPerRank: 2,
+		RankOf:         res.RankOf,
+	}, ticks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalSpikes != ref.TotalSpikes() {
+		t.Fatalf("parallel simulation of compiled model: %d spikes, serial %d", stats.TotalSpikes, ref.TotalSpikes())
+	}
+	if stats.RemoteSpikes == 0 {
+		t.Fatal("compiled placement produced no white-matter traffic")
+	}
+}
+
+func TestGrantTrafficCounted(t *testing.T) {
+	spec := threeRegionSpec()
+	res, err := Compile(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GrantMessages == 0 || res.GrantBytes == 0 {
+		t.Fatalf("no negotiation traffic recorded: %d msgs, %d bytes", res.GrantMessages, res.GrantBytes)
+	}
+}
+
+func TestPlanBundleMarginals(t *testing.T) {
+	spec := threeRegionSpec()
+	for _, ranks := range []int{1, 2, 3, 5} {
+		p, err := newPlan(spec, ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Row sums ≤ neuron budget, column sums ≤ usable axon capacity.
+		for r := 0; r < p.ranks; r++ {
+			row, col := 0, 0
+			for s := 0; s < p.ranks; s++ {
+				row += p.bundleCount(r, s)
+				col += p.bundleCount(s, r)
+			}
+			if row > p.usableByRank[r] {
+				t.Fatalf("ranks=%d: rank %d row sum %d exceeds budget %d", ranks, r, row, p.usableByRank[r])
+			}
+			if col > p.usableByRank[r] {
+				t.Fatalf("ranks=%d: rank %d column sum %d exceeds capacity %d", ranks, r, col, p.usableByRank[r])
+			}
+		}
+	}
+}
+
+// TestCompileTopologyPreservedWhenPacked: with several regions per rank,
+// wiring must still follow declared region connections — gray matter
+// stays within its region (and rank), white matter only along declared
+// edges — and inter-region traffic must exist across ranks.
+func TestCompileTopologyPreservedWhenPacked(t *testing.T) {
+	spec := threeRegionSpec()
+	res, err := Compile(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := make(map[[2]int]bool)
+	for _, c := range spec.Connections {
+		allowed[[2]int{spec.Region(c.Src), spec.Region(c.Dst)}] = true
+	}
+	cross := 0
+	for id, cfg := range res.Model.Cores {
+		srcRegion := res.RegionOfCore[id]
+		for j := range cfg.Neurons {
+			n := &cfg.Neurons[j]
+			if !n.Enabled {
+				continue
+			}
+			dstRegion := res.RegionOfCore[n.Target.Core]
+			if srcRegion == dstRegion {
+				if res.RankOf[n.Target.Core] != res.RankOf[id] {
+					t.Fatalf("gray edge of region %d crosses ranks", srcRegion)
+				}
+				continue
+			}
+			if !allowed[[2]int{srcRegion, dstRegion}] {
+				t.Fatalf("undeclared white edge region %d -> %d", srcRegion, dstRegion)
+			}
+			if res.RankOf[n.Target.Core] != res.RankOf[id] {
+				cross++
+			}
+		}
+	}
+	if cross == 0 {
+		t.Fatal("no cross-rank white matter in packed mode")
+	}
+}
+
+func TestRepairColumns(t *testing.T) {
+	m := [][]int{
+		{3, 1},
+		{2, 0},
+	}
+	// Column 0 carries 5 against capacity 4; one unit must move to
+	// column 1 (capacity 4, currently 1).
+	if err := repairColumns(m, []int{4, 4}); err != nil {
+		t.Fatal(err)
+	}
+	c0 := m[0][0] + m[1][0]
+	c1 := m[0][1] + m[1][1]
+	if c0 != 4 || c1 != 2 {
+		t.Fatalf("repair result: columns (%d, %d)", c0, c1)
+	}
+	// Row sums preserved.
+	if m[0][0]+m[0][1] != 4 || m[1][0]+m[1][1] != 2 {
+		t.Fatalf("row sums changed: %v", m)
+	}
+}
+
+func TestRepairColumnsInfeasible(t *testing.T) {
+	m := [][]int{{5}}
+	if err := repairColumns(m, []int{4}); err == nil {
+		t.Fatal("infeasible repair accepted")
+	}
+}
+
+func TestRepairRows(t *testing.T) {
+	m := [][]int{
+		{5, 0},
+		{1, 1},
+	}
+	if err := repairRows(m, []int{4, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if m[0][0]+m[0][1] != 4 || m[1][0]+m[1][1] != 3 {
+		t.Fatalf("row repair wrong: %v", m)
+	}
+	// Column sums preserved.
+	if m[0][0]+m[1][0] != 6 || m[0][1]+m[1][1] != 1 {
+		t.Fatalf("column sums changed: %v", m)
+	}
+}
+
+func BenchmarkCompileThreeRegions(b *testing.B) {
+	spec := threeRegionSpec()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(spec, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,699 @@
+// Package pcc implements the Parallel Compass Compiler (§IV of the
+// paper): a parallel tool that expands a compact CoreObject description
+// of functional regions into the explicit neuron parameters, synaptic
+// crossbars, and neuron-to-axon wiring that Compass simulates.
+//
+// The compiler reproduces the paper's structure:
+//
+//   - Regions are assigned to compiler ranks so that each rank serves at
+//     most one region (when enough ranks are available), keeping
+//     intra-region (gray matter) wiring process-local and reserving MPI
+//     messages for inter-region (white matter) wiring.
+//   - The region-to-region connection demand matrix is balanced with the
+//     iterative proportional fitting procedure so that prescribed row
+//     sums (neuron outputs) and column sums (axon capacities) make every
+//     connection request realizable (§IV, §V-C).
+//   - White-matter wiring is negotiated with aggregated per-rank-pair
+//     message exchange: the rank owning the target region allocates
+//     axons (global core ID + axon ID pairs) and sends them to the
+//     source rank, which wires its neurons to the granted axons; axon
+//     types and crossbar rows are configured on the target simultaneously.
+//   - Gray-matter wiring is performed locally, distributing each core's
+//     local connections as broadly as possible across the rank's cores
+//     (§V-C chooses maximal breadth to stress cache behaviour).
+//
+// Compilation is deterministic for a given (spec, ranks) pair; the model
+// it emits is then simulated identically by Compass under any further
+// decomposition.
+package pcc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/cognitive-sim/compass/internal/balance"
+	"github.com/cognitive-sim/compass/internal/coreobject"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// Axon type assignments: weights index the target neuron's Weights array
+// by the type of the spiking axon, so the compiler types axons by the
+// kind of pathway that feeds them.
+const (
+	// AxonTypeGray feeds axons wired from neurons of the same rank
+	// (gray matter).
+	AxonTypeGray = 0
+	// AxonTypeWhite feeds axons wired from remote regions (white matter).
+	AxonTypeWhite = 1
+	// AxonTypeInput feeds axons reserved for external stimuli.
+	AxonTypeInput = 2
+	// AxonTypeInhibitory marks axons carrying inhibition; the per-neuron
+	// weight for type 3 should be negative. The compiler retypes a
+	// region-configured fraction of granted axons to it.
+	AxonTypeInhibitory = 3
+)
+
+// plan is the deterministic global compilation plan; every rank computes
+// it identically from the spec, then executes only its own slice.
+type plan struct {
+	spec  *coreobject.NetworkSpec
+	ranks int
+
+	// regionOfRank[r] is the region a compiler rank serves; with fewer
+	// ranks than regions a rank serves several regions and the value is
+	// the first, with rankRegions giving the full set.
+	rankRegions [][]int
+
+	// rankOfRegionCores maps each region to the ranks hosting it and the
+	// number of cores each hosts.
+	regionRanks     [][]int // region -> rank list
+	regionRankCores [][]int // region -> cores per rank (parallel to regionRanks)
+
+	// Global core layout: cores are numbered region by region, and within
+	// a region rank slice by rank slice.
+	coreRegion []int // core -> region
+	rankOf     []int // core -> rank
+	firstCore  []int // region -> first global core ID
+
+	// reserved[core] is the number of axons reserved for external input
+	// on that core (typed AxonTypeInput, axon IDs 0..reserved-1).
+	reserved []int
+
+	// usableByRank[r] is the number of wireable axons (= wireable
+	// neurons) on rank r; usableByRegion aggregates per region.
+	usableByRank   []int
+	usableByRegion []int
+
+	// path[i][j][k][l] is the number of neuron-to-axon connections from
+	// region i's slice on its k-th rank to region j's slice on its l-th
+	// rank (slice indices follow regionRanks order). Keeping bundles at
+	// slice granularity preserves region-to-region topology even when a
+	// rank hosts several regions.
+	path map[[2]int][][]int
+
+	// graySlice[i][k] is region i's process-local (gray matter) bundle on
+	// its k-th rank.
+	graySlice [][]int
+
+	// balanceIterations records the IPFP sweep count.
+	balanceIterations int
+}
+
+// segment is one (source region, target region) bundle between a fixed
+// rank pair, in the canonical order both negotiation sides iterate.
+type segment struct {
+	srcRegion, dstRegion int
+	count                int
+}
+
+// rankIndexIn returns the position of rank r in the region's rank list,
+// or -1.
+func rankIndexIn(ranks []int, r int) int {
+	for k, v := range ranks {
+		if v == r {
+			return k
+		}
+	}
+	return -1
+}
+
+// segments enumerates the bundles from rank r to rank s in canonical
+// (srcRegion, dstRegion) order. Both the granting and the wiring side
+// derive the same list deterministically from the plan.
+func (p *plan) segments(r, s int) []segment {
+	var out []segment
+	nr := len(p.spec.Regions)
+	for i := 0; i < nr; i++ {
+		k := rankIndexIn(p.regionRanks[i], r)
+		if k < 0 {
+			continue
+		}
+		for j := 0; j < nr; j++ {
+			if i == j {
+				if r == s {
+					if n := p.graySlice[i][k]; n > 0 {
+						out = append(out, segment{i, i, n})
+					}
+				}
+				continue
+			}
+			m, ok := p.path[[2]int{i, j}]
+			if !ok {
+				continue
+			}
+			l := rankIndexIn(p.regionRanks[j], s)
+			if l < 0 {
+				continue
+			}
+			if n := m[k][l]; n > 0 {
+				out = append(out, segment{i, j, n})
+			}
+		}
+	}
+	return out
+}
+
+// bundleCount sums the connections from rank r to rank s.
+func (p *plan) bundleCount(r, s int) int {
+	n := 0
+	for _, seg := range p.segments(r, s) {
+		n += seg.count
+	}
+	return n
+}
+
+// newPlan computes the full deterministic plan.
+func newPlan(spec *coreobject.NetworkSpec, ranks int) (*plan, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if ranks < 1 {
+		return nil, fmt.Errorf("pcc: %d ranks", ranks)
+	}
+	if ranks > spec.TotalCores() {
+		return nil, fmt.Errorf("pcc: %d ranks exceed %d cores", ranks, spec.TotalCores())
+	}
+	p := &plan{spec: spec, ranks: ranks}
+	p.assignRegions()
+	p.layoutCores()
+	p.reserveInputs()
+	if err := p.balanceBundles(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// assignRegions distributes compiler ranks over regions proportionally to
+// core counts (each region on at least one rank and wholly on its ranks),
+// or packs several regions per rank when ranks < regions.
+func (p *plan) assignRegions() {
+	nr := len(p.spec.Regions)
+	p.regionRanks = make([][]int, nr)
+	p.regionRankCores = make([][]int, nr)
+	p.rankRegions = make([][]int, p.ranks)
+
+	if p.ranks >= nr {
+		// Proportional rank allocation with a floor of one rank/region.
+		ranksOf := apportionWithFloor(regionCoreCounts(p.spec), p.ranks)
+		next := 0
+		for i := range p.spec.Regions {
+			cores := p.spec.Regions[i].Cores
+			k := ranksOf[i]
+			if k > cores {
+				k = cores // never more ranks than cores in the region
+			}
+			for j := 0; j < k; j++ {
+				r := next
+				next++
+				p.regionRanks[i] = append(p.regionRanks[i], r)
+				p.rankRegions[r] = append(p.rankRegions[r], i)
+			}
+			// Cores split evenly over the region's ranks.
+			per, rem := cores/k, cores%k
+			for j := 0; j < k; j++ {
+				n := per
+				if j < rem {
+					n++
+				}
+				p.regionRankCores[i] = append(p.regionRankCores[i], n)
+			}
+		}
+		// Unused ranks (when some regions had fewer cores than allotted
+		// ranks) serve nothing; fold them away by reassigning to the
+		// largest region. Simpler: give each leftover rank to the region
+		// with the highest cores-per-rank ratio.
+		for next < p.ranks {
+			best, bestRatio := -1, 0.0
+			for i := range p.spec.Regions {
+				ratio := float64(p.spec.Regions[i].Cores) / float64(len(p.regionRanks[i]))
+				if ratio > bestRatio && len(p.regionRanks[i]) < p.spec.Regions[i].Cores {
+					best, bestRatio = i, ratio
+				}
+			}
+			if best < 0 {
+				break
+			}
+			r := next
+			next++
+			p.regionRanks[best] = append(p.regionRanks[best], r)
+			p.rankRegions[r] = append(p.rankRegions[r], best)
+			// Recompute the core split for the region.
+			k := len(p.regionRanks[best])
+			cores := p.spec.Regions[best].Cores
+			p.regionRankCores[best] = p.regionRankCores[best][:0]
+			per, rem := cores/k, cores%k
+			for j := 0; j < k; j++ {
+				n := per
+				if j < rem {
+					n++
+				}
+				p.regionRankCores[best] = append(p.regionRankCores[best], n)
+			}
+		}
+		p.ranks = next // drop genuinely unusable trailing ranks
+		p.rankRegions = p.rankRegions[:next]
+		return
+	}
+
+	// Fewer ranks than regions: pack regions onto ranks by descending
+	// size (greedy longest-processing-time), each region whole.
+	order := make([]int, nr)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := p.spec.Regions[order[a]].Cores, p.spec.Regions[order[b]].Cores
+		if ca != cb {
+			return ca > cb
+		}
+		return order[a] < order[b]
+	})
+	load := make([]int, p.ranks)
+	for _, i := range order {
+		r := 0
+		for s := 1; s < p.ranks; s++ {
+			if load[s] < load[r] {
+				r = s
+			}
+		}
+		load[r] += p.spec.Regions[i].Cores
+		p.regionRanks[i] = []int{r}
+		p.regionRankCores[i] = []int{p.spec.Regions[i].Cores}
+		p.rankRegions[r] = append(p.rankRegions[r], i)
+	}
+}
+
+// layoutCores numbers cores globally, region by region.
+func (p *plan) layoutCores() {
+	total := p.spec.TotalCores()
+	p.coreRegion = make([]int, total)
+	p.rankOf = make([]int, total)
+	p.firstCore = make([]int, len(p.spec.Regions))
+	id := 0
+	for i := range p.spec.Regions {
+		p.firstCore[i] = id
+		for j, r := range p.regionRanks[i] {
+			for k := 0; k < p.regionRankCores[i][j]; k++ {
+				p.coreRegion[id] = i
+				p.rankOf[id] = r
+				id++
+			}
+		}
+	}
+}
+
+// reserveInputs reserves input axons on the stimulated cores.
+func (p *plan) reserveInputs() {
+	total := p.spec.TotalCores()
+	p.reserved = make([]int, total)
+	for _, in := range p.spec.Inputs {
+		ri := p.spec.Region(in.Region)
+		base := p.firstCore[ri]
+		for c := 0; c < in.Cores; c++ {
+			if in.Axons > p.reserved[base+c] {
+				p.reserved[base+c] = in.Axons
+			}
+		}
+	}
+	p.usableByRank = make([]int, p.ranks)
+	p.usableByRegion = make([]int, len(p.spec.Regions))
+	for core := 0; core < total; core++ {
+		u := truenorth.CoreSize - p.reserved[core]
+		p.usableByRank[p.rankOf[core]] += u
+		p.usableByRegion[p.coreRegion[core]] += u
+	}
+}
+
+// balanceBundles builds the region demand matrix, balances it with IPFP
+// to the usable-axon marginals, rounds to integers, distributes to rank
+// granularity, and repairs any rounding overflow against capacity.
+func (p *plan) balanceBundles() error {
+	nr := len(p.spec.Regions)
+	// Region-level weight matrix: gray fraction on the diagonal, white
+	// weight spread over declared connections.
+	w := make([][]float64, nr)
+	for i := range w {
+		w[i] = make([]float64, nr)
+		gray := p.spec.Regions[i].GrayFraction
+		var tw float64
+		for _, c := range p.spec.Connections {
+			if p.spec.Region(c.Src) == i {
+				tw += c.Weight
+			}
+		}
+		if tw == 0 {
+			// No outgoing white matter: everything stays local.
+			w[i][i] = 1
+			continue
+		}
+		w[i][i] = gray
+		for _, c := range p.spec.Connections {
+			if p.spec.Region(c.Src) == i {
+				w[i][p.spec.Region(c.Dst)] += (1 - gray) * c.Weight / tw
+			}
+		}
+	}
+	// Balance to a subscription factor below full axon capacity: the
+	// realizability requirement is that every connection request can be
+	// satisfied (column sums within capacity), not that every axon is
+	// consumed, and the slack absorbs integer-rounding drift. Regions
+	// with few incoming pathways also make full subscription structurally
+	// infeasible (their columns cannot be filled), which would stall the
+	// IPFP iteration against the feasible-set boundary.
+	const subscription = 0.95
+	marg := make([]float64, nr)
+	for i := range marg {
+		marg[i] = subscription * float64(p.usableByRegion[i])
+	}
+	res, err := balance.IPFP(w, marg, marg, balance.Options{Tol: 1e-7, MaxIter: 20000})
+	if err != nil {
+		// Accept slow boundary convergence when the residual is already
+		// far below the integer-rounding granularity.
+		if res == nil || res.Residual > 1e-4 {
+			return fmt.Errorf("pcc: balancing connection matrix: %w", err)
+		}
+	}
+	p.balanceIterations = res.Iterations
+	regionBundles := balance.RoundToInteger(res.Matrix, marg)
+	if err := repairColumns(regionBundles, p.usableByRegion); err != nil {
+		return fmt.Errorf("pcc: region bundle repair: %w", err)
+	}
+
+	// Distribute region bundles to slice granularity. Gray (diagonal)
+	// bundles stay wholly process-local within each region slice; white
+	// bundles spread as diffusely as possible over the target region's
+	// slices (§V-B), proportional to usable capacity.
+	p.path = make(map[[2]int][][]int)
+	p.graySlice = make([][]int, nr)
+	for i := 0; i < nr; i++ {
+		srcShare := p.rankUsableShares(i)
+		p.graySlice[i] = apportionInts(srcShare, regionBundles[i][i])
+		for j := 0; j < nr; j++ {
+			n := regionBundles[i][j]
+			if n == 0 || i == j {
+				continue
+			}
+			dstShare := p.rankUsableShares(j)
+			srcAlloc := apportionInts(srcShare, n)
+			m := make([][]int, len(srcShare))
+			for k := range m {
+				m[k] = apportionInts(dstShare, srcAlloc[k])
+			}
+			p.path[[2]int{i, j}] = m
+		}
+	}
+	if err := p.repairSliceBudgets(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// repairSliceBudgets fixes the rounding drift of the two-level
+// apportionment at slice granularity: every slice's outgoing bundle sum
+// must fit its neuron budget and its incoming sum (gray + white grants)
+// must fit its axon capacity. Repairs move white-matter units between
+// slices of the same region, so region-to-region topology is preserved.
+func (p *plan) repairSliceBudgets() error {
+	nr := len(p.spec.Regions)
+	// Row budgets: outgoing per source slice (i, k).
+	for i := 0; i < nr; i++ {
+		shares := p.rankUsableShares(i)
+		rowSum := func(k int) int {
+			n := p.graySlice[i][k]
+			for j := 0; j < nr; j++ {
+				if m, ok := p.path[[2]int{i, j}]; ok {
+					for _, v := range m[k] {
+						n += v
+					}
+				}
+			}
+			return n
+		}
+		for k := range shares {
+			for rowSum(k) > shares[k] {
+				if !p.moveSourceUnit(i, k, shares) {
+					return fmt.Errorf("pcc: region %d slice %d outgoing demand exceeds budget %d", i, k, shares[k])
+				}
+			}
+		}
+	}
+	// Column capacities: incoming per target slice (j, l).
+	for j := 0; j < nr; j++ {
+		shares := p.rankUsableShares(j)
+		colSum := func(l int) int {
+			n := p.graySlice[j][l]
+			for i := 0; i < nr; i++ {
+				if m, ok := p.path[[2]int{i, j}]; ok {
+					for k := range m {
+						n += m[k][l]
+					}
+				}
+			}
+			return n
+		}
+		for l := range shares {
+			for colSum(l) > shares[l] {
+				if !p.moveTargetUnit(j, l, shares, colSum) {
+					return fmt.Errorf("pcc: region %d slice %d incoming demand exceeds capacity %d", j, l, shares[l])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// moveSourceUnit moves one outgoing white unit of region i from slice k
+// to a sibling slice with spare outgoing budget. Returns false if no
+// move is possible.
+func (p *plan) moveSourceUnit(i, k int, shares []int) bool {
+	nr := len(p.spec.Regions)
+	outSum := func(k2 int) int {
+		n := p.graySlice[i][k2]
+		for j := 0; j < nr; j++ {
+			if m, ok := p.path[[2]int{i, j}]; ok {
+				for _, v := range m[k2] {
+					n += v
+				}
+			}
+		}
+		return n
+	}
+	for j := 0; j < nr; j++ {
+		m, ok := p.path[[2]int{i, j}]
+		if !ok {
+			continue
+		}
+		for l := range m[k] {
+			if m[k][l] == 0 {
+				continue
+			}
+			for k2 := range shares {
+				if k2 == k || outSum(k2) >= shares[k2] {
+					continue
+				}
+				m[k][l]--
+				m[k2][l]++
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// moveTargetUnit moves one incoming white unit of region j from slice l
+// to a sibling slice with spare capacity. Returns false if no move is
+// possible.
+func (p *plan) moveTargetUnit(j, l int, shares []int, colSum func(int) int) bool {
+	nr := len(p.spec.Regions)
+	for i := 0; i < nr; i++ {
+		m, ok := p.path[[2]int{i, j}]
+		if !ok {
+			continue
+		}
+		for k := range m {
+			if m[k][l] == 0 {
+				continue
+			}
+			for l2 := range shares {
+				if l2 == l || colSum(l2) >= shares[l2] {
+					continue
+				}
+				m[k][l]--
+				m[k][l2]++
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rankUsableShares returns the usable axon count of each rank hosting
+// region i, in region rank order.
+func (p *plan) rankUsableShares(i int) []int {
+	shares := make([]int, len(p.regionRanks[i]))
+	base := p.firstCore[i]
+	idx := 0
+	for j := range p.regionRanks[i] {
+		for k := 0; k < p.regionRankCores[i][j]; k++ {
+			shares[j] += truenorth.CoreSize - p.reserved[base+idx]
+			idx++
+		}
+	}
+	return shares
+}
+
+// regionCoreCounts extracts the per-region core counts.
+func regionCoreCounts(spec *coreobject.NetworkSpec) []float64 {
+	out := make([]float64, len(spec.Regions))
+	for i := range spec.Regions {
+		out[i] = float64(spec.Regions[i].Cores)
+	}
+	return out
+}
+
+// apportionWithFloor distributes total units proportionally to weights
+// with a floor of one unit each (largest-remainder rounding).
+func apportionWithFloor(weights []float64, total int) []int {
+	k := len(weights)
+	out := make([]int, k)
+	sum := 0.0
+	for _, w := range weights {
+		sum += w
+	}
+	assigned := 0
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, 0, k)
+	for i, w := range weights {
+		exact := float64(total) * w / sum
+		if exact < 1 {
+			exact = 1
+		}
+		fl := math.Floor(exact)
+		out[i] = int(fl)
+		assigned += int(fl)
+		rems = append(rems, rem{i, exact - fl})
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		return rems[a].idx < rems[b].idx
+	})
+	for i := 0; assigned < total && i < len(rems); i++ {
+		out[rems[i].idx]++
+		assigned++
+	}
+	for assigned > total {
+		big := 0
+		for i := range out {
+			if out[i] > out[big] {
+				big = i
+			}
+		}
+		if out[big] <= 1 {
+			break
+		}
+		out[big]--
+		assigned--
+	}
+	return out
+}
+
+// apportionInts distributes total units proportionally to integer
+// weights using largest-remainder rounding (no floor).
+func apportionInts(weights []int, total int) []int {
+	fw := make([]float64, len(weights))
+	for i, w := range weights {
+		fw[i] = float64(w)
+	}
+	rows := balance.RoundToInteger([][]float64{fw}, []float64{float64(total)})
+	return rows[0]
+}
+
+// repairColumns moves units between columns so that no column sum
+// exceeds its capacity, only along rows where both columns already have
+// traffic (or where the donor column has traffic and the receiver has
+// spare capacity on the same row's region pattern).
+func repairColumns(m [][]int, capacity []int) error {
+	n := len(m)
+	colSum := make([]int, n)
+	for i := range m {
+		for j, v := range m[i] {
+			colSum[j] += v
+		}
+	}
+	for j := 0; j < n; j++ {
+		for colSum[j] > capacity[j] {
+			moved := false
+			for i := 0; i < n && colSum[j] > capacity[j]; i++ {
+				if m[i][j] == 0 {
+					continue
+				}
+				for j2 := 0; j2 < n; j2++ {
+					if j2 == j || colSum[j2] >= capacity[j2] {
+						continue
+					}
+					// Move one unit of row i from column j to j2.
+					m[i][j]--
+					m[i][j2]++
+					colSum[j]--
+					colSum[j2]++
+					moved = true
+					break
+				}
+				if moved {
+					break
+				}
+			}
+			if !moved {
+				return fmt.Errorf("pcc: column %d demand %d exceeds capacity %d and cannot be repaired", j, colSum[j], capacity[j])
+			}
+		}
+	}
+	return nil
+}
+
+// repairRows trims rows whose sum exceeds the rank's neuron budget; the
+// trimmed units go to rows with spare budget in the same column so
+// column sums are preserved.
+func repairRows(m [][]int, budget []int) error {
+	n := len(m)
+	rowSum := make([]int, n)
+	for i := range m {
+		for _, v := range m[i] {
+			rowSum[i] += v
+		}
+	}
+	for i := 0; i < n; i++ {
+		for rowSum[i] > budget[i] {
+			moved := false
+			for j := 0; j < n && rowSum[i] > budget[i]; j++ {
+				if m[i][j] == 0 {
+					continue
+				}
+				for i2 := 0; i2 < n; i2++ {
+					if i2 == i || rowSum[i2] >= budget[i2] {
+						continue
+					}
+					m[i][j]--
+					m[i2][j]++
+					rowSum[i]--
+					rowSum[i2]++
+					moved = true
+					break
+				}
+				if moved {
+					break
+				}
+			}
+			if !moved {
+				return fmt.Errorf("pcc: row %d demand %d exceeds budget %d and cannot be repaired", i, rowSum[i], budget[i])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package pcc
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/cognitive-sim/compass/internal/compass"
+	"github.com/cognitive-sim/compass/internal/coreobject"
+	"github.com/cognitive-sim/compass/internal/prng"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// randomSpec builds a random but valid network description: 2–6 regions
+// with random sizes, a strongly-connected random edge set (every region
+// reachable so axon marginals stay feasible), and a stimulus on the
+// first region.
+func randomSpec(seed uint64) *coreobject.NetworkSpec {
+	r := prng.New(seed)
+	nRegions := 2 + r.Intn(5)
+	spec := &coreobject.NetworkSpec{Name: fmt.Sprintf("prop-%d", seed), Seed: seed}
+	for i := 0; i < nRegions; i++ {
+		proto := coreobject.DefaultProto()
+		proto.SynapseDensity = 0.02 + 0.2*r.Float64()
+		proto.InhibitoryFraction = 0.3 * r.Float64()
+		spec.Regions = append(spec.Regions, coreobject.RegionSpec{
+			Name:         fmt.Sprintf("R%d", i),
+			Cores:        1 + r.Intn(6),
+			GrayFraction: 0.1 + 0.5*r.Float64(),
+			Proto:        proto,
+		})
+	}
+	// A ring guarantees every region has in and out pathways; extra
+	// random edges add density.
+	for i := 0; i < nRegions; i++ {
+		spec.Connections = append(spec.Connections, coreobject.Connection{
+			Src: spec.Regions[i].Name, Dst: spec.Regions[(i+1)%nRegions].Name,
+			Weight: 0.2 + r.Float64(),
+		})
+	}
+	for e := 0; e < nRegions; e++ {
+		i, j := r.Intn(nRegions), r.Intn(nRegions)
+		if i == j {
+			continue
+		}
+		spec.Connections = append(spec.Connections, coreobject.Connection{
+			Src: spec.Regions[i].Name, Dst: spec.Regions[j].Name,
+			Weight: 0.2 + r.Float64(),
+		})
+	}
+	spec.Inputs = []coreobject.InputSpec{{
+		Region: "R0", Cores: 1, Axons: 1 + r.Intn(64),
+		Rate: 0.1, StartTick: 0, EndTick: 20,
+	}}
+	return spec
+}
+
+// checkWiring verifies the §IV realizability contract on a compiled
+// model.
+func checkWiring(spec *coreobject.NetworkSpec, res *Result) error {
+	m := res.Model
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	allowed := make(map[[2]int]bool)
+	for _, c := range spec.Connections {
+		allowed[[2]int{spec.Region(c.Src), spec.Region(c.Dst)}] = true
+	}
+	type ca struct {
+		core truenorth.CoreID
+		axon uint16
+	}
+	used := make(map[ca]bool)
+	for id, cfg := range m.Cores {
+		srcRegion := res.RegionOfCore[id]
+		srcRank := res.RankOf[id]
+		for j := range cfg.Neurons {
+			n := &cfg.Neurons[j]
+			if !n.Enabled {
+				continue
+			}
+			key := ca{n.Target.Core, n.Target.Axon}
+			if used[key] {
+				return fmt.Errorf("axon (%d,%d) used twice", key.core, key.axon)
+			}
+			used[key] = true
+			dstRegion := res.RegionOfCore[n.Target.Core]
+			dstRank := res.RankOf[n.Target.Core]
+			if srcRegion == dstRegion {
+				if srcRank != dstRank {
+					return fmt.Errorf("gray edge of region %d crosses ranks %d->%d", srcRegion, srcRank, dstRank)
+				}
+			} else if !allowed[[2]int{srcRegion, dstRegion}] {
+				return fmt.Errorf("undeclared pathway region %d -> %d", srcRegion, dstRegion)
+			}
+		}
+	}
+	return nil
+}
+
+// TestQuickCompileInvariants: for random specs and rank counts, the
+// compiled model always satisfies the wiring contract.
+func TestQuickCompileInvariants(t *testing.T) {
+	f := func(seedRaw uint32, ranksRaw uint8) bool {
+		spec := randomSpec(uint64(seedRaw))
+		total := spec.TotalCores()
+		ranks := 1 + int(ranksRaw)%8
+		if ranks > total {
+			ranks = total
+		}
+		res, err := Compile(spec, ranks)
+		if err != nil {
+			t.Logf("seed %d ranks %d: compile failed: %v", seedRaw, ranks, err)
+			return false
+		}
+		if err := checkWiring(spec, res); err != nil {
+			t.Logf("seed %d ranks %d: %v", seedRaw, ranks, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCompiledModelsSimulate: every compiled model runs identically
+// under serial and parallel simulation.
+func TestQuickCompiledModelsSimulate(t *testing.T) {
+	f := func(seedRaw uint16) bool {
+		spec := randomSpec(uint64(seedRaw) ^ 0xABCD)
+		ranks := 2
+		if spec.TotalCores() < 2 {
+			ranks = 1
+		}
+		res, err := Compile(spec, ranks)
+		if err != nil {
+			return false
+		}
+		ref, err := truenorth.NewSerialSim(res.Model)
+		if err != nil {
+			return false
+		}
+		if err := ref.Run(25); err != nil {
+			return false
+		}
+		stats, err := compassRun(res, 25)
+		if err != nil {
+			t.Logf("seed %d: %v", seedRaw, err)
+			return false
+		}
+		return stats == ref.TotalSpikes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// compassRun simulates a compiled model in parallel and returns the
+// total spike count.
+func compassRun(res *Result, ticks int) (uint64, error) {
+	stats, err := compass.Run(res.Model, compass.Config{
+		Ranks:          res.Ranks,
+		ThreadsPerRank: 2,
+		RankOf:         res.RankOf,
+	}, ticks)
+	if err != nil {
+		return 0, err
+	}
+	return stats.TotalSpikes, nil
+}

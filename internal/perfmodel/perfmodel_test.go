@@ -1,0 +1,381 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"github.com/cognitive-sim/compass/internal/cocomac"
+	"github.com/cognitive-sim/compass/internal/compass"
+	"github.com/cognitive-sim/compass/internal/prng"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// Paper operating points (§VI, §VII).
+const (
+	coresPerNodeWeak = 16384
+	firingHz         = 8.1
+	density          = 0.10
+)
+
+func bgqWorkload(t *testing.T, nodes, coresPerNode int) Workload {
+	t.Helper()
+	net := cocomac.Generate(2012)
+	w, err := AnalyticCoCoMac(net, nodes, coresPerNode, firingHz, density)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestCalibrationWeakScalingEndpoint pins the model to the paper's
+// headline: 256M cores on 16 racks (16384 nodes × 16384 cores) simulate
+// 500 ticks in 194 s — 388× slower than real time at 8.1 Hz.
+func TestCalibrationWeakScalingEndpoint(t *testing.T) {
+	w := bgqWorkload(t, 16384, coresPerNodeWeak)
+	pt, err := Project(BlueGeneQ(), w, 32, compass.TransportMPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowdown := pt.Total() / 0.001 // ticks are 1 ms
+	if slowdown < 290 || slowdown > 560 {
+		t.Fatalf("modelled slowdown %.0f× outside the calibration band around the paper's 388×", slowdown)
+	}
+	// The Network phase must be a minor contributor at this point, as in
+	// Figure 4(a).
+	if pt.Network > pt.Synapse+pt.Neuron {
+		t.Fatalf("Network phase %.3fs dominates compute %.3fs", pt.Network, pt.Synapse+pt.Neuron)
+	}
+}
+
+// TestCalibrationWeakScalingFlat reproduces Figure 4(a): with cores per
+// node fixed, total per-tick time is near-constant from 1 to 16 racks.
+func TestCalibrationWeakScalingFlat(t *testing.T) {
+	m := BlueGeneQ()
+	var first, last float64
+	for _, racks := range []int{1, 2, 4, 8, 16} {
+		w := bgqWorkload(t, racks*1024, coresPerNodeWeak)
+		pt, err := Project(m, w, 32, compass.TransportMPI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == 0 {
+			first = pt.Total()
+		}
+		last = pt.Total()
+	}
+	if last < first {
+		t.Fatalf("total time decreased under weak scaling: %.3f -> %.3f", first, last)
+	}
+	if last > 1.35*first {
+		t.Fatalf("weak scaling not flat: %.3fs at 1 rack vs %.3fs at 16 racks", first, last)
+	}
+}
+
+// TestCalibrationStrongScaling reproduces Figure 5: a fixed 32M-core
+// model speeds up 6.9× on 8 racks and 8.8× on 16 racks relative to 1
+// rack (imperfect at the largest scale because of the communication-
+// intense phases).
+func TestCalibrationStrongScaling(t *testing.T) {
+	m := BlueGeneQ()
+	const totalCores = 32 << 20
+	times := map[int]float64{}
+	for _, racks := range []int{1, 8, 16} {
+		nodes := racks * 1024
+		w := bgqWorkload(t, nodes, totalCores/nodes)
+		pt, err := Project(m, w, 32, compass.TransportMPI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[racks] = pt.Total()
+	}
+	s8 := times[1] / times[8]
+	s16 := times[1] / times[16]
+	if s8 < 5.0 || s8 > 8.0 {
+		t.Fatalf("8-rack speedup %.2f outside band around paper's 6.9×", s8)
+	}
+	if s16 < 7.0 || s16 > 11.5 {
+		t.Fatalf("16-rack speedup %.2f outside band around paper's 8.8×", s16)
+	}
+	if s16 >= 16 {
+		t.Fatalf("16-rack speedup %.2f is implausibly perfect", s16)
+	}
+	if s16 <= s8 {
+		t.Fatalf("speedup not monotone: %.2f at 8 racks, %.2f at 16", s8, s16)
+	}
+}
+
+// TestCalibrationThreadScaling reproduces Figure 6: near-linear speedup
+// in OpenMP threads, capped below perfect by the Network-phase critical
+// section and shared-memory contention.
+func TestCalibrationThreadScaling(t *testing.T) {
+	m := BlueGeneQ()
+	// 64M cores on 4 racks: 16384 cores per node.
+	w := bgqWorkload(t, 4096, coresPerNodeWeak)
+	var t1 float64
+	prev := 0.0
+	for _, threads := range []int{1, 2, 4, 8, 16, 32} {
+		pt, err := Project(m, w, threads, compass.TransportMPI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := pt.Total()
+		if threads == 1 {
+			t1 = total
+		} else if total >= prev {
+			t.Fatalf("no speedup from %d threads", threads)
+		}
+		prev = total
+	}
+	s32 := t1 / prev
+	if s32 < 18 || s32 >= 32 {
+		t.Fatalf("32-thread speedup %.1f outside the imperfect-but-near-linear band", s32)
+	}
+}
+
+// TestCalibrationPGASRealTime reproduces Figure 7: 81K TrueNorth cores
+// on four Blue Gene/P racks run in (soft) real time under PGAS, while the
+// MPI implementation takes about 2.1× as long.
+func TestCalibrationPGASRealTime(t *testing.T) {
+	m := BlueGeneP()
+	const nodes = 4096
+	w, err := SyntheticUniform(nodes, 81920/nodes, 10, 0.75, density)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pgasT, err := Project(m, w, 4, compass.TransportPGAS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpiT, err := Project(m, w, 4, compass.TransportMPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pgasT.Total() < 0.0005 || pgasT.Total() > 0.0015 {
+		t.Fatalf("PGAS per-tick %.4fms outside the soft real-time band", pgasT.Total()*1000)
+	}
+	ratio := mpiT.Total() / pgasT.Total()
+	if ratio < 1.5 || ratio > 3.2 {
+		t.Fatalf("MPI/PGAS ratio %.2f outside band around paper's 2.1×", ratio)
+	}
+}
+
+// TestPGASAdvantageGrowsWithScale: the reduce-scatter grows with the
+// communicator while the PGAS barrier grows only logarithmically, so the
+// PGAS advantage widens from 1 to 4 racks (visible in Figure 7's gap).
+func TestPGASAdvantageGrowsWithScale(t *testing.T) {
+	m := BlueGeneP()
+	prev := 0.0
+	for _, racks := range []int{1, 2, 4} {
+		nodes := racks * 1024
+		w, err := SyntheticUniform(nodes, 81920/nodes, 10, 0.75, density)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pgasT, _ := Project(m, w, 4, compass.TransportPGAS)
+		mpiT, _ := Project(m, w, 4, compass.TransportMPI)
+		ratio := mpiT.Total() / pgasT.Total()
+		if ratio <= prev {
+			t.Fatalf("PGAS advantage not growing: ratio %.2f at %d racks after %.2f", ratio, racks, prev)
+		}
+		prev = ratio
+	}
+}
+
+// TestMessageGrowthMechanism reproduces the Figure 4(b) mechanism: with
+// increasing model size "the white matter connections become thinner and
+// therefore less frequented" — spikes per message fall monotonically, so
+// message count grows far slower than the naive all-pairs peer count
+// (which grows quadratically under weak scaling), while spike volume
+// grows linearly with the model.
+func TestMessageGrowthMechanism(t *testing.T) {
+	net := cocomac.Generate(2012)
+	var prevThickness float64
+	var w1, w16 Workload
+	for _, racks := range []int{1, 2, 4, 8, 16} {
+		w, err := AnalyticCoCoMac(net, racks*1024, coresPerNodeWeak, firingHz, density)
+		if err != nil {
+			t.Fatal(err)
+		}
+		thickness := w.TotalRemoteSpikesPerTick / w.TotalMessagesPerTick
+		if thickness < 1 {
+			t.Fatalf("%d racks: %.3f spikes per message; aggregation broken", racks, thickness)
+		}
+		if prevThickness != 0 && thickness >= prevThickness {
+			t.Fatalf("%d racks: links did not get thinner (%.2f -> %.2f spikes/msg)", racks, prevThickness, thickness)
+		}
+		prevThickness = thickness
+		if racks == 1 {
+			w1 = w
+		}
+		if racks == 16 {
+			w16 = w
+		}
+	}
+	msgGrowth := w16.TotalMessagesPerTick / w1.TotalMessagesPerTick
+	if msgGrowth <= 1 {
+		t.Fatalf("message count did not grow: %.2f", msgGrowth)
+	}
+	// Naive all-pairs peer growth over a 16× node scale-up is 256×; link
+	// thinning must hold message growth far below that.
+	if msgGrowth >= 100 {
+		t.Fatalf("message growth %.1f× not held down by link thinning", msgGrowth)
+	}
+	spikeGrowth := w16.TotalRemoteSpikesPerTick / w1.TotalRemoteSpikesPerTick
+	if spikeGrowth < 14 || spikeGrowth > 18 {
+		t.Fatalf("spike growth %.2f×, want ≈16×", spikeGrowth)
+	}
+}
+
+// TestHeadlineBandwidthBelowLink reproduces §VI-B: at 256M cores the
+// aggregate spike payload per tick (≈22M spikes × 20 B) stays well below
+// the 2 GB/s link bandwidth.
+func TestHeadlineBandwidthBelowLink(t *testing.T) {
+	w := bgqWorkload(t, 16384, coresPerNodeWeak)
+	perNodeBytes := w.Max.BytesSent
+	if perNodeBytes >= 2e9*0.001 {
+		t.Fatalf("per-node per-tick payload %.0f B exceeds the 1 ms link budget", perNodeBytes)
+	}
+	total := w.TotalRemoteSpikesPerTick
+	// The paper reports ≈22M spikes per tick; the calibrated white-matter
+	// activity factor must land within a factor of two.
+	if total < 11e6 || total > 44e6 {
+		t.Fatalf("total remote spikes per tick %.3g outside band around paper's 22M", total)
+	}
+	// ≈0.44 GB per tick at 20 B per spike (§VI-B).
+	gb := total * truenorth.SpikeWireBytes / 1e9
+	if gb < 0.2 || gb > 0.9 {
+		t.Fatalf("per-tick payload %.2f GB outside band around paper's 0.44 GB", gb)
+	}
+}
+
+func TestCollectiveCosts(t *testing.T) {
+	m := BlueGeneQ()
+	if m.ReduceScatterTime(1) != 0 || m.BarrierTime(1) != 0 {
+		t.Fatal("single-node collectives must be free")
+	}
+	if m.ReduceScatterTime(2048) <= m.ReduceScatterTime(1024) {
+		t.Fatal("reduce-scatter not monotone")
+	}
+	if m.BarrierTime(4096) <= m.BarrierTime(1024) {
+		t.Fatal("barrier not monotone")
+	}
+	// PGAS beats two-sided collectives at scale.
+	if m.BarrierTime(16384) >= m.ReduceScatterTime(16384) {
+		t.Fatal("barrier must be far cheaper than reduce-scatter at scale")
+	}
+}
+
+func TestProjectValidation(t *testing.T) {
+	m := BlueGeneQ()
+	w := Workload{Nodes: 4, Max: NodeWork{Cores: 1}}
+	if _, err := Project(m, w, 0, compass.TransportMPI); err == nil {
+		t.Fatal("zero threads accepted")
+	}
+	if _, err := Project(m, Workload{}, 1, compass.TransportMPI); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := Project(m, w, 1, compass.Transport(9)); err == nil {
+		t.Fatal("bad transport accepted")
+	}
+	// Thread counts above the hardware limit are clamped, not errors.
+	a, err := Project(m, w, 64, compass.TransportMPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Project(m, w, 1000, compass.TransportMPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != b.Total() {
+		t.Fatal("thread clamp not applied")
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	net := cocomac.Generate(1)
+	if _, err := AnalyticCoCoMac(net, 0, 1, 8, 0.1); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := AnalyticCoCoMac(net, 1, 1, -1, 0.1); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := AnalyticCoCoMac(net, 1, 1, 8, 1.5); err == nil {
+		t.Fatal("bad density accepted")
+	}
+	if _, err := SyntheticUniform(0, 1, 8, 0.5, 0.1); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := SyntheticUniform(4, 1, 8, 1.5, 0.1); err == nil {
+		t.Fatal("bad local fraction accepted")
+	}
+}
+
+// TestWorkloadFromStats checks the measured-workload path against a real
+// functional simulation.
+func TestWorkloadFromStats(t *testing.T) {
+	r := prng.New(3)
+	m := &truenorth.Model{Seed: 3}
+	const nCores = 8
+	for k := 0; k < nCores; k++ {
+		cfg := &truenorth.CoreConfig{ID: truenorth.CoreID(k)}
+		for a := 0; a < truenorth.CoreSize; a++ {
+			cfg.SetSynapse(a, r.Intn(truenorth.CoreSize), true)
+		}
+		for j := 0; j < truenorth.CoreSize; j++ {
+			cfg.Neurons[j] = truenorth.NeuronParams{
+				Weights:   [truenorth.NumAxonTypes]int16{3, 3, 3, 3},
+				Leak:      1,
+				Threshold: 40,
+				Floor:     -8,
+				Target: truenorth.SpikeTarget{
+					Core:  truenorth.CoreID(r.Intn(nCores)),
+					Axon:  uint16(r.Intn(truenorth.CoreSize)),
+					Delay: 1,
+				},
+				Enabled: true,
+			}
+		}
+		m.Cores = append(m.Cores, cfg)
+	}
+	const ticks = 20
+	stats, err := compass.Run(m, compass.Config{Ranks: 4, ThreadsPerRank: 1}, ticks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := WorkloadFromStats(stats)
+	if w.Nodes != 4 {
+		t.Fatalf("Nodes = %d", w.Nodes)
+	}
+	if w.Max.Cores != 2 {
+		t.Fatalf("Max.Cores = %v, want 2", w.Max.Cores)
+	}
+	if w.Max.NeuronUpdates != 2*truenorth.CoreSize {
+		t.Fatalf("Max.NeuronUpdates = %v", w.Max.NeuronUpdates)
+	}
+	if w.Max.Firings*float64(ticks)*4 < float64(stats.TotalSpikes) {
+		t.Fatalf("max firings %.1f cannot cover total %d", w.Max.Firings, stats.TotalSpikes)
+	}
+	pt, err := Project(BlueGeneQ(), w, 16, compass.TransportMPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Total() <= 0 {
+		t.Fatal("non-positive projected time")
+	}
+}
+
+func TestWorkloadFromStatsZeroTicks(t *testing.T) {
+	w := WorkloadFromStats(&compass.RunStats{Ranks: 2})
+	if w.Nodes != 2 || w.Max.Firings != 0 {
+		t.Fatalf("zero-tick workload: %+v", w)
+	}
+}
+
+func BenchmarkAnalyticCoCoMac(b *testing.B) {
+	net := cocomac.Generate(2012)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AnalyticCoCoMac(net, 16384, coresPerNodeWeak, firingHz, density); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package pgas implements the Partitioned Global Address Space
+// communication model that the paper's second Compass implementation uses
+// (UPC over GASNet on Blue Gene/P, §VII).
+//
+// The PGAS model fits Compass's Network phase naturally: the source and
+// ordering of spikes arriving at an axon within a tick do not affect the
+// next tick's computation, so each rank can deposit spikes directly into
+// a globally addressable buffer at the destination rank with a one-sided
+// Put — no send buffering, no receive matching, no reduce-scatter to
+// count incoming messages. A single low-latency global barrier per tick
+// separates the write epoch from the read epoch.
+//
+// The space is laid out as one window per rank, each divided into one
+// segment per (source rank, epoch parity). Only the source writes its
+// segment and only the owner drains it, strictly on opposite sides of the
+// barrier, so segment access needs no locks; the barrier provides the
+// happens-before edge. Epochs alternate parity, giving the classic
+// double-buffered one-barrier-per-tick protocol: a writer at tick t+2 can
+// only reuse parity (t mod 2) after the tick t+1 barrier, which the owner
+// can only pass after draining tick t.
+package pgas
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Space is a partitioned global address space shared by a fixed set of
+// ranks.
+type Space struct {
+	size int
+
+	// seg[dst][parity][src] is the append buffer written one-sidedly by
+	// src for dst during epochs of that parity.
+	seg [][2][][]byte
+
+	// barrier state (central sense-reversing barrier).
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	gen     uint64
+
+	puts      atomic.Uint64
+	bytesSent atomic.Uint64
+}
+
+// NewSpace creates a space for size ranks.
+func NewSpace(size int) *Space {
+	if size < 1 {
+		panic(fmt.Sprintf("pgas: space size %d < 1", size))
+	}
+	s := &Space{
+		size: size,
+		seg:  make([][2][][]byte, size),
+	}
+	for d := range s.seg {
+		s.seg[d][0] = make([][]byte, size)
+		s.seg[d][1] = make([][]byte, size)
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Size returns the number of ranks sharing the space.
+func (s *Space) Size() int { return s.size }
+
+// Stats returns the cumulative one-sided put count and payload bytes.
+func (s *Space) Stats() (puts, bytes uint64) {
+	return s.puts.Load(), s.bytesSent.Load()
+}
+
+// ResetStats zeroes the traffic counters.
+func (s *Space) ResetStats() {
+	s.puts.Store(0)
+	s.bytesSent.Store(0)
+}
+
+// Handle is one rank's view of the space.
+type Handle struct {
+	s     *Space
+	rank  int
+	epoch uint64
+}
+
+// Handle returns rank r's view. Each rank must use exactly one Handle.
+func (s *Space) Handle(r int) *Handle {
+	if r < 0 || r >= s.size {
+		panic(fmt.Sprintf("pgas: rank %d outside space of size %d", r, s.size))
+	}
+	return &Handle{s: s, rank: r}
+}
+
+// Rank returns the handle's rank.
+func (h *Handle) Rank() int { return h.rank }
+
+// Epoch returns the handle's current epoch (ticks completed).
+func (h *Handle) Epoch() uint64 { return h.epoch }
+
+// Put appends data one-sidedly to dst's window for the current epoch.
+// The data is copied. Put must only be called between the barriers that
+// delimit the current epoch.
+func (h *Handle) Put(dst int, data []byte) error {
+	if dst < 0 || dst >= h.s.size {
+		return fmt.Errorf("pgas: put to rank %d outside space of size %d", dst, h.s.size)
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	parity := h.epoch & 1
+	seg := &h.s.seg[dst][parity][h.rank]
+	*seg = append(*seg, data...)
+	h.s.puts.Add(1)
+	h.s.bytesSent.Add(uint64(len(data)))
+	return nil
+}
+
+// Barrier blocks until every rank has entered it, then advances this
+// handle's epoch. After Barrier returns, every Put issued by any rank
+// during the finished epoch is visible to Drain at its destination.
+func (h *Handle) Barrier() {
+	s := h.s
+	s.mu.Lock()
+	gen := s.gen
+	s.arrived++
+	if s.arrived == s.size {
+		s.arrived = 0
+		s.gen++
+		s.cond.Broadcast()
+	} else {
+		for gen == s.gen {
+			s.cond.Wait()
+		}
+	}
+	s.mu.Unlock()
+	h.epoch++
+}
+
+// Drain calls fn once per source rank that deposited data for this rank
+// during the epoch that the last Barrier closed, then clears those
+// segments for reuse. It must be called after Barrier and before the
+// next epoch's Puts could wrap around to the same parity (which the
+// one-barrier-per-tick protocol guarantees structurally).
+func (h *Handle) Drain(fn func(src int, data []byte)) {
+	parity := (h.epoch - 1) & 1
+	window := h.s.seg[h.rank][parity]
+	for src := range window {
+		if len(window[src]) > 0 {
+			fn(src, window[src])
+			window[src] = window[src][:0]
+		}
+	}
+}
+
+// PendingBytes reports the bytes currently deposited for this rank in the
+// epoch that the last Barrier closed (diagnostic).
+func (h *Handle) PendingBytes() int {
+	parity := (h.epoch - 1) & 1
+	n := 0
+	for _, seg := range h.s.seg[h.rank][parity] {
+		n += len(seg)
+	}
+	return n
+}
+
+// Run launches fn on every rank of a fresh space and waits for all ranks.
+// The first non-nil error is returned; because PGAS barriers have no
+// abort path (matching real one-sided runtimes, where a dead rank hangs
+// the barrier), fn must only fail before its first Barrier or after its
+// last.
+func Run(size int, fn func(h *Handle) error) error {
+	s := NewSpace(size)
+	return s.Run(fn)
+}
+
+// Run launches fn on every rank of this space and waits for completion.
+func (s *Space) Run(fn func(h *Handle) error) error {
+	errs := make([]error, s.size)
+	var wg sync.WaitGroup
+	wg.Add(s.size)
+	for r := 0; r < s.size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = fn(s.Handle(rank))
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

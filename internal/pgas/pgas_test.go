@@ -1,0 +1,309 @@
+package pgas
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutBarrierDrain(t *testing.T) {
+	err := Run(3, func(h *Handle) error {
+		// Every rank puts its rank byte to every other rank.
+		for dst := 0; dst < 3; dst++ {
+			if dst == h.Rank() {
+				continue
+			}
+			if err := h.Put(dst, []byte{byte(h.Rank())}); err != nil {
+				return err
+			}
+		}
+		h.Barrier()
+		got := make(map[int][]byte)
+		h.Drain(func(src int, data []byte) {
+			cp := make([]byte, len(data))
+			copy(cp, data)
+			got[src] = cp
+		})
+		for src := 0; src < 3; src++ {
+			if src == h.Rank() {
+				if _, ok := got[src]; ok {
+					return fmt.Errorf("rank %d drained unexpected self data", h.Rank())
+				}
+				continue
+			}
+			if len(got[src]) != 1 || got[src][0] != byte(src) {
+				return fmt.Errorf("rank %d drained %v from %d", h.Rank(), got[src], src)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutAppendsWithinEpoch(t *testing.T) {
+	err := Run(2, func(h *Handle) error {
+		if h.Rank() == 0 {
+			if err := h.Put(1, []byte{1, 2}); err != nil {
+				return err
+			}
+			if err := h.Put(1, []byte{3}); err != nil {
+				return err
+			}
+		}
+		h.Barrier()
+		if h.Rank() == 1 {
+			var all []byte
+			h.Drain(func(src int, data []byte) { all = append(all, data...) })
+			if len(all) != 3 || all[0] != 1 || all[2] != 3 {
+				return fmt.Errorf("drained %v", all)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyPutIsNoop(t *testing.T) {
+	s := NewSpace(2)
+	err := s.Run(func(h *Handle) error {
+		if err := h.Put((h.Rank()+1)%2, nil); err != nil {
+			return err
+		}
+		h.Barrier()
+		h.Drain(func(int, []byte) { panic("drained empty put") })
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	puts, bytes := s.Stats()
+	if puts != 0 || bytes != 0 {
+		t.Fatalf("empty puts counted: (%d, %d)", puts, bytes)
+	}
+}
+
+func TestPutInvalidRank(t *testing.T) {
+	s := NewSpace(2)
+	h := s.Handle(0)
+	if err := h.Put(7, []byte{1}); err == nil {
+		t.Fatal("put to invalid rank accepted")
+	}
+	if err := h.Put(-1, []byte{1}); err == nil {
+		t.Fatal("put to negative rank accepted")
+	}
+}
+
+func TestDataCopiedOnPut(t *testing.T) {
+	err := Run(2, func(h *Handle) error {
+		if h.Rank() == 0 {
+			buf := []byte{42}
+			if err := h.Put(1, buf); err != nil {
+				return err
+			}
+			buf[0] = 0
+		}
+		h.Barrier()
+		if h.Rank() == 1 {
+			ok := false
+			h.Drain(func(src int, data []byte) { ok = data[0] == 42 })
+			if !ok {
+				return errors.New("put data aliased caller buffer")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleBufferingAcrossTicks(t *testing.T) {
+	// Simulate the compass tick protocol for many ticks: each tick, rank 0
+	// puts the tick number to rank 1; rank 1 must drain exactly that value
+	// each tick — no loss, no duplication, no cross-tick bleed.
+	const ticks = 64
+	err := Run(2, func(h *Handle) error {
+		for tick := 0; tick < ticks; tick++ {
+			if h.Rank() == 0 {
+				if err := h.Put(1, []byte{byte(tick)}); err != nil {
+					return err
+				}
+			}
+			h.Barrier()
+			if h.Rank() == 1 {
+				count := 0
+				var got byte
+				h.Drain(func(src int, data []byte) {
+					count += len(data)
+					got = data[0]
+				})
+				if count != 1 || got != byte(tick) {
+					return fmt.Errorf("tick %d: drained count=%d value=%d", tick, count, got)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const world = 8
+	var before, violations atomic.Int64
+	err := Run(world, func(h *Handle) error {
+		before.Add(1)
+		h.Barrier()
+		if before.Load() != world {
+			violations.Add(1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violations.Load() != 0 {
+		t.Fatalf("%d ranks passed the barrier early", violations.Load())
+	}
+}
+
+func TestEpochAdvancesWithBarrier(t *testing.T) {
+	err := Run(2, func(h *Handle) error {
+		if h.Epoch() != 0 {
+			return fmt.Errorf("initial epoch %d", h.Epoch())
+		}
+		h.Barrier()
+		if h.Epoch() != 1 {
+			return fmt.Errorf("epoch after barrier %d", h.Epoch())
+		}
+		h.Barrier()
+		if h.Epoch() != 2 {
+			return fmt.Errorf("epoch after two barriers %d", h.Epoch())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	s := NewSpace(2)
+	err := s.Run(func(h *Handle) error {
+		if h.Rank() == 0 {
+			if err := h.Put(1, make([]byte, 10)); err != nil {
+				return err
+			}
+			if err := h.Put(1, make([]byte, 5)); err != nil {
+				return err
+			}
+		}
+		h.Barrier()
+		if h.Rank() == 1 {
+			if n := h.PendingBytes(); n != 15 {
+				return fmt.Errorf("PendingBytes = %d", n)
+			}
+			h.Drain(func(int, []byte) {})
+			if n := h.PendingBytes(); n != 0 {
+				return fmt.Errorf("PendingBytes after drain = %d", n)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	puts, bytes := s.Stats()
+	if puts != 2 || bytes != 15 {
+		t.Fatalf("Stats = (%d, %d), want (2, 15)", puts, bytes)
+	}
+	s.ResetStats()
+	puts, bytes = s.Stats()
+	if puts != 0 || bytes != 0 {
+		t.Fatalf("after reset Stats = (%d, %d)", puts, bytes)
+	}
+}
+
+// Property: for arbitrary sparse put patterns run through the tick
+// protocol, every byte put in an epoch is drained exactly once at the
+// destination during that epoch.
+func TestQuickConservationOfSpikes(t *testing.T) {
+	f := func(seed uint64, sizeRaw, ticksRaw uint8) bool {
+		size := int(sizeRaw%5) + 2
+		ticks := int(ticksRaw%8) + 1
+		var totalPut, totalDrained atomic.Int64
+		st := seed
+		next := func() uint64 { st ^= st << 13; st ^= st >> 7; st ^= st << 17; return st }
+		// Precompute the pattern so every rank goroutine agrees on it.
+		pattern := make([][][]int, ticks) // pattern[t][src][dst] = byte count
+		for t := range pattern {
+			pattern[t] = make([][]int, size)
+			for src := range pattern[t] {
+				pattern[t][src] = make([]int, size)
+				for dst := range pattern[t][src] {
+					if next()%2 == 0 {
+						pattern[t][src][dst] = int(next()%16) + 1
+					}
+				}
+			}
+		}
+		err := Run(size, func(h *Handle) error {
+			for t := 0; t < ticks; t++ {
+				for dst := 0; dst < size; dst++ {
+					n := pattern[t][h.Rank()][dst]
+					if n > 0 {
+						if err := h.Put(dst, make([]byte, n)); err != nil {
+							return err
+						}
+						totalPut.Add(int64(n))
+					}
+				}
+				h.Barrier()
+				want := 0
+				for src := 0; src < size; src++ {
+					want += pattern[t][src][h.Rank()]
+				}
+				got := 0
+				h.Drain(func(src int, data []byte) { got += len(data) })
+				if got != want {
+					return fmt.Errorf("tick %d rank %d drained %d, want %d", t, h.Rank(), got, want)
+				}
+				totalDrained.Add(int64(got))
+			}
+			return nil
+		})
+		return err == nil && totalPut.Load() == totalDrained.Load()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPutBarrierDrain4(b *testing.B) {
+	s := NewSpace(4)
+	payload := make([]byte, 64)
+	err := s.Run(func(h *Handle) error {
+		for i := 0; i < b.N; i++ {
+			for dst := 0; dst < 4; dst++ {
+				if dst != h.Rank() {
+					if err := h.Put(dst, payload); err != nil {
+						return err
+					}
+				}
+			}
+			h.Barrier()
+			h.Drain(func(int, []byte) {})
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/cognitive-sim/compass/internal/compass"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+func TestFromRatesChipScale(t *testing.T) {
+	// A 4096-core TrueNorth chip at the paper's 8.1 Hz operating point
+	// and 10% crossbar density must land in the tens-of-milliwatts range
+	// the TrueNorth programme targeted.
+	p := TrueNorth45nm()
+	est, err := FromRates(p, 4096, 8.1, 0.10, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.TotalW < 0.02 || est.TotalW > 0.3 {
+		t.Fatalf("4096-core chip at 8.1 Hz: %.3g W outside the ultra-low-power band", est.TotalW)
+	}
+	// Energy per spike should be within a factor of a few of the cited
+	// 45 pJ figure.
+	if est.EnergyPerSpikeJ < 10e-12 || est.EnergyPerSpikeJ > 200e-12 {
+		t.Fatalf("energy per spike %.3g J outside band around 45 pJ", est.EnergyPerSpikeJ)
+	}
+}
+
+func TestFromRatesZeroActivityIsStaticOnly(t *testing.T) {
+	p := TrueNorth45nm()
+	est, err := FromRates(p, 1024, 0, 0.10, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the per-tick neuron updates and leakage remain.
+	if est.SynapticJ != 0 || est.SpikeGenJ != 0 || est.NetworkJ != 0 {
+		t.Fatalf("silent chip has dynamic spike energy: %+v", est)
+	}
+	if est.StaticW != 1024*p.CoreLeakageW {
+		t.Fatalf("static power %.3g", est.StaticW)
+	}
+}
+
+func TestFromRatesScalesLinearly(t *testing.T) {
+	p := TrueNorth45nm()
+	a, err := FromRates(p, 1000, 10, 0.1, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromRates(p, 2000, 10, 0.1, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.TotalW/a.TotalW-2) > 1e-9 {
+		t.Fatalf("power not linear in cores: %.6g vs %.6g", a.TotalW, b.TotalW)
+	}
+}
+
+func TestFromRatesRemoteSpikesCostMore(t *testing.T) {
+	p := TrueNorth45nm()
+	local, _ := FromRates(p, 100, 10, 0.1, 0)
+	remote, _ := FromRates(p, 100, 10, 0.1, 1)
+	if remote.NetworkJ <= local.NetworkJ {
+		t.Fatalf("remote routing not costlier: %.3g vs %.3g", remote.NetworkJ, local.NetworkJ)
+	}
+}
+
+func TestFromRatesValidation(t *testing.T) {
+	p := TrueNorth45nm()
+	if _, err := FromRates(p, 0, 10, 0.1, 0.2); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, err := FromRates(p, 10, -1, 0.1, 0.2); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := FromRates(p, 10, 10, 1.5, 0.2); err == nil {
+		t.Fatal("bad density accepted")
+	}
+	if _, err := FromRates(p, 10, 10, 0.1, 2); err == nil {
+		t.Fatal("bad remote fraction accepted")
+	}
+}
+
+func TestFromStatsAgainstSimulation(t *testing.T) {
+	// Build a small live model, run it, and check the estimate is
+	// positive, internally consistent, and consistent with FromRates at
+	// the measured operating point.
+	m := &truenorth.Model{Seed: 5}
+	for k := 0; k < 4; k++ {
+		cfg := &truenorth.CoreConfig{ID: truenorth.CoreID(k)}
+		for a := 0; a < truenorth.CoreSize; a++ {
+			for s := 0; s < 26; s++ {
+				cfg.SetSynapse(a, (a*7+s*3)%truenorth.CoreSize, true)
+			}
+		}
+		for j := 0; j < truenorth.CoreSize; j++ {
+			cfg.Neurons[j] = truenorth.NeuronParams{
+				Weights:   [truenorth.NumAxonTypes]int16{1, 1, 1, 1},
+				Leak:      1,
+				Threshold: 100,
+				Floor:     0,
+				Target: truenorth.SpikeTarget{
+					Core:  truenorth.CoreID((k + j) % 4),
+					Axon:  uint16(j),
+					Delay: 1,
+				},
+				Enabled: true,
+			}
+		}
+		m.Cores = append(m.Cores, cfg)
+	}
+	stats, err := compass.Run(m, compass.Config{Ranks: 2, ThreadsPerRank: 1}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalSpikes == 0 {
+		t.Fatal("test model silent")
+	}
+	p := TrueNorth45nm()
+	est, err := FromStats(p, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.TotalW <= 0 || est.PerTickJ <= 0 {
+		t.Fatalf("degenerate estimate: %+v", est)
+	}
+	if math.Abs(est.PerTickJ-(est.SynapticJ+est.NeuronJ+est.SpikeGenJ+est.NetworkJ)) > 1e-18 {
+		t.Fatal("per-tick energy does not sum")
+	}
+	if est.StaticW != 4*p.CoreLeakageW {
+		t.Fatalf("static power %.3g", est.StaticW)
+	}
+	// Cross-check with the analytic path at the measured rate.
+	hz := stats.AvgFiringRateHz()
+	remoteFrac := float64(stats.RemoteSpikes) / float64(stats.TotalSpikes)
+	ref, err := FromRates(p, 4, hz, 26.0/truenorth.CoreSize, remoteFrac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.TotalW < ref.TotalW/2 || est.TotalW > ref.TotalW*2 {
+		t.Fatalf("stats estimate %.3g W vs analytic %.3g W disagree >2x", est.TotalW, ref.TotalW)
+	}
+}
+
+func TestFromStatsZeroTicks(t *testing.T) {
+	if _, err := FromStats(TrueNorth45nm(), &compass.RunStats{}); err == nil {
+		t.Fatal("zero-tick run accepted")
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	est, err := FromRates(TrueNorth45nm(), 16, 10, 0.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := est.String()
+	if !strings.Contains(s, "16 cores") || !strings.Contains(s, "W total") {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,194 @@
+// Package prng provides the deterministic pseudo-random number generators
+// used throughout the Compass simulator.
+//
+// TrueNorth hardware incorporates pseudo-random number generators with
+// configurable seeds so that stochastic neuron behaviour is exactly
+// reproducible; Compass must match the hardware bit for bit (the paper
+// calls Compass "the key contract between our hardware architects and
+// software algorithm/application designers"). Every source of randomness
+// in this repository therefore flows through this package: each simulated
+// neurosynaptic core owns an independent Stream seeded from the model
+// seed and the core's global ID, which makes simulation output invariant
+// under any partitioning of cores across ranks and threads.
+//
+// The generator is SplitMix64 for seeding and xoshiro256** for the
+// stream. Both are tiny, fast, allocation-free, and well studied. The
+// actual TrueNorth hardware PRNG is an LFSR; any fixed deterministic
+// generator preserves the property that matters for the simulator —
+// reproducibility under a configurable seed — so we use a generator with
+// better statistical quality.
+package prng
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+)
+
+// SplitMix64 advances a SplitMix64 state and returns the next output.
+// It is used to expand seeds into full generator states; it is also a
+// perfectly serviceable standalone generator for non-critical mixing.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 hashes x through one SplitMix64 round. It is used to derive
+// per-core seeds from (model seed, core ID) pairs.
+func Mix64(x uint64) uint64 {
+	return SplitMix64(&x)
+}
+
+// Stream is a deterministic xoshiro256** generator. The zero value is not
+// a valid stream; construct one with New.
+type Stream struct {
+	s [4]uint64
+}
+
+// New returns a Stream seeded from seed via SplitMix64 expansion, per the
+// generator authors' recommendation. Distinct seeds give independent
+// streams for all practical purposes.
+func New(seed uint64) *Stream {
+	var st Stream
+	st.Reseed(seed)
+	return &st
+}
+
+// NewCoreStream derives the stream for a particular core of a model:
+// distinct (modelSeed, coreID) pairs map to distinct stream seeds, so the
+// stream a core sees does not depend on which rank or thread simulates it.
+func NewCoreStream(modelSeed, coreID uint64) *Stream {
+	return New(Mix64(modelSeed) ^ Mix64(coreID*0x9e3779b97f4a7c15+0x6a09e667f3bcc909))
+}
+
+// State returns the stream's internal state for checkpointing.
+func (r *Stream) State() [4]uint64 { return r.s }
+
+// SetState restores a state captured with State. It rejects the all-zero
+// state, on which xoshiro256** is degenerate.
+func (r *Stream) SetState(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return errors.New("prng: all-zero state is invalid")
+	}
+	r.s = s
+	return nil
+}
+
+// Reseed resets the stream to the state derived from seed.
+func (r *Stream) Reseed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = SplitMix64(&sm)
+	}
+	// xoshiro256** is ill-defined on the all-zero state; SplitMix64 cannot
+	// produce four consecutive zeros, but guard anyway so Reseed is total.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Stream) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = bits.RotateLeft64(r.s[3], 45)
+	return result
+}
+
+// Uint32 returns the next 32 uniformly random bits.
+func (r *Stream) Uint32() uint32 {
+	return uint32(r.Uint64() >> 32)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// It uses Lemire's multiply-shift rejection method, which is unbiased.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform integer in [0, n). It panics if n == 0.
+func (r *Stream) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("prng: Uint64n called with n == 0")
+	}
+	// Lemire's method: multiply a 64-bit random value by n and keep the
+	// high word, rejecting the small biased region of the low word.
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *Stream) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Bernoulli returns true with probability p (clamped to [0, 1]).
+func (r *Stream) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// DrawMask reports whether the low mask bits of the next random word are
+// all below value; TrueNorth's stochastic weight and leak modes compare an
+// 8-bit PRNG draw against an 8-bit magnitude, which this reproduces when
+// called as DrawMask(magnitude, 8).
+func (r *Stream) DrawMask(value uint32, bitWidth uint) bool {
+	draw := uint32(r.Uint64()) & ((1 << bitWidth) - 1)
+	return draw < value
+}
+
+// Perm fills out with a uniform permutation of [0, len(out)) using the
+// Fisher–Yates shuffle.
+func (r *Stream) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}
+
+// Shuffle applies a Fisher–Yates shuffle to n elements using swap.
+func (r *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// NormFloat64 returns a standard normal variate using the polar
+// (Marsaglia) method. Used by the synthetic connectome generator for
+// log-normal region volumes.
+func (r *Stream) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}

@@ -1,0 +1,354 @@
+package prng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference outputs for SplitMix64 from the canonical C implementation
+	// seeded with 0: the first three outputs.
+	var state uint64
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+	}
+	for i, w := range want {
+		if got := SplitMix64(&state); got != w {
+			t.Fatalf("SplitMix64 output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	a := New(12345)
+	b := New(12345)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams with equal seeds diverged at draw %d: %#x vs %#x", i, av, bv)
+		}
+	}
+}
+
+func TestStreamSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds agreed on %d of 100 draws", same)
+	}
+}
+
+func TestReseedRestartsStream(t *testing.T) {
+	s := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = s.Uint64()
+	}
+	s.Reseed(7)
+	for i := range first {
+		if got := s.Uint64(); got != first[i] {
+			t.Fatalf("after Reseed, draw %d = %#x, want %#x", i, got, first[i])
+		}
+	}
+}
+
+func TestNewCoreStreamIndependence(t *testing.T) {
+	// Streams for adjacent core IDs must not be shifted copies of each
+	// other; check the first draws differ pairwise for a block of cores.
+	seen := make(map[uint64]uint64)
+	for core := uint64(0); core < 512; core++ {
+		v := NewCoreStream(42, core).Uint64()
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("cores %d and %d share first draw %#x", prev, core, v)
+		}
+		seen[v] = core
+	}
+}
+
+func TestNewCoreStreamModelSeedMatters(t *testing.T) {
+	a := NewCoreStream(1, 9)
+	b := NewCoreStream(2, 9)
+	if a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() {
+		t.Fatal("different model seeds produced identical core streams")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(99)
+	for _, n := range []int{1, 2, 3, 7, 10, 256, 100000} {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Chi-squared smoke test over 16 buckets; threshold is generous
+	// (p ≈ 0.001 for 15 dof is 37.7).
+	s := New(2024)
+	const buckets = 16
+	const draws = 160000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[s.Uint64n(buckets)]++
+	}
+	expected := float64(draws) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 45 {
+		t.Fatalf("chi-squared = %.1f over %d buckets, distribution looks non-uniform: %v", chi2, buckets, counts)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	s := New(6)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if s.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !s.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	s := New(7)
+	const draws = 100000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if s.Bernoulli(0.25) {
+			hits++
+		}
+	}
+	rate := float64(hits) / draws
+	if math.Abs(rate-0.25) > 0.01 {
+		t.Fatalf("Bernoulli(0.25) empirical rate %.4f", rate)
+	}
+}
+
+func TestDrawMaskRate(t *testing.T) {
+	// DrawMask(v, 8) must be true with probability v/256.
+	s := New(8)
+	const draws = 100000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if s.DrawMask(64, 8) {
+			hits++
+		}
+	}
+	rate := float64(hits) / draws
+	if math.Abs(rate-0.25) > 0.01 {
+		t.Fatalf("DrawMask(64, 8) empirical rate %.4f, want 0.25", rate)
+	}
+}
+
+func TestDrawMaskZeroAndFull(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 256; i++ {
+		if s.DrawMask(0, 8) {
+			t.Fatal("DrawMask(0, 8) returned true")
+		}
+		if !s.DrawMask(256, 8) {
+			t.Fatal("DrawMask(256, 8) returned false")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(10)
+	out := make([]int, 257)
+	for trial := 0; trial < 20; trial++ {
+		s.Perm(out)
+		seen := make([]bool, len(out))
+		for _, v := range out {
+			if v < 0 || v >= len(out) || seen[v] {
+				t.Fatalf("Perm produced invalid permutation: %v", out[:16])
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	s := New(11)
+	vals := []int{1, 1, 2, 3, 5, 8, 13, 21}
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	s.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	got := 0
+	for _, v := range vals {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("Shuffle changed element sum: %d -> %d", sum, got)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(12)
+	const draws = 200000
+	var sum, sumsq float64
+	for i := 0; i < draws; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / draws
+	variance := sumsq/draws - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %.4f", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %.4f", variance)
+	}
+}
+
+// Property: Intn is always in range for arbitrary seeds and sizes.
+func TestQuickIntnInRange(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%4096) + 1
+		s := New(seed)
+		for i := 0; i < 32; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: equal seeds give equal streams; this is the foundation of the
+// simulator's decomposition invariance.
+func TestQuickStreamDeterminism(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < 16; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: core streams are insensitive to construction order.
+func TestQuickCoreStreamOrderIndependence(t *testing.T) {
+	f := func(model uint64, a, b uint32) bool {
+		s1 := NewCoreStream(model, uint64(a))
+		s2 := NewCoreStream(model, uint64(b))
+		// Rebuild in the opposite order.
+		s2b := NewCoreStream(model, uint64(b))
+		s1b := NewCoreStream(model, uint64(a))
+		return s1.Uint64() == s1b.Uint64() && s2.Uint64() == s2b.Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn256(b *testing.B) {
+	s := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += s.Intn(256)
+	}
+	_ = sink
+}
+
+func TestStateRoundtrip(t *testing.T) {
+	s := New(44)
+	for i := 0; i < 100; i++ {
+		s.Uint64()
+	}
+	saved := s.State()
+	want := make([]uint64, 32)
+	for i := range want {
+		want[i] = s.Uint64()
+	}
+	var restored Stream
+	if err := restored.SetState(saved); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		if got := restored.Uint64(); got != w {
+			t.Fatalf("restored stream diverged at draw %d: %#x vs %#x", i, got, w)
+		}
+	}
+}
+
+func TestSetStateRejectsZero(t *testing.T) {
+	var s Stream
+	if err := s.SetState([4]uint64{}); err == nil {
+		t.Fatal("all-zero state accepted")
+	}
+	if err := s.SetState([4]uint64{0, 0, 1, 0}); err != nil {
+		t.Fatalf("valid state rejected: %v", err)
+	}
+}

@@ -1,0 +1,249 @@
+// Package spikeio records, stores, and analyzes spike trains from
+// Compass simulations. The paper lists "studying TrueNorth dynamics" and
+// "hypotheses testing, verification, and iteration regarding neural
+// codes and function" among Compass's purposes; both start with getting
+// spike rasters out of the simulator and into analyses.
+//
+// The on-disk format is a compact binary stream: a "CSPK" header
+// followed by fixed 14-byte records (tick, core, axon), the same shape
+// as the simulator's spike events. Analysis helpers compute rate series,
+// per-core rates, inter-spike-interval statistics, and terminal rasters.
+package spikeio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+const (
+	magic      = "CSPK"
+	version    = 1
+	recordSize = 14 // tick u64 + core u32 + axon u16
+)
+
+// Event is one recorded spike delivery: the tick the source fired and
+// the target it addressed.
+type Event struct {
+	Tick uint64
+	Core truenorth.CoreID
+	Axon uint16
+}
+
+// Writer streams spike records to an io.Writer.
+type Writer struct {
+	bw    *bufio.Writer
+	count uint64
+	err   error
+}
+
+// NewWriter writes the stream header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], version)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{bw: bw}, nil
+}
+
+// Record appends one spike.
+func (w *Writer) Record(tick uint64, core truenorth.CoreID, axon uint16) {
+	if w.err != nil {
+		return
+	}
+	var rec [recordSize]byte
+	binary.LittleEndian.PutUint64(rec[0:], tick)
+	binary.LittleEndian.PutUint32(rec[8:], uint32(core))
+	binary.LittleEndian.PutUint16(rec[12:], axon)
+	if _, err := w.bw.Write(rec[:]); err != nil {
+		w.err = err
+		return
+	}
+	w.count++
+}
+
+// Count returns the number of spikes recorded so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush drains buffered records and reports any deferred write error.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// Read parses a spike stream, invoking fn per event.
+func Read(r io.Reader, fn func(Event) error) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return fmt.Errorf("spikeio: read header: %w", err)
+	}
+	if string(hdr[:4]) != magic {
+		return fmt.Errorf("spikeio: bad magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != version {
+		return fmt.Errorf("spikeio: unsupported version %d", v)
+	}
+	var rec [recordSize]byte
+	for {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("spikeio: read record: %w", err)
+		}
+		ev := Event{
+			Tick: binary.LittleEndian.Uint64(rec[0:]),
+			Core: truenorth.CoreID(binary.LittleEndian.Uint32(rec[8:])),
+			Axon: binary.LittleEndian.Uint16(rec[12:]),
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+}
+
+// ReadAll parses a spike stream into a slice.
+func ReadAll(r io.Reader) ([]Event, error) {
+	var out []Event
+	err := Read(r, func(ev Event) error {
+		out = append(out, ev)
+		return nil
+	})
+	return out, err
+}
+
+// RateSeries bins events by tick and returns spikes per bin over
+// [0, ticks), with binTicks ticks per bin.
+func RateSeries(events []Event, ticks int, binTicks int) ([]int, error) {
+	if ticks < 1 || binTicks < 1 {
+		return nil, fmt.Errorf("spikeio: invalid ticks=%d bin=%d", ticks, binTicks)
+	}
+	bins := (ticks + binTicks - 1) / binTicks
+	out := make([]int, bins)
+	for _, ev := range events {
+		if ev.Tick < uint64(ticks) {
+			out[int(ev.Tick)/binTicks]++
+		}
+	}
+	return out, nil
+}
+
+// PerCoreRates returns mean firing rate in hertz per core over a run of
+// the given length, assuming 1 ms ticks and CoreSize neurons per core.
+func PerCoreRates(events []Event, numCores, ticks int) ([]float64, error) {
+	if numCores < 1 || ticks < 1 {
+		return nil, fmt.Errorf("spikeio: invalid numCores=%d ticks=%d", numCores, ticks)
+	}
+	counts := make([]float64, numCores)
+	for _, ev := range events {
+		if int(ev.Core) < numCores {
+			counts[ev.Core]++
+		}
+	}
+	for i := range counts {
+		counts[i] = counts[i] / truenorth.CoreSize / float64(ticks) * 1000
+	}
+	return counts, nil
+}
+
+// ISIStats summarizes inter-spike intervals of one target (core, axon)
+// stream: count, mean, and coefficient of variation. A CV near 1
+// indicates Poisson-like irregularity; near 0, clock-like regularity.
+type ISIStats struct {
+	Intervals int
+	Mean      float64
+	CV        float64
+}
+
+// ISI computes interval statistics for the spikes addressed to one
+// (core, axon) pair.
+func ISI(events []Event, core truenorth.CoreID, axon uint16) ISIStats {
+	var ticks []uint64
+	for _, ev := range events {
+		if ev.Core == core && ev.Axon == axon {
+			ticks = append(ticks, ev.Tick)
+		}
+	}
+	sort.Slice(ticks, func(a, b int) bool { return ticks[a] < ticks[b] })
+	if len(ticks) < 2 {
+		return ISIStats{}
+	}
+	var sum, sumsq float64
+	n := 0
+	for i := 1; i < len(ticks); i++ {
+		d := float64(ticks[i] - ticks[i-1])
+		sum += d
+		sumsq += d * d
+		n++
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	st := ISIStats{Intervals: n, Mean: mean}
+	if mean > 0 {
+		st.CV = math.Sqrt(variance) / mean
+	}
+	return st
+}
+
+// Raster renders an ASCII raster: one row per core (up to maxRows), one
+// column per time bin, '.' for silence and increasingly dense glyphs for
+// activity.
+func Raster(events []Event, numCores, ticks, binTicks, maxRows int) (string, error) {
+	if numCores < 1 || ticks < 1 || binTicks < 1 || maxRows < 1 {
+		return "", fmt.Errorf("spikeio: invalid raster geometry")
+	}
+	rows := numCores
+	if rows > maxRows {
+		rows = maxRows
+	}
+	bins := (ticks + binTicks - 1) / binTicks
+	grid := make([][]int, rows)
+	for i := range grid {
+		grid[i] = make([]int, bins)
+	}
+	peak := 0
+	for _, ev := range events {
+		if int(ev.Core) >= rows || ev.Tick >= uint64(ticks) {
+			continue
+		}
+		c := &grid[ev.Core][int(ev.Tick)/binTicks]
+		*c++
+		if *c > peak {
+			peak = *c
+		}
+	}
+	glyphs := []byte{'.', ':', '+', '*', '#'}
+	var sb strings.Builder
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&sb, "core %3d |", i)
+		for _, c := range grid[i] {
+			g := 0
+			if peak > 0 && c > 0 {
+				g = 1 + c*(len(glyphs)-2)/peak
+				if g >= len(glyphs) {
+					g = len(glyphs) - 1
+				}
+			}
+			sb.WriteByte(glyphs[g])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,273 @@
+package spikeio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+func TestRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Tick: 0, Core: 0, Axon: 0},
+		{Tick: 5, Core: 3, Axon: 255},
+		{Tick: 1 << 40, Core: 1 << 20, Axon: 17},
+	}
+	for _, ev := range want {
+		w.Record(ev.Tick, ev.Core, ev.Axon)
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQuickRoundtrip(t *testing.T) {
+	f := func(ticks []uint32, core uint16, axon uint8) bool {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, tk := range ticks {
+			w.Record(uint64(tk), truenorth.CoreID(core), uint16(axon))
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		got, err := ReadAll(&buf)
+		if err != nil || len(got) != len(ticks) {
+			return false
+		}
+		for i, tk := range ticks {
+			if got[i].Tick != uint64(tk) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Record(1, 2, 3)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	bad := append([]byte{}, data...)
+	bad[0] = 'X'
+	if _, err := ReadAll(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+
+	bad = append([]byte{}, data...)
+	bad[4] = 9
+	if _, err := ReadAll(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+
+	// Truncated mid-record.
+	if _, err := ReadAll(bytes.NewReader(data[:len(data)-3])); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+
+	if _, err := ReadAll(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestRateSeries(t *testing.T) {
+	events := []Event{
+		{Tick: 0}, {Tick: 1}, {Tick: 9},
+		{Tick: 10}, {Tick: 25},
+		{Tick: 99}, {Tick: 200}, // out of range
+	}
+	series, err := RateSeries(events, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 10 {
+		t.Fatalf("series length %d", len(series))
+	}
+	if series[0] != 3 || series[1] != 1 || series[2] != 1 || series[9] != 1 {
+		t.Fatalf("series %v", series)
+	}
+	if _, err := RateSeries(events, 0, 1); err == nil {
+		t.Fatal("zero ticks accepted")
+	}
+}
+
+func TestPerCoreRates(t *testing.T) {
+	// Core 0 receives 256 spikes over 1000 ticks: 256/(256 neurons)/1s = 1 Hz.
+	var events []Event
+	for i := 0; i < 256; i++ {
+		events = append(events, Event{Tick: uint64(i), Core: 0})
+	}
+	rates, err := PerCoreRates(events, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rates[0]-1.0) > 1e-9 || rates[1] != 0 {
+		t.Fatalf("rates %v", rates)
+	}
+}
+
+func TestISI(t *testing.T) {
+	// Clock-like stream: period 10, CV 0.
+	var events []Event
+	for i := 0; i < 20; i++ {
+		events = append(events, Event{Tick: uint64(i * 10), Core: 1, Axon: 5})
+	}
+	// Noise on another target must not interfere.
+	events = append(events, Event{Tick: 3, Core: 1, Axon: 6}, Event{Tick: 4, Core: 2, Axon: 5})
+	st := ISI(events, 1, 5)
+	if st.Intervals != 19 || math.Abs(st.Mean-10) > 1e-9 || st.CV > 1e-9 {
+		t.Fatalf("ISI stats %+v", st)
+	}
+	// Degenerate streams.
+	if st := ISI(events, 9, 9); st.Intervals != 0 {
+		t.Fatalf("empty stream stats %+v", st)
+	}
+}
+
+func TestISIIrregular(t *testing.T) {
+	events := []Event{
+		{Tick: 0, Core: 0, Axon: 0}, {Tick: 1, Core: 0, Axon: 0},
+		{Tick: 20, Core: 0, Axon: 0}, {Tick: 21, Core: 0, Axon: 0},
+	}
+	st := ISI(events, 0, 0)
+	if st.CV < 0.5 {
+		t.Fatalf("irregular stream CV %.3f too low", st.CV)
+	}
+}
+
+func TestRaster(t *testing.T) {
+	events := []Event{
+		{Tick: 0, Core: 0}, {Tick: 0, Core: 0}, {Tick: 0, Core: 0},
+		{Tick: 50, Core: 1},
+	}
+	out, err := Raster(events, 2, 100, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("raster lines: %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "#") {
+		t.Fatalf("peak bin not dense: %q", lines[0])
+	}
+	if strings.Count(lines[1], ".") != 9 {
+		t.Fatalf("row 1 wrong: %q", lines[1])
+	}
+	if _, err := Raster(events, 0, 100, 10, 8); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+}
+
+// TestRecordFromSimulation wires the recorder to a live simulation.
+func TestRecordFromSimulation(t *testing.T) {
+	m := &truenorth.Model{Seed: 3}
+	cfg := &truenorth.CoreConfig{ID: 0}
+	cfg.Neurons[0] = truenorth.NeuronParams{
+		Weights:   [truenorth.NumAxonTypes]int16{1, 1, 1, 1},
+		Leak:      1,
+		Threshold: 5,
+		Floor:     0,
+		Target:    truenorth.SpikeTarget{Core: 0, Axon: 7, Delay: 1},
+		Enabled:   true,
+	}
+	m.Cores = append(m.Cores, cfg)
+	sim, err := truenorth.NewSerialSim(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.OnSpike = func(tick uint64, s truenorth.Spike) {
+		w.Record(tick, s.Target.Core, s.Target.Axon)
+	}
+	if err := sim.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Period-5 oscillator over 50 ticks: 10 spikes, clock-like ISI.
+	if len(events) != 10 {
+		t.Fatalf("recorded %d events, want 10", len(events))
+	}
+	st := ISI(events, 0, 7)
+	if st.CV > 1e-9 || math.Abs(st.Mean-5) > 1e-9 {
+		t.Fatalf("oscillator ISI %+v", st)
+	}
+}
+
+func BenchmarkWriterRecord(b *testing.B) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(recordSize)
+	for i := 0; i < b.N; i++ {
+		w.Record(uint64(i), truenorth.CoreID(i%256), uint16(i%256))
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkReadAll(b *testing.B) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 10000; i++ {
+		w.Record(uint64(i), truenorth.CoreID(i%64), uint16(i%256))
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadAll(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package torus models the torus interconnects of the Blue Gene
+// machines Compass ran on: the 5-D torus of Blue Gene/Q (10 bidirectional
+// 2 GB/s links per node, §VI-A) and the 3-D torus of Blue Gene/P. The
+// performance model uses it for hop distances, network diameter, average
+// routing distance, and bisection width when projecting communication
+// times.
+package torus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Topology is an N-dimensional torus of nodes.
+type Topology struct {
+	// Dims holds the extent of each torus dimension; the node count is
+	// their product.
+	Dims []int
+}
+
+// New builds a torus with the given dimensions.
+func New(dims ...int) (*Topology, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("torus: no dimensions")
+	}
+	for _, d := range dims {
+		if d < 1 {
+			return nil, fmt.Errorf("torus: dimension %d < 1", d)
+		}
+	}
+	out := &Topology{Dims: append([]int(nil), dims...)}
+	return out, nil
+}
+
+// Balanced builds an approximately cubic torus of the given
+// dimensionality containing at least nodes nodes (exactly nodes when
+// nodes factors appropriately). It greedily splits the node count into
+// near-equal factors, which matches how Blue Gene partitions are shaped.
+func Balanced(nodes, dims int) (*Topology, error) {
+	if nodes < 1 || dims < 1 {
+		return nil, fmt.Errorf("torus: invalid nodes=%d dims=%d", nodes, dims)
+	}
+	out := make([]int, dims)
+	for i := range out {
+		out[i] = 1
+	}
+	remaining := nodes
+	// Peel prime factors largest-first onto the currently smallest dim.
+	for _, p := range primeFactors(remaining) {
+		small := 0
+		for i := range out {
+			if out[i] < out[small] {
+				small = i
+			}
+		}
+		out[small] *= p
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return New(out...)
+}
+
+// primeFactors returns the prime factorization of n, descending.
+func primeFactors(n int) []int {
+	var out []int
+	for p := 2; p*p <= n; p++ {
+		for n%p == 0 {
+			out = append(out, p)
+			n /= p
+		}
+	}
+	if n > 1 {
+		out = append(out, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// Nodes returns the total node count.
+func (t *Topology) Nodes() int {
+	n := 1
+	for _, d := range t.Dims {
+		n *= d
+	}
+	return n
+}
+
+// Coord converts a node rank (0..Nodes-1) into torus coordinates.
+func (t *Topology) Coord(rank int) []int {
+	out := make([]int, len(t.Dims))
+	for i := len(t.Dims) - 1; i >= 0; i-- {
+		out[i] = rank % t.Dims[i]
+		rank /= t.Dims[i]
+	}
+	return out
+}
+
+// Rank converts torus coordinates back into a node rank.
+func (t *Topology) Rank(coord []int) int {
+	r := 0
+	for i, c := range coord {
+		r = r*t.Dims[i] + c
+	}
+	return r
+}
+
+// HopDistance returns the minimal hop count between two ranks with
+// wraparound in every dimension.
+func (t *Topology) HopDistance(a, b int) int {
+	ca, cb := t.Coord(a), t.Coord(b)
+	hops := 0
+	for i := range t.Dims {
+		d := ca[i] - cb[i]
+		if d < 0 {
+			d = -d
+		}
+		if w := t.Dims[i] - d; w < d {
+			d = w
+		}
+		hops += d
+	}
+	return hops
+}
+
+// Diameter returns the maximum hop distance between any two nodes:
+// sum of floor(dim/2).
+func (t *Topology) Diameter() int {
+	d := 0
+	for _, dim := range t.Dims {
+		d += dim / 2
+	}
+	return d
+}
+
+// AvgDistance returns the exact mean hop distance between two uniformly
+// random nodes: per dimension the mean wraparound distance, summed.
+func (t *Topology) AvgDistance() float64 {
+	total := 0.0
+	for _, dim := range t.Dims {
+		// Mean circular distance on a ring of size n:
+		// (1/n)·sum_{d=0}^{n-1} min(d, n-d) = n/4 for even n,
+		// (n²-1)/(4n) for odd n.
+		n := float64(dim)
+		if dim%2 == 0 {
+			total += n / 4
+		} else {
+			total += (n*n - 1) / (4 * n)
+		}
+	}
+	return total
+}
+
+// BisectionLinks returns the number of links crossing the smallest
+// bisection of the torus: cutting the largest dimension in half crosses
+// 2×(nodes/largestDim) links (two cut planes from wraparound).
+func (t *Topology) BisectionLinks() int {
+	if t.Nodes() == 1 {
+		return 0
+	}
+	largest := t.Dims[0]
+	for _, d := range t.Dims {
+		if d > largest {
+			largest = d
+		}
+	}
+	if largest == 1 {
+		return 0
+	}
+	return 2 * t.Nodes() / largest
+}
+
+// LinksPerNode returns the number of bidirectional links per node
+// (2 per torus dimension with extent > 1; a dimension of extent 2 still
+// has two distinct links in Blue Gene hardware).
+func (t *Topology) LinksPerNode() int {
+	n := 0
+	for _, d := range t.Dims {
+		if d > 1 {
+			n += 2
+		}
+	}
+	return n
+}
+
+// BGQDims returns the canonical 5-D torus shape of an n-rack Blue Gene/Q
+// system (1024 nodes per rack); shapes follow the machine's A×B×C×D×E
+// partitioning with E fixed at 2.
+func BGQDims(racks int) ([]int, error) {
+	shapes := map[int][]int{
+		1:  {4, 4, 4, 8, 2},
+		2:  {4, 4, 8, 8, 2},
+		4:  {4, 8, 8, 8, 2},
+		8:  {8, 8, 8, 8, 2},
+		16: {8, 8, 16, 8, 2},
+	}
+	if s, ok := shapes[racks]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("torus: no canonical BG/Q shape for %d racks", racks)
+}
+
+// BGPDims returns the 3-D torus shape of an n-rack Blue Gene/P system
+// (1024 nodes per rack).
+func BGPDims(racks int) ([]int, error) {
+	shapes := map[int][]int{
+		1: {8, 8, 16},
+		2: {8, 16, 16},
+		4: {16, 16, 16},
+	}
+	if s, ok := shapes[racks]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("torus: no canonical BG/P shape for %d racks", racks)
+}

@@ -1,0 +1,191 @@
+package torus
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Fatal("empty dims accepted")
+	}
+	if _, err := New(4, 0); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+	tp, err := New(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Nodes() != 32 {
+		t.Fatalf("Nodes = %d", tp.Nodes())
+	}
+}
+
+func TestBalancedExactFactorization(t *testing.T) {
+	for _, nodes := range []int{1, 2, 8, 64, 1024, 16384} {
+		tp, err := Balanced(nodes, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tp.Nodes() != nodes {
+			t.Fatalf("Balanced(%d, 5) has %d nodes", nodes, tp.Nodes())
+		}
+		if len(tp.Dims) != 5 {
+			t.Fatalf("Balanced(%d, 5) has %d dims", nodes, len(tp.Dims))
+		}
+	}
+}
+
+func TestBalancedShapeIsCompact(t *testing.T) {
+	tp, err := Balanced(1024, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1024 = 2^10 over 5 dims: perfect shape is 4×4×4×4×4.
+	for _, d := range tp.Dims {
+		if d != 4 {
+			t.Fatalf("Balanced(1024, 5) dims %v, want all 4", tp.Dims)
+		}
+	}
+}
+
+func TestCoordRankRoundtrip(t *testing.T) {
+	tp, err := New(3, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < tp.Nodes(); r++ {
+		if got := tp.Rank(tp.Coord(r)); got != r {
+			t.Fatalf("roundtrip rank %d -> %v -> %d", r, tp.Coord(r), got)
+		}
+	}
+}
+
+func TestQuickCoordRankRoundtrip(t *testing.T) {
+	f := func(a, b, c uint8, rRaw uint16) bool {
+		dims := []int{int(a%6) + 1, int(b%6) + 1, int(c%6) + 1}
+		tp, err := New(dims...)
+		if err != nil {
+			return false
+		}
+		r := int(rRaw) % tp.Nodes()
+		return tp.Rank(tp.Coord(r)) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopDistanceWraparound(t *testing.T) {
+	tp, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tp.HopDistance(0, 7); d != 1 {
+		t.Fatalf("ring wraparound distance = %d, want 1", d)
+	}
+	if d := tp.HopDistance(0, 4); d != 4 {
+		t.Fatalf("antipodal distance = %d, want 4", d)
+	}
+	if d := tp.HopDistance(3, 3); d != 0 {
+		t.Fatalf("self distance = %d", d)
+	}
+}
+
+func TestHopDistanceSymmetric(t *testing.T) {
+	tp, err := New(4, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < tp.Nodes(); a++ {
+		for b := 0; b < tp.Nodes(); b++ {
+			if tp.HopDistance(a, b) != tp.HopDistance(b, a) {
+				t.Fatalf("asymmetric distance between %d and %d", a, b)
+			}
+			if tp.HopDistance(a, b) > tp.Diameter() {
+				t.Fatalf("distance %d exceeds diameter %d", tp.HopDistance(a, b), tp.Diameter())
+			}
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	tp, _ := New(8, 8, 16)
+	if d := tp.Diameter(); d != 4+4+8 {
+		t.Fatalf("Diameter = %d, want 16", d)
+	}
+}
+
+func TestAvgDistanceMatchesExhaustive(t *testing.T) {
+	tp, _ := New(4, 5, 2)
+	sum := 0
+	n := tp.Nodes()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			sum += tp.HopDistance(a, b)
+		}
+	}
+	exact := float64(sum) / float64(n*n)
+	if math.Abs(tp.AvgDistance()-exact) > 1e-12 {
+		t.Fatalf("AvgDistance = %v, exhaustive %v", tp.AvgDistance(), exact)
+	}
+}
+
+func TestBisectionLinks(t *testing.T) {
+	tp, _ := New(8, 8, 16)
+	// Largest dim 16: bisection = 2 × 1024/16 = 128 links.
+	if got := tp.BisectionLinks(); got != 128 {
+		t.Fatalf("BisectionLinks = %d, want 128", got)
+	}
+	single, _ := New(1)
+	if single.BisectionLinks() != 0 {
+		t.Fatal("single node has a bisection")
+	}
+}
+
+func TestLinksPerNode(t *testing.T) {
+	bgq, _ := New(4, 4, 4, 8, 2)
+	if got := bgq.LinksPerNode(); got != 10 {
+		t.Fatalf("BG/Q links per node = %d, want 10", got)
+	}
+	bgp, _ := New(8, 8, 16)
+	if got := bgp.LinksPerNode(); got != 6 {
+		t.Fatalf("BG/P links per node = %d, want 6", got)
+	}
+}
+
+func TestCanonicalShapes(t *testing.T) {
+	for racks, wantNodes := range map[int]int{1: 1024, 2: 2048, 4: 4096, 8: 8192, 16: 16384} {
+		dims, err := BGQDims(racks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp, _ := New(dims...)
+		if tp.Nodes() != wantNodes {
+			t.Fatalf("BGQ %d racks: %d nodes, want %d", racks, tp.Nodes(), wantNodes)
+		}
+		if len(dims) != 5 {
+			t.Fatalf("BGQ shape must be 5-D, got %v", dims)
+		}
+	}
+	for racks, wantNodes := range map[int]int{1: 1024, 2: 2048, 4: 4096} {
+		dims, err := BGPDims(racks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp, _ := New(dims...)
+		if tp.Nodes() != wantNodes {
+			t.Fatalf("BGP %d racks: %d nodes, want %d", racks, tp.Nodes(), wantNodes)
+		}
+		if len(dims) != 3 {
+			t.Fatalf("BGP shape must be 3-D, got %v", dims)
+		}
+	}
+	if _, err := BGQDims(3); err == nil {
+		t.Fatal("non-canonical rack count accepted")
+	}
+	if _, err := BGPDims(16); err == nil {
+		t.Fatal("non-canonical BG/P rack count accepted")
+	}
+}

@@ -1,0 +1,204 @@
+package truenorth
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The conformance suite enumerates TrueNorth's single-neuron behaviour
+// matrix as table-driven scenarios: one axon spike volley into one
+// neuron under every combination of weight sign, leak sign, floor
+// interaction, threshold edge, and axonal delay bound. Compass is "the
+// key contract between hardware architects and software designers"
+// (§II); this file is the executable form of that contract at the
+// single-neuron level. Each scenario states the membrane trajectory it
+// expects, tick by tick.
+
+type confCase struct {
+	name string
+	// configuration
+	weight    int16
+	axonType  uint8
+	leak      int16
+	threshold int32
+	reset     int32
+	floor     int32
+	// spikesAt lists ticks at which the input axon receives a spike.
+	spikesAt []uint64
+	// run length and expectations
+	ticks     int
+	wantFires []uint64 // ticks at which the neuron must fire
+	wantFinal int32    // membrane potential after the run
+}
+
+func runConformance(t *testing.T, tc confCase) {
+	t.Helper()
+	cfg := &CoreConfig{ID: 0}
+	cfg.AxonTypes[0] = tc.axonType
+	cfg.SetSynapse(0, 0, true)
+	var w [NumAxonTypes]int16
+	w[tc.axonType] = tc.weight
+	cfg.Neurons[0] = NeuronParams{
+		Weights:   w,
+		Leak:      tc.leak,
+		Threshold: tc.threshold,
+		Reset:     tc.reset,
+		Floor:     tc.floor,
+		Target:    SpikeTarget{Core: 0, Axon: 255, Delay: 1}, // axon 255 has an empty row
+		Enabled:   true,
+	}
+	m := &Model{Seed: 1, Cores: []*CoreConfig{cfg}}
+	for _, tk := range tc.spikesAt {
+		m.Inputs = append(m.Inputs, InputSpike{Tick: tk, Core: 0, Axon: 0})
+	}
+	sim, err := NewSerialSim(m)
+	if err != nil {
+		t.Fatalf("%s: %v", tc.name, err)
+	}
+	var fires []uint64
+	sim.OnSpike = func(tick uint64, s Spike) { fires = append(fires, tick) }
+	if err := sim.Run(tc.ticks); err != nil {
+		t.Fatalf("%s: %v", tc.name, err)
+	}
+	if fmt.Sprint(fires) != fmt.Sprint(tc.wantFires) {
+		t.Fatalf("%s: fired at %v, want %v", tc.name, fires, tc.wantFires)
+	}
+	if got := sim.Core(0).Potential(0); got != tc.wantFinal {
+		t.Fatalf("%s: final potential %d, want %d", tc.name, got, tc.wantFinal)
+	}
+}
+
+func TestConformanceSingleNeuron(t *testing.T) {
+	cases := []confCase{
+		{
+			name:   "excitatory spike below threshold accumulates",
+			weight: 3, threshold: 10, floor: -100,
+			spikesAt: []uint64{0, 2}, ticks: 5,
+			wantFires: nil, wantFinal: 6,
+		},
+		{
+			name:   "threshold is inclusive (V >= alpha fires)",
+			weight: 5, threshold: 10, floor: -100,
+			spikesAt: []uint64{0, 1}, ticks: 3,
+			wantFires: []uint64{1}, wantFinal: 0,
+		},
+		{
+			name:   "reset value honored after firing",
+			weight: 10, threshold: 10, reset: -3, floor: -100,
+			spikesAt: []uint64{0}, ticks: 2,
+			wantFires: []uint64{0}, wantFinal: -3,
+		},
+		{
+			name:   "inhibitory weight drives toward floor",
+			weight: -4, axonType: 3, threshold: 10, floor: -6,
+			spikesAt: []uint64{0, 1, 2}, ticks: 4,
+			wantFires: nil, wantFinal: -6,
+		},
+		{
+			name:   "positive leak fires periodically without input",
+			weight: 0, leak: 2, threshold: 6, floor: 0,
+			ticks:     9, // fires when V reaches 6: ticks 2, 5, 8
+			wantFires: []uint64{2, 5, 8}, wantFinal: 0,
+		},
+		{
+			name:   "negative leak decays potential to floor",
+			weight: 8, leak: -3, threshold: 100, floor: 0,
+			spikesAt: []uint64{0}, ticks: 4,
+			// t0: +8-3=5, t1: 2, t2: 0 (floored at -1->0), t3: 0
+			wantFires: nil, wantFinal: 0,
+		},
+		{
+			name:   "integration precedes leak precedes threshold",
+			weight: 10, leak: -4, threshold: 6, floor: 0,
+			spikesAt: []uint64{3}, ticks: 5,
+			// t3: +10 -4 = 6 >= 6 -> fires at t3 exactly.
+			wantFires: []uint64{3}, wantFinal: 0,
+		},
+		{
+			name:   "same-tick spikes on one axon merge (binary buffer)",
+			weight: 4, threshold: 100, floor: 0,
+			spikesAt: []uint64{2, 2, 2}, ticks: 4,
+			wantFires: nil, wantFinal: 4, // one merged delivery, not three
+		},
+		{
+			name:   "zero weight leaves membrane untouched",
+			weight: 0, threshold: 5, floor: 0,
+			spikesAt: []uint64{0, 1, 2}, ticks: 4,
+			wantFires: nil, wantFinal: 0,
+		},
+	}
+	for _, tc := range cases {
+		runConformance(t, tc)
+	}
+}
+
+// TestConformanceDelays pins the delay semantics: a spike sent at tick t
+// with delay d is integrated during the Synapse phase of tick t+d, for
+// every legal d.
+func TestConformanceDelays(t *testing.T) {
+	for d := uint8(1); d <= MaxDelay; d++ {
+		cfg := &CoreConfig{ID: 0}
+		// Neuron 0 relays the input; neuron 1 records arrival.
+		cfg.SetSynapse(0, 0, true)
+		cfg.SetSynapse(1, 1, true)
+		cfg.Neurons[0] = NeuronParams{
+			Weights: [NumAxonTypes]int16{1, 1, 1, 1}, Threshold: 1, Floor: 0,
+			Target: SpikeTarget{Core: 0, Axon: 1, Delay: d}, Enabled: true,
+		}
+		cfg.Neurons[1] = NeuronParams{
+			Weights: [NumAxonTypes]int16{1, 1, 1, 1}, Threshold: 1, Floor: 0,
+			Target: SpikeTarget{Core: 0, Axon: 255, Delay: 1}, Enabled: true,
+		}
+		m := &Model{Seed: 1, Cores: []*CoreConfig{cfg}}
+		m.Inputs = []InputSpike{{Tick: 0, Core: 0, Axon: 0}}
+		sim, err := NewSerialSim(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var arrival []uint64
+		sim.OnSpike = func(tick uint64, s Spike) {
+			if s.Target.Axon == 255 {
+				arrival = append(arrival, tick)
+			}
+		}
+		if err := sim.Run(int(d) + 3); err != nil {
+			t.Fatal(err)
+		}
+		if len(arrival) != 1 || arrival[0] != uint64(d) {
+			t.Fatalf("delay %d: downstream fired at %v, want [%d]", d, arrival, d)
+		}
+	}
+}
+
+// TestConformanceAxonTypes pins that the weight applied is selected by
+// the axon's type, per axon, for all four types.
+func TestConformanceAxonTypes(t *testing.T) {
+	weights := [NumAxonTypes]int16{1, 10, 100, -50}
+	cfg := &CoreConfig{ID: 0}
+	for at := 0; at < NumAxonTypes; at++ {
+		cfg.AxonTypes[at] = uint8(at)
+		cfg.SetSynapse(at, 0, true)
+	}
+	cfg.Neurons[0] = NeuronParams{
+		Weights: weights, Threshold: 1 << 30, Floor: -1 << 20,
+		Target: SpikeTarget{Core: 0, Axon: 255, Delay: 1}, Enabled: true,
+	}
+	m := &Model{Seed: 1, Cores: []*CoreConfig{cfg}}
+	for at := 0; at < NumAxonTypes; at++ {
+		m.Inputs = append(m.Inputs, InputSpike{Tick: uint64(at), Core: 0, Axon: uint16(at)})
+	}
+	sim, err := NewSerialSim(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int32(0)
+	for at := 0; at < NumAxonTypes; at++ {
+		if err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+		want += int32(weights[at])
+		if got := sim.Core(0).Potential(0); got != want {
+			t.Fatalf("after axon type %d: potential %d, want %d", at, got, want)
+		}
+	}
+}

@@ -1,0 +1,405 @@
+// Package truenorth models the TrueNorth neurosynaptic core architecture
+// that Compass simulates.
+//
+// TrueNorth is a non-von Neumann architecture built from neurosynaptic
+// cores. Each core contains 256 axons (inputs), a 256×256 binary synaptic
+// crossbar, and 256 digital integrate-leak-and-fire neurons. A buffer in
+// front of every axon holds incoming spikes until their axonal delay has
+// elapsed. Cores advance in 1 ms ticks of a slow 1000 Hz clock: during a
+// tick a core first propagates every pending axon spike across its
+// crossbar row into the connected neurons (Synapse phase), then each
+// neuron integrates, leaks, and fires (Neuron phase), and finally every
+// emitted spike travels the inter-core network to the axon buffer of its
+// single target axon (Network phase). Synaptic and neuronal state never
+// leave a core; only spikes do.
+//
+// This package is purely the architecture: core state, configuration, and
+// single-core tick semantics. The parallel simulator that partitions
+// cores over ranks and threads lives in internal/compass; the compiler
+// that produces core configurations lives in internal/pcc.
+package truenorth
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"github.com/cognitive-sim/compass/internal/prng"
+)
+
+const (
+	// CoreSize is the number of axons and the number of neurons in a
+	// neurosynaptic core; the crossbar is CoreSize×CoreSize.
+	CoreSize = 256
+
+	// NumAxonTypes is the number of distinct axon types; each neuron holds
+	// one signed synaptic weight per axon type.
+	NumAxonTypes = 4
+
+	// MaxDelay is the largest axonal delay, in ticks, an axon buffer can
+	// hold. Delays are in [1, MaxDelay]; the buffer is a ring of
+	// MaxDelay+1 slots indexed by tick modulo the window.
+	MaxDelay = 15
+
+	// delayWindow is the ring size of an axon buffer.
+	delayWindow = MaxDelay + 1
+
+	// crossbarWords is the number of 64-bit words per crossbar row.
+	crossbarWords = CoreSize / 64
+
+	// SpikeWireBytes is the modelled size of one spike on the inter-core
+	// network; the paper accounts 20 bytes per spike when computing
+	// aggregate bandwidth (§VI-B).
+	SpikeWireBytes = 20
+)
+
+// CoreID identifies a core globally within a model.
+type CoreID uint32
+
+// SpikeTarget is the destination of a neuron's output: one axon on one
+// core, reached after Delay ticks (1 ≤ Delay ≤ MaxDelay).
+type SpikeTarget struct {
+	Core  CoreID
+	Axon  uint16
+	Delay uint8
+}
+
+// Spike is a spike in flight on the inter-core network during the tick in
+// which its source neuron fired.
+type Spike struct {
+	Target SpikeTarget
+}
+
+// NeuronParams configures one digital integrate-leak-and-fire neuron.
+// The dynamics per tick are:
+//
+//	for each axon i with a pending spike and crossbar bit (i,j) set:
+//	    V += Weights[AxonType[i]]            (deterministic mode)
+//	    V += sign(w)·[draw8 < |w|]           (stochastic mode)
+//	V += Leak, or sign(Leak)·[draw8 < |Leak|] if StochasticLeak
+//	if V < Floor: V = Floor
+//	if V >= Threshold: fire; V = Reset
+//
+// All stochastic draws come from the owning core's deterministic PRNG in
+// a fixed order, so behaviour is exactly reproducible for a given model
+// seed regardless of how cores are partitioned across ranks and threads.
+type NeuronParams struct {
+	// Weights holds one signed synaptic weight per axon type.
+	Weights [NumAxonTypes]int16
+	// StochasticWeight selects, per axon type, stochastic integration: the
+	// membrane moves by ±1 with probability |weight|/256.
+	StochasticWeight [NumAxonTypes]bool
+	// Leak is added to the membrane potential every tick (signed).
+	Leak int16
+	// StochasticLeak applies the leak as ±1 with probability |Leak|/256.
+	StochasticLeak bool
+	// Threshold is the firing threshold; the neuron fires when V >=
+	// Threshold at the end of the Neuron phase. Must be >= 1 for an
+	// enabled neuron.
+	Threshold int32
+	// Reset is the membrane potential assigned after a spike.
+	Reset int32
+	// Floor is the lower bound on the membrane potential.
+	Floor int32
+	// Target is the core/axon/delay this neuron's spikes are sent to.
+	Target SpikeTarget
+	// Enabled gates the neuron; disabled neurons never integrate or fire.
+	Enabled bool
+}
+
+// Validate reports whether the parameters are self-consistent.
+func (p *NeuronParams) Validate() error {
+	if !p.Enabled {
+		return nil
+	}
+	if p.Threshold < 1 {
+		return fmt.Errorf("truenorth: enabled neuron has threshold %d < 1", p.Threshold)
+	}
+	if p.Floor > p.Reset {
+		return fmt.Errorf("truenorth: floor %d above reset %d", p.Floor, p.Reset)
+	}
+	if int(p.Target.Axon) >= CoreSize {
+		return fmt.Errorf("truenorth: target axon %d out of range", p.Target.Axon)
+	}
+	if p.Target.Delay < 1 || p.Target.Delay > MaxDelay {
+		return fmt.Errorf("truenorth: target delay %d outside [1,%d]", p.Target.Delay, MaxDelay)
+	}
+	return nil
+}
+
+// CoreConfig is the pure-data configuration of one core: everything the
+// Parallel Compass Compiler produces and the simulator instantiates. The
+// crossbar is stored as CoreSize rows of CoreSize bits; row i bit j set
+// means axon i drives neuron j.
+type CoreConfig struct {
+	ID        CoreID
+	Crossbar  [CoreSize][crossbarWords]uint64
+	AxonTypes [CoreSize]uint8
+	Neurons   [CoreSize]NeuronParams
+}
+
+// SetSynapse sets or clears crossbar bit (axon, neuron).
+func (c *CoreConfig) SetSynapse(axon, neuron int, on bool) {
+	w, b := neuron/64, uint(neuron%64)
+	if on {
+		c.Crossbar[axon][w] |= 1 << b
+	} else {
+		c.Crossbar[axon][w] &^= 1 << b
+	}
+}
+
+// Synapse reports crossbar bit (axon, neuron).
+func (c *CoreConfig) Synapse(axon, neuron int) bool {
+	return c.Crossbar[axon][neuron/64]>>(uint(neuron%64))&1 == 1
+}
+
+// SynapseCount returns the number of set crossbar bits.
+func (c *CoreConfig) SynapseCount() int {
+	n := 0
+	for i := range c.Crossbar {
+		for _, w := range c.Crossbar[i] {
+			n += bits.OnesCount64(w)
+		}
+	}
+	return n
+}
+
+// Validate checks every neuron and axon type in the configuration.
+func (c *CoreConfig) Validate() error {
+	for i, t := range c.AxonTypes {
+		if int(t) >= NumAxonTypes {
+			return fmt.Errorf("truenorth: core %d axon %d has type %d >= %d", c.ID, i, t, NumAxonTypes)
+		}
+	}
+	for j := range c.Neurons {
+		if err := c.Neurons[j].Validate(); err != nil {
+			return fmt.Errorf("core %d neuron %d: %w", c.ID, j, err)
+		}
+	}
+	return nil
+}
+
+// Core is the live simulation state of one neurosynaptic core.
+type Core struct {
+	cfg *CoreConfig
+
+	// potential holds the membrane potential of every neuron.
+	potential [CoreSize]int32
+
+	// axonBuf is the delay ring: axonBuf[i] bit (t mod delayWindow) set
+	// means axon i has a spike scheduled for delivery at tick t. Only the
+	// low delayWindow bits are used; the element type is uint32 so the
+	// parallel simulator's delivery threads can set bits with atomic OR.
+	axonBuf [CoreSize]uint32
+
+	// rng is this core's private deterministic random stream.
+	rng *prng.Stream
+
+	// Statistics, maintained across ticks.
+	synapticEvents uint64 // crossbar deliveries into neurons
+	axonEvents     uint64 // axons with a pending spike processed
+	firings        uint64 // spikes emitted by neurons
+}
+
+// NewCore instantiates live state for cfg. The core's random stream is
+// derived from (modelSeed, cfg.ID) so results do not depend on placement.
+func NewCore(cfg *CoreConfig, modelSeed uint64) *Core {
+	return &Core{
+		cfg: cfg,
+		rng: prng.NewCoreStream(modelSeed, uint64(cfg.ID)),
+	}
+}
+
+// ID returns the core's global ID.
+func (c *Core) ID() CoreID { return c.cfg.ID }
+
+// Config returns the core's configuration.
+func (c *Core) Config() *CoreConfig { return c.cfg }
+
+// Potential returns neuron j's membrane potential.
+func (c *Core) Potential(j int) int32 { return c.potential[j] }
+
+// SetPotential sets neuron j's membrane potential (used for tests and for
+// initializing biased populations).
+func (c *Core) SetPotential(j int, v int32) { c.potential[j] = v }
+
+// Stats returns cumulative (axon events, synaptic events, firings).
+func (c *Core) Stats() (axonEvents, synapticEvents, firings uint64) {
+	return c.axonEvents, c.synapticEvents, c.firings
+}
+
+// ScheduleSpike schedules a spike for delivery to axon at deliverTick.
+// now is the current tick; the delay deliverTick-now must lie in
+// [1, MaxDelay] or the spike would collide with the ring's live window.
+func (c *Core) ScheduleSpike(axon int, deliverTick, now uint64) error {
+	if axon < 0 || axon >= CoreSize {
+		return fmt.Errorf("truenorth: axon %d out of range", axon)
+	}
+	if deliverTick <= now || deliverTick-now > MaxDelay {
+		return fmt.Errorf("truenorth: delivery tick %d outside (%d, %d]", deliverTick, now, now+MaxDelay)
+	}
+	c.axonBuf[axon] |= 1 << (deliverTick % delayWindow)
+	return nil
+}
+
+// ScheduleSpikeShared is ScheduleSpike with an atomic read-modify-write,
+// safe for concurrent use by multiple delivery threads during the
+// simulator's Network phase. Spike delivery is a commutative OR, so
+// delivery order never affects results.
+func (c *Core) ScheduleSpikeShared(axon int, deliverTick, now uint64) error {
+	if axon < 0 || axon >= CoreSize {
+		return fmt.Errorf("truenorth: axon %d out of range", axon)
+	}
+	if deliverTick <= now || deliverTick-now > MaxDelay {
+		return fmt.Errorf("truenorth: delivery tick %d outside (%d, %d]", deliverTick, now, now+MaxDelay)
+	}
+	atomic.OrUint32(&c.axonBuf[axon], 1<<(deliverTick%delayWindow))
+	return nil
+}
+
+// InjectRaw schedules a spike for delivery at tick t without the delay
+// window check relative to a current tick; callers (the simulators'
+// external-input paths) must only use it for t within the live window.
+func (c *Core) InjectRaw(axon int, t uint64) {
+	c.axonBuf[axon] |= 1 << (t % delayWindow)
+}
+
+// PendingSpike reports whether axon has a spike scheduled for tick t.
+func (c *Core) PendingSpike(axon int, t uint64) bool {
+	return c.axonBuf[axon]>>(t%delayWindow)&1 == 1
+}
+
+// SynapsePhase consumes every axon spike scheduled for tick t and
+// propagates it across the crossbar into the connected neurons,
+// integrating the per-axon-type weight (deterministically or
+// stochastically) into each target neuron's membrane potential.
+func (c *Core) SynapsePhase(t uint64) {
+	slot := uint32(1) << (t % delayWindow)
+	for axon := 0; axon < CoreSize; axon++ {
+		if c.axonBuf[axon]&slot == 0 {
+			continue
+		}
+		c.axonBuf[axon] &^= slot
+		c.axonEvents++
+		at := c.cfg.AxonTypes[axon]
+		row := &c.cfg.Crossbar[axon]
+		for w := 0; w < crossbarWords; w++ {
+			word := row[w]
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &^= 1 << uint(b)
+				j := w*64 + b
+				c.integrate(j, at)
+			}
+		}
+	}
+}
+
+// integrate applies one synaptic event of axon type at to neuron j.
+func (c *Core) integrate(j int, at uint8) {
+	p := &c.cfg.Neurons[j]
+	if !p.Enabled {
+		return
+	}
+	c.synapticEvents++
+	w := p.Weights[at]
+	if p.StochasticWeight[at] {
+		mag := w
+		if mag < 0 {
+			mag = -mag
+		}
+		if c.rng.DrawMask(uint32(mag), 8) {
+			if w < 0 {
+				c.potential[j]--
+			} else if w > 0 {
+				c.potential[j]++
+			}
+		}
+	} else {
+		c.potential[j] += int32(w)
+	}
+}
+
+// NeuronPhase applies leak, floor, and threshold to every neuron; each
+// firing neuron's spike is passed to emit and its potential reset. The
+// emit callback receives fully addressed spikes ready for the Network
+// phase.
+func (c *Core) NeuronPhase(emit func(Spike)) {
+	for j := 0; j < CoreSize; j++ {
+		p := &c.cfg.Neurons[j]
+		if !p.Enabled {
+			continue
+		}
+		v := c.potential[j]
+		if p.StochasticLeak {
+			mag := p.Leak
+			if mag < 0 {
+				mag = -mag
+			}
+			if c.rng.DrawMask(uint32(mag), 8) {
+				if p.Leak < 0 {
+					v--
+				} else if p.Leak > 0 {
+					v++
+				}
+			}
+		} else {
+			v += int32(p.Leak)
+		}
+		if v < p.Floor {
+			v = p.Floor
+		}
+		if v >= p.Threshold {
+			c.firings++
+			emit(Spike{Target: p.Target})
+			v = p.Reset
+		}
+		c.potential[j] = v
+	}
+}
+
+// CoreState is the complete dynamic state of a live core at a tick
+// boundary — everything needed to checkpoint and resume a simulation
+// bit-exactly: membrane potentials, the axon delay rings, and the
+// private PRNG stream. Statistics counters are not part of the state;
+// restoring resets them.
+type CoreState struct {
+	ID         CoreID
+	Potentials [CoreSize]int32
+	AxonBuf    [CoreSize]uint32
+	RNG        [4]uint64
+}
+
+// State captures the core's dynamic state.
+func (c *Core) State() CoreState {
+	return CoreState{
+		ID:         c.cfg.ID,
+		Potentials: c.potential,
+		AxonBuf:    c.axonBuf,
+		RNG:        c.rng.State(),
+	}
+}
+
+// SetState restores a state captured with State. The state must belong
+// to this core (matching ID). Statistics counters reset to zero.
+func (c *Core) SetState(s CoreState) error {
+	if s.ID != c.cfg.ID {
+		return fmt.Errorf("truenorth: state for core %d applied to core %d", s.ID, c.cfg.ID)
+	}
+	if err := c.rng.SetState(s.RNG); err != nil {
+		return err
+	}
+	c.potential = s.Potentials
+	c.axonBuf = s.AxonBuf
+	c.axonEvents, c.synapticEvents, c.firings = 0, 0, 0
+	return nil
+}
+
+// Tick runs the core's Synapse and Neuron phases for tick t. It is the
+// single-core building block used by the serial reference simulator; the
+// parallel simulator calls the phases separately so it can interleave
+// communication.
+func (c *Core) Tick(t uint64, emit func(Spike)) {
+	c.SynapsePhase(t)
+	c.NeuronPhase(emit)
+}

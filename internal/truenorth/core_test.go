@@ -1,0 +1,434 @@
+package truenorth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// testNeuron returns an enabled neuron with simple deterministic dynamics:
+// weight 1 for every axon type, no leak, threshold th, reset 0.
+func testNeuron(th int32, target SpikeTarget) NeuronParams {
+	return NeuronParams{
+		Weights:   [NumAxonTypes]int16{1, 1, 1, 1},
+		Threshold: th,
+		Reset:     0,
+		Floor:     -1 << 20,
+		Target:    target,
+		Enabled:   true,
+	}
+}
+
+func defaultTarget() SpikeTarget { return SpikeTarget{Core: 0, Axon: 0, Delay: 1} }
+
+func TestNeuronParamsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*NeuronParams)
+		ok   bool
+	}{
+		{"valid", func(p *NeuronParams) {}, true},
+		{"disabled ignores everything", func(p *NeuronParams) { p.Enabled = false; p.Threshold = -5 }, true},
+		{"zero threshold", func(p *NeuronParams) { p.Threshold = 0 }, false},
+		{"negative threshold", func(p *NeuronParams) { p.Threshold = -1 }, false},
+		{"floor above reset", func(p *NeuronParams) { p.Floor = 10; p.Reset = 0 }, false},
+		{"axon out of range", func(p *NeuronParams) { p.Target.Axon = CoreSize }, false},
+		{"zero delay", func(p *NeuronParams) { p.Target.Delay = 0 }, false},
+		{"delay too large", func(p *NeuronParams) { p.Target.Delay = MaxDelay + 1 }, false},
+		{"max delay ok", func(p *NeuronParams) { p.Target.Delay = MaxDelay }, true},
+	}
+	for _, tc := range cases {
+		p := testNeuron(1, defaultTarget())
+		tc.mod(&p)
+		err := p.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestCrossbarRoundtrip(t *testing.T) {
+	var cfg CoreConfig
+	cfg.SetSynapse(3, 200, true)
+	cfg.SetSynapse(3, 201, true)
+	cfg.SetSynapse(255, 0, true)
+	if !cfg.Synapse(3, 200) || !cfg.Synapse(3, 201) || !cfg.Synapse(255, 0) {
+		t.Fatal("set bits not readable")
+	}
+	if cfg.Synapse(3, 202) || cfg.Synapse(4, 200) {
+		t.Fatal("unset bits readable")
+	}
+	cfg.SetSynapse(3, 200, false)
+	if cfg.Synapse(3, 200) {
+		t.Fatal("cleared bit still set")
+	}
+	if got := cfg.SynapseCount(); got != 2 {
+		t.Fatalf("SynapseCount = %d, want 2", got)
+	}
+}
+
+func TestQuickCrossbarRoundtrip(t *testing.T) {
+	f := func(axonRaw, neuronRaw uint8) bool {
+		axon, neuron := int(axonRaw), int(neuronRaw)
+		var cfg CoreConfig
+		cfg.SetSynapse(axon, neuron, true)
+		if !cfg.Synapse(axon, neuron) || cfg.SynapseCount() != 1 {
+			return false
+		}
+		cfg.SetSynapse(axon, neuron, false)
+		return !cfg.Synapse(axon, neuron) && cfg.SynapseCount() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoreConfigValidate(t *testing.T) {
+	cfg := &CoreConfig{ID: 0}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("empty core invalid: %v", err)
+	}
+	cfg.AxonTypes[7] = NumAxonTypes
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("bad axon type accepted")
+	}
+	cfg.AxonTypes[7] = 0
+	cfg.Neurons[9] = testNeuron(0, defaultTarget()) // threshold 0 invalid
+	cfg.Neurons[9].Threshold = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("bad neuron accepted")
+	}
+}
+
+func TestScheduleSpikeWindow(t *testing.T) {
+	cfg := &CoreConfig{ID: 0}
+	c := NewCore(cfg, 1)
+	if err := c.ScheduleSpike(0, 100, 100); err == nil {
+		t.Fatal("same-tick delivery accepted")
+	}
+	if err := c.ScheduleSpike(0, 99, 100); err == nil {
+		t.Fatal("past delivery accepted")
+	}
+	if err := c.ScheduleSpike(0, 100+MaxDelay+1, 100); err == nil {
+		t.Fatal("beyond-window delivery accepted")
+	}
+	if err := c.ScheduleSpike(-1, 101, 100); err == nil {
+		t.Fatal("negative axon accepted")
+	}
+	if err := c.ScheduleSpike(CoreSize, 101, 100); err == nil {
+		t.Fatal("overflow axon accepted")
+	}
+	if err := c.ScheduleSpike(5, 101, 100); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	if !c.PendingSpike(5, 101) {
+		t.Fatal("scheduled spike not pending at delivery tick")
+	}
+	if c.PendingSpike(5, 102) || c.PendingSpike(5, 100) {
+		t.Fatal("spike pending at wrong tick")
+	}
+}
+
+func TestQuickScheduleDeliveryTickExact(t *testing.T) {
+	f := func(axonRaw uint8, nowRaw uint32, delayRaw uint8) bool {
+		axon := int(axonRaw)
+		now := uint64(nowRaw)
+		delay := uint64(delayRaw%MaxDelay) + 1
+		cfg := &CoreConfig{ID: 0}
+		c := NewCore(cfg, 1)
+		if err := c.ScheduleSpike(axon, now+delay, now); err != nil {
+			return false
+		}
+		// Pending exactly at now+delay, at no other tick in the window.
+		for d := uint64(1); d <= MaxDelay; d++ {
+			want := d == delay
+			if c.PendingSpike(axon, now+d) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynapsePhaseIntegratesByAxonType(t *testing.T) {
+	cfg := &CoreConfig{ID: 0}
+	cfg.AxonTypes[0] = 2 // axon 0 has type 2
+	cfg.SetSynapse(0, 10, true)
+	cfg.SetSynapse(0, 11, true)
+	n := testNeuron(1000, defaultTarget())
+	n.Weights = [NumAxonTypes]int16{1, 2, 7, 9}
+	cfg.Neurons[10] = n
+	cfg.Neurons[11] = n
+	cfg.Neurons[12] = n // not connected
+
+	c := NewCore(cfg, 1)
+	if err := c.ScheduleSpike(0, 5, 4); err != nil {
+		t.Fatal(err)
+	}
+	c.SynapsePhase(5)
+	if got := c.Potential(10); got != 7 {
+		t.Fatalf("neuron 10 potential = %d, want 7 (weight for axon type 2)", got)
+	}
+	if got := c.Potential(11); got != 7 {
+		t.Fatalf("neuron 11 potential = %d, want 7", got)
+	}
+	if got := c.Potential(12); got != 0 {
+		t.Fatalf("unconnected neuron potential = %d, want 0", got)
+	}
+	axonEvents, synEvents, _ := c.Stats()
+	if axonEvents != 1 || synEvents != 2 {
+		t.Fatalf("stats = (%d axon, %d syn), want (1, 2)", axonEvents, synEvents)
+	}
+	// The spike must have been consumed: re-running the same slot is a no-op.
+	c.SynapsePhase(5)
+	if got := c.Potential(10); got != 7 {
+		t.Fatalf("spike delivered twice: potential %d", got)
+	}
+}
+
+func TestSynapsePhaseSkipsDisabledNeurons(t *testing.T) {
+	cfg := &CoreConfig{ID: 0}
+	cfg.SetSynapse(0, 10, true)
+	// Neuron 10 left disabled (zero value).
+	c := NewCore(cfg, 1)
+	if err := c.ScheduleSpike(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.SynapsePhase(1)
+	if got := c.Potential(10); got != 0 {
+		t.Fatalf("disabled neuron integrated: potential %d", got)
+	}
+	_, synEvents, _ := c.Stats()
+	if synEvents != 0 {
+		t.Fatalf("disabled neuron counted %d synaptic events", synEvents)
+	}
+}
+
+func TestStochasticWeightRateAndSign(t *testing.T) {
+	for _, tc := range []struct {
+		weight int16
+		want   float64
+		dir    int32
+	}{
+		{64, 64.0 / 256, 1},
+		{-128, 128.0 / 256, -1},
+	} {
+		cfg := &CoreConfig{ID: 0}
+		cfg.SetSynapse(0, 0, true)
+		n := testNeuron(1<<30, defaultTarget())
+		n.Weights[0] = tc.weight
+		n.StochasticWeight[0] = true
+		cfg.Neurons[0] = n
+		c := NewCore(cfg, 77)
+		const trials = 20000
+		for i := 0; i < trials; i++ {
+			tick := uint64(i)
+			if err := c.ScheduleSpike(0, tick+1, tick); err != nil {
+				t.Fatal(err)
+			}
+			c.SynapsePhase(tick + 1)
+		}
+		moved := float64(c.Potential(0)) * float64(tc.dir)
+		rate := moved / trials
+		if math.Abs(rate-tc.want) > 0.02 {
+			t.Fatalf("stochastic weight %d: empirical rate %.3f, want %.3f", tc.weight, rate, tc.want)
+		}
+	}
+}
+
+func TestNeuronPhaseLeakFloorThresholdReset(t *testing.T) {
+	cfg := &CoreConfig{ID: 0}
+	n := testNeuron(10, SpikeTarget{Core: 0, Axon: 3, Delay: 2})
+	n.Leak = -4
+	n.Floor = -6
+	n.Reset = 1
+	cfg.Neurons[0] = n
+	c := NewCore(cfg, 1)
+
+	// Leak pulls the potential down each tick and clamps at the floor.
+	c.NeuronPhase(func(Spike) { t.Fatal("unexpected spike") })
+	if got := c.Potential(0); got != -4 {
+		t.Fatalf("after one leak potential = %d, want -4", got)
+	}
+	c.NeuronPhase(func(Spike) { t.Fatal("unexpected spike") })
+	if got := c.Potential(0); got != -6 {
+		t.Fatalf("floor not applied: potential = %d, want -6", got)
+	}
+
+	// Push above threshold; neuron must fire exactly once and reset.
+	c.SetPotential(0, 14) // 14 - 4 = 10 >= threshold
+	var fired []Spike
+	c.NeuronPhase(func(s Spike) { fired = append(fired, s) })
+	if len(fired) != 1 {
+		t.Fatalf("fired %d times, want 1", len(fired))
+	}
+	if fired[0].Target != (SpikeTarget{Core: 0, Axon: 3, Delay: 2}) {
+		t.Fatalf("spike target = %+v", fired[0].Target)
+	}
+	if got := c.Potential(0); got != 1 {
+		t.Fatalf("potential after reset = %d, want 1", got)
+	}
+	_, _, firings := c.Stats()
+	if firings != 1 {
+		t.Fatalf("firings = %d, want 1", firings)
+	}
+}
+
+func TestStochasticLeakRate(t *testing.T) {
+	cfg := &CoreConfig{ID: 0}
+	n := testNeuron(1<<30, defaultTarget())
+	n.Leak = 128 // +1 with probability 0.5
+	n.StochasticLeak = true
+	cfg.Neurons[0] = n
+	c := NewCore(cfg, 5)
+	const ticks = 20000
+	for i := 0; i < ticks; i++ {
+		c.NeuronPhase(func(Spike) {})
+	}
+	rate := float64(c.Potential(0)) / ticks
+	if math.Abs(rate-0.5) > 0.02 {
+		t.Fatalf("stochastic leak empirical rate %.3f, want 0.5", rate)
+	}
+}
+
+func TestTickPeriodicOscillator(t *testing.T) {
+	// A neuron with leak +1 and threshold 5 fires every 5 ticks.
+	cfg := &CoreConfig{ID: 0}
+	n := testNeuron(5, defaultTarget())
+	n.Leak = 1
+	cfg.Neurons[0] = n
+	c := NewCore(cfg, 1)
+	fires := 0
+	for t0 := uint64(0); t0 < 50; t0++ {
+		c.Tick(t0, func(Spike) { fires++ })
+	}
+	if fires != 10 {
+		t.Fatalf("oscillator fired %d times in 50 ticks, want 10", fires)
+	}
+}
+
+func TestCoreDeterminismAcrossInstances(t *testing.T) {
+	build := func() *Core {
+		cfg := &CoreConfig{ID: 42}
+		for j := 0; j < CoreSize; j++ {
+			n := testNeuron(3, defaultTarget())
+			n.Leak = 64
+			n.StochasticLeak = true
+			cfg.Neurons[j] = n
+		}
+		return NewCore(cfg, 2024)
+	}
+	a, b := build(), build()
+	for t0 := uint64(0); t0 < 100; t0++ {
+		var fa, fb int
+		a.Tick(t0, func(Spike) { fa++ })
+		b.Tick(t0, func(Spike) { fb++ })
+		if fa != fb {
+			t.Fatalf("tick %d: instance A fired %d, B fired %d", t0, fa, fb)
+		}
+	}
+	for j := 0; j < CoreSize; j++ {
+		if a.Potential(j) != b.Potential(j) {
+			t.Fatalf("neuron %d potentials diverged: %d vs %d", j, a.Potential(j), b.Potential(j))
+		}
+	}
+}
+
+func TestCoreStateRoundtrip(t *testing.T) {
+	cfg := &CoreConfig{ID: 3}
+	for j := 0; j < CoreSize; j++ {
+		n := testNeuron(1<<30, defaultTarget())
+		n.Leak = 64
+		n.StochasticLeak = true
+		cfg.Neurons[j] = n
+	}
+	a := NewCore(cfg, 9)
+	for t0 := uint64(0); t0 < 20; t0++ {
+		_ = a.ScheduleSpike(int(t0)%CoreSize, t0+3, t0)
+		a.Tick(t0, func(Spike) {})
+	}
+	st := a.State()
+	if st.ID != 3 {
+		t.Fatalf("state ID %d", st.ID)
+	}
+
+	// Continue A, and continue a restored clone B: they must stay in
+	// lockstep through stochastic dynamics.
+	b := NewCore(cfg, 12345) // different seed; state restore must override
+	if err := b.SetState(st); err != nil {
+		t.Fatal(err)
+	}
+	for t0 := uint64(20); t0 < 60; t0++ {
+		var fa, fb int
+		a.Tick(t0, func(Spike) { fa++ })
+		b.Tick(t0, func(Spike) { fb++ })
+		if fa != fb {
+			t.Fatalf("tick %d: original fired %d, restored %d", t0, fa, fb)
+		}
+	}
+	for j := 0; j < CoreSize; j++ {
+		if a.Potential(j) != b.Potential(j) {
+			t.Fatalf("neuron %d potentials diverged after restore", j)
+		}
+	}
+}
+
+func TestSetStateWrongCore(t *testing.T) {
+	a := NewCore(&CoreConfig{ID: 1}, 1)
+	b := NewCore(&CoreConfig{ID: 2}, 1)
+	if err := b.SetState(a.State()); err == nil {
+		t.Fatal("cross-core state restore accepted")
+	}
+}
+
+func TestSetStateResetsCounters(t *testing.T) {
+	cfg := &CoreConfig{ID: 0}
+	cfg.SetSynapse(0, 0, true)
+	cfg.Neurons[0] = testNeuron(1, defaultTarget())
+	c := NewCore(cfg, 1)
+	_ = c.ScheduleSpike(0, 1, 0)
+	c.Tick(1, func(Spike) {})
+	if _, _, f := c.Stats(); f != 1 {
+		t.Fatalf("firings = %d", f)
+	}
+	if err := c.SetState(c.State()); err != nil {
+		t.Fatal(err)
+	}
+	if a, s, f := c.Stats(); a != 0 || s != 0 || f != 0 {
+		t.Fatalf("counters not reset: (%d, %d, %d)", a, s, f)
+	}
+}
+
+func TestSerialSimAtValidation(t *testing.T) {
+	m := chainModel(3, 1)
+	sim, err := NewSerialSim(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	cp := sim.Snapshot()
+	if cp.Tick != 5 || len(cp.States) != 3 {
+		t.Fatalf("snapshot: %+v", cp)
+	}
+	// Mismatched model.
+	other := chainModel(4, 1)
+	if _, err := NewSerialSimAt(other, cp); err == nil {
+		t.Fatal("checkpoint for wrong model accepted")
+	}
+	// Valid restore resumes at the right tick.
+	resumed, err := NewSerialSimAt(m, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Tick() != 5 {
+		t.Fatalf("resumed tick %d", resumed.Tick())
+	}
+}

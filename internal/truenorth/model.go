@@ -1,0 +1,255 @@
+package truenorth
+
+import (
+	"fmt"
+	"sort"
+)
+
+// InputSpike is an external stimulus: a spike delivered to (Core, Axon)
+// at tick Tick, as if sent by a sensor outside the core network.
+type InputSpike struct {
+	Tick uint64
+	Core CoreID
+	Axon uint16
+}
+
+// Model is a fully instantiated network of TrueNorth cores plus its
+// external stimuli — the output of the Parallel Compass Compiler and the
+// input to the simulator. Core IDs must equal their index in Cores so
+// that a CoreID addresses the slice directly.
+type Model struct {
+	// Seed is the model-wide PRNG seed; each core derives its private
+	// stream from (Seed, CoreID).
+	Seed uint64
+	// Cores holds one configuration per core, indexed by CoreID.
+	Cores []*CoreConfig
+	// Inputs are external stimuli, in any order.
+	Inputs []InputSpike
+}
+
+// NumCores returns the number of cores in the model.
+func (m *Model) NumCores() int { return len(m.Cores) }
+
+// NumNeurons returns the total neuron count (CoreSize per core).
+func (m *Model) NumNeurons() int { return len(m.Cores) * CoreSize }
+
+// NumSynapses returns the total count of set crossbar bits.
+func (m *Model) NumSynapses() int {
+	n := 0
+	for _, c := range m.Cores {
+		n += c.SynapseCount()
+	}
+	return n
+}
+
+// Validate checks core ID/index agreement, per-core validity, and that
+// every neuron target and input references an existing core.
+func (m *Model) Validate() error {
+	for i, c := range m.Cores {
+		if c == nil {
+			return fmt.Errorf("truenorth: model core %d is nil", i)
+		}
+		if int(c.ID) != i {
+			return fmt.Errorf("truenorth: core at index %d has ID %d", i, c.ID)
+		}
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		for j := range c.Neurons {
+			p := &c.Neurons[j]
+			if p.Enabled && int(p.Target.Core) >= len(m.Cores) {
+				return fmt.Errorf("truenorth: core %d neuron %d targets core %d of %d", i, j, p.Target.Core, len(m.Cores))
+			}
+		}
+	}
+	for _, in := range m.Inputs {
+		if int(in.Core) >= len(m.Cores) {
+			return fmt.Errorf("truenorth: input spike targets core %d of %d", in.Core, len(m.Cores))
+		}
+		if int(in.Axon) >= CoreSize {
+			return fmt.Errorf("truenorth: input spike targets axon %d", in.Axon)
+		}
+	}
+	return nil
+}
+
+// SpikeEvent is one delivered spike in a simulation trace: the tick the
+// source neuron fired, and the destination. Traces are the basis of the
+// repository's decomposition-invariance tests: the multiset of SpikeEvents
+// must be identical for every parallel decomposition.
+type SpikeEvent struct {
+	FireTick uint64
+	Target   SpikeTarget
+}
+
+// SortSpikeEvents orders a trace canonically (tick, core, axon, delay).
+func SortSpikeEvents(ev []SpikeEvent) {
+	sort.Slice(ev, func(a, b int) bool {
+		if ev[a].FireTick != ev[b].FireTick {
+			return ev[a].FireTick < ev[b].FireTick
+		}
+		if ev[a].Target.Core != ev[b].Target.Core {
+			return ev[a].Target.Core < ev[b].Target.Core
+		}
+		if ev[a].Target.Axon != ev[b].Target.Axon {
+			return ev[a].Target.Axon < ev[b].Target.Axon
+		}
+		return ev[a].Target.Delay < ev[b].Target.Delay
+	})
+}
+
+// SerialSim is the single-threaded reference simulator: the simplest
+// possible correct execution of the TrueNorth tick semantics, against
+// which the parallel simulator in internal/compass is verified.
+type SerialSim struct {
+	model *Model
+	cores []*Core
+	tick  uint64
+
+	inputsByTick map[uint64][]InputSpike
+
+	// OnSpike, when non-nil, observes every emitted spike.
+	OnSpike func(fireTick uint64, s Spike)
+
+	totalSpikes uint64
+}
+
+// NewSerialSim instantiates live cores for every configuration in m.
+func NewSerialSim(m *Model) (*SerialSim, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	s := &SerialSim{
+		model:        m,
+		cores:        make([]*Core, len(m.Cores)),
+		inputsByTick: make(map[uint64][]InputSpike),
+	}
+	for i, cfg := range m.Cores {
+		s.cores[i] = NewCore(cfg, m.Seed)
+	}
+	for _, in := range m.Inputs {
+		s.inputsByTick[in.Tick] = append(s.inputsByTick[in.Tick], in)
+	}
+	return s, nil
+}
+
+// Tick returns the next tick to be simulated.
+func (s *SerialSim) Tick() uint64 { return s.tick }
+
+// TotalSpikes returns the cumulative number of neuron firings.
+func (s *SerialSim) TotalSpikes() uint64 { return s.totalSpikes }
+
+// Core returns the live state of core id.
+func (s *SerialSim) Core(id CoreID) *Core { return s.cores[id] }
+
+// Step simulates one tick: inject external inputs, run every core's
+// Synapse and Neuron phases, then deliver all emitted spikes (the Network
+// phase) into target axon buffers for future ticks.
+func (s *SerialSim) Step() error {
+	t := s.tick
+	for _, in := range s.inputsByTick[t] {
+		s.cores[in.Core].axonBuf[in.Axon] |= 1 << (t % delayWindow)
+	}
+	delete(s.inputsByTick, t)
+
+	var pending []Spike
+	for _, c := range s.cores {
+		c.SynapsePhase(t)
+		c.NeuronPhase(func(sp Spike) {
+			pending = append(pending, sp)
+			s.totalSpikes++
+			if s.OnSpike != nil {
+				s.OnSpike(t, sp)
+			}
+		})
+	}
+	for _, sp := range pending {
+		tgt := sp.Target
+		if err := s.cores[tgt.Core].ScheduleSpike(int(tgt.Axon), t+uint64(tgt.Delay), t); err != nil {
+			return err
+		}
+	}
+	s.tick++
+	return nil
+}
+
+// Run simulates n ticks.
+func (s *SerialSim) Run(n int) error {
+	for i := 0; i < n; i++ {
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint is the complete dynamic state of a simulation at a tick
+// boundary, portable across decompositions: a checkpoint taken from a
+// serial run restores into a parallel run and vice versa, because core
+// state is placement-independent.
+type Checkpoint struct {
+	// Tick is the next tick to be simulated.
+	Tick uint64
+	// States holds one entry per core, indexed by CoreID.
+	States []CoreState
+}
+
+// Validate checks the checkpoint against a model.
+func (cp *Checkpoint) Validate(m *Model) error {
+	if len(cp.States) != len(m.Cores) {
+		return fmt.Errorf("truenorth: checkpoint has %d cores, model %d", len(cp.States), len(m.Cores))
+	}
+	for i, s := range cp.States {
+		if int(s.ID) != i {
+			return fmt.Errorf("truenorth: checkpoint state %d has ID %d", i, s.ID)
+		}
+	}
+	return nil
+}
+
+// Snapshot captures the simulation state at the current tick boundary.
+func (s *SerialSim) Snapshot() *Checkpoint {
+	cp := &Checkpoint{Tick: s.tick, States: make([]CoreState, len(s.cores))}
+	for i, c := range s.cores {
+		cp.States[i] = c.State()
+	}
+	return cp
+}
+
+// NewSerialSimAt builds a simulator resuming from a checkpoint.
+func NewSerialSimAt(m *Model, cp *Checkpoint) (*SerialSim, error) {
+	if err := cp.Validate(m); err != nil {
+		return nil, err
+	}
+	sim, err := NewSerialSim(m)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range sim.cores {
+		if err := c.SetState(cp.States[i]); err != nil {
+			return nil, err
+		}
+	}
+	sim.tick = cp.Tick
+	// Inputs before the checkpoint were already consumed in the run that
+	// produced it.
+	for t := range sim.inputsByTick {
+		if t < cp.Tick {
+			delete(sim.inputsByTick, t)
+		}
+	}
+	return sim, nil
+}
+
+// Inject schedules an external spike for delivery at tick t; t must be
+// the current tick or a future tick within the delay window.
+func (s *SerialSim) Inject(core CoreID, axon uint16, t uint64) error {
+	if t < s.tick || t-s.tick > MaxDelay {
+		return fmt.Errorf("truenorth: inject tick %d outside [%d, %d]", t, s.tick, s.tick+MaxDelay)
+	}
+	if int(core) >= len(s.cores) || int(axon) >= CoreSize {
+		return fmt.Errorf("truenorth: inject target (%d, %d) out of range", core, axon)
+	}
+	s.cores[core].axonBuf[axon] |= 1 << (t % delayWindow)
+	return nil
+}

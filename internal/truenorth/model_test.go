@@ -1,0 +1,227 @@
+package truenorth
+
+import (
+	"testing"
+)
+
+// chainModel builds nCores cores where core k neuron 0 targets core
+// (k+1)%nCores axon 0 with the given delay, axon 0 drives neuron 0 with
+// weight 1, and threshold 1 — so a single injected spike circulates
+// forever around the ring.
+func chainModel(nCores int, delay uint8) *Model {
+	m := &Model{Seed: 7}
+	for k := 0; k < nCores; k++ {
+		cfg := &CoreConfig{ID: CoreID(k)}
+		cfg.SetSynapse(0, 0, true)
+		n := testNeuron(1, SpikeTarget{Core: CoreID((k + 1) % nCores), Axon: 0, Delay: delay})
+		cfg.Neurons[0] = n
+		m.Cores = append(m.Cores, cfg)
+	}
+	return m
+}
+
+func TestModelValidate(t *testing.T) {
+	m := chainModel(3, 1)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+
+	bad := chainModel(3, 1)
+	bad.Cores[1].ID = 5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mismatched core ID accepted")
+	}
+
+	bad = chainModel(3, 1)
+	bad.Cores[0].Neurons[0].Target.Core = 99
+	if err := bad.Validate(); err == nil {
+		t.Fatal("dangling neuron target accepted")
+	}
+
+	bad = chainModel(3, 1)
+	bad.Inputs = append(bad.Inputs, InputSpike{Tick: 0, Core: 50, Axon: 0})
+	if err := bad.Validate(); err == nil {
+		t.Fatal("dangling input accepted")
+	}
+
+	bad = chainModel(3, 1)
+	bad.Inputs = append(bad.Inputs, InputSpike{Tick: 0, Core: 0, Axon: CoreSize})
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range input axon accepted")
+	}
+
+	bad = chainModel(3, 1)
+	bad.Cores[2] = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("nil core accepted")
+	}
+}
+
+func TestModelCounts(t *testing.T) {
+	m := chainModel(4, 1)
+	if m.NumCores() != 4 {
+		t.Fatalf("NumCores = %d", m.NumCores())
+	}
+	if m.NumNeurons() != 4*CoreSize {
+		t.Fatalf("NumNeurons = %d", m.NumNeurons())
+	}
+	if m.NumSynapses() != 4 {
+		t.Fatalf("NumSynapses = %d, want 4", m.NumSynapses())
+	}
+}
+
+func TestSerialSimRingCirculation(t *testing.T) {
+	// One spike injected into core 0 at tick 0 circulates a 4-core ring
+	// with delay 1: the neuron on core k fires at ticks k, k+4, k+8, ...
+	// hmm — with delay 1 the spike fires core 0 at t=0, arrives core 1 at
+	// t=1, fires there at t=1, etc. Over 40 ticks that is 40 firings.
+	m := chainModel(4, 1)
+	m.Inputs = []InputSpike{{Tick: 0, Core: 0, Axon: 0}}
+	sim, err := NewSerialSim(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []SpikeEvent
+	sim.OnSpike = func(tick uint64, s Spike) {
+		events = append(events, SpikeEvent{FireTick: tick, Target: s.Target})
+	}
+	if err := sim.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	if sim.TotalSpikes() != 40 {
+		t.Fatalf("TotalSpikes = %d, want 40", sim.TotalSpikes())
+	}
+	// Firing at tick t must come from core t%4, targeting core (t+1)%4.
+	for _, ev := range events {
+		if want := CoreID((ev.FireTick + 1) % 4); ev.Target.Core != want {
+			t.Fatalf("tick %d spike targets core %d, want %d", ev.FireTick, ev.Target.Core, want)
+		}
+	}
+}
+
+func TestSerialSimDelayStretchesPeriod(t *testing.T) {
+	// With delay 3 in a 2-core ring, each hop takes 3 ticks: firings land
+	// at ticks 0, 3, 6, ... so 10 firings in 30 ticks.
+	m := chainModel(2, 3)
+	m.Inputs = []InputSpike{{Tick: 0, Core: 0, Axon: 0}}
+	sim, err := NewSerialSim(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	if sim.TotalSpikes() != 10 {
+		t.Fatalf("TotalSpikes = %d, want 10", sim.TotalSpikes())
+	}
+}
+
+func TestSerialSimNoInputNoSpikes(t *testing.T) {
+	m := chainModel(4, 1)
+	sim, err := NewSerialSim(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if sim.TotalSpikes() != 0 {
+		t.Fatalf("quiescent network fired %d spikes", sim.TotalSpikes())
+	}
+}
+
+func TestSerialSimInjectValidation(t *testing.T) {
+	m := chainModel(2, 1)
+	sim, err := NewSerialSim(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Inject(0, 0, MaxDelay+1); err == nil {
+		t.Fatal("inject beyond window accepted")
+	}
+	if err := sim.Inject(9, 0, 0); err == nil {
+		t.Fatal("inject to missing core accepted")
+	}
+	if err := sim.Inject(0, CoreSize, 0); err == nil {
+		t.Fatal("inject to bad axon accepted")
+	}
+	if err := sim.Inject(0, 0, 2); err != nil {
+		t.Fatalf("valid inject rejected: %v", err)
+	}
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if sim.TotalSpikes() == 0 {
+		t.Fatal("injected spike produced no activity")
+	}
+}
+
+func TestSerialSimRejectsInvalidModel(t *testing.T) {
+	m := chainModel(2, 1)
+	m.Cores[0].Neurons[0].Threshold = 0
+	if _, err := NewSerialSim(m); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+func TestSortSpikeEvents(t *testing.T) {
+	ev := []SpikeEvent{
+		{FireTick: 2, Target: SpikeTarget{Core: 0, Axon: 0, Delay: 1}},
+		{FireTick: 1, Target: SpikeTarget{Core: 1, Axon: 5, Delay: 2}},
+		{FireTick: 1, Target: SpikeTarget{Core: 1, Axon: 4, Delay: 2}},
+		{FireTick: 1, Target: SpikeTarget{Core: 0, Axon: 9, Delay: 3}},
+	}
+	SortSpikeEvents(ev)
+	if ev[0].Target.Core != 0 || ev[0].FireTick != 1 {
+		t.Fatalf("sort order wrong: %+v", ev)
+	}
+	if ev[1].Target.Axon != 4 || ev[2].Target.Axon != 5 {
+		t.Fatalf("axon tiebreak wrong: %+v", ev)
+	}
+	if ev[3].FireTick != 2 {
+		t.Fatalf("tick ordering wrong: %+v", ev)
+	}
+}
+
+func BenchmarkCoreTickDense(b *testing.B) {
+	// Fully wired core with every axon spiking each tick: worst-case
+	// Synapse phase (65536 synaptic events per tick).
+	cfg := &CoreConfig{ID: 0}
+	for i := 0; i < CoreSize; i++ {
+		for j := 0; j < CoreSize; j++ {
+			cfg.SetSynapse(i, j, true)
+		}
+		n := testNeuron(1<<30, defaultTarget())
+		cfg.Neurons[i] = n
+	}
+	c := NewCore(cfg, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tick := uint64(i)
+		for a := 0; a < CoreSize; a++ {
+			_ = c.ScheduleSpike(a, tick+1, tick)
+		}
+		c.Tick(tick+1, func(Spike) {})
+	}
+}
+
+func BenchmarkCoreTickSparse(b *testing.B) {
+	// Typical biological operating point: ~26 synapses per axon row
+	// (10% density), one axon in eight spiking per tick.
+	cfg := &CoreConfig{ID: 0}
+	for i := 0; i < CoreSize; i++ {
+		for j := i; j < i+26; j++ {
+			cfg.SetSynapse(i, j%CoreSize, true)
+		}
+		cfg.Neurons[i] = testNeuron(1<<30, defaultTarget())
+	}
+	c := NewCore(cfg, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tick := uint64(i)
+		for a := 0; a < CoreSize; a += 8 {
+			_ = c.ScheduleSpike(a, tick+1, tick)
+		}
+		c.Tick(tick+1, func(Spike) {})
+	}
+}

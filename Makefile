@@ -1,0 +1,32 @@
+# Developer entry points. `make check` is the pre-commit gate; `race`
+# exercises the persistent worker pool and the shmem buffer swapping
+# under the race detector on every change.
+
+GO ?= go
+
+.PHONY: build test race vet check bench bench-transport
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the simulator core and both communication runtimes: the
+# worker pool, the MPI mailboxes, the PGAS windows, and the shmem
+# zero-copy slice swapping all run under -race here.
+race:
+	$(GO) test -race ./internal/compass/... ./internal/mpi/... ./internal/pgas/...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate BENCH_transport.json, the per-transport Network-phase
+# throughput record (shmem must stay >= mpi on this workload).
+bench-transport:
+	BENCH_TRANSPORT_OUT=BENCH_transport.json $(GO) test -run TestTransportBenchArtifact -count=1 -v .

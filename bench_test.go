@@ -11,8 +11,12 @@ package compass_test
 // The same tables print via `go run ./cmd/benchsuite`.
 
 import (
+	"encoding/json"
+	"math"
+	"os"
 	"strconv"
 	"testing"
+	"time"
 
 	compass "github.com/cognitive-sim/compass"
 	"github.com/cognitive-sim/compass/internal/experiments"
@@ -113,24 +117,116 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 }
 
-// BenchmarkTransports compares the MPI and PGAS transports of the
-// functional simulator on the §VII synthetic workload.
+// BenchmarkTransports compares the MPI, PGAS, and shmem transports of
+// the functional simulator on the §VII synthetic workload.
 func BenchmarkTransports(b *testing.B) {
 	model, err := experiments.SyntheticModel(8, 8, 0.75, 10, 7)
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, tr := range []compass.Transport{compass.TransportMPI, compass.TransportPGAS} {
+	const ticks = 50
+	for _, tr := range compass.Transports() {
 		b.Run(tr.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := compass.Run(model, compass.Config{
 					Ranks: 8, ThreadsPerRank: 2, Transport: tr,
-				}, 50); err != nil {
+				}, ticks); err != nil {
 					b.Fatal(err)
 				}
 			}
+			b.ReportMetric(float64(ticks)*float64(b.N)/b.Elapsed().Seconds(), "ticks/s")
 		})
 	}
+}
+
+// TestTransportBenchArtifact measures per-transport Network-phase
+// throughput on the single-process §VII workload and, when the
+// BENCH_TRANSPORT_OUT environment variable names a file (the Makefile's
+// bench-transport target sets it), records the numbers as JSON so the
+// repository tracks the perf trajectory of the Network phase. It always
+// asserts the ordering the shmem transport exists for: shmem throughput
+// must be at least the MPI transport's on the same workload.
+func TestTransportBenchArtifact(t *testing.T) {
+	out := os.Getenv("BENCH_TRANSPORT_OUT")
+	if out == "" {
+		// A wall-clock assertion is only meaningful on a quiet machine;
+		// under `go test ./...` the packages race each other for cores.
+		t.Skip("set BENCH_TRANSPORT_OUT (or run `make bench-transport`) to measure")
+	}
+	model, err := experiments.SyntheticModel(8, 8, 0.75, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		ranks   = 8
+		threads = 2
+		ticks   = 200
+		reps    = 5
+	)
+	type result struct {
+		Transport      string  `json:"transport"`
+		Ranks          int     `json:"ranks"`
+		Threads        int     `json:"threads"`
+		Ticks          int     `json:"ticks"`
+		BestSeconds    float64 `json:"best_seconds"`
+		TicksPerSecond float64 `json:"ticks_per_second"`
+		CoreTicksPerS  float64 `json:"core_ticks_per_second"`
+		TotalSpikes    uint64  `json:"total_spikes"`
+	}
+	cores := model.NumCores()
+	results := make([]result, 0, 3)
+	for _, tr := range compass.Transports() {
+		best := math.Inf(1)
+		var spikes uint64
+		for rep := 0; rep < reps; rep++ {
+			t0 := time.Now()
+			stats, err := compass.Run(model, compass.Config{
+				Ranks: ranks, ThreadsPerRank: threads, Transport: tr,
+			}, ticks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sec := time.Since(t0).Seconds(); sec < best {
+				best = sec
+			}
+			spikes = stats.TotalSpikes
+		}
+		results = append(results, result{
+			Transport:      tr.String(),
+			Ranks:          ranks,
+			Threads:        threads,
+			Ticks:          ticks,
+			BestSeconds:    best,
+			TicksPerSecond: float64(ticks) / best,
+			CoreTicksPerS:  float64(cores) * float64(ticks) / best,
+			TotalSpikes:    spikes,
+		})
+	}
+	byName := map[string]result{}
+	for _, r := range results {
+		byName[r.Transport] = r
+		t.Logf("%-5s  %8.1f ticks/s  %12.0f core-ticks/s  (best of %d)",
+			r.Transport, r.TicksPerSecond, r.CoreTicksPerS, reps)
+	}
+	if byName["shmem"].TicksPerSecond < byName["mpi"].TicksPerSecond {
+		t.Errorf("shmem throughput %.1f ticks/s below MPI %.1f ticks/s",
+			byName["shmem"].TicksPerSecond, byName["mpi"].TicksPerSecond)
+	}
+	doc := struct {
+		Workload string   `json:"workload"`
+		Results  []result `json:"results"`
+	}{
+		Workload: "experiments.SyntheticModel(8, 8, 0.75, 10, 7): 64 cores, 75% rank-local connectivity, ~10 Hz",
+		Results:  results,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
 }
 
 // BenchmarkCompileCoCoMac measures Parallel Compass Compiler throughput

@@ -9,6 +9,7 @@
 //
 //	compass -cocomac-cores 512 -ranks 8 -threads 2 -ticks 200
 //	compass -spec network.json -ranks 4 -ticks 100 -transport pgas
+//	compass -cocomac-cores 512 -ranks 8 -ticks 200 -transport shmem
 //	compass -model model.bin -ranks 2 -ticks 50 -per-tick
 package main
 
@@ -36,7 +37,7 @@ func main() {
 		ranks        = flag.Int("ranks", 4, "simulated MPI processes")
 		threads      = flag.Int("threads", 2, "worker threads per rank")
 		ticks        = flag.Int("ticks", 100, "ticks to simulate (1 ms each)")
-		transport    = flag.String("transport", "mpi", "communication transport: mpi or pgas")
+		transport    = flag.String("transport", "mpi", "communication transport: mpi, pgas, or shmem")
 		perTick      = flag.Bool("per-tick", false, "print per-tick statistics")
 		recordPath   = flag.String("record", "", "write the spike trace to this file (CSPK format)")
 		raster       = flag.Bool("raster", false, "print an ASCII spike raster after the run")
@@ -74,14 +75,9 @@ func run(a runArgs) error {
 	seed, ranks, threads, ticks := a.seed, a.ranks, a.threads, a.ticks
 	transport, perTick := a.transport, a.perTick
 	recordPath, raster, powerEst := a.recordPath, a.raster, a.powerEst
-	var tr compass.Transport
-	switch transport {
-	case "mpi":
-		tr = compass.TransportMPI
-	case "pgas":
-		tr = compass.TransportPGAS
-	default:
-		return fmt.Errorf("unknown transport %q (want mpi or pgas)", transport)
+	tr, err := compass.ParseTransport(transport)
+	if err != nil {
+		return err
 	}
 
 	model, placement, err := loadModel(specPath, modelPath, cocomacCores, seed, ranks, ticks)

@@ -87,7 +87,7 @@ type (
 	// Config describes a parallel simulation run (ranks, threads,
 	// transport, placement).
 	Config = sim.Config
-	// Transport selects MPI or PGAS communication.
+	// Transport selects the Network-phase backend (MPI, PGAS, or shmem).
 	Transport = sim.Transport
 	// RunStats summarizes a parallel run.
 	RunStats = sim.RunStats
@@ -105,7 +105,17 @@ const (
 	// TransportPGAS is the one-sided implementation with direct puts and
 	// a single global barrier per tick (§VII).
 	TransportPGAS = sim.TransportPGAS
+	// TransportShmem is the zero-copy in-process implementation that
+	// swaps raw spike buffers directly between rank states.
+	TransportShmem = sim.TransportShmem
 )
+
+// ParseTransport maps a transport flag name ("mpi", "pgas", "shmem") to
+// its constant.
+func ParseTransport(s string) (Transport, error) { return sim.ParseTransport(s) }
+
+// Transports lists every built-in transport.
+func Transports() []Transport { return sim.Transports() }
 
 // Run simulates ticks ticks of model m under cfg. The spike output is
 // identical for every (ranks, threads, transport) decomposition.

@@ -35,9 +35,9 @@ func run() error {
 	fmt.Printf("synthetic network: %d cores on %d ranks, 75%% rank-local connectivity, ~10 Hz\n\n",
 		model.NumCores(), ranks)
 
-	// Functional runs under both transports: identical spikes, different
-	// communication structure.
-	for _, tr := range []compass.Transport{compass.TransportMPI, compass.TransportPGAS} {
+	// Functional runs under every transport: identical spikes, different
+	// communication structure (shmem is the host-only zero-copy path).
+	for _, tr := range compass.Transports() {
 		t0 := time.Now()
 		stats, err := compass.Run(model, compass.Config{
 			Ranks: ranks, ThreadsPerRank: 2, Transport: tr,

@@ -27,8 +27,9 @@ func TestCheckpointResumeMatchesStraightRun(t *testing.T) {
 		}
 	}
 
-	// First half with state capture.
-	first, err := Run(m, Config{Ranks: 3, ThreadsPerRank: 2, ReturnState: true}, half)
+	// First half with state capture, under the shmem transport — the
+	// checkpoint must restore under any other transport.
+	first, err := Run(m, Config{Ranks: 3, ThreadsPerRank: 2, Transport: TransportShmem, ReturnState: true}, half)
 	if err != nil {
 		t.Fatal(err)
 	}

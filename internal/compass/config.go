@@ -12,20 +12,25 @@
 //     aggregating spikes bound for remote ranks into per-destination
 //     buffers so each pair of ranks exchanges at most one message per
 //     tick.
-//   - Network phase: with the MPI transport, the master thread issues a
+//   - Network phase: pluggable behind the Transport interface (see
+//     transport.go). With the MPI transport, the master thread issues a
 //     Reduce-scatter to learn how many messages to expect while the other
 //     threads deliver process-local spikes (overlapping communication
 //     with computation, §III), then all threads take turns receiving
 //     messages inside a critical section and deliver the contained spikes
 //     outside it. With the PGAS transport, spikes are instead deposited
 //     directly into globally addressable buffers with one-sided puts and
-//     a single global barrier replaces the Reduce-scatter (§VII).
+//     a single global barrier replaces the Reduce-scatter (§VII). The
+//     shmem transport exploits the fact that ranks share one process: it
+//     swaps raw per-destination spike slices directly between rank
+//     states, skipping wire encoding and decoding entirely.
 //
 // The simulator is bit-faithful to the serial reference in
 // internal/truenorth for every decomposition: the multiset of spikes
-// produced is identical across rank counts, thread counts, and the MPI
-// and PGAS transports. That invariance is what lets Compass serve as
-// "the key contract between hardware architects and software designers".
+// produced is identical across rank counts, thread counts, and the MPI,
+// PGAS, and shmem transports. That invariance is what lets Compass serve
+// as "the key contract between hardware architects and software
+// designers".
 package compass
 
 import (
@@ -44,6 +49,12 @@ const (
 	// TransportPGAS is the one-sided implementation with direct puts into
 	// remote spike windows and a single global barrier per tick (§VII).
 	TransportPGAS
+	// TransportShmem is the zero-copy in-process implementation: raw
+	// per-destination spike slices are swapped directly between rank
+	// states around a barrier, with no wire encoding or decoding. It has
+	// no hardware analogue in the paper; it is the fast path when all
+	// ranks share one process (which in this simulator they always do).
+	TransportShmem
 )
 
 // String names the transport.
@@ -53,9 +64,30 @@ func (t Transport) String() string {
 		return "mpi"
 	case TransportPGAS:
 		return "pgas"
+	case TransportShmem:
+		return "shmem"
 	default:
 		return "unknown"
 	}
+}
+
+// ParseTransport maps a transport name to its constant.
+func ParseTransport(s string) (Transport, error) {
+	switch s {
+	case "mpi":
+		return TransportMPI, nil
+	case "pgas":
+		return TransportPGAS, nil
+	case "shmem":
+		return TransportShmem, nil
+	default:
+		return 0, fmt.Errorf("compass: unknown transport %q (want mpi, pgas, or shmem)", s)
+	}
+}
+
+// Transports lists every built-in transport, in flag-name order.
+func Transports() []Transport {
+	return []Transport{TransportMPI, TransportPGAS, TransportShmem}
 }
 
 // Config describes a parallel simulation run.
@@ -65,7 +97,7 @@ type Config struct {
 	// ThreadsPerRank is the number of worker threads per rank; the paper
 	// runs 32 OpenMP threads per process on Blue Gene/Q.
 	ThreadsPerRank int
-	// Transport selects MPI or PGAS communication.
+	// Transport selects the Network-phase backend (MPI, PGAS, or shmem).
 	Transport Transport
 	// RankOf optionally places core i on rank RankOf[i]; when nil, cores
 	// are partitioned into contiguous uniform blocks. The Parallel
@@ -96,7 +128,7 @@ func (c *Config) Validate(m *truenorth.Model) error {
 	if c.ThreadsPerRank < 1 {
 		return fmt.Errorf("compass: %d threads per rank", c.ThreadsPerRank)
 	}
-	if c.Transport != TransportMPI && c.Transport != TransportPGAS {
+	if c.Transport != TransportMPI && c.Transport != TransportPGAS && c.Transport != TransportShmem {
 		return fmt.Errorf("compass: unknown transport %d", c.Transport)
 	}
 	if len(m.Cores) == 0 {

@@ -1,0 +1,74 @@
+package compass
+
+import (
+	"fmt"
+
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// rankState implements Delivery, the simulator-side surface a transport
+// Endpoint drives during the Network phase. Spike targets resolve through
+// localCore, a dense slice keyed directly by CoreID (nil for cores owned
+// by other ranks) — the hot-path replacement for the former per-spike
+// map lookup.
+
+// Threads returns the rank's worker thread count.
+func (st *rankState) Threads() int { return st.threads }
+
+// Parallel runs fn on every thread ID concurrently and waits, using the
+// rank's persistent worker pool.
+func (st *rankState) Parallel(fn func(tid int)) {
+	if st.pool == nil {
+		fn(0)
+		return
+	}
+	st.pool.run(fn)
+}
+
+// DeliverLocal delivers the local spike buffers of source threads whose
+// index ≡ part (mod parts). Delivery uses the atomic schedule, so
+// partitions may overlap in target cores.
+func (st *rankState) DeliverLocal(t uint64, part, parts int) error {
+	for tid := part; tid < st.threads; tid += parts {
+		for _, target := range st.threadLocal[tid] {
+			core := st.localCore[target.Core]
+			if core == nil {
+				return fmt.Errorf("compass: local spike for core %d not owned by rank %d", target.Core, st.rank)
+			}
+			if err := core.ScheduleSpikeShared(int(target.Axon), t+uint64(target.Delay), t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DeliverEncoded delivers every spike in a wire-encoded payload to this
+// rank's cores.
+func (st *rankState) DeliverEncoded(t uint64, data []byte) error {
+	return decodeSpikes(data, func(target truenorth.SpikeTarget) error {
+		return st.deliverRemote(t, target)
+	})
+}
+
+// DeliverTargets delivers a raw spike list to this rank's cores.
+func (st *rankState) DeliverTargets(t uint64, targets []truenorth.SpikeTarget) error {
+	for _, target := range targets {
+		if err := st.deliverRemote(t, target); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliverRemote schedules one received spike on its target core.
+func (st *rankState) deliverRemote(t uint64, target truenorth.SpikeTarget) error {
+	if int(target.Core) >= len(st.localCore) {
+		return fmt.Errorf("compass: received spike for core %d outside model of %d cores", target.Core, len(st.localCore))
+	}
+	core := st.localCore[target.Core]
+	if core == nil {
+		return fmt.Errorf("compass: received spike for core %d not owned by rank %d", target.Core, st.rank)
+	}
+	return core.ScheduleSpikeShared(int(target.Axon), t+uint64(target.Delay), t)
+}

@@ -80,3 +80,10 @@ func TestGoldenTraceParallelPGAS(t *testing.T) {
 		t.Fatalf("PGAS golden trace = %#x / %d spikes, want %#x / %d", hash, spikes, goldenHash, goldenSpikes)
 	}
 }
+
+func TestGoldenTraceParallelShmem(t *testing.T) {
+	hash, spikes := goldenTrace(t, Config{Ranks: 5, ThreadsPerRank: 2, Transport: TransportShmem})
+	if hash != goldenHash || spikes != goldenSpikes {
+		t.Fatalf("shmem golden trace = %#x / %d spikes, want %#x / %d", hash, spikes, goldenHash, goldenSpikes)
+	}
+}

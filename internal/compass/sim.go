@@ -2,13 +2,8 @@ package compass
 
 import (
 	"fmt"
-	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"github.com/cognitive-sim/compass/internal/mpi"
-	"github.com/cognitive-sim/compass/internal/pgas"
 	"github.com/cognitive-sim/compass/internal/truenorth"
 )
 
@@ -26,10 +21,17 @@ func Run(m *truenorth.Model, cfg Config, ticks int) (*RunStats, error) {
 		return nil, fmt.Errorf("compass: negative tick count %d", ticks)
 	}
 
+	// The transport is selected exactly once, here; every tick after this
+	// goes through the Endpoint interface.
+	backend, err := newBackend(cfg.Transport)
+	if err != nil {
+		return nil, err
+	}
+
 	placement := cfg.placement(len(m.Cores))
 	states := make([]*rankState, cfg.Ranks)
 	for r := range states {
-		states[r] = newRankState(r, m, cfg, placement)
+		states[r] = newRankState(r, m, cfg, placement, backend.RawSpikes())
 	}
 
 	start := uint64(0)
@@ -47,21 +49,11 @@ func Run(m *truenorth.Model, cfg Config, ticks int) (*RunStats, error) {
 		}
 	}
 
-	var runErr error
-	switch cfg.Transport {
-	case TransportMPI:
-		runErr = mpi.Run(cfg.Ranks, func(c *mpi.Comm) error {
-			st := states[c.Rank()]
-			st.comm = c
-			return st.loop(start, ticks)
-		})
-	case TransportPGAS:
-		runErr = pgas.Run(cfg.Ranks, func(h *pgas.Handle) error {
-			st := states[h.Rank()]
-			st.pgas = h
-			return st.loop(start, ticks)
-		})
-	}
+	runErr := backend.Run(cfg.Ranks, func(rank int, ep Endpoint) error {
+		st := states[rank]
+		st.ep = ep
+		return st.loop(start, ticks)
+	})
 	if runErr != nil {
 		return nil, runErr
 	}
@@ -137,29 +129,36 @@ type rankState struct {
 	ranks   int
 	threads int
 
-	// comm is set for the MPI transport; pgas for the PGAS transport.
-	comm *mpi.Comm
-	pgas *pgas.Handle
+	// ep is this rank's transport endpoint; raw reports whether the
+	// transport takes un-encoded spikes (Backend.RawSpikes).
+	ep  Endpoint
+	raw bool
+
+	// pool is the persistent worker team behind Parallel; nil when the
+	// rank runs single-threaded.
+	pool *workerPool
 
 	// cores owned by this rank, ascending ID; threadCores partitions them
 	// round-robin over threads.
 	cores       []*truenorth.Core
 	threadCores [][]*truenorth.Core
 
-	// coreByID resolves spike targets owned by this rank.
-	coreByID map[truenorth.CoreID]*truenorth.Core
+	// localCore resolves spike targets owned by this rank: a dense slice
+	// keyed by CoreID (nil entries for cores on other ranks).
+	localCore []*truenorth.Core
 
 	// placement maps every core in the model to its rank.
 	placement []int
 
 	inputsByTick map[uint64][]truenorth.InputSpike
 
-	// threadRemote[thread][dest] accumulates encoded spikes bound for
-	// remote ranks during the Neuron phase; sendBuf[dest] is the
+	// threadRemote[thread][dest] (encoded transports) or
+	// threadRemoteRaw[thread][dest] (raw transports) accumulates spikes
+	// bound for remote ranks during the Neuron phase; out holds the
 	// aggregated per-destination message (remoteBufAgg in Listing 1).
-	threadRemote [][][]byte
-	sendBuf      [][]byte
-	sendCounts   []int64
+	threadRemote    [][][]byte
+	threadRemoteRaw [][][]truenorth.SpikeTarget
+	out             Outbox
 
 	// threadLocal[thread] accumulates spikes bound for this rank.
 	threadLocal [][]truenorth.SpikeTarget
@@ -181,15 +180,6 @@ type rankState struct {
 	prevAxonEvents uint64
 	prevSynEvents  uint64
 
-	// recvMu is the Network-phase critical section around message
-	// receipt, reproducing the thread-unsafe-MPI structure of §III.
-	recvMu    sync.Mutex
-	remaining atomic.Int64
-
-	// drained holds the PGAS segments pending parallel delivery.
-	drained [][]byte
-	nextSeg atomic.Int64
-
 	ticksRun  int
 	startTick uint64
 
@@ -199,14 +189,15 @@ type rankState struct {
 }
 
 // newRankState instantiates the cores placed on rank r.
-func newRankState(r int, m *truenorth.Model, cfg Config, placement []int) *rankState {
+func newRankState(r int, m *truenorth.Model, cfg Config, placement []int, raw bool) *rankState {
 	st := &rankState{
 		rank:         r,
 		cfg:          cfg,
 		ranks:        cfg.Ranks,
 		threads:      cfg.ThreadsPerRank,
+		raw:          raw,
 		placement:    placement,
-		coreByID:     make(map[truenorth.CoreID]*truenorth.Core),
+		localCore:    make([]*truenorth.Core, len(m.Cores)),
 		inputsByTick: make(map[uint64][]truenorth.InputSpike),
 		peers:        make(map[int]bool),
 	}
@@ -216,7 +207,7 @@ func newRankState(r int, m *truenorth.Model, cfg Config, placement []int) *rankS
 		}
 		core := truenorth.NewCore(cfgCore, m.Seed)
 		st.cores = append(st.cores, core)
-		st.coreByID[cfgCore.ID] = core
+		st.localCore[cfgCore.ID] = core
 	}
 	st.threadCores = make([][]*truenorth.Core, cfg.ThreadsPerRank)
 	for i, core := range st.cores {
@@ -228,42 +219,35 @@ func newRankState(r int, m *truenorth.Model, cfg Config, placement []int) *rankS
 			st.inputsByTick[in.Tick] = append(st.inputsByTick[in.Tick], in)
 		}
 	}
-	st.threadRemote = make([][][]byte, cfg.ThreadsPerRank)
-	for tid := range st.threadRemote {
-		st.threadRemote[tid] = make([][]byte, cfg.Ranks)
+	if raw {
+		st.threadRemoteRaw = make([][][]truenorth.SpikeTarget, cfg.ThreadsPerRank)
+		for tid := range st.threadRemoteRaw {
+			st.threadRemoteRaw[tid] = make([][]truenorth.SpikeTarget, cfg.Ranks)
+		}
+		st.out.Targets = make([][]truenorth.SpikeTarget, cfg.Ranks)
+	} else {
+		st.threadRemote = make([][][]byte, cfg.ThreadsPerRank)
+		for tid := range st.threadRemote {
+			st.threadRemote[tid] = make([][]byte, cfg.Ranks)
+		}
+		st.out.Encoded = make([][]byte, cfg.Ranks)
 	}
+	st.out.Counts = make([]int64, cfg.Ranks)
 	st.threadLocal = make([][]truenorth.SpikeTarget, cfg.ThreadsPerRank)
 	st.threadFirings = make([]uint64, cfg.ThreadsPerRank)
-	st.sendBuf = make([][]byte, cfg.Ranks)
-	st.sendCounts = make([]int64, cfg.Ranks)
 	if cfg.RecordTrace {
 		st.traces = make([][]truenorth.SpikeEvent, cfg.ThreadsPerRank)
 	}
 	return st
 }
 
-// parallel runs fn on every thread ID concurrently and waits.
-func (st *rankState) parallel(fn func(tid int)) {
-	if st.threads == 1 {
-		fn(0)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(st.threads)
-	for tid := 0; tid < st.threads; tid++ {
-		go func(id int) {
-			defer wg.Done()
-			fn(id)
-		}(tid)
-	}
-	wg.Wait()
-}
-
 // loop runs the rank's main simulation loop for ticks ticks starting at
-// absolute tick start.
+// absolute tick start. The worker pool persists across all ticks.
 func (st *rankState) loop(start uint64, ticks int) error {
 	st.ticksRun = ticks
 	st.startTick = start
+	st.pool = newWorkerPool(st.threads)
+	defer st.pool.stop()
 	for t := start; t < start+uint64(ticks); t++ {
 		if err := st.tick(t); err != nil {
 			return fmt.Errorf("compass: rank %d tick %d: %w", st.rank, t, err)
@@ -273,10 +257,10 @@ func (st *rankState) loop(start uint64, ticks int) error {
 }
 
 // tick executes one tick: inputs, Synapse and Neuron phases in parallel
-// across threads, then the transport-specific Network phase.
+// across threads, then the Network phase through the transport endpoint.
 func (st *rankState) tick(t uint64) error {
 	for _, in := range st.inputsByTick[t] {
-		st.coreByID[in.Core].InjectRaw(int(in.Axon), t)
+		st.localCore[in.Core].InjectRaw(int(in.Axon), t)
 	}
 	delete(st.inputsByTick, t)
 
@@ -287,16 +271,19 @@ func (st *rankState) tick(t uint64) error {
 
 	// Synapse + Neuron phases. Cores are independent within a tick, so
 	// each thread runs both phases back to back over its cores.
-	st.parallel(func(tid int) {
+	st.Parallel(func(tid int) {
 		fired := uint64(0)
 		for _, core := range st.threadCores[tid] {
 			core.SynapsePhase(t)
 			core.NeuronPhase(func(s truenorth.Spike) {
 				fired++
 				dest := st.placement[s.Target.Core]
-				if dest == st.rank {
+				switch {
+				case dest == st.rank:
 					st.threadLocal[tid] = append(st.threadLocal[tid], s.Target)
-				} else {
+				case st.raw:
+					st.threadRemoteRaw[tid][dest] = append(st.threadRemoteRaw[tid][dest], s.Target)
+				default:
 					st.threadRemote[tid][dest] = appendSpike(st.threadRemote[tid][dest], s.Target)
 				}
 				if st.cfg.RecordTrace {
@@ -308,19 +295,33 @@ func (st *rankState) tick(t uint64) error {
 	})
 
 	// Thread-aggregate remote buffers into one message per destination
-	// (threadAggregate in Listing 1).
+	// (threadAggregate in Listing 1). All outbox buffers are reused
+	// across ticks.
 	tickRemote := uint64(0)
 	tickMsgs := uint64(0)
 	for dest := 0; dest < st.ranks; dest++ {
-		st.sendBuf[dest] = st.sendBuf[dest][:0]
-		st.sendCounts[dest] = 0
-		for tid := 0; tid < st.threads; tid++ {
-			st.sendBuf[dest] = append(st.sendBuf[dest], st.threadRemote[tid][dest]...)
-			st.threadRemote[tid][dest] = st.threadRemote[tid][dest][:0]
+		st.out.Counts[dest] = 0
+		var n int
+		if st.raw {
+			buf := st.out.Targets[dest][:0]
+			for tid := 0; tid < st.threads; tid++ {
+				buf = append(buf, st.threadRemoteRaw[tid][dest]...)
+				st.threadRemoteRaw[tid][dest] = st.threadRemoteRaw[tid][dest][:0]
+			}
+			st.out.Targets[dest] = buf
+			n = len(buf)
+		} else {
+			buf := st.out.Encoded[dest][:0]
+			for tid := 0; tid < st.threads; tid++ {
+				buf = append(buf, st.threadRemote[tid][dest]...)
+				st.threadRemote[tid][dest] = st.threadRemote[tid][dest][:0]
+			}
+			st.out.Encoded[dest] = buf
+			n = len(buf) / spikeRecordBytes
 		}
-		if n := len(st.sendBuf[dest]); n > 0 {
-			st.sendCounts[dest] = 1
-			tickRemote += uint64(n / spikeRecordBytes)
+		if n > 0 {
+			st.out.Counts[dest] = 1
+			tickRemote += uint64(n)
 			tickMsgs++
 			st.peers[dest] = true
 		}
@@ -339,14 +340,7 @@ func (st *rankState) tick(t uint64) error {
 		phaseStart = now
 	}
 
-	var err error
-	switch st.cfg.Transport {
-	case TransportMPI:
-		err = st.networkMPI(t)
-	case TransportPGAS:
-		err = st.networkPGAS(t)
-	}
-	if err != nil {
+	if err := st.ep.Exchange(t, &st.out, st); err != nil {
 		return err
 	}
 	if st.cfg.MeasurePhases {
@@ -361,162 +355,6 @@ func (st *rankState) tick(t uint64) error {
 		st.recordTick(t, tickLocal, tickRemote, tickMsgs)
 	}
 	return nil
-}
-
-// networkMPI is the two-sided Network phase of Listing 1: send one
-// aggregated message per destination, learn the incoming message count
-// with a Reduce-scatter overlapped with local spike delivery, then
-// receive messages in a critical section and deliver their spikes.
-func (st *rankState) networkMPI(t uint64) error {
-	tag := int(t)
-	var expect int64
-	errs := make([]error, st.threads)
-	st.parallel(func(tid int) {
-		if tid == 0 {
-			for dest := 0; dest < st.ranks; dest++ {
-				if st.sendCounts[dest] != 0 {
-					if err := st.comm.Isend(dest, tag, st.sendBuf[dest]); err != nil {
-						errs[tid] = err
-						return
-					}
-				}
-			}
-			n, err := st.comm.ReduceScatterSum(st.sendCounts)
-			if err != nil {
-				errs[tid] = err
-				return
-			}
-			expect = n
-			if st.threads == 1 {
-				errs[tid] = st.deliverLocalSlice(t, 0, 1)
-			}
-		} else {
-			// Non-master threads overlap local delivery with the
-			// master's collective.
-			errs[tid] = st.deliverLocalSlice(t, tid-1, st.threads-1)
-		}
-	})
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-
-	// All threads take turns receiving inside the critical section and
-	// deliver the received spikes outside it.
-	st.remaining.Store(expect)
-	st.parallel(func(tid int) {
-		for {
-			if st.remaining.Add(-1) < 0 {
-				return
-			}
-			st.recvMu.Lock()
-			data, _, err := st.comm.Recv(mpi.AnySource, tag)
-			st.recvMu.Unlock()
-			if err != nil {
-				errs[tid] = err
-				return
-			}
-			if err := st.deliverEncoded(t, data); err != nil {
-				errs[tid] = err
-				return
-			}
-		}
-	})
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// networkPGAS is the one-sided Network phase of §VII: deposit each
-// aggregated spike buffer directly into the destination rank's window,
-// deliver local spikes in parallel, synchronize with a single global
-// barrier, then drain and deliver the window contents.
-func (st *rankState) networkPGAS(t uint64) error {
-	errs := make([]error, st.threads)
-	st.parallel(func(tid int) {
-		if tid == 0 {
-			for dest := 0; dest < st.ranks; dest++ {
-				if st.sendCounts[dest] != 0 {
-					if err := st.pgas.Put(dest, st.sendBuf[dest]); err != nil {
-						errs[tid] = err
-						return
-					}
-				}
-			}
-			if st.threads == 1 {
-				errs[tid] = st.deliverLocalSlice(t, 0, 1)
-			}
-		} else {
-			errs[tid] = st.deliverLocalSlice(t, tid-1, st.threads-1)
-		}
-	})
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-
-	st.pgas.Barrier()
-
-	st.drained = st.drained[:0]
-	st.pgas.Drain(func(src int, data []byte) {
-		seg := make([]byte, len(data))
-		copy(seg, data)
-		st.drained = append(st.drained, seg)
-	})
-	st.nextSeg.Store(0)
-	st.parallel(func(tid int) {
-		for {
-			i := int(st.nextSeg.Add(1)) - 1
-			if i >= len(st.drained) {
-				return
-			}
-			if err := st.deliverEncoded(t, st.drained[i]); err != nil {
-				errs[tid] = err
-				return
-			}
-		}
-	})
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// deliverLocalSlice delivers the local spike buffers of source threads
-// whose index ≡ part (mod parts). Delivery uses the atomic schedule, so
-// partitions may overlap in target cores.
-func (st *rankState) deliverLocalSlice(t uint64, part, parts int) error {
-	for tid := part; tid < st.threads; tid += parts {
-		for _, target := range st.threadLocal[tid] {
-			core := st.coreByID[target.Core]
-			if core == nil {
-				return fmt.Errorf("compass: local spike for core %d not owned by rank %d", target.Core, st.rank)
-			}
-			if err := core.ScheduleSpikeShared(int(target.Axon), t+uint64(target.Delay), t); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-// deliverEncoded delivers every spike in an encoded payload to this
-// rank's cores.
-func (st *rankState) deliverEncoded(t uint64, data []byte) error {
-	return decodeSpikes(data, func(target truenorth.SpikeTarget) error {
-		core := st.coreByID[target.Core]
-		if core == nil {
-			return fmt.Errorf("compass: received spike for core %d not owned by rank %d", target.Core, st.rank)
-		}
-		return core.ScheduleSpikeShared(int(target.Axon), t+uint64(target.Delay), t)
-	})
 }
 
 // recordTick captures this tick's aggregates.
@@ -576,9 +414,4 @@ func (st *rankState) finalRankStats() RankStats {
 	}
 	rs.NeuronUpdates = enabled * uint64(st.ticksRun)
 	return rs
-}
-
-// sortRanksByCores is a small helper used by diagnostics and tests.
-func sortRanksByCores(stats []RankStats) {
-	sort.Slice(stats, func(a, b int) bool { return stats[a].CoresOwned > stats[b].CoresOwned })
 }

@@ -165,8 +165,12 @@ func TestDecompositionInvariance(t *testing.T) {
 		{"1r1t-pgas", Config{Ranks: 1, ThreadsPerRank: 1, Transport: TransportPGAS}},
 		{"3r2t-pgas", Config{Ranks: 3, ThreadsPerRank: 2, Transport: TransportPGAS}},
 		{"8r2t-pgas", Config{Ranks: 8, ThreadsPerRank: 2, Transport: TransportPGAS}},
+		{"1r1t-shmem", Config{Ranks: 1, ThreadsPerRank: 1, Transport: TransportShmem}},
+		{"4r2t-shmem", Config{Ranks: 4, ThreadsPerRank: 2, Transport: TransportShmem}},
+		{"8r3t-shmem", Config{Ranks: 8, ThreadsPerRank: 3, Transport: TransportShmem}},
 		{"scattered-mpi", Config{Ranks: 3, ThreadsPerRank: 2, Transport: TransportMPI, RankOf: scattered}},
 		{"scattered-pgas", Config{Ranks: 3, ThreadsPerRank: 2, Transport: TransportPGAS, RankOf: scattered}},
+		{"scattered-shmem", Config{Ranks: 3, ThreadsPerRank: 2, Transport: TransportShmem, RankOf: scattered}},
 	}
 	for _, tc := range cases {
 		tc.cfg.RecordTrace = true
@@ -190,10 +194,7 @@ func TestQuickDecompositionInvariance(t *testing.T) {
 		nCores := 6
 		ranks := int(ranksRaw%4) + 1
 		threads := int(threadsRaw%3) + 1
-		transport := TransportMPI
-		if transportRaw%2 == 1 {
-			transport = TransportPGAS
-		}
+		transport := Transports()[int(transportRaw)%3]
 		m := randomModel(nCores, seed)
 		const ticks = 15
 		ref, err := truenorth.NewSerialSim(m)
@@ -334,16 +335,21 @@ func TestZeroTicksRun(t *testing.T) {
 }
 
 func TestTransportString(t *testing.T) {
-	if TransportMPI.String() != "mpi" || TransportPGAS.String() != "pgas" || Transport(9).String() != "unknown" {
+	if TransportMPI.String() != "mpi" || TransportPGAS.String() != "pgas" ||
+		TransportShmem.String() != "shmem" || Transport(9).String() != "unknown" {
 		t.Fatal("transport names wrong")
 	}
 }
 
-func TestSortRanksByCores(t *testing.T) {
-	stats := []RankStats{{Rank: 0, CoresOwned: 1}, {Rank: 1, CoresOwned: 5}, {Rank: 2, CoresOwned: 3}}
-	sortRanksByCores(stats)
-	if stats[0].Rank != 1 || stats[2].Rank != 0 {
-		t.Fatalf("sorted order: %+v", stats)
+func TestParseTransport(t *testing.T) {
+	for _, tr := range Transports() {
+		got, err := ParseTransport(tr.String())
+		if err != nil || got != tr {
+			t.Fatalf("ParseTransport(%q) = %v, %v", tr.String(), got, err)
+		}
+	}
+	if _, err := ParseTransport("carrier-pigeon"); err == nil {
+		t.Fatal("unknown transport name accepted")
 	}
 }
 

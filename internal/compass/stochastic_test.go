@@ -69,6 +69,8 @@ func TestDecompositionInvarianceStochastic(t *testing.T) {
 		{Ranks: 6, ThreadsPerRank: 2, Transport: TransportMPI},
 		{Ranks: 2, ThreadsPerRank: 3, Transport: TransportPGAS},
 		{Ranks: 5, ThreadsPerRank: 1, Transport: TransportPGAS},
+		{Ranks: 4, ThreadsPerRank: 2, Transport: TransportShmem},
+		{Ranks: 6, ThreadsPerRank: 1, Transport: TransportShmem},
 	} {
 		cfg.RecordTrace = true
 		stats, err := Run(m, cfg, ticks)

@@ -1,0 +1,133 @@
+package compass
+
+import (
+	"fmt"
+
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// This file defines the pluggable transport layer behind the simulator's
+// Network phase. A Backend owns transport-global state (a message-passing
+// world, a PGAS space, a shared-memory spike window) and launches one
+// rank body per rank; each rank body receives an Endpoint, its private
+// connection to the transport, and calls Exchange once per tick.
+//
+// The contract every backend must satisfy:
+//
+//   - Completeness: when Exchange(t, out, d) returns, every spike this
+//     rank aggregated into out has been handed to its destination rank,
+//     and every spike any rank aggregated for THIS rank at tick t has
+//     been delivered through d (DeliverEncoded or DeliverTargets).
+//   - Determinism: the spike *multiset* delivered per tick is exactly the
+//     union of what all ranks sent. Delivery order within a tick is
+//     unconstrained — core.ScheduleSpikeShared is commutative within a
+//     tick, which is what lets backends deliver concurrently.
+//   - Local overlap: Exchange must call d.DeliverLocal so that every
+//     thread's local spike buffer is delivered exactly once per tick
+//     (backends are free to overlap this with communication, as the
+//     paper's MPI variant overlaps it with the reduce-scatter).
+//   - No tick bleed: spikes published at tick t must never be observed by
+//     a rank draining tick t-1 or t+1. Two-sided backends use bounded
+//     tags; one-sided backends use double-buffered epochs.
+//
+// See DESIGN.md ("Transport layer") for how to add a fourth backend.
+
+// Outbox is one rank's aggregated per-destination output for one tick
+// (remoteBufAgg in Listing 1). Exactly one of Encoded/Targets is
+// populated, according to Backend.RawSpikes. All slices are owned by the
+// rank and reused across ticks; a raw backend may swap Targets entries
+// for equally usable spare slices (zero-copy hand-off).
+type Outbox struct {
+	// Encoded[dest] is the wire-encoded payload bound for dest
+	// (encoded transports: MPI, PGAS).
+	Encoded [][]byte
+	// Targets[dest] is the un-encoded spike list bound for dest
+	// (raw transports: shmem).
+	Targets [][]truenorth.SpikeTarget
+	// Counts[dest] is 1 when this rank has spikes for dest this tick and
+	// 0 otherwise — the reduce-scatter contribution vector of Listing 1.
+	Counts []int64
+}
+
+// Delivery is the simulator-side surface an Endpoint drives while
+// completing the Network phase. It is implemented by the per-rank
+// simulation state; backends never see cores or models directly.
+type Delivery interface {
+	// Threads returns the rank's worker thread count.
+	Threads() int
+	// Parallel runs fn(tid) for every tid in [0, Threads()) concurrently
+	// on the rank's persistent worker pool and waits for all of them.
+	Parallel(fn func(tid int))
+	// DeliverLocal delivers the rank-local spike buffers of worker
+	// threads whose index ≡ part (mod parts). Calling it for every
+	// residue class exactly once delivers all local spikes of the tick.
+	DeliverLocal(t uint64, part, parts int) error
+	// DeliverEncoded delivers every spike in a wire-encoded payload.
+	DeliverEncoded(t uint64, data []byte) error
+	// DeliverTargets delivers a raw spike list (no decode step).
+	DeliverTargets(t uint64, targets []truenorth.SpikeTarget) error
+}
+
+// Endpoint is one rank's connection to the transport for the duration of
+// a run. Exchange is the entire Network phase of one tick.
+type Endpoint interface {
+	// Exchange publishes out to the other ranks and delivers this tick's
+	// incoming spikes (remote and local) through d, honouring the
+	// contract at the top of this file.
+	Exchange(t uint64, out *Outbox, d Delivery) error
+	// Close releases per-rank transport resources after the run loop.
+	Close() error
+}
+
+// Backend is a Network-phase transport implementation. It is selected
+// once at setup (newBackend); the per-tick path is transport-agnostic.
+type Backend interface {
+	// Name is the transport's flag/display name.
+	Name() string
+	// RawSpikes reports whether the Neuron phase should keep remote
+	// spikes as raw SpikeTarget lists (true) instead of encoding them
+	// into the wire format (false).
+	RawSpikes() bool
+	// Run launches fn concurrently for every rank with a fresh Endpoint,
+	// waits for all ranks, and returns the first error. Run must close
+	// every Endpoint it created before returning.
+	Run(ranks int, fn func(rank int, ep Endpoint) error) error
+}
+
+// newBackend instantiates the backend for a transport constant. This is
+// the only place the Transport enum is inspected after validation — the
+// per-tick path goes through the Endpoint interface alone.
+func newBackend(tr Transport) (Backend, error) {
+	switch tr {
+	case TransportMPI:
+		return mpiBackend{}, nil
+	case TransportPGAS:
+		return pgasBackend{}, nil
+	case TransportShmem:
+		return shmemBackend{}, nil
+	default:
+		return nil, fmt.Errorf("compass: unknown transport %d", tr)
+	}
+}
+
+// firstErr returns the first non-nil error of a per-thread error slice.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// errScratch resizes a pooled per-thread error slice and clears it.
+func errScratch(errs *[]error, threads int) []error {
+	if cap(*errs) < threads {
+		*errs = make([]error, threads)
+	}
+	s := (*errs)[:threads]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}

@@ -1,0 +1,108 @@
+package compass
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/cognitive-sim/compass/internal/mpi"
+)
+
+// mpiBackend is the two-sided Network phase of Listing 1 (§III): one
+// aggregated message per destination per tick, a Reduce-scatter to learn
+// the incoming message count overlapped with local spike delivery, and a
+// critical section around message receipt (thread-unsafe MPI).
+type mpiBackend struct{}
+
+func (mpiBackend) Name() string    { return "mpi" }
+func (mpiBackend) RawSpikes() bool { return false }
+
+func (mpiBackend) Run(ranks int, fn func(rank int, ep Endpoint) error) error {
+	return mpi.Run(ranks, func(c *mpi.Comm) error {
+		ep := &mpiEndpoint{comm: c}
+		err := fn(c.Rank(), ep)
+		if cerr := ep.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	})
+}
+
+// mpiTagModulus bounds the per-tick message tag: tag = tick mod modulus.
+// A raw int(tick) tag would grow without bound and silently truncate on
+// uint64 → int conversion. The modulus keeps matching correct because the
+// per-tick Reduce-scatter is a world collective: no rank can enter tick
+// t+1 before every rank has entered tick t's collective, so the only
+// point-to-point messages in flight at any moment carry tags from two
+// adjacent ticks. Any modulus ≥ 3 therefore never aliases a live tag;
+// 1024 leaves generous slack and stays far inside the int tag space.
+const mpiTagModulus = 1024
+
+// mpiEndpoint is one rank's two-sided transport connection. The receive
+// mutex reproduces the thread-unsafe-MPI critical section of §III, and
+// the error scratch is pooled across ticks.
+type mpiEndpoint struct {
+	comm      *mpi.Comm
+	recvMu    sync.Mutex
+	remaining atomic.Int64
+	errs      []error
+}
+
+func (ep *mpiEndpoint) Close() error { return nil }
+
+func (ep *mpiEndpoint) Exchange(t uint64, out *Outbox, d Delivery) error {
+	threads := d.Threads()
+	errs := errScratch(&ep.errs, threads)
+	tag := int(t % mpiTagModulus)
+	var expect int64
+	d.Parallel(func(tid int) {
+		if tid == 0 {
+			for dest := range out.Encoded {
+				if out.Counts[dest] != 0 {
+					if err := ep.comm.Isend(dest, tag, out.Encoded[dest]); err != nil {
+						errs[tid] = err
+						return
+					}
+				}
+			}
+			n, err := ep.comm.ReduceScatterSum(out.Counts)
+			if err != nil {
+				errs[tid] = err
+				return
+			}
+			expect = n
+			if threads == 1 {
+				errs[tid] = d.DeliverLocal(t, 0, 1)
+			}
+		} else {
+			// Non-master threads overlap local delivery with the
+			// master's collective.
+			errs[tid] = d.DeliverLocal(t, tid-1, threads-1)
+		}
+	})
+	if err := firstErr(errs); err != nil {
+		return err
+	}
+
+	// All threads take turns receiving inside the critical section and
+	// deliver the received spikes outside it.
+	ep.remaining.Store(expect)
+	d.Parallel(func(tid int) {
+		for {
+			if ep.remaining.Add(-1) < 0 {
+				return
+			}
+			ep.recvMu.Lock()
+			data, _, err := ep.comm.Recv(mpi.AnySource, tag)
+			ep.recvMu.Unlock()
+			if err != nil {
+				errs[tid] = err
+				return
+			}
+			if err := d.DeliverEncoded(t, data); err != nil {
+				errs[tid] = err
+				return
+			}
+		}
+	})
+	return firstErr(errs)
+}

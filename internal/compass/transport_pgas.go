@@ -1,0 +1,91 @@
+package compass
+
+import (
+	"sync/atomic"
+
+	"github.com/cognitive-sim/compass/internal/pgas"
+)
+
+// pgasBackend is the one-sided Network phase of §VII: deposit each
+// aggregated spike buffer directly into the destination rank's window,
+// deliver local spikes in parallel, synchronize with a single global
+// barrier, then drain and deliver the window contents.
+type pgasBackend struct{}
+
+func (pgasBackend) Name() string    { return "pgas" }
+func (pgasBackend) RawSpikes() bool { return false }
+
+func (pgasBackend) Run(ranks int, fn func(rank int, ep Endpoint) error) error {
+	return pgas.Run(ranks, func(h *pgas.Handle) error {
+		ep := &pgasEndpoint{h: h}
+		err := fn(h.Rank(), ep)
+		if cerr := ep.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	})
+}
+
+// pgasEndpoint is one rank's one-sided transport connection. The drained
+// slice holds references into the window segments pending parallel
+// delivery; its header is reused across ticks so the steady-state tick
+// allocates nothing.
+type pgasEndpoint struct {
+	h       *pgas.Handle
+	drained [][]byte
+	nextSeg atomic.Int64
+	errs    []error
+}
+
+func (ep *pgasEndpoint) Close() error { return nil }
+
+func (ep *pgasEndpoint) Exchange(t uint64, out *Outbox, d Delivery) error {
+	threads := d.Threads()
+	errs := errScratch(&ep.errs, threads)
+	d.Parallel(func(tid int) {
+		if tid == 0 {
+			for dest := range out.Encoded {
+				if out.Counts[dest] != 0 {
+					if err := ep.h.Put(dest, out.Encoded[dest]); err != nil {
+						errs[tid] = err
+						return
+					}
+				}
+			}
+			if threads == 1 {
+				errs[tid] = d.DeliverLocal(t, 0, 1)
+			}
+		} else {
+			errs[tid] = d.DeliverLocal(t, tid-1, threads-1)
+		}
+	})
+	if err := firstErr(errs); err != nil {
+		return err
+	}
+
+	ep.h.Barrier()
+
+	// Collect the drained segments by reference — no copy. This is safe
+	// because a writer reuses a segment's parity only two epochs later,
+	// after a barrier this rank can only pass once delivery below has
+	// finished; the double-buffered protocol provides the happens-before
+	// edge (see package pgas).
+	ep.drained = ep.drained[:0]
+	ep.h.Drain(func(src int, data []byte) {
+		ep.drained = append(ep.drained, data)
+	})
+	ep.nextSeg.Store(0)
+	d.Parallel(func(tid int) {
+		for {
+			i := int(ep.nextSeg.Add(1)) - 1
+			if i >= len(ep.drained) {
+				return
+			}
+			if err := d.DeliverEncoded(t, ep.drained[i]); err != nil {
+				errs[tid] = err
+				return
+			}
+		}
+	})
+	return firstErr(errs)
+}

@@ -1,0 +1,196 @@
+package compass
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// shmemBackend is the zero-copy in-process transport: ranks share one
+// address space (they always do in this simulator), so the Network phase
+// can swap per-destination spike slices directly between rank states —
+// no wire encoding, no decode, no payload copy, no per-message buffering.
+// It is the pluggability proof for the Transport interface and the fast
+// path for the common single-process run.
+//
+// The window layout follows package pgas: win[dst][parity][src] is
+// written only by src before the tick's barrier and drained only by dst
+// after it, with double-buffered epoch parity so a writer reuses a
+// parity slot only two epochs later — by which time the owner's delivery
+// has finished (the intervening barrier is the happens-before edge).
+// Unlike pgas, the "window" holds raw []SpikeTarget slices and Exchange
+// *swaps* them: the destination keeps the sender's buffer to drain, and
+// the sender takes back the slice the destination drained two epochs ago
+// as its next (already warm) send buffer. Steady-state ticks allocate
+// nothing and copy no spike bytes.
+type shmemBackend struct{}
+
+func (shmemBackend) Name() string    { return "shmem" }
+func (shmemBackend) RawSpikes() bool { return true }
+
+func (shmemBackend) Run(ranks int, fn func(rank int, ep Endpoint) error) error {
+	s := newShmemSpace(ranks)
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	wg.Add(ranks)
+	for r := 0; r < ranks; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			ep := &shmemEndpoint{s: s, rank: rank}
+			err := fn(rank, ep)
+			if cerr := ep.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				s.abort()
+			}
+			errs[rank] = err
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, errShmemAborted) {
+			return err
+		}
+	}
+	return firstErr(errs)
+}
+
+// errShmemAborted unblocks the barrier when another rank fails.
+var errShmemAborted = errors.New("compass: shmem transport aborted")
+
+// shmemSpace is the shared spike window plus a sense-reversing barrier.
+type shmemSpace struct {
+	size int
+
+	// win[dst][parity][src] is the spike slice deposited by src for dst
+	// during epochs of that parity.
+	win [][2][][]truenorth.SpikeTarget
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	gen     uint64
+	aborted bool
+}
+
+func newShmemSpace(size int) *shmemSpace {
+	s := &shmemSpace{size: size, win: make([][2][][]truenorth.SpikeTarget, size)}
+	for d := range s.win {
+		s.win[d][0] = make([][]truenorth.SpikeTarget, size)
+		s.win[d][1] = make([][]truenorth.SpikeTarget, size)
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// barrier blocks until every rank has entered it, or fails fast if the
+// space was aborted (so one rank's error cannot deadlock the others).
+func (s *shmemSpace) barrier() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.aborted {
+		return errShmemAborted
+	}
+	gen := s.gen
+	s.arrived++
+	if s.arrived == s.size {
+		s.arrived = 0
+		s.gen++
+		s.cond.Broadcast()
+		return nil
+	}
+	for gen == s.gen {
+		s.cond.Wait()
+		if s.aborted {
+			return errShmemAborted
+		}
+	}
+	return nil
+}
+
+// abort marks the space failed and releases every rank blocked in the
+// barrier.
+func (s *shmemSpace) abort() {
+	s.mu.Lock()
+	s.aborted = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// shmemEndpoint is one rank's view of the shared window.
+type shmemEndpoint struct {
+	s       *shmemSpace
+	rank    int
+	epoch   uint64
+	nextSeg atomic.Int64
+	errs    []error
+}
+
+func (ep *shmemEndpoint) Close() error { return nil }
+
+func (ep *shmemEndpoint) Exchange(t uint64, out *Outbox, d Delivery) error {
+	threads := d.Threads()
+	errs := errScratch(&ep.errs, threads)
+	parity := ep.epoch & 1
+
+	// Publish: swap this tick's per-destination raw spike slices into the
+	// destination windows. The slice taken back in return is the buffer
+	// the destination finished draining two epochs ago, truncated — the
+	// zero-copy analogue of a send-buffer pool.
+	for dest := 0; dest < ep.s.size; dest++ {
+		if out.Counts[dest] == 0 {
+			continue
+		}
+		w := &ep.s.win[dest][parity][ep.rank]
+		out.Targets[dest], *w = (*w)[:0], out.Targets[dest]
+	}
+
+	// There is no collective to overlap with, so every thread goes
+	// straight to local delivery.
+	d.Parallel(func(tid int) {
+		errs[tid] = d.DeliverLocal(t, tid, threads)
+	})
+	localErr := firstErr(errs)
+	if localErr != nil {
+		ep.s.abort()
+		return localErr
+	}
+
+	if err := ep.s.barrier(); err != nil {
+		return err
+	}
+
+	// Drain: deliver every source segment of the epoch the barrier just
+	// closed, segments claimed by atomic counter across threads.
+	window := ep.s.win[ep.rank][parity]
+	ep.nextSeg.Store(0)
+	d.Parallel(func(tid int) {
+		for {
+			i := int(ep.nextSeg.Add(1)) - 1
+			if i >= len(window) {
+				return
+			}
+			if len(window[i]) == 0 {
+				continue
+			}
+			if err := d.DeliverTargets(t, window[i]); err != nil {
+				errs[tid] = err
+				return
+			}
+		}
+	})
+	// Truncate the drained segments so their writers can swap them back
+	// as fresh send buffers at this parity's next epoch.
+	for src := range window {
+		window[src] = window[src][:0]
+	}
+	ep.epoch++
+	if err := firstErr(errs); err != nil {
+		ep.s.abort()
+		return err
+	}
+	return nil
+}

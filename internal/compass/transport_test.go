@@ -1,0 +1,206 @@
+package compass
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// aggregates is the transport-independent summary of a run: every
+// quantity a backend could plausibly skew. Byte-identical equality of
+// this struct across transports is the Transport-interface contract.
+type aggregates struct {
+	TotalSpikes    uint64
+	LocalSpikes    uint64
+	RemoteSpikes   uint64
+	Messages       uint64
+	WireBytes      uint64
+	AxonEvents     uint64
+	SynapticEvents uint64
+	NeuronUpdates  uint64
+}
+
+func aggregatesOf(s *RunStats) aggregates {
+	return aggregates{
+		TotalSpikes:    s.TotalSpikes,
+		LocalSpikes:    s.LocalSpikes,
+		RemoteSpikes:   s.RemoteSpikes,
+		Messages:       s.Messages,
+		WireBytes:      s.WireBytes,
+		AxonEvents:     s.AxonEvents,
+		SynapticEvents: s.SynapticEvents,
+		NeuronUpdates:  s.NeuronUpdates,
+	}
+}
+
+// TestCrossTransportEquivalence runs the same model and seed under every
+// transport at several (ranks, threads) decompositions and requires
+// byte-identical RunStats aggregates and sorted spike traces. This is
+// the acceptance test for the pluggable transport layer: a backend that
+// drops, duplicates, or reorders spikes across ticks fails here.
+func TestCrossTransportEquivalence(t *testing.T) {
+	m := randomModel(8, 0xBEEF)
+	const ticks = 40
+	serial, serialSpikes := serialTrace(t, m, ticks)
+	if serialSpikes == 0 {
+		t.Fatal("model silent; test vacuous")
+	}
+
+	decomps := []struct {
+		ranks, threads int
+	}{
+		{1, 1},
+		{1, 4},
+		{2, 1},
+		{3, 2},
+		{4, 2},
+		{8, 3},
+	}
+	for _, dc := range decomps {
+		var ref *RunStats
+		var refName string
+		for _, tr := range Transports() {
+			cfg := Config{
+				Ranks:          dc.ranks,
+				ThreadsPerRank: dc.threads,
+				Transport:      tr,
+				RecordTrace:    true,
+				RecordPerTick:  true,
+			}
+			stats, err := Run(m, cfg, ticks)
+			if err != nil {
+				t.Fatalf("%dr%dt-%s: %v", dc.ranks, dc.threads, tr, err)
+			}
+			name := tr.String()
+			if !reflect.DeepEqual(stats.Trace, serial) {
+				t.Errorf("%dr%dt-%s: trace differs from serial reference", dc.ranks, dc.threads, name)
+				continue
+			}
+			if ref == nil {
+				ref, refName = stats, name
+				continue
+			}
+			if got, want := aggregatesOf(stats), aggregatesOf(ref); got != want {
+				t.Errorf("%dr%dt: %s aggregates %+v != %s aggregates %+v",
+					dc.ranks, dc.threads, name, got, refName, want)
+			}
+			if !reflect.DeepEqual(stats.PerTick, ref.PerTick) {
+				t.Errorf("%dr%dt: %s per-tick stats differ from %s", dc.ranks, dc.threads, name, refName)
+			}
+		}
+	}
+}
+
+// TestShmemBuffersReusedAcrossTicks drives the shmem swap protocol for
+// long enough that every buffer cycles through both epoch parities many
+// times, with a fresh MPI run as the oracle. A bug in the zero-copy swap
+// (a sender mutating a slice the receiver still reads, or a stale
+// segment resurfacing) shows up as a trace or count divergence.
+func TestShmemBuffersReusedAcrossTicks(t *testing.T) {
+	m := randomModel(6, 0x5EED)
+	const ticks = 120
+	want, err := Run(m, Config{Ranks: 3, ThreadsPerRank: 2, Transport: TransportMPI, RecordTrace: true}, ticks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(m, Config{Ranks: 3, ThreadsPerRank: 2, Transport: TransportShmem, RecordTrace: true}, ticks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Trace, want.Trace) {
+		t.Fatalf("shmem trace diverged after %d ticks of buffer reuse", ticks)
+	}
+	if aggregatesOf(got) != aggregatesOf(want) {
+		t.Fatalf("shmem aggregates %+v, want %+v", aggregatesOf(got), aggregatesOf(want))
+	}
+}
+
+// TestShmemAbortUnblocksBarrier: when one rank fails mid-tick, the
+// shared-memory barrier must release the other ranks with an error
+// instead of deadlocking them (the failure mode the pure-PGAS runtime
+// documents and cannot avoid).
+func TestShmemAbortUnblocksBarrier(t *testing.T) {
+	s := newShmemSpace(2)
+	done := make(chan error, 1)
+	go func() { done <- s.barrier() }()
+	s.abort()
+	if err := <-done; err == nil {
+		t.Fatal("aborted barrier returned nil")
+	}
+	if err := s.barrier(); err == nil {
+		t.Fatal("barrier after abort returned nil")
+	}
+}
+
+// TestBackendSelection checks the one-time setup switch: each transport
+// constant maps to a backend whose name round-trips, and the per-tick
+// path never sees the enum again (compile-time: Exchange takes only the
+// Endpoint interface).
+func TestBackendSelection(t *testing.T) {
+	for _, tr := range Transports() {
+		b, err := newBackend(tr)
+		if err != nil {
+			t.Fatalf("newBackend(%v): %v", tr, err)
+		}
+		if b.Name() != tr.String() {
+			t.Errorf("backend name %q for transport %q", b.Name(), tr.String())
+		}
+	}
+	if _, err := newBackend(Transport(42)); err == nil {
+		t.Fatal("unknown transport got a backend")
+	}
+	if !(shmemBackend{}).RawSpikes() {
+		t.Fatal("shmem must take raw spikes")
+	}
+	if (mpiBackend{}).RawSpikes() || (pgasBackend{}).RawSpikes() {
+		t.Fatal("wire transports must take encoded spikes")
+	}
+}
+
+// TestOutboxModeAllocation: the rank state allocates only the buffer
+// family its transport needs.
+func TestOutboxModeAllocation(t *testing.T) {
+	m := randomModel(4, 3)
+	cfg := Config{Ranks: 2, ThreadsPerRank: 1}
+	pl := cfg.placement(len(m.Cores))
+	enc := newRankState(0, m, cfg, pl, false)
+	if enc.out.Encoded == nil || enc.out.Targets != nil || enc.threadRemote == nil || enc.threadRemoteRaw != nil {
+		t.Fatal("encoded-mode rank state allocated raw buffers")
+	}
+	raw := newRankState(0, m, cfg, pl, true)
+	if raw.out.Targets == nil || raw.out.Encoded != nil || raw.threadRemoteRaw == nil || raw.threadRemote != nil {
+		t.Fatal("raw-mode rank state allocated encoded buffers")
+	}
+}
+
+// TestDenseCoreIndex: the dense CoreID-keyed slice must resolve exactly
+// the owned cores and reject out-of-range or unowned targets.
+func TestDenseCoreIndex(t *testing.T) {
+	m := randomModel(6, 21)
+	cfg := Config{Ranks: 3, ThreadsPerRank: 1}
+	pl := cfg.placement(len(m.Cores))
+	st := newRankState(1, m, cfg, pl, false)
+	owned := 0
+	for id, core := range st.localCore {
+		if core == nil {
+			continue
+		}
+		owned++
+		if pl[id] != 1 {
+			t.Fatalf("core %d indexed on rank 1 but placed on rank %d", id, pl[id])
+		}
+		if int(core.ID()) != id {
+			t.Fatalf("core %d indexed under id %d", core.ID(), id)
+		}
+	}
+	if owned != len(st.cores) {
+		t.Fatalf("dense index holds %d cores, rank owns %d", owned, len(st.cores))
+	}
+	if err := st.deliverRemote(0, truenorth.SpikeTarget{Core: truenorth.CoreID(len(m.Cores)), Axon: 0, Delay: 1}); err == nil {
+		t.Fatal("out-of-range core accepted")
+	}
+	if err := st.deliverRemote(0, truenorth.SpikeTarget{Core: 0, Axon: 0, Delay: 1}); err == nil {
+		t.Fatal("unowned core accepted")
+	}
+}

@@ -258,6 +258,10 @@ func ProjectWithOptions(m Machine, w Workload, threads int, transport compass.Tr
 	case compass.TransportPGAS:
 		puts := msgsSent*m.PutOverhead + w.Max.BytesSent/m.BytePerSecond
 		network = puts + m.BarrierTime(w.Nodes) + deliver
+	case compass.TransportShmem:
+		// The shmem transport is a host-only fast path for in-process
+		// runs; it has no Blue Gene analogue to project.
+		return PhaseTimes{}, fmt.Errorf("perfmodel: shmem transport has no machine-model projection")
 	default:
 		return PhaseTimes{}, fmt.Errorf("perfmodel: unknown transport %v", transport)
 	}

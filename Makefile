@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check bench bench-transport
+.PHONY: build test race vet check bench bench-transport bench-kernel
 
 build:
 	$(GO) build ./...
@@ -13,10 +13,11 @@ test:
 	$(GO) test ./...
 
 # Race-check the simulator core and both communication runtimes: the
-# worker pool, the MPI mailboxes, the PGAS windows, and the shmem
-# zero-copy slice swapping all run under -race here.
+# worker pool, the MPI mailboxes, the PGAS windows, the shmem zero-copy
+# slice swapping, and the atomic spike-delivery bitmask all run under
+# -race here.
 race:
-	$(GO) test -race ./internal/compass/... ./internal/mpi/... ./internal/pgas/...
+	$(GO) test -race ./internal/truenorth/... ./internal/compass/... ./internal/mpi/... ./internal/pgas/...
 
 vet:
 	$(GO) vet ./...
@@ -30,3 +31,9 @@ bench:
 # throughput record (shmem must stay >= mpi on this workload).
 bench-transport:
 	BENCH_TRANSPORT_OUT=BENCH_transport.json $(GO) test -run TestTransportBenchArtifact -count=1 -v .
+
+# Regenerate BENCH_kernel.json, the Synapse-phase throughput record:
+# the bit-parallel kernel must stay >= 1.5x the scalar reference on the
+# dense deterministic workload.
+bench-kernel:
+	BENCH_KERNEL_OUT=BENCH_kernel.json $(GO) test -run TestKernelBenchArtifact -count=1 -v .

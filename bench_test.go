@@ -229,6 +229,135 @@ func TestTransportBenchArtifact(t *testing.T) {
 	t.Logf("wrote %s", out)
 }
 
+// BenchmarkSynapseKernel compares the bit-parallel Synapse kernel with
+// the forced scalar reference path on the dense deterministic workload
+// (the Synapse-phase stress complement of BenchmarkTransports).
+func BenchmarkSynapseKernel(b *testing.B) {
+	model, err := experiments.DenseDeterministicModel(32, 0.30, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const ticks = 50
+	for _, path := range []struct {
+		name  string
+		force bool
+	}{{"kernel", false}, {"scalar", true}} {
+		b.Run(path.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := compass.Run(model, compass.Config{
+					Ranks: 2, ThreadsPerRank: 2,
+					Transport: compass.TransportShmem, ForceScalar: path.force,
+				}, ticks); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(ticks)*float64(b.N)/b.Elapsed().Seconds(), "ticks/s")
+		})
+	}
+}
+
+// TestKernelBenchArtifact measures compute-phase throughput with the
+// bit-parallel Synapse kernel against the forced scalar path on a dense
+// (30% crossbar density) deterministic workload and, when the
+// BENCH_KERNEL_OUT environment variable names a file (the Makefile's
+// bench-kernel target sets it), records the numbers as JSON so the
+// repository tracks the perf trajectory of the Synapse/Neuron phases
+// alongside BENCH_transport.json. It always asserts the ordering the
+// kernel exists for: at least 1.5x the scalar path's ticks/s on this
+// workload, with identical spike output.
+func TestKernelBenchArtifact(t *testing.T) {
+	out := os.Getenv("BENCH_KERNEL_OUT")
+	if out == "" {
+		// A wall-clock assertion is only meaningful on a quiet machine;
+		// under `go test ./...` the packages race each other for cores.
+		t.Skip("set BENCH_KERNEL_OUT (or run `make bench-kernel`) to measure")
+	}
+	model, err := experiments.DenseDeterministicModel(64, 0.30, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		ranks      = 4
+		threads    = 2
+		ticks      = 200
+		reps       = 5
+		minSpeedup = 1.5
+	)
+	type result struct {
+		Path           string  `json:"path"`
+		Ranks          int     `json:"ranks"`
+		Threads        int     `json:"threads"`
+		Ticks          int     `json:"ticks"`
+		BestSeconds    float64 `json:"best_seconds"`
+		TicksPerSecond float64 `json:"ticks_per_second"`
+		CoreTicksPerS  float64 `json:"core_ticks_per_second"`
+		TotalSpikes    uint64  `json:"total_spikes"`
+		SynapticEvents uint64  `json:"synaptic_events"`
+	}
+	cores := model.NumCores()
+	measure := func(name string, force bool) result {
+		best := math.Inf(1)
+		var spikes, syn uint64
+		for rep := 0; rep < reps; rep++ {
+			t0 := time.Now()
+			stats, err := compass.Run(model, compass.Config{
+				Ranks: ranks, ThreadsPerRank: threads,
+				Transport: compass.TransportShmem, ForceScalar: force,
+			}, ticks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sec := time.Since(t0).Seconds(); sec < best {
+				best = sec
+			}
+			spikes, syn = stats.TotalSpikes, stats.SynapticEvents
+		}
+		return result{
+			Path:           name,
+			Ranks:          ranks,
+			Threads:        threads,
+			Ticks:          ticks,
+			BestSeconds:    best,
+			TicksPerSecond: float64(ticks) / best,
+			CoreTicksPerS:  float64(cores) * float64(ticks) / best,
+			TotalSpikes:    spikes,
+			SynapticEvents: syn,
+		}
+	}
+	kern := measure("kernel", false)
+	scal := measure("scalar", true)
+	for _, r := range []result{kern, scal} {
+		t.Logf("%-6s  %8.1f ticks/s  %12.0f core-ticks/s  (best of %d)",
+			r.Path, r.TicksPerSecond, r.CoreTicksPerS, reps)
+	}
+	if kern.TotalSpikes != scal.TotalSpikes || kern.SynapticEvents != scal.SynapticEvents {
+		t.Errorf("kernel output diverges from scalar: %d/%d spikes, %d/%d synaptic events",
+			kern.TotalSpikes, scal.TotalSpikes, kern.SynapticEvents, scal.SynapticEvents)
+	}
+	speedup := kern.TicksPerSecond / scal.TicksPerSecond
+	if speedup < minSpeedup {
+		t.Errorf("kernel speedup %.2fx below %.1fx (kernel %.1f ticks/s, scalar %.1f ticks/s)",
+			speedup, minSpeedup, kern.TicksPerSecond, scal.TicksPerSecond)
+	}
+	doc := struct {
+		Workload string   `json:"workload"`
+		Speedup  float64  `json:"speedup"`
+		Results  []result `json:"results"`
+	}{
+		Workload: "experiments.DenseDeterministicModel(64, 0.30, 11): 64 cores, 30% crossbar density, deterministic leak-driven oscillators",
+		Speedup:  speedup,
+		Results:  []result{kern, scal},
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (speedup %.2fx)", out, speedup)
+}
+
 // BenchmarkCompileCoCoMac measures Parallel Compass Compiler throughput
 // on the macaque network.
 func BenchmarkCompileCoCoMac(b *testing.B) {

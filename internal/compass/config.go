@@ -118,6 +118,11 @@ type Config struct {
 	// RunStats.PhaseSeconds (the host-measured analogue of Figure 4(a)'s
 	// per-phase breakdown).
 	MeasurePhases bool
+	// ForceScalar pins every core to the scalar Synapse path and
+	// disables quiescent-core skipping. Output is bit-identical either
+	// way; the flag exists so the kernel benchmark and conformance tests
+	// can measure and verify the fast path against the reference.
+	ForceScalar bool
 }
 
 // Validate checks the configuration against a model.

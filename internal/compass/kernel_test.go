@@ -1,0 +1,119 @@
+package compass
+
+import (
+	"testing"
+
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// TestForceScalarMatchesKernelGolden runs the pinned regression model on
+// the scalar reference path: the trace must equal the golden hash the
+// kernel path produces, proving the fast path changes speed only.
+func TestForceScalarMatchesKernelGolden(t *testing.T) {
+	hash, spikes := goldenTrace(t, Config{
+		Ranks: 4, ThreadsPerRank: 2, Transport: TransportShmem, ForceScalar: true,
+	})
+	if hash != goldenHash || spikes != goldenSpikes {
+		t.Fatalf("scalar-path golden trace = %#x / %d spikes, want %#x / %d",
+			hash, spikes, goldenHash, goldenSpikes)
+	}
+}
+
+// TestForceScalarStatsIdentical compares full run statistics between the
+// kernel and forced-scalar paths on the regression model.
+func TestForceScalarStatsIdentical(t *testing.T) {
+	m := randomModel(6, 0xBEEF)
+	run := func(force bool) *RunStats {
+		stats, err := Run(m, Config{
+			Ranks: 3, ThreadsPerRank: 2, Transport: TransportShmem,
+			RecordPerTick: true, ForceScalar: force,
+		}, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	fast, ref := run(false), run(true)
+	if fast.TotalSpikes != ref.TotalSpikes ||
+		fast.AxonEvents != ref.AxonEvents ||
+		fast.SynapticEvents != ref.SynapticEvents ||
+		fast.LocalSpikes != ref.LocalSpikes ||
+		fast.RemoteSpikes != ref.RemoteSpikes {
+		t.Fatalf("kernel stats %+v diverge from scalar %+v", fast, ref)
+	}
+	for i := range fast.PerTick {
+		if fast.PerTick[i] != ref.PerTick[i] {
+			t.Fatalf("tick %d: kernel %+v, scalar %+v", i, fast.PerTick[i], ref.PerTick[i])
+		}
+	}
+	if ref.QuiescentCoreTicks != 0 {
+		t.Fatalf("ForceScalar run skipped %d core-ticks", ref.QuiescentCoreTicks)
+	}
+}
+
+// quietModel builds a model where core 0 oscillates and occasionally
+// spikes into core 1, while cores 2..n-1 are passive and receive
+// nothing — they must be skipped on (almost) every tick.
+func quietModel(nCores int) *truenorth.Model {
+	m := &truenorth.Model{Seed: 4}
+	for k := 0; k < nCores; k++ {
+		cfg := &truenorth.CoreConfig{ID: truenorth.CoreID(k)}
+		cfg.SetSynapse(0, 0, true)
+		n := truenorth.NeuronParams{
+			Weights:   [truenorth.NumAxonTypes]int16{1, 1, 1, 1},
+			Threshold: 8,
+			Floor:     -8,
+			Target:    truenorth.SpikeTarget{Core: 1, Axon: 0, Delay: 1},
+			Enabled:   true,
+		}
+		if k == 0 {
+			n.Leak = 1 // the only driver
+		}
+		cfg.Neurons[0] = n
+		m.Cores = append(m.Cores, cfg)
+	}
+	return m
+}
+
+// TestQuiescentCoreSkipping checks the simulator skips idle cores and
+// that skipping leaves the spike output identical to the scalar
+// reference run.
+func TestQuiescentCoreSkipping(t *testing.T) {
+	const nCores, ticks = 8, 64
+	m := quietModel(nCores)
+	run := func(force bool) *RunStats {
+		stats, err := Run(m, Config{
+			Ranks: 2, ThreadsPerRank: 2, Transport: TransportShmem,
+			RecordTrace: true, ForceScalar: force,
+		}, ticks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	fast, ref := run(false), run(true)
+	if len(fast.Trace) != len(ref.Trace) {
+		t.Fatalf("trace lengths diverge: %d vs %d", len(fast.Trace), len(ref.Trace))
+	}
+	for i := range fast.Trace {
+		if fast.Trace[i] != ref.Trace[i] {
+			t.Fatalf("trace event %d diverges: %+v vs %+v", i, fast.Trace[i], ref.Trace[i])
+		}
+	}
+	// Cores 2..7 are passive and idle: each must be skipped on every tick
+	// after its first (settling) one. Core 1 receives sporadic input and
+	// core 0 drives, so they may or may not be skipped; the idle cores
+	// alone give a hard floor.
+	minSkips := uint64((nCores - 2) * (ticks - 1))
+	if fast.QuiescentCoreTicks < minSkips {
+		t.Fatalf("QuiescentCoreTicks = %d, want >= %d", fast.QuiescentCoreTicks, minSkips)
+	}
+	if ref.QuiescentCoreTicks != 0 {
+		t.Fatalf("scalar reference skipped %d core-ticks", ref.QuiescentCoreTicks)
+	}
+	// The driver core (leak oscillator, never any pending input) must
+	// have its Synapse phase skipped while its Neuron phase still runs.
+	if fast.SynapseSkips == 0 {
+		t.Fatal("no Synapse phases were skipped")
+	}
+}

@@ -104,6 +104,9 @@ func gather(m *truenorth.Model, cfg Config, ticks int, states []*rankState) *Run
 		out.AxonEvents += rs.AxonEvents
 		out.SynapticEvents += rs.SynapticEvents
 		out.NeuronUpdates += rs.NeuronUpdates
+		out.QuiescentCoreTicks += rs.QuiescentCoreTicks
+		out.SynapseSkips += rs.SynapseSkips
+		out.DroppedInputs += rs.DroppedInputs
 		if cfg.RecordPerTick {
 			for t := range st.perTick {
 				out.PerTick[t].add(st.perTick[t])
@@ -139,9 +142,12 @@ type rankState struct {
 	pool *workerPool
 
 	// cores owned by this rank, ascending ID; threadCores partitions them
-	// round-robin over threads.
-	cores       []*truenorth.Core
-	threadCores [][]*truenorth.Core
+	// round-robin over threads. threadActive[tid] is rebuilt each tick
+	// with the cores that actually have work (reused across ticks), so
+	// the compute phase iterates active cores only.
+	cores        []*truenorth.Core
+	threadCores  [][]*truenorth.Core
+	threadActive [][]*truenorth.Core
 
 	// localCore resolves spike targets owned by this rank: a dense slice
 	// keyed by CoreID (nil entries for cores on other ranks).
@@ -168,6 +174,11 @@ type rankState struct {
 
 	// per-thread firing counters for the current tick.
 	threadFirings []uint64
+
+	// cumulative per-thread quiescence counters: core-ticks skipped
+	// entirely and Synapse phases skipped for lack of pending spikes.
+	threadQuiescent []uint64
+	threadSynSkips  []uint64
 
 	// cumulative statistics.
 	localSpikes  uint64
@@ -206,6 +217,9 @@ func newRankState(r int, m *truenorth.Model, cfg Config, placement []int, raw bo
 			continue
 		}
 		core := truenorth.NewCore(cfgCore, m.Seed)
+		if cfg.ForceScalar {
+			core.ForceScalar()
+		}
 		st.cores = append(st.cores, core)
 		st.localCore[cfgCore.ID] = core
 	}
@@ -235,6 +249,12 @@ func newRankState(r int, m *truenorth.Model, cfg Config, placement []int, raw bo
 	st.out.Counts = make([]int64, cfg.Ranks)
 	st.threadLocal = make([][]truenorth.SpikeTarget, cfg.ThreadsPerRank)
 	st.threadFirings = make([]uint64, cfg.ThreadsPerRank)
+	st.threadActive = make([][]*truenorth.Core, cfg.ThreadsPerRank)
+	for tid := range st.threadActive {
+		st.threadActive[tid] = make([]*truenorth.Core, 0, len(st.threadCores[tid]))
+	}
+	st.threadQuiescent = make([]uint64, cfg.ThreadsPerRank)
+	st.threadSynSkips = make([]uint64, cfg.ThreadsPerRank)
 	if cfg.RecordTrace {
 		st.traces = make([][]truenorth.SpikeEvent, cfg.ThreadsPerRank)
 	}
@@ -270,11 +290,28 @@ func (st *rankState) tick(t uint64) error {
 	}
 
 	// Synapse + Neuron phases. Cores are independent within a tick, so
-	// each thread runs both phases back to back over its cores.
+	// each thread runs both phases back to back over its cores. Each
+	// thread first filters its cores down to the active list — quiescent
+	// cores (passive dynamics, settled state, no spikes due) are skipped
+	// outright — and the Synapse phase is skipped for active cores with
+	// no pending spikes this tick.
 	st.Parallel(func(tid int) {
 		fired := uint64(0)
+		active := st.threadActive[tid][:0]
 		for _, core := range st.threadCores[tid] {
-			core.SynapsePhase(t)
+			if core.QuiescentAt(t) {
+				st.threadQuiescent[tid]++
+				continue
+			}
+			active = append(active, core)
+		}
+		st.threadActive[tid] = active
+		for _, core := range active {
+			if core.HasPendingSpikes(t) {
+				core.SynapsePhase(t)
+			} else {
+				st.threadSynSkips[tid]++
+			}
 			core.NeuronPhase(func(s truenorth.Spike) {
 				fired++
 				dest := st.placement[s.Target.Core]
@@ -401,6 +438,11 @@ func (st *rankState) finalRankStats() RankStats {
 		rs.AxonEvents += a
 		rs.SynapticEvents += s
 		rs.Firings += f
+		rs.DroppedInputs += core.DroppedInjects()
+	}
+	for tid := 0; tid < st.threads; tid++ {
+		rs.QuiescentCoreTicks += st.threadQuiescent[tid]
+		rs.SynapseSkips += st.threadSynSkips[tid]
 	}
 	// Every enabled neuron is updated once per tick.
 	enabled := uint64(0)

@@ -52,6 +52,15 @@ type RankStats struct {
 	// PeerRanks is the number of distinct ranks this rank sent at least
 	// one message to over the run (the process's white-matter fan-out).
 	PeerRanks int
+	// QuiescentCoreTicks counts core-ticks skipped entirely (passive
+	// core, settled state, no spikes due); SynapseSkips counts Synapse
+	// phases skipped on active cores with no pending spikes. Both skips
+	// are bit-exact — they never change simulation output.
+	QuiescentCoreTicks uint64
+	SynapseSkips       uint64
+	// DroppedInputs counts external spikes dropped for targeting an
+	// out-of-range axon (malformed spike-file records).
+	DroppedInputs uint64
 }
 
 // RunStats summarizes a parallel simulation.
@@ -71,6 +80,10 @@ type RunStats struct {
 	AxonEvents     uint64
 	SynapticEvents uint64
 	NeuronUpdates  uint64
+	// Quiescence and input-hygiene totals (see RankStats).
+	QuiescentCoreTicks uint64
+	SynapseSkips       uint64
+	DroppedInputs      uint64
 
 	// PerTick holds per-tick aggregates when Config.RecordPerTick is set.
 	PerTick []TickStats

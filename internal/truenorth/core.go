@@ -47,6 +47,10 @@ const (
 	// crossbarWords is the number of 64-bit words per crossbar row.
 	crossbarWords = CoreSize / 64
 
+	// axonWords is the number of 64-bit words in a per-slot pending-axon
+	// bitmask (one bit per axon).
+	axonWords = CoreSize / 64
+
 	// SpikeWireBytes is the modelled size of one spike on the inter-core
 	// network; the paper accounts 20 bytes per spike when computing
 	// aggregate bandwidth (§VI-B).
@@ -186,28 +190,82 @@ type Core struct {
 	// potential holds the membrane potential of every neuron.
 	potential [CoreSize]int32
 
-	// axonBuf is the delay ring: axonBuf[i] bit (t mod delayWindow) set
-	// means axon i has a spike scheduled for delivery at tick t. Only the
-	// low delayWindow bits are used; the element type is uint32 so the
-	// parallel simulator's delivery threads can set bits with atomic OR.
-	axonBuf [CoreSize]uint32
+	// pending is the axon delay ring in slot-major form: pending[s][w]
+	// bit b set means axon w*64+b has a spike scheduled for delivery at
+	// ticks t with t%delayWindow == s. One slot is both the delivery
+	// queue for its tick and the pending-axon summary the simulator's
+	// quiescence check and the bit-parallel kernel read; the parallel
+	// simulator's delivery threads set bits with atomic OR.
+	pending [delayWindow][axonWords]uint64
 
 	// rng is this core's private deterministic random stream.
 	rng *prng.Stream
+
+	// kern is the bit-parallel Synapse-phase fast path; nil for cores
+	// with stochastic weights or leaks, which keep the scalar path so the
+	// per-synapse PRNG draw order stays bit-exact (see kernel.go).
+	kern *kernel
+
+	// passive marks a core whose Neuron phase is a provable no-op on
+	// ticks without synaptic input (see passiveConfig); settled becomes
+	// true once a Neuron phase has run on the current dynamic state, so
+	// arbitrary initial potentials are normalized before skipping.
+	passive bool
+	settled bool
 
 	// Statistics, maintained across ticks.
 	synapticEvents uint64 // crossbar deliveries into neurons
 	axonEvents     uint64 // axons with a pending spike processed
 	firings        uint64 // spikes emitted by neurons
+	droppedInjects uint64 // out-of-range external spikes dropped
 }
 
 // NewCore instantiates live state for cfg. The core's random stream is
 // derived from (modelSeed, cfg.ID) so results do not depend on placement.
+// Purely deterministic cores get the bit-parallel Synapse kernel; cores
+// with stochastic weights or leaks keep the scalar reference path.
 func NewCore(cfg *CoreConfig, modelSeed uint64) *Core {
-	return &Core{
+	c := &Core{
 		cfg: cfg,
 		rng: prng.NewCoreStream(modelSeed, uint64(cfg.ID)),
 	}
+	if KernelEligible(cfg) {
+		c.kern = buildKernel(cfg)
+	}
+	c.passive = passiveConfig(cfg)
+	return c
+}
+
+// ForceScalar disables the bit-parallel kernel and quiescent-core
+// skipping for this core, pinning it to the scalar reference path. The
+// output is identical either way; the hook exists for benchmarks and
+// kernel-conformance tests.
+func (c *Core) ForceScalar() {
+	c.kern = nil
+	c.passive = false
+}
+
+// KernelActive reports whether the core runs the bit-parallel Synapse
+// kernel (as opposed to the scalar reference path).
+func (c *Core) KernelActive() bool { return c.kern != nil }
+
+// passiveConfig reports whether a Neuron phase with no synaptic input is
+// a provable no-op for every enabled neuron: zero deterministic leak (no
+// membrane movement and no PRNG draw) and Reset < Threshold (a neuron
+// that fires leaves the phase below threshold, so it cannot fire again
+// without input). For such cores a tick with no pending spikes can be
+// skipped outright once the state has settled.
+func passiveConfig(cfg *CoreConfig) bool {
+	for j := range cfg.Neurons {
+		p := &cfg.Neurons[j]
+		if !p.Enabled {
+			continue
+		}
+		if p.Leak != 0 || p.StochasticLeak || p.Reset >= p.Threshold {
+			return false
+		}
+	}
+	return true
 }
 
 // ID returns the core's global ID.
@@ -221,12 +279,19 @@ func (c *Core) Potential(j int) int32 { return c.potential[j] }
 
 // SetPotential sets neuron j's membrane potential (used for tests and for
 // initializing biased populations).
-func (c *Core) SetPotential(j int, v int32) { c.potential[j] = v }
+func (c *Core) SetPotential(j int, v int32) {
+	c.potential[j] = v
+	c.settled = false
+}
 
 // Stats returns cumulative (axon events, synaptic events, firings).
 func (c *Core) Stats() (axonEvents, synapticEvents, firings uint64) {
 	return c.axonEvents, c.synapticEvents, c.firings
 }
+
+// DroppedInjects returns the number of external spikes dropped by
+// InjectRaw for targeting an out-of-range axon.
+func (c *Core) DroppedInjects() uint64 { return c.droppedInjects }
 
 // ScheduleSpike schedules a spike for delivery to axon at deliverTick.
 // now is the current tick; the delay deliverTick-now must lie in
@@ -238,7 +303,7 @@ func (c *Core) ScheduleSpike(axon int, deliverTick, now uint64) error {
 	if deliverTick <= now || deliverTick-now > MaxDelay {
 		return fmt.Errorf("truenorth: delivery tick %d outside (%d, %d]", deliverTick, now, now+MaxDelay)
 	}
-	c.axonBuf[axon] |= 1 << (deliverTick % delayWindow)
+	c.pending[deliverTick%delayWindow][axon>>6] |= 1 << (uint(axon) & 63)
 	return nil
 }
 
@@ -253,43 +318,94 @@ func (c *Core) ScheduleSpikeShared(axon int, deliverTick, now uint64) error {
 	if deliverTick <= now || deliverTick-now > MaxDelay {
 		return fmt.Errorf("truenorth: delivery tick %d outside (%d, %d]", deliverTick, now, now+MaxDelay)
 	}
-	atomic.OrUint32(&c.axonBuf[axon], 1<<(deliverTick%delayWindow))
+	atomic.OrUint64(&c.pending[deliverTick%delayWindow][axon>>6], 1<<(uint(axon)&63))
 	return nil
 }
 
 // InjectRaw schedules a spike for delivery at tick t without the delay
 // window check relative to a current tick; callers (the simulators'
 // external-input paths) must only use it for t within the live window.
-func (c *Core) InjectRaw(axon int, t uint64) {
-	c.axonBuf[axon] |= 1 << (t % delayWindow)
+// An out-of-range axon — a malformed record in an external spike file —
+// is dropped and counted rather than corrupting state; InjectRaw reports
+// whether the spike was scheduled.
+func (c *Core) InjectRaw(axon int, t uint64) bool {
+	if axon < 0 || axon >= CoreSize {
+		c.droppedInjects++
+		return false
+	}
+	c.pending[t%delayWindow][axon>>6] |= 1 << (uint(axon) & 63)
+	return true
 }
 
 // PendingSpike reports whether axon has a spike scheduled for tick t.
 func (c *Core) PendingSpike(axon int, t uint64) bool {
-	return c.axonBuf[axon]>>(t%delayWindow)&1 == 1
+	return c.pending[t%delayWindow][axon>>6]>>(uint(axon)&63)&1 == 1
+}
+
+// HasPendingSpikes reports whether any axon has a spike scheduled for
+// tick t — a 4-word read of the slot's pending-axon summary. The
+// simulator uses it to skip the Synapse phase of quiet cores outright.
+func (c *Core) HasPendingSpikes(t uint64) bool {
+	var any uint64
+	for _, w := range c.pending[t%delayWindow] {
+		any |= w
+	}
+	return any != 0
+}
+
+// QuiescentAt reports whether the core provably has nothing to do at
+// tick t: the configuration is passive (no leak dynamics, reset below
+// threshold), a Neuron phase has already run on the current dynamic
+// state, and no axon spike is due this tick. Skipping both phases of
+// such a core-tick is bit-exact — no potential moves, no neuron fires,
+// and no PRNG draw is consumed.
+func (c *Core) QuiescentAt(t uint64) bool {
+	return c.passive && c.settled && !c.HasPendingSpikes(t)
 }
 
 // SynapsePhase consumes every axon spike scheduled for tick t and
 // propagates it across the crossbar into the connected neurons,
 // integrating the per-axon-type weight (deterministically or
 // stochastically) into each target neuron's membrane potential.
+// Deterministic cores take the bit-parallel kernel; stochastic cores
+// take the scalar path, which preserves the per-synapse PRNG draw order.
 func (c *Core) SynapsePhase(t uint64) {
-	slot := uint32(1) << (t % delayWindow)
-	for axon := 0; axon < CoreSize; axon++ {
-		if c.axonBuf[axon]&slot == 0 {
-			continue
-		}
-		c.axonBuf[axon] &^= slot
-		c.axonEvents++
-		at := c.cfg.AxonTypes[axon]
-		row := &c.cfg.Crossbar[axon]
-		for w := 0; w < crossbarWords; w++ {
-			word := row[w]
-			for word != 0 {
-				b := bits.TrailingZeros64(word)
-				word &^= 1 << uint(b)
-				j := w*64 + b
-				c.integrate(j, at)
+	slot := &c.pending[t%delayWindow]
+	var any uint64
+	for _, w := range slot {
+		any |= w
+	}
+	if any == 0 {
+		return
+	}
+	if c.kern != nil {
+		c.synapseKernel(slot)
+	} else {
+		c.synapseScalar(slot)
+	}
+	*slot = [axonWords]uint64{}
+}
+
+// synapseScalar is the per-synapse reference path: pending axons in
+// ascending order, set crossbar bits in ascending order, one integrate
+// call per synaptic event. This ordering defines the PRNG draw sequence
+// for stochastic weights and must never change.
+func (c *Core) synapseScalar(slot *[axonWords]uint64) {
+	for sw := 0; sw < axonWords; sw++ {
+		pend := slot[sw]
+		for pend != 0 {
+			axon := sw*64 + bits.TrailingZeros64(pend)
+			pend &= pend - 1
+			c.axonEvents++
+			at := c.cfg.AxonTypes[axon]
+			row := &c.cfg.Crossbar[axon]
+			for w := 0; w < crossbarWords; w++ {
+				word := row[w]
+				for word != 0 {
+					j := w*64 + bits.TrailingZeros64(word)
+					word &= word - 1
+					c.integrate(j, at)
+				}
 			}
 		}
 	}
@@ -304,20 +420,31 @@ func (c *Core) integrate(j int, at uint8) {
 	c.synapticEvents++
 	w := p.Weights[at]
 	if p.StochasticWeight[at] {
-		mag := w
-		if mag < 0 {
-			mag = -mag
-		}
-		if c.rng.DrawMask(uint32(mag), 8) {
-			if w < 0 {
-				c.potential[j]--
-			} else if w > 0 {
-				c.potential[j]++
-			}
-		}
+		c.potential[j] = c.stochasticStep(c.potential[j], w)
 	} else {
 		c.potential[j] += int32(w)
 	}
+}
+
+// stochasticStep moves v by ±1 with probability |w|/256, consuming
+// exactly one 8-bit PRNG draw regardless of w's value or sign. It is the
+// single implementation of TrueNorth's stochastic weight and stochastic
+// leak rule; the unconditional draw is part of the bit-exact
+// reproducibility contract.
+func (c *Core) stochasticStep(v int32, w int16) int32 {
+	mag := w
+	if mag < 0 {
+		mag = -mag
+	}
+	if c.rng.DrawMask(uint32(mag), 8) {
+		if w < 0 {
+			return v - 1
+		}
+		if w > 0 {
+			return v + 1
+		}
+	}
+	return v
 }
 
 // NeuronPhase applies leak, floor, and threshold to every neuron; each
@@ -332,17 +459,7 @@ func (c *Core) NeuronPhase(emit func(Spike)) {
 		}
 		v := c.potential[j]
 		if p.StochasticLeak {
-			mag := p.Leak
-			if mag < 0 {
-				mag = -mag
-			}
-			if c.rng.DrawMask(uint32(mag), 8) {
-				if p.Leak < 0 {
-					v--
-				} else if p.Leak > 0 {
-					v++
-				}
-			}
+			v = c.stochasticStep(v, p.Leak)
 		} else {
 			v += int32(p.Leak)
 		}
@@ -356,13 +473,17 @@ func (c *Core) NeuronPhase(emit func(Spike)) {
 		}
 		c.potential[j] = v
 	}
+	c.settled = true
 }
 
 // CoreState is the complete dynamic state of a live core at a tick
 // boundary — everything needed to checkpoint and resume a simulation
 // bit-exactly: membrane potentials, the axon delay rings, and the
-// private PRNG stream. Statistics counters are not part of the state;
-// restoring resets them.
+// private PRNG stream. AxonBuf keeps the axon-major layout (one
+// delay-slot bitmask per axon) for checkpoint-format stability even
+// though the live core stores the ring slot-major; State and SetState
+// convert. Statistics counters are not part of the state; restoring
+// resets them.
 type CoreState struct {
 	ID         CoreID
 	Potentials [CoreSize]int32
@@ -372,12 +493,22 @@ type CoreState struct {
 
 // State captures the core's dynamic state.
 func (c *Core) State() CoreState {
-	return CoreState{
+	st := CoreState{
 		ID:         c.cfg.ID,
 		Potentials: c.potential,
-		AxonBuf:    c.axonBuf,
 		RNG:        c.rng.State(),
 	}
+	for s := 0; s < delayWindow; s++ {
+		for w := 0; w < axonWords; w++ {
+			word := c.pending[s][w]
+			for word != 0 {
+				axon := w*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				st.AxonBuf[axon] |= 1 << uint(s)
+			}
+		}
+	}
+	return st
 }
 
 // SetState restores a state captured with State. The state must belong
@@ -390,8 +521,17 @@ func (c *Core) SetState(s CoreState) error {
 		return err
 	}
 	c.potential = s.Potentials
-	c.axonBuf = s.AxonBuf
-	c.axonEvents, c.synapticEvents, c.firings = 0, 0, 0
+	c.pending = [delayWindow][axonWords]uint64{}
+	for axon, buf := range s.AxonBuf {
+		slots := buf & (1<<delayWindow - 1)
+		for slots != 0 {
+			slot := bits.TrailingZeros32(slots)
+			slots &= slots - 1
+			c.pending[slot][axon>>6] |= 1 << (uint(axon) & 63)
+		}
+	}
+	c.settled = false
+	c.axonEvents, c.synapticEvents, c.firings, c.droppedInjects = 0, 0, 0, 0
 	return nil
 }
 

@@ -1,0 +1,169 @@
+package truenorth
+
+import "math/bits"
+
+// The bit-parallel Synapse kernel.
+//
+// The scalar Synapse phase walks every pending axon's crossbar row bit
+// by bit and makes one integrate call per set bit — for a dense core
+// that is tens of thousands of function calls per tick. For purely
+// deterministic cores the per-event order is unobservable (integer
+// addition commutes and no PRNG is consumed), so the same result can be
+// computed neuron-major with word-wide operations:
+//
+//	ΔV[j] = Σ_type Weights[j][type] · popcount(pending[type] & column[j])
+//
+// where pending[type] is the tick's pending-axon bitmask restricted to
+// axons of one type, and column[j] is the crossbar column of neuron j —
+// the set of axons that drive it — as a 4-word bitmask. The kernel is
+// built once at NewCore and is bit-identical to the scalar path,
+// including the statistics counters and int32 wraparound behaviour
+// (multiplication distributes over two's-complement addition).
+//
+// Cores with any stochastic weight or stochastic leak on an enabled
+// neuron are not eligible: their PRNG draw order is defined by the
+// scalar per-synapse walk and must be preserved for bit-exact
+// reproducibility. Eligibility is decided once, at setup; PCC-compiled
+// deterministic models — the common case — take the kernel everywhere.
+type kernel struct {
+	// typeMask[at][w] bit b set means axon w*64+b has axon type at. The
+	// four masks partition the axon space, so restricting a pending mask
+	// to one type is a word-wise AND.
+	typeMask [NumAxonTypes][axonWords]uint64
+
+	// cols is the column-major (neuron-major) crossbar view: cols[j][w]
+	// bit b set means axon w*64+b drives neuron j.
+	cols [CoreSize][axonWords]uint64
+
+	// weights[j][at] is neuron j's weight for axon type at, widened to
+	// the accumulator type once at setup.
+	weights [CoreSize][NumAxonTypes]int32
+
+	// uniform[j] is set when neuron j's four weights are equal; then the
+	// per-type split collapses to uniformW[j] · popcount(pending & col).
+	uniform  [CoreSize]bool
+	uniformW [CoreSize]int32
+
+	// neurons lists the enabled neurons with at least one incoming
+	// synapse — the only ones the kernel must visit.
+	neurons []uint16
+}
+
+// KernelEligible reports whether cfg's Synapse phase may run on the
+// bit-parallel kernel: no enabled neuron uses stochastic weights or a
+// stochastic leak. Stochastic cores keep the exact scalar path because
+// its per-synapse PRNG draw order is part of the reproducibility
+// contract.
+func KernelEligible(cfg *CoreConfig) bool {
+	for j := range cfg.Neurons {
+		p := &cfg.Neurons[j]
+		if !p.Enabled {
+			continue
+		}
+		if p.StochasticLeak {
+			return false
+		}
+		for _, s := range p.StochasticWeight {
+			if s {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// buildKernel derives the column planes, axon-type masks, and widened
+// weights for an eligible configuration.
+func buildKernel(cfg *CoreConfig) *kernel {
+	k := &kernel{}
+	for a := 0; a < CoreSize; a++ {
+		aw, abit := a>>6, uint64(1)<<(uint(a)&63)
+		k.typeMask[cfg.AxonTypes[a]][aw] |= abit
+		row := &cfg.Crossbar[a]
+		for w := 0; w < crossbarWords; w++ {
+			word := row[w]
+			for word != 0 {
+				j := w*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				k.cols[j][aw] |= abit
+			}
+		}
+	}
+	for j := range cfg.Neurons {
+		p := &cfg.Neurons[j]
+		if !p.Enabled {
+			continue
+		}
+		var connected uint64
+		for _, w := range k.cols[j] {
+			connected |= w
+		}
+		if connected == 0 {
+			continue
+		}
+		uniform := true
+		for at := 0; at < NumAxonTypes; at++ {
+			k.weights[j][at] = int32(p.Weights[at])
+			if p.Weights[at] != p.Weights[0] {
+				uniform = false
+			}
+		}
+		k.uniform[j] = uniform
+		k.uniformW[j] = int32(p.Weights[0])
+		k.neurons = append(k.neurons, uint16(j))
+	}
+	return k
+}
+
+// synapseKernel integrates one tick's pending axons into every connected
+// neuron with word-wide AND+popcount, no per-synapse calls and no
+// per-bit loops. slot is the tick's pending-axon summary; the caller
+// clears it afterwards.
+func (c *Core) synapseKernel(slot *[axonWords]uint64) {
+	k := c.kern
+
+	// Every pending axon is one axon event, exactly as the scalar walk
+	// counts them.
+	n := 0
+	for _, w := range slot {
+		n += bits.OnesCount64(w)
+	}
+	c.axonEvents += uint64(n)
+
+	// Split the pending mask by axon type once per tick; each neuron
+	// then costs a handful of word operations.
+	var byType [NumAxonTypes][axonWords]uint64
+	for at := range byType {
+		tm := &k.typeMask[at]
+		for w := range byType[at] {
+			byType[at][w] = slot[w] & tm[w]
+		}
+	}
+
+	events := uint64(0)
+	for _, j := range k.neurons {
+		col := &k.cols[j]
+		hits := 0
+		for w := 0; w < axonWords; w++ {
+			hits += bits.OnesCount64(slot[w] & col[w])
+		}
+		if hits == 0 {
+			continue
+		}
+		events += uint64(hits)
+		if k.uniform[j] {
+			c.potential[j] += k.uniformW[j] * int32(hits)
+			continue
+		}
+		var delta int32
+		for at := 0; at < NumAxonTypes; at++ {
+			cnt := 0
+			for w := 0; w < axonWords; w++ {
+				cnt += bits.OnesCount64(byType[at][w] & col[w])
+			}
+			delta += k.weights[j][at] * int32(cnt)
+		}
+		c.potential[j] += delta
+	}
+	c.synapticEvents += events
+}

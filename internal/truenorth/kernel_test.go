@@ -1,0 +1,368 @@
+package truenorth
+
+import (
+	"testing"
+
+	"github.com/cognitive-sim/compass/internal/prng"
+)
+
+// randomDeterministicConfig builds a randomized kernel-eligible core:
+// random crossbar density (occasionally saturated), random axon types,
+// mixed positive/negative/zero weights, random leak sign, and a mix of
+// enabled and disabled neurons.
+func randomDeterministicConfig(r *prng.Stream, id CoreID) *CoreConfig {
+	cfg := &CoreConfig{ID: id}
+	density := r.Float64()
+	if r.Intn(8) == 0 {
+		density = 1.0 // saturated crossbar
+	}
+	for a := 0; a < CoreSize; a++ {
+		cfg.AxonTypes[a] = uint8(r.Intn(NumAxonTypes))
+		for j := 0; j < CoreSize; j++ {
+			if r.Float64() < density {
+				cfg.SetSynapse(a, j, true)
+			}
+		}
+	}
+	for j := 0; j < CoreSize; j++ {
+		if r.Intn(4) == 0 {
+			continue // leave ~1/4 of neurons disabled
+		}
+		cfg.Neurons[j] = NeuronParams{
+			Weights: [NumAxonTypes]int16{
+				int16(r.Intn(11) - 5), int16(r.Intn(11) - 5),
+				int16(r.Intn(11) - 5), int16(r.Intn(11) - 5),
+			},
+			Leak:      int16(r.Intn(5) - 2),
+			Threshold: int32(1 + r.Intn(12)),
+			Reset:     int32(r.Intn(3) - 1),
+			Floor:     -32,
+			Target: SpikeTarget{
+				Core:  id,
+				Axon:  uint16(r.Intn(CoreSize)),
+				Delay: uint8(1 + r.Intn(MaxDelay)),
+			},
+			Enabled: true,
+		}
+	}
+	return cfg
+}
+
+// driveCores schedules an identical random spike stream into both cores
+// and ticks them in lockstep, failing on any divergence in potentials,
+// firings, or statistics counters.
+func driveCores(t *testing.T, fast, ref *Core, r *prng.Stream, ticks int) {
+	t.Helper()
+	for tick := uint64(0); tick < uint64(ticks); tick++ {
+		nSpikes := r.Intn(64)
+		for i := 0; i < nSpikes; i++ {
+			axon := r.Intn(CoreSize)
+			deliver := tick + 1 + uint64(r.Intn(MaxDelay))
+			if err := fast.ScheduleSpike(axon, deliver, tick); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.ScheduleSpike(axon, deliver, tick); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var fastFired, refFired []SpikeTarget
+		fast.Tick(tick, func(s Spike) { fastFired = append(fastFired, s.Target) })
+		ref.Tick(tick, func(s Spike) { refFired = append(refFired, s.Target) })
+		if len(fastFired) != len(refFired) {
+			t.Fatalf("tick %d: kernel fired %d, scalar fired %d", tick, len(fastFired), len(refFired))
+		}
+		for i := range fastFired {
+			if fastFired[i] != refFired[i] {
+				t.Fatalf("tick %d: firing %d targets diverge: %+v vs %+v", tick, i, fastFired[i], refFired[i])
+			}
+		}
+		for j := 0; j < CoreSize; j++ {
+			if fast.Potential(j) != ref.Potential(j) {
+				t.Fatalf("tick %d neuron %d: kernel potential %d, scalar %d",
+					tick, j, fast.Potential(j), ref.Potential(j))
+			}
+		}
+	}
+	fa, fs, ff := fast.Stats()
+	ra, rs, rf := ref.Stats()
+	if fa != ra || fs != rs || ff != rf {
+		t.Fatalf("stats diverge: kernel (%d, %d, %d), scalar (%d, %d, %d)", fa, fs, ff, ra, rs, rf)
+	}
+}
+
+// TestKernelMatchesScalarRandomized is the kernel conformance property
+// test: over randomized core configurations — all axon types, random
+// and saturated crossbar densities, mixed enabled/disabled neurons,
+// positive and negative weights and leaks, floors, and the full delay
+// range — the bit-parallel kernel must produce potentials, firings, and
+// statistics counters identical to the scalar reference path.
+func TestKernelMatchesScalarRandomized(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		r := prng.New(seed * 0x9e3779b9)
+		cfg := randomDeterministicConfig(r, CoreID(seed))
+		fast := NewCore(cfg, 7)
+		ref := NewCore(cfg, 7)
+		ref.ForceScalar()
+		if !fast.KernelActive() {
+			t.Fatalf("seed %d: deterministic core did not get the kernel", seed)
+		}
+		if ref.KernelActive() {
+			t.Fatal("ForceScalar left the kernel active")
+		}
+		driveCores(t, fast, ref, r, 40)
+	}
+}
+
+// TestKernelSaturatedCrossbarAllAxonsPending pins the densest possible
+// tick: every crossbar bit set and every axon pending. The kernel and
+// scalar paths must agree, and the counters must equal the closed-form
+// values.
+func TestKernelSaturatedCrossbarAllAxonsPending(t *testing.T) {
+	cfg := &CoreConfig{ID: 0}
+	for a := 0; a < CoreSize; a++ {
+		cfg.AxonTypes[a] = uint8(a % NumAxonTypes)
+		for j := 0; j < CoreSize; j++ {
+			cfg.SetSynapse(a, j, true)
+		}
+	}
+	for j := 0; j < CoreSize; j++ {
+		cfg.Neurons[j] = NeuronParams{
+			Weights:   [NumAxonTypes]int16{1, 2, -1, 3},
+			Threshold: 1 << 30,
+			Floor:     -1 << 20,
+			Target:    SpikeTarget{Core: 0, Axon: 0, Delay: 1},
+			Enabled:   true,
+		}
+	}
+	fast := NewCore(cfg, 3)
+	ref := NewCore(cfg, 3)
+	ref.ForceScalar()
+	for _, c := range []*Core{fast, ref} {
+		for a := 0; a < CoreSize; a++ {
+			if err := c.ScheduleSpike(a, 1, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.SynapsePhase(1)
+	}
+	// 64 axons of each type; Σ weights·64 = (1+2-1+3)·64 = 320.
+	for j := 0; j < CoreSize; j++ {
+		if fast.Potential(j) != 320 || ref.Potential(j) != 320 {
+			t.Fatalf("neuron %d: kernel %d, scalar %d, want 320", j, fast.Potential(j), ref.Potential(j))
+		}
+	}
+	fa, fs, _ := fast.Stats()
+	if fa != CoreSize || fs != CoreSize*CoreSize {
+		t.Fatalf("kernel stats (%d axon, %d syn), want (%d, %d)", fa, fs, CoreSize, CoreSize*CoreSize)
+	}
+	ra, rs, _ := ref.Stats()
+	if ra != fa || rs != fs {
+		t.Fatalf("scalar stats (%d, %d) diverge from kernel (%d, %d)", ra, rs, fa, fs)
+	}
+}
+
+// TestKernelEligibility pins the fast-path selection rule: any
+// stochastic weight or stochastic leak on an enabled neuron forces the
+// scalar path; the same dynamics on a disabled neuron do not.
+func TestKernelEligibility(t *testing.T) {
+	base := func() *CoreConfig {
+		cfg := &CoreConfig{ID: 0}
+		cfg.Neurons[3] = NeuronParams{
+			Weights: [NumAxonTypes]int16{1, 1, 1, 1}, Threshold: 4, Floor: -8,
+			Target: SpikeTarget{Core: 0, Axon: 0, Delay: 1}, Enabled: true,
+		}
+		return cfg
+	}
+	cfg := base()
+	if !KernelEligible(cfg) || !NewCore(cfg, 1).KernelActive() {
+		t.Fatal("deterministic core not eligible")
+	}
+	cfg = base()
+	cfg.Neurons[3].StochasticWeight[2] = true
+	if KernelEligible(cfg) || NewCore(cfg, 1).KernelActive() {
+		t.Fatal("stochastic weight accepted on the kernel path")
+	}
+	cfg = base()
+	cfg.Neurons[3].StochasticLeak = true
+	if KernelEligible(cfg) || NewCore(cfg, 1).KernelActive() {
+		t.Fatal("stochastic leak accepted on the kernel path")
+	}
+	cfg = base()
+	cfg.Neurons[9].StochasticLeak = true // disabled neuron: irrelevant
+	if !KernelEligible(cfg) {
+		t.Fatal("disabled stochastic neuron blocked the kernel")
+	}
+}
+
+// TestQuiescentSkipExact verifies that skipping quiescent core-ticks is
+// bit-exact: a passive core driven by a sparse spike stream must end in
+// the same state whether or not quiet ticks are skipped.
+func TestQuiescentSkipExact(t *testing.T) {
+	cfg := &CoreConfig{ID: 0}
+	r := prng.New(99)
+	for a := 0; a < CoreSize; a++ {
+		cfg.AxonTypes[a] = uint8(r.Intn(NumAxonTypes))
+		for s := 0; s < 16; s++ {
+			cfg.SetSynapse(a, r.Intn(CoreSize), true)
+		}
+	}
+	for j := 0; j < CoreSize; j++ {
+		cfg.Neurons[j] = NeuronParams{
+			Weights:   [NumAxonTypes]int16{2, 3, 1, -1},
+			Threshold: int32(4 + r.Intn(4)),
+			Reset:     0,
+			Floor:     -16,
+			Target:    SpikeTarget{Core: 0, Axon: uint16(r.Intn(CoreSize)), Delay: 1},
+			Enabled:   true,
+		}
+	}
+	skip := NewCore(cfg, 5)
+	full := NewCore(cfg, 5)
+	full.ForceScalar()
+	if !passiveConfig(cfg) {
+		t.Fatal("config not passive")
+	}
+	skipped := 0
+	for tick := uint64(0); tick < 200; tick++ {
+		if tick%17 == 3 { // sparse drive
+			axon := int(tick) % CoreSize
+			skip.InjectRaw(axon, tick)
+			full.InjectRaw(axon, tick)
+		}
+		var fs, ff int
+		if skip.QuiescentAt(tick) {
+			skipped++
+		} else {
+			skip.Tick(tick, func(Spike) { fs++ })
+		}
+		full.Tick(tick, func(Spike) { ff++ })
+		if fs != ff {
+			t.Fatalf("tick %d: skipping core fired %d, reference %d", tick, fs, ff)
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("no ticks were skipped; quiescence detection inert")
+	}
+	for j := 0; j < CoreSize; j++ {
+		if skip.Potential(j) != full.Potential(j) {
+			t.Fatalf("neuron %d: skipping %d, reference %d", j, skip.Potential(j), full.Potential(j))
+		}
+	}
+}
+
+// TestQuiescentAtGating pins the settled-state machine: a passive core
+// is not skippable before its first Neuron phase (arbitrary initial
+// potentials may be above threshold), becomes skippable after it, and
+// reverts on SetPotential, SetState, or a pending spike.
+func TestQuiescentAtGating(t *testing.T) {
+	cfg := &CoreConfig{ID: 0}
+	cfg.Neurons[0] = NeuronParams{
+		Weights: [NumAxonTypes]int16{1, 1, 1, 1}, Threshold: 2, Floor: -4,
+		Target: SpikeTarget{Core: 0, Axon: 0, Delay: 1}, Enabled: true,
+	}
+	c := NewCore(cfg, 1)
+	if c.QuiescentAt(0) {
+		t.Fatal("unsettled core reported quiescent")
+	}
+	// A potential at threshold must fire on the first (non-skipped) tick.
+	c.SetPotential(0, 2)
+	fired := 0
+	c.Tick(0, func(Spike) { fired++ })
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1", fired)
+	}
+	if !c.QuiescentAt(1) {
+		t.Fatal("settled passive core not quiescent")
+	}
+	if err := c.ScheduleSpike(0, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c.QuiescentAt(2) {
+		t.Fatal("core with pending spike reported quiescent")
+	}
+	c.Tick(2, func(Spike) {})
+	if !c.QuiescentAt(3) {
+		t.Fatal("core not quiescent after consuming spike")
+	}
+	c.SetPotential(0, 5)
+	if c.QuiescentAt(3) {
+		t.Fatal("SetPotential did not unsettle the core")
+	}
+	c.Tick(3, func(Spike) {})
+	st := c.State()
+	if err := c.SetState(st); err != nil {
+		t.Fatal(err)
+	}
+	if c.QuiescentAt(4) {
+		t.Fatal("SetState did not unsettle the core")
+	}
+	// A leaky core is never passive.
+	leaky := *cfg
+	leaky.Neurons[0].Leak = 1
+	lc := NewCore(&leaky, 1)
+	lc.Tick(0, func(Spike) {})
+	if lc.QuiescentAt(1) {
+		t.Fatal("leaky core reported quiescent")
+	}
+}
+
+// TestInjectRawBounds verifies malformed external spikes are dropped and
+// counted instead of panicking.
+func TestInjectRawBounds(t *testing.T) {
+	c := NewCore(&CoreConfig{ID: 0}, 1)
+	for _, axon := range []int{-1, CoreSize, CoreSize + 100} {
+		if c.InjectRaw(axon, 0) {
+			t.Fatalf("axon %d accepted", axon)
+		}
+	}
+	if got := c.DroppedInjects(); got != 3 {
+		t.Fatalf("DroppedInjects = %d, want 3", got)
+	}
+	if !c.InjectRaw(0, 0) {
+		t.Fatal("valid inject rejected")
+	}
+	if !c.PendingSpike(0, 0) {
+		t.Fatal("valid inject not pending")
+	}
+	if got := c.DroppedInjects(); got != 3 {
+		t.Fatalf("valid inject counted as drop: %d", got)
+	}
+}
+
+// TestStateRoundtripPreservesPending checks the slot-major ring survives
+// the axon-major checkpoint encoding for every axon and delay slot.
+func TestStateRoundtripPreservesPending(t *testing.T) {
+	cfg := &CoreConfig{ID: 0}
+	c := NewCore(cfg, 1)
+	r := prng.New(42)
+	type sched struct {
+		axon int
+		tick uint64
+	}
+	now := uint64(100)
+	var want []sched
+	for i := 0; i < 300; i++ {
+		s := sched{axon: r.Intn(CoreSize), tick: now + 1 + uint64(r.Intn(MaxDelay))}
+		if err := c.ScheduleSpike(s.axon, s.tick, now); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, s)
+	}
+	restored := NewCore(cfg, 9)
+	if err := restored.SetState(c.State()); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range want {
+		if !restored.PendingSpike(s.axon, s.tick) {
+			t.Fatalf("spike (axon %d, tick %d) lost in roundtrip", s.axon, s.tick)
+		}
+	}
+	// And nothing extra: the two cores agree on the whole window.
+	for a := 0; a < CoreSize; a++ {
+		for d := uint64(0); d <= MaxDelay; d++ {
+			if c.PendingSpike(a, now+d) != restored.PendingSpike(a, now+d) {
+				t.Fatalf("axon %d tick %d: pending mismatch after roundtrip", a, now+d)
+			}
+		}
+	}
+}

@@ -148,12 +148,15 @@ func (s *SerialSim) Core(id CoreID) *Core { return s.cores[id] }
 func (s *SerialSim) Step() error {
 	t := s.tick
 	for _, in := range s.inputsByTick[t] {
-		s.cores[in.Core].axonBuf[in.Axon] |= 1 << (t % delayWindow)
+		s.cores[in.Core].InjectRaw(int(in.Axon), t)
 	}
 	delete(s.inputsByTick, t)
 
 	var pending []Spike
 	for _, c := range s.cores {
+		if c.QuiescentAt(t) {
+			continue
+		}
 		c.SynapsePhase(t)
 		c.NeuronPhase(func(sp Spike) {
 			pending = append(pending, sp)
@@ -250,6 +253,6 @@ func (s *SerialSim) Inject(core CoreID, axon uint16, t uint64) error {
 	if int(core) >= len(s.cores) || int(axon) >= CoreSize {
 		return fmt.Errorf("truenorth: inject target (%d, %d) out of range", core, axon)
 	}
-	s.cores[core].axonBuf[axon] |= 1 << (t % delayWindow)
+	s.cores[core].InjectRaw(int(axon), t)
 	return nil
 }

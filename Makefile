@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check bench bench-transport bench-kernel
+.PHONY: build test race vet check bench bench-transport bench-kernel telemetry-smoke
 
 build:
 	$(GO) build ./...
@@ -37,3 +37,16 @@ bench-transport:
 # dense deterministic workload.
 bench-kernel:
 	BENCH_KERNEL_OUT=BENCH_kernel.json $(GO) test -run TestKernelBenchArtifact -count=1 -v .
+
+# End-to-end telemetry smoke: run a small CoCoMac model with every
+# export sink enabled, then validate the Prometheus exposition, the JSON
+# snapshot, and the Chrome trace with the in-repo checker. Artifacts
+# land in $(SMOKE_DIR) (CI uploads them).
+SMOKE_DIR ?= telemetry-smoke
+telemetry-smoke:
+	mkdir -p $(SMOKE_DIR)
+	$(GO) run ./cmd/compass -cocomac-cores 128 -ranks 3 -threads 2 -ticks 20 \
+		-metrics $(SMOKE_DIR)/run -trace-out $(SMOKE_DIR)/trace.json \
+		-stats-json $(SMOKE_DIR)/stats.json
+	$(GO) run ./cmd/telemetrycheck -metrics $(SMOKE_DIR)/run.prom \
+		-snapshot $(SMOKE_DIR)/run.json -trace $(SMOKE_DIR)/trace.json

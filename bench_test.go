@@ -172,6 +172,10 @@ func TestTransportBenchArtifact(t *testing.T) {
 		TicksPerSecond float64 `json:"ticks_per_second"`
 		CoreTicksPerS  float64 `json:"core_ticks_per_second"`
 		TotalSpikes    uint64  `json:"total_spikes"`
+		// PhaseSeconds holds the per-phase wall-clock histograms of one
+		// instrumented (untimed) run of the same workload, so the artifact
+		// records where each transport spends its tick.
+		PhaseSeconds []compass.Metric `json:"phase_seconds"`
 	}
 	cores := model.NumCores()
 	results := make([]result, 0, 3)
@@ -191,6 +195,14 @@ func TestTransportBenchArtifact(t *testing.T) {
 			}
 			spikes = stats.TotalSpikes
 		}
+		// One more run with telemetry attached, outside the timing, to
+		// capture the per-phase breakdown.
+		tel := compass.NewTelemetry(ranks)
+		if _, err := compass.Run(model, compass.Config{
+			Ranks: ranks, ThreadsPerRank: threads, Transport: tr, Telemetry: tel,
+		}, ticks); err != nil {
+			t.Fatal(err)
+		}
 		results = append(results, result{
 			Transport:      tr.String(),
 			Ranks:          ranks,
@@ -200,6 +212,7 @@ func TestTransportBenchArtifact(t *testing.T) {
 			TicksPerSecond: float64(ticks) / best,
 			CoreTicksPerS:  float64(cores) * float64(ticks) / best,
 			TotalSpikes:    spikes,
+			PhaseSeconds:   tel.Registry().Snapshot().Find("compass_phase_seconds"),
 		})
 	}
 	byName := map[string]result{}
@@ -293,6 +306,12 @@ func TestKernelBenchArtifact(t *testing.T) {
 		CoreTicksPerS  float64 `json:"core_ticks_per_second"`
 		TotalSpikes    uint64  `json:"total_spikes"`
 		SynapticEvents uint64  `json:"synaptic_events"`
+		// KernelCores/ScalarCores and PhaseSeconds come from one
+		// instrumented (untimed) run: which dispatch path the cores took
+		// and the per-phase wall-clock histograms.
+		KernelCores  float64          `json:"kernel_cores"`
+		ScalarCores  float64          `json:"scalar_cores"`
+		PhaseSeconds []compass.Metric `json:"phase_seconds"`
 	}
 	cores := model.NumCores()
 	measure := func(name string, force bool) result {
@@ -312,6 +331,14 @@ func TestKernelBenchArtifact(t *testing.T) {
 			}
 			spikes, syn = stats.TotalSpikes, stats.SynapticEvents
 		}
+		tel := compass.NewTelemetry(ranks)
+		if _, err := compass.Run(model, compass.Config{
+			Ranks: ranks, ThreadsPerRank: threads,
+			Transport: compass.TransportShmem, ForceScalar: force, Telemetry: tel,
+		}, ticks); err != nil {
+			t.Fatal(err)
+		}
+		snap := tel.Registry().Snapshot()
 		return result{
 			Path:           name,
 			Ranks:          ranks,
@@ -322,6 +349,9 @@ func TestKernelBenchArtifact(t *testing.T) {
 			CoreTicksPerS:  float64(cores) * float64(ticks) / best,
 			TotalSpikes:    spikes,
 			SynapticEvents: syn,
+			KernelCores:    snap.Value("compass_cores", compass.MetricLabel{Key: "path", Value: "kernel"}),
+			ScalarCores:    snap.Value("compass_cores", compass.MetricLabel{Key: "path", Value: "scalar"}),
+			PhaseSeconds:   snap.Find("compass_phase_seconds"),
 		}
 	}
 	kern := measure("kernel", false)

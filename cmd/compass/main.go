@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +45,9 @@ func main() {
 		powerFlag    = flag.Bool("power", false, "estimate TrueNorth hardware power for the workload")
 		checkpoint   = flag.String("checkpoint", "", "write the final simulation state to this file")
 		resume       = flag.String("resume", "", "resume the simulation from this checkpoint file")
+		metrics      = flag.String("metrics", "", "write run metrics to <prefix>.prom (Prometheus text) and <prefix>.json (snapshot)")
+		traceOut     = flag.String("trace-out", "", "write a Chrome/Perfetto trace of per-rank phase spans to this file")
+		statsJSON    = flag.String("stats-json", "", "write the full run statistics (per-rank rows, load imbalance) as JSON")
 	)
 	flag.Parse()
 	if err := run(runArgs{
@@ -52,6 +56,7 @@ func main() {
 		transport: *transport, perTick: *perTick, recordPath: *recordPath,
 		raster: *raster, powerEst: *powerFlag,
 		checkpointPath: *checkpoint, resumePath: *resume,
+		metricsPrefix: *metrics, tracePath: *traceOut, statsJSONPath: *statsJSON,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "compass:", err)
 		os.Exit(1)
@@ -68,6 +73,8 @@ type runArgs struct {
 	perTick, raster, powerEst  bool
 	recordPath                 string
 	checkpointPath, resumePath string
+	metricsPrefix, tracePath   string
+	statsJSONPath              string
 }
 
 func run(a runArgs) error {
@@ -95,6 +102,9 @@ func run(a runArgs) error {
 		RecordPerTick:  perTick,
 		RecordTrace:    recordPath != "" || raster,
 		ReturnState:    a.checkpointPath != "",
+	}
+	if a.metricsPrefix != "" || a.tracePath != "" {
+		cfg.Telemetry = compass.NewTelemetry(ranks)
 	}
 	if a.resumePath != "" {
 		f, err := os.Open(a.resumePath)
@@ -191,7 +201,91 @@ func run(a runArgs) error {
 		}
 		fmt.Printf("checkpoint at tick %d written to %s\n", stats.Final.Tick, a.checkpointPath)
 	}
+	if cfg.Telemetry != nil {
+		if err := writeTelemetry(cfg.Telemetry, a.metricsPrefix, a.tracePath); err != nil {
+			return err
+		}
+	}
+	if a.statsJSONPath != "" {
+		if err := writeStatsJSON(a.statsJSONPath, stats); err != nil {
+			return err
+		}
+		fmt.Printf("run statistics written to %s\n", a.statsJSONPath)
+	}
 	return nil
+}
+
+// writeTelemetry exports the run's telemetry: the merged metric registry
+// as Prometheus text exposition plus a JSON snapshot, and the per-phase
+// span trace as Chrome trace-event JSON (open in Perfetto or
+// chrome://tracing).
+func writeTelemetry(tel *compass.Telemetry, prefix, tracePath string) error {
+	if prefix != "" {
+		snap := tel.Registry().Snapshot()
+		write := func(path string, emit func(w *os.File) error) error {
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := emit(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		if err := write(prefix+".prom", func(w *os.File) error { return snap.WritePrometheus(w) }); err != nil {
+			return err
+		}
+		if err := write(prefix+".json", func(w *os.File) error { return snap.WriteJSON(w) }); err != nil {
+			return err
+		}
+		fmt.Printf("metrics written to %s.prom and %s.json\n", prefix, prefix)
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tel.Tracer().WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("phase trace written to %s\n", tracePath)
+	}
+	return nil
+}
+
+// writeStatsJSON serializes the full run statistics, including per-rank
+// rows and the derived load-imbalance and per-tick rates, as one JSON
+// document. The spike trace and checkpoint are omitted: they have their
+// own binary formats (-record, -checkpoint).
+func writeStatsJSON(path string, stats *compass.RunStats) error {
+	slim := *stats
+	slim.Trace = nil
+	slim.Final = nil
+	doc := struct {
+		*compass.RunStats
+		LoadImbalance    compass.Imbalance
+		AvgFiringRateHz  float64
+		MessagesPerTick  float64
+		SpikesPerTick    float64
+		WireBytesPerTick float64
+	}{
+		RunStats:         &slim,
+		LoadImbalance:    stats.LoadImbalance(),
+		AvgFiringRateHz:  stats.AvgFiringRateHz(),
+		MessagesPerTick:  stats.MessagesPerTick(),
+		SpikesPerTick:    stats.SpikesPerTick(),
+		WireBytesPerTick: stats.WireBytesPerTick(),
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // loadModel builds the model from whichever source was selected.

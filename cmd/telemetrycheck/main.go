@@ -1,0 +1,245 @@
+// Command telemetrycheck validates the artifacts the compass command
+// emits under -metrics and -trace-out: the Prometheus text exposition,
+// the JSON metrics snapshot, and the Chrome trace-event file. It is the
+// CI smoke gate for the telemetry subsystem — no external Prometheus or
+// Perfetto needed, just the format rules they rely on.
+//
+// Usage:
+//
+//	telemetrycheck -metrics run.prom -snapshot run.json -trace trace.json
+//
+// Any subset of the flags may be given; each named file is validated.
+// Exit status is non-zero on the first violation.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	var (
+		promPath  = flag.String("metrics", "", "Prometheus text exposition file to validate")
+		snapPath  = flag.String("snapshot", "", "JSON metrics snapshot file to validate")
+		tracePath = flag.String("trace", "", "Chrome trace-event JSON file to validate")
+	)
+	flag.Parse()
+	if *promPath == "" && *snapPath == "" && *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "telemetrycheck: name at least one of -metrics, -snapshot, -trace")
+		os.Exit(2)
+	}
+	checks := []struct {
+		path string
+		fn   func(string) error
+	}{
+		{*promPath, checkPrometheus},
+		{*snapPath, checkSnapshot},
+		{*tracePath, checkTrace},
+	}
+	for _, c := range checks {
+		if c.path == "" {
+			continue
+		}
+		if err := c.fn(c.path); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetrycheck: %s: %v\n", c.path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok\n", c.path)
+	}
+}
+
+// checkPrometheus validates the text exposition format shape: every
+// non-comment line is `name{labels} value` or `name value`, every series
+// name was declared by a preceding # TYPE, and histograms carry the
+// mandatory +Inf bucket, _sum, and _count series.
+func checkPrometheus(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	typed := map[string]string{} // metric family -> type
+	families := map[string]bool{}
+	histSeen := map[string]map[string]bool{} // family -> {inf, sum, count}
+	samples := 0
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Text()
+		switch {
+		case text == "":
+			continue
+		case strings.HasPrefix(text, "# HELP "), strings.HasPrefix(text, "# TYPE "):
+			fields := strings.Fields(text)
+			if len(fields) < 4 {
+				return fmt.Errorf("line %d: truncated comment %q", line, text)
+			}
+			if fields[1] == "TYPE" {
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		case strings.HasPrefix(text, "#"):
+			return fmt.Errorf("line %d: unknown comment form %q", line, text)
+		}
+		name := text
+		if i := strings.IndexAny(text, "{ "); i >= 0 {
+			name = text[:i]
+		}
+		rest := text[len(name):]
+		if strings.HasPrefix(rest, "{") {
+			end := strings.Index(rest, "}")
+			if end < 0 {
+				return fmt.Errorf("line %d: unterminated label set", line)
+			}
+			rest = rest[end+1:]
+		}
+		value := strings.TrimSpace(rest)
+		if value == "" {
+			return fmt.Errorf("line %d: sample %q has no value", line, name)
+		}
+		family := name
+		suffix := ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, s) {
+				if t, ok := typed[strings.TrimSuffix(name, s)]; ok && t == "histogram" {
+					family = strings.TrimSuffix(name, s)
+					suffix = s
+				}
+			}
+		}
+		t, ok := typed[family]
+		if !ok {
+			return fmt.Errorf("line %d: series %q has no # TYPE declaration", line, name)
+		}
+		families[family] = true
+		if t == "histogram" {
+			seen := histSeen[family]
+			if seen == nil {
+				seen = map[string]bool{}
+				histSeen[family] = seen
+			}
+			switch suffix {
+			case "_bucket":
+				if strings.Contains(text, `le="+Inf"`) {
+					seen["inf"] = true
+				}
+			case "_sum":
+				seen["sum"] = true
+			case "_count":
+				seen["count"] = true
+			default:
+				return fmt.Errorf("line %d: bare sample %q for histogram family", line, name)
+			}
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples")
+	}
+	for family, t := range typed {
+		if t != "histogram" || !families[family] {
+			continue
+		}
+		for _, part := range []string{"inf", "sum", "count"} {
+			if !histSeen[family][part] {
+				return fmt.Errorf("histogram %q is missing its %s series", family, part)
+			}
+		}
+	}
+	fmt.Printf("  %d samples, %d metric families\n", samples, len(typed))
+	return nil
+}
+
+// checkSnapshot validates the JSON snapshot: a metrics array whose
+// entries carry a name and kind, with cumulative bucket counts on
+// histograms.
+func checkSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Metrics []struct {
+			Name    string `json:"name"`
+			Kind    string `json:"kind"`
+			Buckets []struct {
+				LE    float64 `json:"le"`
+				Count uint64  `json:"count"`
+			} `json:"buckets"`
+			Count uint64 `json:"count"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("not a metrics snapshot: %w", err)
+	}
+	if len(doc.Metrics) == 0 {
+		return fmt.Errorf("snapshot has no metrics")
+	}
+	for _, m := range doc.Metrics {
+		if m.Name == "" || m.Kind == "" {
+			return fmt.Errorf("metric with empty name or kind: %+v", m)
+		}
+		if m.Kind == "histogram" {
+			prev := uint64(0)
+			for _, b := range m.Buckets {
+				if b.Count < prev {
+					return fmt.Errorf("%s: bucket counts not cumulative", m.Name)
+				}
+				prev = b.Count
+			}
+			if prev > m.Count {
+				return fmt.Errorf("%s: bucket count %d exceeds total %d", m.Name, prev, m.Count)
+			}
+		}
+	}
+	fmt.Printf("  %d metric series\n", len(doc.Metrics))
+	return nil
+}
+
+// checkTrace validates the Chrome trace-event file: a traceEvents array
+// where every complete ("X") event carries name/ts/dur/pid/tid and at
+// least one span exists.
+func checkTrace(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("not a trace-event document: %w", err)
+	}
+	spans := 0
+	for i, ev := range doc.TraceEvents {
+		var ph string
+		if raw, ok := ev["ph"]; !ok {
+			return fmt.Errorf("event %d has no ph", i)
+		} else if err := json.Unmarshal(raw, &ph); err != nil {
+			return fmt.Errorf("event %d: bad ph: %w", i, err)
+		}
+		if ph != "X" {
+			continue
+		}
+		for _, key := range []string{"name", "ts", "dur", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				return fmt.Errorf("X event %d is missing %q", i, key)
+			}
+		}
+		spans++
+	}
+	if spans == 0 {
+		return fmt.Errorf("trace has no complete (X) spans")
+	}
+	fmt.Printf("  %d events, %d spans\n", len(doc.TraceEvents), spans)
+	return nil
+}

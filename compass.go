@@ -38,6 +38,7 @@ import (
 	"github.com/cognitive-sim/compass/internal/pcc"
 	"github.com/cognitive-sim/compass/internal/power"
 	"github.com/cognitive-sim/compass/internal/spikeio"
+	"github.com/cognitive-sim/compass/internal/telemetry"
 	"github.com/cognitive-sim/compass/internal/truenorth"
 )
 
@@ -95,7 +96,28 @@ type (
 	TickStats = sim.TickStats
 	// RankStats aggregates one rank.
 	RankStats = sim.RankStats
+	// PhaseSeconds is measured wall-clock per main-loop phase.
+	PhaseSeconds = sim.PhaseSeconds
+	// Imbalance summarizes per-rank load imbalance as max/mean ratios.
+	Imbalance = sim.Imbalance
+	// Telemetry is a run-scoped instrument bundle: sharded metrics plus a
+	// per-phase span tracer. Attach one via Config.Telemetry, then scrape
+	// Registry() (Prometheus text or JSON snapshot) and Tracer() (Chrome
+	// trace-event JSON, Perfetto-openable) after the run.
+	Telemetry = sim.Telemetry
+	// MetricsSnapshot is a merged point-in-time view of a telemetry
+	// registry.
+	MetricsSnapshot = telemetry.Snapshot
+	// Metric is one merged series in a metrics snapshot.
+	Metric = telemetry.Metric
+	// MetricLabel is one name/value dimension of a metric series.
+	MetricLabel = telemetry.Label
 )
+
+// NewTelemetry builds a telemetry bundle sharded for a run with the
+// given rank count. The same bundle must not be shared by concurrent
+// runs; its per-rank metric shards would interleave.
+func NewTelemetry(ranks int) *Telemetry { return sim.NewTelemetry(ranks) }
 
 // Transports.
 const (

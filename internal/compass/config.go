@@ -118,6 +118,12 @@ type Config struct {
 	// RunStats.PhaseSeconds (the host-measured analogue of Figure 4(a)'s
 	// per-phase breakdown).
 	MeasurePhases bool
+	// Telemetry optionally attaches a run-scoped instrument bundle: the
+	// sharded metrics registry, per-phase span timers, and the Perfetto
+	// trace recorder (see telemetry.go). A non-nil Telemetry implies
+	// phase measurement; RunStats.PhaseSeconds is populated either way.
+	// The bundle must have been built for at least Ranks shards.
+	Telemetry *Telemetry
 	// ForceScalar pins every core to the scalar Synapse path and
 	// disables quiescent-core skipping. Output is bit-identical either
 	// way; the flag exists so the kernel benchmark and conformance tests
@@ -141,6 +147,10 @@ func (c *Config) Validate(m *truenorth.Model) error {
 	}
 	if c.Ranks > len(m.Cores) {
 		return fmt.Errorf("compass: %d ranks for %d cores", c.Ranks, len(m.Cores))
+	}
+	if c.Telemetry != nil && c.Telemetry.Registry().Shards() < c.Ranks {
+		return fmt.Errorf("compass: telemetry built for %d shards, run has %d ranks",
+			c.Telemetry.Registry().Shards(), c.Ranks)
 	}
 	if c.RankOf != nil {
 		if len(c.RankOf) != len(m.Cores) {

@@ -1,7 +1,10 @@
 package compass
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"time"
 
 	"github.com/cognitive-sim/compass/internal/truenorth"
@@ -23,7 +26,7 @@ func Run(m *truenorth.Model, cfg Config, ticks int) (*RunStats, error) {
 
 	// The transport is selected exactly once, here; every tick after this
 	// goes through the Endpoint interface.
-	backend, err := newBackend(cfg.Transport)
+	backend, err := newBackend(cfg.Transport, cfg.Telemetry)
 	if err != nil {
 		return nil, err
 	}
@@ -58,10 +61,13 @@ func Run(m *truenorth.Model, cfg Config, ticks int) (*RunStats, error) {
 		return nil, runErr
 	}
 	out := gather(m, cfg, ticks, states)
-	if cfg.MeasurePhases {
+	if cfg.MeasurePhases || cfg.Telemetry != nil {
 		for _, st := range states {
-			if st.computeSec > out.PhaseSeconds.SynapseNeuron {
-				out.PhaseSeconds.SynapseNeuron = st.computeSec
+			if st.synapseSec > out.PhaseSeconds.Synapse {
+				out.PhaseSeconds.Synapse = st.synapseSec
+			}
+			if st.neuronSec > out.PhaseSeconds.Neuron {
+				out.PhaseSeconds.Neuron = st.neuronSec
 			}
 			if st.networkSec > out.PhaseSeconds.Network {
 				out.PhaseSeconds.Network = st.networkSec
@@ -132,6 +138,12 @@ type rankState struct {
 	ranks   int
 	threads int
 
+	// tel is the run's instrument bundle (nil when telemetry is off);
+	// measure is true when phase wall-clock must be taken, either for
+	// RunStats.PhaseSeconds or for telemetry spans.
+	tel     *Telemetry
+	measure bool
+
 	// ep is this rank's transport endpoint; raw reports whether the
 	// transport takes un-encoded spikes (Backend.RawSpikes).
 	ep  Endpoint
@@ -180,6 +192,13 @@ type rankState struct {
 	threadQuiescent []uint64
 	threadSynSkips  []uint64
 
+	// per-thread Synapse-path dispatch counters (telemetry only) and
+	// the current tick's per-thread Synapse wall-clock (nanoseconds,
+	// written when measure is set).
+	threadKernelHits []uint64
+	threadScalarHits []uint64
+	threadSynapseNS  []int64
+
 	// cumulative statistics.
 	localSpikes  uint64
 	remoteSpikes uint64
@@ -194,8 +213,12 @@ type rankState struct {
 	ticksRun  int
 	startTick uint64
 
-	// measured per-phase wall-clock (seconds) when MeasurePhases is set.
-	computeSec float64
+	// measured per-phase wall-clock (seconds) when measure is set.
+	// synapseSec is the per-tick maximum thread Synapse time summed over
+	// ticks; neuronSec is the rest of each compute section, so their sum
+	// is the compute section's wall-clock.
+	synapseSec float64
+	neuronSec  float64
 	networkSec float64
 }
 
@@ -206,6 +229,8 @@ func newRankState(r int, m *truenorth.Model, cfg Config, placement []int, raw bo
 		cfg:          cfg,
 		ranks:        cfg.Ranks,
 		threads:      cfg.ThreadsPerRank,
+		tel:          cfg.Telemetry,
+		measure:      cfg.MeasurePhases || cfg.Telemetry != nil,
 		raw:          raw,
 		placement:    placement,
 		localCore:    make([]*truenorth.Core, len(m.Cores)),
@@ -255,8 +280,20 @@ func newRankState(r int, m *truenorth.Model, cfg Config, placement []int, raw bo
 	}
 	st.threadQuiescent = make([]uint64, cfg.ThreadsPerRank)
 	st.threadSynSkips = make([]uint64, cfg.ThreadsPerRank)
+	st.threadKernelHits = make([]uint64, cfg.ThreadsPerRank)
+	st.threadScalarHits = make([]uint64, cfg.ThreadsPerRank)
+	st.threadSynapseNS = make([]int64, cfg.ThreadsPerRank)
 	if cfg.RecordTrace {
 		st.traces = make([][]truenorth.SpikeEvent, cfg.ThreadsPerRank)
+	}
+	if st.tel != nil {
+		kernel := 0
+		for _, core := range st.cores {
+			if core.KernelActive() {
+				kernel++
+			}
+		}
+		st.tel.setCorePaths(r, kernel, len(st.cores)-kernel)
 	}
 	return st
 }
@@ -264,16 +301,42 @@ func newRankState(r int, m *truenorth.Model, cfg Config, placement []int, raw bo
 // loop runs the rank's main simulation loop for ticks ticks starting at
 // absolute tick start. The worker pool persists across all ticks.
 func (st *rankState) loop(start uint64, ticks int) error {
+	// Label the rank goroutine (worker 0) so CPU and goroutine profiles
+	// attribute samples per rank; the pool labels workers 1..threads-1.
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("compass_rank", strconv.Itoa(st.rank), "compass_worker", "0")))
 	st.ticksRun = ticks
 	st.startTick = start
-	st.pool = newWorkerPool(st.threads)
+	st.pool = newWorkerPool(st.rank, st.threads)
 	defer st.pool.stop()
 	for t := start; t < start+uint64(ticks); t++ {
 		if err := st.tick(t); err != nil {
 			return fmt.Errorf("compass: rank %d tick %d: %w", st.rank, t, err)
 		}
 	}
+	st.flushTelemetry()
 	return nil
+}
+
+// flushTelemetry publishes the rank's cumulative compute-path counters
+// once, at end of run (per-tick flushing would buy nothing: the
+// registry is only scraped after Run returns).
+func (st *rankState) flushTelemetry() {
+	if st.tel == nil {
+		return
+	}
+	var kernel, scalar, skips, quiescent uint64
+	for tid := 0; tid < st.threads; tid++ {
+		kernel += st.threadKernelHits[tid]
+		scalar += st.threadScalarHits[tid]
+		skips += st.threadSynSkips[tid]
+		quiescent += st.threadQuiescent[tid]
+	}
+	var dropped uint64
+	for _, core := range st.cores {
+		dropped += core.DroppedInjects()
+	}
+	st.tel.computeCounts(st.rank, kernel, scalar, skips, quiescent, dropped)
 }
 
 // tick executes one tick: inputs, Synapse and Neuron phases in parallel
@@ -284,9 +347,10 @@ func (st *rankState) tick(t uint64) error {
 	}
 	delete(st.inputsByTick, t)
 
-	var phaseStart time.Time
-	if st.cfg.MeasurePhases {
-		phaseStart = time.Now()
+	measure, counting := st.measure, st.tel != nil
+	var computeStart time.Time
+	if measure {
+		computeStart = time.Now()
 	}
 
 	// Synapse + Neuron phases. Cores are independent within a tick, so
@@ -294,9 +358,12 @@ func (st *rankState) tick(t uint64) error {
 	// thread first filters its cores down to the active list — quiescent
 	// cores (passive dynamics, settled state, no spikes due) are skipped
 	// outright — and the Synapse phase is skipped for active cores with
-	// no pending spikes this tick.
+	// no pending spikes this tick. When measuring, each thread also
+	// clocks its Synapse work so the two compute phases report
+	// separately (Figure 4(a) plots them as distinct bars).
 	st.Parallel(func(tid int) {
 		fired := uint64(0)
+		synapseNS := int64(0)
 		active := st.threadActive[tid][:0]
 		for _, core := range st.threadCores[tid] {
 			if core.QuiescentAt(t) {
@@ -308,7 +375,20 @@ func (st *rankState) tick(t uint64) error {
 		st.threadActive[tid] = active
 		for _, core := range active {
 			if core.HasPendingSpikes(t) {
-				core.SynapsePhase(t)
+				if measure {
+					s0 := time.Now()
+					core.SynapsePhase(t)
+					synapseNS += time.Since(s0).Nanoseconds()
+				} else {
+					core.SynapsePhase(t)
+				}
+				if counting {
+					if core.KernelActive() {
+						st.threadKernelHits[tid]++
+					} else {
+						st.threadScalarHits[tid]++
+					}
+				}
 			} else {
 				st.threadSynSkips[tid]++
 			}
@@ -329,6 +409,9 @@ func (st *rankState) tick(t uint64) error {
 			})
 		}
 		st.threadFirings[tid] = fired
+		if measure {
+			st.threadSynapseNS[tid] = synapseNS
+		}
 	})
 
 	// Thread-aggregate remote buffers into one message per destination
@@ -371,17 +454,49 @@ func (st *rankState) tick(t uint64) error {
 	}
 	st.localSpikes += tickLocal
 
-	if st.cfg.MeasurePhases {
-		now := time.Now()
-		st.computeSec += now.Sub(phaseStart).Seconds()
-		phaseStart = now
+	if measure {
+		// The compute section's wall-clock splits at the slowest
+		// thread's Synapse time: that is the Synapse phase's critical
+		// path, and everything after it — integrate/leak/fire plus the
+		// aggregation above — is the Neuron phase. The two spans tile
+		// the section, so Synapse+Neuron matches the old fused total.
+		computeDur := time.Since(computeStart)
+		var maxSynapse int64
+		for _, ns := range st.threadSynapseNS {
+			if ns > maxSynapse {
+				maxSynapse = ns
+			}
+		}
+		synapseDur := time.Duration(maxSynapse)
+		if synapseDur > computeDur {
+			synapseDur = computeDur
+		}
+		neuronDur := computeDur - synapseDur
+		st.synapseSec += synapseDur.Seconds()
+		st.neuronSec += neuronDur.Seconds()
+		st.tel.phaseSpan(st.rank, PhaseSynapse, t, computeStart, synapseDur)
+		st.tel.phaseSpan(st.rank, PhaseNeuron, t, computeStart.Add(synapseDur), neuronDur)
+	}
+	if counting {
+		fired := uint64(0)
+		for _, f := range st.threadFirings {
+			fired += f
+		}
+		st.tel.tickCounts(st.rank, tickMsgs, tickRemote*truenorth.SpikeWireBytes,
+			tickLocal, tickRemote, fired)
 	}
 
+	var networkStart time.Time
+	if measure {
+		networkStart = time.Now()
+	}
 	if err := st.ep.Exchange(t, &st.out, st); err != nil {
 		return err
 	}
-	if st.cfg.MeasurePhases {
-		st.networkSec += time.Since(phaseStart).Seconds()
+	if measure {
+		networkDur := time.Since(networkStart)
+		st.networkSec += networkDur.Seconds()
+		st.tel.phaseSpan(st.rank, PhaseNetwork, t, networkStart, networkDur)
 	}
 
 	for tid := range st.threadLocal {

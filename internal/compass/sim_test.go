@@ -415,11 +415,18 @@ func TestMeasurePhases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.PhaseSeconds.SynapseNeuron <= 0 {
-		t.Fatalf("compute phase time %v", stats.PhaseSeconds.SynapseNeuron)
+	if stats.PhaseSeconds.Synapse <= 0 {
+		t.Fatalf("synapse phase time %v", stats.PhaseSeconds.Synapse)
+	}
+	if stats.PhaseSeconds.Neuron <= 0 {
+		t.Fatalf("neuron phase time %v", stats.PhaseSeconds.Neuron)
 	}
 	if stats.PhaseSeconds.Network <= 0 {
 		t.Fatalf("network phase time %v", stats.PhaseSeconds.Network)
+	}
+	// The deprecated fused accessor equals the sum of the split fields.
+	if got, want := stats.PhaseSeconds.SynapseNeuron(), stats.PhaseSeconds.Synapse+stats.PhaseSeconds.Neuron; got != want {
+		t.Fatalf("SynapseNeuron() = %v, want %v", got, want)
 	}
 	// Without the flag, phase times stay zero.
 	plain, err := Run(m, Config{Ranks: 2, ThreadsPerRank: 1}, 10)

@@ -96,17 +96,31 @@ type RunStats struct {
 	// set.
 	Final *truenorth.Checkpoint
 	// PhaseSeconds holds the maximum per-rank wall-clock spent in each
-	// main-loop phase when Config.MeasurePhases is set. On a single-CPU
-	// host the ranks time-share, so these are work measurements, not
-	// parallel wall-clock.
+	// main-loop phase when Config.MeasurePhases is set (or a Telemetry
+	// bundle is attached). On a single-CPU host the ranks time-share,
+	// so these are work measurements, not parallel wall-clock.
 	PhaseSeconds PhaseSeconds
 }
 
-// PhaseSeconds is measured wall-clock per main-loop phase.
+// PhaseSeconds is measured wall-clock per main-loop phase. Synapse and
+// Neuron are measured separately (the paper's Figure 4(a) reports all
+// three phases individually): Synapse is the per-rank critical-path
+// thread's crossbar-propagation time, and Neuron is the remainder of
+// the compute section — integrate/leak/fire plus per-destination spike
+// aggregation — so Synapse+Neuron equals the compute section's
+// wall-clock exactly.
 type PhaseSeconds struct {
-	SynapseNeuron float64
-	Network       float64
+	Synapse float64
+	Neuron  float64
+	Network float64
 }
+
+// SynapseNeuron returns the summed compute-phase (Synapse + Neuron)
+// wall-clock, the quantity this struct reported before the phases were
+// measured separately.
+//
+// Deprecated: read Synapse and Neuron individually.
+func (p PhaseSeconds) SynapseNeuron() float64 { return p.Synapse + p.Neuron }
 
 // AvgFiringRateHz returns the mean neuron firing rate in hertz, assuming
 // the architecture's 1 ms tick: spikes / (neurons × ticks) × 1000.

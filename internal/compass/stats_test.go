@@ -1,0 +1,99 @@
+package compass
+
+import (
+	"testing"
+
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// TestDerivedRatesZeroTicks checks that every per-tick rate degrades to
+// zero (not NaN or Inf) on an empty run.
+func TestDerivedRatesZeroTicks(t *testing.T) {
+	s := &RunStats{NumCores: 4, TotalSpikes: 100, Messages: 7, RemoteSpikes: 3, WireBytes: 60}
+	if got := s.AvgFiringRateHz(); got != 0 {
+		t.Errorf("AvgFiringRateHz with zero ticks = %v, want 0", got)
+	}
+	if got := s.MessagesPerTick(); got != 0 {
+		t.Errorf("MessagesPerTick with zero ticks = %v, want 0", got)
+	}
+	if got := s.SpikesPerTick(); got != 0 {
+		t.Errorf("SpikesPerTick with zero ticks = %v, want 0", got)
+	}
+	if got := s.WireBytesPerTick(); got != 0 {
+		t.Errorf("WireBytesPerTick with zero ticks = %v, want 0", got)
+	}
+}
+
+// TestDerivedRatesZeroCores checks the firing-rate guard against an
+// empty model (neurons == 0) even when ticks ran.
+func TestDerivedRatesZeroCores(t *testing.T) {
+	s := &RunStats{Ticks: 10, TotalSpikes: 5}
+	if got := s.AvgFiringRateHz(); got != 0 {
+		t.Errorf("AvgFiringRateHz with zero cores = %v, want 0", got)
+	}
+}
+
+// TestDerivedRatesValues checks the rate arithmetic on hand-computed
+// numbers, including the 1 ms tick → Hz conversion.
+func TestDerivedRatesValues(t *testing.T) {
+	s := &RunStats{
+		Ticks: 100, NumCores: 2,
+		TotalSpikes: 1024, RemoteSpikes: 300, Messages: 50,
+		WireBytes: 300 * truenorth.SpikeWireBytes,
+	}
+	// 1024 spikes / (512 neurons × 100 ticks) × 1000 = 20 Hz.
+	if got := s.AvgFiringRateHz(); got != 20 {
+		t.Errorf("AvgFiringRateHz = %v, want 20", got)
+	}
+	if got := s.MessagesPerTick(); got != 0.5 {
+		t.Errorf("MessagesPerTick = %v, want 0.5", got)
+	}
+	if got := s.SpikesPerTick(); got != 3 {
+		t.Errorf("SpikesPerTick = %v, want 3", got)
+	}
+	if got := s.WireBytesPerTick(); got != 3*truenorth.SpikeWireBytes {
+		t.Errorf("WireBytesPerTick = %v, want %v", got, 3*truenorth.SpikeWireBytes)
+	}
+}
+
+// TestLoadImbalanceEdgeCases checks the imbalance ratios on degenerate
+// rank sets: no ranks, one rank, all-zero activity, and a known skew.
+func TestLoadImbalanceEdgeCases(t *testing.T) {
+	// Empty PerRank: everything zero.
+	if got := (&RunStats{}).LoadImbalance(); got != (Imbalance{}) {
+		t.Errorf("empty PerRank imbalance = %+v, want zero", got)
+	}
+	// Single rank is perfectly balanced by definition.
+	one := &RunStats{PerRank: []RankStats{{CoresOwned: 7, SynapticEvents: 9, Firings: 3, MessagesSent: 2}}}
+	if got := one.LoadImbalance(); got != (Imbalance{Cores: 1, Compute: 1, Firings: 1, Sends: 1}) {
+		t.Errorf("single-rank imbalance = %+v, want all 1", got)
+	}
+	// All-zero activity must not divide by zero; the ratio convention is
+	// 1 (balanced) when the mean is zero.
+	idle := &RunStats{PerRank: []RankStats{{}, {}}}
+	if got := idle.LoadImbalance(); got != (Imbalance{Cores: 1, Compute: 1, Firings: 1, Sends: 1}) {
+		t.Errorf("idle imbalance = %+v, want all 1", got)
+	}
+	// Known skew: cores 3 and 1 → max/mean = 3/2.
+	skew := &RunStats{PerRank: []RankStats{
+		{CoresOwned: 3, SynapticEvents: 10, Firings: 4, MessagesSent: 6},
+		{CoresOwned: 1, SynapticEvents: 10, Firings: 4, MessagesSent: 0},
+	}}
+	got := skew.LoadImbalance()
+	want := Imbalance{Cores: 1.5, Compute: 1, Firings: 1, Sends: 2}
+	if got != want {
+		t.Errorf("skewed imbalance = %+v, want %+v", got, want)
+	}
+}
+
+// TestPhaseSecondsDeprecatedSum checks the fused compute accessor kept
+// for pre-split callers.
+func TestPhaseSecondsDeprecatedSum(t *testing.T) {
+	p := PhaseSeconds{Synapse: 0.25, Neuron: 0.5, Network: 2}
+	if got := p.SynapseNeuron(); got != 0.75 {
+		t.Errorf("SynapseNeuron() = %v, want 0.75", got)
+	}
+	if got := (PhaseSeconds{}).SynapseNeuron(); got != 0 {
+		t.Errorf("zero SynapseNeuron() = %v, want 0", got)
+	}
+}

@@ -1,0 +1,260 @@
+package compass
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/cognitive-sim/compass/internal/telemetry"
+)
+
+// This file binds the generic telemetry layer (internal/telemetry) to
+// the simulator: the fixed instrument set every run exports, the phase
+// vocabulary, and the nil-check-cheap accessor methods the hot path
+// calls. Every method on *Telemetry and *transportProbe is a no-op on a
+// nil receiver, so instrumented code needs no conditionals beyond the
+// single nil test the method itself performs.
+//
+// Metric names, with their paper provenance, are listed in the README's
+// Observability section.
+
+// Phase identifies one instrumented section of the per-tick loop. The
+// first three are the paper's Listing 1 phases (Synapse and Neuron now
+// measured separately); the net* sub-phases decompose the Network phase
+// per transport.
+type Phase int
+
+const (
+	// PhaseSynapse is crossbar propagation of pending axon spikes.
+	PhaseSynapse Phase = iota
+	// PhaseNeuron is integrate/leak/fire plus per-destination spike
+	// aggregation.
+	PhaseNeuron
+	// PhaseNetwork is the whole transport Exchange.
+	PhaseNetwork
+	// PhaseNetSend covers publishing outgoing spikes (sends, puts, or
+	// slice swaps) overlapped with local delivery.
+	PhaseNetSend
+	// PhaseNetBarrier is the tick-closing collective (PGAS and shmem).
+	PhaseNetBarrier
+	// PhaseNetDrain is receiving and delivering incoming spikes.
+	PhaseNetDrain
+	numPhases
+)
+
+// String names the phase as it appears in metric labels and traces.
+func (p Phase) String() string {
+	switch p {
+	case PhaseSynapse:
+		return "synapse"
+	case PhaseNeuron:
+		return "neuron"
+	case PhaseNetwork:
+		return "network"
+	case PhaseNetSend:
+		return "net_send"
+	case PhaseNetBarrier:
+		return "net_barrier"
+	case PhaseNetDrain:
+		return "net_drain"
+	default:
+		return "unknown"
+	}
+}
+
+// phaseBounds are the per-tick phase-duration histogram buckets, in
+// seconds: 1 µs to 1 s in a 1-2.5-5 ladder. Host-scale ticks land in
+// the middle decades; the tails catch degenerate and GC-hit ticks.
+var phaseBounds = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1, 1,
+}
+
+// Telemetry is one run's instrument bundle: a sharded registry (one
+// shard per rank) plus a span tracer, with every simulator instrument
+// pre-registered so the per-tick path allocates nothing. A nil
+// *Telemetry disables all instrumentation at the cost of one nil check
+// per call site.
+type Telemetry struct {
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+
+	phase [numPhases]telemetry.Histogram
+
+	messages     telemetry.Counter
+	wireBytes    telemetry.Counter
+	localSpikes  telemetry.Counter
+	remoteSpikes telemetry.Counter
+	firings      telemetry.Counter
+
+	kernelCores    telemetry.Gauge
+	scalarCores    telemetry.Gauge
+	kernelDispatch telemetry.Counter
+	scalarDispatch telemetry.Counter
+	synapseSkips   telemetry.Counter
+	quiescentTicks telemetry.Counter
+	droppedInputs  telemetry.Counter
+}
+
+// NewTelemetry creates the instrument bundle for a run with the given
+// rank count. Attach it via Config.Telemetry; after the run, scrape
+// Registry() for metrics and Tracer() for the trace.
+func NewTelemetry(ranks int) *Telemetry {
+	reg := telemetry.New(ranks)
+	tr := telemetry.NewTracer(ranks)
+	t := &Telemetry{reg: reg, tracer: tr}
+	for p := Phase(0); p < numPhases; p++ {
+		t.phase[p] = reg.Histogram("compass_phase_seconds",
+			"per-tick wall-clock of one main-loop phase on one rank (Fig. 4a breakdown)",
+			phaseBounds, telemetry.Label{Key: "phase", Value: p.String()})
+	}
+	t.messages = reg.Counter("compass_messages_total",
+		"aggregated inter-rank messages sent (Fig. 4b)")
+	t.wireBytes = reg.Counter("compass_wire_bytes_total",
+		"modelled network payload: remote spikes x 20 B/spike (paper sec. VI-B)")
+	t.localSpikes = reg.Counter("compass_spikes_total",
+		"spikes delivered, by locality", telemetry.Label{Key: "kind", Value: "local"})
+	t.remoteSpikes = reg.Counter("compass_spikes_total",
+		"spikes delivered, by locality", telemetry.Label{Key: "kind", Value: "remote"})
+	t.firings = reg.Counter("compass_firings_total",
+		"neuron firings across all ranks")
+	t.kernelCores = reg.Gauge("compass_cores",
+		"cores placed, by Synapse-phase path", telemetry.Label{Key: "path", Value: "kernel"})
+	t.scalarCores = reg.Gauge("compass_cores",
+		"cores placed, by Synapse-phase path", telemetry.Label{Key: "path", Value: "scalar"})
+	t.kernelDispatch = reg.Counter("compass_synapse_dispatch_total",
+		"Synapse phases executed, by path", telemetry.Label{Key: "path", Value: "kernel"})
+	t.scalarDispatch = reg.Counter("compass_synapse_dispatch_total",
+		"Synapse phases executed, by path", telemetry.Label{Key: "path", Value: "scalar"})
+	t.synapseSkips = reg.Counter("compass_synapse_skips_total",
+		"Synapse phases skipped on active cores with no pending spikes")
+	t.quiescentTicks = reg.Counter("compass_quiescent_core_ticks_total",
+		"core-ticks skipped entirely by quiescent-core detection")
+	t.droppedInputs = reg.Counter("compass_dropped_inputs_total",
+		"external input spikes dropped for out-of-range axons")
+	for r := 0; r < ranks; r++ {
+		tr.SetProcessName(r, fmt.Sprintf("rank %d", r))
+		for p := Phase(0); p < numPhases; p++ {
+			tr.SetThreadName(r, int(p), p.String())
+		}
+	}
+	return t
+}
+
+// Registry returns the underlying metrics registry (scrape via
+// Snapshot). Nil-safe.
+func (t *Telemetry) Registry() *telemetry.Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Tracer returns the underlying span tracer (export via
+// WriteChromeTrace). Nil-safe.
+func (t *Telemetry) Tracer() *telemetry.Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tracer
+}
+
+// phaseSpan records one completed phase section: a histogram
+// observation and one trace span on the rank's process row, with the
+// phase as the lane.
+func (t *Telemetry) phaseSpan(rank int, p Phase, tick uint64, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.phase[p].Observe(rank, dur.Seconds())
+	t.tracer.Span(rank, p.String(), "phase", rank, int(p), tick, start, dur)
+}
+
+// tickCounts accumulates one tick's rank-level traffic totals.
+func (t *Telemetry) tickCounts(rank int, msgs, wireBytes, local, remote, firings uint64) {
+	if t == nil {
+		return
+	}
+	t.messages.Add(rank, msgs)
+	t.wireBytes.Add(rank, wireBytes)
+	t.localSpikes.Add(rank, local)
+	t.remoteSpikes.Add(rank, remote)
+	t.firings.Add(rank, firings)
+}
+
+// setCorePaths records the rank's setup-time Synapse-path split.
+func (t *Telemetry) setCorePaths(rank int, kernel, scalar int) {
+	if t == nil {
+		return
+	}
+	t.kernelCores.Set(rank, float64(kernel))
+	t.scalarCores.Set(rank, float64(scalar))
+}
+
+// computeCounts accumulates the rank's cumulative compute-phase
+// counters (called once at end of run with run totals).
+func (t *Telemetry) computeCounts(rank int, kernelDispatch, scalarDispatch, skips, quiescent, dropped uint64) {
+	if t == nil {
+		return
+	}
+	t.kernelDispatch.Add(rank, kernelDispatch)
+	t.scalarDispatch.Add(rank, scalarDispatch)
+	t.synapseSkips.Add(rank, skips)
+	t.quiescentTicks.Add(rank, quiescent)
+	t.droppedInputs.Add(rank, dropped)
+}
+
+// transportProbe is the instrument set a transport endpoint drives:
+// messages and payload bytes published, the per-tick incoming queue
+// depth, and the Network sub-phase spans. One probe per transport name;
+// rank is passed per call as the shard. A nil probe is a no-op.
+type transportProbe struct {
+	tel        *Telemetry
+	messages   telemetry.Counter
+	bytes      telemetry.Counter
+	queueDepth telemetry.Gauge
+}
+
+// transportProbe builds (or fetches — registration is idempotent) the
+// per-transport instrument set. Nil-safe: a nil Telemetry yields a nil
+// probe, and every probe method accepts a nil receiver.
+func (t *Telemetry) transportProbe(transport string) *transportProbe {
+	if t == nil {
+		return nil
+	}
+	lbl := telemetry.Label{Key: "transport", Value: transport}
+	return &transportProbe{
+		tel: t,
+		messages: t.reg.Counter("compass_transport_messages_total",
+			"messages (or one-sided puts, or zero-copy segment swaps) published by the transport", lbl),
+		bytes: t.reg.Counter("compass_transport_payload_bytes_total",
+			"payload bytes published by the transport (raw transports report the modelled 20 B/spike)", lbl),
+		queueDepth: t.reg.Gauge("compass_transport_queue_depth",
+			"incoming messages or segments pending delivery at the last tick", lbl),
+	}
+}
+
+// sent counts published traffic for the rank.
+func (p *transportProbe) sent(rank int, msgs, bytes uint64) {
+	if p == nil {
+		return
+	}
+	p.messages.Add(rank, msgs)
+	p.bytes.Add(rank, bytes)
+}
+
+// depth records the rank's incoming queue depth for the tick.
+func (p *transportProbe) depth(rank int, depth float64) {
+	if p == nil {
+		return
+	}
+	p.queueDepth.Set(rank, depth)
+}
+
+// span records one Network sub-phase section ending now.
+func (p *transportProbe) span(rank int, ph Phase, tick uint64, start time.Time) {
+	if p == nil {
+		return
+	}
+	p.tel.phaseSpan(rank, ph, tick, start, time.Since(start))
+}

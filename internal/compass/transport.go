@@ -96,15 +96,17 @@ type Backend interface {
 
 // newBackend instantiates the backend for a transport constant. This is
 // the only place the Transport enum is inspected after validation — the
-// per-tick path goes through the Endpoint interface alone.
-func newBackend(tr Transport) (Backend, error) {
+// per-tick path goes through the Endpoint interface alone. Each backend
+// receives its transport probe (nil when telemetry is off) and hands it
+// to the endpoints it creates.
+func newBackend(tr Transport, tel *Telemetry) (Backend, error) {
 	switch tr {
 	case TransportMPI:
-		return mpiBackend{}, nil
+		return mpiBackend{probe: tel.transportProbe("mpi")}, nil
 	case TransportPGAS:
-		return pgasBackend{}, nil
+		return pgasBackend{probe: tel.transportProbe("pgas")}, nil
 	case TransportShmem:
-		return shmemBackend{}, nil
+		return shmemBackend{probe: tel.transportProbe("shmem")}, nil
 	default:
 		return nil, fmt.Errorf("compass: unknown transport %d", tr)
 	}

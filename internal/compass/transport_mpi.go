@@ -3,6 +3,7 @@ package compass
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/cognitive-sim/compass/internal/mpi"
 )
@@ -11,14 +12,16 @@ import (
 // aggregated message per destination per tick, a Reduce-scatter to learn
 // the incoming message count overlapped with local spike delivery, and a
 // critical section around message receipt (thread-unsafe MPI).
-type mpiBackend struct{}
+type mpiBackend struct {
+	probe *transportProbe
+}
 
 func (mpiBackend) Name() string    { return "mpi" }
 func (mpiBackend) RawSpikes() bool { return false }
 
-func (mpiBackend) Run(ranks int, fn func(rank int, ep Endpoint) error) error {
+func (b mpiBackend) Run(ranks int, fn func(rank int, ep Endpoint) error) error {
 	return mpi.Run(ranks, func(c *mpi.Comm) error {
-		ep := &mpiEndpoint{comm: c}
+		ep := &mpiEndpoint{comm: c, rank: c.Rank(), probe: b.probe}
 		err := fn(c.Rank(), ep)
 		if cerr := ep.Close(); err == nil {
 			err = cerr
@@ -42,6 +45,8 @@ const mpiTagModulus = 1024
 // the error scratch is pooled across ticks.
 type mpiEndpoint struct {
 	comm      *mpi.Comm
+	rank      int
+	probe     *transportProbe
 	recvMu    sync.Mutex
 	remaining atomic.Int64
 	errs      []error
@@ -53,6 +58,18 @@ func (ep *mpiEndpoint) Exchange(t uint64, out *Outbox, d Delivery) error {
 	threads := d.Threads()
 	errs := errScratch(&ep.errs, threads)
 	tag := int(t % mpiTagModulus)
+	var sendStart time.Time
+	if ep.probe != nil {
+		sendStart = time.Now()
+		var msgs, bytes uint64
+		for dest, n := range out.Counts {
+			if n != 0 {
+				msgs++
+				bytes += uint64(len(out.Encoded[dest]))
+			}
+		}
+		ep.probe.sent(ep.rank, msgs, bytes)
+	}
 	var expect int64
 	d.Parallel(func(tid int) {
 		if tid == 0 {
@@ -82,6 +99,12 @@ func (ep *mpiEndpoint) Exchange(t uint64, out *Outbox, d Delivery) error {
 	if err := firstErr(errs); err != nil {
 		return err
 	}
+	var drainStart time.Time
+	if ep.probe != nil {
+		ep.probe.span(ep.rank, PhaseNetSend, t, sendStart)
+		ep.probe.depth(ep.rank, float64(expect))
+		drainStart = time.Now()
+	}
 
 	// All threads take turns receiving inside the critical section and
 	// deliver the received spikes outside it.
@@ -104,5 +127,8 @@ func (ep *mpiEndpoint) Exchange(t uint64, out *Outbox, d Delivery) error {
 			}
 		}
 	})
+	if ep.probe != nil {
+		ep.probe.span(ep.rank, PhaseNetDrain, t, drainStart)
+	}
 	return firstErr(errs)
 }

@@ -2,6 +2,7 @@ package compass
 
 import (
 	"sync/atomic"
+	"time"
 
 	"github.com/cognitive-sim/compass/internal/pgas"
 )
@@ -10,14 +11,16 @@ import (
 // aggregated spike buffer directly into the destination rank's window,
 // deliver local spikes in parallel, synchronize with a single global
 // barrier, then drain and deliver the window contents.
-type pgasBackend struct{}
+type pgasBackend struct {
+	probe *transportProbe
+}
 
 func (pgasBackend) Name() string    { return "pgas" }
 func (pgasBackend) RawSpikes() bool { return false }
 
-func (pgasBackend) Run(ranks int, fn func(rank int, ep Endpoint) error) error {
+func (b pgasBackend) Run(ranks int, fn func(rank int, ep Endpoint) error) error {
 	return pgas.Run(ranks, func(h *pgas.Handle) error {
-		ep := &pgasEndpoint{h: h}
+		ep := &pgasEndpoint{h: h, rank: h.Rank(), probe: b.probe}
 		err := fn(h.Rank(), ep)
 		if cerr := ep.Close(); err == nil {
 			err = cerr
@@ -32,6 +35,8 @@ func (pgasBackend) Run(ranks int, fn func(rank int, ep Endpoint) error) error {
 // allocates nothing.
 type pgasEndpoint struct {
 	h       *pgas.Handle
+	rank    int
+	probe   *transportProbe
 	drained [][]byte
 	nextSeg atomic.Int64
 	errs    []error
@@ -42,6 +47,18 @@ func (ep *pgasEndpoint) Close() error { return nil }
 func (ep *pgasEndpoint) Exchange(t uint64, out *Outbox, d Delivery) error {
 	threads := d.Threads()
 	errs := errScratch(&ep.errs, threads)
+	var sendStart time.Time
+	if ep.probe != nil {
+		sendStart = time.Now()
+		var puts, bytes uint64
+		for dest, n := range out.Counts {
+			if n != 0 {
+				puts++
+				bytes += uint64(len(out.Encoded[dest]))
+			}
+		}
+		ep.probe.sent(ep.rank, puts, bytes)
+	}
 	d.Parallel(func(tid int) {
 		if tid == 0 {
 			for dest := range out.Encoded {
@@ -62,8 +79,19 @@ func (ep *pgasEndpoint) Exchange(t uint64, out *Outbox, d Delivery) error {
 	if err := firstErr(errs); err != nil {
 		return err
 	}
+	var barrierStart time.Time
+	if ep.probe != nil {
+		ep.probe.span(ep.rank, PhaseNetSend, t, sendStart)
+		barrierStart = time.Now()
+	}
 
 	ep.h.Barrier()
+
+	var drainStart time.Time
+	if ep.probe != nil {
+		ep.probe.span(ep.rank, PhaseNetBarrier, t, barrierStart)
+		drainStart = time.Now()
+	}
 
 	// Collect the drained segments by reference — no copy. This is safe
 	// because a writer reuses a segment's parity only two epochs later,
@@ -87,5 +115,9 @@ func (ep *pgasEndpoint) Exchange(t uint64, out *Outbox, d Delivery) error {
 			}
 		}
 	})
+	if ep.probe != nil {
+		ep.probe.span(ep.rank, PhaseNetDrain, t, drainStart)
+		ep.probe.depth(ep.rank, float64(len(ep.drained)))
+	}
 	return firstErr(errs)
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/cognitive-sim/compass/internal/truenorth"
 )
@@ -25,12 +26,14 @@ import (
 // the sender takes back the slice the destination drained two epochs ago
 // as its next (already warm) send buffer. Steady-state ticks allocate
 // nothing and copy no spike bytes.
-type shmemBackend struct{}
+type shmemBackend struct {
+	probe *transportProbe
+}
 
 func (shmemBackend) Name() string    { return "shmem" }
 func (shmemBackend) RawSpikes() bool { return true }
 
-func (shmemBackend) Run(ranks int, fn func(rank int, ep Endpoint) error) error {
+func (b shmemBackend) Run(ranks int, fn func(rank int, ep Endpoint) error) error {
 	s := newShmemSpace(ranks)
 	errs := make([]error, ranks)
 	var wg sync.WaitGroup
@@ -38,7 +41,7 @@ func (shmemBackend) Run(ranks int, fn func(rank int, ep Endpoint) error) error {
 	for r := 0; r < ranks; r++ {
 		go func(rank int) {
 			defer wg.Done()
-			ep := &shmemEndpoint{s: s, rank: rank}
+			ep := &shmemEndpoint{s: s, rank: rank, probe: b.probe}
 			err := fn(rank, ep)
 			if cerr := ep.Close(); err == nil {
 				err = cerr
@@ -124,6 +127,7 @@ func (s *shmemSpace) abort() {
 type shmemEndpoint struct {
 	s       *shmemSpace
 	rank    int
+	probe   *transportProbe
 	epoch   uint64
 	nextSeg atomic.Int64
 	errs    []error
@@ -136,16 +140,30 @@ func (ep *shmemEndpoint) Exchange(t uint64, out *Outbox, d Delivery) error {
 	errs := errScratch(&ep.errs, threads)
 	parity := ep.epoch & 1
 
+	var sendStart time.Time
+	if ep.probe != nil {
+		sendStart = time.Now()
+	}
+
 	// Publish: swap this tick's per-destination raw spike slices into the
 	// destination windows. The slice taken back in return is the buffer
 	// the destination finished draining two epochs ago, truncated — the
 	// zero-copy analogue of a send-buffer pool.
+	var swaps, spikes uint64
 	for dest := 0; dest < ep.s.size; dest++ {
 		if out.Counts[dest] == 0 {
 			continue
 		}
+		swaps++
+		spikes += uint64(len(out.Targets[dest]))
 		w := &ep.s.win[dest][parity][ep.rank]
 		out.Targets[dest], *w = (*w)[:0], out.Targets[dest]
+	}
+	if ep.probe != nil {
+		// No bytes cross a wire here; report the modeled payload the spikes
+		// would occupy in the encoded transports, so cross-transport wire
+		// volume stays comparable.
+		ep.probe.sent(ep.rank, swaps, spikes*truenorth.SpikeWireBytes)
 	}
 
 	// There is no collective to overlap with, so every thread goes
@@ -159,8 +177,20 @@ func (ep *shmemEndpoint) Exchange(t uint64, out *Outbox, d Delivery) error {
 		return localErr
 	}
 
+	var barrierStart time.Time
+	if ep.probe != nil {
+		ep.probe.span(ep.rank, PhaseNetSend, t, sendStart)
+		barrierStart = time.Now()
+	}
+
 	if err := ep.s.barrier(); err != nil {
 		return err
+	}
+
+	var drainStart time.Time
+	if ep.probe != nil {
+		ep.probe.span(ep.rank, PhaseNetBarrier, t, barrierStart)
+		drainStart = time.Now()
 	}
 
 	// Drain: deliver every source segment of the epoch the barrier just
@@ -182,6 +212,16 @@ func (ep *shmemEndpoint) Exchange(t uint64, out *Outbox, d Delivery) error {
 			}
 		}
 	})
+	if ep.probe != nil {
+		var depth int
+		for _, seg := range window {
+			if len(seg) != 0 {
+				depth++
+			}
+		}
+		ep.probe.span(ep.rank, PhaseNetDrain, t, drainStart)
+		ep.probe.depth(ep.rank, float64(depth))
+	}
 	// Truncate the drained segments so their writers can swap them back
 	// as fresh send buffers at this parity's next epoch.
 	for src := range window {

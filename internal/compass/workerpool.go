@@ -1,6 +1,11 @@
 package compass
 
-import "sync"
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+)
 
 // workerPool is a persistent team of threads-1 goroutines that lives for
 // a whole run, replacing per-tick-per-phase goroutine spawning. Thread 0
@@ -17,17 +22,23 @@ type poolTask struct {
 	wg *sync.WaitGroup
 }
 
-// newWorkerPool starts the workers for a rank with the given thread
-// count; it returns nil when one thread needs no pool.
-func newWorkerPool(threads int) *workerPool {
+// newWorkerPool starts the workers for rank with the given thread
+// count; it returns nil when one thread needs no pool. Every worker
+// goroutine carries pprof labels (compass_rank, compass_worker) so CPU
+// profiles of a run break down by rank and worker — the profiler-side
+// view of the telemetry layer's load-imbalance metrics.
+func newWorkerPool(rank, threads int) *workerPool {
 	if threads <= 1 {
 		return nil
 	}
+	rankLabel := strconv.Itoa(rank)
 	p := &workerPool{work: make([]chan poolTask, threads-1)}
 	for i := range p.work {
 		ch := make(chan poolTask, 1)
 		p.work[i] = ch
 		go func(tid int) {
+			pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+				pprof.Labels("compass_rank", rankLabel, "compass_worker", strconv.Itoa(tid))))
 			for task := range ch {
 				task.fn(tid)
 				task.wg.Done()

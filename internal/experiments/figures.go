@@ -143,7 +143,7 @@ func Fig4a() ([]*Table, error) {
 		ID:    "fig4a-measured",
 		Title: "Weak scaling, functional simulator on this host (16 cores/rank; workload statistics are scale-exact)",
 		Header: []string{"ranks", "cores", "spikes/tick", "remote spikes/tick", "msgs/tick",
-			"firing Hz", "compile (ms)", "simulate (ms)", "compute (ms)", "network (ms)"},
+			"firing Hz", "compile (ms)", "simulate (ms)", "synapse (ms)", "neuron (ms)", "network (ms)"},
 	}
 	for _, ranks := range []int{8, 16, 32} {
 		stats, ct, st, err := hostCoCoMacRun(ranks, ranks*hostCoresPerRank, hostTicks)
@@ -156,7 +156,8 @@ func Fig4a() ([]*Table, error) {
 			fmtF(stats.SpikesPerTick()), fmtF(stats.MessagesPerTick()),
 			fmtF(stats.AvgFiringRateHz()),
 			fmtI(int(ct.Milliseconds())), fmtI(int(st.Milliseconds())),
-			fmtMS(stats.PhaseSeconds.SynapseNeuron), fmtMS(stats.PhaseSeconds.Network),
+			fmtMS(stats.PhaseSeconds.Synapse), fmtMS(stats.PhaseSeconds.Neuron),
+			fmtMS(stats.PhaseSeconds.Network),
 		})
 	}
 	meas.Notes = append(meas.Notes,

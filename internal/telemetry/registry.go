@@ -1,0 +1,256 @@
+// Package telemetry is the simulator's observability layer: a
+// worker-sharded metrics registry (counters, gauges, and fixed-bucket
+// histograms, merged on scrape) plus a span tracer whose output opens in
+// Perfetto / chrome://tracing.
+//
+// The design goals mirror what the paper's evaluation needed (§VI):
+// per-phase time breakdowns, messages and spikes per tick, and per-rank
+// load imbalance — measured without perturbing the hot path being
+// measured. Three properties deliver that:
+//
+//   - Sharding: every metric owns one cell block per shard (the
+//     simulator uses one shard per rank), so concurrent updates from
+//     different workers never contend on a cache line. Cell blocks are
+//     padded to at least a cache line.
+//   - Zero allocation after registration: handles are plain indices
+//     into preallocated atomic cell blocks; Add/Set/Observe allocate
+//     nothing and take no locks.
+//   - Merge on scrape: shards are only combined when a Snapshot is
+//     taken (counters and histogram buckets sum, gauges sum their last
+//     set values), so the read side pays the aggregation cost, not the
+//     simulation loop.
+//
+// Snapshots export through three sinks: WriteJSON (machine-readable
+// snapshot), WritePrometheus (text exposition format), and the Tracer's
+// WriteChromeTrace (trace-event JSON, one complete event per span).
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one constant name=value pair attached to a metric at
+// registration. Metrics with the same name but different labels are
+// distinct series (e.g. compass_phase_seconds{phase="synapse"}).
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Kind discriminates the metric types.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing sum across shards.
+	KindCounter Kind = iota
+	// KindGauge holds one float64 per shard; shards sum on scrape.
+	KindGauge
+	// KindHistogram counts observations into fixed buckets per shard;
+	// buckets, counts, and sums merge on scrape.
+	KindHistogram
+)
+
+// String names the kind as Prometheus spells it.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "unknown"
+	}
+}
+
+// minCells pads every shard's cell block to a full cache line (8 × 8 B)
+// so two shards of the same metric — or of two small metrics allocated
+// back to back — never share a line.
+const minCells = 8
+
+// metric is one registered series: its identity plus one atomic cell
+// block per shard.
+//
+// Cell layout by kind:
+//
+//	counter:   cell[0] = uint64 value
+//	gauge:     cell[0] = math.Float64bits of the last Set
+//	histogram: cell[0..len(bounds)] = per-bucket counts (the last is
+//	           the +Inf bucket), cell[len(bounds)+1] = observation
+//	           count, cell[len(bounds)+2] = Float64bits of the sum,
+//	           accumulated by CAS.
+type metric struct {
+	name   string
+	help   string
+	labels []Label
+	kind   Kind
+	bounds []float64 // histogram upper bounds, ascending, finite
+
+	shards [][]atomic.Uint64
+}
+
+func (m *metric) histCells() int { return len(m.bounds) + 3 }
+
+// Registry holds every registered metric. Registration takes a lock and
+// may allocate; the update paths on the returned handles never do.
+type Registry struct {
+	shards int
+
+	mu      sync.Mutex
+	metrics []*metric
+	byKey   map[string]*metric
+}
+
+// New creates a registry with the given shard count (the simulator
+// passes its rank count). Shard indices passed to handle methods must be
+// in [0, shards).
+func New(shards int) *Registry {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Registry{shards: shards, byKey: make(map[string]*metric)}
+}
+
+// Shards returns the registry's shard count.
+func (r *Registry) Shards() int { return r.shards }
+
+// seriesKey uniquely identifies a (name, labels) series.
+func seriesKey(name string, labels []Label) string {
+	key := name
+	for _, l := range labels {
+		key += "\x00" + l.Key + "\x01" + l.Value
+	}
+	return key
+}
+
+// register returns the existing metric for (name, labels) or creates
+// it. Re-registering with a different kind or bucket layout panics:
+// that is a programming error, not a runtime condition.
+func (r *Registry) register(kind Kind, name, help string, bounds []float64, labels []Label) *metric {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byKey[key]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %s (was %s)", name, kind, m.kind))
+		}
+		if kind == KindHistogram && len(m.bounds) != len(bounds) {
+			panic(fmt.Sprintf("telemetry: histogram %s re-registered with %d buckets (was %d)", name, len(bounds), len(m.bounds)))
+		}
+		return m
+	}
+	m := &metric{
+		name:   name,
+		help:   help,
+		labels: append([]Label(nil), labels...),
+		kind:   kind,
+	}
+	cells := 1
+	if kind == KindHistogram {
+		m.bounds = append([]float64(nil), bounds...)
+		if !sort.Float64sAreSorted(m.bounds) {
+			panic(fmt.Sprintf("telemetry: histogram %s bounds not ascending", name))
+		}
+		for _, b := range m.bounds {
+			if math.IsInf(b, 0) || math.IsNaN(b) {
+				panic(fmt.Sprintf("telemetry: histogram %s has non-finite bound %v (+Inf is implicit)", name, b))
+			}
+		}
+		cells = m.histCells()
+	}
+	if cells < minCells {
+		cells = minCells
+	}
+	m.shards = make([][]atomic.Uint64, r.shards)
+	for s := range m.shards {
+		m.shards[s] = make([]atomic.Uint64, cells)
+	}
+	r.byKey[key] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// Counter registers (or fetches) a counter series and returns its
+// handle. Counter names should end in _total per Prometheus convention.
+func (r *Registry) Counter(name, help string, labels ...Label) Counter {
+	return Counter{m: r.register(KindCounter, name, help, nil, labels)}
+}
+
+// Gauge registers (or fetches) a gauge series and returns its handle.
+func (r *Registry) Gauge(name, help string, labels ...Label) Gauge {
+	return Gauge{m: r.register(KindGauge, name, help, nil, labels)}
+}
+
+// Histogram registers (or fetches) a fixed-bucket histogram series.
+// bounds are the ascending finite bucket upper limits; an implicit +Inf
+// bucket catches everything above the last bound.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) Histogram {
+	return Histogram{m: r.register(KindHistogram, name, help, bounds, labels)}
+}
+
+// Counter is a handle to one counter series. The zero Counter is a
+// valid no-op (updates are dropped), so optional instrumentation can
+// hold unregistered handles.
+type Counter struct{ m *metric }
+
+// Add increments the shard's cell by delta.
+func (c Counter) Add(shard int, delta uint64) {
+	if c.m == nil {
+		return
+	}
+	c.m.shards[shard][0].Add(delta)
+}
+
+// Inc increments the shard's cell by one.
+func (c Counter) Inc(shard int) { c.Add(shard, 1) }
+
+// Gauge is a handle to one gauge series. The zero Gauge is a no-op.
+type Gauge struct{ m *metric }
+
+// Set stores v as the shard's current value.
+func (g Gauge) Set(shard int, v float64) {
+	if g.m == nil {
+		return
+	}
+	g.m.shards[shard][0].Store(math.Float64bits(v))
+}
+
+// Histogram is a handle to one histogram series. The zero Histogram is
+// a no-op.
+type Histogram struct{ m *metric }
+
+// Observe records v into the shard's buckets. The bucket scan is linear
+// — bucket lists are short (tens) and the scan is branch-predictable,
+// which beats binary search at this size.
+func (h Histogram) Observe(shard int, v float64) {
+	if h.m == nil {
+		return
+	}
+	cells := h.m.shards[shard]
+	idx := len(h.m.bounds) // +Inf bucket
+	for i, b := range h.m.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	cells[idx].Add(1)
+	cells[len(h.m.bounds)+1].Add(1)
+	addFloat(&cells[len(h.m.bounds)+2], v)
+}
+
+// addFloat accumulates a float64 into an atomic cell holding float bits.
+func addFloat(cell *atomic.Uint64, v float64) {
+	for {
+		old := cell.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if cell.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}

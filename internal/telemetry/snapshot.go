@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math"
+	"strconv"
+)
+
+// This file is the read side of the registry: merge-on-scrape snapshots
+// and the JSON and Prometheus exposition sinks.
+
+// Bucket is one cumulative histogram bucket: the count of observations
+// at or below LE. The implicit +Inf bucket is not listed — Count covers
+// it.
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// Metric is one series with its shards merged.
+type Metric struct {
+	Name   string  `json:"name"`
+	Help   string  `json:"help,omitempty"`
+	Kind   string  `json:"kind"`
+	Labels []Label `json:"labels,omitempty"`
+
+	// Value is the merged counter sum or gauge sum-of-shards.
+	Value float64 `json:"value,omitempty"`
+
+	// Histogram fields: cumulative finite buckets, total observation
+	// count, and sum of observed values.
+	Buckets []Bucket `json:"buckets,omitempty"`
+	Count   uint64   `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+}
+
+// Snapshot is a point-in-time merge of every registered series, in
+// registration order.
+type Snapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// Snapshot merges every metric's shards. It takes the registration lock
+// only to copy the metric list; cell reads are atomic loads and may
+// race benignly with concurrent updates (each cell is independently
+// consistent).
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+
+	snap := &Snapshot{Metrics: make([]Metric, 0, len(metrics))}
+	for _, m := range metrics {
+		out := Metric{Name: m.name, Help: m.help, Kind: m.kind.String(), Labels: m.labels}
+		switch m.kind {
+		case KindCounter:
+			var total uint64
+			for _, cells := range m.shards {
+				total += cells[0].Load()
+			}
+			out.Value = float64(total)
+		case KindGauge:
+			for _, cells := range m.shards {
+				out.Value += math.Float64frombits(cells[0].Load())
+			}
+		case KindHistogram:
+			counts := make([]uint64, len(m.bounds)+1)
+			for _, cells := range m.shards {
+				for i := range counts {
+					counts[i] += cells[i].Load()
+				}
+				out.Count += cells[len(m.bounds)+1].Load()
+				out.Sum += math.Float64frombits(cells[len(m.bounds)+2].Load())
+			}
+			out.Buckets = make([]Bucket, len(m.bounds))
+			cum := uint64(0)
+			for i, b := range m.bounds {
+				cum += counts[i]
+				out.Buckets[i] = Bucket{LE: b, Count: cum}
+			}
+		}
+		snap.Metrics = append(snap.Metrics, out)
+	}
+	return snap
+}
+
+// Find returns every series of the snapshot with the given name (one
+// per label combination).
+func (s *Snapshot) Find(name string) []Metric {
+	var out []Metric
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Value returns the merged value of the named counter or gauge series
+// whose labels include every given label, or 0 when absent.
+func (s *Snapshot) Value(name string, labels ...Label) float64 {
+	for _, m := range s.Metrics {
+		if m.Name != name || !labelsMatch(m.Labels, labels) {
+			continue
+		}
+		return m.Value
+	}
+	return 0
+}
+
+func labelsMatch(have, want []Label) bool {
+	for _, w := range want {
+		found := false
+		for _, h := range have {
+			if h == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): HELP and TYPE comments once per metric name,
+// then one sample line per series, with histogram series expanded into
+// cumulative _bucket{le=...} samples plus _sum and _count.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	seen := make(map[string]bool)
+	for _, m := range s.Metrics {
+		if !seen[m.Name] {
+			seen[m.Name] = true
+			if m.Help != "" {
+				bw.WriteString("# HELP " + m.Name + " " + m.Help + "\n")
+			}
+			bw.WriteString("# TYPE " + m.Name + " " + m.Kind + "\n")
+		}
+		switch m.Kind {
+		case "histogram":
+			for _, b := range m.Buckets {
+				bw.WriteString(m.Name + "_bucket" + labelString(m.Labels, formatFloat(b.LE)) +
+					" " + strconv.FormatUint(b.Count, 10) + "\n")
+			}
+			bw.WriteString(m.Name + "_bucket" + labelString(m.Labels, "+Inf") +
+				" " + strconv.FormatUint(m.Count, 10) + "\n")
+			bw.WriteString(m.Name + "_sum" + labelString(m.Labels, "") + " " + formatFloat(m.Sum) + "\n")
+			bw.WriteString(m.Name + "_count" + labelString(m.Labels, "") + " " + strconv.FormatUint(m.Count, 10) + "\n")
+		default:
+			bw.WriteString(m.Name + labelString(m.Labels, "") + " " + formatFloat(m.Value) + "\n")
+		}
+	}
+	return bw.Flush()
+}
+
+// labelString renders {k="v",...}, appending le when non-empty; an
+// empty label set with no le renders as nothing.
+func labelString(labels []Label, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	out := "{"
+	for i, l := range labels {
+		if i > 0 {
+			out += ","
+		}
+		out += l.Key + `="` + l.Value + `"`
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			out += ","
+		}
+		out += `le="` + le + `"`
+	}
+	return out + "}"
+}
+
+// formatFloat renders floats the way Prometheus expects: shortest
+// round-trip representation.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterShardMerge(t *testing.T) {
+	r := New(4)
+	c := r.Counter("events_total", "test counter")
+	for shard := 0; shard < 4; shard++ {
+		c.Add(shard, uint64(shard+1))
+	}
+	c.Inc(0)
+	snap := r.Snapshot()
+	if got := snap.Value("events_total"); got != 11 {
+		t.Fatalf("merged counter = %v, want 11", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	const shards, perShard = 8, 10000
+	r := New(shards)
+	c := r.Counter("spikes_total", "")
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for i := 0; i < perShard; i++ {
+				c.Inc(shard)
+			}
+		}(s)
+	}
+	wg.Wait()
+	if got := r.Snapshot().Value("spikes_total"); got != shards*perShard {
+		t.Fatalf("concurrent counter = %v, want %d", got, shards*perShard)
+	}
+}
+
+func TestGaugeSumsShards(t *testing.T) {
+	r := New(3)
+	g := r.Gauge("queue_depth", "")
+	g.Set(0, 2)
+	g.Set(1, 3.5)
+	g.Set(2, 0.5)
+	g.Set(1, 1) // overwrite, gauges keep the last value per shard
+	if got := r.Snapshot().Value("queue_depth"); got != 3.5 {
+		t.Fatalf("gauge sum = %v, want 3.5", got)
+	}
+}
+
+func TestHistogramBucketsAndMerge(t *testing.T) {
+	r := New(2)
+	h := r.Histogram("latency_seconds", "", []float64{0.001, 0.01, 0.1})
+	h.Observe(0, 0.0005) // bucket 0
+	h.Observe(0, 0.005)  // bucket 1
+	h.Observe(1, 0.05)   // bucket 2
+	h.Observe(1, 5)      // +Inf
+	snap := r.Snapshot()
+	ms := snap.Find("latency_seconds")
+	if len(ms) != 1 {
+		t.Fatalf("found %d series, want 1", len(ms))
+	}
+	m := ms[0]
+	if m.Count != 4 {
+		t.Fatalf("count = %d, want 4", m.Count)
+	}
+	if want := 0.0005 + 0.005 + 0.05 + 5; math.Abs(m.Sum-want) > 1e-12 {
+		t.Fatalf("sum = %v, want %v", m.Sum, want)
+	}
+	wantCum := []uint64{1, 2, 3}
+	for i, b := range m.Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket %d cumulative = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := New(1)
+	a := r.Counter("x_total", "", Label{"k", "v"})
+	b := r.Counter("x_total", "", Label{"k", "v"})
+	a.Inc(0)
+	b.Inc(0)
+	if got := r.Snapshot().Value("x_total", Label{"k", "v"}); got != 2 {
+		t.Fatalf("re-registered counter = %v, want 2 (same cell)", got)
+	}
+	// Different labels are a distinct series.
+	r.Counter("x_total", "", Label{"k", "w"}).Inc(0)
+	if got := len(r.Snapshot().Find("x_total")); got != 2 {
+		t.Fatalf("series count = %d, want 2", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := New(1)
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestZeroHandlesAreNoOps(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var h Histogram
+	c.Add(0, 1)
+	c.Inc(0)
+	g.Set(0, 1)
+	h.Observe(0, 1)
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := New(2)
+	r.Counter("compass_messages_total", "messages sent", Label{"transport", "mpi"}).Add(0, 7)
+	r.Gauge("compass_queue_depth", "").Set(1, 3)
+	h := r.Histogram("compass_phase_seconds", "per-tick phase time", []float64{0.001, 0.1}, Label{"phase", "synapse"})
+	h.Observe(0, 0.0005)
+	h.Observe(1, 42)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP compass_messages_total messages sent",
+		"# TYPE compass_messages_total counter",
+		`compass_messages_total{transport="mpi"} 7`,
+		"# TYPE compass_queue_depth gauge",
+		"compass_queue_depth 3",
+		"# TYPE compass_phase_seconds histogram",
+		`compass_phase_seconds_bucket{phase="synapse",le="0.001"} 1`,
+		`compass_phase_seconds_bucket{phase="synapse",le="0.1"} 1`,
+		`compass_phase_seconds_bucket{phase="synapse",le="+Inf"} 2`,
+		`compass_phase_seconds_sum{phase="synapse"} 42.0005`,
+		`compass_phase_seconds_count{phase="synapse"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New(1)
+	r.Counter("a_total", "help a").Add(0, 3)
+	r.Histogram("b_seconds", "", []float64{1, 2}).Observe(0, 1.5)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if back.Value("a_total") != 3 {
+		t.Fatalf("round-tripped counter = %v, want 3", back.Value("a_total"))
+	}
+	hs := back.Find("b_seconds")
+	if len(hs) != 1 || hs[0].Count != 1 || hs[0].Buckets[1].Count != 1 {
+		t.Fatalf("round-tripped histogram wrong: %+v", hs)
+	}
+}
+
+func TestTracerChromeTrace(t *testing.T) {
+	tr := NewTracer(2)
+	tr.SetProcessName(0, "rank 0")
+	tr.SetThreadName(0, 1, "neuron")
+	base := time.Now()
+	tr.Span(0, "synapse", "tick", 0, 0, 5, base, 2*time.Millisecond)
+	tr.Span(1, "neuron", "tick", 1, 1, 5, base.Add(time.Millisecond), 3*time.Millisecond)
+
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Name != "synapse" || spans[1].Name != "neuron" {
+		t.Fatalf("spans = %+v", spans)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	var xEvents, mEvents int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			xEvents++
+			for _, field := range []string{"name", "ts", "dur", "pid", "tid"} {
+				if _, ok := ev[field]; !ok {
+					t.Errorf("X event missing %q: %v", field, ev)
+				}
+			}
+		case "M":
+			mEvents++
+		}
+	}
+	if xEvents != 2 || mEvents != 2 {
+		t.Fatalf("got %d X events and %d M events, want 2 and 2", xEvents, mEvents)
+	}
+}

@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer collects timing spans and exports them as Chrome trace-event
+// JSON — the format Perfetto and chrome://tracing open directly. The
+// simulator emits one span per rank × tick × phase, so a trace renders
+// as one process row per rank with one lane per phase, which is the
+// per-phase breakdown of the paper's Figure 4(a) made navigable.
+//
+// Spans are appended to per-shard buffers; a shard must only be written
+// by one goroutine at a time (the simulator uses one shard per rank,
+// written by the rank goroutine), so the hot path takes no locks. Name
+// metadata (process and thread names) is registered at setup under a
+// mutex.
+type Tracer struct {
+	epoch  time.Time
+	shards [][]Span
+
+	mu       sync.Mutex
+	procName map[int]string
+	laneName map[[2]int]string
+}
+
+// Span is one completed timed section.
+type Span struct {
+	// Name is the span's display name (the phase).
+	Name string
+	// Cat is the span's category.
+	Cat string
+	// Pid and Tid place the span on a process row and thread lane; the
+	// simulator uses Pid = rank and Tid = phase lane.
+	Pid, Tid int
+	// Ts and Dur are nanoseconds since the tracer epoch and span length.
+	Ts, Dur int64
+	// Tick is the simulated tick the span belongs to.
+	Tick uint64
+}
+
+// NewTracer creates a tracer with the given shard count; the epoch for
+// span timestamps is the moment of creation.
+func NewTracer(shards int) *Tracer {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Tracer{
+		epoch:    time.Now(),
+		shards:   make([][]Span, shards),
+		procName: make(map[int]string),
+		laneName: make(map[[2]int]string),
+	}
+}
+
+// Span records one completed section on the shard's buffer.
+func (t *Tracer) Span(shard int, name, cat string, pid, tid int, tick uint64, start time.Time, dur time.Duration) {
+	t.shards[shard] = append(t.shards[shard], Span{
+		Name: name,
+		Cat:  cat,
+		Pid:  pid,
+		Tid:  tid,
+		Ts:   start.Sub(t.epoch).Nanoseconds(),
+		Dur:  dur.Nanoseconds(),
+		Tick: tick,
+	})
+}
+
+// SetProcessName names a process row (e.g. "rank 2") in the exported
+// trace. Setup-time only.
+func (t *Tracer) SetProcessName(pid int, name string) {
+	t.mu.Lock()
+	t.procName[pid] = name
+	t.mu.Unlock()
+}
+
+// SetThreadName names a thread lane within a process row. Setup-time
+// only.
+func (t *Tracer) SetThreadName(pid, tid int, name string) {
+	t.mu.Lock()
+	t.laneName[[2]int{pid, tid}] = name
+	t.mu.Unlock()
+}
+
+// Spans returns every recorded span, sorted by start time.
+func (t *Tracer) Spans() []Span {
+	var out []Span
+	for _, sh := range t.shards {
+		out = append(out, sh...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ts != out[j].Ts {
+			return out[i].Ts < out[j].Ts
+		}
+		if out[i].Pid != out[j].Pid {
+			return out[i].Pid < out[j].Pid
+		}
+		return out[i].Tid < out[j].Tid
+	})
+	return out
+}
+
+// chromeEvent is one entry of the trace-event JSON array. Complete
+// spans use ph "X"; name metadata uses ph "M".
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the trace-event format; both
+// Perfetto and chrome://tracing accept it.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes every recorded span (plus registered process
+// and thread names) as trace-event JSON. Timestamps and durations are
+// microseconds, as the format requires.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	doc := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(spans)+8)}
+
+	t.mu.Lock()
+	for pid, name := range t.procName {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Args: map[string]any{"name": name},
+		})
+	}
+	for key, name := range t.laneName {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: key[0], Tid: key[1], Args: map[string]any{"name": name},
+		})
+	}
+	t.mu.Unlock()
+	// Metadata events carry no timestamp; sort them for stable output.
+	meta := doc.TraceEvents
+	sort.Slice(meta, func(i, j int) bool {
+		if meta[i].Pid != meta[j].Pid {
+			return meta[i].Pid < meta[j].Pid
+		}
+		if meta[i].Tid != meta[j].Tid {
+			return meta[i].Tid < meta[j].Tid
+		}
+		return meta[i].Name < meta[j].Name
+	})
+
+	for _, s := range spans {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			Ts:   float64(s.Ts) / 1e3,
+			Dur:  float64(s.Dur) / 1e3,
+			Pid:  s.Pid,
+			Tid:  s.Tid,
+			Args: map[string]any{"tick": s.Tick},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

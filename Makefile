@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check bench bench-transport bench-kernel telemetry-smoke
+.PHONY: build test race vet check bench bench-transport bench-kernel telemetry-smoke chaos-smoke race-transport
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,31 @@ bench-kernel:
 # export sink enabled, then validate the Prometheus exposition, the JSON
 # snapshot, and the Chrome trace with the in-repo checker. Artifacts
 # land in $(SMOKE_DIR) (CI uploads them).
+# Chaos smoke: run the CoCoMac workload under every fault class on the
+# CLI — survivable classes (retried drop, duplication, delay, stall)
+# must complete, the crash class must fail with a clean error naming the
+# rank and the tick — then the in-process chaos acceptance tests: the
+# full transport x fault-class matrix with bit-identical-output checks,
+# and the rank-failure propagation (no-hang) guards.
+chaos-smoke:
+	$(GO) run ./cmd/compass -cocomac-cores 128 -ranks 3 -threads 2 -ticks 20 -faults "drop"
+	$(GO) run ./cmd/compass -cocomac-cores 128 -ranks 3 -threads 2 -ticks 20 -faults "dup"
+	$(GO) run ./cmd/compass -cocomac-cores 128 -ranks 3 -threads 2 -ticks 20 -faults "delay:k=2"
+	$(GO) run ./cmd/compass -cocomac-cores 128 -ranks 3 -threads 2 -ticks 20 -faults "stall:rank=1,k=1"
+	$(GO) run ./cmd/compass -cocomac-cores 128 -ranks 3 -threads 2 -ticks 20 -transport pgas -faults "drop;dup"
+	$(GO) run ./cmd/compass -cocomac-cores 128 -ranks 3 -threads 2 -ticks 20 -transport shmem -faults "drop;dup"
+	$(GO) run ./cmd/compass -cocomac-cores 128 -ranks 3 -threads 2 -ticks 20 -faults "crash:rank=1,tick=5"; \
+		test $$? -ne 0 || { echo "chaos-smoke: injected crash did not fail the run"; exit 1; }
+	$(GO) test -run 'TestChaos|TestRankFailure|TestDropPast|TestFailedRun|TestSurvivable' -count=1 ./internal/compass/
+
+# Race-check the fault-injection and failure-propagation paths: the
+# chaos matrix, the abort broadcasts, and the faults package itself.
+race-transport:
+	$(GO) test -race -count=1 ./internal/faults/
+	$(GO) test -race -count=1 \
+		-run 'TestChaos|TestRankFailure|TestDropPast|TestFailedRun|TestSurvivable|TestCrossTransport|TestShmemAbort|TestRankError|TestAborted|TestErrorAborts' \
+		./internal/compass/ ./internal/mpi/ ./internal/pgas/
+
 SMOKE_DIR ?= telemetry-smoke
 telemetry-smoke:
 	mkdir -p $(SMOKE_DIR)

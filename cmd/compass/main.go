@@ -23,6 +23,7 @@ import (
 	"github.com/cognitive-sim/compass/internal/cocomac"
 	"github.com/cognitive-sim/compass/internal/compass"
 	"github.com/cognitive-sim/compass/internal/coreobject"
+	"github.com/cognitive-sim/compass/internal/faults"
 	"github.com/cognitive-sim/compass/internal/pcc"
 	"github.com/cognitive-sim/compass/internal/power"
 	"github.com/cognitive-sim/compass/internal/spikeio"
@@ -48,6 +49,8 @@ func main() {
 		metrics      = flag.String("metrics", "", "write run metrics to <prefix>.prom (Prometheus text) and <prefix>.json (snapshot)")
 		traceOut     = flag.String("trace-out", "", "write a Chrome/Perfetto trace of per-rank phase spans to this file")
 		statsJSON    = flag.String("stats-json", "", "write the full run statistics (per-rank rows, load imbalance) as JSON")
+		faultSpec    = flag.String("faults", "", `inject transport faults: "class[:k=v,...];..." (classes drop, dup, delay, stall, crash; selectors rank=, tick=, dest=, k=, attempts=, p=)`)
+		faultSeed    = flag.Uint64("fault-seed", 1, "seed for probabilistic fault decisions (p= selectors)")
 	)
 	flag.Parse()
 	if err := run(runArgs{
@@ -57,6 +60,7 @@ func main() {
 		raster: *raster, powerEst: *powerFlag,
 		checkpointPath: *checkpoint, resumePath: *resume,
 		metricsPrefix: *metrics, tracePath: *traceOut, statsJSONPath: *statsJSON,
+		faultSpec: *faultSpec, faultSeed: *faultSeed,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "compass:", err)
 		os.Exit(1)
@@ -75,6 +79,8 @@ type runArgs struct {
 	checkpointPath, resumePath string
 	metricsPrefix, tracePath   string
 	statsJSONPath              string
+	faultSpec                  string
+	faultSeed                  uint64
 }
 
 func run(a runArgs) error {
@@ -105,6 +111,14 @@ func run(a runArgs) error {
 	}
 	if a.metricsPrefix != "" || a.tracePath != "" {
 		cfg.Telemetry = compass.NewTelemetry(ranks)
+	}
+	if a.faultSpec != "" {
+		inj, err := faults.Parse(a.faultSpec, a.faultSeed)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = inj
+		fmt.Printf("fault injection: %s (seed %d)\n", a.faultSpec, a.faultSeed)
 	}
 	if a.resumePath != "" {
 		f, err := os.Open(a.resumePath)
@@ -151,6 +165,13 @@ func run(a runArgs) error {
 
 	fmt.Printf("simulated %d ticks on %d ranks x %d threads (%s) in %v\n",
 		stats.Ticks, stats.Ranks, stats.Threads, tr, elapsed.Round(time.Millisecond))
+	if cfg.Faults != nil {
+		sum := cfg.Faults.Summary()
+		fmt.Printf("faults: %d drop, %d dup, %d delay, %d stall injected; %d retries, %d dedups; run survived\n",
+			sum.Injected[faults.Drop], sum.Injected[faults.Duplicate],
+			sum.Injected[faults.Delay], sum.Injected[faults.Stall],
+			sum.Retries, sum.Dedups)
+	}
 	fmt.Printf("spikes: %d total (%.1f Hz mean), %d local, %d remote\n",
 		stats.TotalSpikes, stats.AvgFiringRateHz(), stats.LocalSpikes, stats.RemoteSpikes)
 	fmt.Printf("network: %d messages (%.1f/tick), %.1f remote spikes/tick, %.3f MB modelled payload\n",

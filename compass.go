@@ -35,6 +35,7 @@ import (
 	sim "github.com/cognitive-sim/compass/internal/compass"
 	"github.com/cognitive-sim/compass/internal/corelets"
 	"github.com/cognitive-sim/compass/internal/coreobject"
+	"github.com/cognitive-sim/compass/internal/faults"
 	"github.com/cognitive-sim/compass/internal/pcc"
 	"github.com/cognitive-sim/compass/internal/power"
 	"github.com/cognitive-sim/compass/internal/spikeio"
@@ -118,6 +119,58 @@ type (
 // given rank count. The same bundle must not be shared by concurrent
 // runs; its per-rank metric shards would interleave.
 func NewTelemetry(ranks int) *Telemetry { return sim.NewTelemetry(ranks) }
+
+// Fault injection types (see DESIGN.md §5d). Attach an injector via
+// Config.Faults: survivable faults (drop, dup, delay, stall) are
+// absorbed with bit-identical spike output, fatal faults (crash, drop
+// past the retry budget) fail the run with an error naming the rank and
+// tick — never a hang.
+type (
+	// FaultInjector decides deterministic fault injection for one run.
+	FaultInjector = faults.Injector
+	// FaultRule arms one fault class at a set of decision points.
+	FaultRule = faults.Rule
+	// FaultClass is one injectable fault kind.
+	FaultClass = faults.Class
+	// CrashError is the error an injected rank crash returns.
+	CrashError = faults.CrashError
+	// FaultSummary is an injector's cumulative activity.
+	FaultSummary = faults.Summary
+)
+
+// Fault classes and selector wildcard.
+const (
+	// FaultDrop discards an outgoing message; the sender retries with
+	// backoff and fails the rank when the retry budget is exhausted.
+	FaultDrop = faults.Drop
+	// FaultDuplicate publishes a message twice; the receiver dedups.
+	FaultDuplicate = faults.Duplicate
+	// FaultDelay holds a message for K delay quanta within its tick.
+	FaultDelay = faults.Delay
+	// FaultStall sleeps the rank for K delay quanta at Exchange entry.
+	FaultStall = faults.Stall
+	// FaultCrash fails the rank with an error naming it and the tick.
+	FaultCrash = faults.Crash
+	// FaultAny matches every rank, tick, or destination in a rule.
+	FaultAny = faults.Any
+)
+
+// ErrMessageDropped marks a message drop that outlived the sender's
+// retry budget (match with errors.Is).
+var ErrMessageDropped = faults.ErrDropped
+
+// NewFaultInjector builds an injector from explicit rules. Rule
+// selector fields use FaultAny (-1) as the wildcard.
+func NewFaultInjector(seed uint64, rules ...FaultRule) (*FaultInjector, error) {
+	return faults.New(seed, rules...)
+}
+
+// ParseFaults builds an injector from the CLI fault grammar, e.g.
+// "drop;dup" or "crash:rank=1,tick=50" (see the README's Fault
+// injection section).
+func ParseFaults(spec string, seed uint64) (*FaultInjector, error) {
+	return faults.Parse(spec, seed)
+}
 
 // Transports.
 const (

@@ -2,6 +2,7 @@ package compass_test
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -111,6 +112,59 @@ func TestFacadeCorelets(t *testing.T) {
 	}
 	if counts[3] != 1 {
 		t.Fatalf("relay counts %v", counts)
+	}
+}
+
+// TestFacadeFaults drives fault injection through the public API: a
+// survivable spec must not change the spike count, and an injected
+// crash must surface a CrashError naming the rank and tick.
+func TestFacadeFaults(t *testing.T) {
+	spec, err := compass.GenerateCoCoMac(7).ToSpec(128, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := compass.Compile(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := compass.Config{Ranks: res.Ranks, ThreadsPerRank: 2, RankOf: res.RankOf}
+
+	base, err := compass.Run(res.Model, cfg, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj, err := compass.ParseFaults("drop;dup", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = inj
+	stats, err := compass.Run(res.Model, cfg, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalSpikes != base.TotalSpikes {
+		t.Fatalf("faulted run %d spikes, clean run %d", stats.TotalSpikes, base.TotalSpikes)
+	}
+	sum := inj.Summary()
+	if sum.Injected[compass.FaultDrop] == 0 || sum.Injected[compass.FaultDuplicate] == 0 {
+		t.Fatalf("injector never fired: %+v", sum)
+	}
+
+	crash, err := compass.NewFaultInjector(1, compass.FaultRule{
+		Class: compass.FaultCrash, Rank: 1, Tick: 5, Dest: compass.FaultAny,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = crash
+	if _, err := compass.Run(res.Model, cfg, 20); err == nil {
+		t.Fatal("injected crash did not fail the run")
+	} else {
+		var ce *compass.CrashError
+		if !errors.As(err, &ce) || ce.Rank != 1 || ce.Tick != 5 {
+			t.Fatalf("want CrashError{1,5}, got %v", err)
+		}
 	}
 }
 

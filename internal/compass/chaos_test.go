@@ -1,0 +1,362 @@
+package compass
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/cognitive-sim/compass/internal/cocomac"
+	"github.com/cognitive-sim/compass/internal/faults"
+	"github.com/cognitive-sim/compass/internal/pcc"
+	"github.com/cognitive-sim/compass/internal/prng"
+	"github.com/cognitive-sim/compass/internal/telemetry"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// chaosDeadline bounds every chaos run. The acceptance bar for the fault
+// layer is "bit-identical output or a clean error — never a hang", so no
+// test in this file may block on Run without a watchdog.
+const chaosDeadline = 60 * time.Second
+
+// runWithDeadline runs Run on a watchdog: if the simulator has not
+// returned within chaosDeadline the test fails immediately instead of
+// hanging the suite — a deadlocked transport is exactly the bug class
+// this file guards against.
+func runWithDeadline(t *testing.T, m *truenorth.Model, cfg Config, ticks int) (*RunStats, error) {
+	t.Helper()
+	type result struct {
+		stats *RunStats
+		err   error
+	}
+	done := make(chan result, 1)
+	go func() {
+		stats, err := Run(m, cfg, ticks)
+		done <- result{stats, err}
+	}()
+	select {
+	case r := <-done:
+		return r.stats, r.err
+	case <-time.After(chaosDeadline):
+		t.Fatalf("Run did not return within %v (transport hang)", chaosDeadline)
+		return nil, nil
+	}
+}
+
+// chaosInjector parses a fault spec and shrinks the wall-clock knobs so
+// delays and stalls stay test-sized.
+func chaosInjector(t *testing.T, spec string) *faults.Injector {
+	t.Helper()
+	inj, err := faults.Parse(spec, 1)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	inj.DelayQuantum = 50 * time.Microsecond
+	return inj
+}
+
+// TestChaosMatrix is the acceptance table of the fault layer: every
+// transport crossed with every fault class (plus a compound spec) either
+// completes with spike output bit-identical to the serial reference
+// (survivable faults are fully absorbed) or returns a non-nil error
+// naming the failing rank and tick (fatal faults propagate cleanly).
+// Either way Run returns before the watchdog fires.
+func TestChaosMatrix(t *testing.T) {
+	const ticks = 12
+	m := randomModel(12, 0xFA17)
+	want, wantTotal := serialTrace(t, m, ticks)
+
+	cases := []struct {
+		spec  string
+		fatal bool
+	}{
+		{"drop", false},
+		{"dup", false},
+		{"delay:k=2", false},
+		{"stall:rank=1,k=1", false},
+		{"drop;dup", false},
+		{"crash:rank=1,tick=5", true},
+		{"drop:attempts=99", true},
+	}
+	for _, tr := range Transports() {
+		for _, tc := range cases {
+			t.Run(tr.String()+"/"+tc.spec, func(t *testing.T) {
+				inj := chaosInjector(t, tc.spec)
+				cfg := Config{
+					Ranks: 3, ThreadsPerRank: 2, Transport: tr,
+					RecordTrace: true, Faults: inj,
+				}
+				stats, err := runWithDeadline(t, m, cfg, ticks)
+				if tc.fatal {
+					if err == nil {
+						t.Fatalf("fatal fault %q completed without error", tc.spec)
+					}
+					if !strings.Contains(err.Error(), "rank") || !strings.Contains(err.Error(), "tick") {
+						t.Fatalf("fatal fault error does not name rank and tick: %v", err)
+					}
+					return
+				}
+				if err != nil {
+					t.Fatalf("survivable fault %q failed the run: %v", tc.spec, err)
+				}
+				if stats.TotalSpikes != wantTotal {
+					t.Fatalf("total spikes %d, want %d", stats.TotalSpikes, wantTotal)
+				}
+				if !reflect.DeepEqual(stats.Trace, want) {
+					t.Fatalf("trace under %q differs from serial reference (%d vs %d events)",
+						tc.spec, len(stats.Trace), len(want))
+				}
+				sum := inj.Summary()
+				var fired uint64
+				for _, n := range sum.Injected {
+					fired += n
+				}
+				if fired == 0 {
+					t.Fatalf("spec %q injected nothing — the case tested the fault-free path", tc.spec)
+				}
+			})
+		}
+	}
+}
+
+// TestRankFailureDoesNotHang is the regression test for the headline
+// bug: rank 1 fails at tick 5 and every backend must propagate that
+// failure to its peers and return — with the causal error, naming the
+// rank and the tick — instead of stranding the other ranks in a
+// receive, a barrier, or a collective.
+func TestRankFailureDoesNotHang(t *testing.T) {
+	m := randomModel(9, 0xDEAD)
+	for _, tr := range Transports() {
+		t.Run(tr.String(), func(t *testing.T) {
+			inj := chaosInjector(t, "crash:rank=1,tick=5")
+			cfg := Config{Ranks: 3, ThreadsPerRank: 2, Transport: tr, Faults: inj}
+			_, err := runWithDeadline(t, m, cfg, 30)
+			if err == nil {
+				t.Fatal("run completed despite rank crash")
+			}
+			var crash *faults.CrashError
+			if !errors.As(err, &crash) {
+				t.Fatalf("error is not the injected crash: %v", err)
+			}
+			if crash.Rank != 1 || crash.Tick != 5 {
+				t.Fatalf("crash names rank %d tick %d, want rank 1 tick 5", crash.Rank, crash.Tick)
+			}
+			if !strings.Contains(err.Error(), "rank 1") || !strings.Contains(err.Error(), "tick 5") {
+				t.Fatalf("error text does not name rank and tick: %v", err)
+			}
+		})
+	}
+}
+
+// TestDropPastRetryBudgetFails: a drop rule that outlives the retry
+// budget must fail the run with an error wrapping faults.ErrDropped and
+// counting every retry, on every transport.
+func TestDropPastRetryBudgetFails(t *testing.T) {
+	m := randomModel(9, 0xD04)
+	for _, tr := range Transports() {
+		t.Run(tr.String(), func(t *testing.T) {
+			inj := chaosInjector(t, "drop:attempts=99")
+			cfg := Config{Ranks: 3, ThreadsPerRank: 1, Transport: tr, Faults: inj}
+			_, err := runWithDeadline(t, m, cfg, 10)
+			if !errors.Is(err, faults.ErrDropped) {
+				t.Fatalf("want ErrDropped, got %v", err)
+			}
+			if sum := inj.Summary(); sum.Retries == 0 {
+				t.Fatal("no retries recorded before the budget failed")
+			}
+		})
+	}
+}
+
+// TestFailedRunStillFlushesTelemetry: the cumulative compute counters
+// are flushed on a deferred path, so a run killed mid-flight by an
+// injected crash must still publish them — a post-mortem scrape that
+// reads as "the rank never ran" would make every failure undiagnosable.
+func TestFailedRunStillFlushesTelemetry(t *testing.T) {
+	m := randomModel(9, 0x7E1)
+	tel := NewTelemetry(3)
+	inj := chaosInjector(t, "crash:rank=1,tick=3")
+	cfg := Config{Ranks: 3, ThreadsPerRank: 2, Telemetry: tel, Faults: inj}
+	_, err := runWithDeadline(t, m, cfg, 30)
+	if err == nil {
+		t.Fatal("run completed despite rank crash")
+	}
+	snap := tel.Registry().Snapshot()
+	dispatch := snap.Value("compass_synapse_dispatch_total", telemetry.Label{Key: "path", Value: "kernel"}) +
+		snap.Value("compass_synapse_dispatch_total", telemetry.Label{Key: "path", Value: "scalar"})
+	skips := snap.Value("compass_synapse_skips_total")
+	quiescent := snap.Value("compass_quiescent_core_ticks_total")
+	if dispatch+skips+quiescent == 0 {
+		t.Fatal("failed run flushed no compute counters — telemetry lost on the error path")
+	}
+	if got := snap.Value("compass_faults_injected_total",
+		telemetry.Label{Key: "class", Value: "crash"}); got != 1 {
+		t.Fatalf("crash injection count %v, want 1", got)
+	}
+	if snap.Value("compass_fault_aborts_total") < 1 {
+		t.Fatal("no abort broadcast recorded")
+	}
+}
+
+// TestSurvivableFaultTelemetry: the fault counters must mirror the
+// injector's summary after a survivable chaos run.
+func TestSurvivableFaultTelemetry(t *testing.T) {
+	m := randomModel(12, 0x5E1)
+	tel := NewTelemetry(3)
+	inj := chaosInjector(t, "drop;dup")
+	cfg := Config{Ranks: 3, ThreadsPerRank: 2, Telemetry: tel, Faults: inj}
+	if _, err := runWithDeadline(t, m, cfg, 12); err != nil {
+		t.Fatal(err)
+	}
+	sum := inj.Summary()
+	snap := tel.Registry().Snapshot()
+	for _, c := range []faults.Class{faults.Drop, faults.Duplicate} {
+		got := snap.Value("compass_faults_injected_total",
+			telemetry.Label{Key: "class", Value: c.String()})
+		if uint64(got) != sum.Injected[c] {
+			t.Errorf("telemetry %s injections %v, injector counted %d", c, got, sum.Injected[c])
+		}
+		if sum.Injected[c] == 0 {
+			t.Errorf("spec injected no %s faults", c)
+		}
+	}
+	if got := snap.Value("compass_fault_retries_total"); uint64(got) != sum.Retries {
+		t.Errorf("telemetry retries %v, injector counted %d", got, sum.Retries)
+	}
+	if got := snap.Value("compass_fault_dedups_total"); uint64(got) != sum.Dedups {
+		t.Errorf("telemetry dedups %v, injector counted %d", got, sum.Dedups)
+	}
+	if sum.Dedups != sum.Injected[faults.Duplicate] {
+		t.Errorf("%d duplicates injected but %d deduplicated", sum.Injected[faults.Duplicate], sum.Dedups)
+	}
+}
+
+// TestResumeDropsStaleInputs: resuming from a checkpoint must purge
+// external input spikes scheduled before the start tick — they were
+// already consumed by the checkpointed run — and account for them in
+// DroppedInputs, while the resumed trace still matches the straight run.
+func TestResumeDropsStaleInputs(t *testing.T) {
+	m := randomModel(8, 0xBEEF)
+	const half = 10
+
+	straight, err := Run(m, Config{Ranks: 2, ThreadsPerRank: 2, RecordTrace: true}, 2*half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []truenorth.SpikeEvent
+	for _, ev := range straight.Trace {
+		if ev.FireTick >= half {
+			want = append(want, ev)
+		}
+	}
+
+	first, err := Run(m, Config{Ranks: 2, ThreadsPerRank: 2, ReturnState: true}, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.DroppedInputs != 0 {
+		t.Fatalf("fresh run dropped %d inputs", first.DroppedInputs)
+	}
+
+	second, err := Run(m, Config{
+		Ranks: 3, ThreadsPerRank: 1, StartFrom: first.Final, RecordTrace: true,
+	}, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// randomModel drives 64 input spikes per tick; the checkpointed run
+	// consumed ticks 0..9, so the resume must drop exactly those 640.
+	if second.DroppedInputs != 64*half {
+		t.Fatalf("resumed run dropped %d stale inputs, want %d", second.DroppedInputs, 64*half)
+	}
+	if !reflect.DeepEqual(second.Trace, want) {
+		t.Fatalf("resumed trace differs after stale-input purge: %d vs %d events",
+			len(second.Trace), len(want))
+	}
+}
+
+// TestMPITagBleedAcrossModulus: the MPI tag is tick mod mpiTagModulus,
+// which is only sound while rank skew stays under the modulus (the
+// per-tick collective bounds it at one tick). This test runs the MPI
+// transport well past the wraparound with fresh input drive on both
+// sides of it — so wrapped tags carry real messages — while a stall
+// injector skews rank 0's wall-clock every tick, and requires the trace
+// to stay bit-identical to the serial reference: any tick bleed through
+// an aliased tag would corrupt the spike multiset.
+func TestMPITagBleedAcrossModulus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long run across the tag modulus")
+	}
+	const ticks = mpiTagModulus + 40
+	m := randomModel(6, 0x7A9)
+	r := prng.New(99)
+	for tick := uint64(mpiTagModulus - 10); tick < mpiTagModulus+20; tick++ {
+		for a := 0; a < 32; a++ {
+			m.Inputs = append(m.Inputs, truenorth.InputSpike{
+				Tick: tick,
+				Core: truenorth.CoreID(int(tick) % 6),
+				Axon: uint16(r.Intn(truenorth.CoreSize)),
+			})
+		}
+	}
+	want, wantTotal := serialTrace(t, m, ticks)
+
+	inj, err := faults.New(1, faults.Rule{
+		Class: faults.Stall, Rank: 0, Tick: faults.Any, Dest: faults.Any, K: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.DelayQuantum = 20 * time.Microsecond
+	stats, err := runWithDeadline(t, m, Config{
+		Ranks: 3, ThreadsPerRank: 2, Transport: TransportMPI,
+		RecordTrace: true, Faults: inj,
+	}, ticks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalSpikes != wantTotal {
+		t.Fatalf("total spikes %d, want %d", stats.TotalSpikes, wantTotal)
+	}
+	if !reflect.DeepEqual(stats.Trace, want) {
+		t.Fatalf("trace differs across the tag modulus: %d vs %d events", len(stats.Trace), len(want))
+	}
+}
+
+// TestChaosCoCoMac runs the paper's CoCoMac workload under a compound
+// survivable fault spec on every transport and requires the spike trace
+// to match the fault-free baseline exactly — the chaos-smoke acceptance
+// workload, in-process.
+func TestChaosCoCoMac(t *testing.T) {
+	const ticks = 10
+	net := cocomac.Generate(7)
+	spec, err := net.ToSpec(128, ticks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pcc.Compile(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Ranks: 3, ThreadsPerRank: 2, RankOf: res.RankOf, RecordTrace: true}
+	baseline, err := runWithDeadline(t, res.Model, base, ticks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range Transports() {
+		t.Run(tr.String(), func(t *testing.T) {
+			cfg := base
+			cfg.Transport = tr
+			cfg.Faults = chaosInjector(t, "drop;dup;delay:k=1")
+			stats, err := runWithDeadline(t, res.Model, cfg, ticks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(stats.Trace, baseline.Trace) {
+				t.Fatalf("CoCoMac trace under faults differs from baseline (%d vs %d events)",
+					len(stats.Trace), len(baseline.Trace))
+			}
+		})
+	}
+}

@@ -36,6 +36,7 @@ package compass
 import (
 	"fmt"
 
+	"github.com/cognitive-sim/compass/internal/faults"
 	"github.com/cognitive-sim/compass/internal/truenorth"
 )
 
@@ -124,6 +125,14 @@ type Config struct {
 	// phase measurement; RunStats.PhaseSeconds is populated either way.
 	// The bundle must have been built for at least Ranks shards.
 	Telemetry *Telemetry
+	// Faults optionally attaches a deterministic fault injector that the
+	// transport backends consult at their send and drain points and at
+	// Exchange entry (see internal/faults). Survivable faults (drop,
+	// dup, delay, stall) are absorbed by retry and receiver-side
+	// deduplication, leaving spike output bit-identical; fatal faults
+	// (crash, drop past the retry budget) fail the run with an error
+	// naming the rank and tick, never a hang.
+	Faults *faults.Injector
 	// ForceScalar pins every core to the scalar Synapse path and
 	// disables quiescent-core skipping. Output is bit-identical either
 	// way; the flag exists so the kernel benchmark and conformance tests

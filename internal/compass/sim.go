@@ -26,7 +26,7 @@ func Run(m *truenorth.Model, cfg Config, ticks int) (*RunStats, error) {
 
 	// The transport is selected exactly once, here; every tick after this
 	// goes through the Endpoint interface.
-	backend, err := newBackend(cfg.Transport, cfg.Telemetry)
+	backend, err := newBackend(cfg.Transport, cfg.Telemetry, cfg.Faults)
 	if err != nil {
 		return nil, err
 	}
@@ -213,6 +213,10 @@ type rankState struct {
 	ticksRun  int
 	startTick uint64
 
+	// staleInputs counts external input spikes dropped because they were
+	// scheduled before a resumed run's start tick (see purgeStaleInputs).
+	staleInputs uint64
+
 	// measured per-phase wall-clock (seconds) when measure is set.
 	// synapseSec is the per-tick maximum thread Synapse time summed over
 	// ticks; neuronSec is the rest of each compute section, so their sum
@@ -309,13 +313,35 @@ func (st *rankState) loop(start uint64, ticks int) error {
 	st.startTick = start
 	st.pool = newWorkerPool(st.rank, st.threads)
 	defer st.pool.stop()
+	// Flush on every exit path: a run failing mid-tick (an injected crash,
+	// a transport abort) must still publish the counters it accumulated,
+	// or post-mortem telemetry reads as if the rank never ran.
+	defer st.flushTelemetry()
+	st.purgeStaleInputs(start)
 	for t := start; t < start+uint64(ticks); t++ {
 		if err := st.tick(t); err != nil {
 			return fmt.Errorf("compass: rank %d tick %d: %w", st.rank, t, err)
 		}
 	}
-	st.flushTelemetry()
 	return nil
+}
+
+// purgeStaleInputs drops external input spikes scheduled strictly before
+// a resumed run's start tick. Without this, entries for ticks the
+// checkpointed run already consumed would sit in inputsByTick forever —
+// never injected, never freed — and a later resume window covering those
+// ticks would double-inject them. The drops are counted into the rank's
+// DroppedInputs alongside out-of-range axon drops.
+func (st *rankState) purgeStaleInputs(start uint64) {
+	if start == 0 {
+		return
+	}
+	for tick, ins := range st.inputsByTick {
+		if tick < start {
+			st.staleInputs += uint64(len(ins))
+			delete(st.inputsByTick, tick)
+		}
+	}
 }
 
 // flushTelemetry publishes the rank's cumulative compute-path counters
@@ -332,7 +358,7 @@ func (st *rankState) flushTelemetry() {
 		skips += st.threadSynSkips[tid]
 		quiescent += st.threadQuiescent[tid]
 	}
-	var dropped uint64
+	dropped := st.staleInputs
 	for _, core := range st.cores {
 		dropped += core.DroppedInjects()
 	}
@@ -548,6 +574,7 @@ func (st *rankState) finalRankStats() RankStats {
 		MessagesSent: st.msgsSent,
 		PeerRanks:    len(st.peers),
 	}
+	rs.DroppedInputs = st.staleInputs
 	for _, core := range st.cores {
 		a, s, f := core.Stats()
 		rs.AxonEvents += a

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/cognitive-sim/compass/internal/faults"
 	"github.com/cognitive-sim/compass/internal/telemetry"
 )
 
@@ -94,6 +95,11 @@ type Telemetry struct {
 	synapseSkips   telemetry.Counter
 	quiescentTicks telemetry.Counter
 	droppedInputs  telemetry.Counter
+
+	faultsInjectedBy [faults.NumClasses]telemetry.Counter
+	faultRetries     telemetry.Counter
+	faultDedups      telemetry.Counter
+	faultAborts      telemetry.Counter
 }
 
 // NewTelemetry creates the instrument bundle for a run with the given
@@ -131,7 +137,18 @@ func NewTelemetry(ranks int) *Telemetry {
 	t.quiescentTicks = reg.Counter("compass_quiescent_core_ticks_total",
 		"core-ticks skipped entirely by quiescent-core detection")
 	t.droppedInputs = reg.Counter("compass_dropped_inputs_total",
-		"external input spikes dropped for out-of-range axons")
+		"external input spikes dropped: out-of-range axons, or stale entries before a resumed run's start tick")
+	for _, c := range faults.Classes() {
+		t.faultsInjectedBy[c] = reg.Counter("compass_faults_injected_total",
+			"transport faults fired by the injector, by class",
+			telemetry.Label{Key: "class", Value: c.String()})
+	}
+	t.faultRetries = reg.Counter("compass_fault_retries_total",
+		"message send retries after an injected drop")
+	t.faultDedups = reg.Counter("compass_fault_dedups_total",
+		"duplicate messages discarded at receivers")
+	t.faultAborts = reg.Counter("compass_fault_aborts_total",
+		"abort broadcasts initiated by a failing rank")
 	for r := 0; r < ranks; r++ {
 		tr.SetProcessName(r, fmt.Sprintf("rank %d", r))
 		for p := Phase(0); p < numPhases; p++ {
@@ -202,6 +219,38 @@ func (t *Telemetry) computeCounts(rank int, kernelDispatch, scalarDispatch, skip
 	t.synapseSkips.Add(rank, skips)
 	t.quiescentTicks.Add(rank, quiescent)
 	t.droppedInputs.Add(rank, dropped)
+}
+
+// faultInjected counts one fired fault of class c on the rank.
+func (t *Telemetry) faultInjected(rank int, c faults.Class) {
+	if t == nil {
+		return
+	}
+	t.faultsInjectedBy[c].Add(rank, 1)
+}
+
+// faultRetry counts one send retry after an injected drop.
+func (t *Telemetry) faultRetry(rank int) {
+	if t == nil {
+		return
+	}
+	t.faultRetries.Add(rank, 1)
+}
+
+// faultDedup counts n duplicate messages discarded by the rank.
+func (t *Telemetry) faultDedup(rank int, n uint64) {
+	if t == nil || n == 0 {
+		return
+	}
+	t.faultDedups.Add(rank, n)
+}
+
+// faultAbort counts one abort broadcast initiated by the rank.
+func (t *Telemetry) faultAbort(rank int) {
+	if t == nil {
+		return
+	}
+	t.faultAborts.Add(rank, 1)
 }
 
 // transportProbe is the instrument set a transport endpoint drives:

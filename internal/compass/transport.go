@@ -3,6 +3,7 @@ package compass
 import (
 	"fmt"
 
+	"github.com/cognitive-sim/compass/internal/faults"
 	"github.com/cognitive-sim/compass/internal/truenorth"
 )
 
@@ -29,8 +30,22 @@ import (
 //   - No tick bleed: spikes published at tick t must never be observed by
 //     a rank draining tick t-1 or t+1. Two-sided backends use bounded
 //     tags; one-sided backends use double-buffered epochs.
+//   - Fault containment: when any rank's body returns an error — organic
+//     or injected — every peer's in-flight or subsequent Exchange must
+//     return an error within one tick. Backends broadcast an abort
+//     through their blocking primitives (mailbox wakeups, barrier
+//     releases), and Run returns the causal error, suppressing the
+//     secondary aborted errors. A failing rank must never hang the run.
+//   - Fault injection: when a faults.Injector is attached, backends
+//     consult it at Exchange entry (rank stall, rank crash) and at their
+//     send/drain points (message drop, duplication, delay) through the
+//     helpers in transport_faults.go. Survivable faults must be absorbed
+//     bit-identically: drops are retried with backoff, duplicates are
+//     deduplicated under the one-aggregated-message-per-(src,dst,tick)
+//     contract, and delays are wall-clock holds within the tick.
 //
-// See DESIGN.md ("Transport layer") for how to add a fourth backend.
+// See DESIGN.md ("Transport layer", "Fault injection and failure
+// propagation") for how to add a fourth backend.
 
 // Outbox is one rank's aggregated per-destination output for one tick
 // (remoteBufAgg in Listing 1). Exactly one of Encoded/Targets is
@@ -97,16 +112,17 @@ type Backend interface {
 // newBackend instantiates the backend for a transport constant. This is
 // the only place the Transport enum is inspected after validation — the
 // per-tick path goes through the Endpoint interface alone. Each backend
-// receives its transport probe (nil when telemetry is off) and hands it
-// to the endpoints it creates.
-func newBackend(tr Transport, tel *Telemetry) (Backend, error) {
+// receives its transport probe (nil when telemetry is off) and the
+// run's fault injector (nil when faults are off) and hands both to the
+// endpoints it creates.
+func newBackend(tr Transport, tel *Telemetry, inj *faults.Injector) (Backend, error) {
 	switch tr {
 	case TransportMPI:
-		return mpiBackend{probe: tel.transportProbe("mpi")}, nil
+		return mpiBackend{probe: tel.transportProbe("mpi"), tel: tel, inj: inj}, nil
 	case TransportPGAS:
-		return pgasBackend{probe: tel.transportProbe("pgas")}, nil
+		return pgasBackend{probe: tel.transportProbe("pgas"), tel: tel, inj: inj}, nil
 	case TransportShmem:
-		return shmemBackend{probe: tel.transportProbe("shmem")}, nil
+		return shmemBackend{probe: tel.transportProbe("shmem"), tel: tel, inj: inj}, nil
 	default:
 		return nil, fmt.Errorf("compass: unknown transport %d", tr)
 	}

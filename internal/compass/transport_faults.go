@@ -1,0 +1,83 @@
+package compass
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/cognitive-sim/compass/internal/faults"
+)
+
+// This file holds the fault-injection glue every backend shares: the
+// Exchange-entry consult (rank stall, rank crash) and the per-message
+// send resolution with retry-with-backoff. Backends call these at their
+// natural points — faultEnter at the top of Exchange, resolveSend once
+// per outgoing aggregated message — and apply the returned plan with
+// transport-specific mechanics (tag-carrying async sends under MPI,
+// framed puts under PGAS, copy-counted segment swaps under shmem).
+
+// faultRetryBackoff is the first retry's wall-clock backoff after an
+// injected drop; each further retry doubles it.
+const faultRetryBackoff = 100 * time.Microsecond
+
+// faultEnter runs the rank-scoped fault classes at Exchange entry: an
+// injected stall sleeps the rank, an injected crash fails it with an
+// error naming the rank and tick.
+func faultEnter(inj *faults.Injector, tel *Telemetry, rank int, t uint64) error {
+	if !inj.Active() {
+		return nil
+	}
+	if d := inj.Stall(rank, t); d > 0 {
+		tel.faultInjected(rank, faults.Stall)
+		time.Sleep(d)
+	}
+	if err := inj.Crash(rank, t); err != nil {
+		tel.faultInjected(rank, faults.Crash)
+		return err
+	}
+	return nil
+}
+
+// sendPlan is the fault-resolved fate of one outgoing message.
+type sendPlan struct {
+	// copies is 1 normally, 2 under an injected duplicate.
+	copies int
+	// delay is the wall-clock hold before publication (injected delay).
+	delay time.Duration
+}
+
+// resolveSend consults the injector for the message rank is about to
+// publish to dest at tick t, retrying injected drops with exponential
+// backoff until the injector lets the send through or the attempt budget
+// runs out — at which point the drop is fatal and the rank fails with an
+// error naming the endpoints and the tick.
+func resolveSend(inj *faults.Injector, tel *Telemetry, rank int, t uint64, dest int) (sendPlan, error) {
+	plan := sendPlan{copies: 1}
+	if !inj.Active() {
+		return plan, nil
+	}
+	backoff := faultRetryBackoff
+	for attempt := 0; ; attempt++ {
+		act, d := inj.Send(rank, t, dest, attempt)
+		switch act {
+		case faults.ActDrop:
+			tel.faultInjected(rank, faults.Drop)
+			if attempt+1 >= inj.SendAttempts() {
+				return plan, fmt.Errorf("compass: message rank %d -> %d at tick %d dropped after %d attempts: %w",
+					rank, dest, t, attempt+1, faults.ErrDropped)
+			}
+			tel.faultRetry(rank)
+			time.Sleep(backoff)
+			backoff *= 2
+		case faults.ActDuplicate:
+			tel.faultInjected(rank, faults.Duplicate)
+			plan.copies = 2
+			return plan, nil
+		case faults.ActDelay:
+			tel.faultInjected(rank, faults.Delay)
+			plan.delay = d
+			return plan, nil
+		default:
+			return plan, nil
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package compass
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/cognitive-sim/compass/internal/faults"
 	"github.com/cognitive-sim/compass/internal/mpi"
 )
 
@@ -12,8 +14,14 @@ import (
 // aggregated message per destination per tick, a Reduce-scatter to learn
 // the incoming message count overlapped with local spike delivery, and a
 // critical section around message receipt (thread-unsafe MPI).
+//
+// Failure propagation rides on the mpi runtime's world abort: the first
+// rank whose body errors tears the world down, releasing every peer
+// blocked in Recv or a collective with mpi.ErrAborted within the tick.
 type mpiBackend struct {
 	probe *transportProbe
+	tel   *Telemetry
+	inj   *faults.Injector
 }
 
 func (mpiBackend) Name() string    { return "mpi" }
@@ -21,10 +29,13 @@ func (mpiBackend) RawSpikes() bool { return false }
 
 func (b mpiBackend) Run(ranks int, fn func(rank int, ep Endpoint) error) error {
 	return mpi.Run(ranks, func(c *mpi.Comm) error {
-		ep := &mpiEndpoint{comm: c, rank: c.Rank(), probe: b.probe}
+		ep := &mpiEndpoint{comm: c, rank: c.Rank(), probe: b.probe, tel: b.tel, inj: b.inj}
 		err := fn(c.Rank(), ep)
 		if cerr := ep.Close(); err == nil {
 			err = cerr
+		}
+		if err != nil && !errors.Is(err, mpi.ErrAborted) {
+			b.tel.faultAbort(c.Rank())
 		}
 		return err
 	})
@@ -38,23 +49,82 @@ func (b mpiBackend) Run(ranks int, fn func(rank int, ep Endpoint) error) error {
 // point-to-point messages in flight at any moment carry tags from two
 // adjacent ticks. Any modulus ≥ 3 therefore never aliases a live tag;
 // 1024 leaves generous slack and stays far inside the int tag space.
+// TestMPITagSkewBound documents the bound this argument rests on.
 const mpiTagModulus = 1024
 
 // mpiEndpoint is one rank's two-sided transport connection. The receive
 // mutex reproduces the thread-unsafe-MPI critical section of §III, and
-// the error scratch is pooled across ticks.
+// the error scratch is pooled across ticks. When a fault injector is
+// attached, cnts/plans hold the fault-adjusted contribution vector and
+// per-destination send plans, and seenTick deduplicates by source under
+// the one-message-per-(src,tick) contract (guarded by recvMu).
 type mpiEndpoint struct {
 	comm      *mpi.Comm
 	rank      int
 	probe     *transportProbe
+	tel       *Telemetry
+	inj       *faults.Injector
 	recvMu    sync.Mutex
 	remaining atomic.Int64
 	errs      []error
+	cnts      []int64
+	plans     []sendPlan
+	seenTick  []uint64
 }
 
 func (ep *mpiEndpoint) Close() error { return nil }
 
+// planSends resolves this tick's outgoing messages against the fault
+// injector and returns the fault-adjusted contribution vector (an
+// injected duplicate counts twice so the Reduce-scatter tells the
+// receiver to expect — and then deduplicate — both copies).
+func (ep *mpiEndpoint) planSends(t uint64, out *Outbox) ([]int64, error) {
+	if ep.cnts == nil {
+		ep.cnts = make([]int64, len(out.Counts))
+		ep.plans = make([]sendPlan, len(out.Counts))
+	}
+	copy(ep.cnts, out.Counts)
+	for dest := range out.Encoded {
+		if out.Counts[dest] == 0 {
+			continue
+		}
+		plan, err := resolveSend(ep.inj, ep.tel, ep.rank, t, dest)
+		if err != nil {
+			return nil, err
+		}
+		ep.plans[dest] = plan
+		ep.cnts[dest] = int64(plan.copies)
+	}
+	return ep.cnts, nil
+}
+
+// sendOne publishes one planned message. A delayed send copies the
+// payload (the outbox buffer is reused next tick) and publishes from a
+// timer goroutine with the origin tick's tag, so the receiver absorbs
+// the latency inside its tick-t drain.
+func (ep *mpiEndpoint) sendOne(dest, tag int, payload []byte, plan sendPlan) error {
+	for c := 0; c < plan.copies; c++ {
+		if plan.delay > 0 {
+			data := append([]byte(nil), payload...)
+			go func() {
+				time.Sleep(plan.delay)
+				// A send racing a world abort returns ErrAborted; the
+				// run is already failing, so the error has no consumer.
+				_ = ep.comm.Isend(dest, tag, data)
+			}()
+			continue
+		}
+		if err := ep.comm.Isend(dest, tag, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (ep *mpiEndpoint) Exchange(t uint64, out *Outbox, d Delivery) error {
+	if err := faultEnter(ep.inj, ep.tel, ep.rank, t); err != nil {
+		return err
+	}
 	threads := d.Threads()
 	errs := errScratch(&ep.errs, threads)
 	tag := int(t % mpiTagModulus)
@@ -73,15 +143,33 @@ func (ep *mpiEndpoint) Exchange(t uint64, out *Outbox, d Delivery) error {
 	var expect int64
 	d.Parallel(func(tid int) {
 		if tid == 0 {
-			for dest := range out.Encoded {
-				if out.Counts[dest] != 0 {
-					if err := ep.comm.Isend(dest, tag, out.Encoded[dest]); err != nil {
+			counts := out.Counts
+			if ep.inj.Active() {
+				var err error
+				if counts, err = ep.planSends(t, out); err != nil {
+					errs[tid] = err
+					return
+				}
+				for dest := range out.Encoded {
+					if out.Counts[dest] == 0 {
+						continue
+					}
+					if err := ep.sendOne(dest, tag, out.Encoded[dest], ep.plans[dest]); err != nil {
 						errs[tid] = err
 						return
 					}
 				}
+			} else {
+				for dest := range out.Encoded {
+					if out.Counts[dest] != 0 {
+						if err := ep.comm.Isend(dest, tag, out.Encoded[dest]); err != nil {
+							errs[tid] = err
+							return
+						}
+					}
+				}
 			}
-			n, err := ep.comm.ReduceScatterSum(out.Counts)
+			n, err := ep.comm.ReduceScatterSum(counts)
 			if err != nil {
 				errs[tid] = err
 				return
@@ -107,7 +195,14 @@ func (ep *mpiEndpoint) Exchange(t uint64, out *Outbox, d Delivery) error {
 	}
 
 	// All threads take turns receiving inside the critical section and
-	// deliver the received spikes outside it.
+	// deliver the received spikes outside it. Under fault injection the
+	// critical section also deduplicates by source: each rank sends at
+	// most one aggregated message per destination per tick, so a second
+	// arrival from the same source is an injected duplicate.
+	dedup := ep.inj.Active()
+	if dedup && ep.seenTick == nil {
+		ep.seenTick = make([]uint64, ep.comm.Size())
+	}
 	ep.remaining.Store(expect)
 	d.Parallel(func(tid int) {
 		for {
@@ -115,11 +210,24 @@ func (ep *mpiEndpoint) Exchange(t uint64, out *Outbox, d Delivery) error {
 				return
 			}
 			ep.recvMu.Lock()
-			data, _, err := ep.comm.Recv(mpi.AnySource, tag)
+			data, src, err := ep.comm.Recv(mpi.AnySource, tag)
+			duplicate := false
+			if err == nil && dedup {
+				if ep.seenTick[src] == t+1 {
+					duplicate = true
+				} else {
+					ep.seenTick[src] = t + 1
+				}
+			}
 			ep.recvMu.Unlock()
 			if err != nil {
 				errs[tid] = err
 				return
+			}
+			if duplicate {
+				ep.inj.Dedup(1)
+				ep.tel.faultDedup(ep.rank, 1)
+				continue
 			}
 			if err := d.DeliverEncoded(t, data); err != nil {
 				errs[tid] = err

@@ -1,9 +1,13 @@
 package compass
 
 import (
+	"encoding/binary"
+	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
 
+	"github.com/cognitive-sim/compass/internal/faults"
 	"github.com/cognitive-sim/compass/internal/pgas"
 )
 
@@ -11,8 +15,14 @@ import (
 // aggregated spike buffer directly into the destination rank's window,
 // deliver local spikes in parallel, synchronize with a single global
 // barrier, then drain and deliver the window contents.
+//
+// Failure propagation rides on the space abort: the first rank whose
+// body errors marks the space aborted, releasing every peer blocked in
+// (or arriving at) Barrier with pgas.ErrAborted within the tick.
 type pgasBackend struct {
 	probe *transportProbe
+	tel   *Telemetry
+	inj   *faults.Injector
 }
 
 func (pgasBackend) Name() string    { return "pgas" }
@@ -20,10 +30,13 @@ func (pgasBackend) RawSpikes() bool { return false }
 
 func (b pgasBackend) Run(ranks int, fn func(rank int, ep Endpoint) error) error {
 	return pgas.Run(ranks, func(h *pgas.Handle) error {
-		ep := &pgasEndpoint{h: h, rank: h.Rank(), probe: b.probe}
+		ep := &pgasEndpoint{h: h, rank: h.Rank(), probe: b.probe, tel: b.tel, inj: b.inj}
 		err := fn(h.Rank(), ep)
 		if cerr := ep.Close(); err == nil {
 			err = cerr
+		}
+		if err != nil && !errors.Is(err, pgas.ErrAborted) {
+			b.tel.faultAbort(h.Rank())
 		}
 		return err
 	})
@@ -32,19 +45,77 @@ func (b pgasBackend) Run(ranks int, fn func(rank int, ep Endpoint) error) error 
 // pgasEndpoint is one rank's one-sided transport connection. The drained
 // slice holds references into the window segments pending parallel
 // delivery; its header is reused across ticks so the steady-state tick
-// allocates nothing.
+// allocates nothing. When a fault injector is attached, every put is
+// framed with a 4-byte length prefix (frame scratch reused across ticks)
+// so the drain can tell an injected duplicate — a second frame appended
+// to the same source segment — from the payload proper.
 type pgasEndpoint struct {
 	h       *pgas.Handle
 	rank    int
 	probe   *transportProbe
+	tel     *Telemetry
+	inj     *faults.Injector
 	drained [][]byte
 	nextSeg atomic.Int64
 	errs    []error
+	frame   []byte
 }
 
 func (ep *pgasEndpoint) Close() error { return nil }
 
+// putFramed deposits one length-prefixed copy of the payload per planned
+// copy, holding the rank for an injected delay first. The hold is
+// synchronous: a one-sided epoch closes at the barrier, so a delayed put
+// must still land before this rank arrives there.
+func (ep *pgasEndpoint) putFramed(dest int, payload []byte, plan sendPlan) error {
+	if plan.delay > 0 {
+		time.Sleep(plan.delay)
+	}
+	ep.frame = ep.frame[:0]
+	ep.frame = binary.LittleEndian.AppendUint32(ep.frame, uint32(len(payload)))
+	ep.frame = append(ep.frame, payload...)
+	for c := 0; c < plan.copies; c++ {
+		if err := ep.h.Put(dest, ep.frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deframe splits one drained source segment into its frames, delivering
+// only the first — any further frame is an injected duplicate of the
+// same aggregated message and is discarded and counted.
+func (ep *pgasEndpoint) deframe(src int, data []byte) error {
+	first := true
+	var dups uint64
+	for len(data) > 0 {
+		if len(data) < 4 {
+			return fmt.Errorf("compass: pgas rank %d: truncated frame header from rank %d", ep.rank, src)
+		}
+		n := int(binary.LittleEndian.Uint32(data))
+		if len(data) < 4+n {
+			return fmt.Errorf("compass: pgas rank %d: truncated frame from rank %d (%d of %d bytes)",
+				ep.rank, src, len(data)-4, n)
+		}
+		if first {
+			ep.drained = append(ep.drained, data[4:4+n])
+			first = false
+		} else {
+			dups++
+		}
+		data = data[4+n:]
+	}
+	if dups > 0 {
+		ep.inj.Dedup(dups)
+		ep.tel.faultDedup(ep.rank, dups)
+	}
+	return nil
+}
+
 func (ep *pgasEndpoint) Exchange(t uint64, out *Outbox, d Delivery) error {
+	if err := faultEnter(ep.inj, ep.tel, ep.rank, t); err != nil {
+		return err
+	}
 	threads := d.Threads()
 	errs := errScratch(&ep.errs, threads)
 	var sendStart time.Time
@@ -59,14 +130,25 @@ func (ep *pgasEndpoint) Exchange(t uint64, out *Outbox, d Delivery) error {
 		}
 		ep.probe.sent(ep.rank, puts, bytes)
 	}
+	injected := ep.inj.Active()
 	d.Parallel(func(tid int) {
 		if tid == 0 {
 			for dest := range out.Encoded {
-				if out.Counts[dest] != 0 {
-					if err := ep.h.Put(dest, out.Encoded[dest]); err != nil {
+				if out.Counts[dest] == 0 {
+					continue
+				}
+				if injected {
+					plan, err := resolveSend(ep.inj, ep.tel, ep.rank, t, dest)
+					if err == nil {
+						err = ep.putFramed(dest, out.Encoded[dest], plan)
+					}
+					if err != nil {
 						errs[tid] = err
 						return
 					}
+				} else if err := ep.h.Put(dest, out.Encoded[dest]); err != nil {
+					errs[tid] = err
+					return
 				}
 			}
 			if threads == 1 {
@@ -85,7 +167,9 @@ func (ep *pgasEndpoint) Exchange(t uint64, out *Outbox, d Delivery) error {
 		barrierStart = time.Now()
 	}
 
-	ep.h.Barrier()
+	if err := ep.h.Barrier(); err != nil {
+		return err
+	}
 
 	var drainStart time.Time
 	if ep.probe != nil {
@@ -99,9 +183,20 @@ func (ep *pgasEndpoint) Exchange(t uint64, out *Outbox, d Delivery) error {
 	// finished; the double-buffered protocol provides the happens-before
 	// edge (see package pgas).
 	ep.drained = ep.drained[:0]
+	var drainErr error
 	ep.h.Drain(func(src int, data []byte) {
+		if drainErr != nil {
+			return
+		}
+		if injected {
+			drainErr = ep.deframe(src, data)
+			return
+		}
 		ep.drained = append(ep.drained, data)
 	})
+	if drainErr != nil {
+		return drainErr
+	}
 	ep.nextSeg.Store(0)
 	d.Parallel(func(tid int) {
 		for {

@@ -139,7 +139,7 @@ func TestShmemAbortUnblocksBarrier(t *testing.T) {
 // Endpoint interface).
 func TestBackendSelection(t *testing.T) {
 	for _, tr := range Transports() {
-		b, err := newBackend(tr, nil)
+		b, err := newBackend(tr, nil, nil)
 		if err != nil {
 			t.Fatalf("newBackend(%v): %v", tr, err)
 		}
@@ -147,7 +147,7 @@ func TestBackendSelection(t *testing.T) {
 			t.Errorf("backend name %q for transport %q", b.Name(), tr.String())
 		}
 	}
-	if _, err := newBackend(Transport(42), nil); err == nil {
+	if _, err := newBackend(Transport(42), nil, nil); err == nil {
 		t.Fatal("unknown transport got a backend")
 	}
 	if !(shmemBackend{}).RawSpikes() {

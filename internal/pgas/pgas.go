@@ -21,10 +21,15 @@
 package pgas
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrAborted is returned from Barrier when another rank failed and the
+// space was torn down.
+var ErrAborted = errors.New("pgas: space aborted")
 
 // Space is a partitioned global address space shared by a fixed set of
 // ranks.
@@ -35,11 +40,13 @@ type Space struct {
 	// src for dst during epochs of that parity.
 	seg [][2][][]byte
 
-	// barrier state (central sense-reversing barrier).
+	// barrier state (central sense-reversing barrier). aborted fails the
+	// barrier fast so one rank's error cannot strand its peers.
 	mu      sync.Mutex
 	cond    *sync.Cond
 	arrived int
 	gen     uint64
+	aborted bool
 
 	puts      atomic.Uint64
 	bytesSent atomic.Uint64
@@ -116,11 +123,18 @@ func (h *Handle) Put(dst int, data []byte) error {
 }
 
 // Barrier blocks until every rank has entered it, then advances this
-// handle's epoch. After Barrier returns, every Put issued by any rank
-// during the finished epoch is visible to Drain at its destination.
-func (h *Handle) Barrier() {
+// handle's epoch. After Barrier returns nil, every Put issued by any
+// rank during the finished epoch is visible to Drain at its destination.
+// When the space has been aborted — by Abort, or by Run observing a rank
+// error — Barrier returns ErrAborted instead of blocking, which is what
+// keeps a failing rank from stranding its peers.
+func (h *Handle) Barrier() error {
 	s := h.s
 	s.mu.Lock()
+	if s.aborted {
+		s.mu.Unlock()
+		return ErrAborted
+	}
 	gen := s.gen
 	s.arrived++
 	if s.arrived == s.size {
@@ -130,10 +144,25 @@ func (h *Handle) Barrier() {
 	} else {
 		for gen == s.gen {
 			s.cond.Wait()
+			if s.aborted {
+				s.mu.Unlock()
+				return ErrAborted
+			}
 		}
 	}
 	s.mu.Unlock()
 	h.epoch++
+	return nil
+}
+
+// Abort marks the space failed and releases every rank blocked in
+// Barrier with ErrAborted. Run calls it on the first rank error;
+// external supervisors may call it to cancel a run.
+func (s *Space) Abort() {
+	s.mu.Lock()
+	s.aborted = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 // Drain calls fn once per source rank that deposited data for this rank
@@ -163,11 +192,10 @@ func (h *Handle) PendingBytes() int {
 	return n
 }
 
-// Run launches fn on every rank of a fresh space and waits for all ranks.
-// The first non-nil error is returned; because PGAS barriers have no
-// abort path (matching real one-sided runtimes, where a dead rank hangs
-// the barrier), fn must only fail before its first Barrier or after its
-// last.
+// Run launches fn on every rank of a fresh space and waits for all
+// ranks. The first rank error aborts the space, releasing every peer
+// blocked in Barrier with ErrAborted, and is returned — secondary
+// ErrAborted failures are suppressed so the causal error surfaces.
 func Run(size int, fn func(h *Handle) error) error {
 	s := NewSpace(size)
 	return s.Run(fn)
@@ -181,10 +209,24 @@ func (s *Space) Run(fn func(h *Handle) error) error {
 	for r := 0; r < s.size; r++ {
 		go func(rank int) {
 			defer wg.Done()
-			errs[rank] = fn(s.Handle(rank))
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("pgas: rank %d panicked: %v", rank, p)
+					s.Abort()
+				}
+			}()
+			if err := fn(s.Handle(rank)); err != nil {
+				errs[rank] = err
+				s.Abort()
+			}
 		}(r)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, ErrAborted) {
+			return err
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestPutBarrierDrain(t *testing.T) {
@@ -305,5 +306,56 @@ func BenchmarkPutBarrierDrain4(b *testing.B) {
 	})
 	if err != nil {
 		b.Fatal(err)
+	}
+}
+
+// TestRankErrorUnblocksBarrier is the regression test for the barrier
+// deadlock: before Barrier grew an abort path, a rank that failed
+// between barriers stranded every peer inside Barrier forever. Rank 1
+// errors after five epochs while the other ranks keep ticking; Run must
+// release them with ErrAborted and return rank 1's causal error within
+// the watchdog window.
+func TestRankErrorUnblocksBarrier(t *testing.T) {
+	errRank1 := errors.New("rank 1 failed at tick 5")
+	done := make(chan error, 1)
+	go func() {
+		done <- Run(3, func(h *Handle) error {
+			for tick := 0; ; tick++ {
+				if h.Rank() == 1 && tick == 5 {
+					return errRank1
+				}
+				if err := h.Barrier(); err != nil {
+					if !errors.Is(err, ErrAborted) {
+						return fmt.Errorf("barrier returned %w, want ErrAborted", err)
+					}
+					return err
+				}
+			}
+		})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errRank1) {
+			t.Fatalf("Run returned %v, want the causal rank-1 error", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run did not return: peers stranded in Barrier")
+	}
+}
+
+// TestAbortedBarrierStaysAborted: every Barrier call after an abort must
+// fail immediately — a rank arriving late cannot be allowed to park in a
+// barrier that will never fill again.
+func TestAbortedBarrierStaysAborted(t *testing.T) {
+	s := NewSpace(2)
+	s.Abort()
+	h := s.Handle(0)
+	for i := 0; i < 3; i++ {
+		if err := h.Barrier(); !errors.Is(err, ErrAborted) {
+			t.Fatalf("Barrier after abort returned %v", err)
+		}
+	}
+	if h.Epoch() != 0 {
+		t.Fatalf("aborted barrier advanced the epoch to %d", h.Epoch())
 	}
 }

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check bench bench-transport bench-kernel telemetry-smoke chaos-smoke race-transport
+.PHONY: build test race vet check bench bench-transport bench-kernel telemetry-smoke chaos-smoke race-transport serve-smoke
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,17 @@ race-transport:
 	$(GO) test -race -count=1 \
 		-run 'TestChaos|TestRankFailure|TestDropPast|TestFailedRun|TestSurvivable|TestCrossTransport|TestShmemAbort|TestRankError|TestAborted|TestErrorAborts' \
 		./internal/compass/ ./internal/mpi/ ./internal/pgas/
+
+# End-to-end serving smoke: build compassd, then drive it with the
+# servesmoke client — session create/pause/resume/checkpoint over HTTP,
+# live spike injection and egress over the stream plane, SIGTERM drain
+# to checkpoint files, and a successor daemon resuming from them. All
+# output (both daemons + client) lands in $(SERVE_DIR)/serve-smoke.log.
+SERVE_DIR ?= serve-smoke
+serve-smoke:
+	mkdir -p $(SERVE_DIR)
+	$(GO) build -o $(SERVE_DIR)/compassd ./cmd/compassd
+	$(GO) run ./cmd/servesmoke -compassd $(SERVE_DIR)/compassd -dir $(SERVE_DIR)
 
 SMOKE_DIR ?= telemetry-smoke
 telemetry-smoke:

@@ -17,6 +17,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -26,7 +28,9 @@ import (
 	"github.com/cognitive-sim/compass/internal/faults"
 	"github.com/cognitive-sim/compass/internal/pcc"
 	"github.com/cognitive-sim/compass/internal/power"
+	"github.com/cognitive-sim/compass/internal/server"
 	"github.com/cognitive-sim/compass/internal/spikeio"
+	"github.com/cognitive-sim/compass/internal/telemetry"
 	"github.com/cognitive-sim/compass/internal/truenorth"
 )
 
@@ -47,6 +51,7 @@ func main() {
 		checkpoint   = flag.String("checkpoint", "", "write the final simulation state to this file")
 		resume       = flag.String("resume", "", "resume the simulation from this checkpoint file")
 		metrics      = flag.String("metrics", "", "write run metrics to <prefix>.prom (Prometheus text) and <prefix>.json (snapshot)")
+		metricsAddr  = flag.String("metrics-listen", "", "serve live /metrics and /healthz on this address during the run (e.g. :9090)")
 		traceOut     = flag.String("trace-out", "", "write a Chrome/Perfetto trace of per-rank phase spans to this file")
 		statsJSON    = flag.String("stats-json", "", "write the full run statistics (per-rank rows, load imbalance) as JSON")
 		faultSpec    = flag.String("faults", "", `inject transport faults: "class[:k=v,...];..." (classes drop, dup, delay, stall, crash; selectors rank=, tick=, dest=, k=, attempts=, p=)`)
@@ -59,7 +64,8 @@ func main() {
 		transport: *transport, perTick: *perTick, recordPath: *recordPath,
 		raster: *raster, powerEst: *powerFlag,
 		checkpointPath: *checkpoint, resumePath: *resume,
-		metricsPrefix: *metrics, tracePath: *traceOut, statsJSONPath: *statsJSON,
+		metricsPrefix: *metrics, metricsListen: *metricsAddr,
+		tracePath: *traceOut, statsJSONPath: *statsJSON,
 		faultSpec: *faultSpec, faultSeed: *faultSeed,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "compass:", err)
@@ -78,6 +84,7 @@ type runArgs struct {
 	recordPath                 string
 	checkpointPath, resumePath string
 	metricsPrefix, tracePath   string
+	metricsListen              string
 	statsJSONPath              string
 	faultSpec                  string
 	faultSeed                  uint64
@@ -109,8 +116,23 @@ func run(a runArgs) error {
 		RecordTrace:    recordPath != "" || raster,
 		ReturnState:    a.checkpointPath != "",
 	}
-	if a.metricsPrefix != "" || a.tracePath != "" {
+	if a.metricsPrefix != "" || a.tracePath != "" || a.metricsListen != "" {
 		cfg.Telemetry = compass.NewTelemetry(ranks)
+	}
+	if a.metricsListen != "" {
+		// Live scrape endpoint for the duration of the run, sharing the
+		// compassd metrics handler.
+		ln, err := net.Listen("tcp", a.metricsListen)
+		if err != nil {
+			return fmt.Errorf("metrics-listen: %w", err)
+		}
+		tel := cfg.Telemetry
+		srv := &http.Server{Handler: server.LiveMux(func() *telemetry.Snapshot {
+			return tel.Registry().Snapshot()
+		})}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("live metrics on http://%s/metrics\n", ln.Addr())
 	}
 	if a.faultSpec != "" {
 		inj, err := faults.Parse(a.faultSpec, a.faultSeed)

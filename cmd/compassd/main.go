@@ -1,0 +1,98 @@
+// Command compassd is the Compass simulation server: a long-running
+// daemon hosting many concurrent simulation sessions with live spike
+// streaming.
+//
+// Control plane (HTTP+JSON on -listen):
+//
+//	POST   /v1/sessions                create a session (cocomac / spec / model source)
+//	GET    /v1/sessions                list sessions
+//	GET    /v1/sessions/{id}           session status
+//	POST   /v1/sessions/{id}/pause     park at the next chunk boundary
+//	POST   /v1/sessions/{id}/resume    release a paused session
+//	POST   /v1/sessions/{id}/stop      cancel (context cancellation at a tick boundary)
+//	GET    /v1/sessions/{id}/checkpoint  download the latest boundary checkpoint
+//	DELETE /v1/sessions/{id}           stop and remove
+//	GET    /healthz                    liveness + session counts
+//	GET    /metrics                    Prometheus text: server + every session's registry
+//
+// Data plane (length-prefixed binary frames on -stream-listen): see
+// DESIGN.md §5e for the CSTR handshake and frame format.
+//
+// SIGINT/SIGTERM shut down gracefully: every session drains to its next
+// chunk boundary and writes a checkpoint to -checkpoint-dir, so a
+// successor daemon can resume each session bit-identically.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/cognitive-sim/compass/internal/server"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":7474", "HTTP control-plane listen address")
+		stream    = flag.String("stream-listen", ":7475", "TCP stream data-plane listen address")
+		ckptDir   = flag.String("checkpoint-dir", "checkpoints", "directory for drained-session checkpoints at shutdown")
+		capacity  = flag.Float64("capacity", 1.0, "admission budget: summed modelled seconds/tick of running sessions")
+		maxRun    = flag.Int("max-sessions", 16, "maximum concurrently running sessions")
+		chunk     = flag.Int("chunk-ticks", 25, "default ticks per chunk (pause/checkpoint granularity)")
+		queueCap  = flag.Int("subscriber-queue", 65536, "per-subscriber egress queue capacity in records")
+		addrFile  = flag.String("addr-file", "", "write the bound control and stream addresses to this file (for scripts using :0)")
+		drainWait = flag.Duration("drain-timeout", 30*time.Second, "HTTP connection drain bound during shutdown")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Options{
+		HTTPAddr:      *listen,
+		StreamAddr:    *stream,
+		CheckpointDir: *ckptDir,
+		Manager: server.ManagerOptions{
+			CapacitySecondsPerTick: *capacity,
+			MaxRunning:             *maxRun,
+			ChunkTicks:             *chunk,
+			SubscriberQueue:        *queueCap,
+		},
+	})
+	if err := srv.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "compassd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("compassd: control plane on %s, stream plane on %s\n", srv.HTTPAddr(), srv.StreamAddr())
+	if *addrFile != "" {
+		body := fmt.Sprintf("http=%s\nstream=%s\n", srv.HTTPAddr(), srv.StreamAddr())
+		if err := writeFileAtomic(*addrFile, body); err != nil {
+			fmt.Fprintln(os.Stderr, "compassd: addr-file:", err)
+			os.Exit(1)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	<-ctx.Done()
+	stop()
+	fmt.Println("compassd: shutting down, draining sessions to checkpoints...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "compassd: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Println("compassd: bye")
+}
+
+// writeFileAtomic writes content via a temp file + rename so a watcher
+// polling the path never reads a partial file.
+func writeFileAtomic(path, content string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strings.TrimLeft(content, "\n")), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

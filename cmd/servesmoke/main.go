@@ -1,0 +1,327 @@
+// Command servesmoke is the end-to-end smoke test for compassd: it
+// spawns the daemon binary, exercises the control plane (create /
+// pause / resume / checkpoint / metrics) and the stream plane (live
+// injection and egress), SIGTERMs the daemon, and verifies every
+// session drained to a checkpoint file that a second daemon can resume.
+//
+// It exits non-zero on the first failed expectation. All output also
+// goes to -log for CI artifact upload.
+package main
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"flag"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/cognitive-sim/compass/internal/coreobject"
+	"github.com/cognitive-sim/compass/internal/server"
+	"github.com/cognitive-sim/compass/internal/spikeio"
+)
+
+var (
+	compassd = flag.String("compassd", "", "path to the compassd binary (required)")
+	workDir  = flag.String("dir", "serve-smoke", "working directory for addr files, checkpoints, and logs")
+	logPath  = flag.String("log", "", "also write output to this file (default <dir>/serve-smoke.log)")
+)
+
+type daemon struct {
+	cmd        *exec.Cmd
+	httpAddr   string
+	streamAddr string
+	ckptDir    string
+}
+
+func main() {
+	flag.Parse()
+	if *compassd == "" {
+		log.Fatal("servesmoke: -compassd is required")
+	}
+	if err := os.MkdirAll(*workDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	lp := *logPath
+	if lp == "" {
+		lp = filepath.Join(*workDir, "serve-smoke.log")
+	}
+	lf, err := os.Create(lp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lf.Close()
+	out := io.MultiWriter(os.Stdout, lf)
+	log.SetOutput(out)
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	d1 := startDaemon(out, "d1")
+	log.Printf("daemon up: http=%s stream=%s", d1.httpAddr, d1.streamAddr)
+
+	// Liveness.
+	checkGet(d1.httpAddr, "/healthz", `"status"`)
+
+	// Session A: CoCoMac network, created paused so the stream client
+	// observes the run from its first spike.
+	a := createSession(d1.httpAddr, map[string]any{
+		"name":         "smoke-a",
+		"source":       map[string]any{"kind": "cocomac", "cores": 128},
+		"ranks":        3,
+		"threads":      2,
+		"transport":    "shmem",
+		"ticks":        400,
+		"chunk_ticks":  50,
+		"start_paused": true,
+	})
+	log.Printf("session A created: %s (%s)", a.ID, a.State)
+
+	// Attach a live stream: inject a few spikes, subscribe to egress.
+	sc, err := server.DialStream(d1.streamAddr, a.ID, server.StreamFlagInject|server.StreamFlagSubscribe)
+	if err != nil {
+		log.Fatalf("dial stream: %v", err)
+	}
+	if err := sc.Send([]spikeio.Event{
+		{Tick: 100, Core: 0, Axon: 1},
+		{Tick: 101, Core: 1, Axon: 2},
+		{Tick: 102, Core: 2, Axon: 3},
+	}); err != nil {
+		log.Fatalf("inject: %v", err)
+	}
+	received := make(chan uint64, 1)
+	go func() {
+		var n uint64
+		for {
+			frame, err := sc.Recv()
+			if err != nil {
+				received <- n
+				return
+			}
+			n += uint64(len(frame))
+		}
+	}()
+
+	postOK(d1.httpAddr, "/v1/sessions/"+a.ID+"/resume")
+	log.Printf("session A resumed with live stream attached")
+
+	// Session B runs concurrently.
+	b := createSession(d1.httpAddr, map[string]any{
+		"name":      "smoke-b",
+		"source":    map[string]any{"kind": "cocomac", "cores": 96, "seed": 7},
+		"ranks":     2,
+		"threads":   2,
+		"transport": "mpi",
+		"ticks":     200,
+	})
+	log.Printf("session B created: %s", b.ID)
+
+	// Pause A mid-run and download its boundary checkpoint.
+	postOK(d1.httpAddr, "/v1/sessions/"+a.ID+"/pause")
+	ckptA := getBytes(d1.httpAddr, "/v1/sessions/"+a.ID+"/checkpoint")
+	cp, err := coreobject.ReadCheckpoint(bytes.NewReader(ckptA))
+	if err != nil {
+		log.Fatalf("downloaded checkpoint unreadable: %v", err)
+	}
+	log.Printf("session A paused; checkpoint at tick %d (%d bytes)", cp.Tick, len(ckptA))
+	postOK(d1.httpAddr, "/v1/sessions/"+a.ID+"/resume")
+
+	// Metrics must include server counters and per-session labels.
+	checkGet(d1.httpAddr, "/metrics", "compassd_sessions_created_total")
+	checkGet(d1.httpAddr, "/metrics", a.ID)
+
+	// Graceful shutdown: every session drains to a checkpoint file.
+	log.Printf("sending SIGTERM to daemon")
+	stopDaemon(d1)
+	n := <-received
+	log.Printf("stream client received %d egress records before shutdown", n)
+	if n == 0 {
+		log.Fatal("stream client received no egress records")
+	}
+	for _, id := range []string{a.ID, b.ID} {
+		path := filepath.Join(d1.ckptDir, id+".ckpt")
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatalf("drained checkpoint missing for %s: %v", id, err)
+		}
+		cp, err := coreobject.ReadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("drained checkpoint for %s unreadable: %v", id, err)
+		}
+		log.Printf("drained checkpoint %s: tick %d", filepath.Base(path), cp.Tick)
+	}
+
+	// A successor daemon resumes session A from its drained file.
+	drained, err := os.ReadFile(filepath.Join(d1.ckptDir, a.ID+".ckpt"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	d2 := startDaemon(out, "d2")
+	log.Printf("successor daemon up: http=%s", d2.httpAddr)
+	r := createSession(d2.httpAddr, map[string]any{
+		"name":              "smoke-a-resumed",
+		"source":            map[string]any{"kind": "cocomac", "cores": 128},
+		"ranks":             3,
+		"threads":           2,
+		"transport":         "shmem",
+		"ticks":             100,
+		"checkpoint_base64": base64.StdEncoding.EncodeToString(drained),
+	})
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		cur := getSession(d2.httpAddr, r.ID)
+		if cur.State == "done" {
+			log.Printf("resumed session finished: %d ticks, %d spikes", cur.TicksDone, cur.Totals.Spikes)
+			break
+		}
+		if cur.State == "failed" || cur.State == "cancelled" {
+			log.Fatalf("resumed session ended %s: %s", cur.State, cur.Error)
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("resumed session stuck in %s", cur.State)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	stopDaemon(d2)
+	log.Printf("serve-smoke PASS")
+}
+
+func startDaemon(out io.Writer, name string) *daemon {
+	dir := filepath.Join(*workDir, name)
+	ckptDir := filepath.Join(dir, "checkpoints")
+	addrFile := filepath.Join(dir, "addrs")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	os.Remove(addrFile)
+	cmd := exec.Command(*compassd,
+		"-listen", "127.0.0.1:0",
+		"-stream-listen", "127.0.0.1:0",
+		"-checkpoint-dir", ckptDir,
+		"-addr-file", addrFile,
+	)
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		log.Fatalf("start compassd: %v", err)
+	}
+	d := &daemon{cmd: cmd, ckptDir: ckptDir}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		raw, err := os.ReadFile(addrFile)
+		if err == nil {
+			for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+				if v, ok := strings.CutPrefix(line, "http="); ok {
+					d.httpAddr = v
+				}
+				if v, ok := strings.CutPrefix(line, "stream="); ok {
+					d.streamAddr = v
+				}
+			}
+			if d.httpAddr != "" && d.streamAddr != "" {
+				return d
+			}
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("compassd did not write %s", addrFile)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func stopDaemon(d *daemon) {
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		log.Fatalf("signal compassd: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatalf("compassd exited with error: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		d.cmd.Process.Kill()
+		log.Fatal("compassd did not exit within 60s of SIGTERM")
+	}
+}
+
+func createSession(addr string, req map[string]any) server.Info {
+	body, _ := json.Marshal(req)
+	resp, err := http.Post("http://"+addr+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatalf("create session: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(resp.Body)
+		log.Fatalf("create session: status %d: %s", resp.StatusCode, msg)
+	}
+	var info server.Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		log.Fatalf("create session: decode: %v", err)
+	}
+	return info
+}
+
+func getSession(addr, id string) server.Info {
+	resp, err := http.Get("http://" + addr + "/v1/sessions/" + id)
+	if err != nil {
+		log.Fatalf("get session: %v", err)
+	}
+	defer resp.Body.Close()
+	var info server.Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		log.Fatalf("get session: decode: %v", err)
+	}
+	return info
+}
+
+func postOK(addr, path string) {
+	resp, err := http.Post("http://"+addr+path, "application/json", nil)
+	if err != nil {
+		log.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		log.Fatalf("POST %s: status %d: %s", path, resp.StatusCode, msg)
+	}
+}
+
+func getBytes(addr, path string) []byte {
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		log.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("GET %s: %v", path, err)
+	}
+	return raw
+}
+
+func checkGet(addr, path, want string) {
+	raw := getBytes(addr, path)
+	if !strings.Contains(string(raw), want) {
+		log.Fatalf("GET %s: response missing %q:\n%s", path, want, firstKB(raw))
+	}
+	log.Printf("GET %s ok (%d bytes, contains %q)", path, len(raw), want)
+}
+
+func firstKB(b []byte) string {
+	if len(b) > 1024 {
+		b = b[:1024]
+	}
+	return string(b)
+}

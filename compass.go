@@ -29,6 +29,7 @@
 package compass
 
 import (
+	"context"
 	"io"
 
 	"github.com/cognitive-sim/compass/internal/cocomac"
@@ -113,12 +114,26 @@ type (
 	Metric = telemetry.Metric
 	// MetricLabel is one name/value dimension of a metric series.
 	MetricLabel = telemetry.Label
+	// InputSource streams external input spikes into a running simulation
+	// at tick boundaries (see Config.InputSource).
+	InputSource = sim.InputSource
+	// OutputSink observes fired spikes live, per rank and per tick (see
+	// Config.OutputSink).
+	OutputSink = sim.OutputSink
 )
 
 // NewTelemetry builds a telemetry bundle sharded for a run with the
 // given rank count. The same bundle must not be shared by concurrent
 // runs; its per-rank metric shards would interleave.
 func NewTelemetry(ranks int) *Telemetry { return sim.NewTelemetry(ranks) }
+
+// NewTelemetryWithLabels builds a telemetry bundle whose every series
+// carries the given base labels — the server labels each session's
+// bundle with session="<id>" so merged scrapes stay one valid
+// Prometheus exposition.
+func NewTelemetryWithLabels(ranks int, base ...MetricLabel) *Telemetry {
+	return sim.NewTelemetryWithLabels(ranks, base...)
+}
 
 // Fault injection types (see DESIGN.md §5d). Attach an injector via
 // Config.Faults: survivable faults (drop, dup, delay, stall) are
@@ -195,6 +210,14 @@ func Transports() []Transport { return sim.Transports() }
 // Run simulates ticks ticks of model m under cfg. The spike output is
 // identical for every (ranks, threads, transport) decomposition.
 func Run(m *Model, cfg Config, ticks int) (*RunStats, error) { return sim.Run(m, cfg, ticks) }
+
+// RunContext is Run with cooperative cancellation: every rank checks
+// ctx at its tick boundary, and a cancelled run returns ctx.Err() on
+// every transport via the same abort path that contains rank faults —
+// no rank is left blocked in the Network phase.
+func RunContext(ctx context.Context, m *Model, cfg Config, ticks int) (*RunStats, error) {
+	return sim.RunContext(ctx, m, cfg, ticks)
+}
 
 // Compiler and description types.
 type (

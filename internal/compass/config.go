@@ -138,6 +138,36 @@ type Config struct {
 	// way; the flag exists so the kernel benchmark and conformance tests
 	// can measure and verify the fast path against the reference.
 	ForceScalar bool
+	// InputSource optionally streams external input spikes into the run:
+	// every rank polls it once per tick boundary and injects the spikes
+	// it owns. Model-scheduled inputs (Model.Inputs) are applied first.
+	InputSource InputSource
+	// OutputSink optionally observes every fired spike live, per rank and
+	// per tick, before the tick's Network phase. Sessions use it for
+	// streaming spike egress; nil costs nothing.
+	OutputSink OutputSink
+}
+
+// InputSource feeds externally streamed input spikes into a running
+// simulation at tick boundaries — the live analogue of Model.Inputs.
+type InputSource interface {
+	// SpikesFor returns the batch of external spikes to apply at tick t.
+	// Every rank calls it once per tick and must observe the same batch
+	// for the same t; because neighbouring ranks can be one tick apart,
+	// implementations must keep the batches of adjacent ticks stable once
+	// first returned. A spike's Tick field is source bookkeeping only —
+	// delivery is at tick t. Each rank injects the spikes whose target
+	// core it owns; spikes addressing cores outside the model or axons
+	// out of range are dropped and counted in RunStats.DroppedInputs.
+	SpikesFor(t uint64) []truenorth.InputSpike
+}
+
+// OutputSink receives the simulation's fired spikes live. Emit is called
+// by each rank once per tick that fired at least one spike, concurrently
+// across ranks; events is reused by the caller and must not be retained
+// after Emit returns.
+type OutputSink interface {
+	Emit(rank int, t uint64, events []truenorth.SpikeEvent)
 }
 
 // Validate checks the configuration against a model.

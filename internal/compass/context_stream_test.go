@@ -1,0 +1,233 @@
+package compass
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// tickSource feeds a fixed per-tick schedule through the InputSource
+// hook: the streaming analogue of truenorth.Model.Inputs.
+type tickSource struct {
+	byTick map[uint64][]truenorth.InputSpike
+}
+
+func (s *tickSource) SpikesFor(t uint64) []truenorth.InputSpike { return s.byTick[t] }
+
+// collectSink accumulates every emitted spike under a lock (Emit is
+// called concurrently by all ranks).
+type collectSink struct {
+	mu     sync.Mutex
+	events []truenorth.SpikeEvent
+}
+
+func (c *collectSink) Emit(rank int, t uint64, events []truenorth.SpikeEvent) {
+	c.mu.Lock()
+	c.events = append(c.events, events...)
+	c.mu.Unlock()
+}
+
+// TestRunContextCancelAllTransports checks the acceptance criterion
+// that a cancelled session returns context.Canceled on every transport
+// without hanging: the cancelled rank unwinds at its tick boundary and
+// the abort broadcast releases every peer blocked in the Network phase.
+func TestRunContextCancelAllTransports(t *testing.T) {
+	m := randomModel(8, 42)
+	for _, tr := range Transports() {
+		tr := tr
+		t.Run(tr.String(), func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			type result struct {
+				stats *RunStats
+				err   error
+			}
+			done := make(chan result, 1)
+			go func() {
+				// A tick count far beyond what could finish before the
+				// cancel lands.
+				stats, err := RunContext(ctx, m, Config{
+					Ranks: 4, ThreadsPerRank: 2, Transport: tr,
+				}, 10_000_000)
+				done <- result{stats, err}
+			}()
+			time.Sleep(20 * time.Millisecond)
+			cancel()
+			select {
+			case res := <-done:
+				if !errors.Is(res.err, context.Canceled) {
+					t.Fatalf("err = %v, want context.Canceled", res.err)
+				}
+				if res.stats != nil {
+					t.Fatalf("cancelled run returned stats")
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("cancelled run hung")
+			}
+		})
+	}
+}
+
+// TestRunContextPreCancelled: a context cancelled before the run starts
+// returns immediately on every transport.
+func TestRunContextPreCancelled(t *testing.T) {
+	m := randomModel(4, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, tr := range Transports() {
+		_, err := RunContext(ctx, m, Config{Ranks: 2, ThreadsPerRank: 1, Transport: tr}, 50)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", tr, err)
+		}
+	}
+}
+
+// TestRunContextBackgroundMatchesRun: RunContext with a background
+// context is exactly Run.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	m := randomModel(6, 3)
+	cfg := Config{Ranks: 3, ThreadsPerRank: 2, Transport: TransportShmem, RecordTrace: true}
+	a, err := Run(m, cfg, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), m, cfg, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalSpikes != b.TotalSpikes || len(a.Trace) != len(b.Trace) {
+		t.Fatalf("RunContext diverged from Run: %d/%d spikes, %d/%d trace",
+			a.TotalSpikes, b.TotalSpikes, len(a.Trace), len(b.Trace))
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			t.Fatalf("trace[%d] = %+v vs %+v", i, a.Trace[i], b.Trace[i])
+		}
+	}
+}
+
+// TestInputSourceMatchesScheduled is the streaming-injection
+// equivalence test: the same spikes delivered through the InputSource
+// hook produce a bit-identical trace to pre-scheduling them in
+// Model.Inputs, on every transport.
+func TestInputSourceMatchesScheduled(t *testing.T) {
+	const ticks = 60
+	scheduled := randomModel(6, 11)
+
+	// Streamed variant: same cores, empty input schedule; the inputs
+	// arrive via the hook instead.
+	streamed := &truenorth.Model{Seed: scheduled.Seed, Cores: scheduled.Cores}
+	src := &tickSource{byTick: make(map[uint64][]truenorth.InputSpike)}
+	for _, in := range scheduled.Inputs {
+		src.byTick[in.Tick] = append(src.byTick[in.Tick], in)
+	}
+
+	want, err := Run(scheduled, Config{
+		Ranks: 2, ThreadsPerRank: 2, Transport: TransportShmem, RecordTrace: true,
+	}, ticks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.TotalSpikes == 0 {
+		t.Fatal("reference run produced no spikes; test is vacuous")
+	}
+	for _, tr := range Transports() {
+		got, err := Run(streamed, Config{
+			Ranks: 3, ThreadsPerRank: 2, Transport: tr, RecordTrace: true,
+			InputSource: src,
+		}, ticks)
+		if err != nil {
+			t.Fatalf("%s: %v", tr, err)
+		}
+		if got.TotalSpikes != want.TotalSpikes || len(got.Trace) != len(want.Trace) {
+			t.Fatalf("%s: streamed %d spikes (%d trace), scheduled %d (%d)",
+				tr, got.TotalSpikes, len(got.Trace), want.TotalSpikes, len(want.Trace))
+		}
+		for i := range want.Trace {
+			if got.Trace[i] != want.Trace[i] {
+				t.Fatalf("%s: trace[%d] = %+v, want %+v", tr, i, got.Trace[i], want.Trace[i])
+			}
+		}
+	}
+}
+
+// TestInputSourceOutOfModelDropsCounted: streamed spikes addressing
+// cores outside the model are dropped and counted, once, not crashed
+// on.
+func TestInputSourceOutOfModelDropsCounted(t *testing.T) {
+	m := randomModel(4, 5)
+	src := &tickSource{byTick: map[uint64][]truenorth.InputSpike{
+		2: {{Tick: 2, Core: 999, Axon: 0}, {Tick: 2, Core: 0, Axon: 3}},
+	}}
+	stats, err := Run(&truenorth.Model{Seed: m.Seed, Cores: m.Cores}, Config{
+		Ranks: 2, ThreadsPerRank: 1, Transport: TransportShmem, InputSource: src,
+	}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DroppedInputs != 1 {
+		t.Fatalf("DroppedInputs = %d, want 1", stats.DroppedInputs)
+	}
+}
+
+// TestOutputSinkMatchesTrace: the OutputSink hook observes exactly the
+// spikes the trace records, on every transport.
+func TestOutputSinkMatchesTrace(t *testing.T) {
+	m := randomModel(6, 23)
+	for _, tr := range Transports() {
+		sink := &collectSink{}
+		stats, err := Run(m, Config{
+			Ranks: 3, ThreadsPerRank: 2, Transport: tr, RecordTrace: true,
+			OutputSink: sink,
+		}, 50)
+		if err != nil {
+			t.Fatalf("%s: %v", tr, err)
+		}
+		if uint64(len(sink.events)) != stats.TotalSpikes {
+			t.Fatalf("%s: sink saw %d events, run fired %d", tr, len(sink.events), stats.TotalSpikes)
+		}
+		truenorth.SortSpikeEvents(sink.events)
+		for i := range stats.Trace {
+			if sink.events[i] != stats.Trace[i] {
+				t.Fatalf("%s: sink[%d] = %+v, trace %+v", tr, i, sink.events[i], stats.Trace[i])
+			}
+		}
+	}
+}
+
+// TestCancelledRunFlushesNothingWeird: repeated cancels across
+// transports under load shake out unwinding races (this test is most
+// valuable under -race).
+func TestRepeatedCancelStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	m := randomModel(6, 99)
+	for i := 0; i < 6; i++ {
+		tr := Transports()[i%len(Transports())]
+		ctx, cancel := context.WithCancel(context.Background())
+		errCh := make(chan error, 1)
+		go func() {
+			_, err := RunContext(ctx, m, Config{Ranks: 3, ThreadsPerRank: 2, Transport: tr}, 1_000_000)
+			errCh <- err
+		}()
+		time.Sleep(time.Duration(1+i) * 5 * time.Millisecond)
+		cancel()
+		select {
+		case err := <-errCh:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("round %d (%s): %v", i, tr, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("round %d (%s): hung", i, tr)
+		}
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt import if assertions above change

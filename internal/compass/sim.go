@@ -14,6 +14,18 @@ import (
 // statistics. The spike output is identical for every (ranks, threads,
 // transport) choice; only the communication behaviour differs.
 func Run(m *truenorth.Model, cfg Config, ticks int) (*RunStats, error) {
+	return RunContext(context.Background(), m, cfg, ticks)
+}
+
+// RunContext is Run with cooperative cancellation: every rank checks ctx
+// at its tick boundaries, and the first cancelled rank aborts the
+// transport so peers blocked in a collective, barrier, or receive unwind
+// within one tick on every backend. A cancelled run returns ctx.Err()
+// (the secondary transport-abort errors are suppressed by the same
+// two-pass causal-error machinery that serves injected rank crashes);
+// partial state is discarded, so callers that need resumability should
+// checkpoint between bounded RunContext windows.
+func RunContext(ctx context.Context, m *truenorth.Model, cfg Config, ticks int) (*RunStats, error) {
 	if err := cfg.Validate(m); err != nil {
 		return nil, err
 	}
@@ -55,7 +67,7 @@ func Run(m *truenorth.Model, cfg Config, ticks int) (*RunStats, error) {
 	runErr := backend.Run(cfg.Ranks, func(rank int, ep Endpoint) error {
 		st := states[rank]
 		st.ep = ep
-		return st.loop(start, ticks)
+		return st.loop(ctx, start, ticks)
 	})
 	if runErr != nil {
 		return nil, runErr
@@ -184,6 +196,17 @@ type rankState struct {
 	// traces[thread] accumulates spike events when tracing.
 	traces [][]truenorth.SpikeEvent
 
+	// threadSink[thread] accumulates the current tick's fired spikes when
+	// an OutputSink is attached; sinkBatch is the merged per-rank batch
+	// handed to the sink, reused across ticks.
+	threadSink [][]truenorth.SpikeEvent
+	sinkBatch  []truenorth.SpikeEvent
+
+	// streamDrops counts streamed input spikes addressing cores outside
+	// the model (counted once, on rank 0, since every rank sees the same
+	// streamed batch).
+	streamDrops uint64
+
 	// per-thread firing counters for the current tick.
 	threadFirings []uint64
 
@@ -290,6 +313,9 @@ func newRankState(r int, m *truenorth.Model, cfg Config, placement []int, raw bo
 	if cfg.RecordTrace {
 		st.traces = make([][]truenorth.SpikeEvent, cfg.ThreadsPerRank)
 	}
+	if cfg.OutputSink != nil {
+		st.threadSink = make([][]truenorth.SpikeEvent, cfg.ThreadsPerRank)
+	}
 	if st.tel != nil {
 		kernel := 0
 		for _, core := range st.cores {
@@ -304,7 +330,7 @@ func newRankState(r int, m *truenorth.Model, cfg Config, placement []int, raw bo
 
 // loop runs the rank's main simulation loop for ticks ticks starting at
 // absolute tick start. The worker pool persists across all ticks.
-func (st *rankState) loop(start uint64, ticks int) error {
+func (st *rankState) loop(ctx context.Context, start uint64, ticks int) error {
 	// Label the rank goroutine (worker 0) so CPU and goroutine profiles
 	// attribute samples per rank; the pool labels workers 1..threads-1.
 	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
@@ -318,7 +344,19 @@ func (st *rankState) loop(start uint64, ticks int) error {
 	// or post-mortem telemetry reads as if the rank never ran.
 	defer st.flushTelemetry()
 	st.purgeStaleInputs(start)
+	done := ctx.Done()
 	for t := start; t < start+uint64(ticks); t++ {
+		// Cancellation is checked only at tick boundaries, so a rank never
+		// abandons a tick half-exchanged; the backend's abort broadcast
+		// (triggered when this error reaches Backend.Run) releases peers
+		// blocked inside the current tick's collective or barrier.
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
 		if err := st.tick(t); err != nil {
 			return fmt.Errorf("compass: rank %d tick %d: %w", st.rank, t, err)
 		}
@@ -358,7 +396,7 @@ func (st *rankState) flushTelemetry() {
 		skips += st.threadSynSkips[tid]
 		quiescent += st.threadQuiescent[tid]
 	}
-	dropped := st.staleInputs
+	dropped := st.staleInputs + st.streamDrops
 	for _, core := range st.cores {
 		dropped += core.DroppedInjects()
 	}
@@ -372,6 +410,25 @@ func (st *rankState) tick(t uint64) error {
 		st.localCore[in.Core].InjectRaw(int(in.Axon), t)
 	}
 	delete(st.inputsByTick, t)
+	if st.cfg.InputSource != nil {
+		// Streamed inputs: every rank polls the source for the same batch
+		// and injects the spikes it owns (the spike's Tick field is the
+		// source's bookkeeping; delivery is at this tick boundary). A spike
+		// addressing a core outside the model is dropped and counted once,
+		// on rank 0; out-of-range axons are dropped by InjectRaw on the
+		// owning core.
+		for _, in := range st.cfg.InputSource.SpikesFor(t) {
+			if int(in.Core) >= len(st.localCore) {
+				if st.rank == 0 {
+					st.streamDrops++
+				}
+				continue
+			}
+			if core := st.localCore[in.Core]; core != nil {
+				core.InjectRaw(int(in.Axon), t)
+			}
+		}
+	}
 
 	measure, counting := st.measure, st.tel != nil
 	var computeStart time.Time
@@ -432,6 +489,9 @@ func (st *rankState) tick(t uint64) error {
 				if st.cfg.RecordTrace {
 					st.traces[tid] = append(st.traces[tid], truenorth.SpikeEvent{FireTick: t, Target: s.Target})
 				}
+				if st.threadSink != nil {
+					st.threadSink[tid] = append(st.threadSink[tid], truenorth.SpikeEvent{FireTick: t, Target: s.Target})
+				}
 			})
 		}
 		st.threadFirings[tid] = fired
@@ -439,6 +499,22 @@ func (st *rankState) tick(t uint64) error {
 			st.threadSynapseNS[tid] = synapseNS
 		}
 	})
+
+	// Live spike egress: hand the tick's fired spikes (all threads,
+	// merged into a reused batch) to the attached sink before the Network
+	// phase, so a subscriber observes tick t's output no later than the
+	// simulation enters tick t+1.
+	if st.threadSink != nil {
+		batch := st.sinkBatch[:0]
+		for tid := range st.threadSink {
+			batch = append(batch, st.threadSink[tid]...)
+			st.threadSink[tid] = st.threadSink[tid][:0]
+		}
+		st.sinkBatch = batch
+		if len(batch) > 0 {
+			st.cfg.OutputSink.Emit(st.rank, t, batch)
+		}
+	}
 
 	// Thread-aggregate remote buffers into one message per destination
 	// (threadAggregate in Listing 1). All outbox buffers are reused
@@ -574,7 +650,7 @@ func (st *rankState) finalRankStats() RankStats {
 		MessagesSent: st.msgsSent,
 		PeerRanks:    len(st.peers),
 	}
-	rs.DroppedInputs = st.staleInputs
+	rs.DroppedInputs = st.staleInputs + st.streamDrops
 	for _, core := range st.cores {
 		a, s, f := core.Stats()
 		rs.AxonEvents += a

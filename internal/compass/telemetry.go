@@ -79,6 +79,7 @@ var phaseBounds = []float64{
 type Telemetry struct {
 	reg    *telemetry.Registry
 	tracer *telemetry.Tracer
+	base   []telemetry.Label
 
 	phase [numPhases]telemetry.Histogram
 
@@ -106,49 +107,60 @@ type Telemetry struct {
 // rank count. Attach it via Config.Telemetry; after the run, scrape
 // Registry() for metrics and Tracer() for the trace.
 func NewTelemetry(ranks int) *Telemetry {
+	return NewTelemetryWithLabels(ranks)
+}
+
+// NewTelemetryWithLabels creates the instrument bundle with base labels
+// attached to every series — the server labels each session's bundle
+// with session="<id>" so many sessions' snapshots merge into one valid
+// Prometheus exposition.
+func NewTelemetryWithLabels(ranks int, base ...telemetry.Label) *Telemetry {
 	reg := telemetry.New(ranks)
 	tr := telemetry.NewTracer(ranks)
-	t := &Telemetry{reg: reg, tracer: tr}
+	t := &Telemetry{reg: reg, tracer: tr, base: append([]telemetry.Label(nil), base...)}
+	lbl := func(extra ...telemetry.Label) []telemetry.Label {
+		return append(append([]telemetry.Label(nil), t.base...), extra...)
+	}
 	for p := Phase(0); p < numPhases; p++ {
 		t.phase[p] = reg.Histogram("compass_phase_seconds",
 			"per-tick wall-clock of one main-loop phase on one rank (Fig. 4a breakdown)",
-			phaseBounds, telemetry.Label{Key: "phase", Value: p.String()})
+			phaseBounds, lbl(telemetry.Label{Key: "phase", Value: p.String()})...)
 	}
 	t.messages = reg.Counter("compass_messages_total",
-		"aggregated inter-rank messages sent (Fig. 4b)")
+		"aggregated inter-rank messages sent (Fig. 4b)", lbl()...)
 	t.wireBytes = reg.Counter("compass_wire_bytes_total",
-		"modelled network payload: remote spikes x 20 B/spike (paper sec. VI-B)")
+		"modelled network payload: remote spikes x 20 B/spike (paper sec. VI-B)", lbl()...)
 	t.localSpikes = reg.Counter("compass_spikes_total",
-		"spikes delivered, by locality", telemetry.Label{Key: "kind", Value: "local"})
+		"spikes delivered, by locality", lbl(telemetry.Label{Key: "kind", Value: "local"})...)
 	t.remoteSpikes = reg.Counter("compass_spikes_total",
-		"spikes delivered, by locality", telemetry.Label{Key: "kind", Value: "remote"})
+		"spikes delivered, by locality", lbl(telemetry.Label{Key: "kind", Value: "remote"})...)
 	t.firings = reg.Counter("compass_firings_total",
-		"neuron firings across all ranks")
+		"neuron firings across all ranks", lbl()...)
 	t.kernelCores = reg.Gauge("compass_cores",
-		"cores placed, by Synapse-phase path", telemetry.Label{Key: "path", Value: "kernel"})
+		"cores placed, by Synapse-phase path", lbl(telemetry.Label{Key: "path", Value: "kernel"})...)
 	t.scalarCores = reg.Gauge("compass_cores",
-		"cores placed, by Synapse-phase path", telemetry.Label{Key: "path", Value: "scalar"})
+		"cores placed, by Synapse-phase path", lbl(telemetry.Label{Key: "path", Value: "scalar"})...)
 	t.kernelDispatch = reg.Counter("compass_synapse_dispatch_total",
-		"Synapse phases executed, by path", telemetry.Label{Key: "path", Value: "kernel"})
+		"Synapse phases executed, by path", lbl(telemetry.Label{Key: "path", Value: "kernel"})...)
 	t.scalarDispatch = reg.Counter("compass_synapse_dispatch_total",
-		"Synapse phases executed, by path", telemetry.Label{Key: "path", Value: "scalar"})
+		"Synapse phases executed, by path", lbl(telemetry.Label{Key: "path", Value: "scalar"})...)
 	t.synapseSkips = reg.Counter("compass_synapse_skips_total",
-		"Synapse phases skipped on active cores with no pending spikes")
+		"Synapse phases skipped on active cores with no pending spikes", lbl()...)
 	t.quiescentTicks = reg.Counter("compass_quiescent_core_ticks_total",
-		"core-ticks skipped entirely by quiescent-core detection")
+		"core-ticks skipped entirely by quiescent-core detection", lbl()...)
 	t.droppedInputs = reg.Counter("compass_dropped_inputs_total",
-		"external input spikes dropped: out-of-range axons, or stale entries before a resumed run's start tick")
+		"external input spikes dropped: out-of-range axons or cores, or stale entries before a resumed run's start tick", lbl()...)
 	for _, c := range faults.Classes() {
 		t.faultsInjectedBy[c] = reg.Counter("compass_faults_injected_total",
 			"transport faults fired by the injector, by class",
-			telemetry.Label{Key: "class", Value: c.String()})
+			lbl(telemetry.Label{Key: "class", Value: c.String()})...)
 	}
 	t.faultRetries = reg.Counter("compass_fault_retries_total",
-		"message send retries after an injected drop")
+		"message send retries after an injected drop", lbl()...)
 	t.faultDedups = reg.Counter("compass_fault_dedups_total",
-		"duplicate messages discarded at receivers")
+		"duplicate messages discarded at receivers", lbl()...)
 	t.faultAborts = reg.Counter("compass_fault_aborts_total",
-		"abort broadcasts initiated by a failing rank")
+		"abort broadcasts initiated by a failing rank", lbl()...)
 	for r := 0; r < ranks; r++ {
 		tr.SetProcessName(r, fmt.Sprintf("rank %d", r))
 		for p := Phase(0); p < numPhases; p++ {
@@ -271,15 +283,16 @@ func (t *Telemetry) transportProbe(transport string) *transportProbe {
 	if t == nil {
 		return nil
 	}
-	lbl := telemetry.Label{Key: "transport", Value: transport}
+	lbl := append(append([]telemetry.Label(nil), t.base...),
+		telemetry.Label{Key: "transport", Value: transport})
 	return &transportProbe{
 		tel: t,
 		messages: t.reg.Counter("compass_transport_messages_total",
-			"messages (or one-sided puts, or zero-copy segment swaps) published by the transport", lbl),
+			"messages (or one-sided puts, or zero-copy segment swaps) published by the transport", lbl...),
 		bytes: t.reg.Counter("compass_transport_payload_bytes_total",
-			"payload bytes published by the transport (raw transports report the modelled 20 B/spike)", lbl),
+			"payload bytes published by the transport (raw transports report the modelled 20 B/spike)", lbl...),
 		queueDepth: t.reg.Gauge("compass_transport_queue_depth",
-			"incoming messages or segments pending delivery at the last tick", lbl),
+			"incoming messages or segments pending delivery at the last tick", lbl...),
 	}
 }
 

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+
+	"github.com/cognitive-sim/compass/internal/spikeio"
+)
+
+// StreamClient is a minimal data-plane client: it performs the CSTR
+// handshake and exchanges record frames. Tests and cmd/servesmoke use
+// it; it also documents the protocol from the client's side.
+type StreamClient struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// DialStream connects to a server's stream listener and binds to a
+// session with the given flags (StreamFlagInject, StreamFlagSubscribe,
+// or both).
+func DialStream(addr, sessionID string, flags byte) (*StreamClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	hello := make([]byte, 8+len(sessionID))
+	copy(hello, streamMagic)
+	hello[4] = streamVersion
+	hello[5] = flags
+	binary.LittleEndian.PutUint16(hello[6:], uint16(len(sessionID)))
+	copy(hello[8:], sessionID)
+	if _, err := conn.Write(hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReaderSize(conn, 1<<16)
+	var reply [4]byte
+	if _, err := io.ReadFull(br, reply[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("server: handshake reply: %w", err)
+	}
+	switch string(reply[:]) {
+	case streamOK:
+		return &StreamClient{conn: conn, br: br}, nil
+	case streamErrTag:
+		var lenBuf [2]byte
+		msg := "handshake rejected"
+		if _, err := io.ReadFull(br, lenBuf[:]); err == nil {
+			buf := make([]byte, binary.LittleEndian.Uint16(lenBuf[:]))
+			if _, err := io.ReadFull(br, buf); err == nil {
+				msg = string(buf)
+			}
+		}
+		conn.Close()
+		return nil, fmt.Errorf("server: %s", msg)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("server: bad handshake reply %q", reply[:])
+	}
+}
+
+// Send writes one frame of spike records for injection.
+func (c *StreamClient) Send(events []spikeio.Event) error {
+	buf := make([]byte, 4+len(events)*spikeio.RecordSize)
+	binary.LittleEndian.PutUint32(buf, uint32(len(events)))
+	for i, ev := range events {
+		spikeio.EncodeRecord(buf[4+i*spikeio.RecordSize:], ev)
+	}
+	_, err := c.conn.Write(buf)
+	return err
+}
+
+// Recv reads one egress frame. It returns io.EOF once the server has
+// closed the stream (session over) and all frames are consumed.
+func (c *StreamClient) Recv() ([]spikeio.Event, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(c.br, lenBuf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF
+		}
+		return nil, err
+	}
+	count := binary.LittleEndian.Uint32(lenBuf[:])
+	if count > maxFrameRecords {
+		return nil, fmt.Errorf("server: frame of %d records exceeds limit", count)
+	}
+	out := make([]spikeio.Event, count)
+	rec := make([]byte, spikeio.RecordSize)
+	for i := range out {
+		if _, err := io.ReadFull(c.br, rec); err != nil {
+			return nil, fmt.Errorf("server: frame truncated at record %d: %w", i, err)
+		}
+		out[i] = spikeio.DecodeRecord(rec)
+	}
+	return out, nil
+}
+
+// CloseWrite half-closes the connection: the server sees end-of-inject
+// while egress frames keep flowing. No-op error on non-TCP conns.
+func (c *StreamClient) CloseWrite() error {
+	if tc, ok := c.conn.(*net.TCPConn); ok {
+		return tc.CloseWrite()
+	}
+	return fmt.Errorf("server: connection does not support half-close")
+}
+
+// Close tears the connection down.
+func (c *StreamClient) Close() error { return c.conn.Close() }

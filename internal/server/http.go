@@ -1,0 +1,308 @@
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/cognitive-sim/compass/internal/cocomac"
+	sim "github.com/cognitive-sim/compass/internal/compass"
+	"github.com/cognitive-sim/compass/internal/coreobject"
+	"github.com/cognitive-sim/compass/internal/pcc"
+	"github.com/cognitive-sim/compass/internal/telemetry"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// CreateRequest is the POST /v1/sessions body.
+type CreateRequest struct {
+	Name   string     `json:"name,omitempty"`
+	Source SourceSpec `json:"source"`
+	// Ranks, Threads, Transport pick the decomposition; Transport
+	// defaults to "shmem", Ranks and Threads to 1.
+	Ranks     int    `json:"ranks,omitempty"`
+	Threads   int    `json:"threads,omitempty"`
+	Transport string `json:"transport,omitempty"`
+	// Ticks is the number of ticks to simulate.
+	Ticks uint64 `json:"ticks"`
+	// ChunkTicks overrides the server's pause/checkpoint granularity.
+	ChunkTicks int `json:"chunk_ticks,omitempty"`
+	// CheckpointBase64 optionally resumes from a binary checkpoint (the
+	// format WriteCheckpoint produces, e.g. a drained session's file).
+	CheckpointBase64 string `json:"checkpoint_base64,omitempty"`
+	// StartPaused creates the session parked before its first tick so
+	// stream clients can attach before any spike fires; release it with
+	// POST /v1/sessions/{id}/resume.
+	StartPaused bool `json:"start_paused,omitempty"`
+}
+
+// SourceSpec selects where the session's model comes from.
+type SourceSpec struct {
+	// Kind is "cocomac" (built-in macaque network), "spec" (inline
+	// CoreObject JSON, compiled by the PCC), or "model" (binary model,
+	// base64).
+	Kind string `json:"kind"`
+	// Seed and Cores shape the generated CoCoMac network; InputTicks is
+	// the duration of its generated thalamic stimulus.
+	Seed       uint64 `json:"seed,omitempty"`
+	Cores      int    `json:"cores,omitempty"`
+	InputTicks uint64 `json:"input_ticks,omitempty"`
+	// Spec is the inline CoreObject network description.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// ModelBase64 is a binary model (the format WriteModel produces).
+	ModelBase64 string `json:"model_base64,omitempty"`
+}
+
+// buildModel materializes the request's model and, for compiled
+// sources, the region-aware placement the PCC produced.
+func buildModel(src SourceSpec, ranks int) (*truenorth.Model, []int, int, error) {
+	compile := func(spec *coreobject.NetworkSpec) (*truenorth.Model, []int, int, error) {
+		res, err := pcc.Compile(spec, ranks)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("server: compile: %w", err)
+		}
+		return res.Model, res.RankOf, res.Ranks, nil
+	}
+	switch src.Kind {
+	case "cocomac":
+		cores := src.Cores
+		if cores <= 0 {
+			cores = 128
+		}
+		inputTicks := src.InputTicks
+		if inputTicks == 0 {
+			inputTicks = 1_000_000 // effectively unbounded stimulus
+		}
+		net := cocomac.Generate(src.Seed)
+		spec, err := net.ToSpec(cores, inputTicks)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("server: cocomac: %w", err)
+		}
+		return compile(spec)
+	case "spec":
+		if len(src.Spec) == 0 {
+			return nil, nil, 0, errors.New("server: source kind \"spec\" needs a spec document")
+		}
+		spec, err := coreobject.DecodeSpec(bytes.NewReader(src.Spec))
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("server: spec: %w", err)
+		}
+		return compile(spec)
+	case "model":
+		raw, err := base64.StdEncoding.DecodeString(src.ModelBase64)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("server: model_base64: %w", err)
+		}
+		m, err := coreobject.ReadModel(bytes.NewReader(raw))
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("server: model: %w", err)
+		}
+		return m, nil, ranks, nil
+	default:
+		return nil, nil, 0, fmt.Errorf("server: unknown source kind %q (want cocomac, spec, or model)", src.Kind)
+	}
+}
+
+// sessionFromRequest validates a create request into manager params.
+func sessionFromRequest(req *CreateRequest) (CreateParams, error) {
+	if req.Ticks == 0 {
+		return CreateParams{}, errors.New("server: ticks must be positive")
+	}
+	ranks := req.Ranks
+	if ranks <= 0 {
+		ranks = 1
+	}
+	threads := req.Threads
+	if threads <= 0 {
+		threads = 1
+	}
+	transport := sim.TransportShmem
+	if req.Transport != "" {
+		var err error
+		transport, err = sim.ParseTransport(req.Transport)
+		if err != nil {
+			return CreateParams{}, err
+		}
+	}
+	model, rankOf, actualRanks, err := buildModel(req.Source, ranks)
+	if err != nil {
+		return CreateParams{}, err
+	}
+	if actualRanks > 0 && actualRanks < ranks {
+		ranks = actualRanks // the compiler dropped coreless trailing ranks
+	} else if ranks > len(model.Cores) {
+		ranks = len(model.Cores)
+		rankOf = nil
+	}
+	p := CreateParams{
+		Name:  req.Name,
+		Model: model,
+		Cfg: sim.Config{
+			Ranks:          ranks,
+			ThreadsPerRank: threads,
+			Transport:      transport,
+			RankOf:         rankOf,
+		},
+		Ticks:       req.Ticks,
+		ChunkTicks:  req.ChunkTicks,
+		StartPaused: req.StartPaused,
+	}
+	if req.CheckpointBase64 != "" {
+		raw, err := base64.StdEncoding.DecodeString(req.CheckpointBase64)
+		if err != nil {
+			return CreateParams{}, fmt.Errorf("server: checkpoint_base64: %w", err)
+		}
+		cp, err := coreobject.ReadCheckpoint(bytes.NewReader(raw))
+		if err != nil {
+			return CreateParams{}, fmt.Errorf("server: checkpoint: %w", err)
+		}
+		p.StartFrom = cp
+	}
+	return p, nil
+}
+
+// httpError is the JSON error envelope.
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// handler builds the control-plane mux.
+func (srv *Server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		running, queued, total := srv.mgr.Counts()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":         "ok",
+			"uptime_seconds": int64(time.Since(srv.started).Seconds()),
+			"stream_addr":    srv.StreamAddr(),
+			"sessions":       map[string]int{"running": running, "queued": queued, "total": total},
+		})
+	})
+	mux.Handle("GET /metrics", MetricsHandler(srv.mgr.MetricsSnapshot))
+
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req CreateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("server: decode request: %w", err))
+			return
+		}
+		p, err := sessionFromRequest(&req)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		s, err := srv.mgr.Create(p)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrOverCapacity) {
+				code = http.StatusTooManyRequests
+			}
+			httpError(w, code, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, s.Info())
+	})
+
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"sessions": srv.mgr.List()})
+	})
+
+	withSession := func(fn func(http.ResponseWriter, *http.Request, *Session)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			s, err := srv.mgr.Get(r.PathValue("id"))
+			if err != nil {
+				httpError(w, http.StatusNotFound, err)
+				return
+			}
+			fn(w, r, s)
+		}
+	}
+
+	mux.HandleFunc("GET /v1/sessions/{id}", withSession(func(w http.ResponseWriter, r *http.Request, s *Session) {
+		writeJSON(w, http.StatusOK, s.Info())
+	}))
+	mux.HandleFunc("POST /v1/sessions/{id}/pause", withSession(func(w http.ResponseWriter, r *http.Request, s *Session) {
+		if err := s.Pause(); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		// Pause resolves at the next chunk boundary; wait briefly so the
+		// common case returns the settled state.
+		s.WaitState(5*time.Second, func(st State) bool { return st != StateRunning })
+		writeJSON(w, http.StatusOK, s.Info())
+	}))
+	mux.HandleFunc("POST /v1/sessions/{id}/resume", withSession(func(w http.ResponseWriter, r *http.Request, s *Session) {
+		if err := s.Resume(); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Info())
+	}))
+	mux.HandleFunc("POST /v1/sessions/{id}/stop", withSession(func(w http.ResponseWriter, r *http.Request, s *Session) {
+		if err := srv.mgr.Stop(s.ID); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		s.WaitState(5*time.Second, func(st State) bool { return st.Terminal() })
+		writeJSON(w, http.StatusOK, s.Info())
+	}))
+	mux.HandleFunc("GET /v1/sessions/{id}/checkpoint", withSession(func(w http.ResponseWriter, r *http.Request, s *Session) {
+		cp := s.Checkpoint()
+		var buf bytes.Buffer
+		if err := coreobject.WriteCheckpoint(&buf, cp); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Compass-Checkpoint-Tick", fmt.Sprint(cp.Tick))
+		w.Write(buf.Bytes())
+	}))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", withSession(func(w http.ResponseWriter, r *http.Request, s *Session) {
+		if err := srv.mgr.Remove(s.ID); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	return mux
+}
+
+// MetricsHandler serves GET /metrics as Prometheus text exposition from
+// the given snapshot source. It is shared between compassd and
+// cmd/compass's -metrics-listen flag.
+func MetricsHandler(snap func() *telemetry.Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s := snap()
+		if s == nil {
+			http.Error(w, "no metrics registry attached", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.WritePrometheus(w)
+	})
+}
+
+// LiveMux builds a minimal /metrics + /healthz mux around a snapshot
+// source — the handler cmd/compass mounts for -metrics-listen so a
+// one-shot run can be scraped while it executes.
+func LiveMux(snap func() *telemetry.Snapshot) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", MetricsHandler(snap))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	})
+	return mux
+}

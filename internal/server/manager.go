@@ -1,0 +1,377 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	sim "github.com/cognitive-sim/compass/internal/compass"
+	"github.com/cognitive-sim/compass/internal/perfmodel"
+	"github.com/cognitive-sim/compass/internal/telemetry"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// ErrOverCapacity marks a session whose modelled cost exceeds the
+// server's entire configured capacity: no amount of queueing will ever
+// admit it.
+var ErrOverCapacity = errors.New("server: session cost exceeds configured capacity")
+
+// ErrNotFound marks an unknown session id.
+var ErrNotFound = errors.New("server: no such session")
+
+// EstimateCostPerTick prices one session in modelled seconds per
+// simulated tick using the calibrated Blue Gene/Q performance model
+// (internal/perfmodel) with the §VII synthetic workload assumptions
+// (10 Hz firing, 75% node-local traffic, 25% crossbar density). The
+// shmem transport has no machine-model projection, so it is priced as
+// MPI — the decompositions do the same compute, they differ only in the
+// Network phase's host mechanics.
+func EstimateCostPerTick(cores, ranks, threads int, transport sim.Transport) float64 {
+	if cores < 1 || ranks < 1 || threads < 1 {
+		return 0
+	}
+	coresPerNode := (cores + ranks - 1) / ranks
+	w, err := perfmodel.SyntheticUniform(ranks, coresPerNode, 10, 0.75, 0.25)
+	if err != nil {
+		return 0
+	}
+	if transport == sim.TransportShmem {
+		transport = sim.TransportMPI
+	}
+	pt, err := perfmodel.Project(perfmodel.BlueGeneQ(), w, threads, transport)
+	if err != nil {
+		return 0
+	}
+	return pt.Total()
+}
+
+// ManagerOptions configures admission control and session defaults.
+type ManagerOptions struct {
+	// CapacitySecondsPerTick is the admission budget: the sum of the
+	// modelled per-tick cost of all concurrently running sessions stays
+	// at or below it. Sessions costing more than the whole budget are
+	// rejected; sessions that merely don't fit right now are queued
+	// FIFO. Zero means 1.0 modelled seconds/tick.
+	CapacitySecondsPerTick float64
+	// MaxRunning caps concurrently running sessions regardless of cost.
+	// Zero means 16.
+	MaxRunning int
+	// ChunkTicks is the default per-chunk tick count: the granularity at
+	// which pause, checkpoint, and drain resolve. Zero means 25.
+	ChunkTicks int
+	// SubscriberQueue is the per-subscriber egress ring capacity in
+	// records. Zero means 65536.
+	SubscriberQueue int
+}
+
+func (o *ManagerOptions) withDefaults() ManagerOptions {
+	out := *o
+	if out.CapacitySecondsPerTick <= 0 {
+		out.CapacitySecondsPerTick = 1.0
+	}
+	if out.MaxRunning <= 0 {
+		out.MaxRunning = 16
+	}
+	if out.ChunkTicks <= 0 {
+		out.ChunkTicks = 25
+	}
+	if out.SubscriberQueue <= 0 {
+		out.SubscriberQueue = 65536
+	}
+	return out
+}
+
+// Manager owns every session: creation with admission control, FIFO
+// queueing, lookup, and the server-level metrics registry that /metrics
+// merges with each session's labeled registry.
+type Manager struct {
+	opts ManagerOptions
+	reg  *telemetry.Registry
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	order    []string
+	queue    []*Session
+	used     float64
+	running  int
+	nextID   int
+
+	mCreated   telemetry.Counter
+	mRejected  telemetry.Counter
+	mCompleted telemetry.Counter
+	gRunning   telemetry.Gauge
+	gQueued    telemetry.Gauge
+	gUsed      telemetry.Gauge
+}
+
+// NewManager builds a manager with the given admission options.
+func NewManager(opts ManagerOptions) *Manager {
+	reg := telemetry.New(1)
+	m := &Manager{
+		opts:     opts.withDefaults(),
+		reg:      reg,
+		sessions: make(map[string]*Session),
+		mCreated: reg.Counter("compassd_sessions_created_total",
+			"sessions admitted (running or queued)"),
+		mRejected: reg.Counter("compassd_sessions_rejected_total",
+			"sessions rejected by admission control"),
+		mCompleted: reg.Counter("compassd_sessions_completed_total",
+			"sessions that reached a terminal state"),
+		gRunning: reg.Gauge("compassd_sessions_running",
+			"sessions currently running or paused"),
+		gQueued: reg.Gauge("compassd_sessions_queued",
+			"sessions waiting for capacity"),
+		gUsed: reg.Gauge("compassd_capacity_used_seconds_per_tick",
+			"modelled per-tick cost of all running sessions"),
+	}
+	return m
+}
+
+// Registry returns the server-level metrics registry.
+func (m *Manager) Registry() *telemetry.Registry { return m.reg }
+
+// CreateParams describes one session to admit.
+type CreateParams struct {
+	// Name is an optional human label.
+	Name string
+	// Model is the instantiated network the session simulates.
+	Model *truenorth.Model
+	// Cfg is the decomposition (ranks, threads, transport, placement).
+	Cfg sim.Config
+	// Ticks is the number of ticks to simulate (from StartFrom's tick
+	// when resuming, from tick 0 otherwise).
+	Ticks uint64
+	// ChunkTicks overrides the manager's default chunk size when > 0.
+	ChunkTicks int
+	// StartFrom optionally resumes the session from a checkpoint (e.g.
+	// one written by a previous daemon's graceful shutdown).
+	StartFrom *truenorth.Checkpoint
+	// StartPaused parks the session at tick 0 (or StartFrom's tick)
+	// before any chunk runs, so clients can attach streams and observe
+	// the run from its very first spike. Resume releases it.
+	StartPaused bool
+}
+
+// Create admits a new session. The session starts immediately when
+// capacity allows, otherwise it queues FIFO. Create returns
+// ErrOverCapacity when the session could never run.
+func (m *Manager) Create(p CreateParams) (*Session, error) {
+	if err := p.Cfg.Validate(p.Model); err != nil {
+		return nil, err
+	}
+	cost := EstimateCostPerTick(len(p.Model.Cores), p.Cfg.Ranks, p.Cfg.ThreadsPerRank, p.Cfg.Transport)
+	if cost > m.opts.CapacitySecondsPerTick {
+		m.mRejected.Inc(0)
+		return nil, fmt.Errorf("%w: %.3gs/tick modelled vs %.3gs/tick budget",
+			ErrOverCapacity, cost, m.opts.CapacitySecondsPerTick)
+	}
+
+	m.mu.Lock()
+	m.nextID++
+	id := fmt.Sprintf("s%06d", m.nextID)
+	m.mu.Unlock()
+
+	chunk := p.ChunkTicks
+	if chunk <= 0 {
+		chunk = m.opts.ChunkTicks
+	}
+	s, err := newSession(id, p.Name, p.Model, p.Cfg, p.Ticks, chunk, cost, m.opts.SubscriberQueue, m.release)
+	if err != nil {
+		return nil, err
+	}
+	if p.StartFrom != nil {
+		if err := p.StartFrom.Validate(p.Model); err != nil {
+			return nil, fmt.Errorf("server: start checkpoint: %w", err)
+		}
+		s.cp = p.StartFrom
+	}
+	if p.StartPaused {
+		// The runner has not launched yet, so this is race-free: it
+		// parks at the loop top before simulating anything.
+		s.pauseReq = true
+	}
+	drops := m.reg.Counter("compassd_stream_dropped_records_total",
+		"egress records evicted by drop-oldest backpressure, per session",
+		telemetry.Label{Key: "session", Value: id})
+	s.sink.onDrop = func(n uint64) { drops.Add(0, n) }
+
+	m.mu.Lock()
+	m.sessions[id] = s
+	m.order = append(m.order, id)
+	m.mCreated.Inc(0)
+	if m.running < m.opts.MaxRunning && m.used+cost <= m.opts.CapacitySecondsPerTick {
+		m.startLocked(s)
+	} else {
+		m.queue = append(m.queue, s)
+	}
+	m.refreshGaugesLocked()
+	m.mu.Unlock()
+	return s, nil
+}
+
+// startLocked charges capacity and launches the runner. Callers hold mu.
+func (m *Manager) startLocked(s *Session) {
+	m.used += s.cost
+	m.running++
+	s.start()
+}
+
+// release returns a finished session's capacity and starts queued
+// sessions that now fit. It is the session runner's exit callback.
+func (m *Manager) release(s *Session) {
+	m.mu.Lock()
+	m.used -= s.cost
+	if m.used < 0 {
+		m.used = 0
+	}
+	m.running--
+	m.mCompleted.Inc(0)
+	m.promoteLocked()
+	m.refreshGaugesLocked()
+	m.mu.Unlock()
+}
+
+// promoteLocked starts queued sessions in FIFO order while capacity
+// lasts, skipping sessions that were stopped while queued.
+func (m *Manager) promoteLocked() {
+	keep := m.queue[:0]
+	for _, s := range m.queue {
+		if s.State().Terminal() {
+			continue
+		}
+		if m.running < m.opts.MaxRunning && m.used+s.cost <= m.opts.CapacitySecondsPerTick {
+			m.startLocked(s)
+			continue
+		}
+		keep = append(keep, s)
+	}
+	for i := len(keep); i < len(m.queue); i++ {
+		m.queue[i] = nil
+	}
+	m.queue = keep
+}
+
+func (m *Manager) refreshGaugesLocked() {
+	m.gRunning.Set(0, float64(m.running))
+	m.gQueued.Set(0, float64(len(m.queue)))
+	m.gUsed.Set(0, m.used)
+}
+
+// Get looks a session up by id.
+func (m *Manager) Get(id string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return s, nil
+}
+
+// List returns every session's status in creation order.
+func (m *Manager) List() []Info {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	out := make([]Info, 0, len(ids))
+	for _, id := range ids {
+		if s, err := m.Get(id); err == nil {
+			out = append(out, s.Info())
+		}
+	}
+	return out
+}
+
+// Stop cancels a session. Queued sessions cancel in place; running
+// sessions unwind at the next tick boundary via context cancellation.
+func (m *Manager) Stop(id string) error {
+	s, err := m.Get(id)
+	if err != nil {
+		return err
+	}
+	if s.abortQueued(StateCancelled, context.Canceled) {
+		m.mu.Lock()
+		m.promoteLocked()
+		m.refreshGaugesLocked()
+		m.mu.Unlock()
+		return nil
+	}
+	s.Stop()
+	return nil
+}
+
+// Remove stops a session and deletes it from the index once its runner
+// has exited.
+func (m *Manager) Remove(id string) error {
+	if err := m.Stop(id); err != nil {
+		return err
+	}
+	s, err := m.Get(id)
+	if err != nil {
+		return err
+	}
+	s.Wait()
+	m.mu.Lock()
+	delete(m.sessions, id)
+	for i, oid := range m.order {
+		if oid == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.refreshGaugesLocked()
+	m.mu.Unlock()
+	return nil
+}
+
+// DrainAll parks every session at its next chunk boundary and waits for
+// all runners to exit; used by graceful shutdown. It returns every
+// non-failed session that holds a checkpoint, paired with its id.
+func (m *Manager) DrainAll() []*Session {
+	m.mu.Lock()
+	all := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		all = append(all, s)
+	}
+	m.mu.Unlock()
+	for _, s := range all {
+		s.Drain()
+	}
+	out := make([]*Session, 0, len(all))
+	for _, s := range all {
+		s.Wait()
+		if st := s.State(); st == StateDrained || st == StatePaused || st == StateDone {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// MetricsSnapshot merges the server-level registry with every
+// session's labeled registry into one snapshot; WritePrometheus on the
+// result is a single valid exposition because HELP/TYPE lines dedup by
+// metric name.
+func (m *Manager) MetricsSnapshot() *telemetry.Snapshot {
+	snap := m.reg.Snapshot()
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	for _, id := range ids {
+		s, err := m.Get(id)
+		if err != nil {
+			continue
+		}
+		if sub := s.tel.Registry().Snapshot(); sub != nil {
+			snap.Metrics = append(snap.Metrics, sub.Metrics...)
+		}
+	}
+	return snap
+}
+
+// Counts returns (running, queued, total) session counts.
+func (m *Manager) Counts() (running, queued, total int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.running, len(m.queue), len(m.sessions)
+}

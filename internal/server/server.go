@@ -1,0 +1,150 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/cognitive-sim/compass/internal/coreobject"
+)
+
+// Options configures a Server.
+type Options struct {
+	// HTTPAddr is the control-plane listen address (":0" for ephemeral).
+	HTTPAddr string
+	// StreamAddr is the data-plane listen address (":0" for ephemeral).
+	StreamAddr string
+	// CheckpointDir receives one <session-id>.ckpt file per drained
+	// session at graceful shutdown. Empty disables checkpoint files
+	// (drained state is still queryable until the process exits).
+	CheckpointDir string
+	// Manager configures admission control and session defaults.
+	Manager ManagerOptions
+}
+
+// Server is the compassd core: the session manager plus the two
+// listeners (HTTP control plane, TCP stream data plane).
+type Server struct {
+	opts Options
+	mgr  *Manager
+
+	httpLn   net.Listener
+	streamLn net.Listener
+	httpSrv  *http.Server
+	wg       sync.WaitGroup
+	started  time.Time
+
+	mu         sync.Mutex
+	streamAddr string
+}
+
+// New builds an unstarted server.
+func New(opts Options) *Server {
+	return &Server{opts: opts, mgr: NewManager(opts.Manager)}
+}
+
+// Manager exposes the session manager (tests drive it directly).
+func (srv *Server) Manager() *Manager { return srv.mgr }
+
+// Start binds both listeners and begins serving. It returns once the
+// listeners are bound; serving continues in background goroutines until
+// Shutdown.
+func (srv *Server) Start() error {
+	srv.started = time.Now()
+	httpLn, err := net.Listen("tcp", srv.opts.HTTPAddr)
+	if err != nil {
+		return fmt.Errorf("server: http listen: %w", err)
+	}
+	streamLn, err := net.Listen("tcp", srv.opts.StreamAddr)
+	if err != nil {
+		httpLn.Close()
+		return fmt.Errorf("server: stream listen: %w", err)
+	}
+	srv.httpLn, srv.streamLn = httpLn, streamLn
+	srv.mu.Lock()
+	srv.streamAddr = streamLn.Addr().String()
+	srv.mu.Unlock()
+
+	srv.httpSrv = &http.Server{Handler: srv.handler()}
+	srv.wg.Add(1)
+	go srv.acceptStreams(streamLn)
+	go srv.httpSrv.Serve(httpLn)
+	return nil
+}
+
+// HTTPAddr returns the bound control-plane address.
+func (srv *Server) HTTPAddr() string {
+	if srv.httpLn == nil {
+		return srv.opts.HTTPAddr
+	}
+	return srv.httpLn.Addr().String()
+}
+
+// StreamAddr returns the bound data-plane address.
+func (srv *Server) StreamAddr() string {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if srv.streamAddr == "" {
+		return srv.opts.StreamAddr
+	}
+	return srv.streamAddr
+}
+
+// Shutdown gracefully stops the server: listeners close, every session
+// drains to its next chunk boundary, and each drained session's
+// checkpoint is written to CheckpointDir as <id>.ckpt. The ctx bounds
+// the HTTP server's connection drain; session draining always runs to
+// completion so no simulated state is lost.
+func (srv *Server) Shutdown(ctx context.Context) error {
+	var firstErr error
+	if srv.streamLn != nil {
+		srv.streamLn.Close()
+	}
+	if srv.httpSrv != nil {
+		if err := srv.httpSrv.Shutdown(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	drained := srv.mgr.DrainAll()
+	if srv.opts.CheckpointDir != "" {
+		if err := os.MkdirAll(srv.opts.CheckpointDir, 0o755); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		for _, s := range drained {
+			if err := writeCheckpointFile(srv.opts.CheckpointDir, s); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	srv.wg.Wait()
+	return firstErr
+}
+
+// writeCheckpointFile atomically writes one session's checkpoint.
+func writeCheckpointFile(dir string, s *Session) error {
+	cp := s.Checkpoint()
+	if cp == nil {
+		return nil
+	}
+	path := filepath.Join(dir, s.ID+".ckpt")
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := coreobject.WriteCheckpoint(f, cp); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

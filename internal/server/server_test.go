@@ -1,0 +1,731 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	sim "github.com/cognitive-sim/compass/internal/compass"
+	"github.com/cognitive-sim/compass/internal/coreobject"
+	"github.com/cognitive-sim/compass/internal/prng"
+	"github.com/cognitive-sim/compass/internal/spikeio"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// testModel mirrors internal/compass's randomModel helper: a
+// deterministic stochastic-free network with sustained input drive, so
+// every run of the same seed is bit-identical.
+func testModel(nCores int, seed uint64) *truenorth.Model {
+	r := prng.New(seed)
+	m := &truenorth.Model{Seed: seed}
+	for k := 0; k < nCores; k++ {
+		cfg := &truenorth.CoreConfig{ID: truenorth.CoreID(k)}
+		for a := 0; a < truenorth.CoreSize; a++ {
+			cfg.AxonTypes[a] = uint8(r.Intn(truenorth.NumAxonTypes))
+			for s := 0; s < 8; s++ {
+				cfg.SetSynapse(a, r.Intn(truenorth.CoreSize), true)
+			}
+		}
+		for j := 0; j < truenorth.CoreSize; j++ {
+			cfg.Neurons[j] = truenorth.NeuronParams{
+				Weights:   [truenorth.NumAxonTypes]int16{2, 1, 3, -1},
+				Leak:      -1,
+				Threshold: int32(3 + r.Intn(6)),
+				Reset:     0,
+				Floor:     -32,
+				Target: truenorth.SpikeTarget{
+					Core:  truenorth.CoreID(r.Intn(nCores)),
+					Axon:  uint16(r.Intn(truenorth.CoreSize)),
+					Delay: uint8(1 + r.Intn(3)),
+				},
+				Enabled: true,
+			}
+		}
+		m.Cores = append(m.Cores, cfg)
+	}
+	for tick := uint64(0); tick < 30; tick++ {
+		for a := 0; a < 64; a++ {
+			m.Inputs = append(m.Inputs, truenorth.InputSpike{
+				Tick: tick,
+				Core: truenorth.CoreID(int(tick) % nCores),
+				Axon: uint16(r.Intn(truenorth.CoreSize)),
+			})
+		}
+	}
+	return m
+}
+
+// ckptBytes serializes a checkpoint for bit-identity comparison.
+func ckptBytes(t *testing.T, cp *truenorth.Checkpoint) []byte {
+	t.Helper()
+	if cp == nil {
+		t.Fatal("nil checkpoint")
+	}
+	var buf bytes.Buffer
+	if err := coreobject.WriteCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// refFinal runs the simulation in one uninterrupted shot and returns
+// the final checkpoint — the reference for resume-equivalence tests.
+func refFinal(t *testing.T, m *truenorth.Model, cfg sim.Config, ticks int) *truenorth.Checkpoint {
+	t.Helper()
+	cfg.ReturnState = true
+	stats, err := sim.Run(m, cfg, ticks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats.Final
+}
+
+func sortWire(events []spikeio.Event) {
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].Tick != events[b].Tick {
+			return events[a].Tick < events[b].Tick
+		}
+		if events[a].Core != events[b].Core {
+			return events[a].Core < events[b].Core
+		}
+		return events[a].Axon < events[b].Axon
+	})
+}
+
+func traceToWire(trace []truenorth.SpikeEvent) []spikeio.Event {
+	out := make([]spikeio.Event, len(trace))
+	for i, ev := range trace {
+		out[i] = spikeio.Event{Tick: ev.FireTick, Core: ev.Target.Core, Axon: ev.Target.Axon}
+	}
+	return out
+}
+
+func startTestServer(t *testing.T, opts ManagerOptions) *Server {
+	t.Helper()
+	srv := New(Options{HTTPAddr: "127.0.0.1:0", StreamAddr: "127.0.0.1:0", Manager: opts})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Shutdown(testContext(t, 30*time.Second)) })
+	return srv
+}
+
+func testContext(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestConcurrentSessionsStreaming is the acceptance race test: at least
+// eight sessions, spread across all three transports, run concurrently
+// with live inject+subscribe streams attached to each.
+func TestConcurrentSessionsStreaming(t *testing.T) {
+	srv := startTestServer(t, ManagerOptions{
+		CapacitySecondsPerTick: 1e9,
+		MaxRunning:             32,
+		ChunkTicks:             10,
+	})
+	transports := []sim.Transport{sim.TransportMPI, sim.TransportPGAS, sim.TransportShmem}
+	const perTransport = 3 // 9 sessions total
+	type outcome struct {
+		id       string
+		received uint64
+		err      error
+	}
+	// Create every session parked, attach a stream to each, then release
+	// them all so the whole fleet runs concurrently with live streams.
+	var sessions []*Session
+	for ti, tr := range transports {
+		for i := 0; i < perTransport; i++ {
+			m := testModel(4, uint64(100+ti*10+i))
+			s, err := srv.Manager().Create(CreateParams{
+				Name:        fmt.Sprintf("%s-%d", tr, i),
+				Model:       m,
+				Cfg:         sim.Config{Ranks: 2, ThreadsPerRank: 2, Transport: tr},
+				Ticks:       60,
+				StartPaused: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sessions = append(sessions, s)
+		}
+	}
+	results := make(chan outcome, len(sessions))
+	var wg sync.WaitGroup
+	for _, s := range sessions {
+		c, err := DialStream(srv.StreamAddr(), s.ID, StreamFlagInject|StreamFlagSubscribe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(id string, c *StreamClient) {
+			defer wg.Done()
+			defer c.Close()
+			out := outcome{id: id}
+			defer func() { results <- out }()
+			// Inject a few live spikes, then half-close: egress must
+			// keep flowing afterwards.
+			if err := c.Send([]spikeio.Event{
+				{Tick: 40, Core: 0, Axon: 1},
+				{Tick: 41, Core: 1, Axon: 2},
+			}); err != nil {
+				out.err = err
+				return
+			}
+			if err := c.CloseWrite(); err != nil {
+				out.err = err
+				return
+			}
+			for {
+				frame, err := c.Recv()
+				if err == io.EOF {
+					return
+				}
+				if err != nil {
+					out.err = err
+					return
+				}
+				out.received += uint64(len(frame))
+			}
+		}(s.ID, c)
+	}
+	for _, s := range sessions {
+		if err := s.Resume(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	close(results)
+	received := make(map[string]uint64)
+	for out := range results {
+		if out.err != nil {
+			t.Errorf("session %s: stream error: %v", out.id, out.err)
+		}
+		received[out.id] = out.received
+	}
+	for _, s := range sessions {
+		if !s.WaitState(60*time.Second, func(st State) bool { return st == StateDone }) {
+			t.Errorf("session %s: state %s, want done (err %v)", s.ID, s.State(), s.Err())
+			continue
+		}
+		info := s.Info()
+		if info.Injected != 2 {
+			t.Errorf("session %s: injected %d spikes, want 2", s.ID, info.Injected)
+		}
+		if info.Totals.Spikes == 0 {
+			t.Errorf("session %s: fired no spikes", s.ID)
+		}
+		// The subscriber was attached before the first tick, so absent
+		// drop-oldest eviction it must see every fired spike.
+		if want := info.Totals.Spikes - info.StreamDrops; received[s.ID] != want {
+			t.Errorf("session %s: subscriber received %d of %d spikes (%d dropped)",
+				s.ID, received[s.ID], info.Totals.Spikes, info.StreamDrops)
+		}
+	}
+}
+
+// TestStreamInjectionEquivalence: spikes injected over the wire before
+// the session starts produce the exact trace and bit-identical final
+// state of the same spikes pre-scheduled in Model.Inputs.
+func TestStreamInjectionEquivalence(t *testing.T) {
+	srv := startTestServer(t, ManagerOptions{
+		CapacitySecondsPerTick: 1e9,
+		ChunkTicks:             10,
+	})
+	mgr := srv.Manager()
+
+	const ticks = 60
+	ref := testModel(4, 11)
+	streamed := &truenorth.Model{Seed: ref.Seed, Cores: ref.Cores}
+	cfg := sim.Config{Ranks: 2, ThreadsPerRank: 2, Transport: sim.TransportMPI}
+
+	target, err := mgr.Create(CreateParams{
+		Name: "target", Model: streamed, Cfg: cfg, Ticks: ticks, StartPaused: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := DialStream(srv.StreamAddr(), target.ID, StreamFlagInject|StreamFlagSubscribe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	inject := make([]spikeio.Event, len(ref.Inputs))
+	for i, in := range ref.Inputs {
+		inject[i] = spikeio.Event{Tick: in.Tick, Core: in.Core, Axon: in.Axon}
+	}
+	if err := c.Send(inject); err != nil {
+		t.Fatal(err)
+	}
+	// The frame lands asynchronously; wait until the session has
+	// accepted every spike before letting it run.
+	deadline := time.Now().Add(10 * time.Second)
+	for target.Info().Injected != uint64(len(inject)) {
+		if time.Now().After(deadline) {
+			t.Fatalf("injected %d of %d spikes", target.Info().Injected, len(inject))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := target.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	var received []spikeio.Event
+	for {
+		frame, err := c.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		received = append(received, frame...)
+	}
+	if !target.WaitState(60*time.Second, func(st State) bool { return st == StateDone }) {
+		t.Fatalf("target state %s, want done (err %v)", target.State(), target.Err())
+	}
+	if drops := target.Info().StreamDrops; drops != 0 {
+		t.Fatalf("stream dropped %d records; equivalence check needs a lossless run", drops)
+	}
+
+	refCfg := cfg
+	refCfg.RecordTrace = true
+	refCfg.ReturnState = true
+	stats, err := sim.Run(ref, refCfg, ticks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := traceToWire(stats.Trace)
+	sortWire(want)
+	sortWire(received)
+	if len(received) != len(want) {
+		t.Fatalf("streamed run fired %d spikes, scheduled fired %d", len(received), len(want))
+	}
+	for i := range want {
+		if received[i] != want[i] {
+			t.Fatalf("event %d: streamed %+v, scheduled %+v", i, received[i], want[i])
+		}
+	}
+	if !bytes.Equal(ckptBytes(t, target.Checkpoint()), ckptBytes(t, stats.Final)) {
+		t.Fatal("final checkpoint differs between streamed and scheduled runs")
+	}
+}
+
+// TestCheckpointResumeEquivalence: a session resumed in a second
+// session from the first one's checkpoint reaches a final state
+// bit-identical to one uninterrupted run.
+func TestCheckpointResumeEquivalence(t *testing.T) {
+	mgr := NewManager(ManagerOptions{CapacitySecondsPerTick: 1e9, ChunkTicks: 10})
+	m := testModel(4, 7)
+	cfg := sim.Config{Ranks: 2, ThreadsPerRank: 2, Transport: sim.TransportShmem}
+
+	first, err := mgr.Create(CreateParams{Model: m, Cfg: cfg, Ticks: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.WaitState(60*time.Second, func(st State) bool { return st == StateDone }) {
+		t.Fatalf("first session state %s, want done (err %v)", first.State(), first.Err())
+	}
+	cp := first.Checkpoint()
+	if cp.Tick != 20 {
+		t.Fatalf("checkpoint tick %d, want 20", cp.Tick)
+	}
+
+	second, err := mgr.Create(CreateParams{Model: m, Cfg: cfg, Ticks: 40, StartFrom: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.WaitState(60*time.Second, func(st State) bool { return st == StateDone }) {
+		t.Fatalf("second session state %s, want done (err %v)", second.State(), second.Err())
+	}
+	final := second.Checkpoint()
+	if final.Tick != 60 {
+		t.Fatalf("final tick %d, want 60", final.Tick)
+	}
+	want := refFinal(t, m, cfg, 60)
+	if !bytes.Equal(ckptBytes(t, final), ckptBytes(t, want)) {
+		t.Fatal("resumed session's final state differs from uninterrupted run")
+	}
+	if di := second.Info().Totals.DroppedInputs; di != 0 {
+		t.Fatalf("resume recounted %d purged model inputs as dropped", di)
+	}
+}
+
+// TestPauseResumeStopLifecycle drives the control-plane state machine:
+// pause parks at a chunk boundary, resume releases, stop cancels with
+// context.Canceled surfaced as the session error.
+func TestPauseResumeStopLifecycle(t *testing.T) {
+	mgr := NewManager(ManagerOptions{CapacitySecondsPerTick: 1e9, ChunkTicks: 5})
+	s, err := mgr.Create(CreateParams{
+		Model: testModel(4, 13),
+		Cfg:   sim.Config{Ranks: 2, ThreadsPerRank: 2, Transport: sim.TransportPGAS},
+		Ticks: 1 << 40, // never finishes on its own
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.WaitState(60*time.Second, func(st State) bool { return st == StatePaused }) {
+		t.Fatalf("state %s, want paused", s.State())
+	}
+	cp := s.Checkpoint()
+	if cp == nil || cp.Tick%5 != 0 {
+		t.Fatalf("paused checkpoint not at a chunk boundary: %+v", cp)
+	}
+	if err := s.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.WaitState(60*time.Second, func(st State) bool { return st == StateRunning }) {
+		t.Fatalf("state %s after resume, want running", s.State())
+	}
+	if err := mgr.Stop(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	if !s.WaitState(60*time.Second, func(st State) bool { return st == StateCancelled }) {
+		t.Fatalf("state %s after stop, want cancelled", s.State())
+	}
+	if !errors.Is(s.Err(), context.Canceled) {
+		t.Fatalf("session error %v, want context.Canceled", s.Err())
+	}
+	if err := s.Pause(); err == nil {
+		t.Fatal("pause on a terminal session succeeded")
+	}
+}
+
+// TestBackpressureDropAccounting: a subscriber that never drains its
+// queue loses exactly (emitted - capacity) records to drop-oldest
+// eviction, and the loss is counted in both the session status and the
+// per-session Prometheus counter.
+func TestBackpressureDropAccounting(t *testing.T) {
+	const queueCap = 64
+	mgr := NewManager(ManagerOptions{
+		CapacitySecondsPerTick: 1e9,
+		ChunkTicks:             10,
+		SubscriberQueue:        queueCap,
+	})
+	s, err := mgr.Create(CreateParams{
+		Model:       testModel(4, 17),
+		Cfg:         sim.Config{Ranks: 2, ThreadsPerRank: 2, Transport: sim.TransportShmem},
+		Ticks:       40,
+		StartPaused: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subscribe before the first tick, then never drain the queue.
+	sub := s.sink.subscribe()
+	_ = sub
+	if err := s.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.WaitState(60*time.Second, func(st State) bool { return st == StateDone }) {
+		t.Fatalf("state %s, want done (err %v)", s.State(), s.Err())
+	}
+	info := s.Info()
+	if info.Totals.Spikes <= queueCap {
+		t.Fatalf("only %d spikes fired; cannot overflow a %d-record queue", info.Totals.Spikes, queueCap)
+	}
+	wantDrops := info.Totals.Spikes - queueCap
+	if info.StreamDrops != wantDrops {
+		t.Fatalf("StreamDrops = %d, want %d (spikes %d, queue %d)",
+			info.StreamDrops, wantDrops, info.Totals.Spikes, queueCap)
+	}
+	var buf bytes.Buffer
+	mgr.MetricsSnapshot().WritePrometheus(&buf)
+	text := buf.String()
+	if !strings.Contains(text, "compassd_stream_dropped_records_total") ||
+		!strings.Contains(text, s.ID) {
+		t.Fatalf("metrics exposition missing per-session drop counter:\n%s", text)
+	}
+}
+
+// TestAdmissionControl: sessions costing more than the whole budget are
+// rejected outright; sessions that merely don't fit queue FIFO and
+// promote when capacity frees.
+func TestAdmissionControl(t *testing.T) {
+	m := testModel(4, 5)
+	cfg := sim.Config{Ranks: 2, ThreadsPerRank: 2, Transport: sim.TransportMPI}
+	cost := EstimateCostPerTick(len(m.Cores), cfg.Ranks, cfg.ThreadsPerRank, cfg.Transport)
+	if cost <= 0 {
+		t.Fatalf("EstimateCostPerTick = %g, want > 0", cost)
+	}
+
+	// A budget below one session's cost rejects immediately.
+	tight := NewManager(ManagerOptions{CapacitySecondsPerTick: cost / 2})
+	if _, err := tight.Create(CreateParams{Model: m, Cfg: cfg, Ticks: 10}); !errors.Is(err, ErrOverCapacity) {
+		t.Fatalf("err = %v, want ErrOverCapacity", err)
+	}
+
+	// A budget fitting one session queues the second.
+	mgr := NewManager(ManagerOptions{CapacitySecondsPerTick: cost * 1.5, ChunkTicks: 10})
+	first, err := mgr.Create(CreateParams{Model: m, Cfg: cfg, Ticks: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := mgr.Create(CreateParams{Model: testModel(4, 6), Cfg: cfg, Ticks: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := second.State(); st != StateQueued {
+		t.Fatalf("second session state %s, want queued", st)
+	}
+	if running, queued, total := mgr.Counts(); running != 1 || queued != 1 || total != 2 {
+		t.Fatalf("counts = (%d running, %d queued, %d total), want (1, 1, 2)", running, queued, total)
+	}
+
+	// Stopping a queued session cancels it in place.
+	third, err := mgr.Create(CreateParams{Model: testModel(4, 8), Cfg: cfg, Ticks: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Stop(third.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st := third.State(); st != StateCancelled {
+		t.Fatalf("stopped queued session state %s, want cancelled", st)
+	}
+
+	// Freeing the running session promotes the queued one.
+	if err := mgr.Stop(first.ID); err != nil {
+		t.Fatal(err)
+	}
+	if !second.WaitState(60*time.Second, func(st State) bool { return st == StateDone }) {
+		t.Fatalf("promoted session state %s, want done (err %v)", second.State(), second.Err())
+	}
+}
+
+// TestGracefulShutdownDrains: Shutdown parks every session at a chunk
+// boundary, writes each checkpoint file, and a fresh session resumed
+// from that file matches the uninterrupted run bit-for-bit.
+func TestGracefulShutdownDrains(t *testing.T) {
+	dir := t.TempDir()
+	srv := New(Options{
+		HTTPAddr:      "127.0.0.1:0",
+		StreamAddr:    "127.0.0.1:0",
+		CheckpointDir: dir,
+		Manager:       ManagerOptions{CapacitySecondsPerTick: 1e9, ChunkTicks: 10},
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	m := testModel(4, 21)
+	cfg := sim.Config{Ranks: 2, ThreadsPerRank: 2, Transport: sim.TransportShmem}
+	s, err := srv.Manager().Create(CreateParams{Name: "drainee", Model: m, Cfg: cfg, Ticks: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let at least one chunk complete so the drained checkpoint is
+	// mid-run, not the initial snapshot.
+	deadline := time.Now().Add(30 * time.Second)
+	for s.Info().TicksDone == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("session made no progress")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := srv.Shutdown(testContext(t, 30*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.State(); st != StateDrained {
+		t.Fatalf("state %s after shutdown, want drained", st)
+	}
+
+	path := filepath.Join(dir, s.ID+".ckpt")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("drained checkpoint file: %v", err)
+	}
+	cp, err := coreobject.ReadCheckpoint(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Tick == 0 || cp.Tick%10 != 0 {
+		t.Fatalf("drained checkpoint at tick %d, want a positive chunk boundary", cp.Tick)
+	}
+
+	// Resume in a fresh manager (a successor daemon) for 30 more ticks.
+	mgr2 := NewManager(ManagerOptions{CapacitySecondsPerTick: 1e9, ChunkTicks: 10})
+	resumed, err := mgr2.Create(CreateParams{Model: m, Cfg: cfg, Ticks: 30, StartFrom: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.WaitState(60*time.Second, func(st State) bool { return st == StateDone }) {
+		t.Fatalf("resumed state %s, want done (err %v)", resumed.State(), resumed.Err())
+	}
+	want := refFinal(t, m, cfg, int(cp.Tick)+30)
+	if !bytes.Equal(ckptBytes(t, resumed.Checkpoint()), ckptBytes(t, want)) {
+		t.Fatal("resumed-from-file final state differs from uninterrupted run")
+	}
+}
+
+// TestHTTPAPI exercises the control plane end to end over real HTTP.
+func TestHTTPAPI(t *testing.T) {
+	srv := startTestServer(t, ManagerOptions{CapacitySecondsPerTick: 1e9, ChunkTicks: 10})
+	base := "http://" + srv.HTTPAddr()
+
+	// Encode a model for the "model" source kind.
+	m := testModel(4, 33)
+	var mbuf bytes.Buffer
+	if err := coreobject.WriteModel(&mbuf, m); err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(map[string]any{
+		"name":      "http-session",
+		"source":    map[string]any{"kind": "model", "model_base64": base64.StdEncoding.EncodeToString(mbuf.Bytes())},
+		"ranks":     2,
+		"threads":   2,
+		"transport": "pgas",
+		"ticks":     40,
+	})
+	resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("create: status %d: %s", resp.StatusCode, msg)
+	}
+	var info Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info.ID == "" || info.Transport != "pgas" || info.Ranks != 2 {
+		t.Fatalf("created session info %+v", info)
+	}
+
+	getJSON := func(path string, v any) int {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if v != nil && resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	var health struct {
+		Status   string         `json:"status"`
+		Sessions map[string]int `json:"sessions"`
+	}
+	if code := getJSON("/healthz", &health); code != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("healthz: code %d, body %+v", code, health)
+	}
+	if health.Sessions["total"] != 1 {
+		t.Fatalf("healthz sessions %+v, want total 1", health.Sessions)
+	}
+	var list struct {
+		Sessions []Info `json:"sessions"`
+	}
+	if code := getJSON("/v1/sessions", &list); code != http.StatusOK || len(list.Sessions) != 1 || list.Sessions[0].ID != info.ID {
+		t.Fatalf("list: code %d, body %+v", code, list)
+	}
+
+	// Poll status until the session finishes.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var cur Info
+		if code := getJSON("/v1/sessions/"+info.ID, &cur); code != http.StatusOK {
+			t.Fatalf("status: code %d", code)
+		} else if cur.State == "done" {
+			break
+		} else if cur.State == "failed" || cur.State == "cancelled" {
+			t.Fatalf("session ended %s: %s", cur.State, cur.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session did not finish")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Download and parse the final checkpoint.
+	resp, err = http.Get(base + "/v1/sessions/" + info.ID + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Compass-Checkpoint-Tick"); got != "40" {
+		t.Fatalf("checkpoint tick header %q, want 40", got)
+	}
+	cp, err := coreobject.ReadCheckpoint(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Tick != 40 {
+		t.Fatalf("downloaded checkpoint tick %d, want 40", cp.Tick)
+	}
+
+	// Metrics exposition includes server counters and session labels.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(text), "compassd_sessions_created_total") {
+		t.Fatalf("metrics missing server counters:\n%s", text)
+	}
+
+	// Error paths: unknown id, bad body, unknown stream session.
+	req, _ := http.NewRequest(http.MethodPost, base+"/v1/sessions/nope/pause", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pause unknown: status %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Post(base+"/v1/sessions", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body: status %d, want 400", resp.StatusCode)
+	}
+	if _, err := DialStream(srv.StreamAddr(), "nope", StreamFlagSubscribe); err == nil ||
+		!strings.Contains(err.Error(), "no such session") {
+		t.Fatalf("dial unknown session: err %v, want rejection naming the session", err)
+	}
+
+	// DELETE removes the session.
+	req, _ = http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+info.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d, want 204", resp.StatusCode)
+	}
+	if code := getJSON("/v1/sessions/"+info.ID, nil); code != http.StatusNotFound {
+		t.Fatalf("status after delete: code %d, want 404", code)
+	}
+}

@@ -1,0 +1,448 @@
+// Package server hosts many concurrent Compass simulation sessions
+// behind a long-running daemon (cmd/compassd): an HTTP+JSON control
+// plane for the session lifecycle, a length-prefixed binary stream
+// plane for live spike injection and egress, admission control that
+// prices sessions with the calibrated Blue Gene performance model, and
+// graceful shutdown that drains every session to a checkpoint file.
+//
+// The paper frames Compass as a platform for "hypotheses testing,
+// verification, and iteration", not just batch scaling runs; serving
+// interactive sessions with streaming spike I/O is that mode of use.
+// See DESIGN.md §5e for the architecture and the wire protocol.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	sim "github.com/cognitive-sim/compass/internal/compass"
+	"github.com/cognitive-sim/compass/internal/telemetry"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// State is one node of the session lifecycle state machine:
+//
+//	queued ─→ running ⇄ paused
+//	   │         │ │ \
+//	   │         │ │  └──→ drained   (graceful shutdown, checkpoint kept)
+//	   │         │ └─────→ done      (all ticks simulated)
+//	   │         ├───────→ cancelled (client stop / context cancel)
+//	   └─────────┴───────→ failed    (simulation error)
+//
+// drained, done, cancelled, and failed are terminal. Checkpoints are
+// taken at chunk boundaries, so paused and drained sessions always hold
+// a resumable state.
+type State int
+
+const (
+	// StateQueued means admission control accepted the session but is
+	// holding it until capacity frees.
+	StateQueued State = iota
+	// StateRunning means the runner goroutine is simulating a chunk.
+	StateRunning
+	// StatePaused means the runner is parked at a chunk boundary.
+	StatePaused
+	// StateDone means every requested tick was simulated.
+	StateDone
+	// StateDrained means graceful shutdown parked the session at a chunk
+	// boundary with its checkpoint captured.
+	StateDrained
+	// StateCancelled means the session's context was cancelled (client
+	// stop or server shutdown without drain).
+	StateCancelled
+	// StateFailed means the simulation returned an error.
+	StateFailed
+)
+
+// String names the state as the HTTP API spells it.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StatePaused:
+		return "paused"
+	case StateDone:
+		return "done"
+	case StateDrained:
+		return "drained"
+	case StateCancelled:
+		return "cancelled"
+	case StateFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateDrained, StateCancelled, StateFailed:
+		return true
+	}
+	return false
+}
+
+// Totals accumulates a session's simulation statistics across chunks.
+type Totals struct {
+	Spikes        uint64 `json:"spikes"`
+	Firings       uint64 `json:"firings"`
+	Messages      uint64 `json:"messages"`
+	DroppedInputs uint64 `json:"dropped_inputs"`
+}
+
+// Session is one hosted simulation: a model, its run configuration, the
+// streaming I/O endpoints, and a runner goroutine that simulates in
+// chunks of ChunkTicks so pause, checkpoint, and drain all resolve at
+// the next chunk boundary.
+type Session struct {
+	ID   string
+	Name string
+
+	model      *truenorth.Model
+	cfg        sim.Config // base decomposition; per-chunk fields set by the runner
+	ticksTotal uint64
+	chunk      int
+	cost       float64 // modelled seconds per tick, from admission control
+
+	source *streamSource
+	sink   *broadcastSink
+	tel    *sim.Telemetry
+
+	// inputTicks is the sorted multiset of model-scheduled input ticks,
+	// used to correct per-chunk DroppedInputs: every resumed chunk
+	// re-purges model inputs before its start tick, which would otherwise
+	// recount inputs already delivered by earlier chunks as dropped.
+	inputTicks []uint64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+	onExit func(*Session)
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	state     State
+	pauseReq  bool
+	drainReq  bool
+	started   bool
+	ticksDone uint64
+	cp        *truenorth.Checkpoint
+	totals    Totals
+	runErr    error
+	created   time.Time
+}
+
+// newSession builds a session in StateQueued. The initial checkpoint is
+// snapshotted immediately so even a session drained before its first
+// chunk has a resumable (tick 0) state.
+func newSession(id, name string, m *truenorth.Model, cfg sim.Config, ticks uint64, chunk int, cost float64, subQueue int, onExit func(*Session)) (*Session, error) {
+	if chunk < 1 {
+		chunk = 1
+	}
+	ss, err := truenorth.NewSerialSim(m)
+	if err != nil {
+		return nil, fmt.Errorf("server: session model invalid: %w", err)
+	}
+	ticksIn := make([]uint64, len(m.Inputs))
+	for i, in := range m.Inputs {
+		ticksIn[i] = in.Tick
+	}
+	sort.Slice(ticksIn, func(a, b int) bool { return ticksIn[a] < ticksIn[b] })
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Session{
+		ID:         id,
+		Name:       name,
+		model:      m,
+		cfg:        cfg,
+		ticksTotal: ticks,
+		chunk:      chunk,
+		cost:       cost,
+		source:     newStreamSource(),
+		sink:       newBroadcastSink(subQueue),
+		tel:        sim.NewTelemetryWithLabels(cfg.Ranks, telemetry.Label{Key: "session", Value: id}),
+		inputTicks: ticksIn,
+		ctx:        ctx,
+		cancel:     cancel,
+		done:       make(chan struct{}),
+		onExit:     onExit,
+		state:      StateQueued,
+		cp:         ss.Snapshot(),
+		created:    time.Now(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// start launches the runner goroutine. The manager calls it exactly
+// once, when admission control grants capacity.
+func (s *Session) start() {
+	s.mu.Lock()
+	if s.started || s.state.Terminal() {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	go s.run()
+}
+
+// run is the session runner: it simulates in chunks, consulting the
+// control flags at every chunk boundary. Each chunk resumes from the
+// previous chunk's checkpoint with the session's streaming hooks and
+// labeled telemetry attached.
+func (s *Session) run() {
+	defer close(s.done)
+	defer s.sink.closeAll()
+	defer func() {
+		if s.onExit != nil {
+			s.onExit(s)
+		}
+	}()
+	for {
+		s.mu.Lock()
+		for s.pauseReq && !s.drainReq && s.ctx.Err() == nil {
+			s.state = StatePaused
+			s.cond.Broadcast()
+			s.cond.Wait()
+		}
+		switch {
+		case s.ctx.Err() != nil:
+			s.finishLocked(StateCancelled, s.ctx.Err())
+			s.mu.Unlock()
+			return
+		case s.drainReq:
+			s.finishLocked(StateDrained, nil)
+			s.mu.Unlock()
+			return
+		case s.ticksDone >= s.ticksTotal:
+			s.finishLocked(StateDone, nil)
+			s.mu.Unlock()
+			return
+		}
+		n := uint64(s.chunk)
+		if rem := s.ticksTotal - s.ticksDone; n > rem {
+			n = rem
+		}
+		cfg := s.cfg
+		cfg.StartFrom = s.cp
+		cfg.ReturnState = true
+		cfg.InputSource = s.source
+		cfg.OutputSink = s.sink
+		cfg.Telemetry = s.tel
+		startTick := s.cp.Tick
+		s.state = StateRunning
+		s.cond.Broadcast()
+		s.mu.Unlock()
+
+		stats, err := sim.RunContext(s.ctx, s.model, cfg, int(n))
+
+		s.mu.Lock()
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				s.finishLocked(StateCancelled, err)
+			} else {
+				s.finishLocked(StateFailed, err)
+			}
+			s.mu.Unlock()
+			return
+		}
+		s.cp = stats.Final
+		s.ticksDone += n
+		s.totals.Spikes += stats.TotalSpikes
+		for _, rs := range stats.PerRank {
+			s.totals.Firings += rs.Firings
+		}
+		s.totals.Messages += stats.Messages
+		// Per-chunk resume re-purges model inputs scheduled before the
+		// chunk's start tick; subtract that recount so only genuinely
+		// dropped inputs (bad axon/core, true staleness, stream drops)
+		// accumulate.
+		stale := uint64(sort.Search(len(s.inputTicks), func(i int) bool {
+			return s.inputTicks[i] >= startTick
+		}))
+		dropped := stats.DroppedInputs
+		if dropped >= stale {
+			dropped -= stale
+		} else {
+			dropped = 0
+		}
+		s.totals.DroppedInputs += dropped
+		s.mu.Unlock()
+	}
+}
+
+// finishLocked moves the session to a terminal state. Callers hold mu.
+func (s *Session) finishLocked(st State, err error) {
+	if !s.state.Terminal() {
+		s.state = st
+		s.runErr = err
+	}
+	s.cond.Broadcast()
+}
+
+// Pause requests a pause at the next chunk boundary.
+func (s *Session) Pause() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state.Terminal() {
+		return fmt.Errorf("server: session %s is %s", s.ID, s.state)
+	}
+	s.pauseReq = true
+	return nil
+}
+
+// Resume releases a paused session.
+func (s *Session) Resume() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state.Terminal() {
+		return fmt.Errorf("server: session %s is %s", s.ID, s.state)
+	}
+	s.pauseReq = false
+	s.cond.Broadcast()
+	return nil
+}
+
+// Stop cancels the session: a running chunk unwinds at its next tick
+// boundary via compass.RunContext and every rank returns ctx.Err().
+func (s *Session) Stop() {
+	s.cancel()
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Drain asks the runner to park at the next chunk boundary with its
+// checkpoint captured (StateDrained), without cancelling mid-chunk
+// work. Used by graceful shutdown. A session that never started drains
+// immediately at its initial snapshot.
+func (s *Session) Drain() {
+	if s.abortQueued(StateDrained, nil) {
+		return
+	}
+	s.mu.Lock()
+	s.drainReq = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// abortQueued resolves a session whose runner never launched (still
+// queued) directly to a terminal state. It reports whether it acted; a
+// started or already-terminal session is left untouched.
+func (s *Session) abortQueued(st State, err error) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.state.Terminal() {
+		return false
+	}
+	s.finishLocked(st, err)
+	close(s.done)
+	return true
+}
+
+// Wait blocks until the runner exits (or, for never-started sessions,
+// until Drain or Stop resolves them).
+func (s *Session) Wait() { <-s.done }
+
+// WaitState blocks until the session reaches a state for which ok
+// returns true, or until the timeout elapses.
+func (s *Session) WaitState(timeout time.Duration, ok func(State) bool) bool {
+	deadline := time.Now().Add(timeout)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !ok(s.state) {
+		if time.Now().After(deadline) {
+			return false
+		}
+		waitCond(s.cond, deadline)
+	}
+	return true
+}
+
+// waitCond waits on c with a deadline by arming a timer that broadcasts.
+func waitCond(c *sync.Cond, deadline time.Time) {
+	t := time.AfterFunc(time.Until(deadline), c.Broadcast)
+	defer t.Stop()
+	c.Wait()
+}
+
+// Checkpoint returns the session's latest chunk-boundary checkpoint.
+// The snapshot is only guaranteed stable when the runner is parked
+// (paused, drained, or terminal); a running session's checkpoint is the
+// boundary before its in-flight chunk.
+func (s *Session) Checkpoint() *truenorth.Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cp
+}
+
+// Err returns the terminal error, if any.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runErr
+}
+
+// State returns the current lifecycle state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Model returns the session's model (shared, read-only once built).
+func (s *Session) Model() *truenorth.Model { return s.model }
+
+// Info is the session's JSON status document.
+type Info struct {
+	ID          string  `json:"id"`
+	Name        string  `json:"name,omitempty"`
+	State       string  `json:"state"`
+	Transport   string  `json:"transport"`
+	Ranks       int     `json:"ranks"`
+	Threads     int     `json:"threads"`
+	Cores       int     `json:"cores"`
+	TicksTotal  uint64  `json:"ticks_total"`
+	TicksDone   uint64  `json:"ticks_done"`
+	CostPerTick float64 `json:"modelled_seconds_per_tick"`
+	Totals      Totals  `json:"totals"`
+	Injected    uint64  `json:"injected_spikes"`
+	Subscribers int     `json:"subscribers"`
+	StreamDrops uint64  `json:"stream_dropped_records"`
+	Error       string  `json:"error,omitempty"`
+	CreatedAt   string  `json:"created_at"`
+}
+
+// Info snapshots the session's status.
+func (s *Session) Info() Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info := Info{
+		ID:          s.ID,
+		Name:        s.Name,
+		State:       s.state.String(),
+		Transport:   s.cfg.Transport.String(),
+		Ranks:       s.cfg.Ranks,
+		Threads:     s.cfg.ThreadsPerRank,
+		Cores:       len(s.model.Cores),
+		TicksTotal:  s.ticksTotal,
+		TicksDone:   s.ticksDone,
+		CostPerTick: s.cost,
+		Totals:      s.totals,
+		Injected:    s.source.injected(),
+		Subscribers: s.sink.count(),
+		StreamDrops: s.sink.dropped(),
+		CreatedAt:   s.created.UTC().Format(time.RFC3339),
+	}
+	if s.runErr != nil {
+		info.Error = s.runErr.Error()
+	}
+	return info
+}

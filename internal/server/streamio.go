@@ -1,0 +1,272 @@
+package server
+
+import (
+	"sync"
+
+	"github.com/cognitive-sim/compass/internal/spikeio"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// streamSource adapts network-injected spikes to compass.InputSource.
+//
+// The simulator's determinism contract requires every rank to observe
+// the same batch for the same tick, while ranks — synchronized by the
+// per-tick barrier — can be at most one tick apart. The source
+// therefore freezes a batch the first time any rank asks for tick t:
+// every queued spike stamped at or before t joins the batch (late
+// arrivals deliver at the next boundary rather than vanishing), spikes
+// stamped for future ticks stay queued until their tick freezes.
+// Frozen batches are retained for one extra tick so a trailing rank
+// re-reads the identical slice, then reclaimed.
+type streamSource struct {
+	mu      sync.Mutex
+	pending []truenorth.InputSpike
+	batches map[uint64][]truenorth.InputSpike
+	frozen  uint64 // highest tick frozen so far + 1
+	total   uint64 // spikes accepted from the network
+}
+
+func newStreamSource() *streamSource {
+	return &streamSource{batches: make(map[uint64][]truenorth.InputSpike)}
+}
+
+// Inject queues spikes received from a client. Safe for concurrent use
+// with a running simulation.
+func (s *streamSource) Inject(events []spikeio.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ev := range events {
+		s.pending = append(s.pending, truenorth.InputSpike{Tick: ev.Tick, Core: ev.Core, Axon: ev.Axon})
+	}
+	s.total += uint64(len(events))
+}
+
+// injected returns the number of spikes accepted so far.
+func (s *streamSource) injected() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// SpikesFor implements compass.InputSource.
+func (s *streamSource) SpikesFor(t uint64) []truenorth.InputSpike {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.batches[t]; ok {
+		return b
+	}
+	var batch []truenorth.InputSpike
+	rest := s.pending[:0]
+	for _, sp := range s.pending {
+		if sp.Tick <= t {
+			batch = append(batch, sp)
+		} else {
+			rest = append(rest, sp)
+		}
+	}
+	// Zero the tail so dropped spikes don't pin the backing array.
+	for i := len(rest); i < len(s.pending); i++ {
+		s.pending[i] = truenorth.InputSpike{}
+	}
+	s.pending = rest
+	s.batches[t] = batch
+	if t >= 2 {
+		delete(s.batches, t-2)
+	}
+	if t+1 > s.frozen {
+		s.frozen = t + 1
+	}
+	return batch
+}
+
+// subscriber is one egress stream: a bounded ring of spike records with
+// drop-oldest backpressure, drained by the connection's writer
+// goroutine. Dropping the oldest keeps the stream current — a slow
+// consumer sees the freshest window of activity, not an ever-older
+// replay — and every dropped record is counted.
+type subscriber struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buf     []spikeio.Event // ring buffer, capacity fixed at creation
+	head    int
+	n       int
+	dropped uint64
+	closed  bool
+}
+
+func newSubscriber(capacity int) *subscriber {
+	if capacity < 1 {
+		capacity = 1
+	}
+	sub := &subscriber{buf: make([]spikeio.Event, capacity)}
+	sub.cond = sync.NewCond(&sub.mu)
+	return sub
+}
+
+// push appends records, evicting the oldest on overflow; it returns
+// the number of records evicted.
+func (sub *subscriber) push(events []spikeio.Event) uint64 {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.closed {
+		return 0
+	}
+	var evicted uint64
+	for _, ev := range events {
+		if sub.n == len(sub.buf) {
+			sub.head = (sub.head + 1) % len(sub.buf)
+			sub.n--
+			sub.dropped++
+			evicted++
+		}
+		sub.buf[(sub.head+sub.n)%len(sub.buf)] = ev
+		sub.n++
+	}
+	sub.cond.Broadcast()
+	return evicted
+}
+
+// next blocks until records are available or the subscriber closes,
+// then drains up to cap(out) records into out and returns the batch.
+// A nil return means the subscriber is closed and empty.
+func (sub *subscriber) next(out []spikeio.Event) []spikeio.Event {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	for sub.n == 0 && !sub.closed {
+		sub.cond.Wait()
+	}
+	if sub.n == 0 {
+		return nil
+	}
+	take := sub.n
+	if take > cap(out) {
+		take = cap(out)
+	}
+	out = out[:take]
+	for i := 0; i < take; i++ {
+		out[i] = sub.buf[sub.head]
+		sub.head = (sub.head + 1) % len(sub.buf)
+		sub.n--
+	}
+	return out
+}
+
+// close wakes the writer; buffered records drain before the stream ends.
+func (sub *subscriber) close() {
+	sub.mu.Lock()
+	sub.closed = true
+	sub.cond.Broadcast()
+	sub.mu.Unlock()
+}
+
+// broadcastSink adapts compass.OutputSink to a set of subscribers with
+// independent bounded queues. Emit is called concurrently by every
+// rank; conversion to the wire record shape happens once per call, the
+// copy into each ring is the only per-subscriber cost.
+type broadcastSink struct {
+	mu       sync.Mutex
+	subs     map[*subscriber]struct{}
+	queueCap int
+	closed   bool   // session over; late subscribers get a closed stream
+	drops    uint64 // cumulative, including departed subscribers
+
+	onDrop func(n uint64) // optional telemetry hook
+}
+
+func newBroadcastSink(queueCap int) *broadcastSink {
+	if queueCap < 1 {
+		queueCap = 4096
+	}
+	return &broadcastSink{subs: make(map[*subscriber]struct{}), queueCap: queueCap}
+}
+
+// subscribe registers a new egress queue. Subscribing to an ended
+// session yields an immediately-closed stream (EOF) rather than one
+// that would never terminate.
+func (b *broadcastSink) subscribe() *subscriber {
+	sub := newSubscriber(b.queueCap)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		sub.close()
+		return sub
+	}
+	b.subs[sub] = struct{}{}
+	b.mu.Unlock()
+	return sub
+}
+
+// unsubscribe removes a subscriber, folding its drop count into the
+// session total, and closes it.
+func (b *broadcastSink) unsubscribe(sub *subscriber) {
+	b.mu.Lock()
+	if _, ok := b.subs[sub]; ok {
+		delete(b.subs, sub)
+		sub.mu.Lock()
+		b.drops += sub.dropped
+		sub.dropped = 0
+		sub.mu.Unlock()
+	}
+	b.mu.Unlock()
+	sub.close()
+}
+
+// closeAll closes every subscriber (end of session).
+func (b *broadcastSink) closeAll() {
+	b.mu.Lock()
+	b.closed = true
+	subs := make([]*subscriber, 0, len(b.subs))
+	for sub := range b.subs {
+		subs = append(subs, sub)
+	}
+	b.mu.Unlock()
+	for _, sub := range subs {
+		sub.close()
+	}
+}
+
+// count returns the live subscriber count.
+func (b *broadcastSink) count() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// dropped returns the cumulative drop-oldest evictions across all
+// subscribers, past and present.
+func (b *broadcastSink) dropped() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := b.drops
+	for sub := range b.subs {
+		sub.mu.Lock()
+		n += sub.dropped
+		sub.mu.Unlock()
+	}
+	return n
+}
+
+// Emit implements compass.OutputSink.
+func (b *broadcastSink) Emit(rank int, t uint64, events []truenorth.SpikeEvent) {
+	b.mu.Lock()
+	if len(b.subs) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	subs := make([]*subscriber, 0, len(b.subs))
+	for sub := range b.subs {
+		subs = append(subs, sub)
+	}
+	b.mu.Unlock()
+	recs := make([]spikeio.Event, len(events))
+	for i, ev := range events {
+		recs[i] = spikeio.Event{Tick: ev.FireTick, Core: ev.Target.Core, Axon: ev.Target.Axon}
+	}
+	var evicted uint64
+	for _, sub := range subs {
+		evicted += sub.push(recs)
+	}
+	if b.onDrop != nil && evicted > 0 {
+		b.onDrop(evicted)
+	}
+}

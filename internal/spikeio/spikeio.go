@@ -25,8 +25,14 @@ import (
 const (
 	magic      = "CSPK"
 	version    = 1
+	headerSize = 8  // magic + u32 version
 	recordSize = 14 // tick u64 + core u32 + axon u16
 )
+
+// RecordSize is the fixed encoded size of one spike record, in bytes.
+// The server's stream protocol frames batches of records of exactly
+// this shape, so the constant is part of the wire contract.
+const RecordSize = recordSize
 
 // Event is one recorded spike delivery: the tick the source fired and
 // the target it addressed.
@@ -57,15 +63,32 @@ func NewWriter(w io.Writer) (*Writer, error) {
 	return &Writer{bw: bw}, nil
 }
 
+// EncodeRecord encodes one spike event into buf, which must hold at
+// least RecordSize bytes. The layout is the stream's record shape:
+// little-endian tick u64, core u32, axon u16.
+func EncodeRecord(buf []byte, ev Event) {
+	binary.LittleEndian.PutUint64(buf[0:], ev.Tick)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(ev.Core))
+	binary.LittleEndian.PutUint16(buf[12:], ev.Axon)
+}
+
+// DecodeRecord decodes one spike event from buf, which must hold at
+// least RecordSize bytes.
+func DecodeRecord(buf []byte) Event {
+	return Event{
+		Tick: binary.LittleEndian.Uint64(buf[0:]),
+		Core: truenorth.CoreID(binary.LittleEndian.Uint32(buf[8:])),
+		Axon: binary.LittleEndian.Uint16(buf[12:]),
+	}
+}
+
 // Record appends one spike.
 func (w *Writer) Record(tick uint64, core truenorth.CoreID, axon uint16) {
 	if w.err != nil {
 		return
 	}
 	var rec [recordSize]byte
-	binary.LittleEndian.PutUint64(rec[0:], tick)
-	binary.LittleEndian.PutUint32(rec[8:], uint32(core))
-	binary.LittleEndian.PutUint16(rec[12:], axon)
+	EncodeRecord(rec[:], Event{Tick: tick, Core: core, Axon: axon})
 	if _, err := w.bw.Write(rec[:]); err != nil {
 		w.err = err
 		return
@@ -84,33 +107,39 @@ func (w *Writer) Flush() error {
 	return w.bw.Flush()
 }
 
-// Read parses a spike stream, invoking fn per event.
+// Read parses a spike stream, invoking fn per event. Corruption errors
+// name the byte offset and record index where the stream broke: a
+// header shorter than headerSize bytes, and a final record shorter than
+// RecordSize bytes, are both truncation errors (wrapping
+// io.ErrUnexpectedEOF), never a silently shortened result.
 func Read(r io.Reader, fn func(Event) error) error {
 	br := bufio.NewReaderSize(r, 1<<16)
-	hdr := make([]byte, 8)
-	if _, err := io.ReadFull(br, hdr); err != nil {
-		return fmt.Errorf("spikeio: read header: %w", err)
+	hdr := make([]byte, headerSize)
+	if n, err := io.ReadFull(br, hdr); err != nil {
+		if err == io.EOF && n == 0 {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("spikeio: header truncated at byte offset %d (want %d header bytes): %w",
+			n, headerSize, err)
 	}
 	if string(hdr[:4]) != magic {
-		return fmt.Errorf("spikeio: bad magic %q", hdr[:4])
+		return fmt.Errorf("spikeio: bad magic %q at byte offset 0", hdr[:4])
 	}
 	if v := binary.LittleEndian.Uint32(hdr[4:]); v != version {
-		return fmt.Errorf("spikeio: unsupported version %d", v)
+		return fmt.Errorf("spikeio: unsupported version %d at byte offset 4", v)
 	}
 	var rec [recordSize]byte
-	for {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			if err == io.EOF {
-				return nil
-			}
-			return fmt.Errorf("spikeio: read record: %w", err)
+	for idx := uint64(0); ; idx++ {
+		n, err := io.ReadFull(br, rec[:])
+		if err == io.EOF {
+			return nil // clean end on a record boundary
 		}
-		ev := Event{
-			Tick: binary.LittleEndian.Uint64(rec[0:]),
-			Core: truenorth.CoreID(binary.LittleEndian.Uint32(rec[8:])),
-			Axon: binary.LittleEndian.Uint16(rec[12:]),
+		if err != nil {
+			off := uint64(headerSize) + idx*recordSize
+			return fmt.Errorf("spikeio: record %d truncated at byte offset %d (%d of %d record bytes present): %w",
+				idx, off+uint64(n), n, recordSize, err)
 		}
-		if err := fn(ev); err != nil {
+		if err := fn(DecodeRecord(rec[:])); err != nil {
 			return err
 		}
 	}

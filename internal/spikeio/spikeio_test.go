@@ -2,6 +2,8 @@ package spikeio
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"math"
 	"strings"
 	"testing"
@@ -269,5 +271,67 @@ func BenchmarkReadAll(b *testing.B) {
 		if _, err := ReadAll(bytes.NewReader(data)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestReadTruncationNamesOffsetAndRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Record(1, 2, 3)
+	w.Record(4, 5, 6)
+	w.Record(7, 8, 9)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Chop 3 bytes off the final record: record index 2, which starts at
+	// byte 8 + 2*14 = 36 and breaks at 36 + 11 = 47.
+	_, err := ReadAll(bytes.NewReader(data[:len(data)-3]))
+	if err == nil {
+		t.Fatal("truncated final record accepted")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncation error = %v, want io.ErrUnexpectedEOF in chain", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"record 2", "byte offset 47", "11 of 14"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+
+	// A partial final record must surface the already-parsed events'
+	// absence as an error, not a silently shortened result.
+	n := 0
+	err = Read(bytes.NewReader(data[:len(data)-3]), func(Event) error { n++; return nil })
+	if err == nil {
+		t.Fatal("partial record not reported")
+	}
+	if n != 2 {
+		t.Fatalf("callback saw %d complete events before the error, want 2", n)
+	}
+
+	// Truncated header names its offset too.
+	_, err = ReadAll(bytes.NewReader(data[:5]))
+	if err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) || !strings.Contains(err.Error(), "byte offset 5") {
+		t.Fatalf("header truncation error = %v", err)
+	}
+
+	// Empty stream: still an unexpected-EOF truncation, not a clean read.
+	if _, err := ReadAll(bytes.NewReader(nil)); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("empty stream error = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestEncodeDecodeRecord(t *testing.T) {
+	want := Event{Tick: 1 << 40, Core: 123456, Axon: 65535}
+	var rec [RecordSize]byte
+	EncodeRecord(rec[:], want)
+	if got := DecodeRecord(rec[:]); got != want {
+		t.Fatalf("roundtrip = %+v, want %+v", got, want)
 	}
 }

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check bench bench-transport bench-kernel telemetry-smoke chaos-smoke race-transport serve-smoke
+.PHONY: build test race vet check bench bench-transport bench-kernel bench-admit telemetry-smoke chaos-smoke race-transport serve-smoke
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ test:
 # slice swapping, and the atomic spike-delivery bitmask all run under
 # -race here.
 race:
-	$(GO) test -race ./internal/truenorth/... ./internal/compass/... ./internal/mpi/... ./internal/pgas/...
+	$(GO) test -race ./internal/truenorth/... ./internal/compass/... ./internal/mpi/... ./internal/pgas/... ./internal/modelcache/... ./internal/server/...
 
 vet:
 	$(GO) vet ./...
@@ -37,6 +37,13 @@ bench-transport:
 # dense deterministic workload.
 bench-kernel:
 	BENCH_KERNEL_OUT=BENCH_kernel.json $(GO) test -run TestKernelBenchArtifact -count=1 -v .
+
+# Regenerate BENCH_admit.json, the model-cache admission record: cached
+# admission must stay >= 10x faster than a cold PCC compile, N sessions
+# sharing one image must stay cheaper than N private copies, and the
+# image path must produce bit-identical traces on all three transports.
+bench-admit:
+	BENCH_ADMIT_OUT=BENCH_admit.json $(GO) test -run TestAdmitBenchArtifact -count=1 -v .
 
 # End-to-end telemetry smoke: run a small CoCoMac model with every
 # export sink enabled, then validate the Prometheus exposition, the JSON

@@ -45,6 +45,8 @@ func main() {
 		maxRun    = flag.Int("max-sessions", 16, "maximum concurrently running sessions")
 		chunk     = flag.Int("chunk-ticks", 25, "default ticks per chunk (pause/checkpoint granularity)")
 		queueCap  = flag.Int("subscriber-queue", 65536, "per-subscriber egress queue capacity in records")
+		cacheB    = flag.Int64("model-cache-bytes", 2<<30, "model image cache byte budget (negative disables residency; in-flight dedup stays on)")
+		memB      = flag.Int64("memory-budget-bytes", 0, "resident-byte admission budget across running sessions; shared images charged once (0 = unlimited)")
 		addrFile  = flag.String("addr-file", "", "write the bound control and stream addresses to this file (for scripts using :0)")
 		drainWait = flag.Duration("drain-timeout", 30*time.Second, "HTTP connection drain bound during shutdown")
 	)
@@ -59,6 +61,8 @@ func main() {
 			MaxRunning:             *maxRun,
 			ChunkTicks:             *chunk,
 			SubscriberQueue:        *queueCap,
+			ModelCacheBytes:        *cacheB,
+			MemoryBudgetBytes:      *memB,
 		},
 	})
 	if err := srv.Start(); err != nil {

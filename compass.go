@@ -62,6 +62,10 @@ type (
 	InputSpike = truenorth.InputSpike
 	// Model is a fully instantiated network of TrueNorth cores.
 	Model = truenorth.Model
+	// Image is the immutable, content-addressed frozen form of a Model:
+	// validated once, Synapse kernels prebuilt, shareable copy-on-write
+	// by any number of concurrent simulation sessions.
+	Image = truenorth.Image
 	// SerialSim is the single-threaded reference simulator.
 	SerialSim = truenorth.SerialSim
 	// Checkpoint is a decomposition-portable simulation state snapshot.
@@ -84,6 +88,13 @@ const (
 
 // NewSerialSim builds the serial reference simulator for a model.
 func NewSerialSim(m *Model) (*SerialSim, error) { return truenorth.NewSerialSim(m) }
+
+// NewImage validates and freezes a model into an immutable image. The
+// image shares the model's core configurations (do not mutate them
+// afterwards) and carries everything per-session runtime state does
+// not: connectivity, weights, delays, neuron parameters, and prebuilt
+// Synapse kernels.
+func NewImage(m *Model) (*Image, error) { return truenorth.NewImage(m) }
 
 // Parallel simulator types.
 type (
@@ -217,6 +228,19 @@ func Run(m *Model, cfg Config, ticks int) (*RunStats, error) { return sim.Run(m,
 // no rank is left blocked in the Network phase.
 func RunContext(ctx context.Context, m *Model, cfg Config, ticks int) (*RunStats, error) {
 	return sim.RunContext(ctx, m, cfg, ticks)
+}
+
+// RunImage simulates against an immutable image. Any number of RunImage
+// calls may share one image concurrently — per-session state (membrane
+// potentials, delay rings, PRNG streams) is instantiated privately, and
+// the spike output is bit-identical to Run on the image's model.
+func RunImage(img *Image, cfg Config, ticks int) (*RunStats, error) {
+	return sim.RunImage(img, cfg, ticks)
+}
+
+// RunImageContext is RunImage with cooperative cancellation.
+func RunImageContext(ctx context.Context, img *Image, cfg Config, ticks int) (*RunStats, error) {
+	return sim.RunImageContext(ctx, img, cfg, ticks)
 }
 
 // Compiler and description types.

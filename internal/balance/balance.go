@@ -19,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"github.com/cognitive-sim/compass/internal/workpool"
 )
 
 // ErrNotConverged is returned when the iteration fails to reach the
@@ -44,6 +46,12 @@ type Options struct {
 	Tol float64
 	// MaxIter bounds the number of sweeps. Zero means 10000.
 	MaxIter int
+	// Workers parallelizes each sweep across rows (row scaling) and
+	// columns (column accumulation and scaling). Results are bit-identical
+	// for any worker count: every row is scaled independently, and every
+	// column sum accumulates in ascending row order regardless of which
+	// worker owns the column. Zero or one means serial.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -153,11 +161,11 @@ func IPFP(a [][]float64, rowSums, colSums []float64, opts Options) (*Result, err
 	m := clone(a)
 	n, cols := len(m), len(m[0])
 
-	colAcc := make([]float64, cols)
-	var res *Result
 	for iter := 1; iter <= opts.MaxIter; iter++ {
-		// Row scaling.
-		for i := 0; i < n; i++ {
+		// Row scaling: rows are independent, so they fan out over the
+		// workers; each row's sum accumulates left-to-right as in the
+		// serial sweep.
+		workpool.ForEach(opts.Workers, n, func(i int) {
 			sum := 0.0
 			for _, v := range m[i] {
 				sum += v
@@ -173,20 +181,18 @@ func IPFP(a [][]float64, rowSums, colSums []float64, opts Options) (*Result, err
 					m[i][j] = 0
 				}
 			}
-		}
-		// Column scaling.
-		for j := range colAcc {
-			colAcc[j] = 0
-		}
-		for i := 0; i < n; i++ {
-			for j, v := range m[i] {
-				colAcc[j] += v
+		})
+		// Column scaling: each worker owns whole columns, accumulating its
+		// column sums in ascending row order — the same float summation
+		// order as the serial sweep — then scales them in place.
+		workpool.ForEach(opts.Workers, cols, func(j int) {
+			acc := 0.0
+			for i := 0; i < n; i++ {
+				acc += m[i][j]
 			}
-		}
-		for j := 0; j < cols; j++ {
 			switch {
-			case colAcc[j] > 0:
-				f := colSums[j] / colAcc[j]
+			case acc > 0:
+				f := colSums[j] / acc
 				for i := 0; i < n; i++ {
 					m[i][j] *= f
 				}
@@ -195,11 +201,10 @@ func IPFP(a [][]float64, rowSums, colSums []float64, opts Options) (*Result, err
 					m[i][j] = 0
 				}
 			}
-		}
+		})
 		r := Residual(m, rowSums, colSums)
 		if r <= opts.Tol {
-			res = &Result{Matrix: m, Iterations: iter, Residual: r}
-			return res, nil
+			return &Result{Matrix: m, Iterations: iter, Residual: r}, nil
 		}
 	}
 	r := Residual(m, rowSums, colSums)

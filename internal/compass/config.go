@@ -172,6 +172,17 @@ type OutputSink interface {
 
 // Validate checks the configuration against a model.
 func (c *Config) Validate(m *truenorth.Model) error {
+	return c.validateCores(len(m.Cores))
+}
+
+// ValidateImage checks the configuration against an immutable image.
+func (c *Config) ValidateImage(img *truenorth.Image) error {
+	return c.validateCores(img.NumCores())
+}
+
+// validateCores is the model-independent configuration check shared by
+// Validate and ValidateImage.
+func (c *Config) validateCores(numCores int) error {
 	if c.Ranks < 1 {
 		return fmt.Errorf("compass: %d ranks", c.Ranks)
 	}
@@ -181,19 +192,19 @@ func (c *Config) Validate(m *truenorth.Model) error {
 	if c.Transport != TransportMPI && c.Transport != TransportPGAS && c.Transport != TransportShmem {
 		return fmt.Errorf("compass: unknown transport %d", c.Transport)
 	}
-	if len(m.Cores) == 0 {
+	if numCores == 0 {
 		return fmt.Errorf("compass: model has no cores")
 	}
-	if c.Ranks > len(m.Cores) {
-		return fmt.Errorf("compass: %d ranks for %d cores", c.Ranks, len(m.Cores))
+	if c.Ranks > numCores {
+		return fmt.Errorf("compass: %d ranks for %d cores", c.Ranks, numCores)
 	}
 	if c.Telemetry != nil && c.Telemetry.Registry().Shards() < c.Ranks {
 		return fmt.Errorf("compass: telemetry built for %d shards, run has %d ranks",
 			c.Telemetry.Registry().Shards(), c.Ranks)
 	}
 	if c.RankOf != nil {
-		if len(c.RankOf) != len(m.Cores) {
-			return fmt.Errorf("compass: placement covers %d of %d cores", len(c.RankOf), len(m.Cores))
+		if len(c.RankOf) != numCores {
+			return fmt.Errorf("compass: placement covers %d of %d cores", len(c.RankOf), numCores)
 		}
 		for i, r := range c.RankOf {
 			if r < 0 || r >= c.Ranks {

@@ -18,11 +18,7 @@ func (st *rankState) Threads() int { return st.threads }
 // Parallel runs fn on every thread ID concurrently and waits, using the
 // rank's persistent worker pool.
 func (st *rankState) Parallel(fn func(tid int)) {
-	if st.pool == nil {
-		fn(0)
-		return
-	}
-	st.pool.run(fn)
+	st.pool.Run(fn)
 }
 
 // DeliverLocal delivers the local spike buffers of source threads whose

@@ -1,0 +1,144 @@
+package compass
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"github.com/cognitive-sim/compass/internal/coreobject"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// traceEqual compares two canonically sorted traces.
+func traceEqual(a, b []truenorth.SpikeEvent) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSharedImageCOWIsolation: two sessions running concurrently against
+// ONE shared image must produce traces bit-identical to two sessions on
+// privately built models — on every transport. Run under -race this is
+// the copy-on-write isolation proof: any write into shared image state
+// from either session would be a data race and a trace divergence.
+func TestSharedImageCOWIsolation(t *testing.T) {
+	const ticks = 40
+	m := randomModel(8, 2024)
+	img, err := truenorth.NewImage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range Transports() {
+		tr := tr
+		t.Run(tr.String(), func(t *testing.T) {
+			// Two different decompositions, so the sessions stress the
+			// shared image from differently shaped runners.
+			cfgA := Config{Ranks: 2, ThreadsPerRank: 2, Transport: tr, RecordTrace: true}
+			cfgB := Config{Ranks: 4, ThreadsPerRank: 1, Transport: tr, RecordTrace: true}
+
+			// Private baselines: each builds its own image from the model.
+			privA, err := Run(m, cfgA, ticks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			privB, err := Run(m, cfgB, ticks)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Shared: both sessions on one image, concurrently.
+			var wg sync.WaitGroup
+			var sharedA, sharedB *RunStats
+			var errA, errB error
+			wg.Add(2)
+			go func() { defer wg.Done(); sharedA, errA = RunImage(img, cfgA, ticks) }()
+			go func() { defer wg.Done(); sharedB, errB = RunImage(img, cfgB, ticks) }()
+			wg.Wait()
+			if errA != nil || errB != nil {
+				t.Fatalf("shared runs failed: %v / %v", errA, errB)
+			}
+			if !traceEqual(privA.Trace, sharedA.Trace) {
+				t.Fatalf("%s: session A trace differs between private and shared image", tr)
+			}
+			if !traceEqual(privB.Trace, sharedB.Trace) {
+				t.Fatalf("%s: session B trace differs between private and shared image", tr)
+			}
+			if sharedA.TotalSpikes != privA.TotalSpikes || sharedB.TotalSpikes != privB.TotalSpikes {
+				t.Fatalf("%s: spike totals differ under sharing", tr)
+			}
+		})
+	}
+}
+
+// TestCheckpointAcrossImageBoundary: a checkpoint taken from a
+// private-model run round-trips through the unchanged binary wire
+// format and resumes on a shared image (and vice versa), matching the
+// uninterrupted run bit-exactly.
+func TestCheckpointAcrossImageBoundary(t *testing.T) {
+	const half, full = 20, 40
+	m := randomModel(6, 77)
+	img, err := truenorth.NewImage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Ranks: 3, ThreadsPerRank: 2, Transport: TransportShmem, RecordTrace: true}
+
+	// Uninterrupted private-model reference.
+	ref, err := Run(m, cfg, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Private first half, checkpoint through the wire format...
+	cfgHalf := cfg
+	cfgHalf.ReturnState = true
+	first, err := Run(m, cfgHalf, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := coreobject.WriteCheckpoint(&buf, first.Final); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := coreobject.ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ...then resume the second half on the SHARED image.
+	cfgResume := cfg
+	cfgResume.StartFrom = cp
+	second, err := RunImage(img, cfgResume, full-half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := append(append([]truenorth.SpikeEvent{}, first.Trace...), second.Trace...)
+	truenorth.SortSpikeEvents(combined)
+	if !traceEqual(ref.Trace, combined) {
+		t.Fatal("private→shared checkpoint resume diverges from uninterrupted run")
+	}
+
+	// And the reverse direction: first half on the shared image,
+	// resumed on a freshly built private image.
+	firstShared, err := RunImage(img, cfgHalf, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgResume2 := cfg
+	cfgResume2.StartFrom = firstShared.Final
+	secondPriv, err := Run(m, cfgResume2, full-half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined2 := append(append([]truenorth.SpikeEvent{}, firstShared.Trace...), secondPriv.Trace...)
+	truenorth.SortSpikeEvents(combined2)
+	if !traceEqual(ref.Trace, combined2) {
+		t.Fatal("shared→private checkpoint resume diverges from uninterrupted run")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/cognitive-sim/compass/internal/truenorth"
+	"github.com/cognitive-sim/compass/internal/workpool"
 )
 
 // Run simulates ticks ticks of model m under cfg and returns aggregated
@@ -25,11 +26,31 @@ func Run(m *truenorth.Model, cfg Config, ticks int) (*RunStats, error) {
 // two-pass causal-error machinery that serves injected rank crashes);
 // partial state is discarded, so callers that need resumability should
 // checkpoint between bounded RunContext windows.
+//
+// RunContext freezes m into a private image and runs against it; callers
+// that run the same model repeatedly (or concurrently) should build the
+// image once with truenorth.NewImage and call RunImageContext, sharing
+// the immutable half across runs.
 func RunContext(ctx context.Context, m *truenorth.Model, cfg Config, ticks int) (*RunStats, error) {
-	if err := cfg.Validate(m); err != nil {
+	img, err := truenorth.NewImage(m)
+	if err != nil {
 		return nil, err
 	}
-	if err := m.Validate(); err != nil {
+	return RunImageContext(ctx, img, cfg, ticks)
+}
+
+// RunImage simulates ticks ticks against a prebuilt immutable image.
+// Only per-session runtime state is allocated; the image's
+// configurations and kernels are shared copy-on-write, so any number of
+// RunImage calls may execute concurrently against one image and each
+// produces output bit-identical to a run on a private model.
+func RunImage(img *truenorth.Image, cfg Config, ticks int) (*RunStats, error) {
+	return RunImageContext(context.Background(), img, cfg, ticks)
+}
+
+// RunImageContext is RunImage with cooperative cancellation.
+func RunImageContext(ctx context.Context, img *truenorth.Image, cfg Config, ticks int) (*RunStats, error) {
+	if err := cfg.ValidateImage(img); err != nil {
 		return nil, err
 	}
 	if ticks < 0 {
@@ -43,15 +64,15 @@ func RunContext(ctx context.Context, m *truenorth.Model, cfg Config, ticks int) 
 		return nil, err
 	}
 
-	placement := cfg.placement(len(m.Cores))
+	placement := cfg.placement(img.NumCores())
 	states := make([]*rankState, cfg.Ranks)
 	for r := range states {
-		states[r] = newRankState(r, m, cfg, placement, backend.RawSpikes())
+		states[r] = newRankState(r, img, cfg, placement, backend.RawSpikes())
 	}
 
 	start := uint64(0)
 	if cfg.StartFrom != nil {
-		if err := cfg.StartFrom.Validate(m); err != nil {
+		if err := img.ValidateCheckpoint(cfg.StartFrom); err != nil {
 			return nil, err
 		}
 		start = cfg.StartFrom.Tick
@@ -72,7 +93,7 @@ func RunContext(ctx context.Context, m *truenorth.Model, cfg Config, ticks int) 
 	if runErr != nil {
 		return nil, runErr
 	}
-	out := gather(m, cfg, ticks, states)
+	out := gather(img, cfg, ticks, states)
 	if cfg.MeasurePhases || cfg.Telemetry != nil {
 		for _, st := range states {
 			if st.synapseSec > out.PhaseSeconds.Synapse {
@@ -89,7 +110,7 @@ func RunContext(ctx context.Context, m *truenorth.Model, cfg Config, ticks int) 
 	if cfg.ReturnState {
 		cp := &truenorth.Checkpoint{
 			Tick:   start + uint64(ticks),
-			States: make([]truenorth.CoreState, len(m.Cores)),
+			States: make([]truenorth.CoreState, img.NumCores()),
 		}
 		for _, st := range states {
 			for _, core := range st.cores {
@@ -102,12 +123,12 @@ func RunContext(ctx context.Context, m *truenorth.Model, cfg Config, ticks int) 
 }
 
 // gather merges per-rank results into the run summary.
-func gather(m *truenorth.Model, cfg Config, ticks int, states []*rankState) *RunStats {
+func gather(img *truenorth.Image, cfg Config, ticks int, states []*rankState) *RunStats {
 	out := &RunStats{
 		Ticks:    ticks,
 		Ranks:    cfg.Ranks,
 		Threads:  cfg.ThreadsPerRank,
-		NumCores: len(m.Cores),
+		NumCores: img.NumCores(),
 	}
 	if cfg.RecordPerTick {
 		out.PerTick = make([]TickStats, ticks)
@@ -163,7 +184,7 @@ type rankState struct {
 
 	// pool is the persistent worker team behind Parallel; nil when the
 	// rank runs single-threaded.
-	pool *workerPool
+	pool *workpool.Pool
 
 	// cores owned by this rank, ascending ID; threadCores partitions them
 	// round-robin over threads. threadActive[tid] is rebuilt each tick
@@ -249,8 +270,10 @@ type rankState struct {
 	networkSec float64
 }
 
-// newRankState instantiates the cores placed on rank r.
-func newRankState(r int, m *truenorth.Model, cfg Config, placement []int, raw bool) *rankState {
+// newRankState instantiates this rank's runtime state against the shared
+// image: only cores placed on rank r get live (per-session) state; their
+// configurations and kernels are referenced from the image.
+func newRankState(r int, img *truenorth.Image, cfg Config, placement []int, raw bool) *rankState {
 	st := &rankState{
 		rank:         r,
 		cfg:          cfg,
@@ -260,27 +283,27 @@ func newRankState(r int, m *truenorth.Model, cfg Config, placement []int, raw bo
 		measure:      cfg.MeasurePhases || cfg.Telemetry != nil,
 		raw:          raw,
 		placement:    placement,
-		localCore:    make([]*truenorth.Core, len(m.Cores)),
+		localCore:    make([]*truenorth.Core, img.NumCores()),
 		inputsByTick: make(map[uint64][]truenorth.InputSpike),
 		peers:        make(map[int]bool),
 	}
-	for i, cfgCore := range m.Cores {
+	for i := 0; i < img.NumCores(); i++ {
 		if placement[i] != r {
 			continue
 		}
-		core := truenorth.NewCore(cfgCore, m.Seed)
+		core := img.NewCore(i)
 		if cfg.ForceScalar {
 			core.ForceScalar()
 		}
 		st.cores = append(st.cores, core)
-		st.localCore[cfgCore.ID] = core
+		st.localCore[core.ID()] = core
 	}
 	st.threadCores = make([][]*truenorth.Core, cfg.ThreadsPerRank)
 	for i, core := range st.cores {
 		tid := i % cfg.ThreadsPerRank
 		st.threadCores[tid] = append(st.threadCores[tid], core)
 	}
-	for _, in := range m.Inputs {
+	for _, in := range img.Inputs() {
 		if placement[in.Core] == r {
 			st.inputsByTick[in.Tick] = append(st.inputsByTick[in.Tick], in)
 		}
@@ -338,7 +361,7 @@ func (st *rankState) loop(ctx context.Context, start uint64, ticks int) error {
 	st.ticksRun = ticks
 	st.startTick = start
 	st.pool = newWorkerPool(st.rank, st.threads)
-	defer st.pool.stop()
+	defer st.pool.Stop()
 	// Flush on every exit path: a run failing mid-tick (an injected crash,
 	// a transport abort) must still publish the counters it accumulated,
 	// or post-mortem telemetry reads as if the rank never ran.

@@ -162,13 +162,17 @@ func TestBackendSelection(t *testing.T) {
 // family its transport needs.
 func TestOutboxModeAllocation(t *testing.T) {
 	m := randomModel(4, 3)
+	img, err := truenorth.NewImage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := Config{Ranks: 2, ThreadsPerRank: 1}
 	pl := cfg.placement(len(m.Cores))
-	enc := newRankState(0, m, cfg, pl, false)
+	enc := newRankState(0, img, cfg, pl, false)
 	if enc.out.Encoded == nil || enc.out.Targets != nil || enc.threadRemote == nil || enc.threadRemoteRaw != nil {
 		t.Fatal("encoded-mode rank state allocated raw buffers")
 	}
-	raw := newRankState(0, m, cfg, pl, true)
+	raw := newRankState(0, img, cfg, pl, true)
 	if raw.out.Targets == nil || raw.out.Encoded != nil || raw.threadRemoteRaw == nil || raw.threadRemote != nil {
 		t.Fatal("raw-mode rank state allocated encoded buffers")
 	}
@@ -178,9 +182,13 @@ func TestOutboxModeAllocation(t *testing.T) {
 // the owned cores and reject out-of-range or unowned targets.
 func TestDenseCoreIndex(t *testing.T) {
 	m := randomModel(6, 21)
+	img, err := truenorth.NewImage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := Config{Ranks: 3, ThreadsPerRank: 1}
 	pl := cfg.placement(len(m.Cores))
-	st := newRankState(1, m, cfg, pl, false)
+	st := newRankState(1, img, cfg, pl, false)
 	owned := 0
 	for id, core := range st.localCore {
 		if core == nil {

@@ -1,71 +1,20 @@
 package compass
 
 import (
-	"context"
-	"runtime/pprof"
 	"strconv"
-	"sync"
+
+	"github.com/cognitive-sim/compass/internal/workpool"
 )
 
-// workerPool is a persistent team of threads-1 goroutines that lives for
-// a whole run, replacing per-tick-per-phase goroutine spawning. Thread 0
-// runs on the caller (the rank goroutine), mirroring the paper's OpenMP
-// master thread; workers i = 1..threads-1 block on their own channel
-// between phases.
-type workerPool struct {
-	work []chan poolTask
-}
-
-// poolTask is one parallel phase dispatched to every worker.
-type poolTask struct {
-	fn func(tid int)
-	wg *sync.WaitGroup
-}
-
-// newWorkerPool starts the workers for rank with the given thread
-// count; it returns nil when one thread needs no pool. Every worker
-// goroutine carries pprof labels (compass_rank, compass_worker) so CPU
-// profiles of a run break down by rank and worker — the profiler-side
-// view of the telemetry layer's load-imbalance metrics.
-func newWorkerPool(rank, threads int) *workerPool {
-	if threads <= 1 {
-		return nil
-	}
+// newWorkerPool starts the persistent per-rank worker team (see
+// internal/workpool). Thread 0 runs on the caller (the rank goroutine),
+// mirroring the paper's OpenMP master thread. Every worker goroutine
+// carries pprof labels (compass_rank, compass_worker) so CPU profiles
+// of a run break down by rank and worker — the profiler-side view of
+// the telemetry layer's load-imbalance metrics.
+func newWorkerPool(rank, threads int) *workpool.Pool {
 	rankLabel := strconv.Itoa(rank)
-	p := &workerPool{work: make([]chan poolTask, threads-1)}
-	for i := range p.work {
-		ch := make(chan poolTask, 1)
-		p.work[i] = ch
-		go func(tid int) {
-			pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
-				pprof.Labels("compass_rank", rankLabel, "compass_worker", strconv.Itoa(tid))))
-			for task := range ch {
-				task.fn(tid)
-				task.wg.Done()
-			}
-		}(i + 1)
-	}
-	return p
-}
-
-// run executes fn(tid) for every tid concurrently: each worker gets one
-// dispatch, the caller runs tid 0, and run returns when all are done.
-func (p *workerPool) run(fn func(tid int)) {
-	var wg sync.WaitGroup
-	wg.Add(len(p.work))
-	for _, ch := range p.work {
-		ch <- poolTask{fn: fn, wg: &wg}
-	}
-	fn(0)
-	wg.Wait()
-}
-
-// stop terminates the workers; the pool must not be used afterwards.
-func (p *workerPool) stop() {
-	if p == nil {
-		return
-	}
-	for _, ch := range p.work {
-		close(ch)
-	}
+	return workpool.New(threads, func(tid int) []string {
+		return []string{"compass_rank", rankLabel, "compass_worker", strconv.Itoa(tid)}
+	})
 }

@@ -170,6 +170,7 @@ func All() []Experiment {
 		{"power", "TrueNorth hardware power estimation", Power},
 		{"c2", "Compass vs the C2 baseline simulator", C2Comparison},
 		{"kernel", "Bit-parallel Synapse kernel vs scalar reference", KernelComparison},
+		{"admit", "Model-cache admission: cold vs cached", AdmitComparison},
 	}
 }
 

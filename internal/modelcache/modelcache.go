@@ -1,0 +1,238 @@
+// Package modelcache is the content-addressed store for compiled model
+// images. The serving daemon consults it on every session create: a hit
+// returns a shared immutable truenorth.Image in microseconds instead of
+// re-running the Parallel Compass Compiler, and every session admitted
+// against the same key shares one image copy-on-write.
+//
+// Keys address the *source* of a model — hash(CoreObject spec | binary
+// model bytes, seed, ranks) — so two requests that would compile
+// identically map to one entry. Concurrent identical builds are
+// deduplicated by singleflight: the first caller compiles, every
+// concurrent caller for the same key blocks on that one compilation and
+// shares its result. Entries are evicted least-recently-used by
+// resident bytes; eviction only drops the cache's reference, so images
+// still held by running sessions stay alive until those sessions end.
+package modelcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"github.com/cognitive-sim/compass/internal/coreobject"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// Entry is one cached compilation: the immutable image plus the
+// compiler's region-aware placement.
+type Entry struct {
+	// Key is the content address the entry was stored under.
+	Key string
+	// Image is the shared immutable model image.
+	Image *truenorth.Image
+	// RankOf is the PCC's region-aware core placement (nil for models
+	// parsed from binary files, which carry no placement).
+	RankOf []int
+	// Ranks is the number of compiler ranks actually used.
+	Ranks int
+}
+
+// ResidentBytes returns the entry's resident size: the shared image
+// plus the placement slice.
+func (e *Entry) ResidentBytes() int64 {
+	n := e.Image.ImageBytes()
+	n += int64(len(e.RankOf)) * 8
+	return n
+}
+
+// Stats is a point-in-time cache counter snapshot.
+type Stats struct {
+	// Hits counts GetOrBuild calls served from a resident entry or by
+	// joining an in-flight build; Misses counts calls that ran a build.
+	Hits, Misses uint64
+	// Evictions counts entries dropped by the LRU byte budget.
+	Evictions uint64
+	// ResidentBytes and Entries describe the current resident set.
+	ResidentBytes int64
+	Entries       int
+}
+
+// Hooks observe cache events, for wiring into a metrics registry. All
+// callbacks may be nil and are invoked outside the cache lock.
+type Hooks struct {
+	Hit      func()
+	Miss     func()
+	Evict    func()
+	Resident func(bytes int64)
+}
+
+// flight is one in-progress build that concurrent callers join.
+type flight struct {
+	done chan struct{}
+	e    *Entry
+	err  error
+}
+
+// Cache is the store. All methods are safe for concurrent use.
+type Cache struct {
+	maxBytes int64
+	hooks    Hooks
+
+	mu       sync.Mutex
+	lru      *list.List // of *Entry; front = most recently used
+	byKey    map[string]*list.Element
+	inflight map[string]*flight
+	stats    Stats
+}
+
+// New builds a cache bounded to maxBytes resident bytes. maxBytes <= 0
+// means unbounded.
+func New(maxBytes int64) *Cache {
+	return &Cache{
+		maxBytes: maxBytes,
+		lru:      list.New(),
+		byKey:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// SetHooks attaches event observers; call before the cache is shared.
+func (c *Cache) SetHooks(h Hooks) { c.hooks = h }
+
+// GetOrBuild returns the entry for key, running build at most once per
+// key across all concurrent callers: the first caller for an absent key
+// builds (outside the cache lock); every caller that arrives while that
+// build is in flight blocks and shares its result. hit reports whether
+// this caller was served without running build. A failed build caches
+// nothing and returns the same error to every joined caller.
+func (c *Cache) GetOrBuild(key string, build func() (*Entry, error)) (e *Entry, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		e = el.Value.(*Entry)
+		c.mu.Unlock()
+		if c.hooks.Hit != nil {
+			c.hooks.Hit()
+		}
+		return e, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		c.mu.Lock()
+		c.stats.Hits++
+		c.mu.Unlock()
+		if c.hooks.Hit != nil {
+			c.hooks.Hit()
+		}
+		return f.e, true, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.stats.Misses++
+	c.mu.Unlock()
+	if c.hooks.Miss != nil {
+		c.hooks.Miss()
+	}
+
+	e, err = build()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	evicted := 0
+	if err == nil {
+		e.Key = key
+		f.e = e
+		// An entry alone larger than the whole budget is returned but not
+		// cached; inserting it would evict everything for one session.
+		if b := e.ResidentBytes(); c.maxBytes <= 0 || b <= c.maxBytes {
+			c.byKey[key] = c.lru.PushFront(e)
+			c.stats.ResidentBytes += b
+			evicted = c.evictLocked()
+		}
+	}
+	f.err = err
+	resident := c.stats.ResidentBytes
+	c.mu.Unlock()
+	close(f.done)
+	for i := 0; i < evicted; i++ {
+		if c.hooks.Evict != nil {
+			c.hooks.Evict()
+		}
+	}
+	if c.hooks.Resident != nil {
+		c.hooks.Resident(resident)
+	}
+	return e, false, err
+}
+
+// evictLocked drops least-recently-used entries until the resident set
+// fits the byte budget, returning the eviction count. Callers hold mu.
+func (c *Cache) evictLocked() int {
+	if c.maxBytes <= 0 {
+		return 0
+	}
+	n := 0
+	for c.stats.ResidentBytes > c.maxBytes && c.lru.Len() > 1 {
+		el := c.lru.Back()
+		e := el.Value.(*Entry)
+		c.lru.Remove(el)
+		delete(c.byKey, e.Key)
+		c.stats.ResidentBytes -= e.ResidentBytes()
+		c.stats.Evictions++
+		n++
+	}
+	return n
+}
+
+// Stats returns a counter snapshot.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.lru.Len()
+	return s
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// SpecKey content-addresses a compilation request: the canonical JSON
+// encoding of the CoreObject spec (which carries the model seed) plus
+// the requested rank count. Two byte-different spec documents that
+// re-marshal identically — whitespace, field order — share a key.
+func SpecKey(spec *coreobject.NetworkSpec, ranks int) (string, error) {
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return "", fmt.Errorf("modelcache: marshal spec: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte("compass-spec\x00"))
+	h.Write(raw)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(ranks))
+	h.Write(b[:])
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// ModelKey content-addresses a binary model document (the CMPM format
+// WriteModel produces). Placement is not part of the key: binary models
+// carry none.
+func ModelKey(modelBytes []byte) string {
+	h := sha256.New()
+	h.Write([]byte("compass-model\x00"))
+	h.Write(modelBytes)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,243 @@
+package modelcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/cognitive-sim/compass/internal/coreobject"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// testModel builds a tiny valid model whose content varies with tag.
+func testModel(t *testing.T, tag uint64) *truenorth.Model {
+	t.Helper()
+	cfg := &truenorth.CoreConfig{}
+	cfg.SetSynapse(0, 0, true)
+	cfg.Neurons[0] = truenorth.NeuronParams{
+		Weights:   [truenorth.NumAxonTypes]int16{1, 0, 0, 0},
+		Threshold: 1,
+		Target:    truenorth.SpikeTarget{Core: 0, Axon: 0, Delay: 1},
+		Enabled:   true,
+	}
+	return &truenorth.Model{Seed: tag, Cores: []*truenorth.CoreConfig{cfg}}
+}
+
+func testEntry(t *testing.T, tag uint64) *Entry {
+	t.Helper()
+	img, err := truenorth.NewImage(testModel(t, tag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Entry{Image: img, Ranks: 1}
+}
+
+// TestSingleflight: N concurrent GetOrBuild calls for one key run the
+// build exactly once and all receive the same entry. Run under -race
+// this also verifies the cache's locking.
+func TestSingleflight(t *testing.T) {
+	c := New(0)
+	const n = 32
+	var builds atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	entries := make([]*Entry, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, _, err := c.GetOrBuild("k", func() (*Entry, error) {
+				builds.Add(1)
+				<-release // hold the build open so every goroutine joins it
+				return testEntry(t, 1), nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			entries[i] = e
+		}(i)
+	}
+	// Wait until one build is in flight, then release it.
+	for c.Stats().Misses == 0 {
+	}
+	close(release)
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("build ran %d times, want 1", got)
+	}
+	for i := 1; i < n; i++ {
+		if entries[i] != entries[0] {
+			t.Fatalf("goroutine %d got a different entry", i)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != n-1 {
+		t.Fatalf("stats hits=%d misses=%d, want %d/1", st.Hits, st.Misses, n-1)
+	}
+}
+
+// TestBuildErrorNotCached: a failed build propagates to every joined
+// caller and leaves nothing resident, so the next call rebuilds.
+func TestBuildErrorNotCached(t *testing.T) {
+	c := New(0)
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrBuild("k", func() (*Entry, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed build left a resident entry")
+	}
+	e, hit, err := c.GetOrBuild("k", func() (*Entry, error) { return testEntry(t, 1), nil })
+	if err != nil || hit || e == nil {
+		t.Fatalf("rebuild after failure: e=%v hit=%v err=%v", e, hit, err)
+	}
+}
+
+// TestLRUEviction: inserting beyond the byte budget evicts the least
+// recently used entries, and a touched entry survives over a stale one.
+func TestLRUEviction(t *testing.T) {
+	one := testEntry(t, 1)
+	per := one.ResidentBytes()
+	c := New(2 * per) // room for two entries
+	get := func(key string, tag uint64) *Entry {
+		e, _, err := c.GetOrBuild(key, func() (*Entry, error) { return testEntry(t, tag), nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	get("a", 1)
+	get("b", 2)
+	get("a", 1) // touch a: b becomes LRU
+	get("c", 3) // evicts b
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("evictions=%d entries=%d, want 1/2", st.Evictions, st.Entries)
+	}
+	if st.ResidentBytes > 2*per {
+		t.Fatalf("resident %d bytes exceeds budget %d", st.ResidentBytes, 2*per)
+	}
+	if _, hit, _ := c.GetOrBuild("a", func() (*Entry, error) { return testEntry(t, 1), nil }); !hit {
+		t.Fatal("touched entry a was evicted")
+	}
+	if _, hit, _ := c.GetOrBuild("b", func() (*Entry, error) { return testEntry(t, 2), nil }); hit {
+		t.Fatal("stale entry b survived eviction")
+	}
+}
+
+// TestOversizedEntryNotCached: an entry larger than the whole budget is
+// returned to the caller but never admitted to the resident set.
+func TestOversizedEntryNotCached(t *testing.T) {
+	c := New(1) // 1 byte: nothing fits
+	e, hit, err := c.GetOrBuild("big", func() (*Entry, error) { return testEntry(t, 1), nil })
+	if err != nil || hit || e == nil {
+		t.Fatalf("oversized build: e=%v hit=%v err=%v", e, hit, err)
+	}
+	if c.Len() != 0 || c.Stats().ResidentBytes != 0 {
+		t.Fatal("oversized entry was admitted")
+	}
+}
+
+// TestHooks: hit/miss/evict/resident hooks fire for the matching events.
+func TestHooks(t *testing.T) {
+	one := testEntry(t, 1)
+	c := New(one.ResidentBytes())
+	var hits, misses, evicts atomic.Int64
+	var resident atomic.Int64
+	c.SetHooks(Hooks{
+		Hit:      func() { hits.Add(1) },
+		Miss:     func() { misses.Add(1) },
+		Evict:    func() { evicts.Add(1) },
+		Resident: func(b int64) { resident.Store(b) },
+	})
+	c.GetOrBuild("a", func() (*Entry, error) { return testEntry(t, 1), nil })
+	c.GetOrBuild("a", func() (*Entry, error) { return testEntry(t, 1), nil })
+	c.GetOrBuild("b", func() (*Entry, error) { return testEntry(t, 2), nil }) // evicts a
+	if hits.Load() != 1 || misses.Load() != 2 || evicts.Load() != 1 {
+		t.Fatalf("hooks hits=%d misses=%d evicts=%d, want 1/2/1", hits.Load(), misses.Load(), evicts.Load())
+	}
+	if resident.Load() != c.Stats().ResidentBytes {
+		t.Fatalf("resident hook %d, stats %d", resident.Load(), c.Stats().ResidentBytes)
+	}
+}
+
+// TestSpecKey: equal specs share a key; seed, shape, or ranks changes
+// produce distinct keys, and formatting does not enter the key.
+func TestSpecKey(t *testing.T) {
+	spec := func(seed uint64, cores int) *coreobject.NetworkSpec {
+		return &coreobject.NetworkSpec{
+			Seed: seed,
+			Regions: []coreobject.RegionSpec{{
+				Name:         "r",
+				Cores:        cores,
+				GrayFraction: 1,
+				Proto: coreobject.NeuronProto{
+					Weights:      [truenorth.NumAxonTypes]int16{1, 1, 1, 1},
+					ThresholdMin: 1, ThresholdMax: 1,
+					DelayMin: 1, DelayMax: 1,
+					SynapseDensity: 0.1,
+				},
+			}},
+		}
+	}
+	k1, err := SpecKey(spec(1, 4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := SpecKey(spec(1, 4), 2)
+	if k1 != k2 {
+		t.Fatal("equal specs got different keys")
+	}
+	for name, other := range map[string]string{
+		"seed":  mustKey(t, spec(2, 4), 2),
+		"cores": mustKey(t, spec(1, 8), 2),
+		"ranks": mustKey(t, spec(1, 4), 4),
+	} {
+		if other == k1 {
+			t.Fatalf("%s change did not change the key", name)
+		}
+	}
+}
+
+func mustKey(t *testing.T, spec *coreobject.NetworkSpec, ranks int) string {
+	t.Helper()
+	k, err := SpecKey(spec, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestModelKey: distinct bytes, distinct keys.
+func TestModelKey(t *testing.T) {
+	if ModelKey([]byte("a")) == ModelKey([]byte("b")) {
+		t.Fatal("distinct model bytes share a key")
+	}
+	if ModelKey([]byte("a")) != ModelKey([]byte("a")) {
+		t.Fatal("equal model bytes differ")
+	}
+}
+
+// TestDistinctKeysDistinctEntries: different keys never alias.
+func TestDistinctKeysDistinctEntries(t *testing.T) {
+	c := New(0)
+	var es []*Entry
+	for i := 0; i < 4; i++ {
+		e, _, err := c.GetOrBuild(fmt.Sprint(i), func() (*Entry, error) { return testEntry(t, uint64(i)), nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		es = append(es, e)
+	}
+	for i := 1; i < len(es); i++ {
+		if es[i] == es[0] {
+			t.Fatal("distinct keys aliased one entry")
+		}
+	}
+	if c.Len() != 4 {
+		t.Fatalf("resident entries %d, want 4", c.Len())
+	}
+}

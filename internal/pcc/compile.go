@@ -3,11 +3,13 @@ package pcc
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
 
 	"github.com/cognitive-sim/compass/internal/coreobject"
 	"github.com/cognitive-sim/compass/internal/mpi"
 	"github.com/cognitive-sim/compass/internal/prng"
 	"github.com/cognitive-sim/compass/internal/truenorth"
+	"github.com/cognitive-sim/compass/internal/workpool"
 )
 
 // compileSalt separates the compiler's random streams from the
@@ -28,6 +30,11 @@ const grantRecordBytes = 6
 type Result struct {
 	// Model is the fully instantiated network.
 	Model *truenorth.Model
+	// Image is the immutable frozen form of Model — validated, with
+	// Synapse kernels prebuilt — ready to be shared copy-on-write by any
+	// number of simulation sessions (see truenorth.Image). Model and
+	// Image alias the same core configurations.
+	Image *truenorth.Image
 	// RankOf is the region-aware core placement the compiler used; pass
 	// it to compass.Config to minimize white-matter messaging, as the
 	// paper's PCC does by instantiating cores on the compiling processes.
@@ -65,11 +72,16 @@ func Compile(spec *coreobject.NetworkSpec, ranks int) (*Result, error) {
 
 	model := &truenorth.Model{Seed: spec.Seed, Cores: cfgs}
 	model.Inputs = generateInputs(spec, p)
-	if err := model.Validate(); err != nil {
+	// NewImage validates the model and freezes it; emitting the image
+	// here means every downstream consumer (simulator, serving daemon,
+	// model cache) shares one prebuilt immutable copy.
+	img, err := truenorth.NewImage(model)
+	if err != nil {
 		return nil, fmt.Errorf("pcc: compiled model invalid: %w", err)
 	}
 	return &Result{
 		Model:             model,
+		Image:             img,
 		RankOf:            p.rankOf,
 		Ranks:             p.ranks,
 		RegionOfCore:      p.coreRegion,
@@ -108,7 +120,11 @@ func compileRank(c *mpi.Comm, p *plan, cfgs []*truenorth.CoreConfig) error {
 	// Step 1: instantiate core shells — axon types for reserved input
 	// axons, input crossbar rows, and per-neuron prototype parameters
 	// (threshold and delay drawn per neuron; targets assigned later).
-	for _, id := range myCores {
+	// Each core touches only its own config and its own compile stream,
+	// so this fans out across the worker pool; results are identical for
+	// any worker count.
+	workpool.ForEach(runtime.GOMAXPROCS(0), len(myCores), func(k int) {
+		id := myCores[k]
 		cfg := &truenorth.CoreConfig{ID: truenorth.CoreID(id)}
 		region := &p.spec.Regions[p.coreRegion[id]]
 		st := streams[id]
@@ -120,7 +136,7 @@ func compileRank(c *mpi.Comm, p *plan, cfgs []*truenorth.CoreConfig) error {
 			cfg.Neurons[j] = prototypeNeuron(&region.Proto, st)
 		}
 		cfgs[id] = cfg
-	}
+	})
 
 	// Step 2: exchange bundle counts (the aggregated per-process-pair
 	// negotiation of §IV). Every rank announces how many connections its
@@ -363,9 +379,13 @@ func (na *neuronAssigner) wire(coreID truenorth.CoreID, axon uint16) error {
 
 // generateInputs expands the spec's stimulus declarations into explicit
 // input spikes with a dedicated deterministic stream per declaration.
+// Declarations are independent (each owns a stream), so they expand in
+// parallel; concatenating the per-declaration slices in declaration
+// order keeps the output byte-identical to the serial expansion.
 func generateInputs(spec *coreobject.NetworkSpec, p *plan) []truenorth.InputSpike {
-	var out []truenorth.InputSpike
-	for idx, in := range spec.Inputs {
+	outs := make([][]truenorth.InputSpike, len(spec.Inputs))
+	workpool.ForEach(runtime.GOMAXPROCS(0), len(spec.Inputs), func(idx int) {
+		in := spec.Inputs[idx]
 		ri := spec.Region(in.Region)
 		base := p.firstCore[ri]
 		st := prng.New(prng.Mix64(spec.Seed^inputSalt) ^ prng.Mix64(uint64(idx)))
@@ -373,7 +393,7 @@ func generateInputs(spec *coreobject.NetworkSpec, p *plan) []truenorth.InputSpik
 			for c := 0; c < in.Cores; c++ {
 				for a := 0; a < in.Axons; a++ {
 					if st.Bernoulli(in.Rate) {
-						out = append(out, truenorth.InputSpike{
+						outs[idx] = append(outs[idx], truenorth.InputSpike{
 							Tick: t,
 							Core: truenorth.CoreID(base + c),
 							Axon: uint16(a),
@@ -382,6 +402,10 @@ func generateInputs(spec *coreobject.NetworkSpec, p *plan) []truenorth.InputSpik
 				}
 			}
 		}
+	})
+	var out []truenorth.InputSpike
+	for _, o := range outs {
+		out = append(out, o...)
 	}
 	return out
 }

@@ -30,6 +30,7 @@ package pcc
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 
 	"github.com/cognitive-sim/compass/internal/balance"
@@ -366,7 +367,9 @@ func (p *plan) balanceBundles() error {
 	for i := range marg {
 		marg[i] = subscription * float64(p.usableByRegion[i])
 	}
-	res, err := balance.IPFP(w, marg, marg, balance.Options{Tol: 1e-7, MaxIter: 20000})
+	res, err := balance.IPFP(w, marg, marg, balance.Options{
+		Tol: 1e-7, MaxIter: 20000, Workers: runtime.GOMAXPROCS(0),
+	})
 	if err != nil {
 		// Accept slow boundary convergence when the residual is already
 		// far below the integer-rounding granularity.

@@ -12,6 +12,7 @@ import (
 	"github.com/cognitive-sim/compass/internal/cocomac"
 	sim "github.com/cognitive-sim/compass/internal/compass"
 	"github.com/cognitive-sim/compass/internal/coreobject"
+	"github.com/cognitive-sim/compass/internal/modelcache"
 	"github.com/cognitive-sim/compass/internal/pcc"
 	"github.com/cognitive-sim/compass/internal/telemetry"
 	"github.com/cognitive-sim/compass/internal/truenorth"
@@ -56,15 +57,26 @@ type SourceSpec struct {
 	ModelBase64 string `json:"model_base64,omitempty"`
 }
 
-// buildModel materializes the request's model and, for compiled
-// sources, the region-aware placement the PCC produced.
-func buildModel(src SourceSpec, ranks int) (*truenorth.Model, []int, int, error) {
-	compile := func(spec *coreobject.NetworkSpec) (*truenorth.Model, []int, int, error) {
-		res, err := pcc.Compile(spec, ranks)
+// buildImage materializes the request's model image through the
+// manager's content-addressed cache: two requests that would compile
+// identically (same spec document and ranks, or same model bytes) share
+// one immutable image, and concurrent identical requests deduplicate to
+// a single compilation.
+func (srv *Server) buildImage(src SourceSpec, ranks int) (*modelcache.Entry, error) {
+	cache := srv.mgr.ModelCache()
+	compile := func(spec *coreobject.NetworkSpec) (*modelcache.Entry, error) {
+		key, err := modelcache.SpecKey(spec, ranks)
 		if err != nil {
-			return nil, nil, 0, fmt.Errorf("server: compile: %w", err)
+			return nil, err
 		}
-		return res.Model, res.RankOf, res.Ranks, nil
+		e, _, err := cache.GetOrBuild(key, func() (*modelcache.Entry, error) {
+			res, err := pcc.Compile(spec, ranks)
+			if err != nil {
+				return nil, fmt.Errorf("server: compile: %w", err)
+			}
+			return &modelcache.Entry{Image: res.Image, RankOf: res.RankOf, Ranks: res.Ranks}, nil
+		})
+		return e, err
 	}
 	switch src.Kind {
 	case "cocomac":
@@ -79,35 +91,44 @@ func buildModel(src SourceSpec, ranks int) (*truenorth.Model, []int, int, error)
 		net := cocomac.Generate(src.Seed)
 		spec, err := net.ToSpec(cores, inputTicks)
 		if err != nil {
-			return nil, nil, 0, fmt.Errorf("server: cocomac: %w", err)
+			return nil, fmt.Errorf("server: cocomac: %w", err)
 		}
 		return compile(spec)
 	case "spec":
 		if len(src.Spec) == 0 {
-			return nil, nil, 0, errors.New("server: source kind \"spec\" needs a spec document")
+			return nil, errors.New("server: source kind \"spec\" needs a spec document")
 		}
 		spec, err := coreobject.DecodeSpec(bytes.NewReader(src.Spec))
 		if err != nil {
-			return nil, nil, 0, fmt.Errorf("server: spec: %w", err)
+			return nil, fmt.Errorf("server: spec: %w", err)
 		}
 		return compile(spec)
 	case "model":
 		raw, err := base64.StdEncoding.DecodeString(src.ModelBase64)
 		if err != nil {
-			return nil, nil, 0, fmt.Errorf("server: model_base64: %w", err)
+			return nil, fmt.Errorf("server: model_base64: %w", err)
 		}
-		m, err := coreobject.ReadModel(bytes.NewReader(raw))
-		if err != nil {
-			return nil, nil, 0, fmt.Errorf("server: model: %w", err)
-		}
-		return m, nil, ranks, nil
+		// Binary models carry no placement and their key is independent
+		// of the requested ranks, so Ranks stays 0 ("no compiler info").
+		e, _, err := cache.GetOrBuild(modelcache.ModelKey(raw), func() (*modelcache.Entry, error) {
+			m, err := coreobject.ReadModel(bytes.NewReader(raw))
+			if err != nil {
+				return nil, fmt.Errorf("server: model: %w", err)
+			}
+			img, err := truenorth.NewImage(m)
+			if err != nil {
+				return nil, fmt.Errorf("server: model: %w", err)
+			}
+			return &modelcache.Entry{Image: img}, nil
+		})
+		return e, err
 	default:
-		return nil, nil, 0, fmt.Errorf("server: unknown source kind %q (want cocomac, spec, or model)", src.Kind)
+		return nil, fmt.Errorf("server: unknown source kind %q (want cocomac, spec, or model)", src.Kind)
 	}
 }
 
 // sessionFromRequest validates a create request into manager params.
-func sessionFromRequest(req *CreateRequest) (CreateParams, error) {
+func (srv *Server) sessionFromRequest(req *CreateRequest) (CreateParams, error) {
 	if req.Ticks == 0 {
 		return CreateParams{}, errors.New("server: ticks must be positive")
 	}
@@ -127,19 +148,20 @@ func sessionFromRequest(req *CreateRequest) (CreateParams, error) {
 			return CreateParams{}, err
 		}
 	}
-	model, rankOf, actualRanks, err := buildModel(req.Source, ranks)
+	e, err := srv.buildImage(req.Source, ranks)
 	if err != nil {
 		return CreateParams{}, err
 	}
-	if actualRanks > 0 && actualRanks < ranks {
-		ranks = actualRanks // the compiler dropped coreless trailing ranks
-	} else if ranks > len(model.Cores) {
-		ranks = len(model.Cores)
+	rankOf := e.RankOf
+	if e.Ranks > 0 && e.Ranks < ranks {
+		ranks = e.Ranks // the compiler dropped coreless trailing ranks
+	} else if ranks > e.Image.NumCores() {
+		ranks = e.Image.NumCores()
 		rankOf = nil
 	}
 	p := CreateParams{
 		Name:  req.Name,
-		Model: model,
+		Image: e.Image,
 		Cfg: sim.Config{
 			Ranks:          ranks,
 			ThreadsPerRank: threads,
@@ -199,7 +221,7 @@ func (srv *Server) handler() http.Handler {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("server: decode request: %w", err))
 			return
 		}
-		p, err := sessionFromRequest(&req)
+		p, err := srv.sessionFromRequest(&req)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	sim "github.com/cognitive-sim/compass/internal/compass"
+	"github.com/cognitive-sim/compass/internal/modelcache"
 	"github.com/cognitive-sim/compass/internal/perfmodel"
 	"github.com/cognitive-sim/compass/internal/telemetry"
 	"github.com/cognitive-sim/compass/internal/truenorth"
@@ -63,6 +64,16 @@ type ManagerOptions struct {
 	// SubscriberQueue is the per-subscriber egress ring capacity in
 	// records. Zero means 65536.
 	SubscriberQueue int
+	// ModelCacheBytes bounds the content-addressed model image cache.
+	// Zero means 2 GiB; negative means no resident cache (compilations
+	// are still singleflight-deduplicated while in flight).
+	ModelCacheBytes int64
+	// MemoryBudgetBytes bounds the resident bytes of all concurrently
+	// running sessions. Shared images are charged once per resident
+	// image, not once per session; per-session runtime state is charged
+	// per session. Sessions that could never fit are rejected; sessions
+	// that merely don't fit right now queue FIFO. Zero means unlimited.
+	MemoryBudgetBytes int64
 }
 
 func (o *ManagerOptions) withDefaults() ManagerOptions {
@@ -79,6 +90,14 @@ func (o *ManagerOptions) withDefaults() ManagerOptions {
 	if out.SubscriberQueue <= 0 {
 		out.SubscriberQueue = 65536
 	}
+	if out.ModelCacheBytes == 0 {
+		out.ModelCacheBytes = 2 << 30
+	}
+	if out.ModelCacheBytes < 0 {
+		// A 1-byte budget admits nothing resident but keeps the
+		// singleflight dedup of concurrent identical builds.
+		out.ModelCacheBytes = 1
+	}
 	return out
 }
 
@@ -86,8 +105,9 @@ func (o *ManagerOptions) withDefaults() ManagerOptions {
 // queueing, lookup, and the server-level metrics registry that /metrics
 // merges with each session's labeled registry.
 type Manager struct {
-	opts ManagerOptions
-	reg  *telemetry.Registry
+	opts  ManagerOptions
+	reg   *telemetry.Registry
+	cache *modelcache.Cache
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -96,6 +116,11 @@ type Manager struct {
 	used     float64
 	running  int
 	nextID   int
+	// images tracks every image held by at least one running session,
+	// by pointer identity: N sessions sharing one image charge its bytes
+	// once, while N private copies of the same model charge N times.
+	images  map[*truenorth.Image]*imageRef
+	memUsed int64
 
 	mCreated   telemetry.Counter
 	mRejected  telemetry.Counter
@@ -103,6 +128,13 @@ type Manager struct {
 	gRunning   telemetry.Gauge
 	gQueued    telemetry.Gauge
 	gUsed      telemetry.Gauge
+	gMemUsed   telemetry.Gauge
+}
+
+// imageRef counts the running sessions sharing one resident image.
+type imageRef struct {
+	refs  int
+	bytes int64
 }
 
 // NewManager builds a manager with the given admission options.
@@ -112,6 +144,7 @@ func NewManager(opts ManagerOptions) *Manager {
 		opts:     opts.withDefaults(),
 		reg:      reg,
 		sessions: make(map[string]*Session),
+		images:   make(map[*truenorth.Image]*imageRef),
 		mCreated: reg.Counter("compassd_sessions_created_total",
 			"sessions admitted (running or queued)"),
 		mRejected: reg.Counter("compassd_sessions_rejected_total",
@@ -124,18 +157,44 @@ func NewManager(opts ManagerOptions) *Manager {
 			"sessions waiting for capacity"),
 		gUsed: reg.Gauge("compassd_capacity_used_seconds_per_tick",
 			"modelled per-tick cost of all running sessions"),
+		gMemUsed: reg.Gauge("compassd_memory_used_bytes",
+			"resident bytes of all running sessions (shared images charged once)"),
 	}
+	m.cache = modelcache.New(m.opts.ModelCacheBytes)
+	cacheHits := reg.Counter("compassd_model_cache_hits",
+		"session creates served by a resident or in-flight model image")
+	cacheMisses := reg.Counter("compassd_model_cache_misses",
+		"session creates that compiled a model image")
+	cacheEvictions := reg.Counter("compassd_model_cache_evictions",
+		"model images evicted by the cache byte budget")
+	cacheResident := reg.Gauge("compassd_model_cache_resident_bytes",
+		"resident bytes of cached model images")
+	m.cache.SetHooks(modelcache.Hooks{
+		Hit:      func() { cacheHits.Inc(0) },
+		Miss:     func() { cacheMisses.Inc(0) },
+		Evict:    func() { cacheEvictions.Inc(0) },
+		Resident: func(b int64) { cacheResident.Set(0, float64(b)) },
+	})
 	return m
 }
 
 // Registry returns the server-level metrics registry.
 func (m *Manager) Registry() *telemetry.Registry { return m.reg }
 
+// ModelCache returns the manager's content-addressed image cache.
+func (m *Manager) ModelCache() *modelcache.Cache { return m.cache }
+
 // CreateParams describes one session to admit.
 type CreateParams struct {
 	// Name is an optional human label.
 	Name string
-	// Model is the instantiated network the session simulates.
+	// Image is the immutable model image the session simulates against.
+	// Sessions created with the same Image pointer (e.g. from a model
+	// cache hit) share it copy-on-write and are charged its bytes once.
+	// When nil, one is built privately from Model.
+	Image *truenorth.Image
+	// Model is the instantiated network the session simulates. Ignored
+	// when Image is set (the image carries the model).
 	Model *truenorth.Model
 	// Cfg is the decomposition (ranks, threads, transport, placement).
 	Cfg sim.Config
@@ -157,14 +216,30 @@ type CreateParams struct {
 // capacity allows, otherwise it queues FIFO. Create returns
 // ErrOverCapacity when the session could never run.
 func (m *Manager) Create(p CreateParams) (*Session, error) {
-	if err := p.Cfg.Validate(p.Model); err != nil {
+	img := p.Image
+	if img == nil {
+		if p.Model == nil {
+			return nil, errors.New("server: create needs an image or a model")
+		}
+		var err error
+		img, err = truenorth.NewImage(p.Model)
+		if err != nil {
+			return nil, fmt.Errorf("server: session model invalid: %w", err)
+		}
+	}
+	if err := p.Cfg.ValidateImage(img); err != nil {
 		return nil, err
 	}
-	cost := EstimateCostPerTick(len(p.Model.Cores), p.Cfg.Ranks, p.Cfg.ThreadsPerRank, p.Cfg.Transport)
+	cost := EstimateCostPerTick(img.NumCores(), p.Cfg.Ranks, p.Cfg.ThreadsPerRank, p.Cfg.Transport)
 	if cost > m.opts.CapacitySecondsPerTick {
 		m.mRejected.Inc(0)
 		return nil, fmt.Errorf("%w: %.3gs/tick modelled vs %.3gs/tick budget",
 			ErrOverCapacity, cost, m.opts.CapacitySecondsPerTick)
+	}
+	if b := m.opts.MemoryBudgetBytes; b > 0 && img.ImageBytes()+img.StateBytes() > b {
+		m.mRejected.Inc(0)
+		return nil, fmt.Errorf("%w: %d bytes resident vs %d bytes budget",
+			ErrOverCapacity, img.ImageBytes()+img.StateBytes(), b)
 	}
 
 	m.mu.Lock()
@@ -176,12 +251,12 @@ func (m *Manager) Create(p CreateParams) (*Session, error) {
 	if chunk <= 0 {
 		chunk = m.opts.ChunkTicks
 	}
-	s, err := newSession(id, p.Name, p.Model, p.Cfg, p.Ticks, chunk, cost, m.opts.SubscriberQueue, m.release)
+	s, err := newSession(id, p.Name, img, p.Cfg, p.Ticks, chunk, cost, m.opts.SubscriberQueue, m.release)
 	if err != nil {
 		return nil, err
 	}
 	if p.StartFrom != nil {
-		if err := p.StartFrom.Validate(p.Model); err != nil {
+		if err := img.ValidateCheckpoint(p.StartFrom); err != nil {
 			return nil, fmt.Errorf("server: start checkpoint: %w", err)
 		}
 		s.cp = p.StartFrom
@@ -200,7 +275,7 @@ func (m *Manager) Create(p CreateParams) (*Session, error) {
 	m.sessions[id] = s
 	m.order = append(m.order, id)
 	m.mCreated.Inc(0)
-	if m.running < m.opts.MaxRunning && m.used+cost <= m.opts.CapacitySecondsPerTick {
+	if m.canStartLocked(s) {
 		m.startLocked(s)
 	} else {
 		m.queue = append(m.queue, s)
@@ -210,15 +285,51 @@ func (m *Manager) Create(p CreateParams) (*Session, error) {
 	return s, nil
 }
 
-// startLocked charges capacity and launches the runner. Callers hold mu.
+// memNeedLocked prices a session's incremental memory: its private
+// runtime state always, plus its image's bytes only when no running
+// session already holds that image resident. Callers hold mu.
+func (m *Manager) memNeedLocked(s *Session) int64 {
+	need := s.img.StateBytes()
+	if _, resident := m.images[s.img]; !resident {
+		need += s.img.ImageBytes()
+	}
+	return need
+}
+
+// canStartLocked checks slot, compute, and memory admission. Callers
+// hold mu.
+func (m *Manager) canStartLocked(s *Session) bool {
+	if m.running >= m.opts.MaxRunning || m.used+s.cost > m.opts.CapacitySecondsPerTick {
+		return false
+	}
+	if b := m.opts.MemoryBudgetBytes; b > 0 && m.memUsed+m.memNeedLocked(s) > b {
+		return false
+	}
+	return true
+}
+
+// startLocked charges capacity and memory and launches the runner.
+// Image bytes are charged once per resident image — the second session
+// sharing an image only pays for its private runtime state. Callers
+// hold mu.
 func (m *Manager) startLocked(s *Session) {
 	m.used += s.cost
 	m.running++
+	ref := m.images[s.img]
+	if ref == nil {
+		ref = &imageRef{bytes: s.img.ImageBytes()}
+		m.images[s.img] = ref
+		m.memUsed += ref.bytes
+	}
+	ref.refs++
+	m.memUsed += s.img.StateBytes()
 	s.start()
 }
 
-// release returns a finished session's capacity and starts queued
-// sessions that now fit. It is the session runner's exit callback.
+// release returns a finished session's capacity and memory and starts
+// queued sessions that now fit. It is the session runner's exit
+// callback. The image charge is refunded only when the last session
+// sharing the image exits.
 func (m *Manager) release(s *Session) {
 	m.mu.Lock()
 	m.used -= s.cost
@@ -226,6 +337,17 @@ func (m *Manager) release(s *Session) {
 		m.used = 0
 	}
 	m.running--
+	m.memUsed -= s.img.StateBytes()
+	if ref := m.images[s.img]; ref != nil {
+		ref.refs--
+		if ref.refs <= 0 {
+			delete(m.images, s.img)
+			m.memUsed -= ref.bytes
+		}
+	}
+	if m.memUsed < 0 {
+		m.memUsed = 0
+	}
 	m.mCompleted.Inc(0)
 	m.promoteLocked()
 	m.refreshGaugesLocked()
@@ -240,7 +362,7 @@ func (m *Manager) promoteLocked() {
 		if s.State().Terminal() {
 			continue
 		}
-		if m.running < m.opts.MaxRunning && m.used+s.cost <= m.opts.CapacitySecondsPerTick {
+		if m.canStartLocked(s) {
 			m.startLocked(s)
 			continue
 		}
@@ -256,6 +378,14 @@ func (m *Manager) refreshGaugesLocked() {
 	m.gRunning.Set(0, float64(m.running))
 	m.gQueued.Set(0, float64(len(m.queue)))
 	m.gUsed.Set(0, m.used)
+	m.gMemUsed.Set(0, float64(m.memUsed))
+}
+
+// MemoryUsed returns the resident bytes charged to running sessions.
+func (m *Manager) MemoryUsed() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.memUsed
 }
 
 // Get looks a session up by id.

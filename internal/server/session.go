@@ -105,8 +105,9 @@ type Session struct {
 	ID   string
 	Name string
 
-	model      *truenorth.Model
-	cfg        sim.Config // base decomposition; per-chunk fields set by the runner
+	img        *truenorth.Image // immutable, possibly shared with other sessions
+	model      *truenorth.Model // view over the image's shared configuration
+	cfg        sim.Config       // base decomposition; per-chunk fields set by the runner
 	ticksTotal uint64
 	chunk      int
 	cost       float64 // modelled seconds per tick, from admission control
@@ -139,19 +140,18 @@ type Session struct {
 	created   time.Time
 }
 
-// newSession builds a session in StateQueued. The initial checkpoint is
-// snapshotted immediately so even a session drained before its first
-// chunk has a resumable (tick 0) state.
-func newSession(id, name string, m *truenorth.Model, cfg sim.Config, ticks uint64, chunk int, cost float64, subQueue int, onExit func(*Session)) (*Session, error) {
+// newSession builds a session in StateQueued against an immutable model
+// image (possibly shared with other sessions). The initial checkpoint
+// comes from the image directly — no simulator is instantiated — so
+// admission of a cached model costs milliseconds, and even a session
+// drained before its first chunk has a resumable (tick 0) state.
+func newSession(id, name string, img *truenorth.Image, cfg sim.Config, ticks uint64, chunk int, cost float64, subQueue int, onExit func(*Session)) (*Session, error) {
 	if chunk < 1 {
 		chunk = 1
 	}
-	ss, err := truenorth.NewSerialSim(m)
-	if err != nil {
-		return nil, fmt.Errorf("server: session model invalid: %w", err)
-	}
-	ticksIn := make([]uint64, len(m.Inputs))
-	for i, in := range m.Inputs {
+	inputs := img.Inputs()
+	ticksIn := make([]uint64, len(inputs))
+	for i, in := range inputs {
 		ticksIn[i] = in.Tick
 	}
 	sort.Slice(ticksIn, func(a, b int) bool { return ticksIn[a] < ticksIn[b] })
@@ -159,7 +159,8 @@ func newSession(id, name string, m *truenorth.Model, cfg sim.Config, ticks uint6
 	s := &Session{
 		ID:         id,
 		Name:       name,
-		model:      m,
+		img:        img,
+		model:      img.Model(),
 		cfg:        cfg,
 		ticksTotal: ticks,
 		chunk:      chunk,
@@ -173,7 +174,7 @@ func newSession(id, name string, m *truenorth.Model, cfg sim.Config, ticks uint6
 		done:       make(chan struct{}),
 		onExit:     onExit,
 		state:      StateQueued,
-		cp:         ss.Snapshot(),
+		cp:         img.InitialCheckpoint(),
 		created:    time.Now(),
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -241,7 +242,7 @@ func (s *Session) run() {
 		s.cond.Broadcast()
 		s.mu.Unlock()
 
-		stats, err := sim.RunContext(s.ctx, s.model, cfg, int(n))
+		stats, err := sim.RunImageContext(s.ctx, s.img, cfg, int(n))
 
 		s.mu.Lock()
 		if err != nil {
@@ -400,6 +401,9 @@ func (s *Session) State() State {
 // Model returns the session's model (shared, read-only once built).
 func (s *Session) Model() *truenorth.Model { return s.model }
 
+// Image returns the session's immutable model image.
+func (s *Session) Image() *truenorth.Image { return s.img }
+
 // Info is the session's JSON status document.
 type Info struct {
 	ID          string  `json:"id"`
@@ -412,6 +416,13 @@ type Info struct {
 	TicksTotal  uint64  `json:"ticks_total"`
 	TicksDone   uint64  `json:"ticks_done"`
 	CostPerTick float64 `json:"modelled_seconds_per_tick"`
+	// ModelHash is the content address of the session's immutable model
+	// image; sessions sharing an image report the same hash.
+	ModelHash string `json:"model_hash"`
+	// ImageBytes is the resident size of the (possibly shared) image;
+	// StateBytes is this session's private runtime state.
+	ImageBytes int64 `json:"image_bytes"`
+	StateBytes int64 `json:"state_bytes"`
 	Totals      Totals  `json:"totals"`
 	Injected    uint64  `json:"injected_spikes"`
 	Subscribers int     `json:"subscribers"`
@@ -431,10 +442,13 @@ func (s *Session) Info() Info {
 		Transport:   s.cfg.Transport.String(),
 		Ranks:       s.cfg.Ranks,
 		Threads:     s.cfg.ThreadsPerRank,
-		Cores:       len(s.model.Cores),
+		Cores:       s.img.NumCores(),
 		TicksTotal:  s.ticksTotal,
 		TicksDone:   s.ticksDone,
 		CostPerTick: s.cost,
+		ModelHash:   s.img.Hash(),
+		ImageBytes:  s.img.ImageBytes(),
+		StateBytes:  s.img.StateBytes(),
 		Totals:      s.totals,
 		Injected:    s.source.injected(),
 		Subscribers: s.sink.count(),

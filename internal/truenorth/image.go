@@ -1,0 +1,228 @@
+package truenorth
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sync"
+	"unsafe"
+
+	"github.com/cognitive-sim/compass/internal/prng"
+	"github.com/cognitive-sim/compass/internal/workpool"
+)
+
+// Image is the immutable, seed-addressed half of a model: everything the
+// Parallel Compass Compiler (or a binary model file) produces — crossbar
+// connectivity, axon types, neuron parameters, axon routing, external
+// stimuli — plus the derived read-only structures NewCore would otherwise
+// rebuild per instantiation (the bit-parallel Synapse kernels and the
+// passive-dynamics flags). An Image is referenced copy-on-write by any
+// number of concurrently running simulations: instantiating a session
+// allocates only the lightweight per-session runtime state (membrane
+// potentials, pending-axon delay rings, PRNG state — exactly what a
+// Checkpoint captures), while configurations and kernels are shared by
+// pointer and never written after NewImage returns.
+//
+// Sharing is bit-exact: a core instantiated from an image is
+// indistinguishable from one built by NewCore on a private model, because
+// kernel eligibility, kernel contents, and passive flags are pure
+// functions of the configuration, and all mutable state lives in the
+// per-session Core. Two sessions on one image therefore produce the same
+// traces as two sessions on private copies of the model.
+type Image struct {
+	seed   uint64
+	cores  []*CoreConfig
+	inputs []InputSpike
+
+	// kernels[i] is core i's prebuilt bit-parallel Synapse kernel (nil
+	// for scalar-path cores); passive[i] caches passiveConfig. Both are
+	// immutable after NewImage and shared by every instantiation.
+	kernels []*kernel
+	passive []bool
+
+	// hash is the lazily computed content address (see Hash).
+	hashOnce sync.Once
+	hash     string
+}
+
+// NewImage validates m and freezes it into an immutable image,
+// precomputing every core's Synapse kernel and passive flag in parallel.
+// The model's slices are retained, not copied: callers must not mutate m
+// after handing it to NewImage.
+func NewImage(m *Model) (*Image, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	img := &Image{
+		seed:    m.Seed,
+		cores:   m.Cores,
+		inputs:  m.Inputs,
+		kernels: make([]*kernel, len(m.Cores)),
+		passive: make([]bool, len(m.Cores)),
+	}
+	workpool.ForEach(runtime.GOMAXPROCS(0), len(m.Cores), func(i int) {
+		cfg := img.cores[i]
+		if KernelEligible(cfg) {
+			img.kernels[i] = buildKernel(cfg)
+		}
+		img.passive[i] = passiveConfig(cfg)
+	})
+	return img, nil
+}
+
+// Seed returns the model-wide PRNG seed.
+func (img *Image) Seed() uint64 { return img.seed }
+
+// NumCores returns the number of cores in the image.
+func (img *Image) NumCores() int { return len(img.cores) }
+
+// CoreConfig returns core i's configuration (shared, read-only).
+func (img *Image) CoreConfig(i int) *CoreConfig { return img.cores[i] }
+
+// Inputs returns the external stimuli (shared, read-only).
+func (img *Image) Inputs() []InputSpike { return img.inputs }
+
+// Model returns a Model view over the image's shared slices, for
+// serialization and other read-only consumers. The view must not be
+// mutated.
+func (img *Image) Model() *Model {
+	return &Model{Seed: img.seed, Cores: img.cores, Inputs: img.inputs}
+}
+
+// NewCore instantiates fresh runtime state for core i against the shared
+// image: the configuration and kernel are referenced, not rebuilt, so
+// instantiation costs only the mutable state. The result is bit-identical
+// to NewCore(img.CoreConfig(i), img.Seed()).
+func (img *Image) NewCore(i int) *Core {
+	cfg := img.cores[i]
+	return &Core{
+		cfg:     cfg,
+		rng:     prng.NewCoreStream(img.seed, uint64(cfg.ID)),
+		kern:    img.kernels[i],
+		passive: img.passive[i],
+	}
+}
+
+// InitialCheckpoint returns the tick-0 state of a fresh session on this
+// image — zero potentials, empty delay rings, and each core's PRNG at
+// the start of its (seed, coreID) stream — without instantiating cores.
+// It equals Snapshot of a just-built simulator.
+func (img *Image) InitialCheckpoint() *Checkpoint {
+	cp := &Checkpoint{States: make([]CoreState, len(img.cores))}
+	for i, cfg := range img.cores {
+		cp.States[i] = CoreState{
+			ID:  cfg.ID,
+			RNG: prng.NewCoreStream(img.seed, uint64(cfg.ID)).State(),
+		}
+	}
+	return cp
+}
+
+// ValidateCheckpoint checks cp's shape against the image; the wire
+// format itself (coreobject.ReadCheckpoint) is unchanged by the
+// image/state split.
+func (img *Image) ValidateCheckpoint(cp *Checkpoint) error {
+	return cp.validateCores(len(img.cores))
+}
+
+// ImageBytes returns the resident size of the shared immutable half:
+// core configurations, prebuilt kernels, and external stimuli. This is
+// the portion charged once per resident image under memory-aware
+// admission, no matter how many sessions share it.
+func (img *Image) ImageBytes() int64 {
+	total := int64(len(img.cores)) * int64(unsafe.Sizeof(CoreConfig{}))
+	for _, k := range img.kernels {
+		if k != nil {
+			total += int64(unsafe.Sizeof(kernel{})) + int64(len(k.neurons))*2
+		}
+	}
+	total += int64(len(img.inputs)) * int64(unsafe.Sizeof(InputSpike{}))
+	return total
+}
+
+// StateBytes returns the resident size of one session's private runtime
+// state on this image — the per-session, copy-on-write half (membrane
+// potentials, delay rings, PRNG, counters), charged per session.
+func (img *Image) StateBytes() int64 {
+	return int64(len(img.cores)) * int64(unsafe.Sizeof(Core{}))
+}
+
+// Hash returns the image's content address: a hex SHA-256 over a
+// canonical binary encoding of the seed, every core's configuration, and
+// the external stimuli. Two images with equal hashes are functionally
+// identical (same traces for the same run configuration). The digest is
+// computed once, lazily, and cached.
+func (img *Image) Hash() string {
+	img.hashOnce.Do(func() {
+		h := sha256.New()
+		var scratch [8]byte
+		put32 := func(v uint32) {
+			binary.LittleEndian.PutUint32(scratch[:4], v)
+			h.Write(scratch[:4])
+		}
+		put64 := func(v uint64) {
+			binary.LittleEndian.PutUint64(scratch[:], v)
+			h.Write(scratch[:])
+		}
+		h.Write([]byte("compass-image-v1\x00"))
+		put64(img.seed)
+		put64(uint64(len(img.cores)))
+		for _, cfg := range img.cores {
+			put32(uint32(cfg.ID))
+			h.Write(cfg.AxonTypes[:])
+			for a := range cfg.Crossbar {
+				for _, w := range cfg.Crossbar[a] {
+					put64(w)
+				}
+			}
+			for j := range cfg.Neurons {
+				p := &cfg.Neurons[j]
+				var rec [36]byte
+				for t := 0; t < NumAxonTypes; t++ {
+					binary.LittleEndian.PutUint16(rec[t*2:], uint16(p.Weights[t]))
+					if p.StochasticWeight[t] {
+						rec[8+t] = 1
+					}
+				}
+				binary.LittleEndian.PutUint16(rec[12:], uint16(p.Leak))
+				if p.StochasticLeak {
+					rec[14] = 1
+				}
+				if p.Enabled {
+					rec[15] = 1
+				}
+				binary.LittleEndian.PutUint32(rec[16:], uint32(p.Threshold))
+				binary.LittleEndian.PutUint32(rec[20:], uint32(p.Reset))
+				binary.LittleEndian.PutUint32(rec[24:], uint32(p.Floor))
+				binary.LittleEndian.PutUint32(rec[28:], uint32(p.Target.Core))
+				binary.LittleEndian.PutUint16(rec[32:], p.Target.Axon)
+				rec[34] = p.Target.Delay
+				h.Write(rec[:])
+			}
+		}
+		put64(uint64(len(img.inputs)))
+		for _, in := range img.inputs {
+			put64(in.Tick)
+			put32(uint32(in.Core))
+			put32(uint32(in.Axon))
+		}
+		img.hash = hex.EncodeToString(h.Sum(nil))
+	})
+	return img.hash
+}
+
+// validateCores checks ID/index agreement for a checkpoint against a
+// core count; Checkpoint.Validate and Image.ValidateCheckpoint share it.
+func (cp *Checkpoint) validateCores(numCores int) error {
+	if len(cp.States) != numCores {
+		return fmt.Errorf("truenorth: checkpoint has %d cores, model %d", len(cp.States), numCores)
+	}
+	for i, s := range cp.States {
+		if int(s.ID) != i {
+			return fmt.Errorf("truenorth: checkpoint state %d has ID %d", i, s.ID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+package truenorth
+
+import (
+	"testing"
+
+	"github.com/cognitive-sim/compass/internal/prng"
+)
+
+// imageTestModel builds a small model mixing kernel-eligible
+// deterministic cores, stochastic (scalar-path) cores, and passive
+// cores, with recurrent wiring and external drive.
+func imageTestModel(nCores int, seed uint64) *Model {
+	r := prng.New(seed)
+	m := &Model{Seed: seed}
+	for k := 0; k < nCores; k++ {
+		cfg := &CoreConfig{ID: CoreID(k)}
+		for a := 0; a < CoreSize; a++ {
+			cfg.AxonTypes[a] = uint8(r.Intn(NumAxonTypes))
+			for s := 0; s < 6; s++ {
+				cfg.SetSynapse(a, r.Intn(CoreSize), true)
+			}
+		}
+		for j := 0; j < CoreSize; j++ {
+			p := NeuronParams{
+				Weights:   [NumAxonTypes]int16{2, 1, 3, -1},
+				Leak:      -1,
+				Threshold: int32(3 + r.Intn(6)),
+				Reset:     0,
+				Floor:     -32,
+				Target: SpikeTarget{
+					Core:  CoreID(r.Intn(nCores)),
+					Axon:  uint16(r.Intn(CoreSize)),
+					Delay: uint8(1 + r.Intn(3)),
+				},
+				Enabled: true,
+			}
+			if k%3 == 1 {
+				// Stochastic cores exercise the scalar path and the PRNG
+				// draw-order contract through shared images.
+				p.StochasticWeight = [NumAxonTypes]bool{false, true, false, false}
+				p.StochasticLeak = true
+			}
+			if k%3 == 2 {
+				// Passive cores exercise the quiescence flags.
+				p.Leak = 0
+			}
+			cfg.Neurons[j] = p
+		}
+		m.Cores = append(m.Cores, cfg)
+	}
+	for tick := uint64(0); tick < 20; tick++ {
+		for a := 0; a < 48; a++ {
+			m.Inputs = append(m.Inputs, InputSpike{
+				Tick: tick,
+				Core: CoreID(int(tick) % nCores),
+				Axon: uint16(r.Intn(CoreSize)),
+			})
+		}
+	}
+	return m
+}
+
+// runSerial steps a serial sim n ticks and returns its final snapshot.
+func runSerial(t *testing.T, s *SerialSim, n int) *Checkpoint {
+	t.Helper()
+	if err := s.Run(n); err != nil {
+		t.Fatal(err)
+	}
+	return s.Snapshot()
+}
+
+// TestImageCoreEquivalence: a core instantiated from an image is
+// bit-identical in behaviour to one built privately by NewCore — same
+// kernel decision, same dynamics, same final state.
+func TestImageCoreEquivalence(t *testing.T) {
+	m := imageTestModel(6, 99)
+	img, err := NewImage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Cores {
+		private := NewCore(m.Cores[i], m.Seed)
+		shared := img.NewCore(i)
+		if private.KernelActive() != shared.KernelActive() {
+			t.Fatalf("core %d kernel decision differs: private=%v shared=%v",
+				i, private.KernelActive(), shared.KernelActive())
+		}
+		// Drive both with the same spikes for a few ticks.
+		for tick := uint64(0); tick < 8; tick++ {
+			private.InjectRaw(i%CoreSize, tick)
+			shared.InjectRaw(i%CoreSize, tick)
+			var a, b []Spike
+			private.Tick(tick, func(s Spike) { a = append(a, s) })
+			shared.Tick(tick, func(s Spike) { b = append(b, s) })
+			if len(a) != len(b) {
+				t.Fatalf("core %d tick %d fired %d vs %d", i, tick, len(a), len(b))
+			}
+			for k := range a {
+				if a[k] != b[k] {
+					t.Fatalf("core %d tick %d spike %d differs", i, tick, k)
+				}
+			}
+		}
+		sa, sb := private.State(), shared.State()
+		if sa != sb {
+			t.Fatalf("core %d final state differs between private and shared instantiation", i)
+		}
+	}
+}
+
+// TestImageSerialEquivalence: full serial runs on private cores vs
+// image-instantiated cores produce identical checkpoints.
+func TestImageSerialEquivalence(t *testing.T) {
+	m := imageTestModel(5, 7)
+	img, err := NewImage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewSerialSim(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCP := runSerial(t, ref, 25)
+
+	// Rebuild a serial sim whose cores come from the image.
+	sim2, err := NewSerialSim(img.Model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range img.cores {
+		sim2.cores[i] = img.NewCore(i)
+	}
+	cp2 := runSerial(t, sim2, 25)
+	if refCP.Tick != cp2.Tick {
+		t.Fatalf("ticks differ: %d vs %d", refCP.Tick, cp2.Tick)
+	}
+	for i := range refCP.States {
+		if refCP.States[i] != cp2.States[i] {
+			t.Fatalf("core %d state differs after shared-image run", i)
+		}
+	}
+}
+
+// TestInitialCheckpoint: the image's cheap tick-0 checkpoint equals the
+// snapshot of a freshly instantiated simulator.
+func TestInitialCheckpoint(t *testing.T) {
+	m := imageTestModel(4, 3)
+	img, err := NewImage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := NewSerialSim(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ss.Snapshot()
+	got := img.InitialCheckpoint()
+	if got.Tick != want.Tick || len(got.States) != len(want.States) {
+		t.Fatalf("shape differs: tick %d/%d, states %d/%d", got.Tick, want.Tick, len(got.States), len(want.States))
+	}
+	for i := range want.States {
+		if got.States[i] != want.States[i] {
+			t.Fatalf("core %d initial state differs", i)
+		}
+	}
+	if err := img.ValidateCheckpoint(got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestImageHash: the content address is stable, differs across content,
+// and ignores nothing that matters.
+func TestImageHash(t *testing.T) {
+	a1, err := NewImage(imageTestModel(3, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewImage(imageTestModel(3, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Hash() != a2.Hash() {
+		t.Fatal("identical models hash differently")
+	}
+	if a1.Hash() != a1.Hash() {
+		t.Fatal("hash is unstable across calls")
+	}
+	b, err := NewImage(imageTestModel(3, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Hash() == b.Hash() {
+		t.Fatal("different models share a hash")
+	}
+	if len(a1.Hash()) != 64 {
+		t.Fatalf("hash %q is not hex sha256", a1.Hash())
+	}
+}
+
+// TestImageBytes: the immutable half dominates the per-session half,
+// which is the whole point of sharing it.
+func TestImageBytes(t *testing.T) {
+	img, err := NewImage(imageTestModel(4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, sb := img.ImageBytes(), img.StateBytes()
+	if ib <= 0 || sb <= 0 {
+		t.Fatalf("byte accounting returned %d/%d", ib, sb)
+	}
+	if ib <= sb {
+		t.Fatalf("image bytes %d not larger than per-session state bytes %d", ib, sb)
+	}
+	// The config alone is ~16.5 KB/core; state is ~1.6 KB/core.
+	if perCore := sb / int64(img.NumCores()); perCore > 4096 {
+		t.Fatalf("per-session state is %d bytes/core; the split is not lightweight", perCore)
+	}
+}
+
+// TestValidateCheckpointMismatch: shape mismatches are rejected.
+func TestValidateCheckpointMismatch(t *testing.T) {
+	img, err := NewImage(imageTestModel(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.ValidateCheckpoint(&Checkpoint{States: make([]CoreState, 2)}); err == nil {
+		t.Fatal("short checkpoint accepted")
+	}
+	cp := img.InitialCheckpoint()
+	cp.States[1].ID = 7
+	if err := img.ValidateCheckpoint(cp); err == nil {
+		t.Fatal("misnumbered checkpoint accepted")
+	}
+}
+
+// TestNewImageInvalid: NewImage rejects what Model.Validate rejects.
+func TestNewImageInvalid(t *testing.T) {
+	m := imageTestModel(2, 1)
+	m.Cores[1].ID = 5
+	if _, err := NewImage(m); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}

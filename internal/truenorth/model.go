@@ -199,15 +199,7 @@ type Checkpoint struct {
 
 // Validate checks the checkpoint against a model.
 func (cp *Checkpoint) Validate(m *Model) error {
-	if len(cp.States) != len(m.Cores) {
-		return fmt.Errorf("truenorth: checkpoint has %d cores, model %d", len(cp.States), len(m.Cores))
-	}
-	for i, s := range cp.States {
-		if int(s.ID) != i {
-			return fmt.Errorf("truenorth: checkpoint state %d has ID %d", i, s.ID)
-		}
-	}
-	return nil
+	return cp.validateCores(len(m.Cores))
 }
 
 // Snapshot captures the simulation state at the current tick boundary.

@@ -1,0 +1,125 @@
+// Package workpool provides the shared worker-team primitives behind
+// Compass's parallel phases: a persistent Pool of goroutines dispatched
+// once per phase (the simulator's per-rank thread team, mirroring the
+// paper's OpenMP threads), and a bounded deterministic parallel-for
+// (ForEach) used by the compiler's per-core instantiation, the image
+// builder's kernel construction, and IPFP sweep scaling.
+//
+// Both primitives are deterministic by construction as long as the work
+// items are independent: every item runs exactly once with the same
+// inputs regardless of worker count, so any computation whose items do
+// not communicate produces bit-identical results serial or parallel.
+package workpool
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync"
+)
+
+// Pool is a persistent team of threads-1 goroutines that lives for a
+// whole run, replacing per-phase goroutine spawning. Thread 0 runs on
+// the caller; workers i = 1..threads-1 block on their own channel
+// between dispatches.
+type Pool struct {
+	work []chan task
+}
+
+// task is one parallel phase dispatched to every worker.
+type task struct {
+	fn func(tid int)
+	wg *sync.WaitGroup
+}
+
+// New starts the workers for a pool of the given thread count; it
+// returns nil when one thread needs no pool (every method is nil-safe).
+// label, when non-nil, returns pprof label key/value pairs for worker
+// tid, so CPU profiles of a run break down by owner and worker.
+func New(threads int, label func(tid int) []string) *Pool {
+	if threads <= 1 {
+		return nil
+	}
+	p := &Pool{work: make([]chan task, threads-1)}
+	for i := range p.work {
+		ch := make(chan task, 1)
+		p.work[i] = ch
+		go func(tid int) {
+			if label != nil {
+				pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+					pprof.Labels(label(tid)...)))
+			}
+			for t := range ch {
+				t.fn(tid)
+				t.wg.Done()
+			}
+		}(i + 1)
+	}
+	return p
+}
+
+// Run executes fn(tid) for every tid concurrently: each worker gets one
+// dispatch, the caller runs tid 0, and Run returns when all are done. A
+// nil pool runs fn(0) on the caller.
+func (p *Pool) Run(fn func(tid int)) {
+	if p == nil {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(p.work))
+	for _, ch := range p.work {
+		ch <- task{fn: fn, wg: &wg}
+	}
+	fn(0)
+	wg.Wait()
+}
+
+// Stop terminates the workers; the pool must not be used afterwards.
+func (p *Pool) Stop() {
+	if p == nil {
+		return
+	}
+	for _, ch := range p.work {
+		close(ch)
+	}
+}
+
+// ForEach runs fn(i) for every i in [0, n) across up to workers
+// goroutines, partitioning the index space into contiguous blocks, and
+// returns when every call is done. workers <= 1 (or n <= 1) runs on the
+// caller. fn must treat items as independent; under that contract the
+// results are identical for every worker count.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

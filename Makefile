@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check bench bench-transport bench-kernel bench-admit telemetry-smoke chaos-smoke race-transport serve-smoke
+.PHONY: build test race vet check bench bench-transport bench-kernel bench-admit bench-batch telemetry-smoke chaos-smoke race-transport serve-smoke
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,13 @@ bench-kernel:
 # image path must produce bit-identical traces on all three transports.
 bench-admit:
 	BENCH_ADMIT_OUT=BENCH_admit.json $(GO) test -run TestAdmitBenchArtifact -count=1 -v .
+
+# Regenerate BENCH_batch.json, the multi-session serving record: the
+# batched engine must stay >= 2x aggregate ticks/s over independent
+# loops at 8 resident sessions of one model, with every lane's trace and
+# final checkpoint bit-identical to a solo run.
+bench-batch:
+	BENCH_BATCH_OUT=BENCH_batch.json $(GO) test -run TestBatchBenchArtifact -count=1 -v .
 
 # End-to-end telemetry smoke: run a small CoCoMac model with every
 # export sink enabled, then validate the Prometheus exposition, the JSON

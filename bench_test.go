@@ -14,7 +14,9 @@ import (
 	"encoding/json"
 	"math"
 	"os"
+	"reflect"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -547,4 +549,150 @@ func BenchmarkCompileCoCoMac(b *testing.B) {
 		}
 	}
 	b.ReportMetric(308*float64(b.N)/b.Elapsed().Seconds(), "cores-compiled/s")
+}
+
+// TestBatchBenchArtifact measures multi-session serving throughput:
+// K sessions of one shared image advanced by the batched engine (one
+// tick loop, session lanes iterated inside the per-core kernel sweep)
+// versus the same K sessions running independent concurrent tick loops.
+// The workload is the serving-consolidation regime the engine exists
+// for — many small sparse-activity sessions of one model, each using
+// the daemon's standard rank/thread decomposition — where per-tick
+// fixed costs (rank barriers, exchange, worker dispatch) rival per-lane
+// compute and batching pays them once per sweep instead of once per
+// session. When the BENCH_BATCH_OUT environment variable names a file
+// (the Makefile's bench-batch target sets it), the numbers are recorded
+// as JSON so the repository tracks the multi-session throughput
+// trajectory. It always asserts the engine's two contracts: at least
+// 2x aggregate ticks/s at 8 resident sessions, and every lane's trace
+// and final checkpoint bit-identical to a solo run of the same image.
+func TestBatchBenchArtifact(t *testing.T) {
+	out := os.Getenv("BENCH_BATCH_OUT")
+	if out == "" {
+		// A wall-clock assertion is only meaningful on a quiet machine;
+		// under `go test ./...` the packages race each other for cores.
+		t.Skip("set BENCH_BATCH_OUT (or run `make bench-batch`) to measure")
+	}
+	model, err := experiments.SyntheticModel(4, 2, 0.8, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := compass.NewImage(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := compass.Config{Ranks: 4, ThreadsPerRank: 4, Transport: compass.TransportShmem}
+	const (
+		ticks      = 1000
+		reps       = 3
+		minSpeedup = 2.0
+	)
+	type point struct {
+		Sessions             int     `json:"sessions"`
+		IndependentSeconds   float64 `json:"independent_best_seconds"`
+		BatchedSeconds       float64 `json:"batched_best_seconds"`
+		IndependentTicksPerS float64 `json:"independent_agg_ticks_per_second"`
+		BatchedTicksPerS     float64 `json:"batched_agg_ticks_per_second"`
+		Speedup              float64 `json:"speedup"`
+	}
+	var points []point
+	for _, k := range []int{1, 2, 4, 8} {
+		indep, batched := math.Inf(1), math.Inf(1)
+		for rep := 0; rep < reps; rep++ {
+			// Independent baseline: K concurrent solo loops, the way the
+			// daemon runs same-model sessions with batching disabled.
+			t0 := time.Now()
+			var wg sync.WaitGroup
+			errs := make([]error, k)
+			for i := 0; i < k; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					_, errs[i] = compass.RunImage(img, cfg, ticks)
+				}(i)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if sec := time.Since(t0).Seconds(); sec < indep {
+				indep = sec
+			}
+			t0 = time.Now()
+			if _, err := compass.RunBatch(img, cfg, ticks, make([]compass.BatchLane, k)); err != nil {
+				t.Fatal(err)
+			}
+			if sec := time.Since(t0).Seconds(); sec < batched {
+				batched = sec
+			}
+		}
+		points = append(points, point{
+			Sessions:             k,
+			IndependentSeconds:   indep,
+			BatchedSeconds:       batched,
+			IndependentTicksPerS: float64(k*ticks) / indep,
+			BatchedTicksPerS:     float64(k*ticks) / batched,
+			Speedup:              indep / batched,
+		})
+		t.Logf("%d sessions:  independent %9.1f ticks/s  batched %9.1f ticks/s  speedup %.2fx",
+			k, points[len(points)-1].IndependentTicksPerS,
+			points[len(points)-1].BatchedTicksPerS, points[len(points)-1].Speedup)
+	}
+
+	// Determinism spot-check at full occupancy: all 8 lanes' traces and
+	// final checkpoints must equal an uninterrupted solo run.
+	tcfg := cfg
+	tcfg.RecordTrace = true
+	tcfg.ReturnState = true
+	const traceTicks = 100
+	solo, err := compass.RunImage(img, tcfg, traceTicks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := compass.RunBatch(img, tcfg, traceTicks, make([]compass.BatchLane, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceEqual := true
+	for i, lane := range res.Lanes {
+		if !reflect.DeepEqual(lane.Trace, solo.Trace) {
+			traceEqual = false
+			t.Errorf("lane %d: batched trace differs from solo (%d vs %d events)",
+				i, len(lane.Trace), len(solo.Trace))
+		}
+		if !reflect.DeepEqual(lane.Final, solo.Final) {
+			traceEqual = false
+			t.Errorf("lane %d: batched final checkpoint differs from solo", i)
+		}
+	}
+
+	speedup8 := points[len(points)-1].Speedup
+	if speedup8 < minSpeedup {
+		t.Errorf("batched speedup %.2fx at 8 sessions below %.1fx floor", speedup8, minSpeedup)
+	}
+	doc := struct {
+		Workload   string  `json:"workload"`
+		Ranks      int     `json:"ranks"`
+		Threads    int     `json:"threads"`
+		Ticks      int     `json:"ticks"`
+		Speedup8   float64 `json:"speedup_8_sessions"`
+		TraceEqual bool    `json:"trace_equal_8_lanes"`
+		Points     []point `json:"points"`
+	}{
+		Workload: "experiments.SyntheticModel(4, 2, 0.8, 2, 7): 8 cores, 80% local synapses, ~2 Hz sparse activity",
+		Ranks:    cfg.Ranks, Threads: cfg.ThreadsPerRank, Ticks: ticks,
+		Speedup8:   speedup8,
+		TraceEqual: traceEqual,
+		Points:     points,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (speedup %.2fx at 8 sessions)", out, speedup8)
 }

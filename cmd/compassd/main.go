@@ -49,6 +49,8 @@ func main() {
 		memB      = flag.Int64("memory-budget-bytes", 0, "resident-byte admission budget across running sessions; shared images charged once (0 = unlimited)")
 		addrFile  = flag.String("addr-file", "", "write the bound control and stream addresses to this file (for scripts using :0)")
 		drainWait = flag.Duration("drain-timeout", 30*time.Second, "HTTP connection drain bound during shutdown")
+		batch     = flag.Bool("batch", true, "advance same-model same-decomposition sessions under one shared batched tick loop")
+		workers   = flag.Int("max-extra-workers", 0, "daemon-wide budget of extra worker goroutines shared by compiles, image builds, and session rank teams (0 = GOMAXPROCS, negative = unlimited)")
 	)
 	flag.Parse()
 
@@ -63,6 +65,8 @@ func main() {
 			SubscriberQueue:        *queueCap,
 			ModelCacheBytes:        *cacheB,
 			MemoryBudgetBytes:      *memB,
+			DisableBatch:           !*batch,
+			MaxExtraWorkers:        *workers,
 		},
 	})
 	if err := srv.Start(); err != nil {

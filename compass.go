@@ -131,6 +131,12 @@ type (
 	// OutputSink observes fired spikes live, per rank and per tick (see
 	// Config.OutputSink).
 	OutputSink = sim.OutputSink
+	// BatchLane is one session's per-lane wiring in a batched run: its
+	// start checkpoint, live input source, output sink, and telemetry.
+	BatchLane = sim.BatchLane
+	// BatchResult is the outcome of a batched run: one RunStats per lane
+	// plus the mean wall-clock per shared sweep.
+	BatchResult = sim.BatchResult
 )
 
 // NewTelemetry builds a telemetry bundle sharded for a run with the
@@ -241,6 +247,22 @@ func RunImage(img *Image, cfg Config, ticks int) (*RunStats, error) {
 // RunImageContext is RunImage with cooperative cancellation.
 func RunImageContext(ctx context.Context, img *Image, cfg Config, ticks int) (*RunStats, error) {
 	return sim.RunImageContext(ctx, img, cfg, ticks)
+}
+
+// RunBatch advances several sessions of one image together: a single
+// tick loop sweeps every core once per tick with the session lanes
+// iterated innermost, so each core's crossbar is loaded once per tick
+// no matter how many sessions are resident. Every lane's trace, stats,
+// and final checkpoint are bit-identical to a solo RunImage of that
+// lane. Lanes may start from different checkpoints (ticks run relative
+// to each lane's own start tick).
+func RunBatch(img *Image, cfg Config, ticks int, lanes []BatchLane) (*BatchResult, error) {
+	return sim.RunBatch(img, cfg, ticks, lanes)
+}
+
+// RunBatchContext is RunBatch with cooperative cancellation.
+func RunBatchContext(ctx context.Context, img *Image, cfg Config, ticks int, lanes []BatchLane) (*BatchResult, error) {
+	return sim.RunBatchContext(ctx, img, cfg, ticks, lanes)
 }
 
 // Compiler and description types.

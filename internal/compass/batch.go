@@ -1,0 +1,752 @@
+package compass
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"runtime/pprof"
+	"strconv"
+	"time"
+
+	"github.com/cognitive-sim/compass/internal/truenorth"
+	"github.com/cognitive-sim/compass/internal/workpool"
+)
+
+// This file is the batched multi-session execution engine: many
+// sessions of ONE immutable image advance under a single tick loop. The
+// kernel sweep iterates cores in the outer loop and session lanes in an
+// inner struct-of-arrays pass (truenorth.CoreLanes lays each core's
+// per-lane potentials, delay rings, and PRNG streams out contiguously),
+// so the image's crossbar planes and delay bitmasks are loaded once per
+// core per tick instead of once per session, and the whole group pays
+// one Network-phase exchange per tick instead of one per session.
+//
+// The determinism contract is absolute: every lane's spike trace and
+// checkpoint is byte-identical to the same session run solo under the
+// same decomposition, for any batch membership and any join/leave
+// schedule. The contract holds structurally: each lane owns private
+// per-core state and a private per-core PRNG stream; the within-lane
+// event order per core per tick is produced by the exact same Core
+// methods the solo path calls; and spikes are routed to their lane by a
+// Lane tag that rides the spike record's formerly-reserved byte, so
+// every transport (MPI, PGAS, shmem) carries batched traffic unchanged.
+//
+// Lanes may sit at different absolute ticks (a session that joins
+// mid-run resumes from its checkpoint): sweep k advances lane s through
+// its own tick laneStart[s]+k, while the transports see the shared
+// monotone sweep index. Sessions join and leave only at run boundaries
+// — a batch group runs a bounded window, members collect their per-lane
+// results, and the next window is formed from whoever is waiting.
+
+// BatchLane describes one session lane of a batched run. The shared
+// Config carries everything decomposition-wide (ranks, threads,
+// transport, placement); the lane carries everything session-specific.
+type BatchLane struct {
+	// StartFrom resumes this lane from a checkpoint; nil starts at tick
+	// 0. Lanes may start at different ticks.
+	StartFrom *truenorth.Checkpoint
+	// InputSource optionally streams external spikes into this lane,
+	// polled once per sweep at the lane's own tick.
+	InputSource InputSource
+	// OutputSink optionally observes this lane's fired spikes live, per
+	// rank and per lane-tick, exactly as in a solo run.
+	OutputSink OutputSink
+	// Telemetry optionally attributes this lane's counters to a
+	// session-labeled bundle (built for at least Ranks shards). Phase
+	// wall-clock is a group-level quantity and is not attributed per
+	// lane; see BatchResult.SweepSeconds.
+	Telemetry *Telemetry
+}
+
+// BatchResult is the outcome of one batched run window.
+type BatchResult struct {
+	// Lanes holds one RunStats per lane, index-aligned with the input:
+	// traces, checkpoints, and every counter attributed per lane, with
+	// the same meaning as a solo run of that session.
+	Lanes []*RunStats
+	// SweepSeconds is the mean wall-clock per sweep (one tick of every
+	// lane), measured around the whole window.
+	SweepSeconds float64
+}
+
+// RunBatch advances every lane ticks ticks under one shared tick loop.
+// See RunBatchContext.
+func RunBatch(img *truenorth.Image, cfg Config, ticks int, lanes []BatchLane) (*BatchResult, error) {
+	return RunBatchContext(context.Background(), img, cfg, ticks, lanes)
+}
+
+// RunBatchContext is the batched analogue of RunImageContext: it
+// advances every lane exactly ticks ticks (lane s from its own
+// StartFrom tick) with one kernel sweep and one transport exchange per
+// tick for the whole group. Per-session fields of Config (StartFrom,
+// InputSource, OutputSink, Telemetry) must be nil — they move to the
+// lanes; fault injection and the per-tick/phase recorders are solo-run
+// instruments and are rejected. Config.RecordTrace and
+// Config.ReturnState apply to every lane.
+func RunBatchContext(ctx context.Context, img *truenorth.Image, cfg Config, ticks int, lanes []BatchLane) (*BatchResult, error) {
+	if err := cfg.ValidateImage(img); err != nil {
+		return nil, err
+	}
+	if ticks < 0 {
+		return nil, fmt.Errorf("compass: negative tick count %d", ticks)
+	}
+	if len(lanes) < 1 || len(lanes) > truenorth.MaxLanes {
+		return nil, fmt.Errorf("compass: %d batch lanes outside [1,%d]", len(lanes), truenorth.MaxLanes)
+	}
+	switch {
+	case cfg.StartFrom != nil:
+		return nil, fmt.Errorf("compass: batched runs take StartFrom per lane, not in Config")
+	case cfg.InputSource != nil || cfg.OutputSink != nil || cfg.Telemetry != nil:
+		return nil, fmt.Errorf("compass: batched runs take InputSource, OutputSink, and Telemetry per lane, not in Config")
+	case cfg.Faults != nil:
+		return nil, fmt.Errorf("compass: fault injection is not supported in batched execution")
+	case cfg.RecordPerTick || cfg.MeasurePhases:
+		return nil, fmt.Errorf("compass: per-tick and per-phase recording are solo-run instruments; use BatchResult.SweepSeconds")
+	}
+	for s, lane := range lanes {
+		if lane.StartFrom != nil {
+			if err := img.ValidateCheckpoint(lane.StartFrom); err != nil {
+				return nil, fmt.Errorf("compass: lane %d: %w", s, err)
+			}
+		}
+		if lane.Telemetry != nil && lane.Telemetry.Registry().Shards() < cfg.Ranks {
+			return nil, fmt.Errorf("compass: lane %d telemetry built for %d shards, run has %d ranks",
+				s, lane.Telemetry.Registry().Shards(), cfg.Ranks)
+		}
+	}
+
+	backend, err := newBackend(cfg.Transport, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	placement := cfg.placement(img.NumCores())
+	ranks := make([]*batchRank, cfg.Ranks)
+	for r := range ranks {
+		br, err := newBatchRank(r, img, cfg, lanes, placement, backend.RawSpikes())
+		if err != nil {
+			return nil, err
+		}
+		ranks[r] = br
+	}
+	// Restore per-lane checkpoints across every rank's core groups.
+	for s, lane := range lanes {
+		if lane.StartFrom == nil {
+			continue
+		}
+		for _, br := range ranks {
+			for _, cl := range br.cores {
+				if err := cl.Lane(s).SetState(lane.StartFrom.States[cl.ID()]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	t0 := time.Now()
+	runErr := backend.Run(cfg.Ranks, func(rank int, ep Endpoint) error {
+		br := ranks[rank]
+		br.ep = ep
+		return br.loop(ctx, ticks)
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	out := gatherBatch(img, cfg, ticks, ranks)
+	if ticks > 0 {
+		out.SweepSeconds = time.Since(t0).Seconds() / float64(ticks)
+	}
+	return out, nil
+}
+
+// batchRank is one rank's state of a batched run: the lane-dimensioned
+// analogue of rankState, implementing the same Delivery surface so
+// every transport backend drives it unchanged.
+type batchRank struct {
+	rank    int
+	ranks   int
+	threads int
+	nLanes  int
+	cfg     Config
+	lanes   []BatchLane
+
+	// laneStart[s] is lane s's absolute start tick; sweep k advances
+	// lane s through tick laneStart[s]+k.
+	laneStart []uint64
+
+	ep  Endpoint
+	raw bool
+
+	pool *workpool.Pool
+
+	// cores are the rank's owned core groups (all lanes of each core,
+	// contiguous), ascending ID; threadCores partitions them round-robin
+	// exactly like the solo path partitions cores.
+	cores       []*truenorth.CoreLanes
+	threadCores [][]*truenorth.CoreLanes
+
+	// localCore resolves spike targets owned by this rank, dense by
+	// CoreID (nil entries for cores on other ranks).
+	localCore []*truenorth.CoreLanes
+
+	placement []int
+
+	// inputsByTick[s] is lane s's private model-input schedule (each
+	// lane consumes its own ticks).
+	inputsByTick []map[uint64][]truenorth.InputSpike
+
+	// Outbox accumulation, identical shapes to the solo path; spike
+	// targets carry their lane in SpikeTarget.Lane.
+	threadRemote    [][][]byte
+	threadRemoteRaw [][][]truenorth.SpikeTarget
+	out             Outbox
+	threadLocal     [][]truenorth.SpikeTarget
+
+	// threadDestLanes[tid][dest] is the current tick's bitmask of lanes
+	// that sent at least one remote spike to dest — the per-lane message
+	// attribution: a lane is charged one message per (tick, dest) pair
+	// it contributed to, which is exactly the solo session's message
+	// count for the same spikes and placement.
+	threadDestLanes [][]uint64
+
+	// per-tick per-thread per-lane spike counters, folded into the
+	// cumulative lane counters at the end of each sweep.
+	threadLaneLocal  [][]uint64
+	threadLaneRemote [][]uint64
+
+	// traces[s][tid] and threadSink[s][tid] accumulate lane s's spike
+	// events; events record the neuron's own target (lane 0), so traces
+	// are byte-identical to solo runs.
+	traces     [][][]truenorth.SpikeEvent
+	threadSink [][][]truenorth.SpikeEvent
+	sinkBatch  []truenorth.SpikeEvent
+
+	// cumulative per-thread per-lane compute counters.
+	threadQuiescent  [][]uint64
+	threadSynSkips   [][]uint64
+	threadKernelHits [][]uint64
+	threadScalarHits [][]uint64
+
+	// cumulative per-lane traffic totals.
+	laneLocal  []uint64
+	laneRemote []uint64
+	laneMsgs   []uint64
+	lanePeers  [][]bool
+
+	// per-lane input hygiene: stale model inputs purged at start (lanes
+	// resuming mid-schedule) and streamed spikes addressing cores
+	// outside the model (counted once, on rank 0, as in solo runs).
+	laneStale       []uint64
+	laneStreamDrops []uint64
+
+	ticksRun int
+}
+
+// newBatchRank instantiates rank r's batched state: every owned core
+// gets one contiguous CoreLanes group with nLanes session lanes.
+func newBatchRank(r int, img *truenorth.Image, cfg Config, lanes []BatchLane, placement []int, raw bool) (*batchRank, error) {
+	nLanes := len(lanes)
+	br := &batchRank{
+		rank:      r,
+		ranks:     cfg.Ranks,
+		threads:   cfg.ThreadsPerRank,
+		nLanes:    nLanes,
+		cfg:       cfg,
+		lanes:     lanes,
+		laneStart: make([]uint64, nLanes),
+		raw:       raw,
+		placement: placement,
+		localCore: make([]*truenorth.CoreLanes, img.NumCores()),
+	}
+	for s, lane := range lanes {
+		if lane.StartFrom != nil {
+			br.laneStart[s] = lane.StartFrom.Tick
+		}
+	}
+	for i := 0; i < img.NumCores(); i++ {
+		if placement[i] != r {
+			continue
+		}
+		cl, err := img.NewCoreLanes(i, nLanes)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.ForceScalar {
+			cl.ForceScalar()
+		}
+		br.cores = append(br.cores, cl)
+		br.localCore[cl.ID()] = cl
+	}
+	br.threadCores = make([][]*truenorth.CoreLanes, cfg.ThreadsPerRank)
+	for i, cl := range br.cores {
+		tid := i % cfg.ThreadsPerRank
+		br.threadCores[tid] = append(br.threadCores[tid], cl)
+	}
+	br.inputsByTick = make([]map[uint64][]truenorth.InputSpike, nLanes)
+	for s := range br.inputsByTick {
+		br.inputsByTick[s] = make(map[uint64][]truenorth.InputSpike)
+		for _, in := range img.Inputs() {
+			if placement[in.Core] == r {
+				br.inputsByTick[s][in.Tick] = append(br.inputsByTick[s][in.Tick], in)
+			}
+		}
+	}
+	if raw {
+		br.threadRemoteRaw = make([][][]truenorth.SpikeTarget, cfg.ThreadsPerRank)
+		for tid := range br.threadRemoteRaw {
+			br.threadRemoteRaw[tid] = make([][]truenorth.SpikeTarget, cfg.Ranks)
+		}
+		br.out.Targets = make([][]truenorth.SpikeTarget, cfg.Ranks)
+	} else {
+		br.threadRemote = make([][][]byte, cfg.ThreadsPerRank)
+		for tid := range br.threadRemote {
+			br.threadRemote[tid] = make([][]byte, cfg.Ranks)
+		}
+		br.out.Encoded = make([][]byte, cfg.Ranks)
+	}
+	br.out.Counts = make([]int64, cfg.Ranks)
+	br.threadLocal = make([][]truenorth.SpikeTarget, cfg.ThreadsPerRank)
+	br.threadDestLanes = make([][]uint64, cfg.ThreadsPerRank)
+	br.threadLaneLocal = make([][]uint64, cfg.ThreadsPerRank)
+	br.threadLaneRemote = make([][]uint64, cfg.ThreadsPerRank)
+	br.threadQuiescent = make([][]uint64, cfg.ThreadsPerRank)
+	br.threadSynSkips = make([][]uint64, cfg.ThreadsPerRank)
+	br.threadKernelHits = make([][]uint64, cfg.ThreadsPerRank)
+	br.threadScalarHits = make([][]uint64, cfg.ThreadsPerRank)
+	for tid := 0; tid < cfg.ThreadsPerRank; tid++ {
+		br.threadDestLanes[tid] = make([]uint64, cfg.Ranks)
+		br.threadLaneLocal[tid] = make([]uint64, nLanes)
+		br.threadLaneRemote[tid] = make([]uint64, nLanes)
+		br.threadQuiescent[tid] = make([]uint64, nLanes)
+		br.threadSynSkips[tid] = make([]uint64, nLanes)
+		br.threadKernelHits[tid] = make([]uint64, nLanes)
+		br.threadScalarHits[tid] = make([]uint64, nLanes)
+	}
+	if cfg.RecordTrace {
+		br.traces = make([][][]truenorth.SpikeEvent, nLanes)
+		for s := range br.traces {
+			br.traces[s] = make([][]truenorth.SpikeEvent, cfg.ThreadsPerRank)
+		}
+	}
+	for _, lane := range lanes {
+		if lane.OutputSink != nil {
+			br.threadSink = make([][][]truenorth.SpikeEvent, nLanes)
+			for s := range br.threadSink {
+				br.threadSink[s] = make([][]truenorth.SpikeEvent, cfg.ThreadsPerRank)
+			}
+			break
+		}
+	}
+	br.laneLocal = make([]uint64, nLanes)
+	br.laneRemote = make([]uint64, nLanes)
+	br.laneMsgs = make([]uint64, nLanes)
+	br.lanePeers = make([][]bool, nLanes)
+	for s := range br.lanePeers {
+		br.lanePeers[s] = make([]bool, cfg.Ranks)
+	}
+	br.laneStale = make([]uint64, nLanes)
+	br.laneStreamDrops = make([]uint64, nLanes)
+	return br, nil
+}
+
+// loop runs the rank's batched main loop for ticks sweeps.
+func (br *batchRank) loop(ctx context.Context, ticks int) error {
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("compass_rank", strconv.Itoa(br.rank), "compass_worker", "0")))
+	br.ticksRun = ticks
+	pool, release := newWorkerPool(br.rank, br.threads, br.cfg.Workers)
+	br.pool = pool
+	defer release()
+	defer br.pool.Stop()
+	defer br.flushTelemetry()
+	br.purgeStaleInputs()
+	done := ctx.Done()
+	for k := 0; k < ticks; k++ {
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
+		if err := br.sweep(uint64(k)); err != nil {
+			return fmt.Errorf("compass: rank %d batch sweep %d: %w", br.rank, k, err)
+		}
+	}
+	return nil
+}
+
+// purgeStaleInputs drops, per lane, model inputs scheduled strictly
+// before the lane's start tick — the batched analogue of the solo
+// path's resume hygiene, counted identically into DroppedInputs.
+func (br *batchRank) purgeStaleInputs() {
+	for s := range br.inputsByTick {
+		start := br.laneStart[s]
+		if start == 0 {
+			continue
+		}
+		for tick, ins := range br.inputsByTick[s] {
+			if tick < start {
+				br.laneStale[s] += uint64(len(ins))
+				delete(br.inputsByTick[s], tick)
+			}
+		}
+	}
+}
+
+// sweep executes sweep k: every lane's tick laneStart[lane]+k — inputs,
+// then the core-outer/lane-inner compute pass, then one shared Network
+// phase for the whole group.
+func (br *batchRank) sweep(k uint64) error {
+	// Inputs, per lane at the lane's own tick: model-scheduled first,
+	// then the lane's streamed source, mirroring the solo tick exactly.
+	for s := 0; s < br.nLanes; s++ {
+		lt := br.laneStart[s] + k
+		for _, in := range br.inputsByTick[s][lt] {
+			br.localCore[in.Core].Lane(s).InjectRaw(int(in.Axon), lt)
+		}
+		delete(br.inputsByTick[s], lt)
+		if src := br.lanes[s].InputSource; src != nil {
+			for _, in := range src.SpikesFor(lt) {
+				if int(in.Core) >= len(br.localCore) {
+					if br.rank == 0 {
+						br.laneStreamDrops[s]++
+					}
+					continue
+				}
+				if cl := br.localCore[in.Core]; cl != nil {
+					cl.Lane(s).InjectRaw(int(in.Axon), lt)
+				}
+			}
+		}
+	}
+
+	// Compute phase: cores outer, lanes inner. Each thread walks its
+	// core groups once; within a group the lanes' potentials, rings, and
+	// PRNG streams are contiguous, so the shared crossbar planes and
+	// kernel stay hot across all sessions of the core. Per-lane
+	// quiescence and Synapse-skip decisions are identical to solo runs
+	// (they depend only on the lane's own state and the shared config).
+	counting := false
+	for _, lane := range br.lanes {
+		if lane.Telemetry != nil {
+			counting = true
+			break
+		}
+	}
+	br.pool.Run(func(tid int) {
+		for _, cl := range br.threadCores[tid] {
+			for s := 0; s < br.nLanes; s++ {
+				core := cl.Lane(s)
+				lt := br.laneStart[s] + k
+				if core.QuiescentAt(lt) {
+					br.threadQuiescent[tid][s]++
+					continue
+				}
+				if core.HasPendingSpikes(lt) {
+					core.SynapsePhase(lt)
+					if counting {
+						if core.KernelActive() {
+							br.threadKernelHits[tid][s]++
+						} else {
+							br.threadScalarHits[tid][s]++
+						}
+					}
+				} else {
+					br.threadSynSkips[tid][s]++
+				}
+				lane := uint8(s)
+				core.NeuronPhase(func(sp truenorth.Spike) {
+					// Trace and sink events record the neuron's own
+					// target (Lane 0) so recorded output is
+					// byte-identical to a solo run; only the routed copy
+					// carries the lane tag.
+					if br.traces != nil {
+						br.traces[s][tid] = append(br.traces[s][tid],
+							truenorth.SpikeEvent{FireTick: lt, Target: sp.Target})
+					}
+					if br.threadSink != nil && br.lanes[s].OutputSink != nil {
+						br.threadSink[s][tid] = append(br.threadSink[s][tid],
+							truenorth.SpikeEvent{FireTick: lt, Target: sp.Target})
+					}
+					tgt := sp.Target
+					tgt.Lane = lane
+					dest := br.placement[tgt.Core]
+					switch {
+					case dest == br.rank:
+						br.threadLocal[tid] = append(br.threadLocal[tid], tgt)
+						br.threadLaneLocal[tid][s]++
+					case br.raw:
+						br.threadRemoteRaw[tid][dest] = append(br.threadRemoteRaw[tid][dest], tgt)
+						br.threadDestLanes[tid][dest] |= 1 << lane
+						br.threadLaneRemote[tid][s]++
+					default:
+						br.threadRemote[tid][dest] = appendSpike(br.threadRemote[tid][dest], tgt)
+						br.threadDestLanes[tid][dest] |= 1 << lane
+						br.threadLaneRemote[tid][s]++
+					}
+				})
+			}
+		}
+	})
+
+	// Live egress, per lane: merge the lane's per-thread events in tid
+	// order (the same order a solo rank emits) and hand them to the
+	// lane's sink at the lane's own tick.
+	if br.threadSink != nil {
+		for s := 0; s < br.nLanes; s++ {
+			sink := br.lanes[s].OutputSink
+			if sink == nil {
+				continue
+			}
+			batch := br.sinkBatch[:0]
+			for tid := range br.threadSink[s] {
+				batch = append(batch, br.threadSink[s][tid]...)
+				br.threadSink[s][tid] = br.threadSink[s][tid][:0]
+			}
+			br.sinkBatch = batch
+			if len(batch) > 0 {
+				sink.Emit(br.rank, br.laneStart[s]+k, batch)
+			}
+		}
+	}
+
+	// Thread-aggregate remote buffers into one message per destination
+	// for the WHOLE group — the amortization the batch exists for — and
+	// attribute messages per lane from the destination lane masks.
+	for dest := 0; dest < br.ranks; dest++ {
+		br.out.Counts[dest] = 0
+		var n int
+		if br.raw {
+			buf := br.out.Targets[dest][:0]
+			for tid := 0; tid < br.threads; tid++ {
+				buf = append(buf, br.threadRemoteRaw[tid][dest]...)
+				br.threadRemoteRaw[tid][dest] = br.threadRemoteRaw[tid][dest][:0]
+			}
+			br.out.Targets[dest] = buf
+			n = len(buf)
+		} else {
+			buf := br.out.Encoded[dest][:0]
+			for tid := 0; tid < br.threads; tid++ {
+				buf = append(buf, br.threadRemote[tid][dest]...)
+				br.threadRemote[tid][dest] = br.threadRemote[tid][dest][:0]
+			}
+			br.out.Encoded[dest] = buf
+			n = len(buf) / spikeRecordBytes
+		}
+		var mask uint64
+		for tid := 0; tid < br.threads; tid++ {
+			mask |= br.threadDestLanes[tid][dest]
+			br.threadDestLanes[tid][dest] = 0
+		}
+		if n > 0 {
+			br.out.Counts[dest] = 1
+			for m := mask; m != 0; m &= m - 1 {
+				s := bits.TrailingZeros64(m)
+				br.laneMsgs[s]++
+				br.lanePeers[s][dest] = true
+			}
+		}
+	}
+	for tid := 0; tid < br.threads; tid++ {
+		for s := 0; s < br.nLanes; s++ {
+			br.laneLocal[s] += br.threadLaneLocal[tid][s]
+			br.laneRemote[s] += br.threadLaneRemote[tid][s]
+			br.threadLaneLocal[tid][s] = 0
+			br.threadLaneRemote[tid][s] = 0
+		}
+	}
+
+	// One Network phase for every lane: the transports exchange the
+	// group's aggregated spikes keyed by the shared sweep index; lane
+	// resolution happens at delivery.
+	if err := br.ep.Exchange(k, &br.out, br); err != nil {
+		return err
+	}
+	for tid := range br.threadLocal {
+		br.threadLocal[tid] = br.threadLocal[tid][:0]
+	}
+	return nil
+}
+
+// flushTelemetry publishes every lane's cumulative counters to its
+// session-labeled bundle, once, at end of run — the lane attribution
+// that keeps /metrics per-session while the group shares one loop.
+func (br *batchRank) flushTelemetry() {
+	var kernelCores, scalarCores int
+	for _, cl := range br.cores {
+		if cl.Lane(0).KernelActive() {
+			kernelCores++
+		} else {
+			scalarCores++
+		}
+	}
+	for s, lane := range br.lanes {
+		tel := lane.Telemetry
+		if tel == nil {
+			continue
+		}
+		tel.setCorePaths(br.rank, kernelCores, scalarCores)
+		var kh, sh, sk, q uint64
+		for tid := 0; tid < br.threads; tid++ {
+			kh += br.threadKernelHits[tid][s]
+			sh += br.threadScalarHits[tid][s]
+			sk += br.threadSynSkips[tid][s]
+			q += br.threadQuiescent[tid][s]
+		}
+		dropped := br.laneStale[s] + br.laneStreamDrops[s]
+		var firings uint64
+		for _, cl := range br.cores {
+			_, _, f := cl.Lane(s).Stats()
+			firings += f
+			dropped += cl.Lane(s).DroppedInjects()
+		}
+		tel.computeCounts(br.rank, kh, sh, sk, q, dropped)
+		tel.tickCounts(br.rank, br.laneMsgs[s], br.laneRemote[s]*truenorth.SpikeWireBytes,
+			br.laneLocal[s], br.laneRemote[s], firings)
+	}
+}
+
+// Threads returns the rank's worker thread count (Delivery surface).
+func (br *batchRank) Threads() int { return br.threads }
+
+// Parallel runs fn on every thread ID concurrently and waits.
+func (br *batchRank) Parallel(fn func(tid int)) { br.pool.Run(fn) }
+
+// DeliverLocal delivers the local spike buffers of source threads whose
+// index ≡ part (mod parts), resolving each spike to its lane.
+func (br *batchRank) DeliverLocal(t uint64, part, parts int) error {
+	for tid := part; tid < br.threads; tid += parts {
+		for _, target := range br.threadLocal[tid] {
+			if err := br.deliverLane(t, target); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DeliverEncoded delivers every spike in a wire-encoded payload.
+func (br *batchRank) DeliverEncoded(t uint64, data []byte) error {
+	return decodeSpikes(data, func(target truenorth.SpikeTarget) error {
+		return br.deliverLane(t, target)
+	})
+}
+
+// DeliverTargets delivers a raw spike list.
+func (br *batchRank) DeliverTargets(t uint64, targets []truenorth.SpikeTarget) error {
+	for _, target := range targets {
+		if err := br.deliverLane(t, target); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliverLane schedules one spike on its lane's core at the lane's own
+// tick: the transports carry the shared sweep index t, and the lane tag
+// inside the record selects which session's delay ring receives the
+// spike.
+func (br *batchRank) deliverLane(t uint64, target truenorth.SpikeTarget) error {
+	if int(target.Core) >= len(br.localCore) {
+		return fmt.Errorf("compass: received spike for core %d outside model of %d cores", target.Core, len(br.localCore))
+	}
+	cl := br.localCore[target.Core]
+	if cl == nil {
+		return fmt.Errorf("compass: received spike for core %d not owned by rank %d", target.Core, br.rank)
+	}
+	if int(target.Lane) >= br.nLanes {
+		return fmt.Errorf("compass: received spike for lane %d of a %d-lane batch", target.Lane, br.nLanes)
+	}
+	lt := br.laneStart[target.Lane] + t
+	return cl.Lane(int(target.Lane)).ScheduleSpikeShared(int(target.Axon), lt+uint64(target.Delay), lt)
+}
+
+// laneRankStats summarizes one lane on this rank after the run, with
+// field-for-field solo semantics.
+func (br *batchRank) laneRankStats(s int) RankStats {
+	rs := RankStats{
+		Rank:         br.rank,
+		CoresOwned:   len(br.cores),
+		LocalSpikes:  br.laneLocal[s],
+		RemoteSpikes: br.laneRemote[s],
+		MessagesSent: br.laneMsgs[s],
+	}
+	for _, p := range br.lanePeers[s] {
+		if p {
+			rs.PeerRanks++
+		}
+	}
+	rs.DroppedInputs = br.laneStale[s] + br.laneStreamDrops[s]
+	enabled := uint64(0)
+	for _, cl := range br.cores {
+		core := cl.Lane(s)
+		a, syn, f := core.Stats()
+		rs.AxonEvents += a
+		rs.SynapticEvents += syn
+		rs.Firings += f
+		rs.DroppedInputs += core.DroppedInjects()
+		cfg := cl.Config()
+		for j := range cfg.Neurons {
+			if cfg.Neurons[j].Enabled {
+				enabled++
+			}
+		}
+	}
+	for tid := 0; tid < br.threads; tid++ {
+		rs.QuiescentCoreTicks += br.threadQuiescent[tid][s]
+		rs.SynapseSkips += br.threadSynSkips[tid][s]
+	}
+	rs.NeuronUpdates = enabled * uint64(br.ticksRun)
+	return rs
+}
+
+// gatherBatch merges per-rank results into one RunStats per lane.
+func gatherBatch(img *truenorth.Image, cfg Config, ticks int, ranks []*batchRank) *BatchResult {
+	nLanes := ranks[0].nLanes
+	res := &BatchResult{Lanes: make([]*RunStats, nLanes)}
+	for s := 0; s < nLanes; s++ {
+		out := &RunStats{
+			Ticks:    ticks,
+			Ranks:    cfg.Ranks,
+			Threads:  cfg.ThreadsPerRank,
+			NumCores: img.NumCores(),
+		}
+		for _, br := range ranks {
+			rs := br.laneRankStats(s)
+			out.PerRank = append(out.PerRank, rs)
+			out.TotalSpikes += rs.Firings
+			out.LocalSpikes += rs.LocalSpikes
+			out.RemoteSpikes += rs.RemoteSpikes
+			out.Messages += rs.MessagesSent
+			out.AxonEvents += rs.AxonEvents
+			out.SynapticEvents += rs.SynapticEvents
+			out.NeuronUpdates += rs.NeuronUpdates
+			out.QuiescentCoreTicks += rs.QuiescentCoreTicks
+			out.SynapseSkips += rs.SynapseSkips
+			out.DroppedInputs += rs.DroppedInputs
+			if cfg.RecordTrace {
+				for _, tr := range br.traces[s] {
+					out.Trace = append(out.Trace, tr...)
+				}
+			}
+		}
+		out.WireBytes = out.RemoteSpikes * truenorth.SpikeWireBytes
+		if cfg.RecordTrace {
+			truenorth.SortSpikeEvents(out.Trace)
+		}
+		if cfg.ReturnState {
+			cp := &truenorth.Checkpoint{
+				Tick:   ranks[0].laneStart[s] + uint64(ticks),
+				States: make([]truenorth.CoreState, img.NumCores()),
+			}
+			for _, br := range ranks {
+				for _, cl := range br.cores {
+					cp.States[cl.ID()] = cl.Lane(s).State()
+				}
+			}
+			out.Final = cp
+		}
+		res.Lanes[s] = out
+	}
+	return res
+}

@@ -1,0 +1,234 @@
+package compass
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/cognitive-sim/compass/internal/telemetry"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+	"github.com/cognitive-sim/compass/internal/workpool"
+)
+
+// streamStub is a deterministic InputSource: a pure function of the
+// tick, so every rank observes identical batches and a solo run given a
+// fresh stub sees exactly what a batched lane saw.
+type streamStub struct{ nCores int }
+
+func (s streamStub) SpikesFor(t uint64) []truenorth.InputSpike {
+	if t%3 != 0 {
+		return nil
+	}
+	out := make([]truenorth.InputSpike, 0, 8)
+	for a := 0; a < 8; a++ {
+		out = append(out, truenorth.InputSpike{
+			Tick: t,
+			Core: truenorth.CoreID(int(t/3) % s.nCores),
+			Axon: uint16((a*31 + int(t)) % truenorth.CoreSize),
+		})
+	}
+	return out
+}
+
+// memSink collects every emitted spike event; Emit is called
+// concurrently across ranks, so collection is locked and comparison
+// happens on the canonically sorted result.
+type memSink struct {
+	mu     sync.Mutex
+	events []truenorth.SpikeEvent
+}
+
+func (s *memSink) Emit(rank int, t uint64, events []truenorth.SpikeEvent) {
+	s.mu.Lock()
+	s.events = append(s.events, events...)
+	s.mu.Unlock()
+}
+
+func (s *memSink) sorted() []truenorth.SpikeEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]truenorth.SpikeEvent(nil), s.events...)
+	truenorth.SortSpikeEvents(out)
+	return out
+}
+
+// TestBatchBitIdenticalToSolo is the batched-execution determinism
+// contract: for every transport, a batch of lanes mixing fresh starts,
+// a mid-run joiner resuming from a checkpoint, a streamed input source,
+// and a live output sink produces — per lane — a RunStats (trace,
+// checkpoint, every counter, per-rank attribution) byte-identical to
+// the same session run solo. The model is stochastic, so this also
+// proves per-lane PRNG streams are consumed in solo order.
+func TestBatchBitIdenticalToSolo(t *testing.T) {
+	m := stochasticModel(6, 0xBA7C)
+	img, err := truenorth.NewImage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ticks = 40
+	// A checkpoint taken mid-run under a different decomposition: lane 2
+	// joins the batch from tick 7.
+	pre, err := RunImage(img, Config{Ranks: 1, ThreadsPerRank: 1, Transport: TransportShmem, ReturnState: true}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range Transports() {
+		t.Run(tr.String(), func(t *testing.T) {
+			cfg := Config{
+				Ranks:          2,
+				ThreadsPerRank: 2,
+				Transport:      tr,
+				RecordTrace:    true,
+				ReturnState:    true,
+			}
+			batchSink := &memSink{}
+			lanes := []BatchLane{
+				{},
+				{InputSource: streamStub{nCores: 6}, OutputSink: batchSink},
+				{StartFrom: pre.Final},
+				{StartFrom: img.InitialCheckpoint()},
+			}
+			res, err := RunBatch(img, cfg, ticks, lanes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Lanes) != len(lanes) {
+				t.Fatalf("%d lane results for %d lanes", len(res.Lanes), len(lanes))
+			}
+			for s := range lanes {
+				solo := cfg
+				solo.StartFrom = lanes[s].StartFrom
+				solo.InputSource = lanes[s].InputSource
+				var soloSink *memSink
+				if lanes[s].OutputSink != nil {
+					soloSink = &memSink{}
+					solo.OutputSink = soloSink
+				}
+				want, err := RunImage(img, solo, ticks)
+				if err != nil {
+					t.Fatalf("lane %d solo: %v", s, err)
+				}
+				got := *res.Lanes[s]
+				ref := *want
+				// Phase wall-clock is the only run-shaped field; batched
+				// runs report SweepSeconds at group level instead.
+				got.PhaseSeconds, ref.PhaseSeconds = PhaseSeconds{}, PhaseSeconds{}
+				if !reflect.DeepEqual(got, ref) {
+					t.Errorf("lane %d RunStats diverges from solo:\nbatch: %+v\nsolo:  %+v", s, got, ref)
+				}
+				if soloSink != nil {
+					if !reflect.DeepEqual(batchSink.sorted(), soloSink.sorted()) {
+						t.Errorf("lane %d sink events diverge from solo", s)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchSingleLaneAndWorkerBudget: a one-lane batch under a
+// constrained shared worker budget still matches the unbounded solo
+// run bit-for-bit (worker grants never affect results).
+func TestBatchSingleLaneAndWorkerBudget(t *testing.T) {
+	m := randomModel(5, 0x51)
+	img, err := truenorth.NewImage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Ranks: 2, ThreadsPerRank: 3, Transport: TransportMPI, RecordTrace: true, ReturnState: true}
+	want, err := RunImage(img, cfg, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcfg := cfg
+	bcfg.Workers = workpool.NewLimiter(1)
+	res, err := RunBatch(img, bcfg, 25, []BatchLane{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := *res.Lanes[0]
+	ref := *want
+	got.PhaseSeconds, ref.PhaseSeconds = PhaseSeconds{}, PhaseSeconds{}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatalf("single-lane batch diverges from solo:\nbatch: %+v\nsolo:  %+v", got, ref)
+	}
+}
+
+// TestBatchLaneTelemetryAttribution: each lane's session-labeled
+// telemetry bundle reports exactly the lane's own RunStats counters —
+// the attribution that keeps /metrics per-session under a shared loop.
+func TestBatchLaneTelemetryAttribution(t *testing.T) {
+	m := randomModel(6, 0x7E1)
+	img, err := truenorth.NewImage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Ranks: 2, ThreadsPerRank: 2, Transport: TransportShmem}
+	lanes := []BatchLane{
+		{Telemetry: NewTelemetry(cfg.Ranks)},
+		{StartFrom: func() *truenorth.Checkpoint {
+			pre, err := RunImage(img, Config{Ranks: 1, ThreadsPerRank: 1, Transport: TransportShmem, ReturnState: true}, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return pre.Final
+		}(), Telemetry: NewTelemetry(cfg.Ranks)},
+	}
+	res, err := RunBatch(img, cfg, 30, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, lane := range lanes {
+		snap := lane.Telemetry.Registry().Snapshot()
+		stats := res.Lanes[s]
+		check := func(what string, got float64, want uint64) {
+			t.Helper()
+			if got != float64(want) {
+				t.Errorf("lane %d %s: metric %v, RunStats %d", s, what, got, want)
+			}
+		}
+		check("messages", snap.Value("compass_messages_total"), stats.Messages)
+		check("wire bytes", snap.Value("compass_wire_bytes_total"), stats.WireBytes)
+		check("local spikes", snap.Value("compass_spikes_total",
+			telemetry.Label{Key: "kind", Value: "local"}), stats.LocalSpikes)
+		check("remote spikes", snap.Value("compass_spikes_total",
+			telemetry.Label{Key: "kind", Value: "remote"}), stats.RemoteSpikes)
+		check("firings", snap.Value("compass_firings_total"), stats.TotalSpikes)
+		check("quiescent", snap.Value("compass_quiescent_core_ticks_total"), stats.QuiescentCoreTicks)
+		check("skips", snap.Value("compass_synapse_skips_total"), stats.SynapseSkips)
+		check("dropped", snap.Value("compass_dropped_inputs_total"), stats.DroppedInputs)
+	}
+}
+
+// TestBatchConfigRejections: solo-run instruments and out-of-range lane
+// counts are rejected up front with clear errors.
+func TestBatchConfigRejections(t *testing.T) {
+	m := randomModel(4, 0xE)
+	img, err := truenorth.NewImage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Ranks: 1, ThreadsPerRank: 1, Transport: TransportShmem}
+	one := []BatchLane{{}}
+	cases := []struct {
+		name  string
+		cfg   func(Config) Config
+		lanes []BatchLane
+	}{
+		{"config StartFrom", func(c Config) Config { c.StartFrom = img.InitialCheckpoint(); return c }, one},
+		{"config InputSource", func(c Config) Config { c.InputSource = streamStub{nCores: 4}; return c }, one},
+		{"config OutputSink", func(c Config) Config { c.OutputSink = &memSink{}; return c }, one},
+		{"config Telemetry", func(c Config) Config { c.Telemetry = NewTelemetry(1); return c }, one},
+		{"per-tick recording", func(c Config) Config { c.RecordPerTick = true; return c }, one},
+		{"phase measurement", func(c Config) Config { c.MeasurePhases = true; return c }, one},
+		{"zero lanes", func(c Config) Config { return c }, nil},
+		{"too many lanes", func(c Config) Config { return c }, make([]BatchLane, truenorth.MaxLanes+1)},
+		{"short lane telemetry", func(c Config) Config { c.Ranks = 2; return c },
+			[]BatchLane{{Telemetry: NewTelemetry(1)}}},
+	}
+	for _, tc := range cases {
+		if _, err := RunBatch(img, tc.cfg(base), 5, tc.lanes); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

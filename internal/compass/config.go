@@ -38,6 +38,7 @@ import (
 
 	"github.com/cognitive-sim/compass/internal/faults"
 	"github.com/cognitive-sim/compass/internal/truenorth"
+	"github.com/cognitive-sim/compass/internal/workpool"
 )
 
 // Transport selects the Network-phase communication model.
@@ -146,6 +147,12 @@ type Config struct {
 	// per tick, before the tick's Network phase. Sessions use it for
 	// streaming spike egress; nil costs nothing.
 	OutputSink OutputSink
+	// Workers optionally bounds this run's extra worker goroutines
+	// through a shared daemon-wide budget: each rank's thread team
+	// acquires up to ThreadsPerRank-1 slots and multiplexes its logical
+	// threads over whatever it was granted. Results are bit-identical for
+	// any grant. Nil means unlimited (every rank gets its full team).
+	Workers *workpool.Limiter
 }
 
 // InputSource feeds externally streamed input spikes into a running

@@ -360,7 +360,9 @@ func (st *rankState) loop(ctx context.Context, start uint64, ticks int) error {
 		pprof.Labels("compass_rank", strconv.Itoa(st.rank), "compass_worker", "0")))
 	st.ticksRun = ticks
 	st.startTick = start
-	st.pool = newWorkerPool(st.rank, st.threads)
+	pool, release := newWorkerPool(st.rank, st.threads, st.cfg.Workers)
+	st.pool = pool
+	defer release()
 	defer st.pool.Stop()
 	// Flush on every exit path: a run failing mid-tick (an injected crash,
 	// a transport abort) must still publish the counters it accumulated,

@@ -8,10 +8,14 @@ import (
 )
 
 // spikeRecordBytes is the encoded size of one spike on the simulated
-// wire: target core (4), axon (2), delay (1), reserved (1). The paper's
+// wire: target core (4), axon (2), delay (1), lane (1). The paper's
 // bandwidth accounting uses truenorth.SpikeWireBytes (20 B) per spike,
 // which includes the headers of the real Blue Gene messaging stack; the
-// compact record here is only the in-memory representation.
+// compact record here is only the in-memory representation. The lane
+// byte (formerly reserved, always 0 outside batched execution) routes a
+// spike to its session lane when several sessions of one model advance
+// under a shared tick loop — batched runs reuse every transport
+// unchanged because the lane rides inside the record.
 const spikeRecordBytes = 8
 
 // appendSpike encodes one spike onto buf.
@@ -20,6 +24,7 @@ func appendSpike(buf []byte, t truenorth.SpikeTarget) []byte {
 	binary.LittleEndian.PutUint32(rec[0:], uint32(t.Core))
 	binary.LittleEndian.PutUint16(rec[4:], t.Axon)
 	rec[6] = t.Delay
+	rec[7] = t.Lane
 	return append(buf, rec[:]...)
 }
 
@@ -33,6 +38,7 @@ func decodeSpikes(data []byte, fn func(truenorth.SpikeTarget) error) error {
 			Core:  truenorth.CoreID(binary.LittleEndian.Uint32(data[off:])),
 			Axon:  binary.LittleEndian.Uint16(data[off+4:]),
 			Delay: data[off+6],
+			Lane:  data[off+7],
 		}
 		if err := fn(t); err != nil {
 			return err

@@ -8,13 +8,22 @@ import (
 
 // newWorkerPool starts the persistent per-rank worker team (see
 // internal/workpool). Thread 0 runs on the caller (the rank goroutine),
-// mirroring the paper's OpenMP master thread. Every worker goroutine
-// carries pprof labels (compass_rank, compass_worker) so CPU profiles
-// of a run break down by rank and worker — the profiler-side view of
-// the telemetry layer's load-imbalance metrics.
-func newWorkerPool(rank, threads int) *workpool.Pool {
+// mirroring the paper's OpenMP master thread. When a shared limiter is
+// given, the team acquires up to threads-1 extra workers from the
+// daemon-wide budget and multiplexes its logical threads over the
+// grant; release returns the slots and must be called after Stop.
+// Every worker goroutine carries pprof labels (compass_rank,
+// compass_worker) so CPU profiles of a run break down by rank and
+// worker — the profiler-side view of the telemetry layer's
+// load-imbalance metrics.
+func newWorkerPool(rank, threads int, lim *workpool.Limiter) (pool *workpool.Pool, release func()) {
 	rankLabel := strconv.Itoa(rank)
-	return workpool.New(threads, func(tid int) []string {
-		return []string{"compass_rank", rankLabel, "compass_worker", strconv.Itoa(tid)}
-	})
+	label := func(w int) []string {
+		return []string{"compass_rank", rankLabel, "compass_worker", strconv.Itoa(w)}
+	}
+	if lim == nil {
+		return workpool.New(threads, label), func() {}
+	}
+	extra := lim.AcquireUpTo(threads - 1)
+	return workpool.NewSized(threads, 1+extra, label), func() { lim.Release(extra) }
 }

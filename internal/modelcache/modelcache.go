@@ -86,6 +86,7 @@ type Cache struct {
 	lru      *list.List // of *Entry; front = most recently used
 	byKey    map[string]*list.Element
 	inflight map[string]*flight
+	pins     map[string]int // key -> pin count; pinned entries never evict
 	stats    Stats
 }
 
@@ -97,6 +98,7 @@ func New(maxBytes int64) *Cache {
 		lru:      list.New(),
 		byKey:    make(map[string]*list.Element),
 		inflight: make(map[string]*flight),
+		pins:     make(map[string]int),
 	}
 }
 
@@ -174,21 +176,77 @@ func (c *Cache) GetOrBuild(key string, build func() (*Entry, error)) (e *Entry, 
 	return e, false, err
 }
 
-// evictLocked drops least-recently-used entries until the resident set
-// fits the byte budget, returning the eviction count. Callers hold mu.
+// Pin marks key's entry resident-for-sure: the LRU sweep skips pinned
+// entries, so an image backing running or paused sessions is never
+// dropped and rebuilt while in use. Pins nest (one per session);
+// pinning an absent key is a no-op that reports false.
+func (c *Cache) Pin(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byKey[key]; !ok {
+		return false
+	}
+	c.pins[key]++
+	return true
+}
+
+// Unpin releases one pin on key. When the last pin drops, the entry
+// rejoins the ordinary LRU population and any eviction deferred by the
+// pin is applied immediately, firing the usual hooks.
+func (c *Cache) Unpin(key string) {
+	c.mu.Lock()
+	n, ok := c.pins[key]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	if n > 1 {
+		c.pins[key] = n - 1
+		c.mu.Unlock()
+		return
+	}
+	delete(c.pins, key)
+	evicted := c.evictLocked()
+	resident := c.stats.ResidentBytes
+	c.mu.Unlock()
+	for i := 0; i < evicted; i++ {
+		if c.hooks.Evict != nil {
+			c.hooks.Evict()
+		}
+	}
+	if evicted > 0 && c.hooks.Resident != nil {
+		c.hooks.Resident(resident)
+	}
+}
+
+// Pinned returns the number of distinct pinned entries.
+func (c *Cache) Pinned() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pins)
+}
+
+// evictLocked drops least-recently-used unpinned entries until the
+// resident set fits the byte budget, returning the eviction count.
+// Pinned entries are skipped (their eviction is deferred to Unpin); the
+// sweep keeps at least one entry resident. Callers hold mu.
 func (c *Cache) evictLocked() int {
 	if c.maxBytes <= 0 {
 		return 0
 	}
 	n := 0
-	for c.stats.ResidentBytes > c.maxBytes && c.lru.Len() > 1 {
-		el := c.lru.Back()
+	el := c.lru.Back()
+	for c.stats.ResidentBytes > c.maxBytes && c.lru.Len() > 1 && el != nil {
 		e := el.Value.(*Entry)
-		c.lru.Remove(el)
-		delete(c.byKey, e.Key)
-		c.stats.ResidentBytes -= e.ResidentBytes()
-		c.stats.Evictions++
-		n++
+		prev := el.Prev()
+		if c.pins[e.Key] == 0 {
+			c.lru.Remove(el)
+			delete(c.byKey, e.Key)
+			c.stats.ResidentBytes -= e.ResidentBytes()
+			c.stats.Evictions++
+			n++
+		}
+		el = prev
 	}
 	return n
 }

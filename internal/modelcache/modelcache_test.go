@@ -241,3 +241,54 @@ func TestDistinctKeysDistinctEntries(t *testing.T) {
 		t.Fatalf("resident entries %d, want 4", c.Len())
 	}
 }
+
+// TestPinDefersEviction: a pinned entry survives LRU pressure that
+// would otherwise evict it, and the deferred eviction lands the moment
+// the last pin is released — so a resident session's image can never be
+// dropped and rebuilt while in use.
+func TestPinDefersEviction(t *testing.T) {
+	one := testEntry(t, 1)
+	per := one.ResidentBytes()
+	c := New(2 * per) // room for two entries
+	var evicts int
+	c.SetHooks(Hooks{Evict: func() { evicts++ }})
+	get := func(key string, tag uint64) {
+		if _, _, err := c.GetOrBuild(key, func() (*Entry, error) { return testEntry(t, tag), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("a", 1)
+	if !c.Pin("a") {
+		t.Fatal("pinning a resident entry failed")
+	}
+	c.Pin("a") // pins nest: a second holder of the same image
+	get("b", 2)
+	get("c", 3) // over budget; a is LRU but pinned, so b evicts instead
+	if _, hit, _ := c.GetOrBuild("a", func() (*Entry, error) { return testEntry(t, 1), nil }); !hit {
+		t.Fatal("pinned entry a was evicted under pressure")
+	}
+	if _, hit, _ := c.GetOrBuild("b", func() (*Entry, error) { return testEntry(t, 2), nil }); hit {
+		t.Fatal("unpinned entry b survived while the budget was exceeded")
+	}
+	// b's probe above rebuilt it, so the set is over budget again with a
+	// still pinned. One unpin keeps the pin held; the second releases the
+	// deferred eviction.
+	c.Unpin("a")
+	if _, hit, _ := c.GetOrBuild("a", func() (*Entry, error) { return testEntry(t, 1), nil }); !hit {
+		t.Fatal("entry a evicted while still pinned once")
+	}
+	c.Unpin("a")
+	if c.Pinned() != 0 {
+		t.Fatalf("%d entries still pinned after final unpin", c.Pinned())
+	}
+	st := c.Stats()
+	if st.ResidentBytes > 2*per {
+		t.Fatalf("resident %d bytes exceeds budget %d after unpin", st.ResidentBytes, 2*per)
+	}
+	if evicts != int(st.Evictions) {
+		t.Fatalf("evict hook fired %d times, stats say %d", evicts, st.Evictions)
+	}
+	if c.Pin("zzz") {
+		t.Fatal("pinning an absent key must report false")
+	}
+}

@@ -55,7 +55,16 @@ type Result struct {
 // Compile expands a CoreObject description into an explicit model using
 // ranks parallel compiler processes.
 func Compile(spec *coreobject.NetworkSpec, ranks int) (*Result, error) {
-	p, err := newPlan(spec, ranks)
+	return CompileLimited(spec, ranks, nil)
+}
+
+// CompileLimited is Compile with the compiler's fan-out bounded by a
+// shared daemon-wide worker budget: shell instantiation, stimulus
+// expansion, and the IPFP balancing step acquire extra workers from lim
+// instead of each assuming the whole machine. The compiled result is
+// bit-identical for any grant; nil means unlimited.
+func CompileLimited(spec *coreobject.NetworkSpec, ranks int, lim *workpool.Limiter) (*Result, error) {
+	p, err := newPlan(spec, ranks, lim)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +84,7 @@ func Compile(spec *coreobject.NetworkSpec, ranks int) (*Result, error) {
 	// NewImage validates the model and freezes it; emitting the image
 	// here means every downstream consumer (simulator, serving daemon,
 	// model cache) shares one prebuilt immutable copy.
-	img, err := truenorth.NewImage(model)
+	img, err := truenorth.NewImageLimited(model, lim)
 	if err != nil {
 		return nil, fmt.Errorf("pcc: compiled model invalid: %w", err)
 	}
@@ -123,7 +132,7 @@ func compileRank(c *mpi.Comm, p *plan, cfgs []*truenorth.CoreConfig) error {
 	// Each core touches only its own config and its own compile stream,
 	// so this fans out across the worker pool; results are identical for
 	// any worker count.
-	workpool.ForEach(runtime.GOMAXPROCS(0), len(myCores), func(k int) {
+	workpool.ForEachLimited(p.lim, runtime.GOMAXPROCS(0), len(myCores), func(k int) {
 		id := myCores[k]
 		cfg := &truenorth.CoreConfig{ID: truenorth.CoreID(id)}
 		region := &p.spec.Regions[p.coreRegion[id]]
@@ -384,7 +393,7 @@ func (na *neuronAssigner) wire(coreID truenorth.CoreID, axon uint16) error {
 // order keeps the output byte-identical to the serial expansion.
 func generateInputs(spec *coreobject.NetworkSpec, p *plan) []truenorth.InputSpike {
 	outs := make([][]truenorth.InputSpike, len(spec.Inputs))
-	workpool.ForEach(runtime.GOMAXPROCS(0), len(spec.Inputs), func(idx int) {
+	workpool.ForEachLimited(p.lim, runtime.GOMAXPROCS(0), len(spec.Inputs), func(idx int) {
 		in := spec.Inputs[idx]
 		ri := spec.Region(in.Region)
 		base := p.firstCore[ri]

@@ -312,7 +312,7 @@ func TestGrantTrafficCounted(t *testing.T) {
 func TestPlanBundleMarginals(t *testing.T) {
 	spec := threeRegionSpec()
 	for _, ranks := range []int{1, 2, 3, 5} {
-		p, err := newPlan(spec, ranks)
+		p, err := newPlan(spec, ranks, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -36,6 +36,7 @@ import (
 	"github.com/cognitive-sim/compass/internal/balance"
 	"github.com/cognitive-sim/compass/internal/coreobject"
 	"github.com/cognitive-sim/compass/internal/truenorth"
+	"github.com/cognitive-sim/compass/internal/workpool"
 )
 
 // Axon type assignments: weights index the target neuron's Weights array
@@ -60,6 +61,10 @@ const (
 type plan struct {
 	spec  *coreobject.NetworkSpec
 	ranks int
+
+	// lim optionally bounds the compiler's parallel fan-out through a
+	// shared daemon-wide worker budget; nil means unlimited.
+	lim *workpool.Limiter
 
 	// regionOfRank[r] is the region a compiler rank serves; with fewer
 	// ranks than regions a rank serves several regions and the value is
@@ -165,7 +170,7 @@ func (p *plan) bundleCount(r, s int) int {
 }
 
 // newPlan computes the full deterministic plan.
-func newPlan(spec *coreobject.NetworkSpec, ranks int) (*plan, error) {
+func newPlan(spec *coreobject.NetworkSpec, ranks int, lim *workpool.Limiter) (*plan, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -175,7 +180,7 @@ func newPlan(spec *coreobject.NetworkSpec, ranks int) (*plan, error) {
 	if ranks > spec.TotalCores() {
 		return nil, fmt.Errorf("pcc: %d ranks exceed %d cores", ranks, spec.TotalCores())
 	}
-	p := &plan{spec: spec, ranks: ranks}
+	p := &plan{spec: spec, ranks: ranks, lim: lim}
 	p.assignRegions()
 	p.layoutCores()
 	p.reserveInputs()
@@ -367,9 +372,12 @@ func (p *plan) balanceBundles() error {
 	for i := range marg {
 		marg[i] = subscription * float64(p.usableByRegion[i])
 	}
+	want := runtime.GOMAXPROCS(0)
+	extra := p.lim.AcquireUpTo(want - 1)
 	res, err := balance.IPFP(w, marg, marg, balance.Options{
-		Tol: 1e-7, MaxIter: 20000, Workers: runtime.GOMAXPROCS(0),
+		Tol: 1e-7, MaxIter: 20000, Workers: 1 + extra,
 	})
+	p.lim.Release(extra)
 	if err != nil {
 		// Accept slow boundary convergence when the residual is already
 		// far below the integer-rounding granularity.

@@ -1,0 +1,298 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	sim "github.com/cognitive-sim/compass/internal/compass"
+	"github.com/cognitive-sim/compass/internal/modelcache"
+	"github.com/cognitive-sim/compass/internal/spikeio"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// waitTicks polls until the session has simulated at least n ticks.
+func waitTicks(t *testing.T, s *Session, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for s.Info().TicksDone < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("session %s stuck at %d of %d ticks", s.ID, s.Info().TicksDone, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBatchedSessionsBitIdentical is the serving-side determinism
+// table: same-model sessions share one batched tick loop (same batch
+// group in Info), join mid-run at chunk boundaries, pause and resume
+// individually — and every one of them drains to a final checkpoint
+// bit-identical to an uninterrupted solo run, on every transport.
+func TestBatchedSessionsBitIdentical(t *testing.T) {
+	model := testModel(6, 77)
+	img, err := truenorth.NewImage(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range sim.Transports() {
+		t.Run(tr.String(), func(t *testing.T) {
+			srv := startTestServer(t, ManagerOptions{
+				CapacitySecondsPerTick: 1e9,
+				ChunkTicks:             10,
+			})
+			mgr := srv.Manager()
+			cfg := sim.Config{Ranks: 2, ThreadsPerRank: 2, Transport: tr}
+
+			a, err := mgr.Create(CreateParams{Name: "a", Image: img, Cfg: cfg, Ticks: 60})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := mgr.Create(CreateParams{Name: "c", Image: img, Cfg: cfg, Ticks: 60})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// b joins mid-run: a and c are already several chunks in when
+			// its first window runs.
+			waitTicks(t, a, 10)
+			b, err := mgr.Create(CreateParams{Name: "b", Image: img, Cfg: cfg, Ticks: 45})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// c pauses at a chunk boundary mid-run, then resumes: the
+			// group keeps advancing a and b while c is parked.
+			if err := c.Pause(); err != nil {
+				t.Fatal(err)
+			}
+			c.WaitState(30*time.Second, func(st State) bool { return st == StatePaused || st.Terminal() })
+			waitTicks(t, b, 10)
+			if err := c.Resume(); err != nil {
+				t.Fatal(err)
+			}
+
+			for _, s := range []*Session{a, b, c} {
+				if !s.WaitState(60*time.Second, func(st State) bool { return st == StateDone }) {
+					t.Fatalf("session %s state %s, want done (err %v)", s.Name, s.State(), s.Err())
+				}
+			}
+			ga, gb, gc := a.Info().BatchGroup, b.Info().BatchGroup, c.Info().BatchGroup
+			if ga == "" || ga != gb || ga != gc {
+				t.Fatalf("sessions not grouped: a=%q b=%q c=%q", ga, gb, gc)
+			}
+
+			want60 := ckptBytes(t, refFinal(t, model, cfg, 60))
+			want45 := ckptBytes(t, refFinal(t, model, cfg, 45))
+			if !bytes.Equal(ckptBytes(t, a.Checkpoint()), want60) {
+				t.Error("session a: batched checkpoint differs from solo run")
+			}
+			if !bytes.Equal(ckptBytes(t, b.Checkpoint()), want45) {
+				t.Error("session b (mid-run join): batched checkpoint differs from solo run")
+			}
+			if !bytes.Equal(ckptBytes(t, c.Checkpoint()), want60) {
+				t.Error("session c (pause/resume): batched checkpoint differs from solo run")
+			}
+
+			// The batch instruments saw the windows: occupancy is back to
+			// zero and the sweep histogram recorded observations.
+			snap := mgr.MetricsSnapshot()
+			if v := snap.Value("compassd_batch_occupancy"); v != 0 {
+				t.Errorf("batch occupancy %v after all sessions done, want 0", v)
+			}
+			var sweeps uint64
+			for _, mtr := range snap.Metrics {
+				if mtr.Name == "compassd_batch_sweep_seconds" {
+					sweeps += mtr.Count
+				}
+			}
+			if sweeps == 0 {
+				t.Error("batch sweep histogram recorded no windows")
+			}
+		})
+	}
+}
+
+// TestBatchedStreamInjection: two sessions of one image share a batched
+// loop while one of them receives its entire input live over the CSTR
+// stream plane and both broadcast egress — and both match their solo
+// references exactly. This is TestStreamInjectionEquivalence with the
+// lane actually batched alongside a sibling session.
+func TestBatchedStreamInjection(t *testing.T) {
+	srv := startTestServer(t, ManagerOptions{
+		CapacitySecondsPerTick: 1e9,
+		ChunkTicks:             10,
+	})
+	mgr := srv.Manager()
+
+	const ticks = 60
+	ref := testModel(4, 11)
+	streamed := &truenorth.Model{Seed: ref.Seed, Cores: ref.Cores}
+	img, err := truenorth.NewImage(streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{Ranks: 2, ThreadsPerRank: 2, Transport: sim.TransportShmem}
+
+	target, err := mgr.Create(CreateParams{
+		Name: "target", Image: img, Cfg: cfg, Ticks: ticks, StartPaused: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sibling, err := mgr.Create(CreateParams{
+		Name: "sibling", Image: img, Cfg: cfg, Ticks: ticks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target.Info().BatchGroup == "" || target.Info().BatchGroup != sibling.Info().BatchGroup {
+		t.Fatalf("target %q and sibling %q not in one batch group",
+			target.Info().BatchGroup, sibling.Info().BatchGroup)
+	}
+
+	c, err := DialStream(srv.StreamAddr(), target.ID, StreamFlagInject|StreamFlagSubscribe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	inject := make([]spikeio.Event, len(ref.Inputs))
+	for i, in := range ref.Inputs {
+		inject[i] = spikeio.Event{Tick: in.Tick, Core: in.Core, Axon: in.Axon}
+	}
+	if err := c.Send(inject); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for target.Info().Injected != uint64(len(inject)) {
+		if time.Now().After(deadline) {
+			t.Fatalf("injected %d of %d spikes", target.Info().Injected, len(inject))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := target.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	var received []spikeio.Event
+	for {
+		frame, err := c.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		received = append(received, frame...)
+	}
+	for _, s := range []*Session{target, sibling} {
+		if !s.WaitState(60*time.Second, func(st State) bool { return st == StateDone }) {
+			t.Fatalf("%s state %s, want done (err %v)", s.Name, s.State(), s.Err())
+		}
+	}
+	if drops := target.Info().StreamDrops; drops != 0 {
+		t.Fatalf("stream dropped %d records; equivalence check needs a lossless run", drops)
+	}
+
+	refCfg := cfg
+	refCfg.RecordTrace = true
+	refCfg.ReturnState = true
+	stats, err := sim.Run(ref, refCfg, ticks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := traceToWire(stats.Trace)
+	sortWire(want)
+	sortWire(received)
+	if len(received) != len(want) {
+		t.Fatalf("streamed lane fired %d spikes, solo reference fired %d", len(received), len(want))
+	}
+	for i := range want {
+		if received[i] != want[i] {
+			t.Fatalf("event %d: streamed %+v, solo %+v", i, received[i], want[i])
+		}
+	}
+	if !bytes.Equal(ckptBytes(t, target.Checkpoint()), ckptBytes(t, stats.Final)) {
+		t.Fatal("streamed lane's final checkpoint differs from its solo reference")
+	}
+	if !bytes.Equal(ckptBytes(t, sibling.Checkpoint()), ckptBytes(t, refFinal(t, streamed, cfg, ticks))) {
+		t.Fatal("sibling lane's final checkpoint differs from its solo reference")
+	}
+}
+
+// TestDisableBatch: with batching off, same-image sessions run their
+// own loops (no batch group in Info) and still finish correctly.
+func TestDisableBatch(t *testing.T) {
+	model := testModel(4, 9)
+	img, err := truenorth.NewImage(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startTestServer(t, ManagerOptions{
+		CapacitySecondsPerTick: 1e9,
+		ChunkTicks:             10,
+		DisableBatch:           true,
+	})
+	mgr := srv.Manager()
+	cfg := sim.Config{Ranks: 1, ThreadsPerRank: 1, Transport: sim.TransportShmem}
+	a, err := mgr.Create(CreateParams{Image: img, Cfg: cfg, Ticks: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mgr.Create(CreateParams{Image: img, Cfg: cfg, Ticks: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*Session{a, b} {
+		if !s.WaitState(60*time.Second, func(st State) bool { return st == StateDone }) {
+			t.Fatalf("state %s, want done (err %v)", s.State(), s.Err())
+		}
+		if g := s.Info().BatchGroup; g != "" {
+			t.Fatalf("batch group %q with batching disabled", g)
+		}
+	}
+	if !bytes.Equal(ckptBytes(t, a.Checkpoint()), ckptBytes(t, refFinal(t, model, cfg, 30))) {
+		t.Fatal("unbatched checkpoint differs from reference")
+	}
+}
+
+// TestImagePinnedWhileResident: the manager pins a session's model
+// cache entry for as long as any running session holds the image, and
+// releases the pin when the last one exits.
+func TestImagePinnedWhileResident(t *testing.T) {
+	srv := startTestServer(t, ManagerOptions{CapacitySecondsPerTick: 1e9, ChunkTicks: 10})
+	mgr := srv.Manager()
+	cache := mgr.ModelCache()
+	model := testModel(4, 5)
+	e, _, err := cache.GetOrBuild("pinned-model", func() (*modelcache.Entry, error) {
+		img, err := truenorth.NewImage(model)
+		if err != nil {
+			return nil, err
+		}
+		return &modelcache.Entry{Image: img}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{Ranks: 1, ThreadsPerRank: 1, Transport: sim.TransportShmem}
+	a, err := mgr.Create(CreateParams{Image: e.Image, CacheKey: e.Key, Cfg: cfg, Ticks: 30, StartPaused: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mgr.Create(CreateParams{Image: e.Image, CacheKey: e.Key, Cfg: cfg, Ticks: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := cache.Pinned(); n != 1 {
+		t.Fatalf("%d pinned entries with two sessions sharing one image, want 1", n)
+	}
+	if err := a.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*Session{a, b} {
+		if !s.WaitState(60*time.Second, func(st State) bool { return st == StateDone }) {
+			t.Fatalf("state %s, want done (err %v)", s.State(), s.Err())
+		}
+		s.Wait()
+	}
+	if n := cache.Pinned(); n != 0 {
+		t.Fatalf("%d pinned entries after all sessions exited, want 0", n)
+	}
+}

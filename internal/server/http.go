@@ -70,7 +70,7 @@ func (srv *Server) buildImage(src SourceSpec, ranks int) (*modelcache.Entry, err
 			return nil, err
 		}
 		e, _, err := cache.GetOrBuild(key, func() (*modelcache.Entry, error) {
-			res, err := pcc.Compile(spec, ranks)
+			res, err := pcc.CompileLimited(spec, ranks, srv.mgr.Limiter())
 			if err != nil {
 				return nil, fmt.Errorf("server: compile: %w", err)
 			}
@@ -115,7 +115,7 @@ func (srv *Server) buildImage(src SourceSpec, ranks int) (*modelcache.Entry, err
 			if err != nil {
 				return nil, fmt.Errorf("server: model: %w", err)
 			}
-			img, err := truenorth.NewImage(m)
+			img, err := truenorth.NewImageLimited(m, srv.mgr.Limiter())
 			if err != nil {
 				return nil, fmt.Errorf("server: model: %w", err)
 			}
@@ -160,8 +160,9 @@ func (srv *Server) sessionFromRequest(req *CreateRequest) (CreateParams, error) 
 		rankOf = nil
 	}
 	p := CreateParams{
-		Name:  req.Name,
-		Image: e.Image,
+		Name:     req.Name,
+		Image:    e.Image,
+		CacheKey: e.Key,
 		Cfg: sim.Config{
 			Ranks:          ranks,
 			ThreadsPerRank: threads,

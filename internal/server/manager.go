@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	sim "github.com/cognitive-sim/compass/internal/compass"
@@ -11,6 +12,7 @@ import (
 	"github.com/cognitive-sim/compass/internal/perfmodel"
 	"github.com/cognitive-sim/compass/internal/telemetry"
 	"github.com/cognitive-sim/compass/internal/truenorth"
+	"github.com/cognitive-sim/compass/internal/workpool"
 )
 
 // ErrOverCapacity marks a session whose modelled cost exceeds the
@@ -74,6 +76,17 @@ type ManagerOptions struct {
 	// per session. Sessions that could never fit are rejected; sessions
 	// that merely don't fit right now queue FIFO. Zero means unlimited.
 	MemoryBudgetBytes int64
+	// DisableBatch turns off batched execution: every session runs its
+	// own independent tick loop even when other resident sessions share
+	// its model and decomposition.
+	DisableBatch bool
+	// MaxExtraWorkers bounds the daemon-wide pool of extra worker
+	// goroutines shared by every image build, PCC compile, and session
+	// rank team (each team keeps its calling goroutine and acquires up
+	// to threads-1 extras from this budget). Zero means one budget of
+	// GOMAXPROCS extras for the whole daemon; negative means unlimited
+	// (the pre-batching behavior: every run sizes its own pools).
+	MaxExtraWorkers int
 }
 
 func (o *ManagerOptions) withDefaults() ManagerOptions {
@@ -122,6 +135,14 @@ type Manager struct {
 	images  map[*truenorth.Image]*imageRef
 	memUsed int64
 
+	// limiter is the daemon-wide shared worker budget handed to every
+	// compile, image build, and simulation run (nil = unlimited).
+	limiter *workpool.Limiter
+	// groups indexes the live batch groups by batch key; batchLanes is
+	// the occupancy the gauge reports (lanes in flight across groups).
+	groups     map[string]*batchGroup
+	batchLanes int
+
 	mCreated   telemetry.Counter
 	mRejected  telemetry.Counter
 	mCompleted telemetry.Counter
@@ -129,12 +150,17 @@ type Manager struct {
 	gQueued    telemetry.Gauge
 	gUsed      telemetry.Gauge
 	gMemUsed   telemetry.Gauge
+	gBatchOcc  telemetry.Gauge
+	hBatchSwp  telemetry.Histogram
 }
 
 // imageRef counts the running sessions sharing one resident image.
+// cacheKey, when non-empty, names the model cache entry pinned while
+// the image is resident.
 type imageRef struct {
-	refs  int
-	bytes int64
+	refs     int
+	bytes    int64
+	cacheKey string
 }
 
 // NewManager builds a manager with the given admission options.
@@ -145,6 +171,7 @@ func NewManager(opts ManagerOptions) *Manager {
 		reg:      reg,
 		sessions: make(map[string]*Session),
 		images:   make(map[*truenorth.Image]*imageRef),
+		groups:   make(map[string]*batchGroup),
 		mCreated: reg.Counter("compassd_sessions_created_total",
 			"sessions admitted (running or queued)"),
 		mRejected: reg.Counter("compassd_sessions_rejected_total",
@@ -159,6 +186,17 @@ func NewManager(opts ManagerOptions) *Manager {
 			"modelled per-tick cost of all running sessions"),
 		gMemUsed: reg.Gauge("compassd_memory_used_bytes",
 			"resident bytes of all running sessions (shared images charged once)"),
+		gBatchOcc: reg.Gauge("compassd_batch_occupancy",
+			"session lanes currently advancing inside shared batched tick loops"),
+		hBatchSwp: reg.Histogram("compassd_batch_sweep_seconds",
+			"mean wall-clock per batched sweep (one tick of every lane in a window)",
+			[]float64{1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1}),
+	}
+	switch extra := m.opts.MaxExtraWorkers; {
+	case extra == 0:
+		m.limiter = workpool.NewLimiter(runtime.GOMAXPROCS(0))
+	case extra > 0:
+		m.limiter = workpool.NewLimiter(extra)
 	}
 	m.cache = modelcache.New(m.opts.ModelCacheBytes)
 	cacheHits := reg.Counter("compassd_model_cache_hits",
@@ -183,6 +221,10 @@ func (m *Manager) Registry() *telemetry.Registry { return m.reg }
 
 // ModelCache returns the manager's content-addressed image cache.
 func (m *Manager) ModelCache() *modelcache.Cache { return m.cache }
+
+// Limiter returns the daemon-wide shared worker budget (nil when
+// MaxExtraWorkers is negative, i.e. unlimited).
+func (m *Manager) Limiter() *workpool.Limiter { return m.limiter }
 
 // CreateParams describes one session to admit.
 type CreateParams struct {
@@ -210,6 +252,10 @@ type CreateParams struct {
 	// before any chunk runs, so clients can attach streams and observe
 	// the run from its very first spike. Resume releases it.
 	StartPaused bool
+	// CacheKey, when non-empty, names the model cache entry Image came
+	// from; the manager pins the entry while any running session holds
+	// the image resident, so the LRU can never evict an in-use image.
+	CacheKey string
 }
 
 // Create admits a new session. The session starts immediately when
@@ -251,10 +297,13 @@ func (m *Manager) Create(p CreateParams) (*Session, error) {
 	if chunk <= 0 {
 		chunk = m.opts.ChunkTicks
 	}
-	s, err := newSession(id, p.Name, img, p.Cfg, p.Ticks, chunk, cost, m.opts.SubscriberQueue, m.release)
+	cfg := p.Cfg
+	cfg.Workers = m.limiter
+	s, err := newSession(id, p.Name, img, cfg, p.Ticks, chunk, cost, m.opts.SubscriberQueue, m.release)
 	if err != nil {
 		return nil, err
 	}
+	s.cacheKey = p.CacheKey
 	if p.StartFrom != nil {
 		if err := img.ValidateCheckpoint(p.StartFrom); err != nil {
 			return nil, fmt.Errorf("server: start checkpoint: %w", err)
@@ -310,20 +359,60 @@ func (m *Manager) canStartLocked(s *Session) bool {
 
 // startLocked charges capacity and memory and launches the runner.
 // Image bytes are charged once per resident image — the second session
-// sharing an image only pays for its private runtime state. Callers
-// hold mu.
+// sharing an image only pays for its private runtime state. The first
+// session holding a cache-built image also pins its cache entry, and
+// unless batching is disabled the session joins (or founds) the batch
+// group for its (model hash, decomposition) so same-model sessions
+// advance under one shared tick loop. Callers hold mu.
 func (m *Manager) startLocked(s *Session) {
 	m.used += s.cost
 	m.running++
 	ref := m.images[s.img]
 	if ref == nil {
-		ref = &imageRef{bytes: s.img.ImageBytes()}
+		ref = &imageRef{bytes: s.img.ImageBytes(), cacheKey: s.cacheKey}
 		m.images[s.img] = ref
 		m.memUsed += ref.bytes
+		if ref.cacheKey != "" {
+			m.cache.Pin(ref.cacheKey)
+		}
 	}
 	ref.refs++
 	m.memUsed += s.img.StateBytes()
+	if !m.opts.DisableBatch {
+		key := batchKey(s.img, s.cfg)
+		g := m.groups[key]
+		if g == nil {
+			g = newBatchGroup(key, s.img, s.cfg)
+			g.onWindow = func(lanes int) { m.batchWindow(lanes) }
+			g.onWindowDone = func(lanes int, sweep float64) { m.batchWindowDone(lanes, sweep) }
+			m.groups[key] = g
+		}
+		g.refs++
+		s.group = g
+	}
 	s.start()
+}
+
+// batchWindow and batchWindowDone maintain the batch occupancy gauge
+// and the per-sweep latency histogram; called from group window loops.
+func (m *Manager) batchWindow(lanes int) {
+	m.mu.Lock()
+	m.batchLanes += lanes
+	m.gBatchOcc.Set(0, float64(m.batchLanes))
+	m.mu.Unlock()
+}
+
+func (m *Manager) batchWindowDone(lanes int, sweepSeconds float64) {
+	m.mu.Lock()
+	m.batchLanes -= lanes
+	if m.batchLanes < 0 {
+		m.batchLanes = 0
+	}
+	m.gBatchOcc.Set(0, float64(m.batchLanes))
+	m.mu.Unlock()
+	if sweepSeconds > 0 {
+		m.hBatchSwp.Observe(0, sweepSeconds)
+	}
 }
 
 // release returns a finished session's capacity and memory and starts
@@ -343,6 +432,15 @@ func (m *Manager) release(s *Session) {
 		if ref.refs <= 0 {
 			delete(m.images, s.img)
 			m.memUsed -= ref.bytes
+			if ref.cacheKey != "" {
+				m.cache.Unpin(ref.cacheKey)
+			}
+		}
+	}
+	if g := s.group; g != nil {
+		g.refs--
+		if g.refs <= 0 {
+			delete(m.groups, g.key)
 		}
 	}
 	if m.memUsed < 0 {

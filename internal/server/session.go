@@ -116,6 +116,18 @@ type Session struct {
 	sink   *broadcastSink
 	tel    *sim.Telemetry
 
+	// cacheKey is the model cache key the session's image came from (""
+	// when the image was built privately); the manager pins the entry
+	// while any session holds the image resident.
+	cacheKey string
+
+	// group, when non-nil, routes the session's chunks through a shared
+	// batched tick loop with every same-keyed running session; set by
+	// the manager before the runner starts. batchLane is the session's
+	// lane index in its most recent window.
+	group     *batchGroup
+	batchLane int
+
 	// inputTicks is the sorted multiset of model-scheduled input ticks,
 	// used to correct per-chunk DroppedInputs: every resumed chunk
 	// re-purges model inputs before its start tick, which would otherwise
@@ -231,20 +243,39 @@ func (s *Session) run() {
 		if rem := s.ticksTotal - s.ticksDone; n > rem {
 			n = rem
 		}
-		cfg := s.cfg
-		cfg.StartFrom = s.cp
-		cfg.ReturnState = true
-		cfg.InputSource = s.source
-		cfg.OutputSink = s.sink
-		cfg.Telemetry = s.tel
+		group := s.group
 		startTick := s.cp.Tick
+		cp := s.cp
 		s.state = StateRunning
 		s.cond.Broadcast()
 		s.mu.Unlock()
 
-		stats, err := sim.RunImageContext(s.ctx, s.img, cfg, int(n))
+		var stats *sim.RunStats
+		var err error
+		var lane int
+		if group != nil {
+			// Batched path: the chunk rides a shared window with every
+			// same-model session; the group may trim the window to the
+			// shortest member chunk, so the ticks actually run come back
+			// in stats.Ticks and the remainder rides the next window.
+			stats, lane, _, err = group.exec(s.ctx, sim.BatchLane{
+				StartFrom:   cp,
+				InputSource: s.source,
+				OutputSink:  s.sink,
+				Telemetry:   s.tel,
+			}, int(n))
+		} else {
+			cfg := s.cfg
+			cfg.StartFrom = cp
+			cfg.ReturnState = true
+			cfg.InputSource = s.source
+			cfg.OutputSink = s.sink
+			cfg.Telemetry = s.tel
+			stats, err = sim.RunImageContext(s.ctx, s.img, cfg, int(n))
+		}
 
 		s.mu.Lock()
+		s.batchLane = lane
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				s.finishLocked(StateCancelled, err)
@@ -255,7 +286,7 @@ func (s *Session) run() {
 			return
 		}
 		s.cp = stats.Final
-		s.ticksDone += n
+		s.ticksDone += uint64(stats.Ticks)
 		s.totals.Spikes += stats.TotalSpikes
 		for _, rs := range stats.PerRank {
 			s.totals.Firings += rs.Firings
@@ -423,6 +454,11 @@ type Info struct {
 	// StateBytes is this session's private runtime state.
 	ImageBytes int64 `json:"image_bytes"`
 	StateBytes int64 `json:"state_bytes"`
+	// BatchGroup identifies the shared batched tick loop the session's
+	// chunks ride (empty when the session runs its own loop); BatchLane
+	// is the session's lane index in its most recent window.
+	BatchGroup  string  `json:"batch_group,omitempty"`
+	BatchLane   int     `json:"batch_lane,omitempty"`
 	Totals      Totals  `json:"totals"`
 	Injected    uint64  `json:"injected_spikes"`
 	Subscribers int     `json:"subscribers"`
@@ -451,9 +487,13 @@ func (s *Session) Info() Info {
 		StateBytes:  s.img.StateBytes(),
 		Totals:      s.totals,
 		Injected:    s.source.injected(),
+		BatchLane:   s.batchLane,
 		Subscribers: s.sink.count(),
 		StreamDrops: s.sink.dropped(),
 		CreatedAt:   s.created.UTC().Format(time.RFC3339),
+	}
+	if s.group != nil {
+		info.BatchGroup = s.group.key
 	}
 	if s.runErr != nil {
 		info.Error = s.runErr.Error()

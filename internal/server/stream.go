@@ -71,6 +71,14 @@ func (srv *Server) serveStreamConn(conn net.Conn) {
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
+	// Register the subscription before acknowledging the handshake, so a
+	// client that attaches to a parked session and then resumes it is
+	// guaranteed the subscriber existed before the first tick ran.
+	var sub *subscriber
+	if flags&StreamFlagSubscribe != 0 {
+		sub = sess.sink.subscribe()
+		defer sess.sink.unsubscribe(sub)
+	}
 	if _, err := conn.Write([]byte(streamOK)); err != nil {
 		return
 	}
@@ -87,13 +95,11 @@ func (srv *Server) serveStreamConn(conn net.Conn) {
 		violation = readIngest(conn, sess, flags&StreamFlagInject != 0)
 	}()
 
-	if flags&StreamFlagSubscribe == 0 {
+	if sub == nil {
 		<-readerDone
 		return
 	}
 
-	sub := sess.sink.subscribe()
-	defer sess.sink.unsubscribe(sub)
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
@@ -103,8 +109,13 @@ func (srv *Server) serveStreamConn(conn net.Conn) {
 	select {
 	case <-writerDone:
 		// Egress exhausted: the session ended (or the write side broke).
-		// Closing the connection (deferred) signals EOF to the client and
-		// unblocks the reader.
+		// Drain the ingest reader under a deadline before closing, so
+		// inject frames already on the wire are processed first and the
+		// client reads a clean EOF (closing with unread data would send a
+		// reset instead). A peer that never half-closes is cut off when
+		// the deadline expires.
+		conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+		<-readerDone
 		return
 	case <-readerDone:
 		if violation {

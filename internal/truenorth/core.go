@@ -66,6 +66,12 @@ type SpikeTarget struct {
 	Core  CoreID
 	Axon  uint16
 	Delay uint8
+	// Lane is the batch-session lane the spike belongs to when several
+	// sessions of one model advance under a shared tick loop (see
+	// CoreLanes and compass.RunBatch); it is always 0 outside batched
+	// execution, in neuron configurations, and in recorded traces. The
+	// field fills what was padding, so SpikeTarget stays 8 bytes.
+	Lane uint8
 }
 
 // Spike is a spike in flight on the inter-core network during the tick in
@@ -127,6 +133,9 @@ func (p *NeuronParams) Validate() error {
 	}
 	if p.Target.Delay < 1 || p.Target.Delay > MaxDelay {
 		return fmt.Errorf("truenorth: target delay %d outside [1,%d]", p.Target.Delay, MaxDelay)
+	}
+	if p.Target.Lane != 0 {
+		return fmt.Errorf("truenorth: target lane %d; lanes are assigned at batch run time, not in configurations", p.Target.Lane)
 	}
 	return nil
 }

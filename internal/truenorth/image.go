@@ -52,6 +52,15 @@ type Image struct {
 // The model's slices are retained, not copied: callers must not mutate m
 // after handing it to NewImage.
 func NewImage(m *Model) (*Image, error) {
+	return NewImageLimited(m, nil)
+}
+
+// NewImageLimited is NewImage with the build's parallelism negotiated
+// through a shared worker limiter, so a daemon freezing many images
+// concurrently stays within one machine-wide worker budget instead of
+// spawning GOMAXPROCS goroutines per build. A nil limiter is unlimited
+// (identical to NewImage).
+func NewImageLimited(m *Model, lim *workpool.Limiter) (*Image, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -62,7 +71,7 @@ func NewImage(m *Model) (*Image, error) {
 		kernels: make([]*kernel, len(m.Cores)),
 		passive: make([]bool, len(m.Cores)),
 	}
-	workpool.ForEach(runtime.GOMAXPROCS(0), len(m.Cores), func(i int) {
+	workpool.ForEachLimited(lim, runtime.GOMAXPROCS(0), len(m.Cores), func(i int) {
 		cfg := img.cores[i]
 		if KernelEligible(cfg) {
 			img.kernels[i] = buildKernel(cfg)

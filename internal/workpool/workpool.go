@@ -1,11 +1,13 @@
 // Package workpool provides the shared worker-team primitives behind
 // Compass's parallel phases: a persistent Pool of goroutines dispatched
 // once per phase (the simulator's per-rank thread team, mirroring the
-// paper's OpenMP threads), and a bounded deterministic parallel-for
+// paper's OpenMP threads), a bounded deterministic parallel-for
 // (ForEach) used by the compiler's per-core instantiation, the image
-// builder's kernel construction, and IPFP sweep scaling.
+// builder's kernel construction, and IPFP sweep scaling, and a Limiter
+// that bounds the total workers a whole daemon spawns across any number
+// of concurrent sessions and builds.
 //
-// Both primitives are deterministic by construction as long as the work
+// All primitives are deterministic by construction as long as the work
 // items are independent: every item runs exactly once with the same
 // inputs regardless of worker count, so any computation whose items do
 // not communicate produces bit-identical results serial or parallel.
@@ -15,41 +17,67 @@ import (
 	"context"
 	"runtime/pprof"
 	"sync"
+	"sync/atomic"
 )
 
-// Pool is a persistent team of threads-1 goroutines that lives for a
-// whole run, replacing per-phase goroutine spawning. Thread 0 runs on
-// the caller; workers i = 1..threads-1 block on their own channel
-// between dispatches.
+// Pool is a persistent team of goroutines that lives for a whole run,
+// replacing per-phase goroutine spawning. The pool decouples the
+// logical thread count (how many tids each Run covers) from the worker
+// count (how many goroutines execute them): Run hands out tids from an
+// atomic counter, so every tid runs exactly once per dispatch whether
+// the pool was granted its full worker complement or had to share a
+// daemon-wide budget (see Limiter). The caller always executes as one
+// worker; workers beyond the first block on their own channel between
+// dispatches.
 type Pool struct {
-	work []chan task
+	threads int
+	work    []chan task
 }
 
 // task is one parallel phase dispatched to every worker.
 type task struct {
-	fn func(tid int)
-	wg *sync.WaitGroup
+	fn   func(tid int)
+	next *atomic.Int64
+	wg   *sync.WaitGroup
 }
 
-// New starts the workers for a pool of the given thread count; it
-// returns nil when one thread needs no pool (every method is nil-safe).
-// label, when non-nil, returns pprof label key/value pairs for worker
-// tid, so CPU profiles of a run break down by owner and worker.
-func New(threads int, label func(tid int) []string) *Pool {
+// New starts a full-width pool: threads logical threads served by
+// threads workers (the caller plus threads-1 goroutines). It returns
+// nil when one thread needs no pool (every method is nil-safe). label,
+// when non-nil, returns pprof label key/value pairs for worker w, so
+// CPU profiles of a run break down by owner and worker.
+func New(threads int, label func(w int) []string) *Pool {
+	return NewSized(threads, threads, label)
+}
+
+// NewSized starts a pool covering threads logical thread IDs with at
+// most workers executing goroutines (the caller counts as one, so
+// workers-1 goroutines are spawned). workers above threads is clamped;
+// threads <= 1 returns nil. A pool granted fewer workers than threads
+// still runs every tid on each dispatch — tids are multiplexed over the
+// available workers — so shrinking a daemon-wide worker budget never
+// changes results, only parallelism.
+func NewSized(threads, workers int, label func(w int) []string) *Pool {
 	if threads <= 1 {
 		return nil
 	}
-	p := &Pool{work: make([]chan task, threads-1)}
+	if workers > threads {
+		workers = threads
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{threads: threads, work: make([]chan task, workers-1)}
 	for i := range p.work {
 		ch := make(chan task, 1)
 		p.work[i] = ch
-		go func(tid int) {
+		go func(w int) {
 			if label != nil {
 				pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
-					pprof.Labels(label(tid)...)))
+					pprof.Labels(label(w)...)))
 			}
 			for t := range ch {
-				t.fn(tid)
+				runTids(t.fn, t.next, p.threads)
 				t.wg.Done()
 			}
 		}(i + 1)
@@ -57,20 +85,33 @@ func New(threads int, label func(tid int) []string) *Pool {
 	return p
 }
 
-// Run executes fn(tid) for every tid concurrently: each worker gets one
-// dispatch, the caller runs tid 0, and Run returns when all are done. A
-// nil pool runs fn(0) on the caller.
+// runTids pulls logical thread IDs from the shared counter until every
+// tid of the dispatch has been claimed.
+func runTids(fn func(tid int), next *atomic.Int64, threads int) {
+	for {
+		tid := next.Add(1) - 1
+		if tid >= int64(threads) {
+			return
+		}
+		fn(int(tid))
+	}
+}
+
+// Run executes fn(tid) exactly once for every tid in [0, threads)
+// across the pool's workers and returns when all are done. The caller
+// participates as a worker. A nil pool runs fn(0) on the caller.
 func (p *Pool) Run(fn func(tid int)) {
 	if p == nil {
 		fn(0)
 		return
 	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(len(p.work))
 	for _, ch := range p.work {
-		ch <- task{fn: fn, wg: &wg}
+		ch <- task{fn: fn, next: &next, wg: &wg}
 	}
-	fn(0)
+	runTids(fn, &next, p.threads)
 	wg.Wait()
 }
 
@@ -122,4 +163,72 @@ func ForEach(workers, n int, fn func(i int)) {
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// Limiter bounds the total extra workers in flight across everything
+// that shares it — image builds, compiler ranks, and session runner
+// pools all drawing from one daemon-wide budget, so K concurrent
+// sessions no longer spawn K x GOMAXPROCS goroutines. A caller's own
+// goroutine never needs a slot (work always proceeds, a starved
+// acquisition just runs serially), so the limiter can never deadlock.
+// A nil *Limiter is valid and grants every request in full.
+type Limiter struct {
+	slots chan struct{}
+}
+
+// NewLimiter builds a limiter with n grantable extra-worker slots.
+// n <= 0 returns nil (unlimited).
+func NewLimiter(n int) *Limiter {
+	if n <= 0 {
+		return nil
+	}
+	l := &Limiter{slots: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		l.slots <- struct{}{}
+	}
+	return l
+}
+
+// AcquireUpTo grabs up to want extra-worker slots without blocking and
+// returns the number granted (possibly 0). Pair every grant with
+// Release.
+func (l *Limiter) AcquireUpTo(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	if l == nil {
+		return want
+	}
+	got := 0
+	for got < want {
+		select {
+		case <-l.slots:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// Release returns n slots granted by AcquireUpTo.
+func (l *Limiter) Release(n int) {
+	if l == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		l.slots <- struct{}{}
+	}
+}
+
+// ForEachLimited is ForEach with the worker count negotiated through a
+// shared limiter: the caller always runs, and up to want-1 extra
+// workers join if the budget allows. A nil limiter is unlimited.
+func ForEachLimited(lim *Limiter, want, n int, fn func(i int)) {
+	if want > n {
+		want = n
+	}
+	extra := lim.AcquireUpTo(want - 1)
+	ForEach(1+extra, n, fn)
+	lim.Release(extra)
 }

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check bench bench-transport bench-kernel bench-admit bench-batch telemetry-smoke chaos-smoke race-transport serve-smoke
+.PHONY: build test race vet check bench bench-transport bench-kernel bench-admit bench-batch telemetry-smoke chaos-smoke race-transport serve-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ test:
 # slice swapping, and the atomic spike-delivery bitmask all run under
 # -race here.
 race:
-	$(GO) test -race ./internal/truenorth/... ./internal/compass/... ./internal/mpi/... ./internal/pgas/... ./internal/modelcache/... ./internal/server/...
+	$(GO) test -race ./internal/truenorth/... ./internal/compass/... ./internal/mpi/... ./internal/pgas/... ./internal/modelcache/... ./internal/server/... ./internal/cluster/...
 
 vet:
 	$(GO) vet ./...
@@ -91,6 +91,18 @@ serve-smoke:
 	mkdir -p $(SERVE_DIR)
 	$(GO) build -o $(SERVE_DIR)/compassd ./cmd/compassd
 	$(GO) run ./cmd/servesmoke -compassd $(SERVE_DIR)/compassd -dir $(SERVE_DIR)
+
+# Cluster serving smoke: build compassd, then spawn a coordinator plus
+# three nodes and run the clustersmoke drills — live migration between
+# daemons and SIGKILL heartbeat-lapse failover, each verified
+# byte-identical (spike trace + final checkpoint) against a solo
+# reference run. All process output lands in
+# $(CLUSTER_DIR)/cluster-smoke.log.
+CLUSTER_DIR ?= cluster-smoke
+cluster-smoke:
+	mkdir -p $(CLUSTER_DIR)
+	$(GO) build -o $(CLUSTER_DIR)/compassd ./cmd/compassd
+	$(GO) run ./cmd/clustersmoke -compassd $(CLUSTER_DIR)/compassd -dir $(CLUSTER_DIR)
 
 SMOKE_DIR ?= telemetry-smoke
 telemetry-smoke:

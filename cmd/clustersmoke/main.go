@@ -1,0 +1,464 @@
+// Command clustersmoke is the end-to-end smoke test for cluster-mode
+// compassd: it spawns a coordinator and three daemon processes, creates
+// sessions through the cluster control plane with a stream-proxy client
+// attached, live-migrates one session between daemons, SIGKILLs the
+// node owning another to force heartbeat-lapse failover, and verifies
+// both sessions' spike traces and final checkpoints are byte-identical
+// to solo reference runs on a standalone daemon.
+//
+// It exits non-zero on the first failed expectation. All output also
+// goes to -log for CI artifact upload.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/cognitive-sim/compass/internal/cluster"
+	"github.com/cognitive-sim/compass/internal/server"
+	"github.com/cognitive-sim/compass/internal/spikeio"
+)
+
+var (
+	compassd = flag.String("compassd", "", "path to the compassd binary (required)")
+	workDir  = flag.String("dir", "cluster-smoke", "working directory for addr files and logs")
+	logPath  = flag.String("log", "", "also write output to this file (default <dir>/cluster-smoke.log)")
+)
+
+type proc struct {
+	name       string
+	cmd        *exec.Cmd
+	httpAddr   string
+	streamAddr string
+}
+
+// model is the shared session shape: a seeded CoCoMac network, paced by
+// a wall-clock stall fault so cluster events can fire mid-run. Stalls
+// never change spike output, and migration/failover imports strip fault
+// rules anyway, so the unfaulted solo reference must match bit-for-bit.
+func model(name, faults string) map[string]any {
+	return map[string]any{
+		"name":         name,
+		"source":       map[string]any{"kind": "cocomac", "cores": 96, "seed": 11},
+		"ranks":        2,
+		"threads":      2,
+		"transport":    "shmem",
+		"ticks":        300,
+		"chunk_ticks":  25,
+		"start_paused": true,
+		"faults":       faults,
+	}
+}
+
+// injected is sent while each session is parked at tick 0: one spike
+// before the first cluster event, one after it (carried across the
+// ownership change by the coordinator's inject journal).
+var injected = []spikeio.Event{
+	{Tick: 40, Core: 0, Axon: 1},
+	{Tick: 220, Core: 1, Axon: 2},
+}
+
+func main() {
+	flag.Parse()
+	if *compassd == "" {
+		log.Fatal("clustersmoke: -compassd is required")
+	}
+	if err := os.MkdirAll(*workDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	lp := *logPath
+	if lp == "" {
+		lp = filepath.Join(*workDir, "cluster-smoke.log")
+	}
+	lf, err := os.Create(lp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lf.Close()
+	out := io.MultiWriter(os.Stdout, lf)
+	log.SetOutput(out)
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	// Solo references on a standalone daemon, faults stripped: the
+	// cluster runs must reproduce these byte-for-byte.
+	solo := startProc(out, "solo", "-listen", "127.0.0.1:0", "-stream-listen", "127.0.0.1:0")
+	refMigEvents, refMigCkpt := runReference(solo, model("ref-migrate", ""))
+	refKillEvents, refKillCkpt := runReference(solo, model("ref-kill", ""))
+	stopProc(solo, syscall.SIGTERM)
+	log.Printf("solo references: %d and %d egress records", len(refMigEvents), len(refKillEvents))
+
+	// The fleet: one coordinator, three daemons. A short heartbeat makes
+	// the kill-failover drill take ~2s instead of ~8s.
+	coord := startProc(out, "coord", "-coordinator",
+		"-listen", "127.0.0.1:0", "-stream-listen", "127.0.0.1:0",
+		"-heartbeat", "500ms", "-lapse-factor", "4")
+	nodes := make(map[string]*proc, 3)
+	for _, name := range []string{"n1", "n2", "n3"} {
+		p := startProc(out, name,
+			"-listen", "127.0.0.1:0", "-stream-listen", "127.0.0.1:0",
+			"-join", coord.httpAddr, "-node-id", name)
+		nodes[name] = p
+	}
+	waitNodes(coord.httpAddr, 3)
+	log.Printf("cluster up: coordinator %s + 3 nodes", coord.httpAddr)
+
+	// Drill 1: live migration. Pause mid-run, move to an explicit
+	// target, resume; the trace and final checkpoint must match the
+	// unmigrated reference.
+	mig := createCluster(coord.httpAddr, model("smoke-migrate", "stall:rank=0,k=6"))
+	log.Printf("session %s placed on %s", mig.ClusterID, mig.Node)
+	migEvents, migCkpt, migFinal := driveCluster(coord, mig.ClusterID, 400*time.Millisecond, func() {
+		postOK(coord.httpAddr, "/v1/cluster/sessions/"+mig.ClusterID+"/pause")
+		target := otherNode(coord.httpAddr, mig.Node)
+		st := migrate(coord.httpAddr, mig.ClusterID, target)
+		if st.Node == mig.Node {
+			log.Fatalf("migration stayed on %s", mig.Node)
+		}
+		log.Printf("session %s migrated %s -> %s at committed tick %d",
+			mig.ClusterID, mig.Node, st.Node, st.CommittedTick)
+		postOK(coord.httpAddr, "/v1/cluster/sessions/"+mig.ClusterID+"/resume")
+	})
+	if migFinal.Migrations != 1 || migFinal.EndState != "done" {
+		log.Fatalf("migrated session final status: %+v", migFinal)
+	}
+	compareRun("migration", migEvents, refMigEvents, migCkpt, refMigCkpt)
+
+	// Drill 2: chaos kill. SIGKILL the owner daemon mid-run; the
+	// heartbeat lapse declares it dead and the session is restored from
+	// its last pushed boundary on a surviving node — still
+	// byte-identical, because uncommitted egress was held back by the
+	// proxy and replayed ticks reproduce it exactly.
+	kill := createCluster(coord.httpAddr, model("smoke-kill", "stall:rank=0,k=6"))
+	log.Printf("session %s placed on %s", kill.ClusterID, kill.Node)
+	// The settle spans several chunk boundaries (a 25-tick chunk of this
+	// model takes ~1.5s) so the agent has pushed checkpoints and the
+	// failover restores from a boundary rather than recreating from
+	// tick 0.
+	killEvents, killCkpt, killFinal := driveCluster(coord, kill.ClusterID, 4*time.Second, func() {
+		owner := nodes[kill.Node]
+		if owner == nil {
+			log.Fatalf("session owner %q is not a spawned node", kill.Node)
+		}
+		log.Printf("SIGKILL node %s (pid %d)", kill.Node, owner.cmd.Process.Pid)
+		stopProc(owner, syscall.SIGKILL)
+	})
+	if killFinal.Restores < 1 || killFinal.EndState != "done" {
+		log.Fatalf("killed session final status: %+v", killFinal)
+	}
+	if killFinal.Node == kill.Node {
+		log.Fatalf("session was not restored off its killed home %s", kill.Node)
+	}
+	log.Printf("session %s restored on %s after %d restore(s)",
+		kill.ClusterID, killFinal.Node, killFinal.Restores)
+	compareRun("kill-failover", killEvents, refKillEvents, killCkpt, refKillCkpt)
+
+	for name, p := range nodes {
+		if name != kill.Node {
+			stopProc(p, syscall.SIGTERM)
+		}
+	}
+	stopProc(coord, syscall.SIGTERM)
+	log.Printf("cluster-smoke PASS")
+}
+
+// runReference drives one session on the standalone daemon: inject
+// while parked, resume, collect the full egress trace, download the
+// final checkpoint.
+func runReference(d *proc, req map[string]any) ([]spikeio.Event, []byte) {
+	info := createSession(d.httpAddr, req)
+	sc, err := server.DialStream(d.streamAddr, info.ID, server.StreamFlagInject|server.StreamFlagSubscribe)
+	if err != nil {
+		log.Fatalf("dial solo stream: %v", err)
+	}
+	defer sc.Close()
+	if err := sc.Send(injected); err != nil {
+		log.Fatalf("solo inject: %v", err)
+	}
+	results := make(chan streamResult, 1)
+	go collect(sc, results)
+	postOK(d.httpAddr, "/v1/sessions/"+info.ID+"/resume")
+	res := waitStream(results)
+	return res.events, getBytes(d.httpAddr, "/v1/sessions/"+info.ID+"/checkpoint")
+}
+
+// driveCluster drives one cluster session through the coordinator: a
+// stream-proxy client attaches first, spikes are injected while the
+// session is parked, mid runs once the session is underway, and the
+// trace, final checkpoint, and final status are returned after EOF.
+func driveCluster(coord *proc, id string, settle time.Duration, mid func()) ([]spikeio.Event, []byte, *cluster.SessionStatus) {
+	sc, err := server.DialStream(coord.streamAddr, id, server.StreamFlagInject|server.StreamFlagSubscribe)
+	if err != nil {
+		log.Fatalf("dial proxy stream: %v", err)
+	}
+	defer sc.Close()
+	if err := sc.Send(injected); err != nil {
+		log.Fatalf("proxy inject: %v", err)
+	}
+	results := make(chan streamResult, 1)
+	go collect(sc, results)
+	postOK(coord.httpAddr, "/v1/cluster/sessions/"+id+"/resume")
+
+	time.Sleep(settle)
+	mid()
+
+	res := waitStream(results)
+	final := waitEnded(coord.httpAddr, id, 60*time.Second)
+	ckpt := getBytes(coord.httpAddr, "/v1/cluster/sessions/"+id+"/checkpoint")
+	return res.events, ckpt, final
+}
+
+func compareRun(label string, got, want []spikeio.Event, gotCkpt, wantCkpt []byte) {
+	sortEvents(got)
+	sortEvents(want)
+	if len(got) != len(want) {
+		log.Fatalf("%s: trace has %d records, reference %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			log.Fatalf("%s: trace diverges at record %d: %+v vs %+v", label, i, got[i], want[i])
+		}
+	}
+	if !bytes.Equal(gotCkpt, wantCkpt) {
+		log.Fatalf("%s: final checkpoint differs (%d vs %d bytes)", label, len(gotCkpt), len(wantCkpt))
+	}
+	log.Printf("%s: %d egress records and %d-byte checkpoint match the solo reference",
+		label, len(got), len(gotCkpt))
+}
+
+type streamResult struct {
+	events []spikeio.Event
+	err    error
+}
+
+func collect(sc *server.StreamClient, results chan<- streamResult) {
+	var events []spikeio.Event
+	for {
+		frame, err := sc.Recv()
+		if err != nil {
+			if err == io.EOF {
+				err = nil
+			}
+			results <- streamResult{events: events, err: err}
+			return
+		}
+		events = append(events, frame...)
+	}
+}
+
+func waitStream(results <-chan streamResult) streamResult {
+	select {
+	case res := <-results:
+		if res.err != nil {
+			log.Fatalf("stream error: %v", res.err)
+		}
+		return res
+	case <-time.After(120 * time.Second):
+		log.Fatal("stream never reached EOF")
+		return streamResult{}
+	}
+}
+
+func sortEvents(evs []spikeio.Event) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.Tick != b.Tick {
+			return a.Tick < b.Tick
+		}
+		if a.Core != b.Core {
+			return a.Core < b.Core
+		}
+		return a.Axon < b.Axon
+	})
+}
+
+// ---- process management ----------------------------------------------
+
+func startProc(out io.Writer, name string, args ...string) *proc {
+	dir := filepath.Join(*workDir, name)
+	addrFile := filepath.Join(dir, "addrs")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	os.Remove(addrFile)
+	args = append(args, "-addr-file", addrFile, "-checkpoint-dir", filepath.Join(dir, "checkpoints"))
+	cmd := exec.Command(*compassd, args...)
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		log.Fatalf("start %s: %v", name, err)
+	}
+	p := &proc{name: name, cmd: cmd}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		raw, err := os.ReadFile(addrFile)
+		if err == nil {
+			for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+				if v, ok := strings.CutPrefix(line, "http="); ok {
+					p.httpAddr = v
+				}
+				if v, ok := strings.CutPrefix(line, "stream="); ok {
+					p.streamAddr = v
+				}
+			}
+			if p.httpAddr != "" && p.streamAddr != "" {
+				return p
+			}
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("%s did not write %s", name, addrFile)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func stopProc(p *proc, sig syscall.Signal) {
+	if err := p.cmd.Process.Signal(sig); err != nil {
+		log.Fatalf("signal %s: %v", p.name, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if sig == syscall.SIGTERM && err != nil {
+			log.Fatalf("%s exited with error: %v", p.name, err)
+		}
+	case <-time.After(60 * time.Second):
+		p.cmd.Process.Kill()
+		log.Fatalf("%s did not exit within 60s of signal %v", p.name, sig)
+	}
+}
+
+// ---- HTTP helpers -----------------------------------------------------
+
+func waitNodes(addr string, want int) {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var nodes struct {
+			Nodes []cluster.NodeStatus `json:"nodes"`
+		}
+		getJSON(addr, "/v1/cluster/nodes", &nodes)
+		alive := 0
+		for _, n := range nodes.Nodes {
+			if n.Alive {
+				alive++
+			}
+		}
+		if alive >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("only %d/%d nodes registered alive", alive, want)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func otherNode(addr, not string) string {
+	var nodes struct {
+		Nodes []cluster.NodeStatus `json:"nodes"`
+	}
+	getJSON(addr, "/v1/cluster/nodes", &nodes)
+	ids := make([]string, 0, len(nodes.Nodes))
+	for _, n := range nodes.Nodes {
+		if n.Alive && n.ID != not {
+			ids = append(ids, n.ID)
+		}
+	}
+	sort.Strings(ids)
+	if len(ids) == 0 {
+		log.Fatalf("no alive node other than %s", not)
+	}
+	return ids[0]
+}
+
+func createCluster(addr string, req map[string]any) *cluster.SessionStatus {
+	var st cluster.SessionStatus
+	postJSON(addr, "/v1/cluster/sessions", req, &st, http.StatusCreated)
+	return &st
+}
+
+func createSession(addr string, req map[string]any) server.Info {
+	var info server.Info
+	postJSON(addr, "/v1/sessions", req, &info, http.StatusCreated)
+	return info
+}
+
+func migrate(addr, id, target string) *cluster.SessionStatus {
+	var st cluster.SessionStatus
+	postJSON(addr, "/v1/cluster/sessions/"+id+"/migrate",
+		map[string]any{"target": target}, &st, http.StatusOK)
+	return &st
+}
+
+func waitEnded(addr, id string, timeout time.Duration) *cluster.SessionStatus {
+	deadline := time.Now().Add(timeout)
+	for {
+		var st cluster.SessionStatus
+		getJSON(addr, "/v1/cluster/sessions/"+id, &st)
+		if st.Ended {
+			return &st
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("session %s did not end within %v (node %s, state %q)",
+				id, timeout, st.Node, st.EndState)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func postJSON(addr, path string, req any, into any, wantStatus int) {
+	body, _ := json.Marshal(req)
+	resp, err := http.Post("http://"+addr+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		msg, _ := io.ReadAll(resp.Body)
+		log.Fatalf("POST %s: status %d: %s", path, resp.StatusCode, msg)
+	}
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			log.Fatalf("POST %s: decode: %v", path, err)
+		}
+	}
+}
+
+func postOK(addr, path string) {
+	postJSON(addr, path, nil, nil, http.StatusOK)
+}
+
+func getJSON(addr, path string, into any) {
+	raw := getBytes(addr, path)
+	if err := json.Unmarshal(raw, into); err != nil {
+		log.Fatalf("GET %s: decode: %v", path, err)
+	}
+}
+
+func getBytes(addr, path string) []byte {
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		log.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		log.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, msg)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("GET %s: %v", path, err)
+	}
+	return raw
+}

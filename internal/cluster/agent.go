@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/cognitive-sim/compass/internal/server"
+)
+
+// Agent is the node-side half of the cluster: it registers its compassd
+// with a coordinator, heartbeats load and per-session pulses, and
+// pushes a full export document at every chunk boundary so the
+// coordinator can restore any session from its latest boundary if this
+// node dies. The agent is purely additive — a compassd without one is
+// a normal standalone daemon.
+type Agent struct {
+	coord string // coordinator control-plane address
+	srv   *server.Server
+	hc    *http.Client
+
+	interval time.Duration
+	inflight atomic.Int64
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// maxInflightPushes bounds concurrent checkpoint pushes per node; a
+// coordinator outage then costs dropped restore points, not blocked
+// runners.
+const maxInflightPushes = 8
+
+// StartAgent registers srv with the coordinator at coordAddr and starts
+// the heartbeat and checkpoint-push loops. The heartbeat cadence comes
+// from the coordinator's registration response.
+func StartAgent(coordAddr string, srv *server.Server) (*Agent, error) {
+	a := &Agent{
+		coord: coordAddr,
+		srv:   srv,
+		hc:    &http.Client{Timeout: 15 * time.Second},
+		stop:  make(chan struct{}),
+	}
+	interval, err := a.register()
+	if err != nil {
+		return nil, err
+	}
+	a.interval = interval
+
+	// Per-chunk failover state: every boundary, ship the full export
+	// document. The hook runs on the session's runner goroutine between
+	// chunks — the snapshot must happen there (that goroutine is the
+	// boundary state's one writer) but the push must not block the
+	// simulation, so it ships asynchronously. Pushes in excess of the
+	// in-flight cap are dropped: losing one only means a slightly older
+	// restore point, and replay from an older boundary is still exact.
+	srv.Manager().SetBoundaryHook(func(s *server.Session) {
+		doc, err := server.BuildExportDoc(s)
+		if err != nil {
+			return
+		}
+		if a.inflight.Add(1) > maxInflightPushes {
+			a.inflight.Add(-1)
+			return
+		}
+		go func() {
+			defer a.inflight.Add(-1)
+			a.pushCheckpoint(s.ID, doc)
+		}()
+	})
+
+	a.wg.Add(1)
+	go a.heartbeatLoop()
+	return a, nil
+}
+
+// register announces the node; retried by the heartbeat loop when the
+// coordinator answers 409 (it restarted and lost the registry).
+func (a *Agent) register() (time.Duration, error) {
+	req := &RegisterRequest{
+		NodeID:       a.srv.NodeID(),
+		HTTPAddr:     a.srv.AdvertiseHTTPAddr(),
+		StreamAddr:   a.srv.AdvertiseStreamAddr(),
+		Capacity:     a.srv.Manager().Capacity(),
+		MemoryBudget: a.srv.Manager().MemoryBudget(),
+	}
+	var resp RegisterResponse
+	if err := a.postJSON("/v1/cluster/nodes/register", req, &resp); err != nil {
+		return 0, fmt.Errorf("cluster: register with %s: %w", a.coord, err)
+	}
+	interval := time.Duration(resp.HeartbeatMillis) * time.Millisecond
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	return interval, nil
+}
+
+// heartbeatLoop reports load and session pulses until Stop.
+func (a *Agent) heartbeatLoop() {
+	defer a.wg.Done()
+	t := time.NewTicker(a.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+		}
+		if err := a.heartbeat(); err != nil {
+			// A 409 means the coordinator no longer knows us (restart);
+			// re-register and carry on.
+			if _, rerr := a.register(); rerr != nil {
+				continue
+			}
+			a.heartbeat()
+		}
+	}
+}
+
+// heartbeat posts one load report.
+func (a *Agent) heartbeat() error {
+	mgr := a.srv.Manager()
+	running, queued, _ := mgr.Counts()
+	infos := mgr.List()
+	pulses := make([]SessionPulse, 0, len(infos))
+	for _, info := range infos {
+		pulses = append(pulses, SessionPulse{ID: info.ID, State: info.State, Error: info.Error})
+	}
+	hb := &Heartbeat{
+		NodeID:   a.srv.NodeID(),
+		Used:     mgr.UsedCapacity(),
+		MemUsed:  mgr.MemoryUsed(),
+		Resident: mgr.ResidentImageHashes(),
+		Running:  running,
+		Queued:   queued,
+		Sessions: pulses,
+	}
+	return a.postJSON("/v1/cluster/nodes/heartbeat", hb, nil)
+}
+
+// pushCheckpoint ships one boundary export document.
+func (a *Agent) pushCheckpoint(sessionID string, doc *server.ExportDoc) {
+	p := &CheckpointPush{
+		NodeID:        a.srv.NodeID(),
+		NodeSessionID: sessionID,
+		Export:        *doc,
+	}
+	a.postJSON("/v1/cluster/checkpoint", p, nil)
+}
+
+// Drain asks the coordinator to migrate every session off this node
+// (the SIGTERM path), returning once the coordinator has finished or
+// the timeout passes.
+func (a *Agent) Drain(timeout time.Duration) error {
+	hc := &http.Client{Timeout: timeout}
+	raw, err := json.Marshal(struct{}{})
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Post(
+		"http://"+a.coord+"/v1/cluster/nodes/"+a.srv.NodeID()+"/drain",
+		"application/json", bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("cluster: drain: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return fmt.Errorf("cluster: drain: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+// Stop ends the loops and deregisters from the coordinator.
+func (a *Agent) Stop() {
+	a.stopOnce.Do(func() { close(a.stop) })
+	a.wg.Wait()
+	req, err := http.NewRequest(http.MethodDelete,
+		"http://"+a.coord+"/v1/cluster/nodes/"+a.srv.NodeID(), nil)
+	if err != nil {
+		return
+	}
+	if resp, err := a.hc.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+// postJSON posts one document and decodes the response into out when
+// non-nil; non-2xx responses surface the coordinator's error envelope.
+func (a *Agent) postJSON(path string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := a.hc.Post("http://"+a.coord+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var env struct {
+			Error string `json:"error"`
+		}
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(b, &env) == nil && env.Error != "" {
+			return fmt.Errorf("cluster: coordinator %s: %s", a.coord, env.Error)
+		}
+		return fmt.Errorf("cluster: coordinator %s: %s", a.coord, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

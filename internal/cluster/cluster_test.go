@@ -1,0 +1,895 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/cognitive-sim/compass/internal/coreobject"
+	"github.com/cognitive-sim/compass/internal/prng"
+	"github.com/cognitive-sim/compass/internal/server"
+	"github.com/cognitive-sim/compass/internal/spikeio"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// ---- harness ----------------------------------------------------------
+
+// testModel mirrors internal/server's test helper: a deterministic
+// network with sustained input drive so every run of the same seed is
+// bit-identical.
+func testModel(nCores int, seed uint64) *truenorth.Model {
+	r := prng.New(seed)
+	m := &truenorth.Model{Seed: seed}
+	for k := 0; k < nCores; k++ {
+		cfg := &truenorth.CoreConfig{ID: truenorth.CoreID(k)}
+		for a := 0; a < truenorth.CoreSize; a++ {
+			cfg.AxonTypes[a] = uint8(r.Intn(truenorth.NumAxonTypes))
+			for s := 0; s < 8; s++ {
+				cfg.SetSynapse(a, r.Intn(truenorth.CoreSize), true)
+			}
+		}
+		for j := 0; j < truenorth.CoreSize; j++ {
+			cfg.Neurons[j] = truenorth.NeuronParams{
+				Weights:   [truenorth.NumAxonTypes]int16{2, 1, 3, -1},
+				Leak:      -1,
+				Threshold: int32(3 + r.Intn(6)),
+				Reset:     0,
+				Floor:     -32,
+				Target: truenorth.SpikeTarget{
+					Core:  truenorth.CoreID(r.Intn(nCores)),
+					Axon:  uint16(r.Intn(truenorth.CoreSize)),
+					Delay: uint8(1 + r.Intn(3)),
+				},
+				Enabled: true,
+			}
+		}
+		m.Cores = append(m.Cores, cfg)
+	}
+	for tick := uint64(0); tick < 30; tick++ {
+		for a := 0; a < 64; a++ {
+			m.Inputs = append(m.Inputs, truenorth.InputSpike{
+				Tick: tick,
+				Core: truenorth.CoreID(int(tick) % nCores),
+				Axon: uint16(r.Intn(truenorth.CoreSize)),
+			})
+		}
+	}
+	return m
+}
+
+func modelB64(t *testing.T, m *truenorth.Model) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := coreobject.WriteModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	return base64.StdEncoding.EncodeToString(buf.Bytes())
+}
+
+// modelRequest builds a start-paused CreateRequest for a binary model.
+// The stall fault (wall-clock only; output is bit-identical) paces the
+// run so lifecycle verbs land at early, predictable chunk boundaries.
+func modelRequest(t *testing.T, m *truenorth.Model, transport string, ticks uint64, faults string) *server.CreateRequest {
+	t.Helper()
+	return &server.CreateRequest{
+		Name:        "cluster-" + transport,
+		Source:      server.SourceSpec{Kind: "model", ModelBase64: modelB64(t, m)},
+		Ranks:       2,
+		Threads:     2,
+		Transport:   transport,
+		Ticks:       ticks,
+		ChunkTicks:  10,
+		StartPaused: true,
+		Faults:      faults,
+	}
+}
+
+func startNode(t *testing.T, id string) *server.Server {
+	t.Helper()
+	srv := server.New(server.Options{
+		HTTPAddr:   "127.0.0.1:0",
+		StreamAddr: "127.0.0.1:0",
+		NodeID:     id,
+		Manager: server.ManagerOptions{
+			CapacitySecondsPerTick: 1e9,
+			MaxRunning:             32,
+			ChunkTicks:             10,
+		},
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv
+}
+
+// testLogger forwards coordinator logs to t.Logf until the test ends;
+// stray background goroutines (restore attempts racing shutdown) then
+// log into the void instead of panicking the test framework.
+type testLogger struct {
+	mu   sync.Mutex
+	t    *testing.T
+	done bool
+}
+
+func (l *testLogger) logf(format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.done {
+		l.t.Logf(format, args...)
+	}
+}
+
+func (l *testLogger) mute() {
+	l.mu.Lock()
+	l.done = true
+	l.mu.Unlock()
+}
+
+type testCluster struct {
+	t      *testing.T
+	coord  *Coordinator
+	nodes  map[string]*server.Server
+	agents map[string]*Agent
+	hc     *http.Client
+}
+
+func newTestCluster(t *testing.T, opts Options) *testCluster {
+	t.Helper()
+	if opts.HTTPAddr == "" {
+		opts.HTTPAddr = "127.0.0.1:0"
+	}
+	if opts.StreamAddr == "" {
+		opts.StreamAddr = "127.0.0.1:0"
+	}
+	if opts.HeartbeatInterval == 0 {
+		opts.HeartbeatInterval = 50 * time.Millisecond
+	}
+	lg := &testLogger{t: t}
+	opts.Logf = lg.logf
+	t.Cleanup(lg.mute) // registered first: runs after every shutdown below
+	c := NewCoordinator(opts)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		c.Shutdown(ctx)
+	})
+	return &testCluster{
+		t:      t,
+		coord:  c,
+		nodes:  make(map[string]*server.Server),
+		agents: make(map[string]*Agent),
+		hc:     &http.Client{Timeout: 60 * time.Second},
+	}
+}
+
+func (tc *testCluster) addNode(id string) *server.Server {
+	tc.t.Helper()
+	srv := startNode(tc.t, id)
+	a, err := StartAgent(tc.coord.HTTPAddr(), srv)
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	tc.t.Cleanup(a.Stop)
+	tc.nodes[id] = srv
+	tc.agents[id] = a
+	return srv
+}
+
+// doJSON issues one coordinator control-plane request.
+func (tc *testCluster) doJSON(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, "http://"+tc.coord.HTTPAddr()+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := tc.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var env struct {
+			Error string `json:"error"`
+		}
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(raw, &env) == nil && env.Error != "" {
+			return fmt.Errorf("%s %s: %s", method, path, env.Error)
+		}
+		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (tc *testCluster) create(req *server.CreateRequest) SessionStatus {
+	tc.t.Helper()
+	var st SessionStatus
+	if err := tc.doJSON(http.MethodPost, "/v1/cluster/sessions", req, &st); err != nil {
+		tc.t.Fatal(err)
+	}
+	return st
+}
+
+func (tc *testCluster) verb(id, verb string) SessionStatus {
+	tc.t.Helper()
+	var st SessionStatus
+	if err := tc.doJSON(http.MethodPost, "/v1/cluster/sessions/"+id+"/"+verb, nil, &st); err != nil {
+		tc.t.Fatalf("%s %s: %v", verb, id, err)
+	}
+	return st
+}
+
+func (tc *testCluster) migrate(id, target string) SessionStatus {
+	tc.t.Helper()
+	var st SessionStatus
+	if err := tc.doJSON(http.MethodPost, "/v1/cluster/sessions/"+id+"/migrate", &MigrateRequest{Target: target}, &st); err != nil {
+		tc.t.Fatalf("migrate %s to %q: %v", id, target, err)
+	}
+	return st
+}
+
+func (tc *testCluster) status(id string) SessionStatus {
+	tc.t.Helper()
+	var st SessionStatus
+	if err := tc.doJSON(http.MethodGet, "/v1/cluster/sessions/"+id, nil, &st); err != nil {
+		tc.t.Fatal(err)
+	}
+	return st
+}
+
+func (tc *testCluster) checkpoint(id string) []byte {
+	tc.t.Helper()
+	resp, err := tc.hc.Get("http://" + tc.coord.HTTPAddr() + "/v1/cluster/sessions/" + id + "/checkpoint")
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		tc.t.Fatalf("checkpoint %s: %s (%v): %s", id, resp.Status, err, raw)
+	}
+	return raw
+}
+
+// waitEnded polls until the cluster session reaches a terminal record.
+func (tc *testCluster) waitEnded(id string, timeout time.Duration) SessionStatus {
+	tc.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st := tc.status(id)
+		if st.Ended {
+			return st
+		}
+		if time.Now().After(deadline) {
+			tc.t.Fatalf("session %s never ended: %+v", id, st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func sortEvents(events []spikeio.Event) {
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].Tick != events[b].Tick {
+			return events[a].Tick < events[b].Tick
+		}
+		if events[a].Core != events[b].Core {
+			return events[a].Core < events[b].Core
+		}
+		return events[a].Axon < events[b].Axon
+	})
+}
+
+type streamResult struct {
+	events []spikeio.Event
+	err    error
+}
+
+// collectStream drains a subscriber until EOF.
+func collectStream(c *server.StreamClient, ch chan<- streamResult) {
+	var out streamResult
+	for {
+		frame, err := c.Recv()
+		if err == io.EOF {
+			ch <- out
+			return
+		}
+		if err != nil {
+			out.err = err
+			ch <- out
+			return
+		}
+		out.events = append(out.events, frame...)
+	}
+}
+
+// ---- the shared lifecycle script --------------------------------------
+
+// sessionDriver abstracts one spike-streamed session so the identical
+// lifecycle script can drive a cluster session (through the coordinator
+// control plane and stream proxy) and a solo reference session (against
+// a standalone daemon): the byte-identity comparison is only meaningful
+// when both runs see the same verbs and the same injected spikes.
+type sessionDriver interface {
+	verb(verb string) *server.Info // pause blocks until parked
+	streamEndpoint() (addr, id string)
+	checkpoint() []byte
+}
+
+type clusterDriver struct {
+	tc *testCluster
+	id string
+}
+
+func (d *clusterDriver) verb(verb string) *server.Info {
+	st := d.tc.verb(d.id, verb)
+	return st.Info
+}
+func (d *clusterDriver) streamEndpoint() (string, string) {
+	return d.tc.coord.StreamAddr(), d.id
+}
+func (d *clusterDriver) checkpoint() []byte { return d.tc.checkpoint(d.id) }
+
+type soloDriver struct {
+	t   *testing.T
+	srv *server.Server
+	nc  *nodeClient
+	id  string
+}
+
+func newSoloDriver(t *testing.T, name string, req *server.CreateRequest) *soloDriver {
+	t.Helper()
+	srv := startNode(t, name)
+	nc := newNodeClient(srv.HTTPAddr(), 60*time.Second)
+	info, err := nc.createSession(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &soloDriver{t: t, srv: srv, nc: nc, id: info.ID}
+}
+
+func (d *soloDriver) verb(verb string) *server.Info {
+	info, err := d.nc.lifecycle(d.id, verb)
+	if err != nil {
+		d.t.Fatalf("solo %s: %v", verb, err)
+	}
+	return info
+}
+func (d *soloDriver) streamEndpoint() (string, string) { return d.srv.StreamAddr(), d.id }
+func (d *soloDriver) checkpoint() []byte {
+	raw, err := d.nc.checkpoint(d.id)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	return raw
+}
+
+// script describes the lifecycle both runs share. Spikes are injected
+// at fixed absolute ticks; the mid-run injection requires both runs to
+// park strictly before tick 50, which the stall-fault pacing ensures.
+type script struct {
+	midrunPause time.Duration // 0: stay parked at tick 0 until mid()
+	mid         func()        // runs while parked (migrations, failover setup)
+}
+
+var (
+	preSpikes = []spikeio.Event{{Tick: 20, Core: 0, Axon: 1}, {Tick: 21, Core: 1, Axon: 2}}
+	midSpikes = []spikeio.Event{{Tick: 50, Core: 2, Axon: 3}, {Tick: 51, Core: 0, Axon: 4}}
+)
+
+// drive runs the script and returns the sorted egress trace and the
+// final checkpoint bytes.
+func drive(t *testing.T, d sessionDriver, sc script) ([]spikeio.Event, []byte) {
+	t.Helper()
+	addr, id := d.streamEndpoint()
+	stream, err := server.DialStream(addr, id, server.StreamFlagInject|server.StreamFlagSubscribe)
+	if err != nil {
+		t.Fatalf("dial stream %s at %s: %v", id, addr, err)
+	}
+	defer stream.Close()
+	results := make(chan streamResult, 1)
+	go collectStream(stream, results)
+
+	// Inject while parked at tick 0: both spikes target future ticks.
+	if err := stream.Send(preSpikes); err != nil {
+		t.Fatal(err)
+	}
+
+	if sc.midrunPause > 0 {
+		d.verb("resume")
+		time.Sleep(sc.midrunPause)
+		info := d.verb("pause")
+		if info == nil || info.State != "paused" {
+			t.Fatalf("mid-run pause did not settle: %+v", info)
+		}
+		if info.TicksDone >= midSpikes[0].Tick {
+			t.Fatalf("pacing flake: parked at tick %d, want below %d (stall fault too weak for this machine)",
+				info.TicksDone, midSpikes[0].Tick)
+		}
+		if err := stream.Send(midSpikes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sc.mid != nil {
+		sc.mid()
+	}
+	d.verb("resume")
+
+	var res streamResult
+	select {
+	case res = <-results:
+	case <-time.After(120 * time.Second):
+		t.Fatal("stream never reached EOF")
+	}
+	if res.err != nil {
+		t.Fatalf("stream error: %v", res.err)
+	}
+	sortEvents(res.events)
+	return res.events, d.checkpoint()
+}
+
+func assertSameRun(t *testing.T, label string, gotEvents, wantEvents []spikeio.Event, gotCkpt, wantCkpt []byte) {
+	t.Helper()
+	if len(gotEvents) != len(wantEvents) {
+		t.Fatalf("%s: trace has %d records, reference %d", label, len(gotEvents), len(wantEvents))
+	}
+	for i := range wantEvents {
+		if gotEvents[i] != wantEvents[i] {
+			t.Fatalf("%s: trace record %d = %+v, reference %+v", label, i, gotEvents[i], wantEvents[i])
+		}
+	}
+	if !bytes.Equal(gotCkpt, wantCkpt) {
+		t.Fatalf("%s: final checkpoint differs from reference (%d vs %d bytes): %s",
+			label, len(gotCkpt), len(wantCkpt), diffCheckpoints(gotCkpt, wantCkpt))
+	}
+}
+
+// diffCheckpoints decodes two checkpoint blobs and names the first
+// divergent field, so a determinism failure points at the state that
+// drifted instead of a raw byte offset.
+func diffCheckpoints(got, want []byte) string {
+	g, gerr := coreobject.ReadCheckpoint(bytes.NewReader(got))
+	w, werr := coreobject.ReadCheckpoint(bytes.NewReader(want))
+	if gerr != nil || werr != nil {
+		return fmt.Sprintf("decode got=%v want=%v", gerr, werr)
+	}
+	if g.Tick != w.Tick {
+		return fmt.Sprintf("tick %d vs %d", g.Tick, w.Tick)
+	}
+	if g.ModelHash != w.ModelHash {
+		return fmt.Sprintf("model hash %q vs %q", g.ModelHash, w.ModelHash)
+	}
+	if len(g.States) != len(w.States) {
+		return fmt.Sprintf("core count %d vs %d", len(g.States), len(w.States))
+	}
+	for i := range g.States {
+		gc, wc := &g.States[i], &w.States[i]
+		for j := range gc.Potentials {
+			if gc.Potentials[j] != wc.Potentials[j] {
+				return fmt.Sprintf("core %d potential[%d] %d vs %d", i, j, gc.Potentials[j], wc.Potentials[j])
+			}
+		}
+		for j := range gc.AxonBuf {
+			if gc.AxonBuf[j] != wc.AxonBuf[j] {
+				return fmt.Sprintf("core %d axonbuf[%d] %#x vs %#x", i, j, gc.AxonBuf[j], wc.AxonBuf[j])
+			}
+		}
+		for j := range gc.RNG {
+			if gc.RNG[j] != wc.RNG[j] {
+				return fmt.Sprintf("core %d rng[%d] %#x vs %#x", i, j, gc.RNG[j], wc.RNG[j])
+			}
+		}
+	}
+	return "no field-level difference found"
+}
+
+// ---- migration determinism --------------------------------------------
+
+// TestMigrationDeterminism is the acceptance table: sessions created
+// through the coordinator, streamed through the proxy, and migrated at
+// a chunk boundary (including before the first tick, and twice in a
+// row) must produce a spike trace and final checkpoint byte-identical
+// to an unmigrated solo run — on all three transports, with spikes
+// injected both before the run and mid-stream while parked.
+func TestMigrationDeterminism(t *testing.T) {
+	const pacing = "stall:rank=0,k=2" // ~1ms/tick until the migration strips it
+	cases := []struct {
+		name      string
+		transport string
+		fresh     bool // migrate while still parked at tick 0
+		double    bool // migrate twice back to back
+	}{
+		{name: "mpi-midrun", transport: "mpi"},
+		{name: "pgas-midrun", transport: "pgas"},
+		{name: "shmem-midrun", transport: "shmem"},
+		{name: "shmem-fresh-tick0", transport: "shmem", fresh: true},
+		{name: "mpi-double", transport: "mpi", double: true},
+	}
+	for i, c := range cases {
+		c := c
+		seed := uint64(4200 + i)
+		t.Run(c.name, func(t *testing.T) {
+			m := testModel(4, seed)
+			req := modelRequest(t, m, c.transport, 60, pacing)
+
+			sc := script{midrunPause: 15 * time.Millisecond}
+			if c.fresh {
+				sc.midrunPause = 0
+			}
+			solo := newSoloDriver(t, "solo", req)
+			wantEvents, wantCkpt := drive(t, solo, sc)
+
+			tc := newTestCluster(t, Options{})
+			tc.addNode("n1")
+			tc.addNode("n2")
+			if c.double {
+				tc.addNode("n3")
+			}
+			st := tc.create(req)
+			if st.Info == nil || st.Info.Placement == "" {
+				t.Fatalf("cluster create returned no placement info: %+v", st)
+			}
+			csc := sc
+			csc.mid = func() {
+				before := tc.status(st.ClusterID)
+				moved := tc.migrate(st.ClusterID, "")
+				if moved.Node == before.Node {
+					t.Fatalf("migration stayed on %s", before.Node)
+				}
+				if c.double {
+					again := tc.migrate(st.ClusterID, "")
+					if again.Node == moved.Node {
+						t.Fatalf("second migration stayed on %s", moved.Node)
+					}
+				}
+			}
+			gotEvents, gotCkpt := drive(t, &clusterDriver{tc: tc, id: st.ClusterID}, csc)
+			assertSameRun(t, c.name, gotEvents, wantEvents, gotCkpt, wantCkpt)
+
+			final := tc.waitEnded(st.ClusterID, 30*time.Second)
+			wantMigrations := 1
+			if c.double {
+				wantMigrations = 2
+			}
+			if final.EndState != "done" || final.Migrations != wantMigrations {
+				t.Fatalf("final status: %+v, want done with %d migrations", final, wantMigrations)
+			}
+		})
+	}
+}
+
+// TestBatchedLaneMigration migrates one of two same-model sessions
+// sharing a batched tick loop; both its trace and its lane-mate's must
+// stay byte-identical to solo references. Fault pacing would force the
+// sessions out of the batch group (faulted runs execute solo), so both
+// run unpaced and A migrates while still parked at tick 0 — the lane
+// departure the group must absorb is the same either way.
+func TestBatchedLaneMigration(t *testing.T) {
+	m := testModel(4, 7700)
+	reqA := modelRequest(t, m, "shmem", 60, "")
+	reqB := modelRequest(t, m, "shmem", 60, "")
+	reqB.Name = "lane-mate"
+
+	soloA := newSoloDriver(t, "solo-a", reqA)
+	wantA, wantCkptA := drive(t, soloA, script{})
+	soloB := newSoloDriver(t, "solo-b", reqB)
+	wantB, wantCkptB := drive(t, soloB, script{})
+
+	tc := newTestCluster(t, Options{})
+	tc.addNode("n1")
+	tc.addNode("n2")
+	stA := tc.create(reqA)
+	stB := tc.create(reqB)
+	if stA.Node != stB.Node {
+		t.Fatalf("same-model sessions placed apart: %s vs %s", stA.Node, stB.Node)
+	}
+	if stA.Info.BatchGroup == "" || stA.Info.BatchGroup != stB.Info.BatchGroup {
+		t.Fatalf("sessions not sharing a batch group: %q vs %q", stA.Info.BatchGroup, stB.Info.BatchGroup)
+	}
+
+	// B runs the plain script concurrently; A migrates out of the shared
+	// lane before resuming.
+	var wgB sync.WaitGroup
+	var gotB []spikeio.Event
+	var ckptB []byte
+	wgB.Add(1)
+	go func() {
+		defer wgB.Done()
+		gotB, ckptB = drive(t, &clusterDriver{tc: tc, id: stB.ClusterID}, script{})
+	}()
+	gotA, ckptA := drive(t, &clusterDriver{tc: tc, id: stA.ClusterID}, script{
+		mid: func() {
+			moved := tc.migrate(stA.ClusterID, "")
+			if moved.Node == stA.Node {
+				t.Errorf("migration stayed on %s", stA.Node)
+			}
+		},
+	})
+	wgB.Wait()
+
+	assertSameRun(t, "migrated lane member", gotA, wantA, ckptA, wantCkptA)
+	assertSameRun(t, "remaining lane member", gotB, wantB, ckptB, wantCkptB)
+}
+
+// ---- failover ---------------------------------------------------------
+
+// TestFailoverCrashFault arms a deterministic crash fault (the chaos
+// drill: one rank dies mid-run), lets the heartbeat path notice the
+// failed session, and asserts the restored run's trace and final
+// checkpoint are byte-identical to a fault-free solo run.
+func TestFailoverCrashFault(t *testing.T) {
+	m := testModel(4, 9100)
+	soloReq := modelRequest(t, m, "mpi", 60, "stall:rank=0,k=2")
+	solo := newSoloDriver(t, "solo", soloReq)
+	wantEvents, wantCkpt := drive(t, solo, script{})
+
+	tc := newTestCluster(t, Options{})
+	tc.addNode("n1")
+	tc.addNode("n2")
+	req := modelRequest(t, m, "mpi", 60, "stall:rank=0,k=2;crash:rank=1,tick=30")
+	st := tc.create(req)
+	home := st.Node
+
+	gotEvents, gotCkpt := drive(t, &clusterDriver{tc: tc, id: st.ClusterID}, script{})
+	assertSameRun(t, "crash failover", gotEvents, wantEvents, gotCkpt, wantCkpt)
+
+	final := tc.waitEnded(st.ClusterID, 30*time.Second)
+	if final.EndState != "done" {
+		t.Fatalf("end state %q, want done", final.EndState)
+	}
+	if final.Restores != 1 {
+		t.Fatalf("restores = %d, want 1", final.Restores)
+	}
+	if final.Node == home {
+		t.Fatalf("session was not restored off its crashed home %s", home)
+	}
+}
+
+// TestFailoverNodeDeath silences a node's heartbeats without
+// deregistering it (the daemon stays up — the nastier, split-brain
+// shape of failure), waits for the lapse sweep to declare it dead, and
+// asserts the session restored elsewhere still yields a byte-identical
+// trace and checkpoint: late records from the presumed-dead node must
+// not double-deliver.
+func TestFailoverNodeDeath(t *testing.T) {
+	const pacing = "stall:rank=0,k=10" // ~5ms/tick: the run outlives the lapse window
+	m := testModel(4, 9300)
+	req := modelRequest(t, m, "shmem", 60, pacing)
+	solo := newSoloDriver(t, "solo", req)
+	wantEvents, wantCkpt := drive(t, solo, script{})
+
+	tc := newTestCluster(t, Options{
+		HeartbeatInterval: 40 * time.Millisecond,
+		LapseFactor:       3,
+	})
+	tc.addNode("n1")
+	st := tc.create(req) // n1 is the only node: the session lands there
+	tc.addNode("n2")     // the empty failover target
+
+	stream, err := server.DialStream(tc.coord.StreamAddr(), st.ClusterID,
+		server.StreamFlagInject|server.StreamFlagSubscribe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	results := make(chan streamResult, 1)
+	go collectStream(stream, results)
+	if err := stream.Send(preSpikes); err != nil {
+		t.Fatal(err)
+	}
+	tc.verb(st.ClusterID, "resume")
+
+	// Mid-run, stop the owner's heartbeat loop without deregistering:
+	// the daemon (and the session) keeps running, but the coordinator
+	// must declare the node dead and restore the session on n2.
+	time.Sleep(60 * time.Millisecond)
+	a := tc.agents["n1"]
+	a.stopOnce.Do(func() { close(a.stop) })
+	a.wg.Wait()
+
+	var res streamResult
+	select {
+	case res = <-results:
+	case <-time.After(120 * time.Second):
+		t.Fatal("stream never reached EOF after node death")
+	}
+	if res.err != nil {
+		t.Fatalf("stream error: %v", res.err)
+	}
+	sortEvents(res.events)
+	gotCkpt := tc.checkpoint(st.ClusterID)
+	assertSameRun(t, "node death failover", res.events, wantEvents, gotCkpt, wantCkpt)
+
+	final := tc.waitEnded(st.ClusterID, 30*time.Second)
+	if final.EndState != "done" {
+		t.Fatalf("end state %q, want done", final.EndState)
+	}
+	if final.Restores < 1 {
+		t.Fatalf("restores = %d, want >= 1", final.Restores)
+	}
+	if final.Node != "n2" {
+		t.Fatalf("session ended on %s, want the failover target n2", final.Node)
+	}
+}
+
+// ---- drain, placement, control-plane surface --------------------------
+
+// TestDrainNode moves every session off a node via the drain endpoint
+// (the SIGTERM rolling-restart path) and checks the node is excluded
+// from subsequent placement.
+func TestDrainNode(t *testing.T) {
+	tc := newTestCluster(t, Options{})
+	tc.addNode("n1")
+	m := testModel(4, 5100)
+	st1 := tc.create(modelRequest(t, m, "shmem", 40, ""))
+	st2 := tc.create(modelRequest(t, testModel(4, 5200), "shmem", 40, ""))
+	if st1.Node != "n1" || st2.Node != "n1" {
+		t.Fatalf("sessions placed on %s/%s, want n1", st1.Node, st2.Node)
+	}
+	tc.addNode("n2")
+
+	var out struct {
+		Moved []string `json:"moved"`
+		Stuck []string `json:"stuck"`
+	}
+	if err := tc.doJSON(http.MethodPost, "/v1/cluster/nodes/n1/drain", struct{}{}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Moved) != 2 || len(out.Stuck) != 0 {
+		t.Fatalf("drain moved %v, stuck %v; want both moved", out.Moved, out.Stuck)
+	}
+	for _, id := range []string{st1.ClusterID, st2.ClusterID} {
+		if st := tc.status(id); st.Node != "n2" {
+			t.Fatalf("session %s on %s after drain, want n2", id, st.Node)
+		}
+	}
+
+	// The drained node must not receive new sessions.
+	st3 := tc.create(modelRequest(t, testModel(4, 5300), "shmem", 40, ""))
+	if st3.Node != "n2" {
+		t.Fatalf("new session placed on draining node %s", st3.Node)
+	}
+
+	// The migrated sessions still run to completion (StartPaused held
+	// them parked across the move).
+	for _, id := range []string{st1.ClusterID, st2.ClusterID} {
+		tc.verb(id, "resume")
+		if st := tc.waitEnded(id, 60*time.Second); st.EndState != "done" {
+			t.Fatalf("session %s ended %q, want done", id, st.EndState)
+		}
+	}
+}
+
+// TestPlacementAffinity checks that a session whose source resolved to
+// an already-resident model image co-locates with it, while a
+// different model lands on the emptier node.
+func TestPlacementAffinity(t *testing.T) {
+	tc := newTestCluster(t, Options{})
+	tc.addNode("n1")
+	tc.addNode("n2")
+	m := testModel(4, 6100)
+
+	st1 := tc.create(modelRequest(t, m, "shmem", 40, ""))
+	// Same model: affinity should pin it to st1's node even though the
+	// other node is emptier.
+	st2 := tc.create(modelRequest(t, m, "shmem", 40, ""))
+	if st2.Node != st1.Node {
+		t.Fatalf("same-model session placed on %s, first on %s", st2.Node, st1.Node)
+	}
+	if st2.Info == nil || !strings.Contains(st2.Info.Placement, "model-affinity") {
+		t.Fatalf("placement reason %q, want model-affinity", st2.Info.Placement)
+	}
+
+	// Let a heartbeat report the load so placement sees the imbalance,
+	// then place a different model: least-utilized goes to the other node.
+	time.Sleep(4 * tc.coord.opts.HeartbeatInterval)
+	st3 := tc.create(modelRequest(t, testModel(4, 6200), "shmem", 40, ""))
+	if st3.Node == st1.Node {
+		t.Fatalf("different-model session stacked on loaded node %s", st3.Node)
+	}
+}
+
+// TestControlPlaneSurface covers the coordinator HTTP surface and the
+// stream proxy's handshake rejections.
+func TestControlPlaneSurface(t *testing.T) {
+	tc := newTestCluster(t, Options{})
+	tc.addNode("n1")
+	tc.addNode("n2")
+
+	var hz struct {
+		Status   string         `json:"status"`
+		Role     string         `json:"role"`
+		Nodes    map[string]int `json:"nodes"`
+		Sessions map[string]int `json:"sessions"`
+	}
+	if err := tc.doJSON(http.MethodGet, "/healthz", nil, &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "ok" || hz.Role != "coordinator" || hz.Nodes["total"] != 2 {
+		t.Fatalf("healthz: %+v", hz)
+	}
+
+	var nodes struct {
+		Nodes []NodeStatus `json:"nodes"`
+	}
+	if err := tc.doJSON(http.MethodGet, "/v1/cluster/nodes", nil, &nodes); err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes.Nodes) != 2 || nodes.Nodes[0].ID != "n1" || !nodes.Nodes[0].Alive {
+		t.Fatalf("node list: %+v", nodes.Nodes)
+	}
+
+	// A heartbeat from an unregistered node is a conflict: the sender
+	// must re-register.
+	err := tc.doJSON(http.MethodPost, "/v1/cluster/nodes/heartbeat", &Heartbeat{NodeID: "ghost"}, nil)
+	if err == nil || !strings.Contains(err.Error(), "register") {
+		t.Fatalf("ghost heartbeat: %v, want re-register error", err)
+	}
+
+	// Unknown session: 404 on status, migrate, and stream handshake.
+	if err := tc.doJSON(http.MethodGet, "/v1/cluster/sessions/nope", nil, nil); err == nil {
+		t.Fatal("unknown session status succeeded")
+	}
+	if err := tc.doJSON(http.MethodPost, "/v1/cluster/sessions/nope/migrate", nil, nil); err == nil {
+		t.Fatal("unknown session migrate succeeded")
+	}
+	if _, err := server.DialStream(tc.coord.StreamAddr(), "nope", server.StreamFlagSubscribe); err == nil {
+		t.Fatal("proxy accepted a handshake for an unknown session")
+	}
+
+	st := tc.create(modelRequest(t, testModel(4, 8100), "shmem", 30, ""))
+	if got := tc.status(st.ClusterID); got.ClusterID != st.ClusterID || got.Node == "" {
+		t.Fatalf("status: %+v", got)
+	}
+	var list struct {
+		Sessions []SessionStatus `json:"sessions"`
+	}
+	if err := tc.doJSON(http.MethodGet, "/v1/cluster/sessions", nil, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Sessions) != 1 || list.Sessions[0].ClusterID != st.ClusterID {
+		t.Fatalf("session list: %+v", list.Sessions)
+	}
+
+	// A handshake with neither inject nor subscribe is rejected.
+	if _, err := server.DialStream(tc.coord.StreamAddr(), st.ClusterID, 0); err == nil {
+		t.Fatal("proxy accepted a flagless handshake")
+	}
+
+	// Deleting through the cluster API removes the record and the
+	// owner-side session.
+	if err := tc.doJSON(http.MethodDelete, "/v1/cluster/sessions/"+st.ClusterID, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.doJSON(http.MethodGet, "/v1/cluster/sessions/"+st.ClusterID, nil, nil); err == nil {
+		t.Fatal("deleted session still listed")
+	}
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/cognitive-sim/compass/internal/server"
+)
+
+// nodeClient speaks a compassd node's control plane. It is deliberately
+// thin: the coordinator's correctness never depends on a node call
+// succeeding — every mutation is idempotent or retried by a later
+// monitor round.
+type nodeClient struct {
+	addr string
+	hc   *http.Client
+}
+
+func newNodeClient(httpAddr string, timeout time.Duration) *nodeClient {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &nodeClient{addr: httpAddr, hc: &http.Client{Timeout: timeout}}
+}
+
+// doJSON issues one request and decodes a JSON response into out (when
+// non-nil). Non-2xx responses surface the node's error envelope.
+func (n *nodeClient) doJSON(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, "http://"+n.addr+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var env struct {
+			Error string `json:"error"`
+		}
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(raw, &env) == nil && env.Error != "" {
+			return fmt.Errorf("cluster: node %s: %s", n.addr, env.Error)
+		}
+		return fmt.Errorf("cluster: node %s: %s", n.addr, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (n *nodeClient) createSession(req *server.CreateRequest) (*server.Info, error) {
+	var info server.Info
+	if err := n.doJSON(http.MethodPost, "/v1/sessions", req, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+func (n *nodeClient) importSession(req *server.ImportRequest) (*server.Info, error) {
+	var info server.Info
+	if err := n.doJSON(http.MethodPost, "/v1/sessions/import", req, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+func (n *nodeClient) exportSession(id string) (*server.ExportDoc, error) {
+	var doc server.ExportDoc
+	if err := n.doJSON(http.MethodPost, "/v1/sessions/"+id+"/export", nil, &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+func (n *nodeClient) sessionInfo(id string) (*server.Info, error) {
+	var info server.Info
+	if err := n.doJSON(http.MethodGet, "/v1/sessions/"+id, nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// lifecycle posts pause/resume/stop and returns the settled info.
+func (n *nodeClient) lifecycle(id, verb string) (*server.Info, error) {
+	var info server.Info
+	if err := n.doJSON(http.MethodPost, "/v1/sessions/"+id+"/"+verb, nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+func (n *nodeClient) deleteSession(id string) error {
+	return n.doJSON(http.MethodDelete, "/v1/sessions/"+id, nil, nil)
+}
+
+func (n *nodeClient) checkpoint(id string) ([]byte, error) {
+	resp, err := n.hc.Get("http://" + n.addr + "/v1/sessions/" + id + "/checkpoint")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("cluster: node %s checkpoint: %s: %s", n.addr, resp.Status, bytes.TrimSpace(raw))
+	}
+	return io.ReadAll(resp.Body)
+}

@@ -1,0 +1,525 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/cognitive-sim/compass/internal/server"
+	"github.com/cognitive-sim/compass/internal/spikeio"
+)
+
+// The stream proxy gives clients one stable spike-stream endpoint per
+// cluster session, however many times the session moves. It speaks the
+// same CSTR protocol as compassd (handshake with the *cluster* session
+// id) and follows the session's ownership generation: on migration or
+// failover it re-dials the new owner and keeps going.
+//
+// Exactly-once egress across failures comes from committed-tick
+// gating: a record is released to the client only when its tick is
+// below the session's committed horizon — the latest boundary whose
+// checkpoint the coordinator holds. Records above the horizon are held;
+// if the owner dies, they are dropped at the ownership change and the
+// restored session replays them (bit-identically, by the determinism
+// contract). The price is egress latency of one chunk; the payoff is a
+// subscriber trace that is byte-identical to an unfailed run, crash or
+// no crash.
+//
+// Inject frames are journaled, never forwarded inline: a per-session
+// forwarder goroutine owned by the coordinator (see runForwarder)
+// delivers the journal to the current owner, re-cursoring to the resume
+// boundary at every ownership change. The client reader therefore never
+// blocks on a slow or absent owner, and migration/failover wait for the
+// forwarder to catch up before resuming — so every journaled spike
+// reaches the live owner before its stamped tick fires. Same-tick
+// duplicate delivery is idempotent (axon delivery ORs a bitmask), which
+// makes cross-generation re-sends safe.
+
+// proxyDialRetry paces re-dial attempts while an owner is unreachable.
+const proxyDialRetry = 150 * time.Millisecond
+
+// proxyDrainTimeout bounds draining a previous owner's stream after an
+// ownership change (a live source EOFs quickly once its remnant is
+// deleted; a dead one never would).
+const proxyDrainTimeout = 5 * time.Second
+
+// genEvent is a buffered egress record tagged with the ownership
+// generation that produced it, so post-failover cleanup can drop
+// exactly the dead generation's uncommitted records.
+type genEvent struct {
+	ev  spikeio.Event
+	gen int
+}
+
+// proxyConn is one client connection being served.
+type proxyConn struct {
+	c     *Coordinator
+	r     *rec
+	flags byte
+
+	mu      sync.Mutex
+	client  net.Conn
+	pending []genEvent // records above the committed horizon
+	closed  bool
+}
+
+// acceptProxy accepts stream-proxy connections until the listener
+// closes.
+func (c *Coordinator) acceptProxy(ln net.Listener) {
+	defer c.wg.Done()
+	var conns sync.Map
+	defer func() {
+		conns.Range(func(k, _ any) bool {
+			k.(net.Conn).Close()
+			return true
+		})
+	}()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-c.stop:
+			ln.Close()
+		case <-done:
+		}
+	}()
+	var connWG sync.WaitGroup
+	defer connWG.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			// Close live proxy conns so their goroutines unwind, then
+			// wait (the deferred Range + Wait above).
+			return
+		}
+		conns.Store(conn, struct{}{})
+		connWG.Add(1)
+		go func(conn net.Conn) {
+			defer connWG.Done()
+			defer conns.Delete(conn)
+			c.serveProxyConn(conn)
+		}(conn)
+	}
+}
+
+// serveProxyConn handles one client stream end to end.
+func (c *Coordinator) serveProxyConn(conn net.Conn) {
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	flags, id, err := server.ReadStreamHandshake(conn)
+	if err != nil {
+		server.WriteStreamReject(conn, err)
+		return
+	}
+	r, err := c.getRec(id)
+	if err != nil {
+		server.WriteStreamReject(conn, err)
+		return
+	}
+	if flags&(server.StreamFlagInject|server.StreamFlagSubscribe) == 0 {
+		server.WriteStreamReject(conn, fmt.Errorf("cluster: handshake requests neither inject nor subscribe"))
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	if err := server.WriteStreamOK(conn); err != nil {
+		return
+	}
+	p := &proxyConn{c: c, r: r, flags: flags, client: conn}
+	c.mu.Lock()
+	r.proxyRefs++
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		r.proxyRefs--
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		p.mu.Lock()
+		p.closed = true
+		p.mu.Unlock()
+	}()
+	p.run()
+}
+
+// snapshot reads the record's ownership state.
+func (p *proxyConn) snapshot() (gen int, nodeStream, nodeSessionID string, committed uint64, ended bool) {
+	c := p.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := p.r
+	if n := c.nodes[r.nodeID]; n != nil {
+		nodeStream = n.streamAddr
+	}
+	return r.gen, nodeStream, r.nodeSessionID, r.committedTick, r.ended
+}
+
+// run is the proxy connection's main loop: one iteration per ownership
+// generation.
+func (p *proxyConn) run() {
+	// The client reader forwards inject frames (and notices the client
+	// hanging up). It lives for the connection.
+	clientGone := make(chan struct{})
+	go p.readClient(clientGone)
+
+	// The update watcher turns coordinator state changes (commit
+	// horizon advanced, ownership changed, session ended) into channel
+	// signals the generation loop can select on.
+	update := make(chan struct{}, 1)
+	go p.watchUpdates(update)
+
+	for {
+		select {
+		case <-clientGone:
+			return
+		default:
+		}
+		gen, streamAddr, sessionID, _, ended := p.snapshot()
+		if ended {
+			p.flushPending(^uint64(0), -1)
+			return
+		}
+		up, ok := p.dialUpstream(gen, streamAddr, sessionID, update, clientGone)
+		if !ok {
+			if p.isClosed() {
+				return
+			}
+			continue // ownership changed while dialing; next generation
+		}
+
+		p.c.markAttached(p.r, gen)
+
+		// Pump this generation: upstream records buffer as (gen, event)
+		// and release as the horizon advances.
+		recCh := make(chan []spikeio.Event, 4)
+		go func() {
+			defer close(recCh)
+			for {
+				events, err := up.Recv()
+				if err != nil {
+					return
+				}
+				if len(events) > 0 {
+					recCh <- events
+				}
+			}
+		}()
+
+		genDone := false
+		for !genDone {
+			select {
+			case events, ok := <-recCh:
+				if !ok {
+					// Upstream ended. If the session ended too this is the
+					// natural EOF; flush everything and finish. Otherwise
+					// wait for the coordinator to move the session.
+					if _, _, _, _, end := p.snapshot(); end {
+						p.flushPending(^uint64(0), -1)
+						return
+					}
+					if !p.waitGenChange(gen, update, clientGone) {
+						return
+					}
+					genDone = true
+					continue
+				}
+				p.buffer(events, gen)
+				if !p.flushCommitted() {
+					return
+				}
+			case <-update:
+				if !p.flushCommitted() {
+					return
+				}
+				curGen, _, _, _, end := p.snapshot()
+				if end {
+					// Drain what the upstream already sent, then flush all.
+					p.drainUpstream(up, recCh, gen)
+					p.flushPending(^uint64(0), -1)
+					return
+				}
+				if curGen != gen {
+					// Ownership moved. Drain the old owner briefly (a live
+					// source EOFs once its remnant is deleted), release
+					// anything that became committed, then drop the dead
+					// generation's uncommitted leftovers and follow.
+					p.drainUpstream(up, recCh, gen)
+					if !p.flushCommitted() {
+						return
+					}
+					_, _, _, committed, _ := p.snapshot()
+					p.dropGenAbove(gen, committed)
+					genDone = true
+				}
+			case <-clientGone:
+				up.Close()
+				return
+			}
+		}
+		up.Close()
+	}
+}
+
+// dialUpstream connects to the generation's owner, retrying while the
+// owner is unreachable and the generation unchanged. ok=false means
+// the generation moved on (or the proxy is closing) and the caller
+// should re-snapshot.
+func (p *proxyConn) dialUpstream(gen int, streamAddr, sessionID string, update chan struct{}, clientGone chan struct{}) (*server.StreamClient, bool) {
+	for {
+		if p.isClosed() {
+			return nil, false
+		}
+		if curGen, _, _, _, ended := p.snapshot(); curGen != gen || ended {
+			return nil, false
+		}
+		if streamAddr != "" {
+			up, err := server.DialStream(streamAddr, sessionID, p.flags)
+			if err == nil {
+				return up, true
+			}
+		}
+		select {
+		case <-time.After(proxyDialRetry):
+			gen2, addr2, id2, _, ended := p.snapshot()
+			if gen2 != gen || ended {
+				return nil, false
+			}
+			streamAddr, sessionID = addr2, id2
+		case <-update:
+			// State changed; loop re-snapshots.
+			gen2, addr2, id2, _, ended := p.snapshot()
+			if gen2 != gen || ended {
+				return nil, false
+			}
+			streamAddr, sessionID = addr2, id2
+		case <-clientGone:
+			return nil, false
+		}
+	}
+}
+
+// drainUpstream closes the old owner connection after a bounded drain,
+// folding late frames into the buffer (they may have become committed
+// by the ownership change's boundary).
+func (p *proxyConn) drainUpstream(up *server.StreamClient, recCh chan []spikeio.Event, gen int) {
+	deadline := time.After(proxyDrainTimeout)
+	for {
+		select {
+		case events, ok := <-recCh:
+			if !ok {
+				return
+			}
+			p.buffer(events, gen)
+		case <-deadline:
+			up.Close()
+			for range recCh {
+			}
+			return
+		}
+	}
+}
+
+// waitGenChange blocks until the ownership generation moves past gen
+// or the session ends; false means the proxy should shut down.
+func (p *proxyConn) waitGenChange(gen int, update chan struct{}, clientGone chan struct{}) bool {
+	for {
+		curGen, _, _, _, ended := p.snapshot()
+		if ended {
+			p.flushPending(^uint64(0), -1)
+			return false
+		}
+		if curGen != gen {
+			_, _, _, committed, _ := p.snapshot()
+			if !p.flushCommitted() {
+				return false
+			}
+			p.dropGenAbove(gen, committed)
+			return true
+		}
+		select {
+		case <-update:
+		case <-clientGone:
+			return false
+		}
+	}
+}
+
+// watchUpdates translates coordinator condition broadcasts into a
+// non-blocking signal channel.
+func (p *proxyConn) watchUpdates(update chan struct{}) {
+	c := p.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		p.mu.Lock()
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case update <- struct{}{}:
+		default:
+		}
+		c.cond.Wait()
+	}
+}
+
+// markAttached records that the proxy follows generation gen; the
+// coordinator's migration path waits on this before resuming.
+func (c *Coordinator) markAttached(r *rec, gen int) {
+	c.mu.Lock()
+	if gen > r.attachedGen {
+		r.attachedGen = gen
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+func (p *proxyConn) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// buffer holds records until the commit horizon passes them.
+func (p *proxyConn) buffer(events []spikeio.Event, gen int) {
+	p.mu.Lock()
+	for _, ev := range events {
+		p.pending = append(p.pending, genEvent{ev: ev, gen: gen})
+	}
+	p.mu.Unlock()
+}
+
+// flushCommitted releases buffered records below the current horizon;
+// false means the client write failed.
+func (p *proxyConn) flushCommitted() bool {
+	_, _, _, committed, ended := p.snapshot()
+	if ended {
+		committed = ^uint64(0)
+	}
+	return p.flushPending(committed, -1)
+}
+
+// flushPending writes every buffered record with tick below horizon to
+// the client (all generations); gen >= 0 restricts to one generation.
+// Subscribers get frames in arrival order — cross-rank record order
+// within a tick was never guaranteed, only the record multiset is.
+func (p *proxyConn) flushPending(horizon uint64, gen int) bool {
+	if p.flags&server.StreamFlagSubscribe == 0 {
+		p.mu.Lock()
+		p.pending = nil
+		p.mu.Unlock()
+		return true
+	}
+	p.mu.Lock()
+	var out []spikeio.Event
+	keep := p.pending[:0]
+	for _, ge := range p.pending {
+		if ge.ev.Tick < horizon && (gen < 0 || ge.gen == gen) {
+			out = append(out, ge.ev)
+		} else {
+			keep = append(keep, ge)
+		}
+	}
+	for i := len(keep); i < len(p.pending); i++ {
+		p.pending[i] = genEvent{}
+	}
+	p.pending = keep
+	client := p.client
+	p.mu.Unlock()
+	if len(out) == 0 {
+		return true
+	}
+	return writeFrames(client, out) == nil
+}
+
+// dropGenAbove discards a dead generation's uncommitted records — the
+// restored session will replay them.
+func (p *proxyConn) dropGenAbove(gen int, horizon uint64) {
+	p.mu.Lock()
+	keep := p.pending[:0]
+	for _, ge := range p.pending {
+		if ge.gen == gen && ge.ev.Tick >= horizon {
+			continue
+		}
+		keep = append(keep, ge)
+	}
+	for i := len(keep); i < len(p.pending); i++ {
+		p.pending[i] = genEvent{}
+	}
+	p.pending = keep
+	p.mu.Unlock()
+}
+
+// readClient consumes the client's inject frames: journal only — the
+// coordinator's forwarder goroutine is the sole delivery path to the
+// owner, so this loop never blocks behind a slow or mid-migration
+// upstream. A clean EOF at a frame boundary (half-close, or a
+// subscriber that simply never writes) stops injection but keeps egress
+// flowing, mirroring compassd's stream plane; clientGone fires only on
+// protocol violations or mid-frame errors, which tear the connection
+// down.
+func (p *proxyConn) readClient(clientGone chan struct{}) {
+	var lenBuf [4]byte
+	rec := make([]byte, spikeio.RecordSize)
+	inject := p.flags&server.StreamFlagInject != 0
+	for {
+		if _, err := io.ReadFull(p.client, lenBuf[:]); err != nil {
+			if err != io.EOF {
+				close(clientGone)
+			}
+			return
+		}
+		count := binary.LittleEndian.Uint32(lenBuf[:])
+		if count == 0 {
+			continue
+		}
+		if count > 1<<20 || !inject {
+			close(clientGone)
+			return
+		}
+		events := make([]spikeio.Event, 0, count)
+		for i := uint32(0); i < count; i++ {
+			if _, err := io.ReadFull(p.client, rec); err != nil {
+				close(clientGone)
+				return
+			}
+			events = append(events, spikeio.DecodeRecord(rec))
+		}
+		p.c.journalInject(p.r, events)
+	}
+}
+
+// journalInject appends inject records to the session's journal and
+// wakes (lazily starting) the forwarder that delivers them.
+func (c *Coordinator) journalInject(r *rec, events []spikeio.Event) {
+	c.mu.Lock()
+	r.journal = append(r.journal, events...)
+	c.startForwarderLocked(r)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// writeFrames encodes records into one or more frames on the client
+// connection.
+func writeFrames(w io.Writer, events []spikeio.Event) error {
+	const maxBatch = 4096
+	for len(events) > 0 {
+		n := len(events)
+		if n > maxBatch {
+			n = maxBatch
+		}
+		buf := make([]byte, 4+n*spikeio.RecordSize)
+		binary.LittleEndian.PutUint32(buf, uint32(n))
+		for i, ev := range events[:n] {
+			spikeio.EncodeRecord(buf[4+i*spikeio.RecordSize:], ev)
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+		events = events[n:]
+	}
+	return nil
+}

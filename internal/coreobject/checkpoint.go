@@ -10,12 +10,20 @@ import (
 )
 
 // The checkpoint binary format: magic "CMPC" | uint32 version |
-// uint64 tick | uint64 numCores | per-core state records. Everything is
-// little-endian. A record is: uint32 id | 256×int32 potentials |
-// 256×uint32 axon buffers | 4×uint64 PRNG state.
+// uint64 tick | uint64 numCores | (v2+) uint16 hashLen | hashLen model
+// hash bytes | per-core state records. Everything is little-endian. A
+// record is: uint32 id | 256×int32 potentials | 256×uint32 axon
+// buffers | 4×uint64 PRNG state.
+//
+// Version 2 added the model-hash field so a checkpoint names the image
+// content address (truenorth.Image.Hash) it was taken against; resuming
+// against a different model fails with a clear mismatch error instead
+// of restoring wrong state. Version 1 files (no hash) remain readable.
 const (
-	checkpointMagic   = "CMPC"
-	checkpointVersion = 1
+	checkpointMagic      = "CMPC"
+	checkpointVersionV1  = 1
+	checkpointVersion    = 2
+	checkpointMaxHashLen = 1024
 )
 
 // CheckpointRecordBytes is the wire size of one core's state.
@@ -27,11 +35,18 @@ func WriteCheckpoint(w io.Writer, cp *truenorth.Checkpoint) error {
 	if _, err := bw.WriteString(checkpointMagic); err != nil {
 		return err
 	}
-	hdr := make([]byte, 4+8+8)
+	if len(cp.ModelHash) > checkpointMaxHashLen {
+		return fmt.Errorf("coreobject: checkpoint model hash of %d bytes exceeds limit", len(cp.ModelHash))
+	}
+	hdr := make([]byte, 4+8+8+2)
 	binary.LittleEndian.PutUint32(hdr[0:], checkpointVersion)
 	binary.LittleEndian.PutUint64(hdr[4:], cp.Tick)
 	binary.LittleEndian.PutUint64(hdr[12:], uint64(len(cp.States)))
+	binary.LittleEndian.PutUint16(hdr[20:], uint16(len(cp.ModelHash)))
 	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(cp.ModelHash); err != nil {
 		return err
 	}
 	buf := make([]byte, CheckpointRecordBytes)
@@ -73,11 +88,30 @@ func ReadCheckpoint(r io.Reader) (*truenorth.Checkpoint, error) {
 	if _, err := io.ReadFull(br, hdr); err != nil {
 		return nil, fmt.Errorf("coreobject: read checkpoint header: %w", err)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[0:]); v != checkpointVersion {
-		return nil, fmt.Errorf("coreobject: unsupported checkpoint version %d", v)
+	version := binary.LittleEndian.Uint32(hdr[0:])
+	if version != checkpointVersionV1 && version != checkpointVersion {
+		return nil, fmt.Errorf("coreobject: unsupported checkpoint version %d (this build reads versions %d-%d)",
+			version, checkpointVersionV1, checkpointVersion)
 	}
 	cp := &truenorth.Checkpoint{Tick: binary.LittleEndian.Uint64(hdr[4:])}
 	numCores := binary.LittleEndian.Uint64(hdr[12:])
+	if version >= 2 {
+		var hashLenBuf [2]byte
+		if _, err := io.ReadFull(br, hashLenBuf[:]); err != nil {
+			return nil, fmt.Errorf("coreobject: read checkpoint hash length: %w", err)
+		}
+		hashLen := binary.LittleEndian.Uint16(hashLenBuf[:])
+		if hashLen > checkpointMaxHashLen {
+			return nil, fmt.Errorf("coreobject: implausible checkpoint hash length %d", hashLen)
+		}
+		if hashLen > 0 {
+			hashBuf := make([]byte, hashLen)
+			if _, err := io.ReadFull(br, hashBuf); err != nil {
+				return nil, fmt.Errorf("coreobject: read checkpoint model hash: %w", err)
+			}
+			cp.ModelHash = string(hashBuf)
+		}
+	}
 	const maxCores = 1 << 28
 	if numCores > maxCores {
 		return nil, fmt.Errorf("coreobject: implausible checkpoint core count %d", numCores)

@@ -2,6 +2,7 @@ package coreobject
 
 import (
 	"bytes"
+	"encoding/binary"
 	"strings"
 	"testing"
 
@@ -270,7 +271,7 @@ func BenchmarkReadModel(b *testing.B) {
 }
 
 func TestCheckpointRoundtrip(t *testing.T) {
-	cp := &truenorth.Checkpoint{Tick: 1234}
+	cp := &truenorth.Checkpoint{Tick: 1234, ModelHash: "sha256:abc123"}
 	for i := 0; i < 3; i++ {
 		var s truenorth.CoreState
 		s.ID = truenorth.CoreID(i)
@@ -287,7 +288,8 @@ func TestCheckpointRoundtrip(t *testing.T) {
 	if err := WriteCheckpoint(&buf, cp); err != nil {
 		t.Fatal(err)
 	}
-	wantLen := 4 + 20 + 3*CheckpointRecordBytes
+	// magic | u32 version | u64 tick | u64 cores | u16 hashLen | hash | records
+	wantLen := 4 + 4 + 8 + 8 + 2 + len(cp.ModelHash) + 3*CheckpointRecordBytes
 	if buf.Len() != wantLen {
 		t.Fatalf("checkpoint length %d, want %d", buf.Len(), wantLen)
 	}
@@ -298,10 +300,61 @@ func TestCheckpointRoundtrip(t *testing.T) {
 	if got.Tick != cp.Tick || len(got.States) != 3 {
 		t.Fatalf("header mismatch: %+v", got)
 	}
+	if got.ModelHash != cp.ModelHash {
+		t.Fatalf("model hash %q, want %q", got.ModelHash, cp.ModelHash)
+	}
 	for i := range cp.States {
 		if got.States[i] != cp.States[i] {
 			t.Fatalf("state %d mismatch", i)
 		}
+	}
+}
+
+// TestCheckpointV1StillReadable hand-builds a version-1 checkpoint (no
+// model-hash field) and asserts this build still reads it: upgrading a
+// daemon must not orphan checkpoint files written before the hash
+// stamp existed.
+func TestCheckpointV1StillReadable(t *testing.T) {
+	var s truenorth.CoreState
+	s.ID = 0
+	s.Potentials[7] = -42
+	s.AxonBuf[3] = 9
+	s.RNG = [4]uint64{5, 6, 7, 8}
+
+	var buf bytes.Buffer
+	buf.WriteString("CMPC")
+	hdr := make([]byte, 4+8+8)
+	binary.LittleEndian.PutUint32(hdr[0:], 1)  // version 1: no hash field
+	binary.LittleEndian.PutUint64(hdr[4:], 77) // tick
+	binary.LittleEndian.PutUint64(hdr[12:], 1) // one core
+	buf.Write(hdr)
+	rec := make([]byte, CheckpointRecordBytes)
+	off := 0
+	binary.LittleEndian.PutUint32(rec[off:], uint32(s.ID))
+	off += 4
+	for _, v := range s.Potentials {
+		binary.LittleEndian.PutUint32(rec[off:], uint32(v))
+		off += 4
+	}
+	for _, v := range s.AxonBuf {
+		binary.LittleEndian.PutUint32(rec[off:], v)
+		off += 4
+	}
+	for _, v := range s.RNG {
+		binary.LittleEndian.PutUint64(rec[off:], v)
+		off += 8
+	}
+	buf.Write(rec)
+
+	got, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatalf("v1 checkpoint rejected: %v", err)
+	}
+	if got.Tick != 77 || len(got.States) != 1 || got.ModelHash != "" {
+		t.Fatalf("v1 header mismatch: %+v", got)
+	}
+	if got.States[0] != s {
+		t.Fatal("v1 core state mismatch")
 	}
 }
 

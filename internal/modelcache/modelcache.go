@@ -219,6 +219,34 @@ func (c *Cache) Unpin(key string) {
 	}
 }
 
+// ByImageHash finds a resident entry whose image has the given content
+// address (truenorth.Image.Hash), or nil. Cache keys address a model's
+// *source* (spec bytes, seed, ranks) while migration identifies models
+// by their compiled image hash, so this scan bridges the two: a node
+// asked to host a migrated session checks here before pulling the
+// model over the wire. The hash is computed (and cached) per image
+// outside the cache lock; a found entry is touched as used.
+func (c *Cache) ByImageHash(hash string) *Entry {
+	c.mu.Lock()
+	entries := make([]*Entry, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		entries = append(entries, el.Value.(*Entry))
+	}
+	c.mu.Unlock()
+	for _, e := range entries {
+		if e.Image.Hash() != hash {
+			continue
+		}
+		c.mu.Lock()
+		if el, ok := c.byKey[e.Key]; ok {
+			c.lru.MoveToFront(el)
+		}
+		c.mu.Unlock()
+		return e
+	}
+	return nil
+}
+
 // Pinned returns the number of distinct pinned entries.
 func (c *Cache) Pinned() int {
 	c.mu.Lock()

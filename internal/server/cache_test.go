@@ -152,9 +152,9 @@ func TestSpecSourceCached(t *testing.T) {
 		"regions": []map[string]any{{
 			"name": "r", "cores": 4, "gray_fraction": 1.0,
 			"proto": map[string]any{
-				"weights":         []int{1, 1, 1, 1},
-				"threshold_min":   1, "threshold_max": 3,
-				"delay_min":       1, "delay_max": 2,
+				"weights":       []int{1, 1, 1, 1},
+				"threshold_min": 1, "threshold_max": 3,
+				"delay_min": 1, "delay_max": 2,
 				"synapse_density": 0.1,
 			},
 		}},

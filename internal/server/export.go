@@ -1,0 +1,314 @@
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	sim "github.com/cognitive-sim/compass/internal/compass"
+	"github.com/cognitive-sim/compass/internal/coreobject"
+	"github.com/cognitive-sim/compass/internal/modelcache"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// This file is the session migration wire surface: a parked session
+// exports to a portable document (POST /v1/sessions/{id}/export), a
+// peer daemon imports it (POST /v1/sessions/import), and models travel
+// by content hash (GET /v1/models/{hash}) so the importing node only
+// pulls bytes it doesn't already hold. The documents are deliberately
+// self-contained — checkpoint, pending stream spikes, decomposition,
+// remaining ticks — so a coordinator can relay them without
+// understanding the simulator, and a restore from a stale copy still
+// replays bit-identically (determinism does the rest).
+
+// WireSpike is one pending streamed input spike in an export document.
+type WireSpike struct {
+	Tick uint64 `json:"tick"`
+	Core uint32 `json:"core"`
+	Axon uint16 `json:"axon"`
+}
+
+// ExportDoc is the portable state of a session parked at a chunk
+// boundary: everything a peer daemon needs to resume it bit-identically.
+// The checkpoint is the binary CMPC v2 form, stamped with the model
+// hash; spikes accepted by the stream plane but not yet consumed ride
+// alongside, because they are the only session state outside the
+// checkpoint.
+type ExportDoc struct {
+	SessionID string `json:"session_id"`
+	Name      string `json:"name,omitempty"`
+	ModelHash string `json:"model_hash"`
+	// Tick is the absolute boundary tick the checkpoint was taken at.
+	Tick             uint64      `json:"tick"`
+	CheckpointBase64 string      `json:"checkpoint_base64"`
+	PendingSpikes    []WireSpike `json:"pending_spikes,omitempty"`
+	// Decomposition: replayed verbatim on the importing node so the
+	// resumed run is the same computation, not merely the same model.
+	Ranks     int    `json:"ranks"`
+	Threads   int    `json:"threads"`
+	Transport string `json:"transport"`
+	RankOf    []int  `json:"rank_of,omitempty"`
+	// TicksRemaining counts ticks still to simulate past the checkpoint;
+	// ChunkTicks is the session's boundary granularity.
+	TicksRemaining uint64 `json:"ticks_remaining"`
+	ChunkTicks     int    `json:"chunk_ticks"`
+}
+
+// ImportRequest is the POST /v1/sessions/import body.
+type ImportRequest struct {
+	Export ExportDoc `json:"export"`
+	// PeerHTTPAddr optionally names a daemon control plane to pull the
+	// model from (GET /v1/models/{hash}) when this node doesn't hold it.
+	PeerHTTPAddr string `json:"peer_http_addr,omitempty"`
+	// Source optionally carries the original model source as a rebuild
+	// fallback when neither this node nor the peer holds the image.
+	Source *SourceSpec `json:"source,omitempty"`
+	// Name overrides the exported name; Placement records the
+	// coordinator's decision string.
+	Name      string `json:"name,omitempty"`
+	Placement string `json:"placement,omitempty"`
+	// StartPaused parks the imported session before its first resumed
+	// chunk, so stream subscribers re-attach before any spike fires.
+	StartPaused bool `json:"start_paused,omitempty"`
+}
+
+// buildExportDoc snapshots a parked session into its portable form.
+// The caller ensures the session is parked (paused, drained, or done);
+// a running session's checkpoint would be one boundary stale and its
+// pending-spike snapshot racy.
+func buildExportDoc(s *Session) (*ExportDoc, error) {
+	// A session parked before its first boundary (created start-paused
+	// and never resumed) has no checkpoint; it exports with an empty
+	// checkpoint field and the import recreates it from tick 0 — the
+	// initial state is a pure function of the model image.
+	ckptB64, tick, hash := "", uint64(0), s.Info().ModelHash
+	if cp := s.ExportCheckpoint(); cp != nil {
+		var buf bytes.Buffer
+		if err := coreobject.WriteCheckpoint(&buf, cp); err != nil {
+			return nil, fmt.Errorf("server: export checkpoint: %w", err)
+		}
+		ckptB64, tick, hash = base64.StdEncoding.EncodeToString(buf.Bytes()), cp.Tick, cp.ModelHash
+	}
+	pending := s.PendingStreamSpikes()
+	spikes := make([]WireSpike, len(pending))
+	for i, sp := range pending {
+		spikes[i] = WireSpike{Tick: sp.Tick, Core: uint32(sp.Core), Axon: sp.Axon}
+	}
+	cfg := s.Cfg()
+	remaining := uint64(0)
+	if t, d := s.TicksTotal(), s.TicksDone(); t > d {
+		remaining = t - d
+	}
+	return &ExportDoc{
+		SessionID:        s.ID,
+		Name:             s.Name,
+		ModelHash:        hash,
+		Tick:             tick,
+		CheckpointBase64: ckptB64,
+		PendingSpikes:    spikes,
+		Ranks:            cfg.Ranks,
+		Threads:          cfg.ThreadsPerRank,
+		Transport:        cfg.Transport.String(),
+		RankOf:           cfg.RankOf,
+		TicksRemaining:   remaining,
+		ChunkTicks:       s.ChunkTicks(),
+	}, nil
+}
+
+// BuildExportDoc is the boundary-hook entry point to the export
+// snapshot: the cluster node agent calls it from Manager.SetBoundaryHook
+// to push per-chunk failover state to its coordinator. The hook runs on
+// the session's own runner goroutine between chunks — the one writer of
+// the boundary checkpoint — so the session counts as parked for the
+// snapshot even though its state is still "running".
+func BuildExportDoc(s *Session) (*ExportDoc, error) {
+	if s.Checkpoint() == nil {
+		return nil, fmt.Errorf("server: session %s has no boundary checkpoint yet", s.ID)
+	}
+	return buildExportDoc(s)
+}
+
+// parkForExport settles a session at a chunk boundary: running
+// sessions get a pause request and are waited on, already-parked ones
+// pass through. It returns an error for terminal-without-state
+// sessions (cancelled, failed) and on timeout.
+func parkForExport(s *Session, timeout time.Duration) error {
+	switch st := s.State(); st {
+	case StateCancelled, StateFailed:
+		return fmt.Errorf("server: session %s is %s and has no exportable boundary state", s.ID, st)
+	case StatePaused, StateDrained, StateDone:
+		return nil
+	}
+	if err := s.Pause(); err != nil {
+		// The session went terminal between the check and the pause;
+		// done/drained still export fine.
+		if st := s.State(); st == StateDone || st == StateDrained {
+			return nil
+		}
+		return err
+	}
+	parked := func(st State) bool {
+		return st == StatePaused || st == StateDrained || st == StateDone
+	}
+	if !s.WaitState(timeout, parked) {
+		return fmt.Errorf("server: session %s did not reach a chunk boundary within %v", s.ID, timeout)
+	}
+	if st := s.State(); st == StateCancelled || st == StateFailed {
+		return fmt.Errorf("server: session %s went %s while parking for export", s.ID, st)
+	}
+	return nil
+}
+
+// resolveImportImage locates (or obtains) the model image an import
+// needs, by content hash: resident sessions and the model cache first,
+// then a wire pull from the peer, then a rebuild from the original
+// source. Every path verifies the resulting image hash, so an import
+// can never silently resume against the wrong model.
+func (srv *Server) resolveImportImage(req *ImportRequest) (*truenorth.Image, string, error) {
+	hash := req.Export.ModelHash
+	if hash == "" {
+		return nil, "", errors.New("server: import document carries no model hash")
+	}
+	if img, cacheKey, ok := srv.mgr.FindImageByHash(hash); ok {
+		return img, cacheKey, nil
+	}
+	if req.PeerHTTPAddr != "" {
+		raw, err := FetchModelBytes(req.PeerHTTPAddr, hash)
+		if err == nil {
+			cache := srv.mgr.ModelCache()
+			e, _, err := cache.GetOrBuild(modelcache.ModelKey(raw), func() (*modelcache.Entry, error) {
+				m, err := coreobject.ReadModel(bytes.NewReader(raw))
+				if err != nil {
+					return nil, fmt.Errorf("server: peer model: %w", err)
+				}
+				img, err := truenorth.NewImageLimited(m, srv.mgr.Limiter())
+				if err != nil {
+					return nil, fmt.Errorf("server: peer model: %w", err)
+				}
+				return &modelcache.Entry{Image: img}, nil
+			})
+			if err != nil {
+				return nil, "", err
+			}
+			if have := e.Image.Hash(); have != hash {
+				return nil, "", fmt.Errorf("server: peer %s served model %.12s… for requested %.12s…",
+					req.PeerHTTPAddr, have, hash)
+			}
+			return e.Image, e.Key, nil
+		}
+		// Fall through to the source rebuild; the pull error surfaces
+		// only if that fails too.
+		if req.Source == nil {
+			return nil, "", fmt.Errorf("server: pull model %.12s… from peer %s: %w", hash, req.PeerHTTPAddr, err)
+		}
+	}
+	if req.Source != nil {
+		e, err := srv.buildImage(*req.Source, req.Export.Ranks)
+		if err != nil {
+			return nil, "", fmt.Errorf("server: rebuild model from source: %w", err)
+		}
+		if have := e.Image.Hash(); have != hash {
+			return nil, "", fmt.Errorf("server: source rebuilds to model %.12s…, import expects %.12s…", have, hash)
+		}
+		return e.Image, e.Key, nil
+	}
+	return nil, "", fmt.Errorf("server: model %.12s… not resident on this node; supply peer_http_addr or source", hash)
+}
+
+// importSession materializes an exported session on this daemon and
+// returns it (typically start-paused so subscribers re-attach first).
+func (srv *Server) importSession(req *ImportRequest) (*Session, error) {
+	doc := &req.Export
+	var cp *truenorth.Checkpoint
+	if doc.CheckpointBase64 != "" {
+		raw, err := base64.StdEncoding.DecodeString(doc.CheckpointBase64)
+		if err != nil {
+			return nil, fmt.Errorf("server: import checkpoint_base64: %w", err)
+		}
+		cp, err = coreobject.ReadCheckpoint(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("server: import checkpoint: %w", err)
+		}
+		if cp.ModelHash != "" && doc.ModelHash != "" && cp.ModelHash != doc.ModelHash {
+			return nil, fmt.Errorf("server: import document names model %.12s… but its checkpoint is from %.12s…",
+				doc.ModelHash, cp.ModelHash)
+		}
+	}
+	img, cacheKey, err := srv.resolveImportImage(req)
+	if err != nil {
+		return nil, err
+	}
+	transport := sim.TransportShmem
+	if doc.Transport != "" {
+		if transport, err = sim.ParseTransport(doc.Transport); err != nil {
+			return nil, err
+		}
+	}
+	name := req.Name
+	if name == "" {
+		name = doc.Name
+	}
+	placement := req.Placement
+	if placement == "" {
+		placement = "imported"
+	}
+	s, err := srv.mgr.Create(CreateParams{
+		Name:  name,
+		Image: img,
+		Cfg: sim.Config{
+			Ranks:          doc.Ranks,
+			ThreadsPerRank: doc.Threads,
+			Transport:      transport,
+			RankOf:         doc.RankOf,
+		},
+		Ticks:       doc.TicksRemaining,
+		ChunkTicks:  doc.ChunkTicks,
+		StartFrom:   cp,
+		StartPaused: req.StartPaused,
+		CacheKey:    cacheKey,
+		Placement:   placement,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(doc.PendingSpikes) > 0 {
+		spikes := make([]truenorth.InputSpike, len(doc.PendingSpikes))
+		for i, sp := range doc.PendingSpikes {
+			spikes[i] = truenorth.InputSpike{Tick: sp.Tick, Core: truenorth.CoreID(sp.Core), Axon: sp.Axon}
+		}
+		s.InjectSpikes(spikes)
+	}
+	return s, nil
+}
+
+// maxWireModelBytes bounds a model pulled over the wire (1 GiB).
+const maxWireModelBytes = 1 << 30
+
+// FetchModelBytes pulls a serialized binary model by content hash from
+// a peer daemon's control plane (GET /v1/models/{hash}). The caller
+// verifies the rebuilt image's hash; this helper only moves bytes.
+func FetchModelBytes(peerHTTPAddr, hash string) ([]byte, error) {
+	url := fmt.Sprintf("http://%s/v1/models/%s", peerHTTPAddr, hash)
+	client := &http.Client{Timeout: 2 * time.Minute}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("server: peer %s: %s: %s", peerHTTPAddr, resp.Status, bytes.TrimSpace(body))
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxWireModelBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) > maxWireModelBytes {
+		return nil, fmt.Errorf("server: peer %s model exceeds %d bytes", peerHTTPAddr, maxWireModelBytes)
+	}
+	return raw, nil
+}

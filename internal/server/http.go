@@ -12,6 +12,7 @@ import (
 	"github.com/cognitive-sim/compass/internal/cocomac"
 	sim "github.com/cognitive-sim/compass/internal/compass"
 	"github.com/cognitive-sim/compass/internal/coreobject"
+	"github.com/cognitive-sim/compass/internal/faults"
 	"github.com/cognitive-sim/compass/internal/modelcache"
 	"github.com/cognitive-sim/compass/internal/pcc"
 	"github.com/cognitive-sim/compass/internal/telemetry"
@@ -38,6 +39,17 @@ type CreateRequest struct {
 	// stream clients can attach before any spike fires; release it with
 	// POST /v1/sessions/{id}/resume.
 	StartPaused bool `json:"start_paused,omitempty"`
+	// Faults optionally arms deterministic fault injection for the
+	// session (the cmd/compass -faults grammar, e.g.
+	// "crash:rank=1:tick=50"); FaultSeed seeds its probabilistic rules.
+	// Chaos drills use this to kill a daemon mid-run and assert cluster
+	// failover restores the session bit-identically elsewhere.
+	Faults    string `json:"faults,omitempty"`
+	FaultSeed uint64 `json:"fault_seed,omitempty"`
+	// Placement records how the session landed on this daemon; direct
+	// creates leave it empty ("local"), coordinators stamp their
+	// decision string.
+	Placement string `json:"placement,omitempty"`
 }
 
 // SourceSpec selects where the session's model comes from.
@@ -172,6 +184,14 @@ func (srv *Server) sessionFromRequest(req *CreateRequest) (CreateParams, error) 
 		Ticks:       req.Ticks,
 		ChunkTicks:  req.ChunkTicks,
 		StartPaused: req.StartPaused,
+		Placement:   req.Placement,
+	}
+	if req.Faults != "" {
+		inj, err := faults.Parse(req.Faults, req.FaultSeed)
+		if err != nil {
+			return CreateParams{}, fmt.Errorf("server: faults: %w", err)
+		}
+		p.Cfg.Faults = inj
 	}
 	if req.CheckpointBase64 != "" {
 		raw, err := base64.StdEncoding.DecodeString(req.CheckpointBase64)
@@ -208,10 +228,20 @@ func (srv *Server) handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		running, queued, total := srv.mgr.Counts()
 		writeJSON(w, http.StatusOK, map[string]any{
-			"status":         "ok",
-			"uptime_seconds": int64(time.Since(srv.started).Seconds()),
-			"stream_addr":    srv.StreamAddr(),
-			"sessions":       map[string]int{"running": running, "queued": queued, "total": total},
+			"status":           "ok",
+			"uptime_seconds":   int64(time.Since(srv.started).Seconds()),
+			"stream_addr":      srv.StreamAddr(),
+			"node":             srv.NodeID(),
+			"advertise_http":   srv.AdvertiseHTTPAddr(),
+			"advertise_stream": srv.AdvertiseStreamAddr(),
+			"capacity": map[string]any{
+				"used_seconds_per_tick":  srv.mgr.UsedCapacity(),
+				"total_seconds_per_tick": srv.mgr.Capacity(),
+				"memory_used_bytes":      srv.mgr.MemoryUsed(),
+				"memory_budget_bytes":    srv.mgr.MemoryBudget(),
+			},
+			"resident_models": srv.mgr.ResidentImageHashes(),
+			"sessions":        map[string]int{"running": running, "queued": queued, "total": total},
 		})
 	})
 	mux.Handle("GET /metrics", MetricsHandler(srv.mgr.MetricsSnapshot))
@@ -283,7 +313,7 @@ func (srv *Server) handler() http.Handler {
 		writeJSON(w, http.StatusOK, s.Info())
 	}))
 	mux.HandleFunc("GET /v1/sessions/{id}/checkpoint", withSession(func(w http.ResponseWriter, r *http.Request, s *Session) {
-		cp := s.Checkpoint()
+		cp := s.ExportCheckpoint()
 		var buf bytes.Buffer
 		if err := coreobject.WriteCheckpoint(&buf, cp); err != nil {
 			httpError(w, http.StatusInternalServerError, err)
@@ -300,6 +330,55 @@ func (srv *Server) handler() http.Handler {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	}))
+
+	// Migration surface: export a parked session, import one exported
+	// elsewhere, and serve models by content hash so importing nodes
+	// pull only what they don't hold. See DESIGN.md §5h.
+	mux.HandleFunc("POST /v1/sessions/{id}/export", withSession(func(w http.ResponseWriter, r *http.Request, s *Session) {
+		if err := parkForExport(s, 30*time.Second); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		doc, err := buildExportDoc(s)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, doc)
+	}))
+	mux.HandleFunc("POST /v1/sessions/import", func(w http.ResponseWriter, r *http.Request) {
+		var req ImportRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("server: decode import: %w", err))
+			return
+		}
+		s, err := srv.importSession(&req)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrOverCapacity) {
+				code = http.StatusTooManyRequests
+			}
+			httpError(w, code, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, s.Info())
+	})
+	mux.HandleFunc("GET /v1/models/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		hash := r.PathValue("hash")
+		img, _, ok := srv.mgr.FindImageByHash(hash)
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("server: model %.12s… not resident", hash))
+			return
+		}
+		var buf bytes.Buffer
+		if err := coreobject.WriteModel(&buf, img.Model()); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Compass-Model-Hash", hash)
+		w.Write(buf.Bytes())
+	})
 	return mux
 }
 

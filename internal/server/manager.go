@@ -138,6 +138,11 @@ type Manager struct {
 	// limiter is the daemon-wide shared worker budget handed to every
 	// compile, image build, and simulation run (nil = unlimited).
 	limiter *workpool.Limiter
+	// node is the daemon's instance ID, stamped into every session's
+	// Info; boundary is the per-chunk checkpoint hook handed to every
+	// new session (the cluster agent's checkpoint-push path).
+	node     string
+	boundary func(*Session)
 	// groups indexes the live batch groups by batch key; batchLanes is
 	// the occupancy the gauge reports (lanes in flight across groups).
 	groups     map[string]*batchGroup
@@ -226,6 +231,91 @@ func (m *Manager) ModelCache() *modelcache.Cache { return m.cache }
 // MaxExtraWorkers is negative, i.e. unlimited).
 func (m *Manager) Limiter() *workpool.Limiter { return m.limiter }
 
+// SetNode names the hosting daemon instance; every session created
+// afterwards reports it in Info.Node.
+func (m *Manager) SetNode(id string) {
+	m.mu.Lock()
+	m.node = id
+	m.mu.Unlock()
+}
+
+// Node returns the daemon instance ID.
+func (m *Manager) Node() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.node
+}
+
+// SetBoundaryHook installs a callback invoked by every session runner
+// after each successfully completed chunk, with the session parked at
+// its new boundary checkpoint. The cluster agent uses it to push
+// boundary checkpoints to the coordinator. Install before creating
+// sessions; the hook must not block indefinitely (it runs on the
+// session's runner goroutine between chunks).
+func (m *Manager) SetBoundaryHook(fn func(*Session)) {
+	m.mu.Lock()
+	m.boundary = fn
+	m.mu.Unlock()
+}
+
+// UsedCapacity returns the summed modelled per-tick cost of running
+// sessions (the admission gauge's value, for cluster heartbeats).
+func (m *Manager) UsedCapacity() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
+
+// Capacity returns the configured admission budget in modelled seconds
+// per tick; MemoryBudget the configured resident-byte budget (0 means
+// unlimited). Both feed cluster heartbeats and placement.
+func (m *Manager) Capacity() float64 { return m.opts.CapacitySecondsPerTick }
+
+// MemoryBudget returns the configured memory budget (0 = unlimited).
+func (m *Manager) MemoryBudget() int64 { return m.opts.MemoryBudgetBytes }
+
+// ResidentImageHashes lists the content hashes of every image held by
+// at least one running or paused session — the coordinator's affinity
+// signal for co-locating same-model sessions.
+func (m *Manager) ResidentImageHashes() []string {
+	m.mu.Lock()
+	imgs := make([]*truenorth.Image, 0, len(m.images))
+	for img := range m.images {
+		imgs = append(imgs, img)
+	}
+	m.mu.Unlock()
+	out := make([]string, 0, len(imgs))
+	for _, img := range imgs {
+		out = append(out, img.Hash())
+	}
+	return out
+}
+
+// FindImageByHash locates a resident image by content hash — first
+// among images held by running sessions, then in the model cache — so
+// a peer daemon can pull a model for migration without recompiling.
+// The second result is the model cache key when the image came from
+// the cache ("" otherwise); ok reports whether anything was found.
+func (m *Manager) FindImageByHash(hash string) (img *truenorth.Image, cacheKey string, ok bool) {
+	m.mu.Lock()
+	candidates := make([]*truenorth.Image, 0, len(m.images))
+	keys := make([]string, 0, len(m.images))
+	for im, ref := range m.images {
+		candidates = append(candidates, im)
+		keys = append(keys, ref.cacheKey)
+	}
+	m.mu.Unlock()
+	for i, im := range candidates {
+		if im.Hash() == hash {
+			return im, keys[i], true
+		}
+	}
+	if e := m.cache.ByImageHash(hash); e != nil {
+		return e.Image, e.Key, true
+	}
+	return nil, "", false
+}
+
 // CreateParams describes one session to admit.
 type CreateParams struct {
 	// Name is an optional human label.
@@ -256,6 +346,9 @@ type CreateParams struct {
 	// from; the manager pins the entry while any running session holds
 	// the image resident, so the LRU can never evict an in-use image.
 	CacheKey string
+	// Placement records how the session landed on this daemon ("local"
+	// when empty; the coordinator stamps its placement decision).
+	Placement string
 }
 
 // Create admits a new session. The session starts immediately when
@@ -304,6 +397,14 @@ func (m *Manager) Create(p CreateParams) (*Session, error) {
 		return nil, err
 	}
 	s.cacheKey = p.CacheKey
+	m.mu.Lock()
+	s.node = m.node
+	s.onBoundary = m.boundary
+	m.mu.Unlock()
+	s.placement = p.Placement
+	if s.placement == "" {
+		s.placement = "local"
+	}
 	if p.StartFrom != nil {
 		if err := img.ValidateCheckpoint(p.StartFrom); err != nil {
 			return nil, fmt.Errorf("server: start checkpoint: %w", err)
@@ -364,7 +465,17 @@ func (m *Manager) canStartLocked(s *Session) bool {
 // unless batching is disabled the session joins (or founds) the batch
 // group for its (model hash, decomposition) so same-model sessions
 // advance under one shared tick loop. Callers hold mu.
-func (m *Manager) startLocked(s *Session) {
+//
+// The session's start claim is taken first: a queued session cancelled
+// concurrently (abortQueued holds only the session lock) can reach a
+// terminal state between a caller's state check and here, and charging
+// it would leak capacity forever since its runner — the only path to
+// release — never launches. startLocked reports whether it started the
+// session; false means it was already terminal and nothing was charged.
+func (m *Manager) startLocked(s *Session) bool {
+	if !s.beginStart() {
+		return false
+	}
 	m.used += s.cost
 	m.running++
 	ref := m.images[s.img]
@@ -378,7 +489,10 @@ func (m *Manager) startLocked(s *Session) {
 	}
 	ref.refs++
 	m.memUsed += s.img.StateBytes()
-	if !m.opts.DisableBatch {
+	// Fault injection is a solo-run instrument: RunBatch rejects
+	// cfg.Faults because per-rank fault decisions don't compose with a
+	// shared kernel sweep, so faulted sessions keep their own tick loop.
+	if !m.opts.DisableBatch && s.cfg.Faults == nil {
 		key := batchKey(s.img, s.cfg)
 		g := m.groups[key]
 		if g == nil {
@@ -390,7 +504,8 @@ func (m *Manager) startLocked(s *Session) {
 		g.refs++
 		s.group = g
 	}
-	s.start()
+	go s.run()
+	return true
 }
 
 // batchWindow and batchWindowDone maintain the batch occupancy gauge
@@ -453,7 +568,9 @@ func (m *Manager) release(s *Session) {
 }
 
 // promoteLocked starts queued sessions in FIFO order while capacity
-// lasts, skipping sessions that were stopped while queued.
+// lasts, skipping sessions that were stopped while queued. A false
+// return from startLocked means the session terminalized after the
+// capacity check; it is dropped from the queue with nothing charged.
 func (m *Manager) promoteLocked() {
 	keep := m.queue[:0]
 	for _, s := range m.queue {

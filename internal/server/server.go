@@ -23,6 +23,16 @@ type Options struct {
 	// session at graceful shutdown. Empty disables checkpoint files
 	// (drained state is still queryable until the process exits).
 	CheckpointDir string
+	// NodeID is the daemon's stable instance identity, reported in
+	// /healthz and stamped into every session's Info. Empty means the
+	// daemon is anonymous (single-node use).
+	NodeID string
+	// AdvertiseHTTPAddr and AdvertiseStreamAddr are the addresses peers
+	// and coordinators should dial to reach this daemon — they matter
+	// when the listen addresses bind a wildcard or sit behind NAT. Empty
+	// falls back to the bound listener addresses.
+	AdvertiseHTTPAddr   string
+	AdvertiseStreamAddr string
 	// Manager configures admission control and session defaults.
 	Manager ManagerOptions
 }
@@ -45,7 +55,30 @@ type Server struct {
 
 // New builds an unstarted server.
 func New(opts Options) *Server {
-	return &Server{opts: opts, mgr: NewManager(opts.Manager)}
+	srv := &Server{opts: opts, mgr: NewManager(opts.Manager)}
+	srv.mgr.SetNode(opts.NodeID)
+	return srv
+}
+
+// NodeID returns the daemon's instance identity ("" when anonymous).
+func (srv *Server) NodeID() string { return srv.opts.NodeID }
+
+// AdvertiseHTTPAddr returns the address peers should dial for the
+// control plane: the configured advertise address, else the bound one.
+func (srv *Server) AdvertiseHTTPAddr() string {
+	if srv.opts.AdvertiseHTTPAddr != "" {
+		return srv.opts.AdvertiseHTTPAddr
+	}
+	return srv.HTTPAddr()
+}
+
+// AdvertiseStreamAddr returns the address peers should dial for the
+// stream plane: the configured advertise address, else the bound one.
+func (srv *Server) AdvertiseStreamAddr() string {
+	if srv.opts.AdvertiseStreamAddr != "" {
+		return srv.opts.AdvertiseStreamAddr
+	}
+	return srv.StreamAddr()
 }
 
 // Manager exposes the session manager (tests drive it directly).
@@ -125,9 +158,11 @@ func (srv *Server) Shutdown(ctx context.Context) error {
 	return firstErr
 }
 
-// writeCheckpointFile atomically writes one session's checkpoint.
+// writeCheckpointFile atomically writes one session's checkpoint,
+// stamped with the model's content hash so a later resume against the
+// wrong model fails loudly.
 func writeCheckpointFile(dir string, s *Session) error {
-	cp := s.Checkpoint()
+	cp := s.ExportCheckpoint()
 	if cp == nil {
 		return nil
 	}

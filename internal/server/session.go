@@ -121,6 +121,18 @@ type Session struct {
 	// while any session holds the image resident.
 	cacheKey string
 
+	// node is the hosting daemon's instance ID (set by the manager);
+	// placement records how the session landed here ("local" for direct
+	// creates, a coordinator decision string for cluster placements).
+	node      string
+	placement string
+
+	// onBoundary, when non-nil, is invoked after every successfully
+	// completed chunk with the session parked at its new boundary — the
+	// cluster agent uses it to push boundary checkpoints to the
+	// coordinator so failover always has a recent consistent state.
+	onBoundary func(*Session)
+
 	// group, when non-nil, routes the session's chunks through a shared
 	// batched tick loop with every same-keyed running session; set by
 	// the manager before the runner starts. batchLane is the session's
@@ -193,17 +205,19 @@ func newSession(id, name string, img *truenorth.Image, cfg sim.Config, ticks uin
 	return s, nil
 }
 
-// start launches the runner goroutine. The manager calls it exactly
-// once, when admission control grants capacity.
-func (s *Session) start() {
+// beginStart claims the exclusive right to launch the runner. It
+// returns false when the runner already launched or the session was
+// terminalized while queued — Stop on a queued session (abortQueued)
+// races promotion, and a promotion that loses the race must not charge
+// capacity for a runner that will never run to release it.
+func (s *Session) beginStart() bool {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.started || s.state.Terminal() {
-		s.mu.Unlock()
-		return
+		return false
 	}
 	s.started = true
-	s.mu.Unlock()
-	go s.run()
+	return true
 }
 
 // run is the session runner: it simulates in chunks, consulting the
@@ -306,7 +320,13 @@ func (s *Session) run() {
 			dropped = 0
 		}
 		s.totals.DroppedInputs += dropped
+		hook := s.onBoundary
 		s.mu.Unlock()
+		// The runner is the only writer of s.cp, so the checkpoint is
+		// stable for the duration of the hook.
+		if hook != nil {
+			hook(s)
+		}
 	}
 }
 
@@ -415,6 +435,23 @@ func (s *Session) Checkpoint() *truenorth.Checkpoint {
 	return s.cp
 }
 
+// ExportCheckpoint returns the latest boundary checkpoint shallow-
+// copied and stamped with the session's model content hash — the form
+// every serialization boundary (checkpoint files, HTTP export) ships,
+// so restores verify provenance. In-memory checkpoints stay unstamped;
+// the copy leaves the runner's state untouched.
+func (s *Session) ExportCheckpoint() *truenorth.Checkpoint {
+	cp := s.Checkpoint()
+	if cp == nil {
+		return nil
+	}
+	out := *cp
+	if out.ModelHash == "" {
+		out.ModelHash = s.img.Hash()
+	}
+	return &out
+}
+
 // Err returns the terminal error, if any.
 func (s *Session) Err() error {
 	s.mu.Lock()
@@ -435,6 +472,43 @@ func (s *Session) Model() *truenorth.Model { return s.model }
 // Image returns the session's immutable model image.
 func (s *Session) Image() *truenorth.Image { return s.img }
 
+// Cfg returns a copy of the session's base decomposition.
+func (s *Session) Cfg() sim.Config { return s.cfg }
+
+// TicksTotal returns the requested tick count; TicksDone the ticks
+// simulated so far by this session (excluding any pre-resume history).
+func (s *Session) TicksTotal() uint64 { return s.ticksTotal }
+
+// TicksDone returns the ticks simulated so far by this session.
+func (s *Session) TicksDone() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ticksDone
+}
+
+// ChunkTicks returns the session's chunk granularity.
+func (s *Session) ChunkTicks() int { return s.chunk }
+
+// CacheKey returns the model cache key the session's image came from
+// ("" when the image was built privately).
+func (s *Session) CacheKey() string { return s.cacheKey }
+
+// PendingStreamSpikes snapshots the streamed input spikes that have
+// been accepted but not yet frozen into a tick batch. With the session
+// parked at a chunk boundary this is exactly the injected state a
+// migration must carry: everything consumed before the boundary is in
+// the checkpoint, everything else is here.
+func (s *Session) PendingStreamSpikes() []truenorth.InputSpike {
+	return s.source.pendingSnapshot()
+}
+
+// InjectSpikes queues streamed input spikes directly (the programmatic
+// twin of the stream plane's inject frames); migration imports use it
+// to restore a source session's pending spikes.
+func (s *Session) InjectSpikes(spikes []truenorth.InputSpike) {
+	s.source.injectSpikes(spikes)
+}
+
 // Info is the session's JSON status document.
 type Info struct {
 	ID          string  `json:"id"`
@@ -447,6 +521,11 @@ type Info struct {
 	TicksTotal  uint64  `json:"ticks_total"`
 	TicksDone   uint64  `json:"ticks_done"`
 	CostPerTick float64 `json:"modelled_seconds_per_tick"`
+	// Node is the hosting daemon's instance ID; Placement records how
+	// the session landed there ("local" for direct creates, the
+	// coordinator's decision string for cluster placements).
+	Node      string `json:"node,omitempty"`
+	Placement string `json:"placement,omitempty"`
 	// ModelHash is the content address of the session's immutable model
 	// image; sessions sharing an image report the same hash.
 	ModelHash string `json:"model_hash"`
@@ -457,14 +536,14 @@ type Info struct {
 	// BatchGroup identifies the shared batched tick loop the session's
 	// chunks ride (empty when the session runs its own loop); BatchLane
 	// is the session's lane index in its most recent window.
-	BatchGroup  string  `json:"batch_group,omitempty"`
-	BatchLane   int     `json:"batch_lane,omitempty"`
-	Totals      Totals  `json:"totals"`
-	Injected    uint64  `json:"injected_spikes"`
-	Subscribers int     `json:"subscribers"`
-	StreamDrops uint64  `json:"stream_dropped_records"`
-	Error       string  `json:"error,omitempty"`
-	CreatedAt   string  `json:"created_at"`
+	BatchGroup  string `json:"batch_group,omitempty"`
+	BatchLane   int    `json:"batch_lane,omitempty"`
+	Totals      Totals `json:"totals"`
+	Injected    uint64 `json:"injected_spikes"`
+	Subscribers int    `json:"subscribers"`
+	StreamDrops uint64 `json:"stream_dropped_records"`
+	Error       string `json:"error,omitempty"`
+	CreatedAt   string `json:"created_at"`
 }
 
 // Info snapshots the session's status.
@@ -482,6 +561,8 @@ func (s *Session) Info() Info {
 		TicksTotal:  s.ticksTotal,
 		TicksDone:   s.ticksDone,
 		CostPerTick: s.cost,
+		Node:        s.node,
+		Placement:   s.placement,
 		ModelHash:   s.img.Hash(),
 		ImageBytes:  s.img.ImageBytes(),
 		StateBytes:  s.img.StateBytes(),

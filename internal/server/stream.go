@@ -109,11 +109,15 @@ func (srv *Server) serveStreamConn(conn net.Conn) {
 	select {
 	case <-writerDone:
 		// Egress exhausted: the session ended (or the write side broke).
-		// Drain the ingest reader under a deadline before closing, so
-		// inject frames already on the wire are processed first and the
-		// client reads a clean EOF (closing with unread data would send a
-		// reset instead). A peer that never half-closes is cut off when
-		// the deadline expires.
+		// Half-close our write side so the client reads a clean EOF
+		// immediately, then drain the ingest reader under a deadline
+		// before the full close, so inject frames already on the wire are
+		// processed first (closing with unread data would send a reset
+		// instead). A peer that never half-closes is cut off when the
+		// deadline expires.
+		if cw, ok := conn.(interface{ CloseWrite() error }); ok {
+			cw.CloseWrite()
+		}
 		conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
 		<-readerDone
 		return
@@ -128,6 +132,26 @@ func (srv *Server) serveStreamConn(conn net.Conn) {
 		// the session ends or the write side of the connection fails.
 		<-writerDone
 	}
+}
+
+// ReadStreamHandshake parses a client hello from a stream-plane
+// connection. It is exported for the cluster coordinator's stream
+// proxy, which terminates the same protocol and forwards frames to the
+// session's current owner node.
+func ReadStreamHandshake(r io.Reader) (flags byte, id string, err error) {
+	return readHandshake(r)
+}
+
+// WriteStreamOK acknowledges a stream handshake.
+func WriteStreamOK(w io.Writer) error {
+	_, err := w.Write([]byte(streamOK))
+	return err
+}
+
+// WriteStreamReject sends a CERR reply; the caller closes the
+// connection after.
+func WriteStreamReject(w io.Writer, err error) {
+	writeReject(w, err)
 }
 
 // readHandshake parses the client hello.

@@ -41,6 +41,27 @@ func (s *streamSource) Inject(events []spikeio.Event) {
 	s.total += uint64(len(events))
 }
 
+// injectSpikes queues already-decoded input spikes (the migration
+// import path; stream frames go through Inject).
+func (s *streamSource) injectSpikes(spikes []truenorth.InputSpike) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending = append(s.pending, spikes...)
+	s.total += uint64(len(spikes))
+}
+
+// pendingSnapshot copies the spikes accepted but not yet frozen into a
+// tick batch. Stable only while the session is parked at a boundary
+// (no rank is freezing batches); concurrent Inject calls are safe but
+// land on whichever side of the snapshot the lock resolves.
+func (s *streamSource) pendingSnapshot() []truenorth.InputSpike {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]truenorth.InputSpike, len(s.pending))
+	copy(out, s.pending)
+	return out
+}
+
 // injected returns the number of spikes accepted so far.
 func (s *streamSource) injected() uint64 {
 	s.mu.Lock()

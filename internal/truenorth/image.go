@@ -129,10 +129,18 @@ func (img *Image) InitialCheckpoint() *Checkpoint {
 	return cp
 }
 
-// ValidateCheckpoint checks cp's shape against the image; the wire
-// format itself (coreobject.ReadCheckpoint) is unchanged by the
-// image/state split.
+// ValidateCheckpoint checks cp's shape against the image, and — when
+// the checkpoint carries a model hash (checkpoint files and cross-node
+// exports are stamped with one) — that the hash names this image, so a
+// resume against the wrong model fails with a clear provenance error
+// instead of silently restoring foreign state.
 func (img *Image) ValidateCheckpoint(cp *Checkpoint) error {
+	if cp.ModelHash != "" {
+		if have := img.Hash(); cp.ModelHash != have {
+			return fmt.Errorf("truenorth: checkpoint is from model %.12s…, this node has model %.12s…",
+				cp.ModelHash, have)
+		}
+	}
 	return cp.validateCores(len(img.cores))
 }
 

@@ -195,6 +195,12 @@ type Checkpoint struct {
 	Tick uint64
 	// States holds one entry per core, indexed by CoreID.
 	States []CoreState
+	// ModelHash optionally names the content address (Image.Hash) of the
+	// model the checkpoint was taken against. In-memory checkpoints leave
+	// it empty; serialization boundaries (checkpoint files, HTTP export)
+	// stamp it so a resume against a different model fails with a clear
+	// mismatch error instead of silently restoring wrong state.
+	ModelHash string
 }
 
 // Validate checks the checkpoint against a model.

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check bench bench-transport bench-kernel bench-admit bench-batch telemetry-smoke chaos-smoke race-transport serve-smoke cluster-smoke
+.PHONY: build test race vet check bench bench-transport bench-kernel bench-admit bench-batch bench-reshape telemetry-smoke chaos-smoke race-transport serve-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ test:
 # slice swapping, and the atomic spike-delivery bitmask all run under
 # -race here.
 race:
-	$(GO) test -race ./internal/truenorth/... ./internal/compass/... ./internal/mpi/... ./internal/pgas/... ./internal/modelcache/... ./internal/server/... ./internal/cluster/...
+	$(GO) test -race ./internal/truenorth/... ./internal/compass/... ./internal/mpi/... ./internal/pgas/... ./internal/modelcache/... ./internal/server/... ./internal/cluster/... ./internal/reshape/...
 
 vet:
 	$(GO) vet ./...
@@ -51,6 +51,13 @@ bench-admit:
 # final checkpoint bit-identical to a solo run.
 bench-batch:
 	BENCH_BATCH_OUT=BENCH_batch.json $(GO) test -run TestBatchBenchArtifact -count=1 -v .
+
+# Regenerate BENCH_reshape.json, the elastic-repartitioning record: on a
+# skewed placement of a compute-dominated synthetic workload, the
+# telemetry-driven reshape plan must cut the measured Compute imbalance
+# at least 2x, and the rebalanced chunk's throughput must recover.
+bench-reshape:
+	BENCH_RESHAPE_OUT=BENCH_reshape.json $(GO) test -run TestReshapeBenchArtifact -count=1 -v .
 
 # End-to-end telemetry smoke: run a small CoCoMac model with every
 # export sink enabled, then validate the Prometheus exposition, the JSON

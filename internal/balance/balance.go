@@ -270,11 +270,24 @@ func RoundToInteger(m [][]float64, rowSums []float64) [][]int {
 	return out
 }
 
+// Apportion distributes target units over weights proportionally using
+// the largest-remainder method, and guarantees the sum invariant
+// sum(out) == max(target, 0) for every nonnegative weight vector with at
+// least one entry. Entries with zero weight receive nothing unless every
+// weight is zero, in which case the units spread uniformly (reshape
+// feeds telemetry counters that can legitimately be all zero — an
+// all-zero row must still account for every unit). The result is
+// deterministic: ties break on the lowest index.
+func Apportion(weights []float64, target int) []int {
+	return apportionRow(weights, target)
+}
+
 // apportionRow distributes target units over a row proportionally to the
-// row's weights using the largest-remainder method.
+// row's weights using the largest-remainder method. See Apportion for
+// the sum invariant and the all-zero-weights convention.
 func apportionRow(weights []float64, target int) []int {
 	out := make([]int, len(weights))
-	if target <= 0 {
+	if target <= 0 || len(weights) == 0 {
 		return out
 	}
 	total := 0.0
@@ -282,6 +295,16 @@ func apportionRow(weights []float64, target int) []int {
 		total += w
 	}
 	if total == 0 {
+		// No weight signal at all: spread uniformly so the row still
+		// sums to target (returning all zeros here would silently drop
+		// target units).
+		per, rem := target/len(out), target%len(out)
+		for j := range out {
+			out[j] = per
+			if j < rem {
+				out[j]++
+			}
+		}
 		return out
 	}
 	type rem struct {
@@ -298,6 +321,27 @@ func apportionRow(weights []float64, target int) []int {
 		if w > 0 {
 			rems = append(rems, rem{j, exact - fl})
 		}
+	}
+	// Float rounding can overshoot: when target*w/total rounds up to an
+	// exact integer, its floor keeps the spurious unit and the floors can
+	// sum past target. Reclaim deterministically from the smallest
+	// remainders (they gained the most from rounding up).
+	for assigned > target {
+		worst := -1
+		for k := range rems {
+			if out[rems[k].idx] == 0 {
+				continue
+			}
+			if worst == -1 || rems[k].frac < rems[worst].frac {
+				worst = k
+			}
+		}
+		if worst == -1 {
+			break
+		}
+		out[rems[worst].idx]--
+		rems[worst].frac = 1
+		assigned--
 	}
 	// Hand out the remaining units to the largest fractional parts;
 	// stable tie-break on index keeps the result deterministic.

@@ -439,12 +439,16 @@ func (c *Coordinator) stopping() bool {
 	}
 }
 
-// fwdPause sleeps one retry interval; false means shutdown.
-func (c *Coordinator) fwdPause() bool {
+// fwdPause sleeps one retry interval on the forwarder's reused timer;
+// false means shutdown. The timer belongs to the calling loop so retry
+// storms reuse one allocation instead of leaving a pending time.After
+// timer per iteration.
+func (c *Coordinator) fwdPause(retry *reusableTimer) bool {
 	select {
 	case <-c.stop:
+		retry.Disarm()
 		return false
-	case <-time.After(proxyDialRetry):
+	case <-retry.Arm(proxyDialRetry):
 		return true
 	}
 }
@@ -463,6 +467,8 @@ func (c *Coordinator) fwdPause() bool {
 // harmless.
 func (c *Coordinator) runForwarder(r *rec) {
 	defer c.wg.Done()
+	retry := newReusableTimer()
+	defer retry.Disarm()
 	var up *server.StreamClient
 	upGen := -1
 	defer func() {
@@ -501,14 +507,14 @@ func (c *Coordinator) runForwarder(r *rec) {
 		}
 		if up == nil {
 			if addr == "" {
-				if !c.fwdPause() {
+				if !c.fwdPause(retry) {
 					return
 				}
 				continue
 			}
 			cl, err := server.DialStream(addr, sid, server.StreamFlagInject)
 			if err != nil {
-				if !c.fwdPause() {
+				if !c.fwdPause(retry) {
 					return
 				}
 				continue
@@ -518,7 +524,7 @@ func (c *Coordinator) runForwarder(r *rec) {
 		if err := up.Send(batch); err != nil {
 			up.Close()
 			up = nil
-			if !c.fwdPause() {
+			if !c.fwdPause(retry) {
 				return
 			}
 			continue

@@ -39,7 +39,9 @@ import (
 // makes cross-generation re-sends safe.
 
 // proxyDialRetry paces re-dial attempts while an owner is unreachable.
-const proxyDialRetry = 150 * time.Millisecond
+// It is a variable only so the timer-reuse regression test can shorten
+// it; production code treats it as a constant.
+var proxyDialRetry = 150 * time.Millisecond
 
 // proxyDrainTimeout bounds draining a previous owner's stream after an
 // ownership change (a live source EOFs quickly once its remnant is
@@ -266,6 +268,11 @@ func (p *proxyConn) run() {
 // the generation moved on (or the proxy is closing) and the caller
 // should re-snapshot.
 func (p *proxyConn) dialUpstream(gen int, streamAddr, sessionID string, update chan struct{}, clientGone chan struct{}) (*server.StreamClient, bool) {
+	// One timer for the whole retry loop (not one per iteration, which
+	// would leave each pass's timer pending until it fires); disarmed on
+	// every non-timer exit so a cancelled dial loop leaves nothing armed.
+	retry := newReusableTimer()
+	defer retry.Disarm()
 	for {
 		if p.isClosed() {
 			return nil, false
@@ -280,7 +287,7 @@ func (p *proxyConn) dialUpstream(gen int, streamAddr, sessionID string, update c
 			}
 		}
 		select {
-		case <-time.After(proxyDialRetry):
+		case <-retry.Arm(proxyDialRetry):
 			gen2, addr2, id2, _, ended := p.snapshot()
 			if gen2 != gen || ended {
 				return nil, false
@@ -288,6 +295,7 @@ func (p *proxyConn) dialUpstream(gen int, streamAddr, sessionID string, update c
 			streamAddr, sessionID = addr2, id2
 		case <-update:
 			// State changed; loop re-snapshots.
+			retry.Disarm()
 			gen2, addr2, id2, _, ended := p.snapshot()
 			if gen2 != gen || ended {
 				return nil, false
@@ -303,7 +311,11 @@ func (p *proxyConn) dialUpstream(gen int, streamAddr, sessionID string, update c
 // folding late frames into the buffer (they may have become committed
 // by the ownership change's boundary).
 func (p *proxyConn) drainUpstream(up *server.StreamClient, recCh chan []spikeio.Event, gen int) {
-	deadline := time.After(proxyDrainTimeout)
+	// A stopped timer, not time.After: the usual exit is the upstream
+	// EOF long before the 5 s deadline, and an After timer would stay
+	// pending for the remainder on every ownership change.
+	deadline := time.NewTimer(proxyDrainTimeout)
+	defer deadline.Stop()
 	for {
 		select {
 		case events, ok := <-recCh:
@@ -311,7 +323,7 @@ func (p *proxyConn) drainUpstream(up *server.StreamClient, recCh chan []spikeio.
 				return
 			}
 			p.buffer(events, gen)
-		case <-deadline:
+		case <-deadline.C:
 			up.Close()
 			for range recCh {
 			}

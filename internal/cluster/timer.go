@@ -1,0 +1,43 @@
+package cluster
+
+import "time"
+
+// reusableTimer is one time.Timer reused across the iterations of a
+// retry or drain loop. The naive per-iteration `case <-time.After(d)`
+// allocates a timer that stays live in the runtime's heap until it
+// fires even after the select moved on — under a proxy dial storm
+// (hundreds of retrying connections) that churns allocations at the
+// retry rate. One reused timer per loop allocates once and is stopped
+// the moment the loop exits.
+type reusableTimer struct {
+	t *time.Timer
+}
+
+// newReusableTimer returns a timer in the disarmed state.
+func newReusableTimer() *reusableTimer {
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
+	}
+	return &reusableTimer{t: t}
+}
+
+// Arm resets the timer to fire after d and returns its channel for one
+// select. The previous wait must have been either received from or
+// Disarmed; Arm after a bare Reset would race the stale expiry.
+func (r *reusableTimer) Arm(d time.Duration) <-chan time.Time {
+	r.t.Reset(d)
+	return r.t.C
+}
+
+// Disarm stops a pending wait whose channel was not received from,
+// draining a concurrent expiry so the next Arm starts clean. Calling it
+// after the channel was received from, or when never armed, is a no-op.
+func (r *reusableTimer) Disarm() {
+	if !r.t.Stop() {
+		select {
+		case <-r.t.C:
+		default:
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package compass
+
+import (
+	"fmt"
+
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// Elastic repartitioning: a paused run can resume on a different
+// core→rank partition — and optionally a different rank count — from
+// its latest checkpoint. This file is the compass-side entry point; the
+// plan computation (telemetry-driven, cost-weighted) lives in
+// internal/reshape, and the serving policy that triggers it at chunk
+// boundaries lives in internal/server.
+//
+// Nothing about the running decomposition survives a reshape by
+// accident: RunImageContext rebuilds every rank's endpoints, worker
+// pool, dense CoreID-indexed core lookup, and outbox buffers from
+// (image, Config, StartFrom) on every call, and checkpoints are
+// decomposition-portable (Checkpoint.States is indexed by global
+// CoreID, so restoring under any rank count is the same States[ID]
+// lookup — the "remap" is the identity). Determinism across a reshape
+// is therefore the simulator's existing cross-decomposition contract:
+// the spike output is bit-identical for any (ranks, threads, transport)
+// split, so chunk N+1 on the new partition produces exactly the spikes
+// chunk N+1 on the old partition would have.
+
+// ReshapePlan describes the partition a paused run should resume on.
+type ReshapePlan struct {
+	// Ranks is the new rank count; it must not exceed the model's core
+	// count.
+	Ranks int
+	// RankOf places core i on rank RankOf[i] (one entry per core, values
+	// in [0, Ranks)). Ranks may end up owning no cores; idle ranks are
+	// legal and reported by Imbalance.IdleRanks.
+	RankOf []int
+}
+
+// Reshape returns a copy of the config rebuilt onto the plan's
+// partition, validated against img. The caller resumes by passing the
+// new config (with StartFrom set to the boundary checkpoint) to the
+// next Run call, which instantiates endpoints, worker pools, and the
+// dense core lookup for the new partition. A Telemetry bundle built for
+// fewer shards than the new rank count is dropped from the copy — the
+// caller must attach one sized for the new decomposition.
+func (c Config) Reshape(img *truenorth.Image, p ReshapePlan) (Config, error) {
+	out := c
+	out.Ranks = p.Ranks
+	if p.RankOf != nil {
+		out.RankOf = append([]int(nil), p.RankOf...)
+	} else {
+		out.RankOf = nil
+	}
+	if out.Telemetry != nil && out.Telemetry.Registry().Shards() < out.Ranks {
+		out.Telemetry = nil
+	}
+	if err := out.ValidateImage(img); err != nil {
+		return Config{}, fmt.Errorf("compass: reshape plan invalid: %w", err)
+	}
+	return out, nil
+}
+
+// Placement returns the rank of every core under this config — the
+// explicit RankOf when set, the default contiguous block partition
+// otherwise — always as a fresh slice the caller may keep.
+func (c Config) Placement(numCores int) []int {
+	return append([]int(nil), c.placement(numCores)...)
+}

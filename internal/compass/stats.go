@@ -163,41 +163,59 @@ func (s *RunStats) WireBytesPerTick() float64 {
 // in the functional regions of the CoCoMac model" (§VI-B); these ratios
 // quantify it.
 type Imbalance struct {
-	// Cores is the max/mean ratio of cores per rank.
+	// Cores is the max/mean ratio of cores per occupied rank.
 	Cores float64
-	// Compute is the max/mean ratio of synaptic events per rank (the
-	// Synapse-phase critical path).
+	// Compute is the max/mean ratio of synaptic events per occupied rank
+	// (the Synapse-phase critical path).
 	Compute float64
-	// Firings is the max/mean ratio of firings per rank.
+	// Firings is the max/mean ratio of firings per occupied rank.
 	Firings float64
-	// Sends is the max/mean ratio of messages sent per rank.
+	// Sends is the max/mean ratio of messages sent per occupied rank.
 	Sends float64
+	// IdleRanks counts ranks owning no cores. Idle ranks are excluded
+	// from every ratio's mean: a partition that empties a rank (e.g.
+	// after a reshape) must not deflate the mean and mask a hotspot on
+	// the occupied ranks.
+	IdleRanks int
 }
 
-// LoadImbalance computes the per-rank imbalance ratios for the run.
+// LoadImbalance computes the per-rank imbalance ratios for the run,
+// over occupied ranks only (see Imbalance.IdleRanks).
 func (s *RunStats) LoadImbalance() Imbalance {
 	if len(s.PerRank) == 0 {
 		return Imbalance{}
 	}
+	occupied := 0
+	for _, rs := range s.PerRank {
+		if rs.CoresOwned > 0 {
+			occupied++
+		}
+	}
+	out := Imbalance{IdleRanks: len(s.PerRank) - occupied}
 	ratio := func(get func(RankStats) float64) float64 {
+		if occupied == 0 {
+			return 1
+		}
 		var max, sum float64
 		for _, rs := range s.PerRank {
+			if rs.CoresOwned == 0 {
+				continue
+			}
 			v := get(rs)
 			sum += v
 			if v > max {
 				max = v
 			}
 		}
-		mean := sum / float64(len(s.PerRank))
+		mean := sum / float64(occupied)
 		if mean == 0 {
 			return 1
 		}
 		return max / mean
 	}
-	return Imbalance{
-		Cores:   ratio(func(r RankStats) float64 { return float64(r.CoresOwned) }),
-		Compute: ratio(func(r RankStats) float64 { return float64(r.SynapticEvents) }),
-		Firings: ratio(func(r RankStats) float64 { return float64(r.Firings) }),
-		Sends:   ratio(func(r RankStats) float64 { return float64(r.MessagesSent) }),
-	}
+	out.Cores = ratio(func(r RankStats) float64 { return float64(r.CoresOwned) })
+	out.Compute = ratio(func(r RankStats) float64 { return float64(r.SynapticEvents) })
+	out.Firings = ratio(func(r RankStats) float64 { return float64(r.Firings) })
+	out.Sends = ratio(func(r RankStats) float64 { return float64(r.MessagesSent) })
+	return out
 }

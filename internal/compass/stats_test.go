@@ -57,32 +57,69 @@ func TestDerivedRatesValues(t *testing.T) {
 }
 
 // TestLoadImbalanceEdgeCases checks the imbalance ratios on degenerate
-// rank sets: no ranks, one rank, all-zero activity, and a known skew.
+// and idle-rank cases: no ranks, one rank, all-idle, a known skew, and
+// partitions with emptied ranks, whose means must cover occupied ranks
+// only so an empty rank cannot mask a hotspot.
 func TestLoadImbalanceEdgeCases(t *testing.T) {
-	// Empty PerRank: everything zero.
-	if got := (&RunStats{}).LoadImbalance(); got != (Imbalance{}) {
-		t.Errorf("empty PerRank imbalance = %+v, want zero", got)
+	cases := []struct {
+		name    string
+		perRank []RankStats
+		want    Imbalance
+	}{
+		{name: "empty PerRank", perRank: nil, want: Imbalance{}},
+		{
+			name:    "single rank is balanced by definition",
+			perRank: []RankStats{{CoresOwned: 7, SynapticEvents: 9, Firings: 3, MessagesSent: 2}},
+			want:    Imbalance{Cores: 1, Compute: 1, Firings: 1, Sends: 1},
+		},
+		{
+			// All-zero activity must not divide by zero; the ratio
+			// convention is 1 (balanced) when the mean is zero.
+			name:    "all ranks idle",
+			perRank: []RankStats{{}, {}},
+			want:    Imbalance{Cores: 1, Compute: 1, Firings: 1, Sends: 1, IdleRanks: 2},
+		},
+		{
+			// Known skew: cores 3 and 1 → max/mean = 3/2.
+			name: "core skew without idle ranks",
+			perRank: []RankStats{
+				{CoresOwned: 3, SynapticEvents: 10, Firings: 4, MessagesSent: 6},
+				{CoresOwned: 1, SynapticEvents: 10, Firings: 4, MessagesSent: 0},
+			},
+			want: Imbalance{Cores: 1.5, Compute: 1, Firings: 1, Sends: 2},
+		},
+		{
+			// Two equally loaded occupied ranks plus two emptied ones:
+			// the occupied pair is perfectly balanced, and the empties
+			// must not deflate the mean into a phantom 2x ratio.
+			name: "idle ranks excluded from the mean",
+			perRank: []RankStats{
+				{CoresOwned: 4, SynapticEvents: 10, Firings: 4, MessagesSent: 6},
+				{CoresOwned: 4, SynapticEvents: 10, Firings: 4, MessagesSent: 6},
+				{}, {},
+			},
+			want: Imbalance{Cores: 1, Compute: 1, Firings: 1, Sends: 1, IdleRanks: 2},
+		},
+		{
+			// A genuine hotspot next to an idle rank: with the idle rank
+			// excluded, compute is 16 vs mean (16+4+4)/3 = 8 → 2x.
+			name: "hotspot visible despite idle rank",
+			perRank: []RankStats{
+				{CoresOwned: 2, SynapticEvents: 16, Firings: 8, MessagesSent: 4},
+				{CoresOwned: 1, SynapticEvents: 4, Firings: 2, MessagesSent: 1},
+				{CoresOwned: 1, SynapticEvents: 4, Firings: 2, MessagesSent: 1},
+				{},
+			},
+			want: Imbalance{Cores: 1.5, Compute: 2, Firings: 2, Sends: 2, IdleRanks: 1},
+		},
 	}
-	// Single rank is perfectly balanced by definition.
-	one := &RunStats{PerRank: []RankStats{{CoresOwned: 7, SynapticEvents: 9, Firings: 3, MessagesSent: 2}}}
-	if got := one.LoadImbalance(); got != (Imbalance{Cores: 1, Compute: 1, Firings: 1, Sends: 1}) {
-		t.Errorf("single-rank imbalance = %+v, want all 1", got)
-	}
-	// All-zero activity must not divide by zero; the ratio convention is
-	// 1 (balanced) when the mean is zero.
-	idle := &RunStats{PerRank: []RankStats{{}, {}}}
-	if got := idle.LoadImbalance(); got != (Imbalance{Cores: 1, Compute: 1, Firings: 1, Sends: 1}) {
-		t.Errorf("idle imbalance = %+v, want all 1", got)
-	}
-	// Known skew: cores 3 and 1 → max/mean = 3/2.
-	skew := &RunStats{PerRank: []RankStats{
-		{CoresOwned: 3, SynapticEvents: 10, Firings: 4, MessagesSent: 6},
-		{CoresOwned: 1, SynapticEvents: 10, Firings: 4, MessagesSent: 0},
-	}}
-	got := skew.LoadImbalance()
-	want := Imbalance{Cores: 1.5, Compute: 1, Firings: 1, Sends: 2}
-	if got != want {
-		t.Errorf("skewed imbalance = %+v, want %+v", got, want)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := (&RunStats{PerRank: tc.perRank}).LoadImbalance()
+			if got != tc.want {
+				t.Errorf("imbalance = %+v, want %+v", got, tc.want)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,239 @@
+package reshape
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	sim "github.com/cognitive-sim/compass/internal/compass"
+	"github.com/cognitive-sim/compass/internal/coreobject"
+	"github.com/cognitive-sim/compass/internal/prng"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// reshapeModel builds a stochastic model with heavy cross-core traffic:
+// stochastic weights and leak make every reshape also prove that the
+// per-core PRNG streams survive repartitioning bit-exactly.
+func reshapeModel(nCores int, seed uint64) *truenorth.Model {
+	r := prng.New(seed)
+	m := &truenorth.Model{Seed: seed}
+	for k := 0; k < nCores; k++ {
+		cfg := &truenorth.CoreConfig{ID: truenorth.CoreID(k)}
+		for a := 0; a < truenorth.CoreSize; a++ {
+			cfg.AxonTypes[a] = uint8(r.Intn(truenorth.NumAxonTypes))
+			for s := 0; s < 5; s++ {
+				cfg.SetSynapse(a, r.Intn(truenorth.CoreSize), true)
+			}
+		}
+		for j := 0; j < truenorth.CoreSize; j++ {
+			cfg.Neurons[j] = truenorth.NeuronParams{
+				Weights:          [truenorth.NumAxonTypes]int16{120, -48, 160, 80},
+				StochasticWeight: [truenorth.NumAxonTypes]bool{true, false, true, false},
+				Leak:             48,
+				StochasticLeak:   true,
+				Threshold:        int32(2 + r.Intn(4)),
+				Reset:            0,
+				Floor:            -24,
+				Target: truenorth.SpikeTarget{
+					Core:  truenorth.CoreID(r.Intn(nCores)),
+					Axon:  uint16(r.Intn(truenorth.CoreSize)),
+					Delay: uint8(1 + r.Intn(truenorth.MaxDelay)),
+				},
+				Enabled: true,
+			}
+		}
+		m.Cores = append(m.Cores, cfg)
+	}
+	for tick := uint64(0); tick < 8; tick++ {
+		for a := 0; a < 24; a++ {
+			m.Inputs = append(m.Inputs, truenorth.InputSpike{
+				Tick: tick,
+				Core: truenorth.CoreID(int(tick+uint64(a)) % nCores),
+				Axon: uint16(a * 11 % truenorth.CoreSize),
+			})
+		}
+	}
+	return m
+}
+
+// scheduleSource is a CSTR-style live input stream with a fixed
+// tick→spike schedule, so chunked/reshaped and straight runs observe
+// identical injections at every tick.
+type scheduleSource struct {
+	byTick map[uint64][]truenorth.InputSpike
+}
+
+func newScheduleSource(nCores int, upTo uint64) *scheduleSource {
+	s := &scheduleSource{byTick: make(map[uint64][]truenorth.InputSpike)}
+	for t := uint64(3); t < upTo; t += 5 { // mid-stream, straddles chunk boundaries
+		for a := 0; a < 9; a++ {
+			s.byTick[t] = append(s.byTick[t], truenorth.InputSpike{
+				Tick: t,
+				Core: truenorth.CoreID((int(t) + a*3) % nCores),
+				Axon: uint16((int(t)*13 + a*29) % truenorth.CoreSize),
+			})
+		}
+	}
+	return s
+}
+
+func (s *scheduleSource) SpikesFor(t uint64) []truenorth.InputSpike { return s.byTick[t] }
+
+func checkpointBytes(t *testing.T, cp *truenorth.Checkpoint) []byte {
+	t.Helper()
+	if cp == nil {
+		t.Fatal("missing checkpoint")
+	}
+	var buf bytes.Buffer
+	if err := coreobject.WriteCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReshapeDeterminism is the elastic-repartitioning contract test: a
+// run that reshapes at EVERY chunk boundary — cycling the rank count
+// through 1→N→1 shapes with telemetry-driven placements — produces a
+// byte-identical spike trace and final checkpoint to the same ticks run
+// straight through with no reshape, on all three transports, with live
+// CSTR injection mid-stream.
+func TestReshapeDeterminism(t *testing.T) {
+	const (
+		nCores = 8
+		chunk  = 6
+		chunks = 6 // 36 ticks, 5 reshape boundaries
+		ticks  = chunk * chunks
+	)
+	m := reshapeModel(nCores, 0xE1A57)
+	img, err := truenorth.NewImage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := newScheduleSource(nCores, ticks)
+
+	// Straight reference run, never reshaped.
+	ref, err := sim.Run(m, sim.Config{
+		Ranks: 2, ThreadsPerRank: 2,
+		RecordTrace: true, ReturnState: true, InputSource: src,
+	}, ticks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCP := checkpointBytes(t, ref.Final)
+
+	// Rank shapes applied at successive boundaries: down to 1, up to the
+	// core count, and back — with a couple of odd sizes in between.
+	shapes := []int{1, nCores, 3, 5, 1}
+
+	for _, tr := range []sim.Transport{sim.TransportMPI, sim.TransportPGAS, sim.TransportShmem} {
+		t.Run(tr.String(), func(t *testing.T) {
+			cfg := sim.Config{
+				Ranks: 2, ThreadsPerRank: 2, Transport: tr,
+				RecordTrace: true, ReturnState: true, InputSource: src,
+			}
+			var cp *truenorth.Checkpoint
+			var trace []truenorth.SpikeEvent
+			for c := 0; c < chunks; c++ {
+				run := cfg
+				run.StartFrom = cp
+				stats, err := sim.RunImage(img, run, chunk)
+				if err != nil {
+					t.Fatalf("chunk %d: %v", c, err)
+				}
+				trace = append(trace, stats.Trace...)
+				cp = stats.Final
+				if c == chunks-1 {
+					break
+				}
+				// Reshape at the boundary from the chunk's own telemetry.
+				plan, err := Compute(cfg.Placement(nCores), LoadsFromStats(stats), shapes[c])
+				if err != nil {
+					t.Fatalf("boundary %d: %v", c, err)
+				}
+				if plan.Ranks != shapes[c] {
+					t.Fatalf("boundary %d: plan has %d ranks, want %d", c, plan.Ranks, shapes[c])
+				}
+				cfg, err = cfg.Reshape(img, plan.ReshapePlan)
+				if err != nil {
+					t.Fatalf("boundary %d: %v", c, err)
+				}
+			}
+			if !reflect.DeepEqual(trace, ref.Trace) {
+				t.Fatalf("reshaped trace differs: %d events vs %d in straight run", len(trace), len(ref.Trace))
+			}
+			if got := checkpointBytes(t, cp); !bytes.Equal(got, refCP) {
+				t.Fatal("reshaped final checkpoint is not byte-identical to straight run")
+			}
+		})
+	}
+}
+
+// TestReshapeDeterminismBatchedLane: the same contract must hold when
+// the reshaped session runs as a lane of a batched group. Lane 0 (with
+// live CSTR injection) and lane 1 both reshape with the group at every
+// window boundary; each lane's accumulated trace and final checkpoint
+// must match its own solo, never-reshaped run byte for byte.
+func TestReshapeDeterminismBatchedLane(t *testing.T) {
+	const (
+		nCores  = 8
+		window  = 6
+		windows = 4 // 24 ticks, 3 reshape boundaries
+		ticks   = window * windows
+	)
+	m := reshapeModel(nCores, 0xBA7C4)
+	img, err := truenorth.NewImage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := newScheduleSource(nCores, ticks)
+
+	solo := func(in sim.InputSource) *sim.RunStats {
+		stats, err := sim.Run(m, sim.Config{
+			Ranks: 2, ThreadsPerRank: 2,
+			RecordTrace: true, ReturnState: true, InputSource: in,
+		}, ticks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	ref0, ref1 := solo(src), solo(nil)
+
+	shapes := []int{1, 4, 2}
+	cfg := sim.Config{Ranks: 2, ThreadsPerRank: 2, RecordTrace: true, ReturnState: true}
+	lanes := []sim.BatchLane{{InputSource: src}, {}}
+	var traces [2][]truenorth.SpikeEvent
+	var cps [2]*truenorth.Checkpoint
+	for w := 0; w < windows; w++ {
+		res, err := sim.RunBatch(img, cfg, window, lanes)
+		if err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+		for s, stats := range res.Lanes {
+			traces[s] = append(traces[s], stats.Trace...)
+			cps[s] = stats.Final
+			lanes[s].StartFrom = stats.Final
+		}
+		if w == windows-1 {
+			break
+		}
+		// Reshape the whole group from lane 0's measured loads.
+		plan, err := Compute(cfg.Placement(nCores), LoadsFromStats(res.Lanes[0]), shapes[w])
+		if err != nil {
+			t.Fatalf("boundary %d: %v", w, err)
+		}
+		cfg, err = cfg.Reshape(img, plan.ReshapePlan)
+		if err != nil {
+			t.Fatalf("boundary %d: %v", w, err)
+		}
+	}
+	for s, ref := range []*sim.RunStats{ref0, ref1} {
+		if !reflect.DeepEqual(traces[s], ref.Trace) {
+			t.Fatalf("lane %d reshaped trace differs: %d events vs %d solo", s, len(traces[s]), len(ref.Trace))
+		}
+		want := checkpointBytes(t, ref.Final)
+		if got := checkpointBytes(t, cps[s]); !bytes.Equal(got, want) {
+			t.Fatalf("lane %d reshaped checkpoint is not byte-identical to its solo run", s)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package reshape computes elastic repartitioning plans: new core→rank
+// partitions for a paused simulation, derived from the per-rank load
+// telemetry of the chunk that just ran.
+//
+// The paper fixes the core→rank partition at setup and attributes part
+// of its weak-scaling time growth to "computation and communication
+// imbalances in the functional regions of the CoCoMac model" (§VI-B).
+// This package closes that loop: RunStats.PerRank already measures each
+// rank's Synapse-phase work (SynapticEvents) and Network-phase sends
+// (MessagesSent) live, so when a chunk boundary's Imbalance crosses a
+// threshold, a plan rebalances the measured cost across ranks — or a
+// different rank count — and the session resumes from its boundary
+// checkpoint on the new layout. Determinism is the simulator's existing
+// cross-decomposition contract; any plan this package emits yields
+// bit-identical spike output (see internal/compass/reshape.go).
+//
+// The partitioner is a greedy cost-weighted chain partition: each
+// rank's measured cost is spread over its cores by largest-remainder
+// apportionment (internal/balance), every core gets a baseline weight
+// of one so quiescent regions still carry placement mass, and cores are
+// walked in ID order into contiguous blocks of near-equal weight. The
+// contiguous (chain) shape preserves the locality the default block
+// partition and the PCC's region-aware placements both encode: cores
+// with adjacent IDs belong to the same anatomical region, so keeping
+// blocks contiguous keeps gray matter on-rank.
+package reshape
+
+import (
+	"fmt"
+
+	"github.com/cognitive-sim/compass/internal/balance"
+	sim "github.com/cognitive-sim/compass/internal/compass"
+)
+
+// Load is one rank's measured cost over the last chunk: the Synapse
+// critical path (SynapticEvents) and the Network-phase message count.
+type Load struct {
+	Cores          int
+	SynapticEvents uint64
+	MessagesSent   uint64
+}
+
+// cost folds a rank's load into one scalar. Synaptic events dominate
+// the paper's compute phase; each message is charged a fixed overhead
+// so communication hotspots count even on sparse models.
+func (l Load) cost() uint64 {
+	const perMessage = 16
+	return l.SynapticEvents + perMessage*l.MessagesSent
+}
+
+// LoadsFromStats extracts per-rank loads from a finished chunk.
+func LoadsFromStats(stats *sim.RunStats) []Load {
+	out := make([]Load, len(stats.PerRank))
+	for i, rs := range stats.PerRank {
+		out[i] = Load{Cores: rs.CoresOwned, SynapticEvents: rs.SynapticEvents, MessagesSent: rs.MessagesSent}
+	}
+	return out
+}
+
+// Plan is a computed repartition with its diagnostics.
+type Plan struct {
+	sim.ReshapePlan
+	// FromRanks is the partition's previous rank count.
+	FromRanks int
+	// MovedCores counts cores whose rank changed (0 means the plan is a
+	// no-op and not worth a reshape).
+	MovedCores int
+	// PredictedCompute is the max/mean cost ratio of the new partition
+	// over its occupied ranks, under the measured loads.
+	PredictedCompute float64
+	// IdleRanks counts ranks the new partition leaves without cores.
+	IdleRanks int
+}
+
+// Compute builds a greedy cost-weighted plan: a new contiguous
+// partition of the cores onto newRanks ranks (<= 0 keeps the current
+// rank count) that balances the measured per-rank cost. placement is
+// the current core→rank assignment (one entry per core); loads holds
+// the measured telemetry for each current rank.
+func Compute(placement []int, loads []Load, newRanks int) (*Plan, error) {
+	n := len(placement)
+	if n == 0 {
+		return nil, fmt.Errorf("reshape: empty placement")
+	}
+	if len(loads) == 0 {
+		return nil, fmt.Errorf("reshape: no per-rank loads")
+	}
+	if newRanks <= 0 {
+		newRanks = len(loads)
+	}
+	if newRanks > n {
+		return nil, fmt.Errorf("reshape: %d ranks for %d cores", newRanks, n)
+	}
+
+	// Per-core weights at rank granularity: the telemetry is per rank,
+	// so each rank's measured cost is spread uniformly over its cores by
+	// largest-remainder apportionment (exact — every cost unit lands on
+	// some core, even when a rank's cost is zero), plus a baseline of 1
+	// per core so fully quiescent regions still occupy balanced space.
+	coresOf := make([][]int, len(loads))
+	for i, r := range placement {
+		if r < 0 || r >= len(loads) {
+			return nil, fmt.Errorf("reshape: core %d on rank %d, have loads for %d ranks", i, r, len(loads))
+		}
+		coresOf[r] = append(coresOf[r], i)
+	}
+	weight := make([]float64, n)
+	for r, ids := range coresOf {
+		if len(ids) == 0 {
+			continue
+		}
+		ones := make([]float64, len(ids))
+		for k := range ones {
+			ones[k] = 1
+		}
+		cost := loads[r].cost()
+		// Clamp into float64-exact integer range; relative weight is all
+		// that matters to the partition.
+		if cost > 1<<52 {
+			cost = 1 << 52
+		}
+		shares := balance.Apportion(ones, int(cost))
+		for k, id := range ids {
+			weight[id] = 1 + float64(shares[k])
+		}
+	}
+
+	// Greedy chain partition: walk cores in ID order and drop each into
+	// the block its weight's center of mass falls in — block r owns the
+	// quota window [r*total/newRanks, (r+1)*total/newRanks). Midpoints
+	// are strictly increasing, so the assignment is contiguous by
+	// construction and deterministic for identical inputs; rounding by
+	// the midpoint (rather than the running prefix) keeps a heavy core
+	// that straddles a quota boundary from dragging its whole block over
+	// quota.
+	total := 0.0
+	for _, w := range weight {
+		total += w
+	}
+	rankOf := make([]int, n)
+	blockSum := make([]float64, newRanks)
+	prefix := 0.0
+	for i := 0; i < n; i++ {
+		r := int((prefix + weight[i]/2) * float64(newRanks) / total)
+		if r >= newRanks {
+			r = newRanks - 1
+		}
+		rankOf[i] = r
+		blockSum[r] += weight[i]
+		prefix += weight[i]
+	}
+
+	plan := &Plan{
+		ReshapePlan: sim.ReshapePlan{Ranks: newRanks, RankOf: rankOf},
+		FromRanks:   len(loads),
+	}
+	var max, sum float64
+	occupied := 0
+	for _, b := range blockSum {
+		if b == 0 {
+			plan.IdleRanks++
+			continue
+		}
+		occupied++
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if occupied > 0 && sum > 0 {
+		plan.PredictedCompute = max / (sum / float64(occupied))
+	} else {
+		plan.PredictedCompute = 1
+	}
+	if newRanks == len(loads) {
+		for i := range rankOf {
+			if rankOf[i] != placement[i] {
+				plan.MovedCores++
+			}
+		}
+	} else {
+		plan.MovedCores = n
+	}
+	return plan, nil
+}
+
+// Policy decides when a session reshapes at a chunk boundary.
+type Policy struct {
+	// Threshold is the Compute imbalance ratio (max/mean synaptic events
+	// over occupied ranks) at or above which a reshape triggers; <= 0
+	// disables reshaping.
+	Threshold float64
+	// Interval is the minimum number of chunk boundaries between
+	// consecutive reshapes (and before the first), letting telemetry
+	// re-accumulate on the new partition before it is judged. Values
+	// below 1 mean every boundary is eligible.
+	Interval int
+}
+
+// ShouldReshape reports whether a boundary's measured imbalance
+// warrants a reshape, given how many boundaries passed since the last
+// one (or since the run started).
+func (p Policy) ShouldReshape(imb sim.Imbalance, boundariesSince int) bool {
+	if p.Threshold <= 0 {
+		return false
+	}
+	interval := p.Interval
+	if interval < 1 {
+		interval = 1
+	}
+	return boundariesSince >= interval && imb.Compute >= p.Threshold
+}

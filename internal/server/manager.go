@@ -10,6 +10,7 @@ import (
 	sim "github.com/cognitive-sim/compass/internal/compass"
 	"github.com/cognitive-sim/compass/internal/modelcache"
 	"github.com/cognitive-sim/compass/internal/perfmodel"
+	"github.com/cognitive-sim/compass/internal/reshape"
 	"github.com/cognitive-sim/compass/internal/telemetry"
 	"github.com/cognitive-sim/compass/internal/truenorth"
 	"github.com/cognitive-sim/compass/internal/workpool"
@@ -87,6 +88,18 @@ type ManagerOptions struct {
 	// GOMAXPROCS extras for the whole daemon; negative means unlimited
 	// (the pre-batching behavior: every run sizes its own pools).
 	MaxExtraWorkers int
+	// ReshapeThreshold enables automatic elastic repartitioning: when a
+	// chunk's Compute imbalance (max/mean synaptic events over occupied
+	// ranks) reaches this ratio at a chunk boundary, the session's
+	// placement is rebalanced from the chunk's own telemetry and the run
+	// resumes on the new layout. Zero (the default) disables reshaping;
+	// spike output is bit-identical either way.
+	ReshapeThreshold float64
+	// ReshapeInterval is the minimum number of chunk boundaries between
+	// consecutive reshapes of one session (and before its first), so
+	// telemetry re-accumulates on a new placement before it is judged
+	// again. Values below 1 mean every boundary is eligible.
+	ReshapeInterval int
 }
 
 func (o *ManagerOptions) withDefaults() ManagerOptions {
@@ -151,6 +164,7 @@ type Manager struct {
 	mCreated   telemetry.Counter
 	mRejected  telemetry.Counter
 	mCompleted telemetry.Counter
+	mReshapes  telemetry.Counter
 	gRunning   telemetry.Gauge
 	gQueued    telemetry.Gauge
 	gUsed      telemetry.Gauge
@@ -183,6 +197,8 @@ func NewManager(opts ManagerOptions) *Manager {
 			"sessions rejected by admission control"),
 		mCompleted: reg.Counter("compassd_sessions_completed_total",
 			"sessions that reached a terminal state"),
+		mReshapes: reg.Counter("compassd_reshapes_total",
+			"elastic repartitions applied at chunk boundaries"),
 		gRunning: reg.Gauge("compassd_sessions_running",
 			"sessions currently running or paused"),
 		gQueued: reg.Gauge("compassd_sessions_queued",
@@ -420,6 +436,12 @@ func (m *Manager) Create(p CreateParams) (*Session, error) {
 		"egress records evicted by drop-oldest backpressure, per session",
 		telemetry.Label{Key: "session", Value: id})
 	s.sink.onDrop = func(n uint64) { drops.Add(0, n) }
+	s.reshapePolicy = reshape.Policy{Threshold: m.opts.ReshapeThreshold, Interval: m.opts.ReshapeInterval}
+	s.onReshape = m.noteReshape
+	gImb := m.reg.Gauge("compassd_session_compute_imbalance",
+		"latest chunk's Compute imbalance (max/mean synaptic events over occupied ranks), per session",
+		telemetry.Label{Key: "session", Value: id})
+	s.gImbalance = &gImb
 
 	m.mu.Lock()
 	m.sessions[id] = s
@@ -502,7 +524,9 @@ func (m *Manager) startLocked(s *Session) bool {
 			m.groups[key] = g
 		}
 		g.refs++
-		s.group = g
+		// Under the session lock: a queued session promoted here can have
+		// its Info read concurrently.
+		s.setGroup(g)
 	}
 	go s.run()
 	return true

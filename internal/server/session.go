@@ -20,6 +20,7 @@ import (
 	"time"
 
 	sim "github.com/cognitive-sim/compass/internal/compass"
+	"github.com/cognitive-sim/compass/internal/reshape"
 	"github.com/cognitive-sim/compass/internal/telemetry"
 	"github.com/cognitive-sim/compass/internal/truenorth"
 )
@@ -140,6 +141,15 @@ type Session struct {
 	group     *batchGroup
 	batchLane int
 
+	// reshapePolicy decides, at every chunk boundary, whether the chunk's
+	// measured imbalance warrants repartitioning; onReshape tells the
+	// manager an applied reshape changed the decomposition (metrics,
+	// batch regrouping); gImbalance publishes each chunk's Compute
+	// imbalance. See reshape.go.
+	reshapePolicy reshape.Policy
+	onReshape     func(*Session, sim.Config)
+	gImbalance    *telemetry.Gauge
+
 	// inputTicks is the sorted multiset of model-scheduled input ticks,
 	// used to correct per-chunk DroppedInputs: every resumed chunk
 	// re-purges model inputs before its start tick, which would otherwise
@@ -151,17 +161,19 @@ type Session struct {
 	done   chan struct{}
 	onExit func(*Session)
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	state     State
-	pauseReq  bool
-	drainReq  bool
-	started   bool
-	ticksDone uint64
-	cp        *truenorth.Checkpoint
-	totals    Totals
-	runErr    error
-	created   time.Time
+	mu           sync.Mutex
+	cond         *sync.Cond
+	state        State
+	pauseReq     bool
+	drainReq     bool
+	started      bool
+	ticksDone    uint64
+	cp           *truenorth.Checkpoint
+	totals       Totals
+	runErr       error
+	created      time.Time
+	sinceReshape int
+	reshapes     []ReshapeEvent
 }
 
 // newSession builds a session in StateQueued against an immutable model
@@ -260,6 +272,7 @@ func (s *Session) run() {
 		group := s.group
 		startTick := s.cp.Tick
 		cp := s.cp
+		base := s.cfg
 		s.state = StateRunning
 		s.cond.Broadcast()
 		s.mu.Unlock()
@@ -279,7 +292,7 @@ func (s *Session) run() {
 				Telemetry:   s.tel,
 			}, int(n))
 		} else {
-			cfg := s.cfg
+			cfg := base
 			cfg.StartFrom = cp
 			cfg.ReturnState = true
 			cfg.InputSource = s.source
@@ -327,6 +340,7 @@ func (s *Session) run() {
 		if hook != nil {
 			hook(s)
 		}
+		s.maybeReshape(stats)
 	}
 }
 
@@ -472,8 +486,13 @@ func (s *Session) Model() *truenorth.Model { return s.model }
 // Image returns the session's immutable model image.
 func (s *Session) Image() *truenorth.Image { return s.img }
 
-// Cfg returns a copy of the session's base decomposition.
-func (s *Session) Cfg() sim.Config { return s.cfg }
+// Cfg returns a copy of the session's base decomposition (the current
+// one when the session has reshaped).
+func (s *Session) Cfg() sim.Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg
+}
 
 // TicksTotal returns the requested tick count; TicksDone the ticks
 // simulated so far by this session (excluding any pre-resume history).
@@ -536,14 +555,17 @@ type Info struct {
 	// BatchGroup identifies the shared batched tick loop the session's
 	// chunks ride (empty when the session runs its own loop); BatchLane
 	// is the session's lane index in its most recent window.
-	BatchGroup  string `json:"batch_group,omitempty"`
-	BatchLane   int    `json:"batch_lane,omitempty"`
-	Totals      Totals `json:"totals"`
-	Injected    uint64 `json:"injected_spikes"`
-	Subscribers int    `json:"subscribers"`
-	StreamDrops uint64 `json:"stream_dropped_records"`
-	Error       string `json:"error,omitempty"`
-	CreatedAt   string `json:"created_at"`
+	BatchGroup string `json:"batch_group,omitempty"`
+	BatchLane  int    `json:"batch_lane,omitempty"`
+	// Reshapes lists every elastic repartition applied at a chunk
+	// boundary, oldest first (empty when the session never reshaped).
+	Reshapes    []ReshapeEvent `json:"reshapes,omitempty"`
+	Totals      Totals         `json:"totals"`
+	Injected    uint64         `json:"injected_spikes"`
+	Subscribers int            `json:"subscribers"`
+	StreamDrops uint64         `json:"stream_dropped_records"`
+	Error       string         `json:"error,omitempty"`
+	CreatedAt   string         `json:"created_at"`
 }
 
 // Info snapshots the session's status.
@@ -576,6 +598,7 @@ func (s *Session) Info() Info {
 	if s.group != nil {
 		info.BatchGroup = s.group.key
 	}
+	info.Reshapes = append([]ReshapeEvent(nil), s.reshapes...)
 	if s.runErr != nil {
 		info.Error = s.runErr.Error()
 	}

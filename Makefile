@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check bench bench-transport bench-kernel bench-admit bench-batch bench-reshape telemetry-smoke chaos-smoke race-transport serve-smoke cluster-smoke
+.PHONY: build test race vet check bench bench-transport bench-kernel bench-admit bench-batch bench-reshape bench-scenario telemetry-smoke chaos-smoke race-transport serve-smoke cluster-smoke scenario-smoke
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ test:
 # slice swapping, and the atomic spike-delivery bitmask all run under
 # -race here.
 race:
-	$(GO) test -race ./internal/truenorth/... ./internal/compass/... ./internal/mpi/... ./internal/pgas/... ./internal/modelcache/... ./internal/server/... ./internal/cluster/... ./internal/reshape/...
+	$(GO) test -race ./internal/truenorth/... ./internal/compass/... ./internal/mpi/... ./internal/pgas/... ./internal/modelcache/... ./internal/server/... ./internal/cluster/... ./internal/reshape/... ./internal/spikecode/... ./internal/scenario/...
 
 vet:
 	$(GO) vet ./...
@@ -58,6 +58,13 @@ bench-batch:
 # at least 2x, and the rebalanced chunk's throughput must recover.
 bench-reshape:
 	BENCH_RESHAPE_OUT=BENCH_reshape.json $(GO) test -run TestReshapeBenchArtifact -count=1 -v .
+
+# Regenerate BENCH_scenario.json, the interactive serving record: the
+# bandit scenario driven closed-loop (inject -> step -> decode over the
+# stream plane) at 1/4/16 concurrent sessions, recording episodes/s and
+# p50/p99 inject->decision round trips.
+bench-scenario:
+	BENCH_SCENARIO_OUT=BENCH_scenario.json $(GO) test -run TestScenarioBenchArtifact -count=1 -v .
 
 # End-to-end telemetry smoke: run a small CoCoMac model with every
 # export sink enabled, then validate the Prometheus exposition, the JSON
@@ -110,6 +117,19 @@ cluster-smoke:
 	mkdir -p $(CLUSTER_DIR)
 	$(GO) build -o $(CLUSTER_DIR)/compassd ./cmd/compassd
 	$(GO) run ./cmd/clustersmoke -compassd $(CLUSTER_DIR)/compassd -dir $(CLUSTER_DIR)
+
+# Scenario smoke: build compassd, run every registered closed-loop
+# scenario (bandit, stroop, charrec) against it through the episode
+# engine, check the per-scenario counters and stream-RTT histogram on
+# /metrics, pin determinism by replaying one run through compass.Run,
+# then re-run a scenario through a coordinator + node and require a
+# bit-identical inject stream and score. Output lands in
+# $(SCENARIO_DIR)/scenario-smoke.log.
+SCENARIO_DIR ?= scenario-smoke
+scenario-smoke:
+	mkdir -p $(SCENARIO_DIR)
+	$(GO) build -o $(SCENARIO_DIR)/compassd ./cmd/compassd
+	$(GO) run ./cmd/scenariosmoke -compassd $(SCENARIO_DIR)/compassd -dir $(SCENARIO_DIR)
 
 SMOKE_DIR ?= telemetry-smoke
 telemetry-smoke:

@@ -11,6 +11,7 @@ package compass_test
 // The same tables print via `go run ./cmd/benchsuite`.
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"os"
@@ -25,6 +26,8 @@ import (
 	"github.com/cognitive-sim/compass/internal/experiments"
 	"github.com/cognitive-sim/compass/internal/modelcache"
 	"github.com/cognitive-sim/compass/internal/reshape"
+	"github.com/cognitive-sim/compass/internal/scenario"
+	"github.com/cognitive-sim/compass/internal/server"
 )
 
 // runExperiment executes an experiment driver b.N times.
@@ -863,4 +866,72 @@ func TestReshapeBenchArtifact(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s (%.2fx imbalance reduction)", out, reduction)
+}
+
+// TestScenarioBenchArtifact measures closed-loop interactive serving
+// throughput: the bandit scenario driven through the episode engine
+// (inject → step → decode per decision window over the CSTR plane)
+// against an in-process compassd at 1, 4, and 16 concurrent scenario
+// sessions. When the BENCH_SCENARIO_OUT environment variable names a
+// file (the Makefile's bench-scenario target sets it), the numbers —
+// episodes/s and p50/p99 inject→decision round trips per level — are
+// recorded as JSON so the repository tracks the interactive-latency
+// trajectory. It always asserts the properties the engine guarantees:
+// every session completes its episodes, RTT percentiles are ordered,
+// and every concurrency level's inject stream is seed-deterministic.
+func TestScenarioBenchArtifact(t *testing.T) {
+	out := os.Getenv("BENCH_SCENARIO_OUT")
+	if out == "" {
+		// A wall-clock assertion is only meaningful on a quiet machine;
+		// under `go test ./...` the packages race each other for cores.
+		t.Skip("set BENCH_SCENARIO_OUT (or run `make bench-scenario`) to measure")
+	}
+	srv := server.New(server.Options{
+		HTTPAddr:   "127.0.0.1:0",
+		StreamAddr: "127.0.0.1:0",
+		NodeID:     "bench-scenario",
+		Manager: server.ManagerOptions{
+			CapacitySecondsPerTick: 1e9,
+			MaxRunning:             64,
+		},
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	report, err := scenario.RunBench(srv.HTTPAddr(), scenario.BenchOptions{
+		Scenario:    "bandit",
+		Seed:        7,
+		Episodes:    3,
+		Concurrency: []int{1, 4, 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range report.Points {
+		t.Logf("%2d sessions: %7.1f ep/s  %8.1f steps/s  rtt p50 %.2fms p99 %.2fms",
+			p.Concurrency, p.EpisodesPerSecond, p.StepsPerSecond,
+			p.RTTp50Seconds*1e3, p.RTTp99Seconds*1e3)
+		if p.Episodes != 3*p.Concurrency {
+			t.Errorf("%d sessions: completed %d episodes, expected %d",
+				p.Concurrency, p.Episodes, 3*p.Concurrency)
+		}
+		if p.RTTp50Seconds <= 0 || p.RTTp99Seconds < p.RTTp50Seconds {
+			t.Errorf("%d sessions: malformed RTT percentiles p50=%g p99=%g",
+				p.Concurrency, p.RTTp50Seconds, p.RTTp99Seconds)
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
 }

@@ -18,6 +18,7 @@ import (
 	"log"
 
 	"github.com/cognitive-sim/compass/internal/corelets"
+	"github.com/cognitive-sim/compass/internal/spikecode"
 	"github.com/cognitive-sim/compass/internal/truenorth"
 )
 
@@ -119,20 +120,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	// detections[presentation][detector] counts gate firings in each
-	// presentation window.
-	detections := make([][]int, len(cls))
-	for i := range detections {
-		detections[i] = make([]int, len(cls))
-	}
+	// Each detector's probe is one output line of the shared decode
+	// helpers: collect line events, then score per presentation window.
+	var events []spikecode.LineEvent
 	sim.OnSpike = func(tick uint64, s truenorth.Spike) {
-		window := int(tick / gap)
-		if window >= len(cls) {
-			return
-		}
 		for d, p := range probes {
 			if _, ok := p.Index(s.Target); ok {
-				detections[window][d]++
+				events = append(events, spikecode.LineEvent{Line: d, Tick: tick})
 			}
 		}
 	}
@@ -141,16 +135,19 @@ func run() error {
 		return err
 	}
 
+	windows := make([]spikecode.Window, len(cls))
+	for i := range cls {
+		windows[i] = spikecode.Window{Start: uint64(i) * gap, End: uint64(i+1) * gap}
+	}
+	detections := spikecode.CountWindows(events, len(cls), windows)
+
 	correct := 0
 	for i, c := range cls {
 		fmt.Printf("presented %-13s ->", c.name)
-		winner, best := -1, 0
 		for d := range cls {
 			fmt.Printf(" %s:%d", shortName(cls[d].name), detections[i][d])
-			if detections[i][d] > best {
-				winner, best = d, detections[i][d]
-			}
 		}
+		winner := spikecode.Argmax(detections[i])
 		if winner == i {
 			fmt.Printf("   classified %q  ok\n", cls[winner].name)
 			correct++

@@ -9,6 +9,10 @@
 // count minus a noise allowance). Digits are presented as one-tick spike
 // volleys — clean first, then with increasing numbers of flipped pixels —
 // and the spikes coming out of the classifier are the predictions.
+//
+// The font, pixel-noise, and glyph helpers live in internal/spikecode,
+// shared with the served `charrec` scenario (internal/scenario) and the
+// other sensory examples.
 package main
 
 import (
@@ -18,59 +22,12 @@ import (
 
 	"github.com/cognitive-sim/compass/internal/corelets"
 	"github.com/cognitive-sim/compass/internal/prng"
+	"github.com/cognitive-sim/compass/internal/spikecode"
 	"github.com/cognitive-sim/compass/internal/truenorth"
 )
 
-// font5x7 is a standard 5×7 dot-matrix digit font, one string per row.
-var font5x7 = map[rune][]string{
-	'0': {" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "},
-	'1': {"  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "},
-	'2': {" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"},
-	'3': {" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "},
-	'4': {"   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "},
-	'5': {"#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "},
-	'6': {" ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### "},
-	'7': {"#####", "    #", "   # ", "  #  ", " #   ", " #   ", " #   "},
-	'8': {" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "},
-	'9': {" ### ", "#   #", "#   #", " ####", "    #", "    #", " ### "},
-}
-
-const (
-	gridW, gridH = 5, 7
-	bits         = gridW * gridH
-	// noiseAllowance is how many flipped pixels a template tolerates.
-	noiseAllowance = 3
-)
-
-func glyphBits(r rune) []bool {
-	rows := font5x7[r]
-	out := make([]bool, bits)
-	for y, row := range rows {
-		for x, c := range row {
-			out[y*gridW+x] = c == '#'
-		}
-	}
-	return out
-}
-
-func popcount(p []bool) int {
-	n := 0
-	for _, b := range p {
-		if b {
-			n++
-		}
-	}
-	return n
-}
-
-func flipPixels(p []bool, n int, r *prng.Stream) []bool {
-	out := append([]bool(nil), p...)
-	for i := 0; i < n; i++ {
-		idx := r.Intn(len(out))
-		out[idx] = !out[idx]
-	}
-	return out
-}
+// noiseAllowance is how many flipped pixels a template tolerates.
+const noiseAllowance = 3
 
 func main() {
 	if err := run(); err != nil {
@@ -83,15 +40,19 @@ func run() error {
 	templates := make([][]bool, len(digits))
 	thresholds := make([]int32, len(digits))
 	for i, d := range digits {
-		templates[i] = glyphBits(d)
+		bits, ok := spikecode.Glyph(d)
+		if !ok {
+			return fmt.Errorf("digit %c missing from font", d)
+		}
+		templates[i] = bits
 		// Demand all template pixels minus the noise allowance, so a
 		// template only fires on patterns close to itself: margin =
 		// matches − mismatches ≥ |template| − noiseAllowance.
-		thresholds[i] = int32(popcount(templates[i]) - noiseAllowance)
+		thresholds[i] = int32(spikecode.Popcount(bits) - noiseAllowance)
 	}
 
 	b := corelets.NewBuilder(7)
-	in, out, err := b.TemplateMatcherThresholds(bits, templates, thresholds)
+	in, out, err := b.TemplateMatcherThresholds(spikecode.GlyphBits, templates, thresholds)
 	if err != nil {
 		return err
 	}
@@ -113,7 +74,7 @@ func run() error {
 		for i := range digits {
 			pattern := templates[i]
 			if flips > 0 {
-				pattern = flipPixels(pattern, flips, r)
+				pattern = spikecode.FlipPixels(pattern, flips, r)
 			}
 			if err := b.Volley(in, pattern, tick); err != nil {
 				return err
@@ -128,7 +89,7 @@ func run() error {
 		return err
 	}
 	fmt.Printf("classifier: %d digit templates on %d TrueNorth core(s), %d input lines\n",
-		len(templates), b.NumCores(), bits)
+		len(templates), b.NumCores(), spikecode.GlyphBits)
 
 	// Run and collect which template fired at which tick.
 	sim, err := truenorth.NewSerialSim(m)

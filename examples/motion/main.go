@@ -21,6 +21,7 @@ import (
 	"log"
 
 	"github.com/cognitive-sim/compass/internal/corelets"
+	"github.com/cognitive-sim/compass/internal/spikecode"
 	"github.com/cognitive-sim/compass/internal/truenorth"
 )
 
@@ -133,32 +134,33 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	// Count detector responses per phase of the experiment.
-	type phase struct{ right, left int }
-	var during [2]phase // [0] = rightward sweep window, [1] = leftward
+	// The two detector populations are two output lines of the shared
+	// decode helpers: collect line events, then count per sweep window.
+	const rightLine, leftLine = 0, 1
+	var events []spikecode.LineEvent
 	sim.OnSpike = func(tick uint64, s truenorth.Spike) {
-		idx := 0
-		if tick >= afterRight {
-			idx = 1
-		}
 		if _, ok := rightProbe.Index(s.Target); ok {
-			during[idx].right++
+			events = append(events, spikecode.LineEvent{Line: rightLine, Tick: tick})
 		}
 		if _, ok := leftProbe.Index(s.Target); ok {
-			during[idx].left++
+			events = append(events, spikecode.LineEvent{Line: leftLine, Tick: tick})
 		}
 	}
 	if err := sim.Run(int(afterLeft) + 8); err != nil {
 		return err
 	}
 
-	fmt.Printf("\nrightward sweep: %2d rightward detections, %2d leftward\n", during[0].right, during[0].left)
-	fmt.Printf("leftward  sweep: %2d rightward detections, %2d leftward\n", during[1].right, during[1].left)
+	during := spikecode.CountWindows(events, 2, []spikecode.Window{
+		{Start: 0, End: afterRight},
+		{Start: afterRight, End: afterLeft + 8},
+	})
+	fmt.Printf("\nrightward sweep: %2d rightward detections, %2d leftward\n", during[0][rightLine], during[0][leftLine])
+	fmt.Printf("leftward  sweep: %2d rightward detections, %2d leftward\n", during[1][rightLine], during[1][leftLine])
 
-	if during[0].right <= during[0].left {
+	if spikecode.Argmax(during[0]) != rightLine {
 		return fmt.Errorf("rightward sweep not detected as rightward")
 	}
-	if during[1].left <= during[1].right {
+	if spikecode.Argmax(during[1]) != leftLine {
 		return fmt.Errorf("leftward sweep not detected as leftward")
 	}
 	fmt.Println("\ndirection selectivity confirmed: the array distinguishes motion direction from spike timing alone.")

@@ -1,20 +1,33 @@
-// Realtime: the §VII experiment at host scale — the synthetic benchmark
-// network (75% of connections node-local, neurons firing at ~10 Hz) run
-// under both the MPI and the PGAS transports, plus the calibrated Blue
-// Gene/P projection that reproduces Figure 7's conclusion: one-sided
-// PGAS communication sustains soft real time at core counts where
-// two-sided MPI does not.
+// Realtime: soft real time for closed-loop serving — the paper's §VII
+// question ("can Compass keep up with a 1 ms biological tick?") asked of
+// the interactive path instead of the batch path.
+//
+// The program boots an in-process compassd, then drives every registered
+// scenario through the shared episode engine (internal/scenario): each
+// decision window is encoded to spikes, streamed over the CSTR plane,
+// stepped, and decoded back into an action. TrueNorth's native tick is
+// 1 ms, so a closed loop is soft real time when one decision window of W
+// ticks round-trips in under W milliseconds. The engine's client-side
+// RTT samples make that budget directly checkable.
+//
+// This used to be a hand-rolled CSTR loop; it is now a thin client of
+// the scenario engine, and doubles as a runnable smoke target for the
+// whole interactive serving path.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"github.com/cognitive-sim/compass/internal/compass"
-	"github.com/cognitive-sim/compass/internal/experiments"
-	"github.com/cognitive-sim/compass/internal/perfmodel"
+	"github.com/cognitive-sim/compass/internal/scenario"
+	"github.com/cognitive-sim/compass/internal/server"
 )
+
+// tickBudget is TrueNorth's biological tick: 1 ms of wall clock per
+// simulated tick is the paper's soft real-time bar.
+const tickBudget = time.Millisecond
 
 func main() {
 	if err := run(); err != nil {
@@ -23,59 +36,65 @@ func main() {
 }
 
 func run() error {
-	const (
-		ranks        = 8
-		coresPerRank = 16
-		ticks        = 500
-	)
-	model, err := experiments.SyntheticModel(ranks, coresPerRank, 0.75, 10, 2024)
+	srv := server.New(server.Options{
+		HTTPAddr:   "127.0.0.1:0",
+		StreamAddr: "127.0.0.1:0",
+		NodeID:     "realtime-example",
+		Manager: server.ManagerOptions{
+			CapacitySecondsPerTick: 1e9,
+			MaxRunning:             8,
+		},
+	})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	c, err := scenario.Dial(srv.HTTPAddr())
 	if err != nil {
 		return err
 	}
-	fmt.Printf("synthetic network: %d cores on %d ranks, 75%% rank-local connectivity, ~10 Hz\n\n",
-		model.NumCores(), ranks)
+	fmt.Printf("compassd up at %s; driving %d scenarios closed-loop (budget: %v/tick)\n\n",
+		srv.HTTPAddr(), len(scenario.Names()), tickBudget)
 
-	// Functional runs under every transport: identical spikes, different
-	// communication structure (shmem is the host-only zero-copy path).
-	for _, tr := range compass.Transports() {
-		t0 := time.Now()
-		stats, err := compass.Run(model, compass.Config{
-			Ranks: ranks, ThreadsPerRank: 2, Transport: tr,
-		}, ticks)
+	allRT := true
+	for _, name := range scenario.Names() {
+		spec, err := scenario.Get(name)
 		if err != nil {
 			return err
 		}
-		elapsed := time.Since(t0)
-		fmt.Printf("%-4s: %6d spikes (%.1f Hz), %5.1f remote spikes/tick, %5.1f msgs|puts/tick, wall %v (%.2f ms/tick)\n",
-			tr, stats.TotalSpikes, stats.AvgFiringRateHz(), stats.SpikesPerTick(),
-			stats.MessagesPerTick(), elapsed.Round(time.Millisecond),
-			elapsed.Seconds()*1000/float64(ticks))
+		res, err := scenario.Run(c, spec, scenario.RunOptions{
+			Episodes: 2,
+			Seed:     2026,
+			Report:   true,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		budget := time.Duration(spec.WindowTicks) * tickBudget
+		p50 := time.Duration(res.RTTPercentile(0.50) * float64(time.Second))
+		p99 := time.Duration(res.RTTPercentile(0.99) * float64(time.Second))
+		epsPerSec := float64(res.Episodes) / res.ElapsedSeconds
+		rt := p99 <= budget
+		verdict := "soft real time"
+		if !rt {
+			verdict = "OVER BUDGET"
+			allRT = false
+		}
+		fmt.Printf("%-8s %2d episodes x %2d steps: %5.1f ep/s, reward %5.1f, %d/%d correct\n",
+			name, res.Episodes, res.Steps, epsPerSec, res.Score.Reward,
+			res.Score.Correct, res.Score.Steps)
+		fmt.Printf("         window %2d ticks (budget %4v): RTT p50 %8v  p99 %8v  -> %s\n",
+			spec.WindowTicks, budget, p50.Round(time.Microsecond), p99.Round(time.Microsecond), verdict)
 	}
 
-	// Projection at paper scale: 81K cores over four Blue Gene/P racks.
-	fmt.Println("\nprojected on Blue Gene/P (81,920 cores, 1000 ticks):")
-	machine := perfmodel.BlueGeneP()
-	for _, racks := range []int{1, 2, 4} {
-		nodes := racks * 1024
-		w, err := perfmodel.SyntheticUniform(nodes, 81920/nodes, 10, 0.75, 0.10)
-		if err != nil {
-			return err
-		}
-		pgasT, err := perfmodel.Project(machine, w, 4, compass.TransportPGAS)
-		if err != nil {
-			return err
-		}
-		mpiT, err := perfmodel.Project(machine, w, 4, compass.TransportMPI)
-		if err != nil {
-			return err
-		}
-		rt := ""
-		if pgasT.Total() <= 0.00125 {
-			rt = "  <- soft real time"
-		}
-		fmt.Printf("  %d rack(s): PGAS %.2f s, MPI %.2f s (%.1fx)%s\n",
-			racks, pgasT.Total()*1000, mpiT.Total()*1000, mpiT.Total()/pgasT.Total(), rt)
+	if !allRT {
+		return fmt.Errorf("closed loop missed the %v/tick soft real-time budget", tickBudget)
 	}
-	fmt.Println("\npaper: PGAS simulated 81K cores in 1 s per 1000 ticks on 4 racks; MPI took 2.1x as long.")
+	fmt.Println("\nevery scenario's decision loop fits inside the biological tick rate.")
 	return nil
 }

@@ -276,6 +276,56 @@ func (c *Coordinator) handler() http.Handler {
 	mux.HandleFunc("POST /v1/cluster/sessions/{id}/resume", lifecycle("resume"))
 	mux.HandleFunc("POST /v1/cluster/sessions/{id}/stop", lifecycle("stop"))
 
+	mux.HandleFunc("POST /v1/cluster/sessions/{id}/step", withRec(func(w http.ResponseWriter, r *http.Request, rc *rec) {
+		var req server.StepRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			clusterError(w, http.StatusBadRequest, fmt.Errorf("cluster: decode step: %w", err))
+			return
+		}
+		nc, id, err := c.ownerClient(rc)
+		if err != nil {
+			clusterError(w, http.StatusConflict, err)
+			return
+		}
+		// Same ordering contract as resume: every spike injected through
+		// the proxy before the step must reach the owner before the ticks
+		// it grants can fire.
+		c.awaitInjectSync(rc, 5*time.Second)
+		info, err := nc.step(id, &req)
+		if err != nil {
+			clusterError(w, http.StatusConflict, err)
+			return
+		}
+		c.mu.Lock()
+		st := rc.statusLocked()
+		c.mu.Unlock()
+		st.Info = info
+		clusterJSON(w, http.StatusOK, st)
+	}))
+
+	mux.HandleFunc("POST /v1/cluster/sessions/{id}/scenario-report", withRec(func(w http.ResponseWriter, r *http.Request, rc *rec) {
+		var req server.ScenarioReportRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			clusterError(w, http.StatusBadRequest, fmt.Errorf("cluster: decode scenario report: %w", err))
+			return
+		}
+		nc, id, err := c.ownerClient(rc)
+		if err != nil {
+			clusterError(w, http.StatusConflict, err)
+			return
+		}
+		info, err := nc.scenarioReport(id, &req)
+		if err != nil {
+			clusterError(w, http.StatusConflict, err)
+			return
+		}
+		c.mu.Lock()
+		st := rc.statusLocked()
+		c.mu.Unlock()
+		st.Info = info
+		clusterJSON(w, http.StatusOK, st)
+	}))
+
 	mux.HandleFunc("GET /v1/cluster/sessions/{id}/checkpoint", withRec(func(w http.ResponseWriter, r *http.Request, rc *rec) {
 		nc, id, err := c.ownerClient(rc)
 		if err != nil {

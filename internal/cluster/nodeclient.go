@@ -107,6 +107,26 @@ func (n *nodeClient) lifecycle(id, verb string) (*server.Info, error) {
 	return &info, nil
 }
 
+// step grants the session a tick budget and returns the settled info
+// (the node holds the request open until the budget resolves).
+func (n *nodeClient) step(id string, req *server.StepRequest) (*server.Info, error) {
+	var info server.Info
+	if err := n.doJSON(http.MethodPost, "/v1/sessions/"+id+"/step", req, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// scenarioReport folds a closed-loop progress report into the owning
+// node's per-scenario telemetry.
+func (n *nodeClient) scenarioReport(id string, req *server.ScenarioReportRequest) (*server.Info, error) {
+	var info server.Info
+	if err := n.doJSON(http.MethodPost, "/v1/sessions/"+id+"/scenario-report", req, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
 func (n *nodeClient) deleteSession(id string) error {
 	return n.doJSON(http.MethodDelete, "/v1/sessions/"+id, nil, nil)
 }

@@ -437,6 +437,29 @@ func (b *Builder) TemplateMatcherThresholds(bits int, templates [][]bool, thresh
 	return in, out, nil
 }
 
+// Pacemaker builds n free-running clock neurons that fire on every tick
+// from tick 0: with the integrate→leak→threshold order, a positive leak
+// of +1 against threshold 1 crosses unconditionally each tick and the
+// reset clears the potential. A pacemaker needs no inputs, survives
+// checkpoint/resume exactly (its state is in the neuron potential), and
+// gives streaming clients a guaranteed ≥1 egress record per tick — the
+// scenario engine's liveness sentinel for closed-loop stepping.
+func (b *Builder) Pacemaker(n int) OutPort {
+	out := make(OutPort, 0, n)
+	b.allocPairs(n, func(cfg *truenorth.CoreConfig, _, neuron int) {
+		cfg.Neurons[neuron] = truenorth.NeuronParams{
+			Leak:      1,
+			Threshold: 1,
+			Reset:     0,
+			Floor:     0,
+			Target:    truenorth.SpikeTarget{Core: cfg.ID, Axon: 0, Delay: truenorth.MaxDelay},
+			Enabled:   true,
+		}
+		out = append(out, NeuronRef{cfg.ID, uint16(neuron)})
+	})
+	return out
+}
+
 // WTA is an n-channel winner-take-all stage on one core. Each channel
 // has `evidence` input lanes; lane spikes within a tick add +1 to the
 // channel's own neuron (type-0 axons) and −1 to every rival (paired
@@ -497,6 +520,27 @@ func (b *Builder) WinnerTakeAll(n, evidence int, margin int32) (*WTA, error) {
 
 // Out returns the WTA's output port (one neuron per channel).
 func (w *WTA) Out() OutPort { return w.out }
+
+// Channels returns the WTA's channel count; Evidence its per-channel
+// lane width.
+func (w *WTA) Channels() int { return w.n }
+
+// Evidence returns the WTA's per-channel evidence lane count.
+func (w *WTA) Evidence() int { return w.evidence }
+
+// LaneAxon returns the excitatory axon of one evidence lane; the paired
+// inhibitory axon is always the next axon on the same core (the
+// convention spikecode.PairedLine encodes). Callers driving the WTA
+// from a live spike stream must spike both.
+func (w *WTA) LaneAxon(channel, lane int) (AxonRef, error) {
+	if channel < 0 || channel >= w.n {
+		return AxonRef{}, fmt.Errorf("corelets: channel %d outside [0,%d)", channel, w.n)
+	}
+	if lane < 0 || lane >= w.evidence {
+		return AxonRef{}, fmt.Errorf("corelets: lane %d outside [0,%d)", lane, w.evidence)
+	}
+	return AxonRef{Core: w.core, Axon: uint16(2 * (channel*w.evidence + lane))}, nil
+}
 
 // Excite injects amount units of evidence into a channel at a tick.
 func (w *WTA) Excite(channel, amount int, tick uint64) error {

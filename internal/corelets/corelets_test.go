@@ -595,3 +595,30 @@ func TestWinnerTakeAllValidation(t *testing.T) {
 		t.Fatal("excess evidence accepted")
 	}
 }
+
+// TestPacemakerFiresEveryTick: the scenario engine's stepping sentinel
+// depends on a pacemaker producing >= 1 egress record on every tick
+// from tick 0, with no inputs at all.
+func TestPacemakerFiresEveryTick(t *testing.T) {
+	b := NewBuilder(1)
+	out := b.Pacemaker(2)
+	probe, err := b.Probe(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ticks = 25
+	counts, err := probe.Counts(m, ticks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range counts {
+		if n != ticks {
+			t.Fatalf("pacemaker %d fired %d times in %d ticks, want every tick (counts %v)",
+				i, n, ticks, counts)
+		}
+	}
+}

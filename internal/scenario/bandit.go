@@ -1,0 +1,166 @@
+package scenario
+
+import (
+	"fmt"
+
+	"github.com/cognitive-sim/compass/internal/corelets"
+	"github.com/cognitive-sim/compass/internal/prng"
+	"github.com/cognitive-sim/compass/internal/spikecode"
+	"github.com/cognitive-sim/compass/internal/spikeio"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// The k-armed bandit scenario: the network is the action-selection
+// stage of a reinforcement learner. Each decision step rate-codes the
+// agent's current value estimates onto one relay line per arm, the
+// relay's spike race is decoded by majority vote, and the chosen arm
+// draws a Bernoulli reward from the (hidden, per-episode shuffled) true
+// arm probabilities. The Q-update closes the loop: better-valued arms
+// get hotter drive next step, so reward accrues as the race learns to
+// favor the best arm — while the rate code keeps exploring.
+
+const (
+	banditArms     = 4
+	banditWindow   = 16
+	banditGuard    = 4
+	banditDrive    = 10 // drive ticks per step, [start+1, start+11)
+	banditLearn    = 0.25
+	banditBaseRate = 0.10
+	banditGainRate = 0.70
+	banditJitter   = 0.20
+)
+
+// banditTruth is the fixed reward-probability multiset, shuffled across
+// arms at every episode reset.
+var banditTruth = [banditArms]float64{0.9, 0.6, 0.4, 0.2}
+
+type banditTask struct {
+	wiring *Wiring
+	rng    *prng.Stream
+
+	trueP [banditArms]float64
+	best  int
+	q     [banditArms]float64
+
+	score   Score
+	latency float64 // summed decision latency, decided steps only
+	decided int
+}
+
+func newBandit(seed uint64) (Task, error) {
+	b := corelets.NewBuilder(seed)
+	in, out := b.Relay(banditArms)
+	b.Pacemaker(1)
+	probe, err := b.Probe(out)
+	if err != nil {
+		return nil, err
+	}
+	model, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	lines := make([]spikecode.Line, banditArms)
+	for i, ax := range in {
+		lines[i] = spikecode.SingleLine(ax.Core, ax.Axon)
+	}
+	return &banditTask{
+		wiring: &Wiring{
+			Model: model,
+			In:    lines,
+			OutIndex: func(core truenorth.CoreID, axon uint16) (int, bool) {
+				return probe.Index(truenorth.SpikeTarget{Core: core, Axon: axon})
+			},
+			NumOut:  banditArms,
+			Encoder: &spikecode.Rate{Lines: lines},
+			Decoder: spikecode.Vote{},
+		},
+		rng: prng.New(prng.Mix64(seed ^ 0xbad17)),
+	}, nil
+}
+
+func (b *banditTask) Wiring() *Wiring { return b.wiring }
+
+func (b *banditTask) Reset(ep int) {
+	b.trueP = banditTruth
+	b.rng.Shuffle(banditArms, func(i, j int) {
+		b.trueP[i], b.trueP[j] = b.trueP[j], b.trueP[i]
+	})
+	b.best = 0
+	for i, p := range b.trueP {
+		if p > b.trueP[b.best] {
+			b.best = i
+		}
+	}
+	for i := range b.q {
+		b.q[i] = 0.5
+	}
+	b.score.Episodes = ep + 1
+}
+
+func (b *banditTask) Emit(step int, start uint64) ([]spikeio.Event, error) {
+	// Normalize the value estimates into drive rates with a floor (so
+	// every arm keeps exploring) and per-step jitter. The jitter draws
+	// happen unconditionally, one per arm, to keep the rng stream
+	// position a function of step count alone.
+	lo, hi := b.q[0], b.q[0]
+	for _, q := range b.q[1:] {
+		if q < lo {
+			lo = q
+		}
+		if q > hi {
+			hi = q
+		}
+	}
+	span := hi - lo
+	obs := make([]float64, banditArms)
+	for i, q := range b.q {
+		norm := 0.5
+		if span > 1e-9 {
+			norm = (q - lo) / span
+		}
+		obs[i] = banditBaseRate + banditGainRate*norm + banditJitter*b.rng.Float64()
+	}
+	return b.wiring.Encoder.Encode(nil, obs, start+1, banditDrive, b.rng)
+}
+
+func (b *banditTask) Feedback(step int, d spikecode.Decision) {
+	b.score.Steps++
+	// One reward draw per step regardless of outcome, for the same
+	// stream-position invariance as the jitter draws.
+	u := b.rng.Float64()
+	if d.Action < 0 {
+		return
+	}
+	b.decided++
+	b.latency += float64(d.FirstTick)
+	if u < b.trueP[d.Action] {
+		b.score.Reward++
+		b.q[d.Action] += banditLearn * (1 - b.q[d.Action])
+	} else {
+		b.q[d.Action] += banditLearn * (0 - b.q[d.Action])
+	}
+	if d.Action == b.best {
+		b.score.Correct++
+	}
+}
+
+func (b *banditTask) Score() Score {
+	s := b.score
+	if b.decided > 0 {
+		s.MeanLatencyTicks = b.latency / float64(b.decided)
+	}
+	s.Extra = map[string]float64{"decided_steps": float64(b.decided)}
+	return s
+}
+
+func init() {
+	Register(&Spec{
+		Name:        "bandit",
+		Description: fmt.Sprintf("%d-armed bandit: rate-coded value race over a relay, vote decode, Bernoulli rewards", banditArms),
+		Episodes:    3,
+		Steps:       20,
+		WindowTicks: banditWindow,
+		GuardTicks:  banditGuard,
+		New:         newBandit,
+	})
+}

@@ -1,0 +1,120 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// BenchOptions parameterize a scenario throughput benchmark.
+type BenchOptions struct {
+	Scenario string
+	Seed     uint64
+	// Episodes and Steps override the spec defaults per session.
+	Episodes int
+	Steps    int
+	// Concurrency lists the session counts to sweep (default 1, 4, 16).
+	Concurrency []int
+	Transport   string
+}
+
+// BenchPoint is one concurrency level's aggregate result.
+type BenchPoint struct {
+	Concurrency       int     `json:"concurrency"`
+	Episodes          int     `json:"episodes"`
+	Steps             int     `json:"steps"`
+	ElapsedSeconds    float64 `json:"elapsed_seconds"`
+	EpisodesPerSecond float64 `json:"episodes_per_second"`
+	StepsPerSecond    float64 `json:"steps_per_second"`
+	// RTT percentiles are client-observed inject→decision round trips
+	// pooled across all concurrent sessions, in seconds.
+	RTTp50Seconds float64 `json:"rtt_p50_seconds"`
+	RTTp99Seconds float64 `json:"rtt_p99_seconds"`
+}
+
+// BenchReport is the full sweep, the BENCH_scenario.json artifact shape.
+type BenchReport struct {
+	Scenario string       `json:"scenario"`
+	Seed     uint64       `json:"seed"`
+	Target   string       `json:"target"`
+	Cluster  bool         `json:"cluster"`
+	Points   []BenchPoint `json:"points"`
+}
+
+// RunBench sweeps a scenario over concurrent session counts against a
+// live serving surface and reports episode throughput and decision RTT
+// percentiles per level.
+func RunBench(addr string, opts BenchOptions) (*BenchReport, error) {
+	spec, err := Get(opts.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	levels := opts.Concurrency
+	if len(levels) == 0 {
+		levels = []int{1, 4, 16}
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	report := &BenchReport{Scenario: spec.Name, Seed: opts.Seed, Target: addr, Cluster: c.Cluster()}
+	for _, n := range levels {
+		if n <= 0 {
+			return nil, fmt.Errorf("scenario: bench concurrency %d", n)
+		}
+		results := make([]*Result, n)
+		errs := make([]error, n)
+		started := time.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], errs[i] = Run(c, spec, RunOptions{
+					Episodes:  opts.Episodes,
+					Steps:     opts.Steps,
+					Seed:      opts.Seed + uint64(i),
+					Transport: opts.Transport,
+					Name:      fmt.Sprintf("bench-%s-c%d-%d", spec.Name, n, i),
+				})
+			}(i)
+		}
+		wg.Wait()
+		elapsed := time.Since(started).Seconds()
+		var episodes, steps int
+		var rtts []float64
+		for i, r := range results {
+			if errs[i] != nil {
+				return nil, fmt.Errorf("scenario: bench c=%d session %d: %w", n, i, errs[i])
+			}
+			episodes += r.Episodes
+			steps += r.Episodes * r.Steps
+			rtts = append(rtts, r.StepRTTs...)
+		}
+		sort.Float64s(rtts)
+		pt := BenchPoint{
+			Concurrency:    n,
+			Episodes:       episodes,
+			Steps:          steps,
+			ElapsedSeconds: elapsed,
+			RTTp50Seconds:  quantile(rtts, 0.50),
+			RTTp99Seconds:  quantile(rtts, 0.99),
+		}
+		if elapsed > 0 {
+			pt.EpisodesPerSecond = float64(episodes) / elapsed
+			pt.StepsPerSecond = float64(steps) / elapsed
+		}
+		report.Points = append(report.Points, pt)
+	}
+	return report, nil
+}
+
+// quantile reads the q-quantile of an already-sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

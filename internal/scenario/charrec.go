@@ -1,0 +1,131 @@
+package scenario
+
+import (
+	"github.com/cognitive-sim/compass/internal/corelets"
+	"github.com/cognitive-sim/compass/internal/prng"
+	"github.com/cognitive-sim/compass/internal/spikecode"
+	"github.com/cognitive-sim/compass/internal/spikeio"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// The charrec scenario promotes the examples/charrec demo to a served
+// task: a single-core template matcher classifies noisy 5×7 digit
+// glyphs streamed in as one-hot volleys over the paired on/off axon
+// lines. Each step the environment draws a digit and a pixel-noise
+// level, presents the corrupted glyph, and scores the matcher's vote.
+
+const (
+	charrecWindow   = 8
+	charrecGuard    = 4
+	charrecMaxFlips = 3 // flips drawn uniformly from [0, charrecMaxFlips)
+)
+
+type charrecTask struct {
+	wiring *Wiring
+	rng    *prng.Stream
+
+	glyphs [][]bool
+	want   int // the digit presented by the latest Emit
+
+	score   Score
+	latency float64
+	decided int
+}
+
+func newCharrec(seed uint64) (Task, error) {
+	glyphs := make([][]bool, 10)
+	templates := make([][]bool, 10)
+	thresholds := make([]int32, 10)
+	for d := 0; d < 10; d++ {
+		bits, ok := spikecode.Glyph(rune('0' + d))
+		if !ok {
+			panic("scenario: digit glyph missing from font")
+		}
+		glyphs[d] = bits
+		templates[d] = bits
+		th := int32(spikecode.Popcount(bits)) - 2
+		if th < 1 {
+			th = 1
+		}
+		thresholds[d] = th
+	}
+	b := corelets.NewBuilder(seed)
+	in, out, err := b.TemplateMatcherThresholds(spikecode.GlyphBits, templates, thresholds)
+	if err != nil {
+		return nil, err
+	}
+	b.Pacemaker(1)
+	probe, err := b.Probe(out)
+	if err != nil {
+		return nil, err
+	}
+	model, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	lines := make([]spikecode.Line, len(in))
+	for i, ax := range in {
+		// The matcher's mismatch penalty rides the paired off axon.
+		lines[i] = spikecode.PairedLine(ax.Core, ax.Axon)
+	}
+	return &charrecTask{
+		wiring: &Wiring{
+			Model: model,
+			In:    lines,
+			OutIndex: func(core truenorth.CoreID, axon uint16) (int, bool) {
+				return probe.Index(truenorth.SpikeTarget{Core: core, Axon: axon})
+			},
+			NumOut:  10,
+			Encoder: &spikecode.OneHot{Lines: lines},
+			Decoder: spikecode.Vote{},
+		},
+		rng:    prng.New(prng.Mix64(seed ^ 0xc4a77ec)),
+		glyphs: glyphs,
+	}, nil
+}
+
+func (c *charrecTask) Wiring() *Wiring { return c.wiring }
+
+func (c *charrecTask) Reset(ep int) { c.score.Episodes = ep + 1 }
+
+func (c *charrecTask) Emit(step int, start uint64) ([]spikeio.Event, error) {
+	c.want = c.rng.Intn(10)
+	flips := c.rng.Intn(charrecMaxFlips)
+	pattern := spikecode.FlipPixels(c.glyphs[c.want], flips, c.rng)
+	obs := spikecode.BitsToObs(pattern)
+	return c.wiring.Encoder.Encode(nil, obs, start+1, 1, c.rng)
+}
+
+func (c *charrecTask) Feedback(step int, d spikecode.Decision) {
+	c.score.Steps++
+	if d.Action < 0 {
+		return
+	}
+	c.decided++
+	c.latency += float64(d.FirstTick)
+	if d.Action == c.want {
+		c.score.Correct++
+		c.score.Reward++
+	}
+}
+
+func (c *charrecTask) Score() Score {
+	s := c.score
+	if c.decided > 0 {
+		s.MeanLatencyTicks = c.latency / float64(c.decided)
+	}
+	s.Extra = map[string]float64{"decided_steps": float64(c.decided)}
+	return s
+}
+
+func init() {
+	Register(&Spec{
+		Name:        "charrec",
+		Description: "noisy 5×7 digit recognition on a one-core template matcher (the examples/charrec network, served)",
+		Episodes:    2,
+		Steps:       25,
+		WindowTicks: charrecWindow,
+		GuardTicks:  charrecGuard,
+		New:         newCharrec,
+	})
+}

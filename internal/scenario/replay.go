@@ -1,0 +1,126 @@
+package scenario
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+
+	"github.com/cognitive-sim/compass/internal/compass"
+	"github.com/cognitive-sim/compass/internal/spikeio"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// Replay re-executes a completed run offline and pins the determinism
+// claim: the recorded inject stream is scheduled as Model.Inputs of a
+// direct compass.Run (no daemon, no stream plane, any decomposition),
+// the task is rebuilt from the same seed, and the replay must
+// regenerate the identical inject bytes window by window and arrive at
+// the identical score. A mismatch means the live serving path altered
+// the closed loop — exactly what the subsystem promises never happens.
+func Replay(spec *Spec, res *Result, cfg compass.Config) error {
+	task, err := spec.New(res.Seed)
+	if err != nil {
+		return err
+	}
+	w := task.Wiring()
+
+	model := w.Model
+	model.Inputs = model.Inputs[:0]
+	for _, ev := range res.Injected {
+		model.Inputs = append(model.Inputs, truenorth.InputSpike{Tick: ev.Tick, Core: ev.Core, Axon: ev.Axon})
+	}
+
+	if cfg.Ranks == 0 {
+		cfg.Ranks = 1
+	}
+	if cfg.ThreadsPerRank == 0 {
+		cfg.ThreadsPerRank = 1
+	}
+	sink := &captureSink{}
+	cfg.OutputSink = sink
+	total := uint64(res.Episodes) * uint64(res.Steps) * spec.WindowTicks
+	if _, err := compass.Run(model, cfg, int(total)); err != nil {
+		return fmt.Errorf("scenario: replay run: %w", err)
+	}
+	egress := sink.sorted()
+
+	// Walk the episode loop exactly as the engine did, checking that the
+	// rebuilt task regenerates each window's inject bytes before feeding
+	// it the decision decoded from the offline egress.
+	injected := res.Injected
+	cursor := uint64(0)
+	low := 0
+	for ep := 0; ep < res.Episodes; ep++ {
+		task.Reset(ep)
+		for st := 0; st < res.Steps; st++ {
+			start := cursor
+			events, err := task.Emit(st, start)
+			if err != nil {
+				return fmt.Errorf("scenario: replay emit ep %d step %d: %w", ep, st, err)
+			}
+			if len(events) > len(injected) {
+				return fmt.Errorf("scenario: replay ep %d step %d: emits %d events, only %d recorded remain", ep, st, len(events), len(injected))
+			}
+			for i, ev := range events {
+				if injected[i] != ev {
+					return fmt.Errorf("scenario: replay ep %d step %d: inject record %d = %+v, recorded %+v", ep, st, i, ev, injected[i])
+				}
+			}
+			injected = injected[len(events):]
+
+			end := spec.DecideEnd(start)
+			for low < len(egress) && egress[low].Tick < start {
+				low++
+			}
+			hi := low
+			for hi < len(egress) && egress[hi].Tick < end {
+				hi++
+			}
+			d := decideWindow(w, egress[low:hi], start, end)
+			if d.Action >= 0 {
+				d.FirstTick -= start
+			}
+			task.Feedback(st, d)
+			cursor += spec.WindowTicks
+		}
+	}
+	if len(injected) != 0 {
+		return fmt.Errorf("scenario: replay left %d recorded inject records unaccounted for", len(injected))
+	}
+	got := task.Score()
+	if !reflect.DeepEqual(got, res.Score) {
+		return fmt.Errorf("scenario: replay score %+v, live score %+v", got, res.Score)
+	}
+	return nil
+}
+
+// captureSink collects every fired spike from a direct run; Emit is
+// called concurrently across ranks.
+type captureSink struct {
+	mu     sync.Mutex
+	events []spikeio.Event
+}
+
+func (c *captureSink) Emit(rank int, t uint64, events []truenorth.SpikeEvent) {
+	c.mu.Lock()
+	for _, ev := range events {
+		c.events = append(c.events, spikeio.Event{Tick: ev.FireTick, Core: ev.Target.Core, Axon: ev.Target.Axon})
+	}
+	c.mu.Unlock()
+}
+
+func (c *captureSink) sorted() []spikeio.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sort.Slice(c.events, func(a, b int) bool {
+		if c.events[a].Tick != c.events[b].Tick {
+			return c.events[a].Tick < c.events[b].Tick
+		}
+		if c.events[a].Core != c.events[b].Core {
+			return c.events[a].Core < c.events[b].Core
+		}
+		return c.events[a].Axon < c.events[b].Axon
+	})
+	return c.events
+}

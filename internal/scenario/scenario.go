@@ -1,0 +1,166 @@
+// Package scenario closes the loop around the stream plane: a task
+// environment (bandit, Stroop cue conflict, character recognition)
+// drives a live compassd session through spike encoders, reads the
+// session's egress through spike decoders, scores the decisions, and
+// feeds the next stimulus — the paper's "hypotheses testing,
+// verification, and iteration" mode of use made executable.
+//
+// The episode engine is deterministic end-to-end: the same scenario and
+// seed produce the bit-identical inject stream and episode score on any
+// transport, any decomposition, and through any serving path (solo
+// daemon, batched group, cluster coordinator). Replay pins that claim:
+// it re-runs the recorded inject stream through compass.Run directly
+// and must reproduce both the stream bytes and the score.
+//
+// See DESIGN.md §5j for the stepping protocol and the determinism
+// argument.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/cognitive-sim/compass/internal/spikecode"
+	"github.com/cognitive-sim/compass/internal/spikeio"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// Wiring is the network side of a task: the model to serve, how to
+// address its inputs, and how to recognize its outputs.
+type Wiring struct {
+	// Model is the TrueNorth network the scenario runs against. It must
+	// contain at least one pacemaker neuron (corelets.Pacemaker) so the
+	// egress stream carries at least one record per tick — the engine's
+	// stepping sentinel.
+	Model *truenorth.Model
+	// In lists the task's input lines (the encoder's addressing space).
+	In []spikecode.Line
+	// OutIndex maps an egress spike to an output line (typically a
+	// corelets.Probe lookup); NumOut is the output line count.
+	OutIndex func(core truenorth.CoreID, axon uint16) (int, bool)
+	NumOut   int
+	// Encoder and Decoder are the task's codec pair. The engine does not
+	// call Encoder itself — Emit does — but records it for reporting.
+	Encoder spikecode.Encoder
+	Decoder spikecode.Decoder
+}
+
+// Task is one instantiated environment: a seeded, stateful world that
+// emits stimuli and scores decisions. Tasks are driven strictly
+// sequentially (Reset, then Emit/Feedback per step) and must be
+// deterministic functions of their seed and the decision sequence.
+type Task interface {
+	// Wiring returns the network description; called once, before any
+	// episode runs.
+	Wiring() *Wiring
+	// Reset starts episode ep (0-based).
+	Reset(ep int)
+	// Emit encodes the stimulus for one decision step into spike events.
+	// start is the first tick of the step's window; all events must land
+	// in [start, start+WindowTicks-GuardTicks).
+	Emit(step int, start uint64) ([]spikeio.Event, error)
+	// Feedback delivers the decoded decision for step; the task updates
+	// its world state (rewards, adaptation) from it. The decision's
+	// FirstTick is rebased to the step's window start (a latency in
+	// ticks), so tasks never see absolute simulation time.
+	Feedback(step int, d spikecode.Decision)
+	// Score reports the cumulative results so far.
+	Score() Score
+}
+
+// Score is a task's cumulative result.
+type Score struct {
+	Episodes int     `json:"episodes"`
+	Steps    int     `json:"steps"`
+	Reward   float64 `json:"reward"`
+	// Correct counts steps whose decision matched the task's ground
+	// truth (for tasks that have one).
+	Correct int `json:"correct"`
+	// MeanLatencyTicks averages the decision latency (first winning
+	// spike tick − window start) over decided steps.
+	MeanLatencyTicks float64 `json:"mean_latency_ticks"`
+	// Extra carries scenario-specific tallies (e.g. the Stroop task's
+	// congruent vs incongruent reaction times).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Spec describes one registered scenario.
+type Spec struct {
+	Name        string
+	Description string
+	// Episodes and Steps are the default episode count and decisions per
+	// episode (CLI flags override episodes).
+	Episodes int
+	Steps    int
+	// WindowTicks is the tick width of one decision step; GuardTicks is
+	// the tail of each window reserved for the stepping sentinel — the
+	// decode window is [start, start+WindowTicks-GuardTicks). GuardTicks
+	// must be >= 1 and leave room for all stimulus-driven activity.
+	WindowTicks uint64
+	GuardTicks  uint64
+	// New builds a fresh task instance for a seed.
+	New func(seed uint64) (Task, error)
+}
+
+// DecideEnd returns the decode window [start, end) for a step window
+// starting at start.
+func (s *Spec) DecideEnd(start uint64) uint64 {
+	return start + s.WindowTicks - s.GuardTicks
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]*Spec{}
+)
+
+// Register adds a scenario to the global registry; duplicate names
+// panic (registration is an init-time act).
+func Register(s *Spec) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if s.Name == "" || s.New == nil {
+		panic("scenario: Register needs a name and a constructor")
+	}
+	if s.WindowTicks == 0 || s.GuardTicks == 0 || s.GuardTicks >= s.WindowTicks {
+		panic(fmt.Sprintf("scenario: %s: guard %d outside (0, window %d)", s.Name, s.GuardTicks, s.WindowTicks))
+	}
+	if _, dup := registry[s.Name]; dup {
+		panic("scenario: duplicate registration of " + s.Name)
+	}
+	registry[s.Name] = s
+}
+
+// Get looks a scenario up by name.
+func Get(name string) (*Spec, error) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	s, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, namesLocked())
+	}
+	return s, nil
+}
+
+// Names lists registered scenarios in sorted order.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// decideWindow filters raw egress records onto output lines via the
+// wiring and decodes the window [start, end).
+func decideWindow(w *Wiring, events []spikeio.Event, start, end uint64) spikecode.Decision {
+	lines := spikecode.MapEvents(nil, events, w.OutIndex)
+	return w.Decoder.Decode(lines, w.NumOut, start, end)
+}

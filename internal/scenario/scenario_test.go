@@ -1,0 +1,391 @@
+package scenario
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/cognitive-sim/compass/internal/cluster"
+	"github.com/cognitive-sim/compass/internal/compass"
+	"github.com/cognitive-sim/compass/internal/server"
+	"github.com/cognitive-sim/compass/internal/spikecode"
+	"github.com/cognitive-sim/compass/internal/telemetry"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+func startDaemon(t *testing.T) *server.Server {
+	t.Helper()
+	srv := server.New(server.Options{
+		HTTPAddr:   "127.0.0.1:0",
+		StreamAddr: "127.0.0.1:0",
+		NodeID:     "scenario-test",
+		Manager: server.ManagerOptions{
+			CapacitySecondsPerTick: 1e9,
+			MaxRunning:             32,
+		},
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv
+}
+
+func dialDaemon(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func runScenario(t *testing.T, c *Client, name string, opts RunOptions) *Result {
+	t.Helper()
+	spec, err := Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(c, spec, opts)
+	if err != nil {
+		t.Fatalf("run %s: %v", name, err)
+	}
+	return res
+}
+
+// TestRegistry: the subsystem ships at least the three issue scenarios.
+func TestRegistry(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"bandit", "charrec", "stroop"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("registry %v is missing %q", names, want)
+		}
+	}
+	if _, err := Get("no-such-task"); err == nil {
+		t.Fatal("Get(no-such-task) succeeded")
+	}
+}
+
+// TestBanditLearns: the closed loop must actually close — with learning
+// feedback the rate-coded race collects reward well above the uniform
+// chance rate, and the majority of steps reach a decision.
+func TestBanditLearns(t *testing.T) {
+	srv := startDaemon(t)
+	c := dialDaemon(t, srv.HTTPAddr())
+	res := runScenario(t, c, "bandit", RunOptions{Seed: 7, Report: true})
+	t.Logf("bandit score: %+v", res.Score)
+	sc := res.Score
+	wantSteps := res.Episodes * res.Steps
+	if sc.Steps != wantSteps {
+		t.Fatalf("score counts %d steps, ran %d", sc.Steps, wantSteps)
+	}
+	if sc.Extra["decided_steps"] < float64(wantSteps)*0.8 {
+		t.Fatalf("only %.0f of %d steps decided", sc.Extra["decided_steps"], wantSteps)
+	}
+	// Uniform arm choice earns mean(banditTruth) ≈ 0.525 per decided
+	// step; require clearly above that.
+	if sc.Reward < 0.6*sc.Extra["decided_steps"] {
+		t.Fatalf("reward %.0f over %.0f decided steps is at or below chance", sc.Reward, sc.Extra["decided_steps"])
+	}
+}
+
+// TestCharrecRecognizes: the served template matcher keeps the demo's
+// accuracy on noisy glyphs.
+func TestCharrecRecognizes(t *testing.T) {
+	srv := startDaemon(t)
+	c := dialDaemon(t, srv.HTTPAddr())
+	res := runScenario(t, c, "charrec", RunOptions{Seed: 11})
+	t.Logf("charrec score: %+v", res.Score)
+	sc := res.Score
+	if sc.Steps != res.Episodes*res.Steps {
+		t.Fatalf("score counts %d steps, ran %d", sc.Steps, res.Episodes*res.Steps)
+	}
+	if sc.Extra["decided_steps"] < float64(sc.Steps)*0.9 {
+		t.Fatalf("only %.0f of %d steps decided", sc.Extra["decided_steps"], sc.Steps)
+	}
+	if float64(sc.Correct) < 0.8*sc.Extra["decided_steps"] {
+		t.Fatalf("accuracy %d/%0.f below 80%%", sc.Correct, sc.Extra["decided_steps"])
+	}
+}
+
+// TestStroopInterference is the golden trace for the conflict network:
+// congruent trials must answer at exactly the architectural reaction
+// time (tick 5), incongruent trials strictly later (8 or 11 depending
+// on distractor persistence), and the answer must name the ink color.
+func TestStroopInterference(t *testing.T) {
+	srv := startDaemon(t)
+	c := dialDaemon(t, srv.HTTPAddr())
+	res := runScenario(t, c, "stroop", RunOptions{Seed: 3})
+	t.Logf("stroop score: %+v", res.Score)
+	sc := res.Score
+	if sc.Extra["decided_steps"] != float64(sc.Steps) {
+		t.Fatalf("only %.0f of %d steps decided", sc.Extra["decided_steps"], sc.Steps)
+	}
+	if sc.Correct != sc.Steps {
+		t.Fatalf("named the ink color on %d of %d trials", sc.Correct, sc.Steps)
+	}
+	if sc.Extra["congruent_steps"] == 0 || sc.Extra["incongruent_steps"] == 0 {
+		t.Fatalf("trial mix degenerate: %+v", sc.Extra)
+	}
+	if got := sc.Extra["congruent_mean_rt"]; got != stroopCongruentRT {
+		t.Fatalf("congruent mean RT %.2f, want exactly %d", got, stroopCongruentRT)
+	}
+	if got := sc.Extra["incongruent_mean_rt"]; got < 8 || got > 11 {
+		t.Fatalf("incongruent mean RT %.2f outside [8, 11]", got)
+	}
+}
+
+// TestRTTAndScenarioTelemetry: a reported run must surface per-session
+// stream RTT stats in Info and per-scenario counters in the registry.
+func TestRTTAndScenarioTelemetry(t *testing.T) {
+	srv := startDaemon(t)
+	c := dialDaemon(t, srv.HTTPAddr())
+	res := runScenario(t, c, "charrec", RunOptions{Seed: 5, Report: true, KeepSession: true})
+	if res.Info == nil {
+		t.Fatal("no final session info")
+	}
+	if res.Info.Scenario != "charrec" {
+		t.Fatalf("session scenario label %q", res.Info.Scenario)
+	}
+	if res.Info.StreamRTT == nil || res.Info.StreamRTT.Count == 0 {
+		t.Fatalf("stream RTT stats missing or empty: %+v", res.Info.StreamRTT)
+	}
+	if res.Info.StreamRTT.P50Seconds <= 0 {
+		t.Fatalf("stream RTT p50 %v", res.Info.StreamRTT.P50Seconds)
+	}
+	snap := srv.Manager().MetricsSnapshot()
+	lbl := telemetry.Label{Key: "scenario", Value: "charrec"}
+	if got := snap.Value("compassd_scenario_episodes_total", lbl); got != float64(res.Episodes) {
+		t.Fatalf("scenario episodes counter %v, want %d", got, res.Episodes)
+	}
+	if got := snap.Value("compassd_scenario_steps_total", lbl); got != float64(res.Episodes*res.Steps) {
+		t.Fatalf("scenario steps counter %v, want %d", got, res.Episodes*res.Steps)
+	}
+	sampled := false
+	for _, m := range snap.Find("compassd_stream_rtt_seconds") {
+		if m.Count > 0 {
+			sampled = true
+		}
+	}
+	if !sampled {
+		t.Fatal("stream RTT histogram has no samples in /metrics registry")
+	}
+}
+
+// startProxiedCluster brings up a coordinator with two registered nodes
+// and returns the coordinator's control-plane address.
+func startProxiedCluster(t *testing.T) string {
+	t.Helper()
+	coord := cluster.NewCoordinator(cluster.Options{
+		HTTPAddr:          "127.0.0.1:0",
+		StreamAddr:        "127.0.0.1:0",
+		HeartbeatInterval: 50 * time.Millisecond,
+		Logf:              func(string, ...any) {},
+	})
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		coord.Shutdown(ctx)
+	})
+	for _, id := range []string{"sc-n1", "sc-n2"} {
+		srv := server.New(server.Options{
+			HTTPAddr:   "127.0.0.1:0",
+			StreamAddr: "127.0.0.1:0",
+			NodeID:     id,
+			Manager: server.ManagerOptions{
+				CapacitySecondsPerTick: 1e9,
+				MaxRunning:             32,
+			},
+		})
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		})
+		a, err := cluster.StartAgent(coord.HTTPAddr(), srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(a.Stop)
+	}
+	return coord.HTTPAddr()
+}
+
+// TestEpisodeDeterminism is the issue's core table test: the same seed
+// must produce the bit-identical inject stream and episode score on
+// every transport and through every serving path — solo daemon,
+// batched siblings on one daemon, and a cluster-proxied session.
+func TestEpisodeDeterminism(t *testing.T) {
+	srv := startDaemon(t)
+	direct := dialDaemon(t, srv.HTTPAddr())
+
+	type key struct{ scenario string }
+	baseline := map[key]*Result{}
+	for _, name := range []string{"bandit", "charrec", "stroop"} {
+		res := runScenario(t, direct, name, RunOptions{Seed: 42, Transport: "shmem"})
+		if res.InjectHash == "" || len(res.Injected) == 0 {
+			t.Fatalf("%s: empty inject stream", name)
+		}
+		baseline[key{name}] = res
+	}
+
+	check := func(t *testing.T, name string, res *Result) {
+		t.Helper()
+		base := baseline[key{name}]
+		if res.InjectHash != base.InjectHash {
+			t.Fatalf("%s inject hash %s, baseline %s", name, res.InjectHash, base.InjectHash)
+		}
+		if !scoresEqual(res.Score, base.Score) {
+			t.Fatalf("%s score %+v, baseline %+v", name, res.Score, base.Score)
+		}
+	}
+
+	t.Run("transports", func(t *testing.T) {
+		for _, tr := range []string{"mpi", "pgas"} {
+			for _, name := range []string{"bandit", "stroop"} {
+				res := runScenario(t, direct, name, RunOptions{Seed: 42, Transport: tr})
+				check(t, name, res)
+			}
+		}
+	})
+
+	t.Run("batched", func(t *testing.T) {
+		// Two same-model sessions on one daemon share a batched tick loop
+		// (same content hash ⇒ same image); both must match the solo run.
+		type out struct {
+			res *Result
+			err error
+		}
+		outs := make(chan out, 2)
+		spec, _ := Get("bandit")
+		for i := 0; i < 2; i++ {
+			go func() {
+				res, err := Run(direct, spec, RunOptions{Seed: 42, Transport: "shmem"})
+				outs <- out{res, err}
+			}()
+		}
+		for i := 0; i < 2; i++ {
+			o := <-outs
+			if o.err != nil {
+				t.Fatal(o.err)
+			}
+			check(t, "bandit", o.res)
+		}
+	})
+
+	t.Run("cluster", func(t *testing.T) {
+		addr := startProxiedCluster(t)
+		proxied := dialDaemon(t, addr)
+		if !proxied.Cluster() {
+			t.Fatal("coordinator not detected as cluster")
+		}
+		for _, name := range []string{"bandit", "charrec", "stroop"} {
+			res := runScenario(t, proxied, name, RunOptions{Seed: 42, Transport: "shmem"})
+			check(t, name, res)
+		}
+	})
+}
+
+func scoresEqual(a, b Score) bool { return reflect.DeepEqual(a, b) }
+
+// TestReplayPinsLiveRuns: replaying the recorded inject stream through
+// compass.Run directly must regenerate the stream and the score, for
+// every scenario and across decompositions.
+func TestReplayPinsLiveRuns(t *testing.T) {
+	srv := startDaemon(t)
+	c := dialDaemon(t, srv.HTTPAddr())
+	for _, name := range []string{"bandit", "charrec", "stroop"} {
+		spec, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := runScenario(t, c, name, RunOptions{Seed: 99})
+		for _, cfg := range []compass.Config{
+			{Ranks: 1, ThreadsPerRank: 1, Transport: compass.TransportShmem},
+			{Ranks: 2, ThreadsPerRank: 2, Transport: compass.TransportMPI},
+		} {
+			if res.Info != nil && cfg.Ranks > res.Info.Cores {
+				continue
+			}
+			if err := Replay(spec, res, cfg); err != nil {
+				t.Fatalf("%s replay (%d ranks, %s): %v", name, cfg.Ranks, cfg.Transport, err)
+			}
+		}
+	}
+}
+
+// TestWiringGoldenTraces pins the corelet-built scenario networks at
+// the spike level: each task's first decision window, run through
+// compass.Run directly with seed 5, must reproduce these exact decoded
+// decisions (winner, first-spike latency, per-line counts). Any change
+// to the task networks, the encoders, or the kernel's spike arithmetic
+// shows up here as a golden diff.
+func TestWiringGoldenTraces(t *testing.T) {
+	golden := map[string]struct {
+		inject   int
+		decision spikecode.Decision
+	}{
+		"bandit":  {23, spikecode.Decision{Action: 0, FirstTick: 2, Counts: []int{7, 4, 5, 7}}},
+		"charrec": {20, spikecode.Decision{Action: 1, FirstTick: 1, Counts: []int{0, 1, 0, 0, 0, 0, 0, 0, 0, 0}}},
+		"stroop":  {7, spikecode.Decision{Action: 1, FirstTick: 8, Counts: []int{0, 2, 0}}},
+	}
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			want, ok := golden[name]
+			if !ok {
+				t.Fatalf("no golden trace recorded for scenario %q", name)
+			}
+			spec, err := Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			task, err := spec.New(5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := task.Wiring()
+			task.Reset(0)
+			events, err := task.Emit(0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(events) != want.inject {
+				t.Errorf("emitted %d inject records, want %d", len(events), want.inject)
+			}
+			model := *w.Model
+			model.Inputs = make([]truenorth.InputSpike, len(events))
+			for i, ev := range events {
+				model.Inputs[i] = truenorth.InputSpike{Tick: ev.Tick, Core: ev.Core, Axon: ev.Axon}
+			}
+			sink := &captureSink{}
+			if _, err := compass.Run(&model, compass.Config{
+				Ranks: 1, ThreadsPerRank: 1,
+				Transport:  compass.TransportShmem,
+				OutputSink: sink,
+			}, int(spec.WindowTicks)); err != nil {
+				t.Fatal(err)
+			}
+			got := decideWindow(w, sink.sorted(), 0, spec.DecideEnd(0))
+			if !reflect.DeepEqual(got, want.decision) {
+				t.Errorf("decoded %+v, want golden %+v", got, want.decision)
+			}
+		})
+	}
+}

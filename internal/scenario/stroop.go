@@ -1,0 +1,277 @@
+package scenario
+
+import (
+	"fmt"
+
+	"github.com/cognitive-sim/compass/internal/corelets"
+	"github.com/cognitive-sim/compass/internal/prng"
+	"github.com/cognitive-sim/compass/internal/spikecode"
+	"github.com/cognitive-sim/compass/internal/spikeio"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// The Stroop scenario is a cue-gated conflict task: name the ink color,
+// ignore the word. A cue spike opens three color gates; the gated color
+// evidence fans out onto three lanes of a winner-take-all channel,
+// while the (task-irrelevant) word drives a single rival lane directly.
+//
+//	cue ──Splitter(1,3)──▶ Gate(3,2,AND) ──Splitter(3,6)──▶ WTA lanes 0-2
+//	color ─────────────────────▲ (direct)                     (evidence 3)
+//	word ──Splitter(3,2)────────────────────────────────────▶ WTA lane 3
+//	                                                          (evidence 1)
+//
+// On a congruent trial (word matches ink) the first volley carries
+// 4 units of evidence against a margin of 3 and the WTA answers at
+// relative tick 5. On an incongruent trial the word's rival evidence
+// spoils the first volley (3 vs 1+3), and the answer waits for a
+// re-presentation volley at tick 8 — or tick 11 when the distractor
+// word stochastically persists into the second volley. The decoded
+// reaction-time split (congruent fast, incongruent slow, graded by
+// distractor persistence) is the classic Stroop interference effect,
+// produced here by crossbar arithmetic rather than by construction.
+
+const (
+	stroopColors  = 3
+	stroopWindow  = 16
+	stroopGuard   = 4
+	stroopPersist = 0.5 // P(distractor word persists into volley 2)
+
+	stroopCongruentRT = 5 // relative decision tick on congruent trials
+)
+
+type stroopTask struct {
+	wiring   *Wiring
+	cueEnc   *spikecode.OneHot
+	colorEnc *spikecode.OneHot
+	wordEnc  *spikecode.Population
+	rng      *prng.Stream
+
+	color int // ink color of the latest trial (the correct answer)
+	word  int // distractor word of the latest trial
+
+	score   Score
+	latency float64
+	decided int
+	// Reaction-time split by congruency.
+	congN, incongN   int
+	congRT, incongRT float64
+}
+
+func newStroop(seed uint64) (Task, error) {
+	b := corelets.NewBuilder(seed)
+
+	cueIn, cueOut, err := b.Splitter(1, stroopColors)
+	if err != nil {
+		return nil, err
+	}
+	gateIn, gateOut, err := b.Gate(stroopColors, 2, 2)
+	if err != nil {
+		return nil, err
+	}
+	// Gate input 0 of each gate is the cue branch, input 1 the direct
+	// color line.
+	cueTargets := make(corelets.InPort, stroopColors)
+	for g := 0; g < stroopColors; g++ {
+		cueTargets[g] = gateIn[2*g]
+	}
+	if err := b.Connect(cueOut, cueTargets, 2); err != nil {
+		return nil, err
+	}
+
+	wta, err := b.WinnerTakeAll(stroopColors, 4, 3)
+	if err != nil {
+		return nil, err
+	}
+
+	// Gated color evidence: each gate output fans out six ways — the
+	// excitatory and paired inhibitory axons of the channel's three
+	// color lanes.
+	colorSplitIn, colorSplitOut, err := b.Splitter(stroopColors, 6)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Connect(gateOut, colorSplitIn, 1); err != nil {
+		return nil, err
+	}
+	var evOut corelets.OutPort
+	var evIn corelets.InPort
+	for ch := 0; ch < stroopColors; ch++ {
+		for br := 0; br < 6; br++ {
+			lane, off := br, uint16(0)
+			if br >= 3 {
+				lane, off = br-3, 1 // the paired inhibitory axon
+			}
+			ax, err := wta.LaneAxon(ch, lane)
+			if err != nil {
+				return nil, err
+			}
+			evOut = append(evOut, colorSplitOut[br*stroopColors+ch])
+			evIn = append(evIn, corelets.AxonRef{Core: ax.Core, Axon: ax.Axon + off})
+		}
+	}
+	if err := b.Connect(evOut, evIn, 2); err != nil {
+		return nil, err
+	}
+
+	// Word distractor: one unit of rival evidence per word, on lane 3.
+	wordIn, wordOut, err := b.Splitter(stroopColors, 2)
+	if err != nil {
+		return nil, err
+	}
+	var wdOut corelets.OutPort
+	var wdIn corelets.InPort
+	for ch := 0; ch < stroopColors; ch++ {
+		ax, err := wta.LaneAxon(ch, 3)
+		if err != nil {
+			return nil, err
+		}
+		wdOut = append(wdOut, wordOut[0*stroopColors+ch], wordOut[1*stroopColors+ch])
+		wdIn = append(wdIn,
+			corelets.AxonRef{Core: ax.Core, Axon: ax.Axon},
+			corelets.AxonRef{Core: ax.Core, Axon: ax.Axon + 1},
+		)
+	}
+	if err := b.Connect(wdOut, wdIn, 2); err != nil {
+		return nil, err
+	}
+
+	b.Pacemaker(1)
+	probe, err := b.Probe(wta.Out())
+	if err != nil {
+		return nil, err
+	}
+	model, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	cueLine := []spikecode.Line{spikecode.SingleLine(cueIn[0].Core, cueIn[0].Axon)}
+	colorLines := make([]spikecode.Line, stroopColors)
+	wordLines := make([]spikecode.Line, stroopColors)
+	wordChannels := make([][]spikecode.Line, stroopColors)
+	for i := 0; i < stroopColors; i++ {
+		colorLines[i] = spikecode.SingleLine(gateIn[2*i+1].Core, gateIn[2*i+1].Axon)
+		wordLines[i] = spikecode.SingleLine(wordIn[i].Core, wordIn[i].Axon)
+		wordChannels[i] = []spikecode.Line{wordLines[i]}
+	}
+	in := append(append(append([]spikecode.Line{}, cueLine...), colorLines...), wordLines...)
+
+	wordEnc := &spikecode.Population{Channels: wordChannels}
+	return &stroopTask{
+		wiring: &Wiring{
+			Model: model,
+			In:    in,
+			OutIndex: func(core truenorth.CoreID, axon uint16) (int, bool) {
+				return probe.Index(truenorth.SpikeTarget{Core: core, Axon: axon})
+			},
+			NumOut:  stroopColors,
+			Encoder: wordEnc,
+			Decoder: spikecode.FirstSpike{},
+		},
+		cueEnc:   &spikecode.OneHot{Lines: cueLine},
+		colorEnc: &spikecode.OneHot{Lines: colorLines},
+		wordEnc:  wordEnc,
+		rng:      prng.New(prng.Mix64(seed ^ 0x57700b)),
+	}, nil
+}
+
+func (s *stroopTask) Wiring() *Wiring { return s.wiring }
+
+func (s *stroopTask) Reset(ep int) { s.score.Episodes = ep + 1 }
+
+// oneHotObs builds a one-hot observation vector of width n.
+func oneHotObs(n, hot int) []float64 {
+	obs := make([]float64, n)
+	if hot >= 0 && hot < n {
+		obs[hot] = 1
+	}
+	return obs
+}
+
+func (s *stroopTask) Emit(step int, start uint64) ([]spikeio.Event, error) {
+	s.color = s.rng.Intn(stroopColors)
+	s.word = s.rng.Intn(stroopColors)
+	persist := s.rng.Float64() // drawn every step, used on volley 2
+
+	var dst []spikeio.Event
+	var err error
+	cue := oneHotObs(1, 0)
+	colorObs := oneHotObs(stroopColors, s.color)
+	// Three presentations: cue at +0/+3/+6, color two ticks later. The
+	// gated evidence volleys reach the WTA at relative ticks 5, 8, 11.
+	for _, off := range []uint64{0, 3, 6} {
+		if dst, err = s.cueEnc.Encode(dst, cue, start+off, 1, nil); err != nil {
+			return nil, err
+		}
+		if dst, err = s.colorEnc.Encode(dst, colorObs, start+off+2, 1, nil); err != nil {
+			return nil, err
+		}
+	}
+	// The word rides volley 1 at full strength and persists into volley
+	// 2 with probability stroopPersist (population-coded: the single
+	// lane fires iff the strength rounds up). Volley 3 is clean.
+	wordObs := make([]float64, stroopColors)
+	wordObs[s.word] = 1
+	if dst, err = s.wordEnc.Encode(dst, wordObs, start+3, 1, nil); err != nil {
+		return nil, err
+	}
+	wordObs[s.word] = persist
+	if dst, err = s.wordEnc.Encode(dst, wordObs, start+6, 1, nil); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+func (s *stroopTask) Feedback(step int, d spikecode.Decision) {
+	s.score.Steps++
+	congruent := s.word == s.color
+	if d.Action < 0 {
+		return
+	}
+	s.decided++
+	s.latency += float64(d.FirstTick)
+	if d.Action == s.color {
+		s.score.Correct++
+		s.score.Reward++
+	}
+	if congruent {
+		s.congN++
+		s.congRT += float64(d.FirstTick)
+	} else {
+		s.incongN++
+		s.incongRT += float64(d.FirstTick)
+	}
+}
+
+func (s *stroopTask) Score() Score {
+	sc := s.score
+	if s.decided > 0 {
+		sc.MeanLatencyTicks = s.latency / float64(s.decided)
+	}
+	sc.Extra = map[string]float64{
+		"decided_steps":     float64(s.decided),
+		"congruent_steps":   float64(s.congN),
+		"incongruent_steps": float64(s.incongN),
+	}
+	if s.congN > 0 {
+		sc.Extra["congruent_mean_rt"] = s.congRT / float64(s.congN)
+	}
+	if s.incongN > 0 {
+		sc.Extra["incongruent_mean_rt"] = s.incongRT / float64(s.incongN)
+	}
+	return sc
+}
+
+func init() {
+	Register(&Spec{
+		Name: "stroop",
+		Description: fmt.Sprintf(
+			"%d-color Stroop conflict task: cue-gated color evidence races a word distractor into a WTA; congruent trials answer at RT %d, incongruent trials wait out the interference",
+			stroopColors, stroopCongruentRT),
+		Episodes:    2,
+		Steps:       20,
+		WindowTicks: stroopWindow,
+		GuardTicks:  stroopGuard,
+		New:         newStroop,
+	})
+}

@@ -50,6 +50,34 @@ type CreateRequest struct {
 	// creates leave it empty ("local"), coordinators stamp their
 	// decision string.
 	Placement string `json:"placement,omitempty"`
+	// Scenario labels the closed-loop workload that will drive the
+	// session (a scenario registry name); reported in Info and used to
+	// key per-scenario telemetry.
+	Scenario string `json:"scenario,omitempty"`
+}
+
+// StepRequest is the POST /v1/sessions/{id}/step body: grant the
+// session a budget of exactly Ticks further ticks, then park. The
+// response is the session's Info after the budget resolves.
+type StepRequest struct {
+	Ticks uint64 `json:"ticks"`
+	// MinInjected, when set, is the step's inject barrier: the daemon
+	// holds the grant until the session has ingested at least this many
+	// streamed spikes, so stimuli sent (on the separate stream
+	// connection) before the step was asked are guaranteed to land in
+	// the granted ticks. Lock-step clients pass their cumulative sent
+	// record count.
+	MinInjected uint64 `json:"min_injected,omitempty"`
+}
+
+// ScenarioReportRequest is the POST /v1/sessions/{id}/scenario-report
+// body: a closed-loop client folding episode progress into the daemon's
+// per-scenario telemetry. Scenario defaults to the session's label.
+type ScenarioReportRequest struct {
+	Scenario string  `json:"scenario,omitempty"`
+	Episodes uint64  `json:"episodes"`
+	Steps    uint64  `json:"steps"`
+	Reward   float64 `json:"reward"`
 }
 
 // SourceSpec selects where the session's model comes from.
@@ -185,6 +213,7 @@ func (srv *Server) sessionFromRequest(req *CreateRequest) (CreateParams, error) 
 		ChunkTicks:  req.ChunkTicks,
 		StartPaused: req.StartPaused,
 		Placement:   req.Placement,
+		Scenario:    req.Scenario,
 	}
 	if req.Faults != "" {
 		inj, err := faults.Parse(req.Faults, req.FaultSeed)
@@ -302,6 +331,47 @@ func (srv *Server) handler() http.Handler {
 			httpError(w, http.StatusConflict, err)
 			return
 		}
+		writeJSON(w, http.StatusOK, s.Info())
+	}))
+	mux.HandleFunc("POST /v1/sessions/{id}/step", withSession(func(w http.ResponseWriter, r *http.Request, s *Session) {
+		var req StepRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("server: decode step: %w", err))
+			return
+		}
+		if req.MinInjected > 0 {
+			if err := s.WaitInjected(req.MinInjected, 30*time.Second); err != nil {
+				httpError(w, http.StatusGatewayTimeout, err)
+				return
+			}
+		}
+		if err := s.StepTicks(req.Ticks); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		// The budget resolves at a chunk boundary (paused) or run end
+		// (terminal); wait so the caller observes the settled state and
+		// can read the window's egress knowing the ticks have simulated.
+		s.WaitState(60*time.Second, func(st State) bool {
+			return st == StatePaused || st.Terminal()
+		})
+		writeJSON(w, http.StatusOK, s.Info())
+	}))
+	mux.HandleFunc("POST /v1/sessions/{id}/scenario-report", withSession(func(w http.ResponseWriter, r *http.Request, s *Session) {
+		var req ScenarioReportRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("server: decode scenario report: %w", err))
+			return
+		}
+		name := req.Scenario
+		if name == "" {
+			name = s.Scenario()
+		}
+		if name == "" {
+			httpError(w, http.StatusBadRequest, errors.New("server: session has no scenario label and none was given"))
+			return
+		}
+		srv.mgr.ScenarioReport(name, req.Episodes, req.Steps, req.Reward)
 		writeJSON(w, http.StatusOK, s.Info())
 	}))
 	mux.HandleFunc("POST /v1/sessions/{id}/stop", withSession(func(w http.ResponseWriter, r *http.Request, s *Session) {

@@ -161,6 +161,14 @@ type Manager struct {
 	groups     map[string]*batchGroup
 	batchLanes int
 
+	// Per-scenario metrics, lazily registered on the first report for a
+	// scenario label (see ScenarioReport). Reward is a running sum
+	// published through a gauge because rewards are fractional.
+	scnEpisodes map[string]telemetry.Counter
+	scnSteps    map[string]telemetry.Counter
+	scnReward   map[string]telemetry.Gauge
+	scnRewardV  map[string]float64
+
 	mCreated   telemetry.Counter
 	mRejected  telemetry.Counter
 	mCompleted telemetry.Counter
@@ -186,11 +194,15 @@ type imageRef struct {
 func NewManager(opts ManagerOptions) *Manager {
 	reg := telemetry.New(1)
 	m := &Manager{
-		opts:     opts.withDefaults(),
-		reg:      reg,
-		sessions: make(map[string]*Session),
-		images:   make(map[*truenorth.Image]*imageRef),
-		groups:   make(map[string]*batchGroup),
+		opts:        opts.withDefaults(),
+		reg:         reg,
+		sessions:    make(map[string]*Session),
+		images:      make(map[*truenorth.Image]*imageRef),
+		groups:      make(map[string]*batchGroup),
+		scnEpisodes: make(map[string]telemetry.Counter),
+		scnSteps:    make(map[string]telemetry.Counter),
+		scnReward:   make(map[string]telemetry.Gauge),
+		scnRewardV:  make(map[string]float64),
 		mCreated: reg.Counter("compassd_sessions_created_total",
 			"sessions admitted (running or queued)"),
 		mRejected: reg.Counter("compassd_sessions_rejected_total",
@@ -365,6 +377,10 @@ type CreateParams struct {
 	// Placement records how the session landed on this daemon ("local"
 	// when empty; the coordinator stamps its placement decision).
 	Placement string
+	// Scenario labels the closed-loop workload that will drive the
+	// session (a scenario registry name). It is reported in Info and
+	// keys the per-scenario telemetry fed by ScenarioReport.
+	Scenario string
 }
 
 // Create admits a new session. The session starts immediately when
@@ -436,6 +452,13 @@ func (m *Manager) Create(p CreateParams) (*Session, error) {
 		"egress records evicted by drop-oldest backpressure, per session",
 		telemetry.Label{Key: "session", Value: id})
 	s.sink.onDrop = func(n uint64) { drops.Add(0, n) }
+	s.scenario = p.Scenario
+	rtt := newRTTTracker(m.reg.Histogram("compassd_stream_rtt_seconds",
+		"inject→first-egress round trip through the session's tick loop, per session",
+		rttBounds, telemetry.Label{Key: "session", Value: id}))
+	s.rtt = rtt
+	s.source.onInject = rtt.noteInject
+	s.sink.onEmit = rtt.noteEgress
 	s.reshapePolicy = reshape.Policy{Threshold: m.opts.ReshapeThreshold, Interval: m.opts.ReshapeInterval}
 	s.onReshape = m.noteReshape
 	gImb := m.reg.Gauge("compassd_session_compute_imbalance",
@@ -736,6 +759,33 @@ func (m *Manager) MetricsSnapshot() *telemetry.Snapshot {
 		}
 	}
 	return snap
+}
+
+// ScenarioReport folds one closed-loop progress report into the
+// per-scenario telemetry: episode and step counters plus a running
+// reward sum, all labeled by scenario name and lazily registered on a
+// scenario's first report.
+func (m *Manager) ScenarioReport(scenario string, episodes, steps uint64, reward float64) {
+	if scenario == "" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ep, ok := m.scnEpisodes[scenario]
+	if !ok {
+		lbl := telemetry.Label{Key: "scenario", Value: scenario}
+		ep = m.reg.Counter("compassd_scenario_episodes_total",
+			"closed-loop scenario episodes completed, per scenario", lbl)
+		m.scnEpisodes[scenario] = ep
+		m.scnSteps[scenario] = m.reg.Counter("compassd_scenario_steps_total",
+			"closed-loop scenario decision steps completed, per scenario", lbl)
+		m.scnReward[scenario] = m.reg.Gauge("compassd_scenario_reward_total",
+			"running sum of scenario reward, per scenario", lbl)
+	}
+	ep.Add(0, episodes)
+	m.scnSteps[scenario].Add(0, steps)
+	m.scnRewardV[scenario] += reward
+	m.scnReward[scenario].Set(0, m.scnRewardV[scenario])
 }
 
 // Counts returns (running, queued, total) session counts.

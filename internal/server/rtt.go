@@ -1,0 +1,103 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/cognitive-sim/compass/internal/telemetry"
+)
+
+// rttTracker measures a session's inject→first-egress round trip: the
+// wall-clock time from a stream inject landing in the session's source
+// to the next egress emission from the tick loop. One marker is
+// outstanding at a time — a new inject only arms the clock when the
+// previous round trip has resolved — so bursts of frames measure the
+// loop's service latency rather than their own queueing.
+//
+// Samples feed the per-session compassd_stream_rtt_seconds histogram on
+// /metrics and a bounded in-memory reservoir from which Info reports
+// p50/p99.
+type rttTracker struct {
+	mu      sync.Mutex
+	armed   bool
+	t0      time.Time
+	hist    telemetry.Histogram
+	count   uint64
+	samples []float64 // ring of recent round trips, seconds
+	next    int
+}
+
+// rttSampleCap bounds the in-memory percentile reservoir per session.
+const rttSampleCap = 512
+
+// rttBounds are the histogram bucket boundaries in seconds: 10µs to 10s
+// on a log scale, covering in-process loops through cluster proxies.
+var rttBounds = []float64{
+	1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1, 3, 10,
+}
+
+func newRTTTracker(hist telemetry.Histogram) *rttTracker {
+	return &rttTracker{hist: hist}
+}
+
+// noteInject arms the round-trip clock if no marker is outstanding.
+func (r *rttTracker) noteInject() {
+	r.mu.Lock()
+	if !r.armed {
+		r.armed = true
+		r.t0 = time.Now()
+	}
+	r.mu.Unlock()
+}
+
+// noteEgress resolves an outstanding marker into one sample.
+func (r *rttTracker) noteEgress() {
+	r.mu.Lock()
+	if !r.armed {
+		r.mu.Unlock()
+		return
+	}
+	d := time.Since(r.t0).Seconds()
+	r.armed = false
+	r.count++
+	if len(r.samples) < rttSampleCap {
+		r.samples = append(r.samples, d)
+	} else {
+		r.samples[r.next] = d
+		r.next = (r.next + 1) % rttSampleCap
+	}
+	r.mu.Unlock()
+	r.hist.Observe(0, d)
+}
+
+// RTTStats is the Info JSON view of the tracker.
+type RTTStats struct {
+	Count      uint64  `json:"count"`
+	P50Seconds float64 `json:"p50_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+}
+
+// stats snapshots percentile estimates over the recent-sample ring.
+func (r *rttTracker) stats() RTTStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RTTStats{Count: r.count}
+	if len(r.samples) == 0 {
+		return st
+	}
+	sorted := append([]float64(nil), r.samples...)
+	sort.Float64s(sorted)
+	st.P50Seconds = percentile(sorted, 0.50)
+	st.P99Seconds = percentile(sorted, 0.99)
+	return st
+}
+
+// percentile reads the q-quantile from an ascending slice.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -729,3 +729,48 @@ func TestHTTPAPI(t *testing.T) {
 		t.Fatalf("status after delete: code %d, want 404", code)
 	}
 }
+
+// TestWaitInjectedBarrier: the step barrier that makes closed-loop
+// clients race-free. A stream Send travels on a different connection
+// than the step POST, so the server must be able to hold a step until
+// the client's cumulative inject count has been ingested.
+func TestWaitInjectedBarrier(t *testing.T) {
+	srv := startTestServer(t, ManagerOptions{
+		CapacitySecondsPerTick: 1e9,
+		ChunkTicks:             10,
+	})
+	s, err := srv.Manager().Create(CreateParams{
+		Name:  "barrier",
+		Model: &truenorth.Model{Seed: 3, Cores: testModel(2, 3).Cores},
+		Cfg:   sim.Config{Ranks: 1, ThreadsPerRank: 1, Transport: sim.TransportShmem},
+		Ticks: 100, StartPaused: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Nothing injected yet: a zero floor passes, a positive one times out.
+	if err := s.WaitInjected(0, time.Second); err != nil {
+		t.Fatalf("WaitInjected(0): %v", err)
+	}
+	if err := s.WaitInjected(3, 50*time.Millisecond); err == nil {
+		t.Fatal("WaitInjected(3) succeeded with an empty stream")
+	}
+
+	c, err := DialStream(srv.StreamAddr(), s.ID, StreamFlagInject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send([]spikeio.Event{{Tick: 5, Core: 0, Axon: 1}, {Tick: 6, Core: 1, Axon: 2}, {Tick: 7, Core: 0, Axon: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	// The frame is in flight on another connection; the barrier must
+	// absorb the race.
+	if err := s.WaitInjected(3, 10*time.Second); err != nil {
+		t.Fatalf("WaitInjected(3) after send: %v", err)
+	}
+	if got := s.Info().Injected; got != 3 {
+		t.Fatalf("info reports %d injected, want 3", got)
+	}
+}

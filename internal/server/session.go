@@ -122,6 +122,12 @@ type Session struct {
 	// while any session holds the image resident.
 	cacheKey string
 
+	// scenario labels the workload driving this session (the scenario
+	// engine's registry name); empty for plain sessions. rtt measures
+	// the session's inject→first-egress round trip (see rtt.go).
+	scenario string
+	rtt      *rttTracker
+
 	// node is the hosting daemon's instance ID (set by the manager);
 	// placement records how the session landed here ("local" for direct
 	// creates, a coordinator decision string for cluster placements).
@@ -166,6 +172,7 @@ type Session struct {
 	state        State
 	pauseReq     bool
 	drainReq     bool
+	stepBudget   uint64 // ticks granted by StepTicks; 0 means free-running
 	started      bool
 	ticksDone    uint64
 	cp           *truenorth.Checkpoint
@@ -269,6 +276,9 @@ func (s *Session) run() {
 		if rem := s.ticksTotal - s.ticksDone; n > rem {
 			n = rem
 		}
+		if s.stepBudget > 0 && n > s.stepBudget {
+			n = s.stepBudget
+		}
 		group := s.group
 		startTick := s.cp.Tick
 		cp := s.cp
@@ -314,6 +324,21 @@ func (s *Session) run() {
 		}
 		s.cp = stats.Final
 		s.ticksDone += uint64(stats.Ticks)
+		// Burn the step budget by the ticks actually simulated (a batched
+		// window may trim the chunk); when it hits zero the runner parks at
+		// this boundary until the next StepTicks or Resume.
+		if s.stepBudget > 0 {
+			if ran := uint64(stats.Ticks); ran >= s.stepBudget {
+				s.stepBudget = 0
+				// Park at the boundary — unless the run is complete, in
+				// which case the loop should fall through to StateDone.
+				if s.ticksDone < s.ticksTotal {
+					s.pauseReq = true
+				}
+			} else {
+				s.stepBudget -= ran
+			}
+		}
 		s.totals.Spikes += stats.TotalSpikes
 		for _, rs := range stats.PerRank {
 			s.totals.Firings += rs.Firings
@@ -364,13 +389,57 @@ func (s *Session) Pause() error {
 	return nil
 }
 
-// Resume releases a paused session.
+// Resume releases a paused session and clears any outstanding step
+// budget: an explicit resume means free-running from here on.
 func (s *Session) Resume() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.state.Terminal() {
 		return fmt.Errorf("server: session %s is %s", s.ID, s.state)
 	}
+	s.pauseReq = false
+	s.stepBudget = 0
+	s.cond.Broadcast()
+	return nil
+}
+
+// StepTicks grants the runner a budget of n further ticks and releases
+// it; the runner simulates chunks until the budget is spent, then parks
+// at that boundary (StatePaused). Repeated calls accumulate. Combined
+// with StartPaused sessions this gives closed-loop clients lock-step
+// control: inject inputs for a window, step exactly the window, read
+// the egress, decide, repeat. Chunk trimming by a batched window is
+// respected — the budget burns by ticks actually simulated.
+// WaitInjected blocks until the session has ingested at least min
+// streamed spikes. It is the step protocol's inject barrier: a stream
+// Send and a control-plane step race over separate connections, so a
+// lock-step client passes its cumulative sent count and the daemon
+// holds the step until ingestion catches up — the granted ticks are
+// then guaranteed to see every spike sent before the step was asked.
+func (s *Session) WaitInjected(min uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		got := s.source.injected()
+		if got >= min {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server: session %s ingested %d of %d expected streamed spikes", s.ID, got, min)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func (s *Session) StepTicks(n uint64) error {
+	if n == 0 {
+		return errors.New("server: step requires ticks >= 1")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state.Terminal() {
+		return fmt.Errorf("server: session %s is %s", s.ID, s.state)
+	}
+	s.stepBudget += n
 	s.pauseReq = false
 	s.cond.Broadcast()
 	return nil
@@ -512,6 +581,10 @@ func (s *Session) ChunkTicks() int { return s.chunk }
 // ("" when the image was built privately).
 func (s *Session) CacheKey() string { return s.cacheKey }
 
+// Scenario returns the session's scenario label ("" for plain
+// sessions). Set once at creation, so no lock is needed.
+func (s *Session) Scenario() string { return s.scenario }
+
 // PendingStreamSpikes snapshots the streamed input spikes that have
 // been accepted but not yet frozen into a tick batch. With the session
 // parked at a chunk boundary this is exactly the injected state a
@@ -564,8 +637,13 @@ type Info struct {
 	Injected    uint64         `json:"injected_spikes"`
 	Subscribers int            `json:"subscribers"`
 	StreamDrops uint64         `json:"stream_dropped_records"`
-	Error       string         `json:"error,omitempty"`
-	CreatedAt   string         `json:"created_at"`
+	// Scenario labels the closed-loop workload driving the session
+	// (empty for plain sessions); StreamRTT summarizes the session's
+	// inject→first-egress round trips.
+	Scenario  string    `json:"scenario,omitempty"`
+	StreamRTT *RTTStats `json:"stream_rtt,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	CreatedAt string    `json:"created_at"`
 }
 
 // Info snapshots the session's status.
@@ -597,6 +675,11 @@ func (s *Session) Info() Info {
 	}
 	if s.group != nil {
 		info.BatchGroup = s.group.key
+	}
+	info.Scenario = s.scenario
+	if s.rtt != nil {
+		st := s.rtt.stats()
+		info.StreamRTT = &st
 	}
 	info.Reshapes = append([]ReshapeEvent(nil), s.reshapes...)
 	if s.runErr != nil {

@@ -24,6 +24,10 @@ type streamSource struct {
 	batches map[uint64][]truenorth.InputSpike
 	frozen  uint64 // highest tick frozen so far + 1
 	total   uint64 // spikes accepted from the network
+
+	// onInject, when non-nil, observes every non-empty network inject
+	// (the session's RTT tracker arms its clock here). Called outside mu.
+	onInject func()
 }
 
 func newStreamSource() *streamSource {
@@ -34,11 +38,15 @@ func newStreamSource() *streamSource {
 // with a running simulation.
 func (s *streamSource) Inject(events []spikeio.Event) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, ev := range events {
 		s.pending = append(s.pending, truenorth.InputSpike{Tick: ev.Tick, Core: ev.Core, Axon: ev.Axon})
 	}
 	s.total += uint64(len(events))
+	hook := s.onInject
+	s.mu.Unlock()
+	if hook != nil && len(events) > 0 {
+		hook()
+	}
 }
 
 // injectSpikes queues already-decoded input spikes (the migration
@@ -192,6 +200,11 @@ type broadcastSink struct {
 	drops    uint64 // cumulative, including departed subscribers
 
 	onDrop func(n uint64) // optional telemetry hook
+	// onEmit, when non-nil, observes every non-empty egress emission
+	// (the session's RTT tracker resolves its inject marker here). It
+	// runs on the tick loop's Emit path regardless of subscribers, so
+	// the round trip measures the simulation loop, not client drains.
+	onEmit func()
 }
 
 func newBroadcastSink(queueCap int) *broadcastSink {
@@ -269,6 +282,9 @@ func (b *broadcastSink) dropped() uint64 {
 
 // Emit implements compass.OutputSink.
 func (b *broadcastSink) Emit(rank int, t uint64, events []truenorth.SpikeEvent) {
+	if b.onEmit != nil && len(events) > 0 {
+		b.onEmit()
+	}
 	b.mu.Lock()
 	if len(b.subs) == 0 {
 		b.mu.Unlock()

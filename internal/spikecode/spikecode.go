@@ -1,0 +1,367 @@
+// Package spikecode is the shared spike encoding/decoding layer between
+// task environments and TrueNorth networks: it turns observation
+// vectors into timed spike volleys on input lines and turns egress
+// spike streams back into discrete decisions.
+//
+// The package grew out of the decode logic that examples/audio,
+// examples/motion, and examples/charrec each hand-rolled (per-window
+// spike counting, argmax votes, glyph fonts); internal/scenario builds
+// its closed-loop episode engine on the same primitives.
+//
+// A Line is the unit of input addressing: the set of axons that must be
+// spiked together to deliver one logical unit of drive. Single-axon
+// corelet inputs (gates, relays, splitters) are one-target lines; the
+// TemplateMatcher's paired on/off axons and the WTA's paired
+// excitatory/inhibitory axons are two-target lines, so the pairing
+// convention lives here once instead of in every caller.
+//
+// Everything is deterministic: encoders that need randomness consume an
+// explicit prng.Stream in a fixed iteration order, so the same seed
+// always produces the bit-identical spike stream — the property the
+// scenario engine's replay pinning depends on.
+package spikecode
+
+import (
+	"fmt"
+
+	"github.com/cognitive-sim/compass/internal/prng"
+	"github.com/cognitive-sim/compass/internal/spikeio"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+// Target addresses one axon in a built model.
+type Target struct {
+	Core truenorth.CoreID
+	Axon uint16
+}
+
+// Line is the ordered set of axons spiked together to deliver one
+// logical unit of input.
+type Line []Target
+
+// SingleLine builds a one-axon line (plain corelet inputs).
+func SingleLine(core truenorth.CoreID, axon uint16) Line {
+	return Line{{Core: core, Axon: axon}}
+}
+
+// PairedLine builds the two-axon line used by the TemplateMatcher
+// (on/off axon pair) and the WTA (excitatory/inhibitory axon pair):
+// axon carries the positive channel, axon+1 the paired complement.
+func PairedLine(core truenorth.CoreID, axon uint16) Line {
+	return Line{{Core: core, Axon: axon}, {Core: core, Axon: axon + 1}}
+}
+
+// AppendLine appends one spike per target of the line at tick t.
+func AppendLine(dst []spikeio.Event, ln Line, t uint64) []spikeio.Event {
+	for _, tg := range ln {
+		dst = append(dst, spikeio.Event{Tick: t, Core: tg.Core, Axon: tg.Axon})
+	}
+	return dst
+}
+
+// Encoder turns one observation vector into spike events on a fixed set
+// of input lines over the ticks [start, start+ticks). Implementations
+// must be deterministic given (obs, start, ticks, rng state) and must
+// consume rng in a fixed order independent of obs values, so encoded
+// streams replay bit-identically.
+type Encoder interface {
+	Name() string
+	Encode(dst []spikeio.Event, obs []float64, start, ticks uint64, rng *prng.Stream) ([]spikeio.Event, error)
+}
+
+// OneHot spikes line i on the first tick of the window iff obs[i] >=
+// 0.5 — binary pattern volleys (glyphs, cue flags). It ignores rng.
+type OneHot struct {
+	Lines []Line
+	// Repeat presents the volley on the first Repeat ticks of the window
+	// (default 1).
+	Repeat uint64
+}
+
+// Name implements Encoder.
+func (e *OneHot) Name() string { return "onehot" }
+
+// Encode implements Encoder.
+func (e *OneHot) Encode(dst []spikeio.Event, obs []float64, start, ticks uint64, _ *prng.Stream) ([]spikeio.Event, error) {
+	if len(obs) != len(e.Lines) {
+		return dst, fmt.Errorf("spikecode: onehot: %d observations for %d lines", len(obs), len(e.Lines))
+	}
+	rep := e.Repeat
+	if rep == 0 {
+		rep = 1
+	}
+	if rep > ticks {
+		rep = ticks
+	}
+	for r := uint64(0); r < rep; r++ {
+		for i, v := range obs {
+			if v >= 0.5 {
+				dst = AppendLine(dst, e.Lines[i], start+r)
+			}
+		}
+	}
+	return dst, nil
+}
+
+// Rate Bernoulli-samples line i at probability clamp01(obs[i]) on every
+// tick of the window — classic rate coding. The rng is consumed once
+// per (tick, line) regardless of outcome, so the stream position after
+// encoding depends only on the window shape, never on the values.
+type Rate struct {
+	Lines []Line
+}
+
+// Name implements Encoder.
+func (e *Rate) Name() string { return "rate" }
+
+// Encode implements Encoder.
+func (e *Rate) Encode(dst []spikeio.Event, obs []float64, start, ticks uint64, rng *prng.Stream) ([]spikeio.Event, error) {
+	if len(obs) != len(e.Lines) {
+		return dst, fmt.Errorf("spikecode: rate: %d observations for %d lines", len(obs), len(e.Lines))
+	}
+	if rng == nil {
+		return dst, fmt.Errorf("spikecode: rate encoding needs an rng")
+	}
+	for t := uint64(0); t < ticks; t++ {
+		for i, v := range obs {
+			u := rng.Uint64()
+			p := clamp01(v)
+			// Compare against a fixed-point threshold so the draw count
+			// is value-independent.
+			if p > 0 && float64(u>>11)/float64(1<<53) < p {
+				dst = AppendLine(dst, e.Lines[i], start+t)
+			}
+		}
+	}
+	return dst, nil
+}
+
+// Population maps channel c's value to the number of active lanes:
+// round(clamp01(obs[c]) * lanes) of the channel's lanes spike on the
+// first tick of the window, lowest lane first — thermometer/population
+// coding onto multi-lane evidence inputs (e.g. WTA channels).
+type Population struct {
+	// Channels[c] lists channel c's lanes in significance order.
+	Channels [][]Line
+}
+
+// Name implements Encoder.
+func (e *Population) Name() string { return "population" }
+
+// Encode implements Encoder.
+func (e *Population) Encode(dst []spikeio.Event, obs []float64, start, ticks uint64, _ *prng.Stream) ([]spikeio.Event, error) {
+	if len(obs) != len(e.Channels) {
+		return dst, fmt.Errorf("spikecode: population: %d observations for %d channels", len(obs), len(e.Channels))
+	}
+	_ = ticks
+	for c, v := range obs {
+		lanes := e.Channels[c]
+		n := int(clamp01(v)*float64(len(lanes)) + 0.5)
+		if n > len(lanes) {
+			n = len(lanes)
+		}
+		for l := 0; l < n; l++ {
+			dst = AppendLine(dst, lanes[l], start)
+		}
+	}
+	return dst, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// LineEvent is one egress spike mapped onto an output line.
+type LineEvent struct {
+	Line int
+	Tick uint64
+}
+
+// MapEvents filters raw egress records onto output lines via index
+// (typically a corelets.Probe lookup) and appends them to dst.
+func MapEvents(dst []LineEvent, events []spikeio.Event, index func(core truenorth.CoreID, axon uint16) (int, bool)) []LineEvent {
+	for _, ev := range events {
+		if i, ok := index(ev.Core, ev.Axon); ok {
+			dst = append(dst, LineEvent{Line: i, Tick: ev.Tick})
+		}
+	}
+	return dst
+}
+
+// Decision is a decoder's verdict for one decode window.
+type Decision struct {
+	// Action is the winning output line, or -1 when no line spiked in
+	// the window.
+	Action int
+	// FirstTick is the tick of the earliest spike on the winning line
+	// (the decision's latency anchor); meaningful only when Action >= 0.
+	FirstTick uint64
+	// Counts is the per-line spike count over the window.
+	Counts []int
+}
+
+// Decoder turns the line events of one decode window [start, end) into
+// a Decision. Implementations must be order-independent over the input
+// slice: the verdict may depend only on the multiset of (line, tick)
+// pairs, never on arrival order, so transport- and rank-induced
+// reorderings cannot change a decision.
+type Decoder interface {
+	Name() string
+	Decode(events []LineEvent, numLines int, start, end uint64) Decision
+}
+
+// Vote picks the line with the most spikes in the window; ties resolve
+// to the lowest line index.
+type Vote struct{}
+
+// Name implements Decoder.
+func (Vote) Name() string { return "vote" }
+
+// Decode implements Decoder.
+func (Vote) Decode(events []LineEvent, numLines int, start, end uint64) Decision {
+	d := Decision{Action: -1, Counts: make([]int, numLines)}
+	first := make([]uint64, numLines)
+	for _, ev := range events {
+		if ev.Tick < start || ev.Tick >= end || ev.Line < 0 || ev.Line >= numLines {
+			continue
+		}
+		if d.Counts[ev.Line] == 0 || ev.Tick < first[ev.Line] {
+			first[ev.Line] = ev.Tick
+		}
+		d.Counts[ev.Line]++
+	}
+	best := 0
+	for i, n := range d.Counts {
+		if n > best {
+			best = n
+			d.Action = i
+		}
+	}
+	if d.Action >= 0 {
+		d.FirstTick = first[d.Action]
+	}
+	return d
+}
+
+// FirstSpike picks the line whose first spike in the window is
+// earliest; ties resolve to the lowest line index.
+type FirstSpike struct{}
+
+// Name implements Decoder.
+func (FirstSpike) Name() string { return "first-spike" }
+
+// Decode implements Decoder.
+func (FirstSpike) Decode(events []LineEvent, numLines int, start, end uint64) Decision {
+	d := Decision{Action: -1, Counts: make([]int, numLines)}
+	first := make([]uint64, numLines)
+	for _, ev := range events {
+		if ev.Tick < start || ev.Tick >= end || ev.Line < 0 || ev.Line >= numLines {
+			continue
+		}
+		if d.Counts[ev.Line] == 0 || ev.Tick < first[ev.Line] {
+			first[ev.Line] = ev.Tick
+		}
+		d.Counts[ev.Line]++
+	}
+	for i, n := range d.Counts {
+		if n == 0 {
+			continue
+		}
+		if d.Action < 0 || first[i] < d.FirstTick {
+			d.Action = i
+			d.FirstTick = first[i]
+		}
+	}
+	return d
+}
+
+// WindowedRate scores each line by its spike count over the trailing
+// Bin ticks of the window ([end-Bin, end)) — a leaky-rate readout that
+// ignores early transients; ties resolve to the lowest line index.
+// Counts still reports full-window totals.
+type WindowedRate struct {
+	Bin uint64
+}
+
+// Name implements Decoder.
+func (w WindowedRate) Name() string { return "windowed-rate" }
+
+// Decode implements Decoder.
+func (w WindowedRate) Decode(events []LineEvent, numLines int, start, end uint64) Decision {
+	bin := w.Bin
+	if bin == 0 || bin > end-start {
+		bin = end - start
+	}
+	lo := end - bin
+	d := Decision{Action: -1, Counts: make([]int, numLines)}
+	tail := make([]int, numLines)
+	first := make([]uint64, numLines)
+	for _, ev := range events {
+		if ev.Tick < start || ev.Tick >= end || ev.Line < 0 || ev.Line >= numLines {
+			continue
+		}
+		if d.Counts[ev.Line] == 0 || ev.Tick < first[ev.Line] {
+			first[ev.Line] = ev.Tick
+		}
+		d.Counts[ev.Line]++
+		if ev.Tick >= lo {
+			tail[ev.Line]++
+		}
+	}
+	best := 0
+	for i, n := range tail {
+		if n > best {
+			best = n
+			d.Action = i
+		}
+	}
+	if d.Action >= 0 {
+		d.FirstTick = first[d.Action]
+	}
+	return d
+}
+
+// Window is a half-open tick interval [Start, End).
+type Window struct {
+	Start, End uint64
+}
+
+// CountWindows tallies per-line spike counts for each window — the
+// presentation-scoring loop shared by the audio, motion, and charrec
+// examples. Result is indexed [window][line].
+func CountWindows(events []LineEvent, numLines int, windows []Window) [][]int {
+	out := make([][]int, len(windows))
+	for i := range out {
+		out[i] = make([]int, numLines)
+	}
+	for _, ev := range events {
+		if ev.Line < 0 || ev.Line >= numLines {
+			continue
+		}
+		for i, w := range windows {
+			if ev.Tick >= w.Start && ev.Tick < w.End {
+				out[i][ev.Line]++
+			}
+		}
+	}
+	return out
+}
+
+// Argmax returns the index of the largest count, ties to the lowest
+// index; -1 when every count is zero.
+func Argmax(counts []int) int {
+	best, arg := 0, -1
+	for i, n := range counts {
+		if n > best {
+			best = n
+			arg = i
+		}
+	}
+	return arg
+}

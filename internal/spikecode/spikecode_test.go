@@ -1,0 +1,222 @@
+package spikecode
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/cognitive-sim/compass/internal/prng"
+	"github.com/cognitive-sim/compass/internal/spikeio"
+	"github.com/cognitive-sim/compass/internal/truenorth"
+)
+
+func lines(n int) []Line {
+	out := make([]Line, n)
+	for i := range out {
+		out[i] = SingleLine(0, uint16(i))
+	}
+	return out
+}
+
+func TestOneHotEncodesActiveLines(t *testing.T) {
+	enc := &OneHot{Lines: lines(4), Repeat: 2}
+	got, err := enc.Encode(nil, []float64{1, 0, 0.7, 0.2}, 10, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []spikeio.Event{
+		{Tick: 10, Core: 0, Axon: 0}, {Tick: 10, Core: 0, Axon: 2},
+		{Tick: 11, Core: 0, Axon: 0}, {Tick: 11, Core: 0, Axon: 2},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("onehot encoded %v, want %v", got, want)
+	}
+	if _, err := enc.Encode(nil, []float64{1}, 0, 4, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestPairedLineSpikesBothAxons(t *testing.T) {
+	got := AppendLine(nil, PairedLine(3, 6), 5)
+	want := []spikeio.Event{{Tick: 5, Core: 3, Axon: 6}, {Tick: 5, Core: 3, Axon: 7}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("paired line %v, want %v", got, want)
+	}
+}
+
+// TestRateDeterministicAndValueIndependent: same seed ⇒ bit-identical
+// stream, and the rng position after encoding depends only on the
+// window shape — the property replay pinning needs.
+func TestRateDeterministicAndValueIndependent(t *testing.T) {
+	enc := &Rate{Lines: lines(3)}
+	encode := func(obs []float64) ([]spikeio.Event, uint64) {
+		rng := prng.New(42)
+		evs, err := enc.Encode(nil, obs, 0, 50, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return evs, rng.Uint64()
+	}
+	a, afterA := encode([]float64{0.9, 0.5, 0.1})
+	b, afterB := encode([]float64{0.9, 0.5, 0.1})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different rate streams")
+	}
+	if len(a) == 0 {
+		t.Fatal("rate encoder emitted nothing at p=0.9 over 50 ticks")
+	}
+	_, afterC := encode([]float64{0, 1, 0.3})
+	if afterA != afterB || afterA != afterC {
+		t.Fatal("rng draw count depends on observation values")
+	}
+	if _, err := enc.Encode(nil, []float64{1, 1, 1}, 0, 4, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestPopulationLaneCounts(t *testing.T) {
+	ch := [][]Line{
+		{SingleLine(0, 0), SingleLine(0, 1), SingleLine(0, 2), SingleLine(0, 3)},
+		{SingleLine(1, 0), SingleLine(1, 1)},
+	}
+	enc := &Population{Channels: ch}
+	got, err := enc.Encode(nil, []float64{0.5, 2.0}, 7, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.5 of 4 lanes rounds to 2; 2.0 clamps to all lanes.
+	want := []spikeio.Event{
+		{Tick: 7, Core: 0, Axon: 0}, {Tick: 7, Core: 0, Axon: 1},
+		{Tick: 7, Core: 1, Axon: 0}, {Tick: 7, Core: 1, Axon: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("population encoded %v, want %v", got, want)
+	}
+}
+
+func TestMapEvents(t *testing.T) {
+	raw := []spikeio.Event{
+		{Tick: 1, Core: 0, Axon: 4},
+		{Tick: 2, Core: 9, Axon: 0}, // unmapped
+		{Tick: 3, Core: 0, Axon: 5},
+	}
+	got := MapEvents(nil, raw, func(core truenorth.CoreID, axon uint16) (int, bool) {
+		if core == 0 && axon >= 4 {
+			return int(axon) - 4, true
+		}
+		return 0, false
+	})
+	want := []LineEvent{{Line: 0, Tick: 1}, {Line: 1, Tick: 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("mapped %v, want %v", got, want)
+	}
+}
+
+var decodeEvents = []LineEvent{
+	{Line: 0, Tick: 3}, {Line: 0, Tick: 9},
+	{Line: 1, Tick: 5}, {Line: 1, Tick: 6}, {Line: 1, Tick: 7},
+	{Line: 2, Tick: 12}, // outside [0, 10)
+}
+
+func TestDecoders(t *testing.T) {
+	cases := []struct {
+		dec  Decoder
+		want Decision
+	}{
+		{Vote{}, Decision{Action: 1, FirstTick: 5, Counts: []int{2, 3, 0}}},
+		{FirstSpike{}, Decision{Action: 0, FirstTick: 3, Counts: []int{2, 3, 0}}},
+		// Trailing 4 ticks [6, 10): line 0 has 1 spike, line 1 has 2.
+		{WindowedRate{Bin: 4}, Decision{Action: 1, FirstTick: 5, Counts: []int{2, 3, 0}}},
+	}
+	for _, tc := range cases {
+		got := tc.dec.Decode(decodeEvents, 3, 0, 10)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s decoded %+v, want %+v", tc.dec.Name(), got, tc.want)
+		}
+	}
+}
+
+// TestDecodersOrderIndependent: the verdict may depend only on the
+// multiset of events, never on arrival order (transports reorder).
+func TestDecodersOrderIndependent(t *testing.T) {
+	reversed := make([]LineEvent, len(decodeEvents))
+	for i, ev := range decodeEvents {
+		reversed[len(decodeEvents)-1-i] = ev
+	}
+	for _, dec := range []Decoder{Vote{}, FirstSpike{}, WindowedRate{Bin: 4}} {
+		a := dec.Decode(decodeEvents, 3, 0, 10)
+		b := dec.Decode(reversed, 3, 0, 10)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s is order-dependent: %+v vs %+v", dec.Name(), a, b)
+		}
+	}
+}
+
+func TestDecodersEmptyWindow(t *testing.T) {
+	for _, dec := range []Decoder{Vote{}, FirstSpike{}, WindowedRate{}} {
+		d := dec.Decode(nil, 3, 0, 10)
+		if d.Action != -1 {
+			t.Errorf("%s decided %d on an empty window", dec.Name(), d.Action)
+		}
+	}
+}
+
+func TestCountWindowsAndArgmax(t *testing.T) {
+	counts := CountWindows(decodeEvents, 3, []Window{{Start: 0, End: 10}, {Start: 10, End: 20}})
+	want := [][]int{{2, 3, 0}, {0, 0, 1}}
+	if !reflect.DeepEqual(counts, want) {
+		t.Fatalf("window counts %v, want %v", counts, want)
+	}
+	if Argmax(counts[0]) != 1 || Argmax(counts[1]) != 2 {
+		t.Fatalf("argmax over %v misranked", counts)
+	}
+	if Argmax([]int{0, 0}) != -1 {
+		t.Fatal("argmax of all-zero counts is not -1")
+	}
+}
+
+func TestGlyphFont(t *testing.T) {
+	for _, r := range "0123456789" {
+		bits, ok := Glyph(r)
+		if !ok {
+			t.Fatalf("glyph %c missing", r)
+		}
+		if len(bits) != GlyphBits {
+			t.Fatalf("glyph %c has %d bits, want %d", r, len(bits), GlyphBits)
+		}
+		if n := Popcount(bits); n < 5 || n > GlyphBits {
+			t.Fatalf("glyph %c popcount %d is implausible", r, n)
+		}
+	}
+	if _, ok := Glyph('z'); ok {
+		t.Fatal("glyph for 'z' should not exist")
+	}
+}
+
+func TestFlipPixels(t *testing.T) {
+	orig, _ := Glyph('3')
+	rng := prng.New(1)
+	flipped := FlipPixels(orig, 2, rng)
+	if reflect.DeepEqual(orig, flipped) {
+		t.Fatal("flip returned the original pattern")
+	}
+	diff := 0
+	for i := range orig {
+		if orig[i] != flipped[i] {
+			diff++
+		}
+	}
+	if diff != 2 {
+		t.Fatalf("flipped %d pixels, want 2", diff)
+	}
+	// Same seed, same flips.
+	again := FlipPixels(orig, 2, prng.New(1))
+	if !reflect.DeepEqual(flipped, again) {
+		t.Fatal("flips are not seed-deterministic")
+	}
+	obs := BitsToObs(flipped)
+	for i, b := range flipped {
+		if (b && obs[i] != 1) || (!b && obs[i] != 0) {
+			t.Fatalf("BitsToObs mismatch at %d", i)
+		}
+	}
+}
